@@ -1,0 +1,52 @@
+// Ablation A3 — edge-label binning granularity. Section 3 argues for
+// binning ("labeling edges with the exact values would lead to few
+// frequent patterns being detected, since the edge labels are often
+// unique"); the paper picked 7 weight bins and 10 transit-hour bins. This
+// ablation sweeps the bin count: too few bins produce trivial patterns
+// (everything matches everything), too many destroy frequency.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/miner.h"
+#include "data/od_graph.h"
+
+using namespace tnmine;
+
+int main() {
+  bench::Section("A3: frequent patterns vs. edge-label bin count "
+                 "(OD_GW, breadth-first k=800, support 240)");
+  const auto& ds = bench::PaperDataset();
+  std::printf("%-7s %-16s %-10s %-12s %-9s\n", "bins", "distinct labels",
+              "patterns", "max edges", "seconds");
+  for (const int bins : {1, 3, 7, 15, 40, 200, 4000, 2000000}) {
+    data::OdGraphOptions graph_options;
+    graph_options.attribute = data::EdgeAttribute::kGrossWeight;
+    graph_options.num_bins = bins;
+    const data::OdGraph od = data::BuildOdGraph(ds, graph_options);
+    core::StructuralMiningOptions options;
+    options.strategy = partition::SplitStrategy::kBreadthFirst;
+    options.num_partitions = 800;
+    options.min_support = 240;
+    options.max_pattern_edges = 3;
+    options.seed = 13;
+    Stopwatch sw;
+    const auto result = core::MineStructuralPatterns(od.graph, options);
+    std::size_t max_edges = 0;
+    for (const auto* p : result.registry.SortedBySupport()) {
+      max_edges = std::max(max_edges, p->graph.num_edges());
+    }
+    std::printf("%-7d %-16zu %-10zu %-12zu %-9.2f\n", bins,
+                od.graph.CountDistinctEdgeLabels(), result.registry.size(),
+                max_edges, sw.ElapsedSeconds());
+  }
+  std::printf(
+      "\nReading: coarse bins give few, structure-only patterns; finer "
+      "bins multiply\npattern *types* while thinning each one's support; "
+      "near-exact labels (the\nlast rows approach one bin per distinct "
+      "weight) starve support entirely —\nSection 3's argument for "
+      "binning: 'labeling edges with the exact values would\nlead to few "
+      "frequent patterns being detected'.\n");
+  return 0;
+}

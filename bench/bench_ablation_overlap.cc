@@ -1,0 +1,54 @@
+// Ablation A2 — SUBDUE instance overlap. The paper ran "all the
+// experiments... without allowing overlap in the patterns"; this ablation
+// shows what changes when overlapping instances are counted: star-heavy
+// transportation graphs inflate instance counts dramatically because
+// every spoke pair shares the hub.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "data/od_graph.h"
+#include "graph/algorithms.h"
+#include "pattern/render.h"
+#include "subdue/subdue.h"
+
+using namespace tnmine;
+
+int main() {
+  bench::Section("A2: SUBDUE with and without instance overlap");
+  const data::OdGraph od = data::BuildOdGw(bench::PaperDataset());
+  const graph::LabeledGraph g = bench::RegionSubgraph(od.graph, 100, 100);
+  bench::Row("vertices", g.num_vertices());
+  bench::Row("edges", g.num_edges());
+
+  for (const bool overlap : {false, true}) {
+    subdue::SubdueOptions options;
+    options.method = subdue::EvalMethod::kSetCover;
+    options.beam_width = 4;
+    options.num_best = 3;
+    options.max_pattern_edges = 3;
+    options.limit = 150;
+    options.max_instances = 1500;
+    options.allow_overlap = overlap;
+    Stopwatch sw;
+    const subdue::SubdueResult result =
+        subdue::DiscoverSubstructures(g, options);
+    std::printf("\noverlap %s (%.2f s):\n", overlap ? "ALLOWED" : "FORBIDDEN",
+                sw.ElapsedSeconds());
+    for (const subdue::Substructure& sub : result.best) {
+      std::printf(
+          "  value=%.1f total-instances=%zu vertex-disjoint=%zu edges=%zu\n",
+          sub.value, sub.instances.size(), sub.non_overlapping_instances,
+          sub.pattern.num_edges());
+    }
+  }
+  std::printf(
+      "\nExpected shape: with overlap allowed, hub-sharing instances "
+      "multiply the\ncounts; forbidding overlap (the paper's setting) "
+      "keeps counts honest at the\ncost of preferring patterns that tile "
+      "the graph disjointly.\n");
+  return 0;
+}

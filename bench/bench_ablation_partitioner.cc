@@ -1,0 +1,89 @@
+// Ablation A4 — partitioner choice. Section 5.2 notes "efficient graph
+// partitioning algorithms are available, e.g., METIS", but adopts BFS/DFS
+// because "they allow us to control the type of patterns preserved after
+// partitioning". This ablation pits the paper's SplitGraph against a
+// METIS-style multilevel min-cut partitioner on planted-pattern recall.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/miner.h"
+#include "fsg/fsg.h"
+#include "partition/multilevel.h"
+#include "synth/planted.h"
+
+using namespace tnmine;
+
+int main() {
+  bench::Section("A4: BFS/DFS SplitGraph vs. multilevel min-cut, planted "
+                 "recall");
+  synth::PlantedOptions planted;
+  planted.num_patterns = 8;
+  planted.pattern_edges = 4;
+  planted.instances_per_pattern = 25;
+  planted.noise_vertices = 300;
+  planted.noise_edges = 2000;
+  planted.num_edge_labels = 6;
+  planted.seed = 2005;
+  const synth::PlantedResult data = synth::GeneratePlantedGraph(planted);
+  // Dense glue makes partitions slice instances; the partitioners now
+  // separate on how many instances they keep whole.
+  const std::size_t support = 8;
+  const std::size_t k = 60;
+  bench::Row("graph vertices", data.graph.num_vertices());
+  bench::Row("graph edges", data.graph.num_edges());
+  bench::Row("planted patterns", data.patterns.size());
+
+  std::printf("\n%-16s %-10s %-10s %-10s %-9s\n", "partitioner",
+              "partitions", "patterns", "recall", "seconds");
+  for (const auto strategy : {partition::SplitStrategy::kBreadthFirst,
+                              partition::SplitStrategy::kDepthFirst}) {
+    core::StructuralMiningOptions options;
+    options.strategy = strategy;
+    options.num_partitions = k;
+    options.min_support = support;
+    options.max_pattern_edges = 4;
+    options.repetitions = 1;
+    options.seed = 3;
+    Stopwatch sw;
+    const auto result = core::MineStructuralPatterns(data.graph, options);
+    std::printf("%-16s %-10zu %-10zu %-10.2f %-9.2f\n",
+                strategy == partition::SplitStrategy::kBreadthFirst
+                    ? "breadth-first"
+                    : "depth-first",
+                result.partitions_per_repetition[0], result.registry.size(),
+                synth::PatternRecall(data.patterns, result.registry),
+                sw.ElapsedSeconds());
+  }
+  {
+    partition::MultilevelOptions ml;
+    ml.num_partitions = k;
+    ml.seed = 3;
+    Stopwatch sw;
+    const partition::MultilevelResult assignment =
+        partition::MultilevelPartition(data.graph, ml);
+    const auto parts =
+        partition::ExtractPartitions(data.graph, assignment.assignment);
+    fsg::FsgOptions miner;
+    miner.min_support = support;
+    miner.max_edges = 4;
+    const fsg::FsgResult mined = fsg::MineFsg(parts, miner);
+    pattern::PatternRegistry registry;
+    for (const auto& p : mined.patterns) {
+      pattern::FrequentPattern copy = p;
+      registry.InsertOrMerge(std::move(copy));
+    }
+    std::printf("%-16s %-10zu %-10zu %-10.2f %-9.2f  (cut edges dropped: "
+                "%zu)\n",
+                "multilevel", parts.size(), registry.size(),
+                synth::PatternRecall(data.patterns, registry),
+                sw.ElapsedSeconds(), assignment.cut_edges);
+  }
+  std::printf(
+      "\nReading: min-cut keeps clusters intact (few cut edges) but its "
+      "balance\nconstraint can still slice pattern instances; BFS/DFS let "
+      "the caller bias which\nshapes survive, which is why the paper chose "
+      "them.\n");
+  return 0;
+}

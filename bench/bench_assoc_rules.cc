@@ -1,0 +1,126 @@
+// Experiment E12 — Section 7.1: association rules with Apriori.
+//
+// The paper's Experiment 1 discretized the full (date-free) dataset and
+// found rules like GROSS_WEIGHT=(-inf,-4501] -> TRANS_MODE=LTL ("a
+// lightweight load is usually an LTL shipment, and the reverse holds
+// also"). Experiment 2 used only the origin/destination coordinates and
+// found ORIGIN_LONGITUDE=(-84.76,-75.43] -> ORIGIN_LATITUDE=(39.8,44.08]
+// at confidence 0.87. Reproduction targets: high-confidence weight->mode
+// rules in both directions, and an origin-longitude -> origin-latitude
+// rule with confidence around 0.85.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "ml/apriori.h"
+
+using namespace tnmine;
+
+namespace {
+
+void PrintMatching(const ml::AttributeTable& table,
+                   const ml::AprioriResult& result, int lhs_attr,
+                   int rhs_attr, const char* what) {
+  std::printf("\n%s:\n", what);
+  std::size_t shown = 0;
+  for (const ml::AssociationRule& rule : result.rules) {
+    if (rule.lhs.size() == 1 && rule.lhs[0].attribute == lhs_attr &&
+        rule.rhs[0].attribute == rhs_attr) {
+      std::printf("  %s\n", ml::RuleToString(table, rule).c_str());
+      if (++shown >= 4) break;
+    }
+  }
+  if (shown == 0) std::printf("  (none above the thresholds)\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto& ds = bench::PaperDataset();
+
+  bench::Section(
+      "E12a / Experiment 1: Apriori on the discretized full table");
+  const ml::AttributeTable raw = ml::AttributeTable::FromTransactions(ds);
+  const ml::AttributeTable table = raw.Discretized(10,
+                                                   /*equal_frequency=*/true);
+  ml::AprioriOptions options;
+  options.min_support = 0.08;
+  options.min_confidence = 0.80;
+  options.max_itemset_size = 2;
+  Stopwatch sw;
+  const ml::AprioriResult result = ml::MineAssociationRules(table, options);
+  bench::Row("rows", table.num_rows());
+  bench::Row("frequent itemsets", result.frequent_itemsets.size());
+  bench::Row("rules (conf >= 0.80)", result.rules.size());
+  bench::Row("runtime seconds", sw.ElapsedSeconds());
+  const int weight = table.AttributeIndex("GROSS_WEIGHT");
+  const int mode = table.AttributeIndex("TRANS_MODE");
+  PrintMatching(table, result, weight, mode,
+                "GROSS_WEIGHT -> TRANS_MODE rules (paper: light -> LTL)");
+  // "The reverse holds also": with ten weight bins no single-bin
+  // consequent can reach 0.8 confidence, so check the aggregate — how
+  // often an LTL shipment falls in the light half of the weight range.
+  {
+    std::size_t ltl = 0, ltl_light = 0;
+    const int light_bins = table.attribute(weight).values.size() / 2;
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      if (table.NominalValue(r, mode) != "LTL") continue;
+      ++ltl;
+      ltl_light += table.value(r, weight) < light_bins;
+    }
+    std::printf(
+        "\nTRANS_MODE=LTL -> GROSS_WEIGHT in lower half of bins "
+        "('the reverse holds also'):\n  confidence %.2f over %zu LTL "
+        "shipments\n",
+        static_cast<double>(ltl_light) / static_cast<double>(ltl), ltl);
+  }
+
+  bench::Section(
+      "E12b / Experiment 2: origin coordinates only (paper: lon range -> "
+      "lat range, conf 0.87)");
+  // Build the two-column table the paper used.
+  ml::AttributeTable coords;
+  coords.AddNumericAttribute("ORIGIN_LATITUDE");
+  coords.AddNumericAttribute("ORIGIN_LONGITUDE");
+  for (const data::Transaction& t : ds.transactions()) {
+    coords.AddRow({t.origin_latitude, t.origin_longitude});
+  }
+  // Direct check of the paper's exact rule, before any discretization:
+  // ORIGIN_LONGITUDE in (-84.76, -75.43] -> ORIGIN_LATITUDE in
+  // (39.8, 44.08], reported at confidence 0.87.
+  {
+    std::size_t in_lon = 0, in_both = 0;
+    for (const data::Transaction& t : ds.transactions()) {
+      if (t.origin_longitude > -84.76 && t.origin_longitude <= -75.43) {
+        ++in_lon;
+        in_both += t.origin_latitude > 39.8 && t.origin_latitude <= 44.08;
+      }
+    }
+    std::printf(
+        "\nPaper's exact intervals: lon in (-84.76,-75.43] -> lat in "
+        "(39.8,44.08]\n  confidence %.2f (paper: 0.87) over %zu shipments "
+        "in the longitude band\n",
+        static_cast<double>(in_both) / static_cast<double>(in_lon), in_lon);
+  }
+  // And via Apriori on wide equal-width bins (the paper's intervals are
+  // ~9 degrees of longitude wide, i.e. coarse bins).
+  const ml::AttributeTable coord_table =
+      coords.Discretized(6, /*equal_frequency=*/false);
+  ml::AprioriOptions coord_options;
+  coord_options.min_support = 0.05;
+  coord_options.min_confidence = 0.60;
+  coord_options.max_itemset_size = 2;
+  const ml::AprioriResult coord_rules =
+      ml::MineAssociationRules(coord_table, coord_options);
+  PrintMatching(coord_table, coord_rules,
+                coord_table.AttributeIndex("ORIGIN_LONGITUDE"),
+                coord_table.AttributeIndex("ORIGIN_LATITUDE"),
+                "ORIGIN_LONGITUDE -> ORIGIN_LATITUDE rules (6 equal-width "
+                "bins)");
+  std::printf(
+      "\nInterpretation (paper): such rules 'generalize the geographical "
+      "area a\nshipment originates from' — eastern longitudes imply the "
+      "Great-Lakes /\nNortheast latitude band.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Experiment E13 — Section 7.2: classification with a C4.5-style tree
+// (Weka's J4.8).
+//
+// Paper findings to reproduce: (a) on the discretized dataset with class
+// TRANS_MODE, the tree is ~96 % accurate and "first splits on the
+// GROSS_WEIGHT attribute"; (b) with TRANS_MODE removed and TOTAL_DISTANCE
+// as the class, TOTAL_DISTANCE and MOVE_TRANSIT_HOURS were NOT as highly
+// correlated as TOTAL_DISTANCE with DEST_LATITUDE / ORIGIN_LATITUDE.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include <memory>
+
+#include "common/random.h"
+#include "common/statistics.h"
+#include "common/stopwatch.h"
+#include "ml/decision_tree.h"
+#include "ml/naive_bayes.h"
+#include "ml/validation.h"
+
+using namespace tnmine;
+
+int main() {
+  const auto& ds = bench::PaperDataset();
+  const ml::AttributeTable raw = ml::AttributeTable::FromTransactions(ds);
+
+  bench::Section(
+      "E13a: J4.8 analogue, class TRANS_MODE (paper: 96 % accuracy, root "
+      "split on GROSS_WEIGHT)");
+  const ml::AttributeTable disc = raw.Discretized(10,
+                                                  /*equal_frequency=*/true);
+  Rng rng(31);
+  ml::AttributeTable train, test;
+  disc.Split(0.33, rng, &train, &test);
+  const int cls = train.AttributeIndex("TRANS_MODE");
+  Stopwatch sw;
+  const ml::DecisionTree tree = ml::DecisionTree::Train(train, cls, {});
+  bench::Row("train rows", train.num_rows());
+  bench::Row("training seconds", sw.ElapsedSeconds());
+  bench::Row("root split attribute (paper: GROSS_WEIGHT)",
+             std::string(train.attribute(tree.root_attribute()).name));
+  bench::Row("training accuracy", tree.Accuracy(train));
+  bench::Row("test accuracy (paper: 0.96)", tree.Accuracy(test));
+  bench::Row("tree nodes", tree.num_nodes());
+  bench::Row("tree depth", tree.depth());
+  // Weka-style 5-fold cross-validation of the same learner, plus the
+  // NaiveBayes baseline for scale.
+  {
+    const ml::CrossValidationResult cv = ml::CrossValidate(
+        disc, cls, 5, 17, [](const ml::AttributeTable& fold, int c) {
+          auto model = std::make_shared<ml::DecisionTree>(
+              ml::DecisionTree::Train(fold, c, {}));
+          return [model](const std::vector<double>& row) {
+            return model->Predict(row);
+          };
+        });
+    bench::Row("5-fold CV accuracy", cv.mean_accuracy);
+    bench::Row("5-fold CV stddev", cv.stddev_accuracy);
+    const ml::NaiveBayes nb = ml::NaiveBayes::Train(train, cls);
+    bench::Row("NaiveBayes baseline test accuracy", nb.Accuracy(test));
+  }
+
+  bench::Section(
+      "E13b: class TOTAL_DISTANCE, TRANS_MODE removed (paper: distance "
+      "tracks latitudes more than transit hours)");
+  // Rebuild without TRANS_MODE, with TOTAL_DISTANCE discretized as class.
+  ml::AttributeTable distance_table;
+  distance_table.AddNumericAttribute("ORIGIN_LATITUDE");
+  distance_table.AddNumericAttribute("ORIGIN_LONGITUDE");
+  distance_table.AddNumericAttribute("DEST_LATITUDE");
+  distance_table.AddNumericAttribute("DEST_LONGITUDE");
+  distance_table.AddNumericAttribute("GROSS_WEIGHT");
+  distance_table.AddNumericAttribute("MOVE_TRANSIT_HOURS");
+  distance_table.AddNumericAttribute("TOTAL_DISTANCE");
+  for (const data::Transaction& t : ds.transactions()) {
+    distance_table.AddRow({t.origin_latitude, t.origin_longitude,
+                           t.dest_latitude, t.dest_longitude,
+                           t.gross_weight, t.transit_hours,
+                           t.total_distance});
+  }
+  const ml::AttributeTable disc2 =
+      distance_table.Discretized(10, /*equal_frequency=*/true);
+  const int dist_cls = disc2.AttributeIndex("TOTAL_DISTANCE");
+  const ml::DecisionTree dist_tree =
+      ml::DecisionTree::Train(disc2, dist_cls, {});
+  bench::Row("full-tree training accuracy", dist_tree.Accuracy(disc2));
+  bench::Row("root split attribute",
+             std::string(disc2.attribute(dist_tree.root_attribute()).name));
+
+  std::printf("\nSingle-attribute predictive power for TOTAL_DISTANCE "
+              "(stump accuracy / |Pearson r| on raw values):\n");
+  for (const char* name :
+       {"MOVE_TRANSIT_HOURS", "DEST_LATITUDE", "ORIGIN_LATITUDE",
+        "DEST_LONGITUDE", "ORIGIN_LONGITUDE", "GROSS_WEIGHT"}) {
+    // Stump: a depth-1 tree over just this attribute.
+    ml::AttributeTable stump_table;
+    stump_table.AddNominalAttribute(
+        name, disc2.attribute(disc2.AttributeIndex(name)).values);
+    stump_table.AddNominalAttribute("TOTAL_DISTANCE",
+                                    disc2.attribute(dist_cls).values);
+    for (std::size_t r = 0; r < disc2.num_rows(); ++r) {
+      stump_table.AddRow(
+          {disc2.value(r, disc2.AttributeIndex(name)),
+           disc2.value(r, dist_cls)});
+    }
+    ml::DecisionTreeOptions stump_options;
+    stump_options.max_depth = 1;
+    stump_options.prune = false;
+    const ml::DecisionTree stump =
+        ml::DecisionTree::Train(stump_table, 1, stump_options);
+    const double corr = PearsonCorrelation(
+        distance_table.Column(distance_table.AttributeIndex(name)),
+        distance_table.Column(
+            distance_table.AttributeIndex("TOTAL_DISTANCE")));
+    std::printf("  %-22s stump acc %.3f   |r| %.3f\n", name,
+                stump.Accuracy(stump_table), std::fabs(corr));
+  }
+  std::printf(
+      "\nPaper's observation: TOTAL_DISTANCE was more strongly tied to the "
+      "latitude\nattributes than to MOVE_TRANSIT_HOURS. Our generator "
+      "carries heavy dwell noise\nin the recorded transit hours; compare "
+      "the rows above to see which side wins.\n");
+  return 0;
+}

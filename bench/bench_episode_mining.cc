@@ -1,0 +1,57 @@
+// Extension X1 — Section 9's "dynamic graph" challenge, implemented:
+// periodic route episodes and chained path episodes over the dated
+// transaction stream ("find frequently repeated connection paths, where
+// the entire path is not connected at any given time instant but adjacent
+// edges and vertices always co-exist... possibly with an unknown
+// period").
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/episodes.h"
+
+using namespace tnmine;
+
+int main() {
+  bench::Section("X1: dynamic-graph episode mining (Section 9 extension)");
+  const auto& ds = bench::PaperDataset();
+  core::EpisodeOptions options;
+  options.min_occurrences = 8;
+  options.min_period_days = 5;
+  options.max_period_days = 9;
+  options.period_tolerance_days = 1.0;
+  options.min_leg_gap_days = 0;
+  options.max_leg_gap_days = 2;
+  options.min_path_occurrences = 6;
+  options.max_path_legs = 3;
+  Stopwatch sw;
+  const core::EpisodeResult result = core::MineRouteEpisodes(ds, options);
+  bench::Row("runtime seconds", sw.ElapsedSeconds());
+  bench::Row("periodic route episodes (~weekly)", result.routes.size());
+  bench::Row("chained path episodes", result.paths.size());
+
+  std::printf("\nTop periodic routes (the generator plants weekly "
+              "schedules):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, result.routes.size());
+       ++i) {
+    std::printf("  %s\n", core::EpisodeToString(result.routes[i]).c_str());
+  }
+  std::printf("\nTop chained paths (multi-leg, never co-present on one "
+              "day):\n");
+  std::size_t multi_leg_shown = 0;
+  for (const core::PathEpisode& p : result.paths) {
+    if (p.stops.size() >= 3) {
+      std::printf("  %s\n", core::EpisodeToString(p).c_str());
+      if (++multi_leg_shown >= 5) break;
+    }
+  }
+  if (multi_leg_shown == 0) {
+    std::printf("  (no multi-leg chains at these thresholds)\n");
+  }
+  std::printf(
+      "\nThis is the capability Section 9 calls for and the per-day "
+      "partitioning of\nSection 6 structurally cannot deliver: the pattern "
+      "spans days, so no daily\ngraph transaction ever contains it.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Experiment E2 — Section 5.1 / Figure 1: SUBDUE with the MDL principle
+// on a ~100-vertex subgraph of OD_GW.
+//
+// The paper carved a 100-vertex / 561-edge subgraph of OD_GW (uniform
+// vertex labels, 7 gross-weight edge bins), ran SUBDUE release 5.1 with
+// MDL, beam 4, best 3, no overlap — it took 3.25 hours and returned small
+// patterns (Figure 1), including a deadheading chain. The expectation to
+// reproduce: MDL on uniformly-labeled data favors *small* (1-2 edge)
+// patterns because frequent small substructures compress better than the
+// infrequent large ones.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/flow_balance.h"
+#include "data/od_graph.h"
+#include "graph/algorithms.h"
+#include "pattern/render.h"
+#include "subdue/subdue.h"
+
+using namespace tnmine;
+
+int main() {
+  bench::Section("E2 / Figure 1: SUBDUE (MDL) on an OD_GW subgraph");
+  const data::OdGraph od = data::BuildOdGw(bench::PaperDataset());
+  const graph::LabeledGraph g = bench::RegionSubgraph(od.graph, 100, 100);
+  bench::Row("subgraph vertices (paper: 100)", g.num_vertices());
+  bench::Row("subgraph edges (paper: 561)", g.num_edges());
+
+  subdue::SubdueOptions options;
+  options.method = subdue::EvalMethod::kMdl;
+  options.beam_width = 4;
+  options.num_best = 3;
+  options.allow_overlap = false;
+  options.limit = 300;
+  options.max_instances = 1500;
+  Stopwatch sw;
+  const subdue::SubdueResult result = subdue::DiscoverSubstructures(g,
+                                                                    options);
+  bench::Row("runtime seconds (paper: ~11,700 s on a 2005 Sparc)",
+             sw.ElapsedSeconds());
+  bench::Row("substructures evaluated", result.substructures_evaluated);
+  bench::Row("DL(G) bits", result.base_cost);
+
+  bench::Section("Best 3 substructures (expect small, Figure-1-like)");
+  for (const subdue::Substructure& sub : result.best) {
+    std::printf(
+        "value=%.4f instances=%zu (non-overlapping=%zu) vertices=%zu "
+        "edges=%zu\n",
+        sub.value, sub.instances.size(), sub.non_overlapping_instances,
+        sub.pattern.num_vertices(), sub.pattern.num_edges());
+    std::printf("%s", pattern::RenderGraph(sub.pattern,
+                                           &od.discretizer).c_str());
+  }
+  std::printf(
+      "\nPaper's qualitative finding reproduced iff the best MDL patterns "
+      "stay small\n(1-2 edges) on this uniformly-labeled graph.\n");
+
+  // The paper reads its Figure-1 pattern as deadheading ("significant
+  // traffic from node 2 to node 4 via node 3, but not much return
+  // traffic"). Verify the phenomenon exists in the data directly.
+  bench::Section("Deadhead check: one-directional lanes in the dataset");
+  core::LaneBalanceOptions lane_options;
+  lane_options.min_forward_shipments = 40;
+  lane_options.min_imbalance = 0.9;
+  const auto lanes =
+      core::FindDeadheadLanes(bench::PaperDataset(), lane_options);
+  bench::Row("lanes with >=40 loads out and >=90% imbalance",
+             lanes.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, lanes.size()); ++i) {
+    std::printf("  %s\n", core::ToString(lanes[i]).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Experiments E5 + E6 — Section 5.2.2 / Figures 2 and 3: structurally
+// similar routes via Algorithm 1 (SplitGraph + FSG).
+//
+// The paper ran breadth-first partitioning at support 240 (found an
+// average of 667 frequent patterns; Figure 2 shows a hub-and-spoke found
+// 243 times on OD_TH) and depth-first partitioning at support 120 (200
+// patterns on average; Figure 3 shows a 14-edge pickup/delivery chain
+// found 63 times on OD_TD). Reproduction targets: hundreds of frequent
+// patterns per run; breadth-first surfaces hub-and-spoke shapes,
+// depth-first surfaces chains.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/interestingness.h"
+#include "core/miner.h"
+#include "data/od_graph.h"
+#include "pattern/render.h"
+
+using namespace tnmine;
+
+namespace {
+
+void ShowTop(const core::StructuralMiningResult& result,
+             const Discretizer& bins, pattern::PatternShape want_shape,
+             const char* figure) {
+  std::printf("\nMost interesting patterns (%s analogue):\n", figure);
+  const auto ranked = core::RankPatterns(result.registry);
+  std::size_t shown = 0;
+  bool shape_shown = false;
+  for (const auto* p : ranked) {
+    const bool is_wanted = p->graph.num_edges() >= 2 &&
+                           pattern::ClassifyShape(p->graph) == want_shape;
+    if (shown < 3 || (is_wanted && !shape_shown)) {
+      std::printf("%s", pattern::RenderPattern(*p, &bins).c_str());
+      ++shown;
+      shape_shown |= is_wanted;
+    }
+    if (shown >= 4 && shape_shown) break;
+  }
+  // Shape census over multi-edge patterns.
+  std::size_t hubs = 0, chains = 0, cycles = 0, other = 0;
+  for (const auto* p : ranked) {
+    if (p->graph.num_edges() < 2) continue;
+    switch (pattern::ClassifyShape(p->graph)) {
+      case pattern::PatternShape::kHubAndSpoke: ++hubs; break;
+      case pattern::PatternShape::kChain: ++chains; break;
+      case pattern::PatternShape::kCycle: ++cycles; break;
+      default: ++other; break;
+    }
+  }
+  std::printf(
+      "shape census (>=2 edges): hub-and-spoke=%zu chain=%zu cycle=%zu "
+      "other=%zu\n",
+      hubs, chains, cycles, other);
+}
+
+}  // namespace
+
+int main() {
+  const auto& ds = bench::PaperDataset();
+
+  bench::Section(
+      "E5 / Figure 2: breadth-first partitioning, OD_TH, support 240 "
+      "(paper: avg 667 patterns; hub-and-spoke x243)");
+  {
+    const data::OdGraph od = data::BuildOdTh(ds);
+    core::StructuralMiningOptions options;
+    options.strategy = partition::SplitStrategy::kBreadthFirst;
+    options.num_partitions = 400;
+    options.min_support = 240;
+    options.max_pattern_edges = 4;
+    options.repetitions = 1;
+    options.seed = 2005;
+    Stopwatch sw;
+    const auto result = core::MineStructuralPatterns(od.graph, options);
+    bench::Row("runtime seconds", sw.ElapsedSeconds());
+    bench::Row("partitions produced", result.partitions_per_repetition[0]);
+    bench::Row("frequent patterns (paper avg: 667)", result.registry.size());
+    ShowTop(result, od.discretizer, pattern::PatternShape::kHubAndSpoke,
+            "Figure 2");
+  }
+
+  bench::Section(
+      "E6 / Figure 3: depth-first partitioning, OD_TD, support 120 "
+      "(paper: avg 200 patterns; 14-edge chain x63)");
+  {
+    const data::OdGraph od = data::BuildOdTd(ds);
+    core::StructuralMiningOptions options;
+    options.strategy = partition::SplitStrategy::kDepthFirst;
+    options.num_partitions = 400;
+    options.min_support = 120;
+    options.max_pattern_edges = 4;
+    options.repetitions = 1;
+    options.seed = 2005;
+    Stopwatch sw;
+    const auto result = core::MineStructuralPatterns(od.graph, options);
+    bench::Row("runtime seconds", sw.ElapsedSeconds());
+    bench::Row("partitions produced", result.partitions_per_repetition[0]);
+    bench::Row("frequent patterns (paper avg: 200)", result.registry.size());
+    ShowTop(result, od.discretizer, pattern::PatternShape::kChain,
+            "Figure 3");
+
+    // The paper's Figure-3 chain itself was "frequent in 63 instances" —
+    // below the headline support threshold — so surface the long chains
+    // at a comparable support level.
+    std::printf("\nLonger chains at support 60 (the Figure-3 pattern's own "
+                "frequency level):\n");
+    options.min_support = 60;
+    options.max_pattern_edges = 3;
+    const auto low = core::MineStructuralPatterns(od.graph, options);
+    const pattern::FrequentPattern* longest_chain = nullptr;
+    for (const auto* p : low.registry.SortedBySupport()) {
+      if (p->graph.num_edges() >= 3 &&
+          pattern::ClassifyShape(p->graph) == pattern::PatternShape::kChain) {
+        if (longest_chain == nullptr ||
+            p->graph.num_edges() > longest_chain->graph.num_edges()) {
+          longest_chain = p;
+        }
+      }
+    }
+    if (longest_chain != nullptr) {
+      std::printf("%s",
+                  pattern::RenderPattern(*longest_chain,
+                                         &od.discretizer).c_str());
+    } else {
+      std::printf("  (no chain of >= 3 edges at this support)\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment E14 — Section 7.3 / Figures 5 and 6: EM clustering.
+//
+// The paper ran Weka's EM on the undiscretized dataset; it produced nine
+// clusters ranging from 3 instances (cluster 0 — the air-freight
+// outliers: >3,000 miles in <24 hours, Pacific Northwest to Hawaii) to
+// 19,386; Figure 6 plots each cluster's mean TOTAL_DISTANCE and mean
+// TRANSIT_HOURS, splitting the clusters into "short-haul" and "long-haul"
+// groups. Reproduction targets: a tiny outlier cluster with mean distance
+// >3,000 mi and mean hours <24; the remaining clusters separating into
+// short-haul and long-haul bands.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "ml/em.h"
+
+using namespace tnmine;
+
+int main() {
+  const auto& ds = bench::PaperDataset();
+  const ml::AttributeTable table = ml::AttributeTable::FromTransactions(ds);
+  std::vector<int> numeric;
+  for (const char* name :
+       {"ORIGIN_LATITUDE", "ORIGIN_LONGITUDE", "DEST_LATITUDE",
+        "DEST_LONGITUDE", "TOTAL_DISTANCE", "GROSS_WEIGHT",
+        "MOVE_TRANSIT_HOURS"}) {
+    numeric.push_back(table.AttributeIndex(name));
+  }
+
+  bench::Section("E14 / Figure 5: EM with k = 9 (the paper's cluster "
+                 "count)");
+  ml::EmOptions options;
+  options.num_clusters = 9;
+  options.seed = 2005;
+  // Farthest-point seeding guarantees the far-flung air-freight shipments
+  // get their own component, as Weka's EM gave the paper its cluster 0.
+  options.farthest_point_init = true;
+  Stopwatch sw;
+  const ml::EmResult em = ml::FitEm(table, numeric, options);
+  bench::Row("rows", table.num_rows());
+  bench::Row("EM iterations", static_cast<std::size_t>(em.iterations));
+  bench::Row("log-likelihood", em.log_likelihood);
+  bench::Row("runtime seconds", sw.ElapsedSeconds());
+
+  const int dist = table.AttributeIndex("TOTAL_DISTANCE");
+  const int hours = table.AttributeIndex("MOVE_TRANSIT_HOURS");
+  std::printf(
+      "\nFigure 6 series (per cluster: size, mean TOTAL_DISTANCE, mean "
+      "TRANSIT_HOURS):\n");
+  std::printf("%-9s %-10s %-16s %-14s %s\n", "cluster", "size",
+              "mean distance", "mean hours", "band");
+  int outlier_cluster = -1;
+  for (int c = 0; c < em.num_clusters; ++c) {
+    const std::size_t size = ml::ClusterSize(em, c);
+    const double mean_distance = ml::ClusterMean(table, em, dist, c);
+    const double mean_hours = ml::ClusterMean(table, em, hours, c);
+    const bool outlier = size <= 10 && mean_distance > 3000.0 &&
+                         mean_hours < 24.0;
+    if (outlier) outlier_cluster = c;
+    const char* band = outlier ? "air-freight outliers"
+                      : mean_distance < 700.0 ? "short-haul"
+                                              : "long-haul";
+    std::printf("%-9d %-10zu %-16.0f %-14.1f %s\n", c, size, mean_distance,
+                mean_hours, band);
+  }
+  if (outlier_cluster >= 0) {
+    std::printf(
+        "\nCluster %d reproduces the paper's cluster 0: a handful of "
+        "shipments that\n'traveled over 3,000 miles in less than 24 hours' "
+        "— air freight from the\nPacific Northwest to Hawaii.\n",
+        outlier_cluster);
+  } else {
+    std::printf("\nNo dedicated air-freight outlier cluster emerged at "
+                "k=9 with this seed.\n");
+  }
+
+  bench::Section("E14b: Weka-style automatic cluster-count selection "
+                 "(cross-validated likelihood)");
+  ml::EmOptions auto_options;
+  auto_options.num_clusters = 0;
+  auto_options.max_clusters = 12;
+  auto_options.cv_folds = 3;
+  auto_options.seed = 2005;
+  // CV selection refits EM many times; a row subsample keeps this quick
+  // while preserving the density structure.
+  ml::AttributeTable sample;
+  {
+    Rng rng(7);
+    ml::AttributeTable rest;
+    table.Split(0.1, rng, &rest, &sample);  // `sample` = 10 % of rows
+    (void)rest;
+  }
+  sw.Reset();
+  const ml::EmResult auto_em = ml::FitEm(sample, numeric, auto_options);
+  bench::Row("subsample rows", sample.num_rows());
+  bench::Row("selected clusters (paper: 9)",
+             static_cast<std::size_t>(auto_em.num_clusters));
+  bench::Row("runtime seconds", sw.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Experiment E7 — Section 5.2.2: partition-size sweep.
+//
+// The paper tried partition counts 400, 800, 1200 and 1600 with both
+// strategies and observed "the smaller number of partitions actually gave
+// a larger number of frequent itemsets... these produced larger graphs
+// with more potential for overlap". Reproduction target: the frequent-
+// pattern count decreases as the partition count increases, for both
+// strategies.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/miner.h"
+#include "data/od_graph.h"
+
+using namespace tnmine;
+
+int main() {
+  bench::Section("E7: frequent patterns vs. partition count (k)");
+  const data::OdGraph od_th = data::BuildOdTh(bench::PaperDataset());
+  const data::OdGraph od_td = data::BuildOdTd(bench::PaperDataset());
+
+  std::printf("%-14s %-6s %-9s %-11s %-10s %-9s\n", "strategy", "k",
+              "support", "partitions", "patterns", "seconds");
+  for (const auto strategy : {partition::SplitStrategy::kBreadthFirst,
+                              partition::SplitStrategy::kDepthFirst}) {
+    const bool bf = strategy == partition::SplitStrategy::kBreadthFirst;
+    for (std::size_t k : {400u, 800u, 1200u, 1600u}) {
+      core::StructuralMiningOptions options;
+      options.strategy = strategy;
+      options.num_partitions = k;
+      // The paper's supports: 240 for breadth-first, 120 for depth-first.
+      options.min_support = bf ? 240 : 120;
+      options.max_pattern_edges = 3;
+      options.repetitions = 1;
+      options.seed = 42;
+      const auto& graph = bf ? od_th.graph : od_td.graph;
+      Stopwatch sw;
+      const auto result = core::MineStructuralPatterns(graph, options);
+      std::printf("%-14s %-6zu %-9zu %-11zu %-10zu %-9.2f\n",
+                  bf ? "breadth-first" : "depth-first", k,
+                  options.min_support,
+                  result.partitions_per_repetition[0],
+                  result.registry.size(), sw.ElapsedSeconds());
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): pattern counts fall as k rises, for both "
+      "strategies.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment E8 — footnote 2: recall of partition-then-mine on simulated
+// data with known planted patterns.
+//
+// "Tests on simulated data constructed by joining subgraphs with known
+// frequent patterns to form a single graph, and then partitioned, show
+// recall rates in the 50% and above range with both depth-first and
+// breadth-first partitioning, with better results for smaller graphs."
+// Reproduction targets: recall >= 0.5 for both strategies, and recall on
+// the smaller planted graph >= recall on the larger one.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/miner.h"
+#include "synth/planted.h"
+
+using namespace tnmine;
+
+namespace {
+
+double MeasureRecall(const synth::PlantedResult& data,
+                     partition::SplitStrategy strategy,
+                     std::size_t num_partitions, std::size_t min_support,
+                     std::size_t repetitions) {
+  core::StructuralMiningOptions options;
+  options.strategy = strategy;
+  options.num_partitions = num_partitions;
+  options.min_support = min_support;
+  options.max_pattern_edges = 4;
+  options.repetitions = repetitions;
+  options.seed = 7;
+  const auto result = core::MineStructuralPatterns(data.graph, options);
+  return synth::PatternRecall(data.patterns, result.registry);
+}
+
+}  // namespace
+
+int main() {
+  bench::Section("E8 / footnote 2: planted-pattern recall");
+  std::printf("%-12s %-14s %-8s %-8s %-8s\n", "graph", "strategy", "m=1",
+              "m=3", "m=5");
+  for (const int difficulty : {0, 1, 2}) {
+    synth::PlantedOptions planted;
+    planted.num_patterns = 8;
+    planted.pattern_edges = 4;
+    planted.num_edge_labels = 6;
+    planted.seed = 2005;
+    std::size_t partitions = 30;
+    std::size_t support = 10;
+    const char* label = "small";
+    switch (difficulty) {
+      case 0:  // small, easy
+        planted.instances_per_pattern = 30;
+        planted.noise_vertices = 80;
+        planted.noise_edges = 150;
+        partitions = 30;
+        support = 10;
+        break;
+      case 1:  // large
+        planted.instances_per_pattern = 60;
+        planted.noise_vertices = 600;
+        planted.noise_edges = 1500;
+        partitions = 120;
+        support = 20;
+        label = "large";
+        break;
+      case 2:  // dense noise: partitions wander into the glue and split
+               // instances, so single runs miss patterns and Algorithm
+               // 1's repetitions visibly rescue them
+        planted.instances_per_pattern = 25;
+        planted.noise_vertices = 300;
+        planted.noise_edges = 2000;
+        partitions = 60;
+        support = 8;
+        label = "dense/hard";
+        break;
+    }
+    const synth::PlantedResult data = synth::GeneratePlantedGraph(planted);
+    for (const auto strategy : {partition::SplitStrategy::kBreadthFirst,
+                                partition::SplitStrategy::kDepthFirst}) {
+      std::printf("%-12s %-14s", label,
+                  strategy == partition::SplitStrategy::kBreadthFirst
+                      ? "breadth-first"
+                      : "depth-first");
+      for (std::size_t m : {1u, 3u, 5u}) {
+        const double recall =
+            MeasureRecall(data, strategy, partitions, support, m);
+        std::printf(" %-8.2f", recall);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): recall >= 0.50 for both strategies; "
+      "smaller graphs do\nbetter; more repetitions (Algorithm 1's m) "
+      "recover patterns split by unlucky\npartitionings.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Conventional (non-graph) mining on the transactional view (Section 7):
+// association rules, decision-tree classification, and EM clustering over
+// the Table-1 attributes — the paper's Weka experiments.
+//
+//   ./examples/conventional_mining
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "ml/apriori.h"
+#include "ml/decision_tree.h"
+#include "ml/em.h"
+
+using namespace tnmine;
+
+int main() {
+  data::GeneratorConfig config = data::GeneratorConfig::SmallScale();
+  config.num_transactions = 5000;
+  config.num_od_pairs = 600;
+  config.seed = 3;
+  const data::TransactionDataset dataset =
+      data::GenerateTransportData(config);
+  const ml::AttributeTable table =
+      ml::AttributeTable::FromTransactions(dataset);
+
+  // --- Association rules (Section 7.1) ----------------------------------
+  std::printf("== Association rules ==\n");
+  const ml::AttributeTable disc = table.Discretized(8,
+                                                    /*equal_frequency=*/true);
+  ml::AprioriOptions apriori;
+  apriori.min_support = 0.08;
+  apriori.min_confidence = 0.85;
+  apriori.max_itemset_size = 2;
+  apriori.max_rules = 5;
+  const ml::AprioriResult rules = ml::MineAssociationRules(disc, apriori);
+  for (const auto& rule : rules.rules) {
+    std::printf("  %s\n", ml::RuleToString(disc, rule).c_str());
+  }
+
+  // --- Classification (Section 7.2) --------------------------------------
+  std::printf("\n== Decision tree (class TRANS_MODE) ==\n");
+  Rng rng(5);
+  ml::AttributeTable train, test;
+  disc.Split(0.33, rng, &train, &test);
+  const ml::DecisionTree tree =
+      ml::DecisionTree::Train(train, train.AttributeIndex("TRANS_MODE"), {});
+  std::printf("  root split: %s\n",
+              train.attribute(tree.root_attribute()).name.c_str());
+  std::printf("  test accuracy: %.3f (paper: ~0.96)\n",
+              tree.Accuracy(test));
+
+  // --- Clustering (Section 7.3) ------------------------------------------
+  std::printf("\n== EM clustering (k=5 on the small dataset) ==\n");
+  std::vector<int> numeric;
+  for (const char* name : {"TOTAL_DISTANCE", "MOVE_TRANSIT_HOURS",
+                           "GROSS_WEIGHT", "ORIGIN_LATITUDE",
+                           "ORIGIN_LONGITUDE"}) {
+    numeric.push_back(table.AttributeIndex(name));
+  }
+  ml::EmOptions em_options;
+  em_options.num_clusters = 5;
+  em_options.seed = 7;
+  em_options.farthest_point_init = true;  // give outliers their own seed
+  const ml::EmResult em = ml::FitEm(table, numeric, em_options);
+  const int dist = table.AttributeIndex("TOTAL_DISTANCE");
+  const int hours = table.AttributeIndex("MOVE_TRANSIT_HOURS");
+  for (int c = 0; c < em.num_clusters; ++c) {
+    std::printf("  cluster %d: size %-5zu mean distance %-7.0f mean hours "
+                "%.1f\n",
+                c, ml::ClusterSize(em, c), ml::ClusterMean(table, em, dist, c),
+                ml::ClusterMean(table, em, hours, c));
+  }
+  std::printf(
+      "\nTiny clusters grab the extreme shipments (near-500-ton project "
+      "loads, or the\n>3,000-mile / <24-hour air freight) — the same "
+      "effect as the paper's 3-instance\ncluster 0. The paper-scale "
+      "reproduction is bench_fig5_fig6_clustering.\n");
+  return 0;
+}

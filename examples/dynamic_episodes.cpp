@@ -1,0 +1,53 @@
+// Dynamic-graph episode mining (the Section 9 challenge, implemented):
+// periodic routes and chained connection paths over the dated shipment
+// stream.
+//
+//   ./examples/dynamic_episodes
+
+#include <cstdio>
+
+#include "core/episodes.h"
+#include "data/generator.h"
+
+using namespace tnmine;
+
+int main() {
+  data::GeneratorConfig config = data::GeneratorConfig::SmallScale();
+  config.seed = 19;
+  const data::TransactionDataset dataset =
+      data::GenerateTransportData(config);
+
+  core::EpisodeOptions options;
+  options.min_occurrences = 5;
+  options.min_period_days = 5;
+  options.max_period_days = 9;
+  options.period_tolerance_days = 1.5;
+  options.min_leg_gap_days = 0;
+  options.max_leg_gap_days = 2;
+  options.min_path_occurrences = 4;
+  options.max_path_legs = 3;
+  const core::EpisodeResult result =
+      core::MineRouteEpisodes(dataset, options);
+
+  std::printf("periodic route episodes: %zu\n", result.routes.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, result.routes.size());
+       ++i) {
+    std::printf("  %s\n", core::EpisodeToString(result.routes[i]).c_str());
+  }
+
+  std::printf("\nchained path episodes: %zu\n", result.paths.size());
+  std::size_t shown = 0;
+  for (const core::PathEpisode& p : result.paths) {
+    if (p.stops.size() >= 3) {
+      std::printf("  %s\n", core::EpisodeToString(p).c_str());
+      if (++shown >= 5) break;
+    }
+  }
+  std::printf(
+      "\nWhy this matters: Section 6's per-day partitioning can only find "
+      "patterns\nthat are fully present on a single day. These episodes "
+      "span days — a weekly\nrhythm, or a relay where the second leg "
+      "leaves after the first arrives — which\nis precisely the dynamic-"
+      "graph mining the paper poses as an open challenge.\n");
+  return 0;
+}

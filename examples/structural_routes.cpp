@@ -1,0 +1,78 @@
+// Structurally similar routes (Section 5): find patterns that re-occur in
+// many *places* in the network, regardless of location — hub-and-spoke
+// distribution stars, multi-stop chains, circular routes.
+//
+// Demonstrates both partitioning strategies, the repeated-partitioning
+// union of Algorithm 1, and SUBDUE on the same data for comparison.
+//
+//   ./examples/structural_routes
+
+#include <cstdio>
+
+#include "core/interestingness.h"
+#include "core/miner.h"
+#include "data/generator.h"
+#include "data/od_graph.h"
+#include "pattern/render.h"
+#include "subdue/subdue.h"
+
+using namespace tnmine;
+
+int main() {
+  data::GeneratorConfig config = data::GeneratorConfig::SmallScale();
+  config.num_transactions = 4000;
+  config.num_od_pairs = 700;
+  config.seed = 42;
+  const data::TransactionDataset dataset =
+      data::GenerateTransportData(config);
+  const data::OdGraph od = data::BuildOdTh(dataset);
+  std::printf("network: %zu locations, %zu shipments\n",
+              od.graph.num_vertices(), od.graph.num_edges());
+
+  // --- FSG over both SplitGraph strategies -----------------------------
+  for (const auto strategy : {partition::SplitStrategy::kBreadthFirst,
+                              partition::SplitStrategy::kDepthFirst}) {
+    const bool bf = strategy == partition::SplitStrategy::kBreadthFirst;
+    core::StructuralMiningOptions options;
+    options.strategy = strategy;
+    options.num_partitions = 40;
+    options.min_support = 12;
+    options.max_pattern_edges = 4;
+    options.repetitions = 2;
+    const auto result = core::MineStructuralPatterns(od.graph, options);
+    std::printf("\n%s partitioning: %zu patterns\n",
+                bf ? "breadth-first" : "depth-first",
+                result.registry.size());
+    // Print the most interesting non-trivial pattern.
+    for (const auto* p : core::RankPatterns(result.registry)) {
+      if (p->graph.num_edges() >= 2) {
+        std::printf("%s", pattern::RenderPattern(*p,
+                                                 &od.discretizer).c_str());
+        break;
+      }
+    }
+  }
+
+  // --- SUBDUE on a regional slice ---------------------------------------
+  std::printf("\nSUBDUE (MDL) on the same network:\n");
+  subdue::SubdueOptions subdue_options;
+  subdue_options.method = subdue::EvalMethod::kMdl;
+  subdue_options.beam_width = 4;
+  subdue_options.num_best = 3;
+  subdue_options.limit = 120;
+  subdue_options.max_instances = 800;
+  const subdue::SubdueResult discovered =
+      subdue::DiscoverSubstructures(od.graph, subdue_options);
+  for (const subdue::Substructure& sub : discovered.best) {
+    std::printf("  value=%.3f edges=%zu disjoint-instances=%zu\n",
+                sub.value, sub.pattern.num_edges(),
+                sub.non_overlapping_instances);
+  }
+  std::printf(
+      "\nReading the results: hub-and-spoke patterns say 'a depot fans "
+      "out many\nloads'; chains say 'one truck can run these legs in "
+      "sequence'; a cycle is a\nroute that brings the truck home. The "
+      "paper's Section 5 uses exactly these\nshapes to argue where "
+      "multi-modal or pooled capacity could beat per-lane\noptimization.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Temporally repeated routes (Section 6): find patterns that repeat over
+// *time* at the same places — the per-day graph-transaction pipeline with
+// location-unique vertex labels and weight-range edge labels.
+//
+//   ./examples/temporal_routes
+
+#include <cstdio>
+
+#include "core/miner.h"
+#include "data/generator.h"
+#include "pattern/render.h"
+
+using namespace tnmine;
+
+int main() {
+  data::GeneratorConfig config = data::GeneratorConfig::SmallScale();
+  config.seed = 11;
+  const data::TransactionDataset dataset =
+      data::GenerateTransportData(config);
+
+  core::TemporalMiningOptions options;
+  options.partition.attribute = data::EdgeAttribute::kGrossWeight;
+  options.partition.num_bins = 7;
+  options.partition.split_components = true;
+  options.partition.remove_single_edge_transactions = true;
+  options.min_support_fraction = 0.05;
+  options.max_pattern_edges = 3;
+  const core::TemporalMiningResult result =
+      core::MineTemporalPatterns(dataset, options);
+
+  std::printf("per-day graph transactions: %zu (avg %.1f edges, max %zu)\n",
+              result.stats.num_transactions, result.stats.avg_edges,
+              result.stats.max_edges);
+  std::printf("support threshold: %zu days\n", result.absolute_min_support);
+  std::printf("temporally repeated patterns: %zu\n",
+              result.registry.size());
+
+  std::printf("\nTop repeated routes (vertex labels are locations — the "
+              "same route on many days):\n");
+  const auto sorted = result.registry.SortedBySupport();
+  std::size_t shown = 0;
+  for (const auto* p : sorted) {
+    if (p->graph.num_edges() < 2) continue;
+    std::printf("%s", pattern::RenderPattern(
+                          *p, &result.partition.discretizer).c_str());
+    if (++shown == 3) break;
+  }
+  if (shown == 0) std::printf("  (no multi-edge pattern above support)\n");
+  std::printf(
+      "\nEach pattern is a set of shipments that moves between the same "
+      "locations in\nthe same weight class on many different days — the "
+      "paper's 'repeated route'\n(Figure 4 is exactly such a pattern).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "common/binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tnmine {
+
+Discretizer Discretizer::FromCutPoints(std::vector<double> cuts) {
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    TNMINE_CHECK_MSG(cuts[i - 1] < cuts[i],
+                     "cut points must be strictly ascending");
+  }
+  return Discretizer(std::move(cuts));
+}
+
+Discretizer Discretizer::EqualWidth(const std::vector<double>& values,
+                                    int num_bins) {
+  TNMINE_CHECK(num_bins >= 1);
+  TNMINE_CHECK(!values.empty());
+  const auto [min_it, max_it] = std::minmax_element(values.begin(),
+                                                    values.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  std::vector<double> cuts;
+  if (hi > lo) {
+    const double width = (hi - lo) / num_bins;
+    cuts.reserve(static_cast<std::size_t>(num_bins) - 1);
+    for (int i = 1; i < num_bins; ++i) {
+      const double cut = lo + width * i;
+      if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+    }
+  }
+  return Discretizer(std::move(cuts));
+}
+
+Discretizer Discretizer::EqualFrequency(const std::vector<double>& values,
+                                        int num_bins) {
+  TNMINE_CHECK(num_bins >= 1);
+  TNMINE_CHECK(!values.empty());
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cuts;
+  cuts.reserve(static_cast<std::size_t>(num_bins) - 1);
+  const std::size_t n = sorted.size();
+  for (int i = 1; i < num_bins; ++i) {
+    const std::size_t idx =
+        std::min(n - 1, static_cast<std::size_t>(
+                            std::llround(static_cast<double>(i) * n /
+                                         num_bins)));
+    const double cut = sorted[idx];
+    if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+  }
+  // Drop a trailing cut equal to the maximum; it would create an empty
+  // top bin.
+  while (!cuts.empty() && cuts.back() >= sorted.back()) cuts.pop_back();
+  return Discretizer(std::move(cuts));
+}
+
+int Discretizer::Bin(double value) const {
+  // First cut point >= value; bins are closed on the right.
+  const auto it = std::lower_bound(cuts_.begin(), cuts_.end(), value);
+  return static_cast<int>(it - cuts_.begin());
+}
+
+std::string Discretizer::IntervalLabel(int bin) const {
+  TNMINE_CHECK(bin >= 0 && bin < num_bins());
+  std::ostringstream out;
+  out << "(";
+  if (bin == 0) {
+    out << "-inf";
+  } else {
+    out << cuts_[static_cast<std::size_t>(bin) - 1];
+  }
+  out << ", ";
+  if (bin == static_cast<int>(cuts_.size())) {
+    out << "+inf)";
+  } else {
+    out << cuts_[static_cast<std::size_t>(bin)] << "]";
+  }
+  return out.str();
+}
+
+}  // namespace tnmine

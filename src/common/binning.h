@@ -1,0 +1,58 @@
+#ifndef TNMINE_COMMON_BINNING_H_
+#define TNMINE_COMMON_BINNING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tnmine {
+
+/// Discretizer maps a continuous value to one of a small number of interval
+/// bins (Section 3 of the paper: "Each label (distance, hours, weight) is
+/// divided into ranges, giving a few distinct labels for each type").
+///
+/// A discretizer holds ascending cut points c_0 < c_1 < ... < c_{k-2}
+/// defining k bins:
+///   bin 0: (-inf, c_0],  bin i: (c_{i-1}, c_i],  bin k-1: (c_{k-2}, +inf).
+/// The closed-on-the-right convention matches Weka's discretization filter,
+/// which the paper's Section 7 experiments depend on.
+class Discretizer {
+ public:
+  /// Builds a discretizer from explicit ascending cut points. `cuts` may be
+  /// empty, in which case everything maps to bin 0.
+  static Discretizer FromCutPoints(std::vector<double> cuts);
+
+  /// Equal-width binning: `num_bins` bins of equal width spanning
+  /// [min(values), max(values)]. Requires num_bins >= 1 and non-empty
+  /// values. Degenerate input (all values identical) yields a single bin.
+  static Discretizer EqualWidth(const std::vector<double>& values,
+                                int num_bins);
+
+  /// Equal-frequency binning: cut points at the empirical quantiles so each
+  /// bin receives roughly |values| / num_bins points. Duplicate quantile
+  /// values are collapsed, so fewer than `num_bins` bins may result.
+  static Discretizer EqualFrequency(const std::vector<double>& values,
+                                    int num_bins);
+
+  /// Number of bins (cut points + 1).
+  int num_bins() const { return static_cast<int>(cuts_.size()) + 1; }
+
+  /// Maps `value` to its bin index in [0, num_bins()).
+  int Bin(double value) const;
+
+  /// Human-readable interval label for `bin`, e.g. "(-inf, 6500]" — the
+  /// style used for Figure 4's edge labels.
+  std::string IntervalLabel(int bin) const;
+
+  /// The ascending cut points.
+  const std::vector<double>& cut_points() const { return cuts_; }
+
+ private:
+  explicit Discretizer(std::vector<double> cuts) : cuts_(std::move(cuts)) {}
+
+  std::vector<double> cuts_;
+};
+
+}  // namespace tnmine
+
+#endif  // TNMINE_COMMON_BINNING_H_

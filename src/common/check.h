@@ -1,0 +1,43 @@
+#ifndef TNMINE_COMMON_CHECK_H_
+#define TNMINE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checking for tnmine.
+///
+/// TNMINE_CHECK aborts the process with a source location when the condition
+/// fails. It is always on (benchmark-critical inner loops use
+/// TNMINE_DCHECK, which compiles away in NDEBUG builds). The library does
+/// not throw exceptions across its API boundary; programming errors fail
+/// fast instead.
+#define TNMINE_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TNMINE_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Like TNMINE_CHECK but with a printf-style explanatory message.
+#define TNMINE_CHECK_MSG(cond, ...)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TNMINE_CHECK failed at %s:%d: %s: ", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define TNMINE_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define TNMINE_DCHECK(cond) TNMINE_CHECK(cond)
+#endif
+
+#endif  // TNMINE_COMMON_CHECK_H_

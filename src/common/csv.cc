@@ -1,0 +1,138 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tnmine {
+
+namespace {
+
+FILE* AsFile(void* p) { return static_cast<FILE*>(p); }
+
+}  // namespace
+
+bool ParseCsvLine(const std::string& line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && line[i + 1] == '"') {
+          cur.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        cur.push_back(c);
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) return false;  // quote in the middle of a field
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        fields->push_back(std::move(cur));
+        cur.clear();
+        ++i;
+      } else {
+        cur.push_back(c);
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) return false;  // unterminated quote
+  fields->push_back(std::move(cur));
+  return true;
+}
+
+std::string EscapeCsvField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvReader::CsvReader(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    error_ = "cannot open " + path;
+    return;
+  }
+  file_ = f;
+  ok_ = true;
+}
+
+CsvReader::~CsvReader() {
+  if (file_ != nullptr) std::fclose(AsFile(file_));
+}
+
+bool CsvReader::ReadRecord(std::vector<std::string>* fields) {
+  if (!ok_ || file_ == nullptr) return false;
+  std::string line;
+  for (;;) {
+    line.clear();
+    int c;
+    bool saw_any = false;
+    while ((c = std::fgetc(AsFile(file_))) != EOF) {
+      saw_any = true;
+      if (c == '\n') break;
+      if (c == '\r') continue;
+      line.push_back(static_cast<char>(c));
+    }
+    if (!saw_any && line.empty()) return false;  // clean EOF
+    ++line_number_;
+    if (line.empty()) {
+      if (c == EOF) return false;
+      continue;  // skip blank line
+    }
+    if (!ParseCsvLine(line, fields)) {
+      ok_ = false;
+      error_ = "malformed CSV record at line " + std::to_string(line_number_);
+      return false;
+    }
+    return true;
+  }
+}
+
+CsvWriter::CsvWriter(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    error_ = "cannot open " + path + " for writing";
+    return;
+  }
+  file_ = f;
+  ok_ = true;
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(AsFile(file_));
+}
+
+void CsvWriter::WriteRecord(const std::vector<std::string>& fields) {
+  if (!ok_) return;
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    line += EscapeCsvField(fields[i]);
+  }
+  line.push_back('\n');
+  if (std::fwrite(line.data(), 1, line.size(), AsFile(file_)) != line.size()) {
+    ok_ = false;
+    error_ = "write failed";
+  }
+}
+
+}  // namespace tnmine

@@ -1,0 +1,73 @@
+#ifndef TNMINE_COMMON_CSV_H_
+#define TNMINE_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace tnmine {
+
+/// Minimal RFC-4180-style CSV support for persisting transaction datasets.
+///
+/// Fields may be quoted with double quotes; embedded quotes are doubled;
+/// embedded commas and newlines inside quoted fields are preserved. This is
+/// deliberately a small, dependency-free reader sized for the project's
+/// needs, not a general CSV engine.
+class CsvReader {
+ public:
+  /// Opens `path`. Check ok() before reading; on failure error() describes
+  /// the problem.
+  explicit CsvReader(const std::string& path);
+  ~CsvReader();
+
+  CsvReader(const CsvReader&) = delete;
+  CsvReader& operator=(const CsvReader&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  /// Reads the next record into `fields`. Returns false at end of input or
+  /// on a malformed record (in which case ok() turns false and error() is
+  /// set). Blank lines are skipped.
+  bool ReadRecord(std::vector<std::string>* fields);
+
+  /// 1-based line number of the most recently read record.
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  void* file_ = nullptr;  // FILE*, kept opaque to avoid <cstdio> in the API
+  bool ok_ = false;
+  std::string error_;
+  std::size_t line_number_ = 0;
+};
+
+/// Streams CSV records to a file.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  /// Writes one record, quoting fields as needed.
+  void WriteRecord(const std::vector<std::string>& fields);
+
+ private:
+  void* file_ = nullptr;
+  bool ok_ = false;
+  std::string error_;
+};
+
+/// Parses a single CSV line (no embedded newlines) into fields. Returns
+/// false if the quoting is malformed. Exposed for unit testing.
+bool ParseCsvLine(const std::string& line, std::vector<std::string>* fields);
+
+/// Escapes a field for CSV output (quotes only when necessary).
+std::string EscapeCsvField(const std::string& field);
+
+}  // namespace tnmine
+
+#endif  // TNMINE_COMMON_CSV_H_

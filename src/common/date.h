@@ -1,0 +1,39 @@
+#ifndef TNMINE_COMMON_DATE_H_
+#define TNMINE_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tnmine {
+
+/// Calendar date utilities for the REQ_PICKUP_DT / REQ_DELIVERY_DT
+/// transaction attributes.
+///
+/// Dates are carried as day numbers (days since 1970-01-01, the proleptic
+/// Gregorian civil calendar) so that temporal partitioning (Section 6) is
+/// plain integer arithmetic. Conversion uses Howard Hinnant's
+/// days-from-civil algorithm.
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+};
+
+/// Returns the day number of `date` (1970-01-01 -> 0).
+std::int64_t DayNumberFromCivil(const CivilDate& date);
+
+/// Inverse of DayNumberFromCivil.
+CivilDate CivilFromDayNumber(std::int64_t day_number);
+
+/// Formats a day number as "YYYY-MM-DD".
+std::string FormatDayNumber(std::int64_t day_number);
+
+/// Parses "YYYY-MM-DD" into a day number. Returns false on malformed input.
+bool ParseDayNumber(const std::string& text, std::int64_t* day_number);
+
+/// Day of week for a day number: 0 = Monday ... 6 = Sunday.
+int DayOfWeek(std::int64_t day_number);
+
+}  // namespace tnmine
+
+#endif  // TNMINE_COMMON_DATE_H_

@@ -1,0 +1,159 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tnmine {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  TNMINE_DCHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  TNMINE_DCHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller; draw u1 away from zero to keep log() finite.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextGaussian(double mu, double sigma) {
+  TNMINE_DCHECK(sigma >= 0.0);
+  return mu + sigma * NextGaussian();
+}
+
+double Rng::NextLogNormal(double mu_log, double sigma_log) {
+  return std::exp(NextGaussian(mu_log, sigma_log));
+}
+
+double Rng::NextExponential(double lambda) {
+  TNMINE_DCHECK(lambda > 0.0);
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::NextZipf(std::uint64_t n, double s) {
+  TNMINE_DCHECK(n > 0);
+  TNMINE_DCHECK(s > 0.0);
+  if (n == 1) return 0;
+  // Rejection sampling against the continuous envelope (Devroye / Gray).
+  const double nd = static_cast<double>(n);
+  if (std::fabs(s - 1.0) < 1e-9) {
+    // Harmonic case: invert H(x) = ln(1 + x).
+    const double h_n = std::log(nd + 1.0);
+    for (;;) {
+      const double u = NextDouble() * h_n;
+      const double x = std::exp(u) - 1.0;
+      const std::uint64_t k = static_cast<std::uint64_t>(x);
+      if (k >= n) continue;
+      const double accept =
+          (1.0 / static_cast<double>(k + 1)) /
+          (std::log((static_cast<double>(k) + 2.0) /
+                    (static_cast<double>(k) + 1.0)));
+      if (NextDouble() * accept <= 1.0) return k;
+    }
+  }
+  const double one_minus_s = 1.0 - s;
+  const double h_n = (std::pow(nd + 1.0, one_minus_s) - 1.0) / one_minus_s;
+  for (;;) {
+    const double u = NextDouble() * h_n;
+    const double x = std::pow(u * one_minus_s + 1.0, 1.0 / one_minus_s) - 1.0;
+    std::uint64_t k = static_cast<std::uint64_t>(x);
+    if (k >= n) continue;
+    const double kd = static_cast<double>(k);
+    const double envelope =
+        (std::pow(kd + 2.0, one_minus_s) - std::pow(kd + 1.0, one_minus_s)) /
+        one_minus_s;
+    const double target = std::pow(kd + 1.0, -s);
+    if (NextDouble() * envelope <= target) return k;
+  }
+}
+
+std::size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  TNMINE_DCHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    TNMINE_DCHECK(w >= 0.0);
+    total += w;
+  }
+  TNMINE_DCHECK(total > 0.0);
+  double target = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric slack lands on the last item
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace tnmine

@@ -1,0 +1,86 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tnmine {
+
+SummaryStats Summarize(const std::vector<double>& values) {
+  RunningStats acc;
+  for (double v : values) acc.Add(v);
+  return acc.Finish();
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+SummaryStats RunningStats::Finish() const {
+  SummaryStats out;
+  out.count = count_;
+  if (count_ == 0) return out;
+  out.min = min_;
+  out.max = max_;
+  out.mean = mean_;
+  out.sum = sum_;
+  out.stddev = std::sqrt(m2_ / static_cast<double>(count_));
+  return out;
+}
+
+std::vector<HistogramBucket> Histogram(const std::vector<double>& values,
+                                       const std::vector<double>& edges) {
+  TNMINE_CHECK(edges.size() >= 2);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    TNMINE_CHECK(edges[i - 1] < edges[i]);
+  }
+  std::vector<HistogramBucket> buckets(edges.size() - 1);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    buckets[i].lo = edges[i];
+    buckets[i].hi = edges[i + 1];
+  }
+  for (double v : values) {
+    if (v < edges.front() || v >= edges.back()) continue;
+    const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    const std::size_t idx = static_cast<std::size_t>(it - edges.begin()) - 1;
+    ++buckets[idx].count;
+  }
+  return buckets;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  TNMINE_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace tnmine

@@ -1,0 +1,60 @@
+#ifndef TNMINE_COMMON_STATISTICS_H_
+#define TNMINE_COMMON_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tnmine {
+
+/// Descriptive statistics over a numeric sample.
+struct SummaryStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double sum = 0.0;
+};
+
+/// Computes count/min/max/mean/stddev/sum of `values` (all zeros if empty).
+SummaryStats Summarize(const std::vector<double>& values);
+
+/// Streaming accumulator (Welford) for the same statistics; useful when the
+/// sample is produced incrementally.
+class RunningStats {
+ public:
+  void Add(double x);
+  SummaryStats Finish() const;
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// A labeled histogram bucket for Table-2-style size breakdowns.
+struct HistogramBucket {
+  double lo = 0.0;   ///< inclusive lower bound
+  double hi = 0.0;   ///< exclusive upper bound
+  std::size_t count = 0;
+};
+
+/// Counts `values` into buckets delimited by `edges` (ascending). Bucket i
+/// covers [edges[i], edges[i+1]). Values outside [edges.front(),
+/// edges.back()) are ignored.
+std::vector<HistogramBucket> Histogram(const std::vector<double>& values,
+                                       const std::vector<double>& edges);
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace tnmine
+
+#endif  // TNMINE_COMMON_STATISTICS_H_

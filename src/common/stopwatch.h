@@ -1,0 +1,31 @@
+#ifndef TNMINE_COMMON_STOPWATCH_H_
+#define TNMINE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tnmine {
+
+/// Wall-clock stopwatch for reporting experiment runtimes.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tnmine
+
+#endif  // TNMINE_COMMON_STOPWATCH_H_

@@ -1,0 +1,197 @@
+#include "core/episodes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace tnmine::core {
+
+namespace {
+
+using data::LocationKey;
+
+double Median(std::vector<double> values) {
+  TNMINE_DCHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+std::string LocationToString(LocationKey key) {
+  double lat = 0, lon = 0;
+  data::LocationFromKey(key, &lat, &lon);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "(%.1f,%.1f)", lat, lon);
+  return buf;
+}
+
+/// A route with its distinct, ascending pickup days.
+struct Route {
+  LocationKey origin;
+  LocationKey dest;
+  std::vector<std::int64_t> days;
+};
+
+/// A chained path in construction: stops plus per-occurrence leg days.
+struct Chain {
+  std::vector<LocationKey> stops;
+  /// occurrence i -> the pickup day of each leg.
+  std::vector<std::vector<std::int64_t>> occurrences;
+};
+
+}  // namespace
+
+EpisodeResult MineRouteEpisodes(const data::TransactionDataset& dataset,
+                                const EpisodeOptions& options) {
+  EpisodeResult result;
+  if (dataset.empty()) return result;
+
+  // Group by OD pair.
+  std::map<std::pair<LocationKey, LocationKey>, std::vector<std::int64_t>>
+      by_pair;
+  for (const data::Transaction& t : dataset.transactions()) {
+    by_pair[{data::TransactionDataset::OriginKey(t),
+             data::TransactionDataset::DestKey(t)}]
+        .push_back(t.req_pickup_day);
+  }
+  std::vector<Route> routes;
+  for (auto& [key, days] : by_pair) {
+    std::sort(days.begin(), days.end());
+    days.erase(std::unique(days.begin(), days.end()), days.end());
+    if (days.size() < std::min(options.min_occurrences,
+                               options.min_path_occurrences)) {
+      continue;
+    }
+    routes.push_back(Route{key.first, key.second, std::move(days)});
+  }
+
+  // Periodic route episodes.
+  for (const Route& route : routes) {
+    if (route.days.size() < options.min_occurrences) continue;
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < route.days.size(); ++i) {
+      gaps.push_back(static_cast<double>(route.days[i] -
+                                         route.days[i - 1]));
+    }
+    const double median_gap = Median(gaps);
+    std::vector<double> deviations;
+    for (double g : gaps) deviations.push_back(std::fabs(g - median_gap));
+    const double spread = Median(deviations);
+    if (median_gap < options.min_period_days ||
+        median_gap > options.max_period_days ||
+        spread > options.period_tolerance_days) {
+      continue;
+    }
+    RouteEpisode episode;
+    episode.origin = route.origin;
+    episode.dest = route.dest;
+    episode.pickup_days = route.days;
+    episode.median_period_days = median_gap;
+    episode.gap_spread_days = spread;
+    result.routes.push_back(std::move(episode));
+  }
+  std::sort(result.routes.begin(), result.routes.end(),
+            [](const RouteEpisode& a, const RouteEpisode& b) {
+              return a.pickup_days.size() > b.pickup_days.size();
+            });
+
+  // Path episodes: chain routes whose next leg departs within the gap
+  // window of the previous leg.
+  std::unordered_map<LocationKey, std::vector<std::size_t>> routes_from;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    routes_from[routes[i].origin].push_back(i);
+  }
+  auto extend = [&](const Chain& chain,
+                    const Route& next) -> std::vector<std::vector<std::int64_t>> {
+    std::vector<std::vector<std::int64_t>> extended;
+    for (const std::vector<std::int64_t>& occ : chain.occurrences) {
+      const std::int64_t last_day = occ.back();
+      // Earliest departure of `next` within the allowed window.
+      const auto it = std::lower_bound(
+          next.days.begin(), next.days.end(),
+          last_day + options.min_leg_gap_days);
+      if (it == next.days.end() ||
+          *it > last_day + options.max_leg_gap_days) {
+        continue;
+      }
+      std::vector<std::int64_t> grown = occ;
+      grown.push_back(*it);
+      extended.push_back(std::move(grown));
+    }
+    return extended;
+  };
+
+  std::vector<Chain> frontier;
+  for (const Route& route : routes) {
+    if (route.days.size() < options.min_path_occurrences) continue;
+    Chain chain;
+    chain.stops = {route.origin, route.dest};
+    for (std::int64_t d : route.days) chain.occurrences.push_back({d});
+    frontier.push_back(std::move(chain));
+  }
+  for (std::size_t leg = 1;
+       leg < options.max_path_legs && !frontier.empty(); ++leg) {
+    std::vector<Chain> next_frontier;
+    for (const Chain& chain : frontier) {
+      const auto it = routes_from.find(chain.stops.back());
+      if (it == routes_from.end()) continue;
+      for (std::size_t route_index : it->second) {
+        const Route& next = routes[route_index];
+        // Avoid immediately bouncing back on the same edge (A -> B -> A).
+        if (next.dest == chain.stops[chain.stops.size() - 2]) continue;
+        std::vector<std::vector<std::int64_t>> occurrences =
+            extend(chain, next);
+        if (occurrences.size() < options.min_path_occurrences) continue;
+        Chain grown;
+        grown.stops = chain.stops;
+        grown.stops.push_back(next.dest);
+        grown.occurrences = std::move(occurrences);
+        next_frontier.push_back(std::move(grown));
+      }
+    }
+    for (const Chain& chain : next_frontier) {
+      PathEpisode episode;
+      episode.stops = chain.stops;
+      for (const auto& occ : chain.occurrences) {
+        episode.start_days.push_back(occ.front());
+      }
+      episode.occurrences = chain.occurrences.size();
+      result.paths.push_back(std::move(episode));
+    }
+    frontier = std::move(next_frontier);
+  }
+  std::sort(result.paths.begin(), result.paths.end(),
+            [](const PathEpisode& a, const PathEpisode& b) {
+              if (a.occurrences != b.occurrences) {
+                return a.occurrences > b.occurrences;
+              }
+              return a.stops.size() > b.stops.size();
+            });
+  return result;
+}
+
+std::string EpisodeToString(const RouteEpisode& episode) {
+  std::ostringstream out;
+  out << LocationToString(episode.origin) << " -> "
+      << LocationToString(episode.dest) << " every ~"
+      << episode.median_period_days << " days x"
+      << episode.pickup_days.size();
+  return out.str();
+}
+
+std::string EpisodeToString(const PathEpisode& episode) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < episode.stops.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << LocationToString(episode.stops[i]);
+  }
+  out << " (x" << episode.occurrences << " chained occurrences)";
+  return out.str();
+}
+
+}  // namespace tnmine::core

@@ -1,0 +1,73 @@
+#ifndef TNMINE_CORE_EPISODES_H_
+#define TNMINE_CORE_EPISODES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tnmine::core {
+
+/// Options for dynamic-graph episode mining — the Section-9 future-work
+/// item this library implements as an extension: "find frequently
+/// repeated connection paths, where the entire path is not connected at
+/// any given time instant but adjacent edges and vertices always
+/// co-exist", with "patterns occurring... possibly with an unknown
+/// period" and window/gap constraints ("the transactions composing the
+/// pattern must be separated by a minimum or maximum time").
+struct EpisodeOptions {
+  /// Minimum repetitions for a route to be an episode.
+  std::size_t min_occurrences = 4;
+  /// A route counts as periodic when the median day gap between
+  /// consecutive occurrences lies in [min_period_days, max_period_days]
+  /// and the gaps' spread stays within `period_tolerance_days`.
+  int min_period_days = 2;
+  int max_period_days = 28;
+  double period_tolerance_days = 1.5;
+  /// Path chaining: a follow-on leg must depart within
+  /// [min_leg_gap_days, max_leg_gap_days] of the previous leg's pickup.
+  int min_leg_gap_days = 0;
+  int max_leg_gap_days = 3;
+  std::size_t max_path_legs = 3;
+  /// Minimum co-occurrences for a chained path episode.
+  std::size_t min_path_occurrences = 3;
+};
+
+/// A periodically repeated OD route.
+struct RouteEpisode {
+  data::LocationKey origin = 0;
+  data::LocationKey dest = 0;
+  std::vector<std::int64_t> pickup_days;  ///< ascending
+  double median_period_days = 0.0;
+  double gap_spread_days = 0.0;  ///< median absolute deviation of gaps
+};
+
+/// A repeated connection path O -> X -> Y ... where each leg departs
+/// shortly after the previous one, across several dated occurrences —
+/// never fully connected on any single day, which is exactly what the
+/// static per-day partitioning of Section 6 cannot find.
+struct PathEpisode {
+  std::vector<data::LocationKey> stops;       ///< legs.size() + 1
+  std::vector<std::int64_t> start_days;       ///< first-leg pickup days
+  std::size_t occurrences = 0;
+};
+
+struct EpisodeResult {
+  std::vector<RouteEpisode> routes;  ///< sorted by occurrence count desc
+  std::vector<PathEpisode> paths;    ///< sorted by occurrences desc
+};
+
+/// Mines periodic route episodes and chained path episodes from dated
+/// transactions.
+EpisodeResult MineRouteEpisodes(const data::TransactionDataset& dataset,
+                                const EpisodeOptions& options);
+
+/// Human-readable rendering of an episode ("(44.5,-88.0) -> (40.4,-86.9)
+/// every ~7 days x26").
+std::string EpisodeToString(const RouteEpisode& episode);
+std::string EpisodeToString(const PathEpisode& episode);
+
+}  // namespace tnmine::core
+
+#endif  // TNMINE_CORE_EPISODES_H_

@@ -1,0 +1,114 @@
+#include "core/flow_balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace tnmine::core {
+
+namespace {
+
+using data::LocationKey;
+
+std::string LocationToString(LocationKey key) {
+  double lat = 0, lon = 0;
+  data::LocationFromKey(key, &lat, &lon);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "(%.1f,%.1f)", lat, lon);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<LaneImbalance> FindDeadheadLanes(
+    const data::TransactionDataset& dataset,
+    const LaneBalanceOptions& options) {
+  // Shipment counts per ordered pair.
+  std::map<std::pair<LocationKey, LocationKey>, std::size_t> counts;
+  for (const data::Transaction& t : dataset.transactions()) {
+    ++counts[{data::TransactionDataset::OriginKey(t),
+              data::TransactionDataset::DestKey(t)}];
+  }
+  std::vector<LaneImbalance> out;
+  for (const auto& [pair, forward] : counts) {
+    const auto& [a, b] = pair;
+    // Visit each unordered lane once, oriented heavy-side first.
+    const auto reverse_it = counts.find({b, a});
+    const std::size_t backward =
+        reverse_it == counts.end() ? 0 : reverse_it->second;
+    if (forward < backward || (forward == backward && a > b)) continue;
+    if (forward < options.min_forward_shipments) continue;
+    const double total = static_cast<double>(forward + backward);
+    const double imbalance =
+        (static_cast<double>(forward) - static_cast<double>(backward)) /
+        total;
+    if (imbalance < options.min_imbalance) continue;
+    LaneImbalance lane;
+    lane.from = a;
+    lane.to = b;
+    lane.forward_shipments = forward;
+    lane.backward_shipments = backward;
+    lane.imbalance = imbalance;
+    out.push_back(lane);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LaneImbalance& x, const LaneImbalance& y) {
+              if (x.forward_shipments != y.forward_shipments) {
+                return x.forward_shipments > y.forward_shipments;
+              }
+              return x.imbalance > y.imbalance;
+            });
+  return out;
+}
+
+std::vector<MarketFlow> ComputeMarketFlows(
+    const data::TransactionDataset& dataset,
+    const MarketFlowOptions& options) {
+  std::map<LocationKey, std::pair<std::size_t, std::size_t>> flows;
+  for (const data::Transaction& t : dataset.transactions()) {
+    ++flows[data::TransactionDataset::OriginKey(t)].second;  // outbound
+    ++flows[data::TransactionDataset::DestKey(t)].first;     // inbound
+  }
+  std::vector<MarketFlow> out;
+  for (const auto& [key, in_out] : flows) {
+    const auto& [inbound, outbound] = in_out;
+    if (inbound + outbound < options.min_shipments) continue;
+    MarketFlow market;
+    market.location = key;
+    market.inbound = inbound;
+    market.outbound = outbound;
+    market.net_flow = (static_cast<double>(outbound) -
+                       static_cast<double>(inbound)) /
+                      static_cast<double>(outbound + inbound);
+    out.push_back(market);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MarketFlow& x, const MarketFlow& y) {
+              const double ax = std::fabs(x.net_flow);
+              const double ay = std::fabs(y.net_flow);
+              if (ax != ay) return ax > ay;
+              return x.inbound + x.outbound > y.inbound + y.outbound;
+            });
+  return out;
+}
+
+std::string ToString(const LaneImbalance& lane) {
+  std::ostringstream out;
+  out << LocationToString(lane.from) << " -> " << LocationToString(lane.to)
+      << ": " << lane.forward_shipments << " out / "
+      << lane.backward_shipments << " back (imbalance "
+      << lane.imbalance << ")";
+  return out.str();
+}
+
+std::string ToString(const MarketFlow& market) {
+  std::ostringstream out;
+  out << LocationToString(market.location) << ": in " << market.inbound
+      << ", out " << market.outbound << " (net "
+      << (market.net_flow >= 0 ? "+" : "") << market.net_flow << ")";
+  return out.str();
+}
+
+}  // namespace tnmine::core

@@ -1,0 +1,66 @@
+#ifndef TNMINE_CORE_FLOW_BALANCE_H_
+#define TNMINE_CORE_FLOW_BALANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tnmine::core {
+
+/// A directionally imbalanced lane: "significant traffic from node 2 to
+/// node 4 via node 3, but not much return traffic" is how the paper reads
+/// its Figure-1 pattern — trucks deadhead home empty, which is a pricing /
+/// repositioning opportunity outside classical route optimization.
+struct LaneImbalance {
+  data::LocationKey from = 0;
+  data::LocationKey to = 0;
+  std::size_t forward_shipments = 0;   ///< from -> to
+  std::size_t backward_shipments = 0;  ///< to -> from
+  /// (forward - backward) / (forward + backward), in (0, 1].
+  double imbalance = 0.0;
+};
+
+struct LaneBalanceOptions {
+  /// Only lanes with at least this much forward traffic matter.
+  std::size_t min_forward_shipments = 10;
+  /// Minimum directional imbalance to report.
+  double min_imbalance = 0.8;
+};
+
+/// Finds heavily one-directional lanes, sorted by forward volume
+/// descending. A lane is reported once, oriented in its heavy direction.
+std::vector<LaneImbalance> FindDeadheadLanes(
+    const data::TransactionDataset& dataset,
+    const LaneBalanceOptions& options = {});
+
+/// Per-location inbound/outbound totals — Section 9's "balance of flow
+/// in/out of a certain market".
+struct MarketFlow {
+  data::LocationKey location = 0;
+  std::size_t inbound = 0;
+  std::size_t outbound = 0;
+  /// (outbound - inbound) / (outbound + inbound), in [-1, 1]; positive =
+  /// net freight source, negative = net sink.
+  double net_flow = 0.0;
+};
+
+struct MarketFlowOptions {
+  /// Only locations moving at least this many shipments total.
+  std::size_t min_shipments = 20;
+};
+
+/// Computes per-market flow balance, sorted by |net_flow| descending then
+/// volume.
+std::vector<MarketFlow> ComputeMarketFlows(
+    const data::TransactionDataset& dataset,
+    const MarketFlowOptions& options = {});
+
+/// Readable one-liners for reports.
+std::string ToString(const LaneImbalance& lane);
+std::string ToString(const MarketFlow& market);
+
+}  // namespace tnmine::core
+
+#endif  // TNMINE_CORE_FLOW_BALANCE_H_

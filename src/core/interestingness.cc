@@ -1,0 +1,51 @@
+#include "core/interestingness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "pattern/render.h"
+
+namespace tnmine::core {
+
+double PatternInterestingness(const pattern::FrequentPattern& p,
+                              const InterestingnessWeights& weights) {
+  const std::size_t edges = p.graph.num_edges();
+  if (edges == 0) return 0.0;
+  const double size = static_cast<double>(p.graph.num_vertices() + edges);
+  double score = weights.compression_weight *
+                 static_cast<double>(p.support) * (size - 1.0);
+  const pattern::PatternShape shape = pattern::ClassifyShape(p.graph);
+  switch (shape) {
+    case pattern::PatternShape::kSingleEdge:
+      score *= weights.single_edge_penalty;
+      break;
+    case pattern::PatternShape::kCycle:
+    case pattern::PatternShape::kHubAndSpoke:
+    case pattern::PatternShape::kChain:
+      score *= weights.shape_bonus;
+      break;
+    default:
+      break;
+  }
+  const double diversity =
+      static_cast<double>(p.graph.CountDistinctEdgeLabels());
+  score *= 1.0 + weights.label_diversity_weight * std::log2(diversity + 1.0);
+  return score;
+}
+
+std::vector<const pattern::FrequentPattern*> RankPatterns(
+    const pattern::PatternRegistry& registry,
+    const InterestingnessWeights& weights) {
+  std::vector<const pattern::FrequentPattern*> out =
+      registry.SortedBySupport();
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const pattern::FrequentPattern* a,
+                       const pattern::FrequentPattern* b) {
+                     return PatternInterestingness(*a, weights) >
+                            PatternInterestingness(*b, weights);
+                   });
+  return out;
+}
+
+}  // namespace tnmine::core

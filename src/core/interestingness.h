@@ -1,0 +1,42 @@
+#ifndef TNMINE_CORE_INTERESTINGNESS_H_
+#define TNMINE_CORE_INTERESTINGNESS_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace tnmine::core {
+
+/// Weights for ranking graph patterns by interestingness — Section 9's
+/// challenge ("Even at high support levels we found many frequent
+/// patterns. However, many of these patterns turn out to be trivial or
+/// uninteresting... Similar metrics are needed for graph mining").
+///
+/// The score combines:
+///  - compression: support * (pattern size - 1), an MDL-flavored estimate
+///    of how much of the data the pattern explains beyond its parts;
+///  - shape: transportation-meaningful shapes (cycles — "circular
+///    routes"; hub-and-spoke; chains — delivery routes) earn a bonus,
+///    single edges a penalty;
+///  - label diversity: patterns mixing several edge labels (weight/time
+///    classes) say more than one-label patterns.
+struct InterestingnessWeights {
+  double compression_weight = 1.0;
+  double shape_bonus = 2.0;      ///< multiplier for cycle/hub/chain shapes
+  double single_edge_penalty = 0.25;
+  double label_diversity_weight = 0.5;
+};
+
+/// Scores one pattern; higher is more interesting. Patterns with no edges
+/// score 0.
+double PatternInterestingness(const pattern::FrequentPattern& p,
+                              const InterestingnessWeights& weights = {});
+
+/// All registry patterns ranked by decreasing interestingness.
+std::vector<const pattern::FrequentPattern*> RankPatterns(
+    const pattern::PatternRegistry& registry,
+    const InterestingnessWeights& weights = {});
+
+}  // namespace tnmine::core
+
+#endif  // TNMINE_CORE_INTERESTINGNESS_H_

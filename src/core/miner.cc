@@ -1,0 +1,94 @@
+#include "core/miner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "fsg/fsg.h"
+#include "gspan/gspan.h"
+
+namespace tnmine::core {
+
+namespace {
+
+/// Runs the selected miner over a transaction set and returns the
+/// frequent patterns. `oom` is set when FSG's memory budget aborted.
+std::vector<pattern::FrequentPattern> RunMiner(
+    const std::vector<graph::LabeledGraph>& transactions, MinerKind miner,
+    std::size_t min_support, std::size_t max_edges,
+    std::uint64_t max_candidate_bytes, bool* oom) {
+  if (miner == MinerKind::kFsg) {
+    fsg::FsgOptions options;
+    options.min_support = min_support;
+    options.max_edges = max_edges;
+    options.max_candidate_bytes = max_candidate_bytes;
+    fsg::FsgResult result = fsg::MineFsg(transactions, options);
+    if (oom != nullptr) *oom = result.aborted_out_of_memory;
+    return std::move(result.patterns);
+  }
+  gspan::GspanOptions options;
+  options.min_support = min_support;
+  options.max_edges = max_edges;
+  gspan::GspanResult result = gspan::MineGspan(transactions, options);
+  if (oom != nullptr) *oom = false;
+  return std::move(result.patterns);
+}
+
+}  // namespace
+
+StructuralMiningResult MineStructuralPatterns(
+    const graph::LabeledGraph& g, const StructuralMiningOptions& options) {
+  TNMINE_CHECK(options.repetitions >= 1);
+  TNMINE_CHECK(options.min_support >= 1);
+  StructuralMiningResult result;
+  for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+    partition::SplitOptions split;
+    split.strategy = options.strategy;
+    split.num_partitions = options.num_partitions;
+    split.seed = options.seed + rep;
+    const std::vector<graph::LabeledGraph> transactions =
+        partition::SplitGraph(g, split);
+    result.partitions_per_repetition.push_back(transactions.size());
+
+    bool oom = false;
+    std::vector<pattern::FrequentPattern> found =
+        RunMiner(transactions, options.miner, options.min_support,
+                 options.max_pattern_edges, options.max_candidate_bytes,
+                 &oom);
+    result.any_out_of_memory |= oom;
+    result.patterns_per_repetition.push_back(found.size());
+    for (pattern::FrequentPattern& p : found) {
+      // Across repetitions tids refer to different partitionings; keep
+      // the max support, not the tid union.
+      p.tids.clear();
+      result.registry.InsertOrMerge(std::move(p));
+    }
+  }
+  return result;
+}
+
+TemporalMiningResult MineTemporalPatterns(
+    const data::TransactionDataset& dataset,
+    const TemporalMiningOptions& options) {
+  TemporalMiningResult result;
+  result.partition = partition::PartitionByActiveDay(dataset,
+                                                     options.partition);
+  result.stats = partition::ComputeTemporalStats(
+      result.partition.transactions);
+  if (result.partition.transactions.empty()) return result;
+  result.absolute_min_support = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             options.min_support_fraction *
+             static_cast<double>(result.partition.transactions.size())));
+  bool oom = false;
+  std::vector<pattern::FrequentPattern> found = RunMiner(
+      result.partition.transactions, options.miner,
+      result.absolute_min_support, options.max_pattern_edges,
+      options.max_candidate_bytes, &oom);
+  result.out_of_memory = oom;
+  for (pattern::FrequentPattern& p : found) {
+    result.registry.InsertOrMerge(std::move(p), /*merge_tids=*/true);
+  }
+  return result;
+}
+
+}  // namespace tnmine::core

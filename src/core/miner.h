@@ -1,0 +1,83 @@
+#ifndef TNMINE_CORE_MINER_H_
+#define TNMINE_CORE_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/od_graph.h"
+#include "graph/labeled_graph.h"
+#include "partition/split_graph.h"
+#include "partition/temporal.h"
+#include "pattern/pattern.h"
+
+namespace tnmine::core {
+
+/// Which transaction-set miner drives a pipeline.
+enum class MinerKind {
+  kFsg,
+  kGspan,
+};
+
+/// Options for Section 5's structural-similarity pipeline: Algorithm 1
+/// (repeat: SplitGraph, mine, union the results).
+struct StructuralMiningOptions {
+  partition::SplitStrategy strategy = partition::SplitStrategy::kBreadthFirst;
+  /// k — the number of graph transactions to partition into.
+  std::size_t num_partitions = 400;
+  /// m — how many independent partitionings to union (Algorithm 1;
+  /// "running multiple times decreases the number of false drops").
+  std::size_t repetitions = 1;
+  /// s — minimum occurrences across the partition transactions.
+  std::size_t min_support = 120;
+  std::size_t max_pattern_edges = 4;
+  MinerKind miner = MinerKind::kFsg;
+  std::uint64_t seed = 1;
+  /// Forwarded to FSG's candidate-memory budget (0 = unlimited).
+  std::uint64_t max_candidate_bytes = 0;
+};
+
+struct StructuralMiningResult {
+  pattern::PatternRegistry registry;
+  /// Partitions produced per repetition.
+  std::vector<std::size_t> partitions_per_repetition;
+  /// Frequent patterns found per repetition (before the union).
+  std::vector<std::size_t> patterns_per_repetition;
+  bool any_out_of_memory = false;
+};
+
+/// Algorithm 1: for i in 1..m, SplitGraph(G, k) and mine frequent
+/// subgraphs at support s; the union over repetitions is returned.
+/// Vertex labels of `g` should be uniform for pure structural similarity
+/// (use data::VertexLabeling::kUniform when building the OD graph).
+StructuralMiningResult MineStructuralPatterns(
+    const graph::LabeledGraph& g, const StructuralMiningOptions& options);
+
+/// Options for Section 6's temporally-repeated-routes pipeline.
+struct TemporalMiningOptions {
+  partition::TemporalOptions partition;
+  /// Support as a fraction of the temporal graph transactions (the paper
+  /// used 5 %).
+  double min_support_fraction = 0.05;
+  std::size_t max_pattern_edges = 4;
+  MinerKind miner = MinerKind::kFsg;
+  std::uint64_t max_candidate_bytes = 0;
+};
+
+struct TemporalMiningResult {
+  pattern::PatternRegistry registry;
+  partition::TemporalPartition partition;
+  partition::TemporalStats stats;
+  std::size_t absolute_min_support = 0;
+  bool out_of_memory = false;
+};
+
+/// Partitions the dated transactions into per-day graph transactions and
+/// mines patterns that repeat across days at the same locations.
+TemporalMiningResult MineTemporalPatterns(
+    const data::TransactionDataset& dataset,
+    const TemporalMiningOptions& options);
+
+}  // namespace tnmine::core
+
+#endif  // TNMINE_CORE_MINER_H_

@@ -1,0 +1,171 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/date.h"
+
+namespace tnmine::data {
+
+std::string ToString(TransMode mode) {
+  return mode == TransMode::kTruckload ? "TL" : "LTL";
+}
+
+bool ParseTransMode(const std::string& text, TransMode* mode) {
+  if (text == "TL") {
+    *mode = TransMode::kTruckload;
+    return true;
+  }
+  if (text == "LTL") {
+    *mode = TransMode::kLessThanTruckload;
+    return true;
+  }
+  return false;
+}
+
+DatasetStats TransactionDataset::ComputeStats() const {
+  DatasetStats stats;
+  stats.num_transactions = transactions_.size();
+  if (transactions_.empty()) return stats;
+
+  std::unordered_set<LocationKey> locations;
+  std::unordered_set<LocationKey> origins;
+  std::unordered_set<LocationKey> destinations;
+  std::unordered_set<std::uint64_t> od_pairs;
+  RunningStats distance, weight, hours;
+  stats.first_pickup_day = transactions_.front().req_pickup_day;
+  stats.last_pickup_day = transactions_.front().req_pickup_day;
+  for (const Transaction& t : transactions_) {
+    const LocationKey o = OriginKey(t);
+    const LocationKey d = DestKey(t);
+    locations.insert(o);
+    locations.insert(d);
+    origins.insert(o);
+    destinations.insert(d);
+    // Combine the two 44-bit-ish keys into one pair key.
+    od_pairs.insert(static_cast<std::uint64_t>(o) * 0x9E3779B97F4A7C15ULL ^
+                    static_cast<std::uint64_t>(d));
+    distance.Add(t.total_distance);
+    weight.Add(t.gross_weight);
+    hours.Add(t.transit_hours);
+    stats.first_pickup_day = std::min(stats.first_pickup_day,
+                                      t.req_pickup_day);
+    stats.last_pickup_day = std::max(stats.last_pickup_day,
+                                     t.req_pickup_day);
+    if (t.mode == TransMode::kTruckload) {
+      ++stats.num_truckload;
+    } else {
+      ++stats.num_less_than_truckload;
+    }
+  }
+  stats.distinct_locations = locations.size();
+  stats.distinct_origins = origins.size();
+  stats.distinct_destinations = destinations.size();
+  stats.distinct_od_pairs = od_pairs.size();
+  stats.distance = distance.Finish();
+  stats.weight = weight.Finish();
+  stats.transit_hours = hours.Finish();
+  return stats;
+}
+
+bool TransactionDataset::SaveCsv(const std::string& path,
+                                 std::string* error) const {
+  CsvWriter writer(path);
+  if (!writer.ok()) {
+    *error = writer.error();
+    return false;
+  }
+  std::vector<std::string> header;
+  for (const char* name : kAttributeNames) header.push_back(name);
+  writer.WriteRecord(header);
+  char buf[64];
+  auto fmt = [&](double v, int decimals) {
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return std::string(buf);
+  };
+  for (const Transaction& t : transactions_) {
+    writer.WriteRecord({
+        std::to_string(t.id),
+        FormatDayNumber(t.req_pickup_day),
+        FormatDayNumber(t.req_delivery_day),
+        fmt(t.origin_latitude, 1),
+        fmt(t.origin_longitude, 1),
+        fmt(t.dest_latitude, 1),
+        fmt(t.dest_longitude, 1),
+        fmt(t.total_distance, 1),
+        fmt(t.gross_weight, 1),
+        fmt(t.transit_hours, 2),
+        ToString(t.mode),
+    });
+    if (!writer.ok()) {
+      *error = writer.error();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TransactionDataset::LoadCsv(const std::string& path,
+                                 TransactionDataset* dataset,
+                                 std::string* error) {
+  CsvReader reader(path);
+  if (!reader.ok()) {
+    *error = reader.error();
+    return false;
+  }
+  std::vector<std::string> fields;
+  if (!reader.ReadRecord(&fields)) {
+    *error = reader.ok() ? "empty file" : reader.error();
+    return false;
+  }
+  if (fields.size() != kNumAttributes) {
+    *error = "unexpected header width";
+    return false;
+  }
+  std::vector<Transaction> rows;
+  auto fail_row = [&](const char* what) {
+    *error = std::string(what) + " at line " +
+             std::to_string(reader.line_number());
+    return false;
+  };
+  while (reader.ReadRecord(&fields)) {
+    if (fields.size() != kNumAttributes) return fail_row("wrong field count");
+    Transaction t;
+    char* end = nullptr;
+    t.id = std::strtoll(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str()) return fail_row("bad id");
+    if (!ParseDayNumber(fields[1], &t.req_pickup_day)) {
+      return fail_row("bad pickup date");
+    }
+    if (!ParseDayNumber(fields[2], &t.req_delivery_day)) {
+      return fail_row("bad delivery date");
+    }
+    auto parse_double = [&](const std::string& s, double* out) {
+      char* e = nullptr;
+      *out = std::strtod(s.c_str(), &e);
+      return e != s.c_str() && *e == '\0';
+    };
+    if (!parse_double(fields[3], &t.origin_latitude) ||
+        !parse_double(fields[4], &t.origin_longitude) ||
+        !parse_double(fields[5], &t.dest_latitude) ||
+        !parse_double(fields[6], &t.dest_longitude) ||
+        !parse_double(fields[7], &t.total_distance) ||
+        !parse_double(fields[8], &t.gross_weight) ||
+        !parse_double(fields[9], &t.transit_hours)) {
+      return fail_row("bad numeric field");
+    }
+    if (!ParseTransMode(fields[10], &t.mode)) return fail_row("bad mode");
+    rows.push_back(t);
+  }
+  if (!reader.ok()) {
+    *error = reader.error();
+    return false;
+  }
+  *dataset = TransactionDataset(std::move(rows));
+  return true;
+}
+
+}  // namespace tnmine::data

@@ -1,0 +1,78 @@
+#ifndef TNMINE_DATA_DATASET_H_
+#define TNMINE_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+#include "data/geo.h"
+#include "data/schema.h"
+
+namespace tnmine::data {
+
+/// Section-3-style dataset description: the numbers the paper reports in
+/// its "Transportation Network Data Description".
+struct DatasetStats {
+  std::size_t num_transactions = 0;
+  std::size_t distinct_locations = 0;      ///< distinct lat/long pairs
+  std::size_t distinct_origins = 0;
+  std::size_t distinct_destinations = 0;
+  std::size_t distinct_od_pairs = 0;
+  std::int64_t first_pickup_day = 0;
+  std::int64_t last_pickup_day = 0;
+  SummaryStats distance;
+  SummaryStats weight;
+  SummaryStats transit_hours;
+  std::size_t num_truckload = 0;
+  std::size_t num_less_than_truckload = 0;
+};
+
+/// An in-memory collection of OD transactions — the substrate every
+/// experiment in the paper starts from.
+class TransactionDataset {
+ public:
+  TransactionDataset() = default;
+  explicit TransactionDataset(std::vector<Transaction> transactions)
+      : transactions_(std::move(transactions)) {}
+
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+  std::vector<Transaction>& mutable_transactions() { return transactions_; }
+  std::size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+  const Transaction& operator[](std::size_t i) const {
+    return transactions_[i];
+  }
+
+  void Add(const Transaction& t) { transactions_.push_back(t); }
+
+  /// Computes the Section-3 dataset description.
+  DatasetStats ComputeStats() const;
+
+  /// Origin location key of transaction `t`.
+  static LocationKey OriginKey(const Transaction& t) {
+    return MakeLocationKey(t.origin_latitude, t.origin_longitude);
+  }
+  /// Destination location key of transaction `t`.
+  static LocationKey DestKey(const Transaction& t) {
+    return MakeLocationKey(t.dest_latitude, t.dest_longitude);
+  }
+
+  /// Persists the dataset as CSV with a Table-1 header row. Returns false
+  /// and sets `error` on I/O failure.
+  bool SaveCsv(const std::string& path, std::string* error) const;
+
+  /// Loads a dataset written by SaveCsv. Returns false and sets `error` on
+  /// I/O failure or malformed rows (row number included).
+  static bool LoadCsv(const std::string& path, TransactionDataset* dataset,
+                      std::string* error);
+
+ private:
+  std::vector<Transaction> transactions_;
+};
+
+}  // namespace tnmine::data
+
+#endif  // TNMINE_DATA_DATASET_H_

@@ -1,0 +1,469 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/date.h"
+#include "common/random.h"
+
+namespace tnmine::data {
+
+namespace {
+
+/// Regional mixture for continental-US location placement. The Northeast /
+/// Great-Lakes-East region dominates the (-85, -75] longitude band and is
+/// centered near latitude 42, which is what makes the paper's
+/// origin-longitude -> origin-latitude association rule come out with high
+/// confidence.
+struct Region {
+  double weight;
+  double lat_mu, lat_sd;
+  double lon_mu, lon_sd;
+};
+
+constexpr Region kRegions[] = {
+    {0.28, 41.8, 1.1, -79.5, 2.6},   // Northeast / eastern Great Lakes
+    {0.24, 41.5, 1.4, -89.5, 2.2},   // Midwest
+    {0.10, 32.8, 1.4, -86.8, 1.2},   // Southeast
+    {0.12, 31.5, 1.5, -97.0, 1.8},   // Texas
+    {0.12, 36.5, 2.5, -120.0, 1.5},  // West coast
+    {0.06, 46.5, 1.0, -122.0, 1.0},  // Pacific Northwest
+    {0.08, 39.5, 2.0, -105.0, 3.0},  // Mountain / Plains
+};
+
+struct PairInfo {
+  std::uint32_t origin;
+  std::uint32_t dest;
+  std::size_t count = 1;      // transactions carried by this pair
+  bool scheduled = false;     // weekly repeated route with stable weight
+  bool air = false;           // air-freight outlier pair
+  int phase = 0;              // schedule phase (day offset)
+  double base_weight = 0.0;   // stable weight for scheduled pairs
+};
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+}  // namespace
+
+GeneratorConfig GeneratorConfig::SmallScale() {
+  GeneratorConfig c;
+  c.num_locations = 120;
+  c.num_origins = 60;
+  c.num_destinations = 90;
+  c.num_od_pairs = 400;
+  c.num_transactions = 2000;
+  c.hub_out_degree = 50;
+  c.hub_in_degree = 25;
+  c.num_days = 60;
+  c.num_route_chains = 6;
+  c.chain_length = 5;
+  c.scheduled_pair_fraction = 0.15;
+  c.num_heavy_outliers = 2;
+  return c;
+}
+
+TransactionDataset GenerateTransportData(const GeneratorConfig& config) {
+  TNMINE_CHECK(config.num_locations >= 8);
+  TNMINE_CHECK(config.num_origins <= config.num_locations);
+  TNMINE_CHECK(config.num_destinations <= config.num_locations);
+  TNMINE_CHECK_MSG(
+      config.num_origins + config.num_destinations >= config.num_locations,
+      "every location must be an origin, a destination, or both");
+  TNMINE_CHECK(config.hub_out_degree >= 1 &&
+               config.hub_out_degree <= config.num_destinations);
+  TNMINE_CHECK(config.hub_in_degree >= 1 &&
+               config.hub_in_degree <= config.num_origins);
+  TNMINE_CHECK(config.num_transactions >= config.num_od_pairs);
+  TNMINE_CHECK(config.num_days >= 7);
+
+  Rng rng(config.seed);
+
+  // ---------------------------------------------------------------------
+  // 1. Place locations. Index layout:
+  //      [0, num_origins)                      may originate loads
+  //      [num_locations - num_destinations, n) may receive loads
+  //    (the two ranges overlap in the middle). Fixed special locations:
+  //      0                  continental mega-hub origin
+  //      1                  Seattle (air-freight origin, PNW)
+  //      n-1, n-2           Hawaii (air-freight destinations, dest-only)
+  //      n-3                continental mega-destination
+  const std::size_t n = config.num_locations;
+  struct Point {
+    double lat, lon;
+  };
+  std::vector<Point> locations(n);
+  std::unordered_set<LocationKey> used_keys;
+  auto claim = [&](std::size_t index, double lat, double lon) {
+    lat = RoundToDeciDegree(lat);
+    lon = RoundToDeciDegree(lon);
+    const LocationKey key = MakeLocationKey(lat, lon);
+    if (!used_keys.insert(key).second) return false;
+    locations[index] = {lat, lon};
+    return true;
+  };
+  TNMINE_CHECK(claim(1, 47.6, -122.3));      // Seattle
+  TNMINE_CHECK(claim(n - 1, 21.3, -157.9));  // Honolulu
+  TNMINE_CHECK(claim(n - 2, 19.7, -155.1));  // Hilo
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 1 || i == n - 1 || i == n - 2) continue;
+    for (;;) {
+      std::vector<double> weights;
+      for (const Region& r : kRegions) weights.push_back(r.weight);
+      const Region& region = kRegions[rng.NextWeighted(weights)];
+      const double lat =
+          Clamp(rng.NextGaussian(region.lat_mu, region.lat_sd), 24.6, 49.0);
+      const double lon =
+          Clamp(rng.NextGaussian(region.lon_mu, region.lon_sd), -124.4,
+                -67.0);
+      if (claim(i, lat, lon)) break;
+    }
+  }
+
+  const std::size_t dest_begin = n - config.num_destinations;
+  auto is_origin = [&](std::size_t i) { return i < config.num_origins; };
+  auto is_dest = [&](std::size_t i) { return i >= dest_begin; };
+  const std::size_t mega_dest = n - 3;
+  TNMINE_CHECK(is_dest(mega_dest));
+  TNMINE_CHECK(is_origin(0) && is_origin(1));
+  TNMINE_CHECK(is_dest(n - 1) && is_dest(n - 2));
+
+  // ---------------------------------------------------------------------
+  // 2. Build the distinct OD-pair set with exact cardinality.
+  std::vector<PairInfo> pairs;
+  std::unordered_set<std::uint64_t> pair_keys;
+  auto add_pair = [&](std::size_t o, std::size_t d) -> PairInfo* {
+    TNMINE_DCHECK(is_origin(o));
+    TNMINE_DCHECK(is_dest(d));
+    const std::uint64_t key = (static_cast<std::uint64_t>(o) << 32) | d;
+    if (!pair_keys.insert(key).second) return nullptr;
+    pairs.push_back(
+        {static_cast<std::uint32_t>(o), static_cast<std::uint32_t>(d)});
+    return &pairs.back();
+  };
+
+  // 2a. Mega-hub origin 0: exactly hub_out_degree distinct destinations.
+  {
+    std::vector<std::size_t> dests;
+    for (std::size_t d = dest_begin; d < n; ++d) dests.push_back(d);
+    rng.Shuffle(dests);
+    std::size_t added = 0;
+    for (std::size_t d : dests) {
+      if (added == config.hub_out_degree) break;
+      if (d == n - 1 || d == n - 2) continue;  // keep Hawaii air-only
+      if (add_pair(0, d) != nullptr) ++added;
+    }
+    TNMINE_CHECK(added == config.hub_out_degree);
+  }
+  // 2b. Mega-destination: hub_in_degree distinct origins (origin 0 may
+  // already point at it; count it if so).
+  {
+    std::size_t have = pair_keys.contains(
+                           (static_cast<std::uint64_t>(0) << 32) | mega_dest)
+                           ? 1u
+                           : 0u;
+    std::vector<std::size_t> origins;
+    for (std::size_t o = 1; o < config.num_origins; ++o) origins.push_back(o);
+    rng.Shuffle(origins);
+    for (std::size_t o : origins) {
+      if (have == config.hub_in_degree) break;
+      if (add_pair(o, mega_dest) != nullptr) ++have;
+    }
+    TNMINE_CHECK(have == config.hub_in_degree);
+  }
+  // 2c. Air-freight pair: Seattle -> Honolulu.
+  std::size_t air_pair_index = 0;
+  {
+    PairInfo* air = add_pair(1, n - 1);
+    TNMINE_CHECK(air != nullptr);
+    air->air = true;
+    air_pair_index = pairs.size() - 1;
+  }
+  // 2d. Route chains through the origin∩destination overlap zone.
+  std::vector<std::size_t> chain_pair_indices;
+  {
+    std::vector<std::size_t> overlap;
+    for (std::size_t i = std::max<std::size_t>(dest_begin, 2);
+         i < config.num_origins; ++i) {
+      overlap.push_back(i);
+    }
+    if (overlap.size() >= config.chain_length + 1) {
+      for (std::size_t c = 0; c < config.num_route_chains; ++c) {
+        std::vector<std::size_t> stops = overlap;
+        rng.Shuffle(stops);
+        stops.resize(config.chain_length + 1);
+        for (std::size_t i = 0; i + 1 < stops.size(); ++i) {
+          PairInfo* p = add_pair(stops[i], stops[i + 1]);
+          if (p != nullptr) {
+            p->scheduled = true;
+            chain_pair_indices.push_back(pairs.size() - 1);
+          }
+        }
+      }
+    }
+  }
+  // 2e. Coverage: every origin ships somewhere, every destination receives.
+  {
+    std::vector<char> origin_covered(config.num_origins, 0);
+    std::vector<char> dest_covered(n, 0);
+    for (const PairInfo& p : pairs) {
+      origin_covered[p.origin] = 1;
+      dest_covered[p.dest] = 1;
+    }
+    // Keep the coverage fill away from the special vertices so the
+    // mega-hub / mega-destination degrees stay exactly at the configured
+    // maxima and Hawaii stays air-only.
+    for (std::size_t o = 0; o < config.num_origins; ++o) {
+      while (!origin_covered[o]) {
+        const std::size_t d =
+            dest_begin + rng.NextBounded(config.num_destinations);
+        if (d == mega_dest || d == n - 1 || d == n - 2) continue;
+        if (add_pair(o, d) != nullptr) origin_covered[o] = 1;
+      }
+    }
+    for (std::size_t d = dest_begin; d < n; ++d) {
+      if (d == n - 1 || d == n - 2) continue;  // Hawaii reached only by air
+      while (!dest_covered[d]) {
+        const std::size_t o = 2 + rng.NextBounded(config.num_origins - 2);
+        if (add_pair(o, d) != nullptr) dest_covered[d] = 1;
+      }
+    }
+    // Hilo (n-2) still needs one inbound edge: a second air lane.
+    if (!dest_covered[n - 2]) {
+      PairInfo* p = add_pair(1, n - 2);
+      if (p != nullptr) p->air = true;
+    }
+  }
+  TNMINE_CHECK_MSG(pairs.size() <= config.num_od_pairs,
+                   "mandatory pairs (%zu) exceed num_od_pairs (%zu)",
+                   pairs.size(), config.num_od_pairs);
+
+  // 2f. Fill with Zipf-popular pairs. Exclude the mega-hub origin and
+  // mega-destination so their degrees stay the configured maxima.
+  {
+    std::vector<std::size_t> origin_rank;  // Zipf rank -> origin index
+    for (std::size_t o = 2; o < config.num_origins; ++o) {
+      origin_rank.push_back(o);
+    }
+    rng.Shuffle(origin_rank);
+    std::vector<std::size_t> dest_rank;
+    for (std::size_t d = dest_begin; d < n; ++d) {
+      if (d != mega_dest && d != n - 1 && d != n - 2) dest_rank.push_back(d);
+    }
+    rng.Shuffle(dest_rank);
+    TNMINE_CHECK(!origin_rank.empty() && !dest_rank.empty());
+    while (pairs.size() < config.num_od_pairs) {
+      const std::size_t o =
+          origin_rank[rng.NextZipf(origin_rank.size(), 0.8)];
+      const std::size_t d = dest_rank[rng.NextZipf(dest_rank.size(), 0.8)];
+      add_pair(o, d);
+    }
+  }
+  TNMINE_CHECK(pairs.size() == config.num_od_pairs);
+
+  // ---------------------------------------------------------------------
+  // 3. Allocate transaction counts per pair (each pair >= 1).
+  std::size_t remaining = config.num_transactions - pairs.size();
+  const std::size_t weekly_occurrences =
+      std::max<std::size_t>(2, config.num_days / 7);
+  {
+    // Scheduled pairs repeat weekly. Chain pairs are always scheduled;
+    // top up with random pairs to the configured fraction if budget
+    // allows.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (!pairs[i].scheduled && !pairs[i].air) candidates.push_back(i);
+    }
+    rng.Shuffle(candidates);
+    const std::size_t want_scheduled = static_cast<std::size_t>(
+        config.scheduled_pair_fraction * static_cast<double>(pairs.size()));
+    std::size_t have_scheduled = chain_pair_indices.size();
+    for (std::size_t i : candidates) {
+      if (have_scheduled >= want_scheduled) break;
+      pairs[i].scheduled = true;
+      ++have_scheduled;
+    }
+    // Give scheduled pairs their weekly occurrences while budget lasts.
+    for (PairInfo& p : pairs) {
+      if (!p.scheduled) continue;
+      const std::size_t extra =
+          std::min(remaining, weekly_occurrences - 1);
+      p.count += extra;
+      remaining -= extra;
+      if (remaining == 0) break;
+    }
+  }
+  // Air pairs carry the configured number of outlier shipments.
+  if (pairs[air_pair_index].air) {
+    const std::size_t extra = std::min(
+        remaining,
+        config.num_air_freight > 0 ? config.num_air_freight - 1 : 0);
+    pairs[air_pair_index].count += extra;
+    remaining -= extra;
+  }
+  // Distribute the rest by Zipf popularity over a shuffled pair order.
+  {
+    std::vector<std::size_t> order(pairs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(order);
+    while (remaining > 0) {
+      PairInfo& p = pairs[order[rng.NextZipf(order.size(), 0.7)]];
+      if (p.air) continue;
+      ++p.count;
+      --remaining;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // 4. Emit transactions.
+  const std::int64_t start_day = DayNumberFromCivil(
+      {config.start_year, config.start_month, config.start_day_of_month});
+  const std::int64_t last_day =
+      start_day + static_cast<std::int64_t>(config.num_days) - 1;
+
+  // Daily activity multipliers: weekends run light, and a mid-window
+  // quiet week plus a few scattered holidays run nearly empty.
+  std::vector<double> day_factor(config.num_days, 1.0);
+  for (std::size_t d = 0; d < config.num_days; ++d) {
+    const int dow = DayOfWeek(start_day + static_cast<std::int64_t>(d));
+    if (dow == 5) day_factor[d] = config.saturday_factor;
+    if (dow == 6) day_factor[d] = config.sunday_factor;
+  }
+  std::size_t quiet_start = config.num_days;  // past-the-end = disabled
+  if (config.enable_quiet_week && config.num_days >= 30) {
+    quiet_start = config.num_days / 2;
+    for (std::size_t d = quiet_start;
+         d < std::min(config.num_days, quiet_start + 7); ++d) {
+      day_factor[d] = 0.03;
+    }
+  }
+  for (std::size_t h = 0; h < config.num_holiday_days; ++h) {
+    const std::size_t d = rng.NextBounded(config.num_days);
+    if (d < quiet_start || d >= quiet_start + 7) day_factor[d] = 0.03;
+  }
+  auto draw_adhoc_day = [&]() {
+    // Rejection sampling against the activity profile.
+    for (int tries = 0; tries < 12; ++tries) {
+      const std::size_t d = rng.NextBounded(config.num_days);
+      if (rng.NextBool(day_factor[d])) {
+        return start_day + static_cast<std::int64_t>(d);
+      }
+    }
+    return start_day +
+           static_cast<std::int64_t>(rng.NextBounded(config.num_days));
+  };
+  auto shift_off_quiet_days = [&](std::int64_t day) {
+    // Scheduled freight avoids weekends/holidays: roll forward to the
+    // next normal-activity day (bounded look-ahead).
+    for (int step = 0; step < 4; ++step) {
+      const std::int64_t candidate = day + step;
+      if (candidate > last_day) break;
+      const std::size_t index =
+          static_cast<std::size_t>(candidate - start_day);
+      if (day_factor[index] >= 0.5) return candidate;
+    }
+    return day;
+  };
+
+  std::vector<Transaction> out;
+  out.reserve(config.num_transactions);
+
+  auto draw_weight = [&]() {
+    // Mixture: 55 % light LTL-ish loads, 45 % heavy TL loads.
+    double w = rng.NextBool(0.55) ? rng.NextLogNormal(8.3, 0.9)
+                                  : rng.NextLogNormal(10.3, 0.55);
+    return Clamp(w, 40.0, 1.0e6);
+  };
+
+  for (PairInfo& p : pairs) {
+    const Point& o = locations[p.origin];
+    const Point& d = locations[p.dest];
+    const double gc = HaversineMiles(o.lat, o.lon, d.lat, d.lon);
+    const double base_distance = std::max(5.0, gc * config.road_factor);
+    if (p.scheduled) {
+      p.phase = static_cast<int>(rng.NextBounded(7));
+      p.base_weight = draw_weight();
+    }
+    for (std::size_t k = 0; k < p.count; ++k) {
+      Transaction t;
+      // Pickup day.
+      if (p.scheduled) {
+        std::int64_t day = start_day + p.phase +
+                           7 * static_cast<std::int64_t>(k);
+        if (rng.NextBool(0.1)) day += rng.NextInt(-1, 1);
+        day = std::min(last_day, std::max(start_day, day));
+        t.req_pickup_day = shift_off_quiet_days(day);
+      } else {
+        t.req_pickup_day = draw_adhoc_day();
+      }
+      // Distance with small per-shipment routing noise.
+      t.total_distance =
+          std::max(5.0, base_distance * (1.0 + rng.NextGaussian(0, 0.02)));
+      // Weight and mode.
+      if (p.air) {
+        t.gross_weight = Clamp(rng.NextLogNormal(7.2, 0.3), 40.0, 1.0e6);
+      } else if (p.scheduled) {
+        t.gross_weight =
+            Clamp(p.base_weight * (1.0 + rng.NextGaussian(0, 0.05)), 40.0,
+                  1.0e6);
+      } else {
+        t.gross_weight = draw_weight();
+      }
+      const bool heavy = t.gross_weight > config.truckload_weight_threshold;
+      const bool flip = rng.NextBool(config.mode_noise);
+      t.mode = (heavy != flip) ? TransMode::kTruckload
+                               : TransMode::kLessThanTruckload;
+      // Transit hours by service class.
+      if (p.air) {
+        t.transit_hours = t.total_distance / 500.0 + 3.0;
+        t.mode = TransMode::kLessThanTruckload;
+      } else if (t.mode == TransMode::kTruckload) {
+        // Recorded move time includes terminal/dock dwell, which is far
+        // noisier than the driving itself (real operational data; this is
+        // what makes TOTAL_DISTANCE correlate with geography more than
+        // with MOVE_TRANSIT_HOURS in Section 7.2).
+        t.transit_hours =
+            t.total_distance / rng.NextDouble(42.0, 52.0) +
+            rng.NextDouble(2.0, 16.0);
+      } else {
+        t.transit_hours =
+            t.total_distance / rng.NextDouble(30.0, 45.0) +
+            rng.NextDouble(4.0, 36.0);
+      }
+      t.transit_hours = std::max(1.0, t.transit_hours);
+      // Requested delivery date: customers plan on per-day line-haul
+      // progress plus slack, independent of the dwell noise above.
+      const std::int64_t span = static_cast<std::int64_t>(
+          std::floor(t.total_distance / 650.0 + rng.NextDouble() * 0.6));
+      t.req_delivery_day = t.req_pickup_day + std::max<std::int64_t>(0, span);
+      t.origin_latitude = o.lat;
+      t.origin_longitude = o.lon;
+      t.dest_latitude = d.lat;
+      t.dest_longitude = d.lon;
+      out.push_back(t);
+    }
+  }
+  TNMINE_CHECK(out.size() == config.num_transactions);
+
+  // Heavy project-load outliers stretch the weight range toward 500 tons.
+  for (std::size_t i = 0; i < config.num_heavy_outliers && !out.empty();
+       ++i) {
+    Transaction& t = out[rng.NextBounded(out.size())];
+    t.gross_weight = rng.NextDouble(8.0e5, 1.0e6);
+    t.mode = TransMode::kTruckload;
+  }
+
+  // Shuffle into arrival order and assign ids.
+  rng.Shuffle(out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].id = static_cast<std::int64_t>(i) + 1;
+  }
+  return TransactionDataset(std::move(out));
+}
+
+}  // namespace tnmine::data

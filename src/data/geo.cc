@@ -1,0 +1,45 @@
+#include "data/geo.h"
+
+#include <cmath>
+
+namespace tnmine::data {
+
+namespace {
+constexpr double kEarthRadiusMiles = 3958.8;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double RoundToDeciDegree(double value) {
+  return std::round(value * 10.0) / 10.0;
+}
+
+LocationKey MakeLocationKey(double latitude, double longitude) {
+  const std::int64_t lat_deci =
+      static_cast<std::int64_t>(std::llround(latitude * 10.0));
+  const std::int64_t lon_deci =
+      static_cast<std::int64_t>(std::llround(longitude * 10.0));
+  // Latitude deci-degrees fit comfortably in 16 bits; longitude in 16 bits.
+  return (lat_deci << 20) ^ (lon_deci & 0xFFFFF);
+}
+
+void LocationFromKey(LocationKey key, double* latitude, double* longitude) {
+  const std::int64_t lat_deci = key >> 20;
+  std::int64_t lon_deci = key & 0xFFFFF;
+  if (lon_deci & 0x80000) lon_deci -= 0x100000;  // sign-extend 20 bits
+  *latitude = static_cast<double>(lat_deci) / 10.0;
+  *longitude = static_cast<double>(lon_deci) / 10.0;
+}
+
+double HaversineMiles(double lat1, double lon1, double lat2, double lon2) {
+  const double phi1 = lat1 * kDegToRad;
+  const double phi2 = lat2 * kDegToRad;
+  const double dphi = (lat2 - lat1) * kDegToRad;
+  const double dlambda = (lon2 - lon1) * kDegToRad;
+  const double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) *
+                       std::sin(dlambda / 2);
+  const double c = 2.0 * std::atan2(std::sqrt(a), std::sqrt(1.0 - a));
+  return kEarthRadiusMiles * c;
+}
+
+}  // namespace tnmine::data

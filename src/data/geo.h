@@ -1,0 +1,29 @@
+#ifndef TNMINE_DATA_GEO_H_
+#define TNMINE_DATA_GEO_H_
+
+#include <cstdint>
+
+namespace tnmine::data {
+
+/// A lat/long point quantized to 0.1 degree, packed into one integer so it
+/// can be used as a map key. This mirrors the paper's data, which records
+/// coordinates "to nearest 0.1 degree" and treats each distinct pair as one
+/// network location.
+using LocationKey = std::int64_t;
+
+/// Rounds a coordinate to the nearest 0.1 degree.
+double RoundToDeciDegree(double value);
+
+/// Packs a (latitude, longitude) pair — rounded to 0.1 degree — into a key.
+LocationKey MakeLocationKey(double latitude, double longitude);
+
+/// Unpacks a key back into (latitude, longitude) in degrees.
+void LocationFromKey(LocationKey key, double* latitude, double* longitude);
+
+/// Great-circle distance in statute miles between two points given in
+/// degrees (haversine formula on a spherical Earth, radius 3958.8 mi).
+double HaversineMiles(double lat1, double lon1, double lat2, double lon2);
+
+}  // namespace tnmine::data
+
+#endif  // TNMINE_DATA_GEO_H_

@@ -1,0 +1,80 @@
+#ifndef TNMINE_DATA_OD_GRAPH_H_
+#define TNMINE_DATA_OD_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binning.h"
+#include "data/dataset.h"
+#include "graph/labeled_graph.h"
+
+namespace tnmine::data {
+
+/// Which transaction attribute labels the edges (Section 3: the paper
+/// builds OD_GW, OD_TH, and OD_TD — same vertices and edges, different
+/// edge labelings).
+enum class EdgeAttribute {
+  kGrossWeight,        ///< OD_GW
+  kMoveTransitHours,   ///< OD_TH
+  kTotalDistance,      ///< OD_TD
+};
+
+/// Vertex labeling scheme.
+enum class VertexLabeling {
+  /// All vertices share one label — Section 5's structural-similarity
+  /// mining, where location identity must not matter.
+  kUniform,
+  /// One distinct label per location — Section 6's temporally repeated
+  /// routes, where patterns must recur at the same places.
+  kByLocation,
+};
+
+/// Options for building an OD graph from a transaction dataset.
+struct OdGraphOptions {
+  EdgeAttribute attribute = EdgeAttribute::kGrossWeight;
+  VertexLabeling vertex_labeling = VertexLabeling::kUniform;
+  /// Number of value ranges for the edge attribute (the paper used seven
+  /// for gross weight and ten for transit hours).
+  int num_bins = 7;
+  /// Equal-frequency instead of equal-width binning.
+  bool equal_frequency = false;
+};
+
+/// A directed multigraph over locations: one vertex per distinct lat/long
+/// point, one edge per transaction, edge label = binned attribute value.
+struct OdGraph {
+  graph::LabeledGraph graph;
+  /// vertex -> quantized location.
+  std::vector<LocationKey> vertex_location;
+  /// location -> vertex.
+  std::unordered_map<LocationKey, graph::VertexId> location_vertex;
+  /// edge id -> index of the transaction it represents.
+  std::vector<std::uint32_t> edge_transaction;
+  /// The discretizer that produced the edge labels (for rendering
+  /// Figure-4-style interval labels).
+  Discretizer discretizer = Discretizer::FromCutPoints({});
+};
+
+/// Returns the labeling attribute's value for `t`.
+double AttributeValue(const Transaction& t, EdgeAttribute attribute);
+
+/// Human-readable graph name ("OD_GW", "OD_TH", "OD_TD").
+const char* OdGraphName(EdgeAttribute attribute);
+
+/// Builds the OD graph for `dataset` under `options`.
+OdGraph BuildOdGraph(const TransactionDataset& dataset,
+                     const OdGraphOptions& options);
+
+/// Paper-parameterized conveniences: OD_GW with 7 weight bins, OD_TH with
+/// 10 transit-hour bins, OD_TD with 10 distance bins.
+OdGraph BuildOdGw(const TransactionDataset& dataset,
+                  VertexLabeling vertex_labeling = VertexLabeling::kUniform);
+OdGraph BuildOdTh(const TransactionDataset& dataset,
+                  VertexLabeling vertex_labeling = VertexLabeling::kUniform);
+OdGraph BuildOdTd(const TransactionDataset& dataset,
+                  VertexLabeling vertex_labeling = VertexLabeling::kUniform);
+
+}  // namespace tnmine::data
+
+#endif  // TNMINE_DATA_OD_GRAPH_H_

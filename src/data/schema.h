@@ -1,0 +1,62 @@
+#ifndef TNMINE_DATA_SCHEMA_H_
+#define TNMINE_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tnmine::data {
+
+/// TRANS_MODE attribute values (Table 1): full truckload or
+/// less-than-truckload.
+enum class TransMode : std::uint8_t {
+  kTruckload = 0,         ///< "TL"
+  kLessThanTruckload = 1  ///< "LTL"
+};
+
+/// Short string form ("TL" / "LTL").
+std::string ToString(TransMode mode);
+
+/// Parses "TL" / "LTL"; returns false on anything else.
+bool ParseTransMode(const std::string& text, TransMode* mode);
+
+/// One origin-destination shipment record with the eleven attributes of
+/// Table 1 in the paper.
+///
+/// Latitudes and longitudes are stored to the nearest 0.1 degree, exactly
+/// as the paper's data was. Dates are day numbers (see common/date.h).
+/// Distances are road miles, weights are pounds, transit time is hours.
+struct Transaction {
+  std::int64_t id = 0;                 ///< ID
+  std::int64_t req_pickup_day = 0;     ///< REQ_PICKUP_DT
+  std::int64_t req_delivery_day = 0;   ///< REQ_DELIVERY_DT
+  double origin_latitude = 0.0;        ///< ORIGIN_LATITUDE
+  double origin_longitude = 0.0;       ///< ORIGIN_LONGITUDE
+  double dest_latitude = 0.0;          ///< DEST_LATITUDE
+  double dest_longitude = 0.0;         ///< DEST_LONGITUDE
+  double total_distance = 0.0;         ///< TOTAL_DISTANCE (road miles)
+  double gross_weight = 0.0;           ///< GROSS_WEIGHT (pounds)
+  double transit_hours = 0.0;          ///< MOVE_TRANSIT_HOURS
+  TransMode mode = TransMode::kTruckload;  ///< TRANS_MODE
+};
+
+/// Number of attributes in the schema (Table 1).
+inline constexpr int kNumAttributes = 11;
+
+/// Canonical attribute names, in Table 1 order.
+inline constexpr const char* kAttributeNames[kNumAttributes] = {
+    "ID",
+    "REQ_PICKUP_DT",
+    "REQ_DELIVERY_DT",
+    "ORIGIN_LATITUDE",
+    "ORIGIN_LONGITUDE",
+    "DEST_LATITUDE",
+    "DEST_LONGITUDE",
+    "TOTAL_DISTANCE",
+    "GROSS_WEIGHT",
+    "MOVE_TRANSIT_HOURS",
+    "TRANS_MODE",
+};
+
+}  // namespace tnmine::data
+
+#endif  // TNMINE_DATA_SCHEMA_H_

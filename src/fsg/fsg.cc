@@ -1,0 +1,263 @@
+#include "fsg/fsg.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+#include "iso/canonical.h"
+#include "iso/vf2.h"
+
+namespace tnmine::fsg {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+using pattern::FrequentPattern;
+
+namespace {
+
+/// A frequent-edge type: the building block for extensions.
+struct EdgeType {
+  Label src_label;
+  Label dst_label;
+  Label edge_label;
+
+  auto operator<=>(const EdgeType&) const = default;
+};
+
+/// Rough per-pattern memory footprint used for the OOM budget.
+std::uint64_t EstimateBytes(const FrequentPattern& p) {
+  return 64 + 8 * p.graph.num_vertices() + 16 * p.graph.num_edges() +
+         p.code.size() + 4 * p.tids.size();
+}
+
+/// Builds the 1-edge pattern graph for an edge type.
+LabeledGraph OneEdgePattern(const EdgeType& t, bool self_loop) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(t.src_label);
+  if (self_loop) {
+    g.AddEdge(a, a, t.edge_label);
+  } else {
+    const VertexId b = g.AddVertex(t.dst_label);
+    g.AddEdge(a, b, t.edge_label);
+  }
+  return g;
+}
+
+/// Removes edge `drop` from `g`, drops isolated vertices, and returns the
+/// result; used for the downward-closure check.
+LabeledGraph WithoutEdge(const LabeledGraph& g, EdgeId drop) {
+  LabeledGraph copy = g;
+  copy.RemoveEdge(drop);
+  return copy.Compact(/*drop_isolated_vertices=*/true);
+}
+
+bool ContainsWithBudget(const LabeledGraph& pattern,
+                        const LabeledGraph& transaction,
+                        std::uint64_t max_steps) {
+  iso::SubgraphMatcher matcher(pattern, transaction);
+  iso::MatchOptions options;
+  options.max_search_steps = max_steps;
+  return matcher.Contains(options);
+}
+
+}  // namespace
+
+FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
+                  const FsgOptions& options) {
+  TNMINE_CHECK(options.min_support >= 1);
+  FsgResult result;
+  for (const LabeledGraph& t : transactions) {
+    TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
+  }
+
+  // ---------------------------------------------------------------------
+  // Level 1: frequent single-edge patterns by direct counting.
+  std::map<std::pair<EdgeType, bool>, std::vector<std::uint32_t>> edge_tids;
+  for (std::uint32_t tid = 0; tid < transactions.size(); ++tid) {
+    const LabeledGraph& t = transactions[tid];
+    std::set<std::pair<EdgeType, bool>> seen;
+    t.ForEachEdge([&](EdgeId e) {
+      const Edge& edge = t.edge(e);
+      EdgeType type{t.vertex_label(edge.src), t.vertex_label(edge.dst),
+                    edge.label};
+      seen.insert({type, edge.src == edge.dst});
+    });
+    for (const auto& key : seen) edge_tids[key].push_back(tid);
+  }
+  result.candidates_per_level.push_back(edge_tids.size());
+
+  std::vector<FrequentPattern> frontier;
+  std::vector<EdgeType> frequent_edges;  // for extension generation
+  std::set<EdgeType> frequent_edge_set;
+  for (auto& [key, tids] : edge_tids) {
+    if (tids.size() < options.min_support) continue;
+    const auto& [type, self_loop] = key;
+    FrequentPattern p;
+    p.graph = OneEdgePattern(type, self_loop);
+    p.tids = std::move(tids);
+    p.support = p.tids.size();
+    p.code = iso::CanonicalCode(p.graph);
+    frontier.push_back(std::move(p));
+    if (frequent_edge_set.insert(type).second) {
+      frequent_edges.push_back(type);
+    }
+  }
+  result.frequent_per_level.push_back(frontier.size());
+  result.levels_completed = 1;
+
+  std::uint64_t frontier_bytes = 0;
+  for (const FrequentPattern& p : frontier) frontier_bytes +=
+      EstimateBytes(p);
+  result.peak_candidate_bytes = frontier_bytes;
+
+  // Codes of all frequent patterns at the previous level, for the
+  // downward-closure prune.
+  std::unordered_set<std::string> previous_level_codes;
+  for (const FrequentPattern& p : frontier) {
+    previous_level_codes.insert(p.code);
+  }
+
+  for (const FrequentPattern& p : frontier) {
+    result.patterns.push_back(p);
+  }
+
+  // ---------------------------------------------------------------------
+  // Levels 2..: extend, dedup, prune, count.
+  std::size_t level = 1;  // edges in current frontier patterns
+  while (!frontier.empty() &&
+         (options.max_edges == 0 || level < options.max_edges)) {
+    ++level;
+    // Candidate generation.
+    struct Candidate {
+      FrequentPattern pattern;            // support/tids empty until counted
+      std::vector<std::uint32_t> parent_tids;
+    };
+    std::unordered_map<std::string, Candidate> candidates;
+    std::uint64_t candidate_bytes = 0;
+    bool oom = false;
+
+    for (const FrequentPattern& parent : frontier) {
+      if (oom) break;
+      const LabeledGraph& pg = parent.graph;
+      auto consider = [&](LabeledGraph&& extended) {
+        if (oom) return;
+        std::string code = iso::CanonicalCode(extended);
+        if (candidates.contains(code)) return;
+        // Downward closure: every connected k-edge sub-pattern must be
+        // frequent.
+        bool prunable = false;
+        const std::vector<EdgeId> live = extended.LiveEdges();
+        for (EdgeId drop : live) {
+          const LabeledGraph sub = WithoutEdge(extended, drop);
+          if (!graph::IsWeaklyConnected(sub)) continue;  // not checkable
+          if (!previous_level_codes.contains(iso::CanonicalCode(sub))) {
+            prunable = true;
+            break;
+          }
+        }
+        if (prunable) return;
+        Candidate c;
+        c.pattern.graph = std::move(extended);
+        c.pattern.code = code;
+        c.parent_tids = parent.tids;
+        candidate_bytes += EstimateBytes(c.pattern) +
+                           4 * c.parent_tids.size();
+        result.peak_candidate_bytes =
+            std::max(result.peak_candidate_bytes,
+                     frontier_bytes + candidate_bytes);
+        if (options.max_candidate_bytes != 0 &&
+            frontier_bytes + candidate_bytes > options.max_candidate_bytes) {
+          oom = true;
+          return;
+        }
+        candidates.emplace(std::move(code), std::move(c));
+      };
+
+      for (VertexId u = 0; u < pg.num_vertices(); ++u) {
+        const Label lu = pg.vertex_label(u);
+        for (const EdgeType& t : frequent_edges) {
+          if (t.src_label == lu) {
+            // u -> new vertex.
+            {
+              LabeledGraph ext = pg;
+              const VertexId w = ext.AddVertex(t.dst_label);
+              ext.AddEdge(u, w, t.edge_label);
+              consider(std::move(ext));
+            }
+            // u -> existing vertex (including self-loop when labels
+            // allow).
+            for (VertexId w = 0; w < pg.num_vertices(); ++w) {
+              if (pg.vertex_label(w) != t.dst_label) continue;
+              LabeledGraph ext = pg;
+              ext.AddEdge(u, w, t.edge_label);
+              consider(std::move(ext));
+            }
+          }
+          if (t.dst_label == lu) {
+            // new vertex -> u. (existing -> u is covered by the outgoing
+            // case at that existing vertex.)
+            LabeledGraph ext = pg;
+            const VertexId w = ext.AddVertex(t.src_label);
+            ext.AddEdge(w, u, t.edge_label);
+            consider(std::move(ext));
+          }
+          if (oom) break;
+        }
+        if (oom) break;
+      }
+    }
+    result.candidates_per_level.push_back(candidates.size());
+    if (oom) {
+      result.aborted_out_of_memory = true;
+      break;
+    }
+
+    // Support counting against the generating parent's TID list.
+    std::vector<FrequentPattern> next_frontier;
+    for (auto& [code, candidate] : candidates) {
+      FrequentPattern& p = candidate.pattern;
+      std::vector<std::uint32_t>& feasible = candidate.parent_tids;
+      std::vector<std::uint32_t> tids;
+      for (std::size_t i = 0; i < feasible.size(); ++i) {
+        // Early abort when the remaining transactions cannot reach
+        // min_support.
+        if (tids.size() + (feasible.size() - i) < options.min_support) {
+          break;
+        }
+        const std::uint32_t tid = feasible[i];
+        if (ContainsWithBudget(p.graph, transactions[tid],
+                               options.max_match_steps)) {
+          tids.push_back(tid);
+        }
+      }
+      if (tids.size() < options.min_support) continue;
+      p.tids = std::move(tids);
+      p.support = p.tids.size();
+      next_frontier.push_back(std::move(p));
+    }
+    result.frequent_per_level.push_back(next_frontier.size());
+    result.levels_completed = level;
+
+    previous_level_codes.clear();
+    for (const FrequentPattern& p : next_frontier) {
+      previous_level_codes.insert(p.code);
+      result.patterns.push_back(p);
+    }
+    frontier = std::move(next_frontier);
+    frontier_bytes = 0;
+    for (const FrequentPattern& p : frontier) {
+      frontier_bytes += EstimateBytes(p);
+    }
+  }
+  return result;
+}
+
+}  // namespace tnmine::fsg

@@ -1,0 +1,161 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <tuple>
+
+namespace tnmine::graph {
+
+ComponentResult WeaklyConnectedComponents(const LabeledGraph& g) {
+  ComponentResult result;
+  const std::size_t n = g.num_vertices();
+  result.component.assign(n, ~std::uint32_t{0});
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (result.component[root] != ~std::uint32_t{0}) continue;
+    const std::uint32_t comp = result.num_components++;
+    result.component[root] = comp;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      auto visit = [&](EdgeId e) {
+        const Edge& edge = g.edge(e);
+        const VertexId other = (edge.src == v) ? edge.dst : edge.src;
+        if (result.component[other] == ~std::uint32_t{0}) {
+          result.component[other] = comp;
+          queue.push_back(other);
+        }
+      };
+      g.ForEachOutEdge(v, visit);
+      g.ForEachInEdge(v, visit);
+    }
+  }
+  return result;
+}
+
+std::vector<LabeledGraph> SplitIntoComponents(const LabeledGraph& g) {
+  const ComponentResult cc = WeaklyConnectedComponents(g);
+  // Components that own at least one live edge, in first-seen order.
+  std::vector<std::int32_t> comp_slot(cc.num_components, -1);
+  std::vector<LabeledGraph> out;
+  std::vector<std::vector<VertexId>> vertex_maps;
+  g.ForEachEdge([&](EdgeId e) {
+    const std::uint32_t comp = cc.component[g.edge(e).src];
+    if (comp_slot[comp] < 0) {
+      comp_slot[comp] = static_cast<std::int32_t>(out.size());
+      out.emplace_back();
+      vertex_maps.emplace_back(g.num_vertices(), kInvalidVertex);
+    }
+  });
+  auto local_vertex = [&](std::size_t slot, VertexId v) {
+    VertexId& mapped = vertex_maps[slot][v];
+    if (mapped == kInvalidVertex) mapped = out[slot].AddVertex(g.vertex_label(v));
+    return mapped;
+  };
+  g.ForEachEdge([&](EdgeId e) {
+    const Edge& edge = g.edge(e);
+    const std::size_t slot =
+        static_cast<std::size_t>(comp_slot[cc.component[edge.src]]);
+    const VertexId s = local_vertex(slot, edge.src);
+    const VertexId d = local_vertex(slot, edge.dst);
+    out[slot].AddEdge(s, d, edge.label);
+  });
+  return out;
+}
+
+LabeledGraph InducedSubgraph(const LabeledGraph& g,
+                             const std::vector<VertexId>& vertices,
+                             std::vector<VertexId>* vertex_map) {
+  LabeledGraph out;
+  std::vector<VertexId> map(g.num_vertices(), kInvalidVertex);
+  for (VertexId v : vertices) {
+    TNMINE_CHECK(v < g.num_vertices());
+    if (map[v] == kInvalidVertex) map[v] = out.AddVertex(g.vertex_label(v));
+  }
+  g.ForEachEdge([&](EdgeId e) {
+    const Edge& edge = g.edge(e);
+    if (map[edge.src] != kInvalidVertex && map[edge.dst] != kInvalidVertex) {
+      out.AddEdge(map[edge.src], map[edge.dst], edge.label);
+    }
+  });
+  if (vertex_map != nullptr) *vertex_map = std::move(map);
+  return out;
+}
+
+DegreeStats ComputeDegreeStats(const LabeledGraph& g) {
+  DegreeStats stats;
+  std::size_t active = 0;
+  std::size_t sum_out = 0, sum_in = 0;
+  bool first = true;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.Degree(v) == 0) continue;
+    ++active;
+    const std::size_t od = g.OutDegree(v);
+    const std::size_t id = g.InDegree(v);
+    sum_out += od;
+    sum_in += id;
+    if (first) {
+      stats.min_out = stats.max_out = od;
+      stats.min_in = stats.max_in = id;
+      first = false;
+    } else {
+      stats.min_out = std::min(stats.min_out, od);
+      stats.max_out = std::max(stats.max_out, od);
+      stats.min_in = std::min(stats.min_in, id);
+      stats.max_in = std::max(stats.max_in, id);
+    }
+  }
+  if (active > 0) {
+    stats.avg_out = static_cast<double>(sum_out) / static_cast<double>(active);
+    stats.avg_in = static_cast<double>(sum_in) / static_cast<double>(active);
+  }
+  return stats;
+}
+
+std::size_t DeduplicateEdges(LabeledGraph* g) {
+  std::map<std::tuple<VertexId, VertexId, Label>, bool> seen;
+  std::vector<EdgeId> to_remove;
+  g->ForEachEdge([&](EdgeId e) {
+    const Edge& edge = g->edge(e);
+    const auto key = std::make_tuple(edge.src, edge.dst, edge.label);
+    auto [it, inserted] = seen.emplace(key, true);
+    (void)it;
+    if (!inserted) to_remove.push_back(e);
+  });
+  for (EdgeId e : to_remove) g->RemoveEdge(e);
+  return to_remove.size();
+}
+
+std::vector<VertexId> BfsOrder(const LabeledGraph& g, VertexId start) {
+  std::vector<VertexId> order;
+  if (start >= g.num_vertices()) return order;
+  std::vector<char> visited(g.num_vertices(), 0);
+  std::deque<VertexId> queue;
+  visited[start] = 1;
+  queue.push_back(start);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    auto visit = [&](EdgeId e) {
+      const Edge& edge = g.edge(e);
+      const VertexId other = (edge.src == v) ? edge.dst : edge.src;
+      if (!visited[other]) {
+        visited[other] = 1;
+        queue.push_back(other);
+      }
+    };
+    g.ForEachOutEdge(v, visit);
+    g.ForEachInEdge(v, visit);
+  }
+  return order;
+}
+
+bool IsWeaklyConnected(const LabeledGraph& g) {
+  if (g.num_vertices() <= 1) return true;
+  return WeaklyConnectedComponents(g).num_components == 1;
+}
+
+}  // namespace tnmine::graph

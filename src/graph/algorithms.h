@@ -1,0 +1,63 @@
+#ifndef TNMINE_GRAPH_ALGORITHMS_H_
+#define TNMINE_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace tnmine::graph {
+
+/// Result of a weakly-connected-component decomposition.
+struct ComponentResult {
+  /// component[v] in [0, num_components); isolated vertices get their own
+  /// component.
+  std::vector<std::uint32_t> component;
+  std::uint32_t num_components = 0;
+};
+
+/// Decomposes `g` into weakly connected components (edge direction
+/// ignored), considering live edges only.
+ComponentResult WeaklyConnectedComponents(const LabeledGraph& g);
+
+/// Splits `g` into one dense graph per weakly connected component that
+/// contains at least one edge (Section 6: "We further broke each
+/// disconnected graph transaction into multiple connected graph
+/// transactions"). Isolated vertices are dropped.
+std::vector<LabeledGraph> SplitIntoComponents(const LabeledGraph& g);
+
+/// Builds the subgraph of `g` induced by `vertices` (all live edges whose
+/// two endpoints are both selected). `vertex_map`, when non-null, receives
+/// old -> new ids (kInvalidVertex when not selected). Used to carve the
+/// paper's "100 vertices and all incident edges" SUBDUE workloads.
+LabeledGraph InducedSubgraph(const LabeledGraph& g,
+                             const std::vector<VertexId>& vertices,
+                             std::vector<VertexId>* vertex_map = nullptr);
+
+/// Min/max/mean degree summary for Section 3's dataset description.
+struct DegreeStats {
+  std::size_t min_out = 0, max_out = 0;
+  std::size_t min_in = 0, max_in = 0;
+  double avg_out = 0.0, avg_in = 0.0;
+};
+
+/// Degree statistics over vertices with at least one live incident edge.
+DegreeStats ComputeDegreeStats(const LabeledGraph& g);
+
+/// Removes duplicate parallel edges: among live edges with identical
+/// (src, dst, label), keeps one and tombstones the rest ("we also had to
+/// remove duplicate edges within each transaction, as FSG operates on
+/// graphs, not multigraphs"). Returns the number of edges removed.
+std::size_t DeduplicateEdges(LabeledGraph* g);
+
+/// Breadth-first order of live-edge-reachable vertices from `start`,
+/// ignoring edge direction.
+std::vector<VertexId> BfsOrder(const LabeledGraph& g, VertexId start);
+
+/// True if every pair of vertices is connected ignoring direction
+/// (vacuously true for graphs with <= 1 vertex).
+bool IsWeaklyConnected(const LabeledGraph& g);
+
+}  // namespace tnmine::graph
+
+#endif  // TNMINE_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,169 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tnmine::graph {
+
+std::string WriteNative(const LabeledGraph& g) {
+  std::ostringstream out;
+  out << "g " << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << "v " << v << " " << g.vertex_label(v) << "\n";
+  }
+  g.ForEachEdge([&](EdgeId e) {
+    const Edge& edge = g.edge(e);
+    out << "e " << edge.src << " " << edge.dst << " " << edge.label << "\n";
+  });
+  return out.str();
+}
+
+bool ReadNative(const std::string& text, LabeledGraph* g,
+                std::string* error) {
+  *g = LabeledGraph();
+  std::istringstream in(text);
+  std::string directive;
+  std::size_t expect_vertices = 0, expect_edges = 0;
+  bool have_header = false;
+  std::size_t seen_vertices = 0, seen_edges = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  while (in >> directive) {
+    if (directive == "g") {
+      if (have_header) return fail("duplicate header");
+      if (!(in >> expect_vertices >> expect_edges)) {
+        return fail("malformed header");
+      }
+      have_header = true;
+      g->Reserve(expect_vertices, expect_edges);
+    } else if (directive == "v") {
+      std::uint64_t id;
+      Label label;
+      if (!(in >> id >> label)) return fail("malformed vertex line");
+      if (id != seen_vertices) return fail("vertex ids must be dense");
+      g->AddVertex(label);
+      ++seen_vertices;
+    } else if (directive == "e") {
+      std::uint64_t src, dst;
+      Label label;
+      if (!(in >> src >> dst >> label)) return fail("malformed edge line");
+      if (src >= seen_vertices || dst >= seen_vertices) {
+        return fail("edge endpoint out of range");
+      }
+      g->AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+                 label);
+      ++seen_edges;
+    } else if (directive[0] == '#') {
+      std::string rest;
+      std::getline(in, rest);  // comment line
+    } else {
+      return fail("unknown directive: " + directive);
+    }
+  }
+  if (!have_header) return fail("missing header");
+  if (seen_vertices != expect_vertices) return fail("vertex count mismatch");
+  if (seen_edges != expect_edges) return fail("edge count mismatch");
+  return true;
+}
+
+std::string WriteSubdueFormat(const LabeledGraph& g) {
+  std::ostringstream out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << "v " << (v + 1) << " " << g.vertex_label(v) << "\n";
+  }
+  g.ForEachEdge([&](EdgeId e) {
+    const Edge& edge = g.edge(e);
+    out << "d " << (edge.src + 1) << " " << (edge.dst + 1) << " "
+        << edge.label << "\n";
+  });
+  return out.str();
+}
+
+std::string WriteFsgFormat(const std::vector<LabeledGraph>& transactions) {
+  std::ostringstream out;
+  for (std::size_t t = 0; t < transactions.size(); ++t) {
+    const LabeledGraph& g = transactions[t];
+    out << "t # " << t << "\n";
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      out << "v " << v << " " << g.vertex_label(v) << "\n";
+    }
+    g.ForEachEdge([&](EdgeId e) {
+      const Edge& edge = g.edge(e);
+      out << "d " << edge.src << " " << edge.dst << " " << edge.label << "\n";
+    });
+  }
+  return out.str();
+}
+
+bool ReadFsgFormat(const std::string& text,
+                   std::vector<LabeledGraph>* transactions,
+                   std::string* error) {
+  transactions->clear();
+  std::istringstream in(text);
+  std::string directive;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  while (in >> directive) {
+    if (directive == "t") {
+      std::string hash;
+      std::uint64_t index;
+      if (!(in >> hash >> index) || hash != "#") {
+        return fail("malformed transaction header");
+      }
+      transactions->emplace_back();
+    } else if (directive == "v") {
+      if (transactions->empty()) return fail("vertex before transaction");
+      std::uint64_t id;
+      Label label;
+      if (!(in >> id >> label)) return fail("malformed vertex line");
+      if (id != transactions->back().num_vertices()) {
+        return fail("vertex ids must be dense per transaction");
+      }
+      transactions->back().AddVertex(label);
+    } else if (directive == "d" || directive == "u" || directive == "e") {
+      if (transactions->empty()) return fail("edge before transaction");
+      std::uint64_t src, dst;
+      Label label;
+      if (!(in >> src >> dst >> label)) return fail("malformed edge line");
+      LabeledGraph& g = transactions->back();
+      if (src >= g.num_vertices() || dst >= g.num_vertices()) {
+        return fail("edge endpoint out of range");
+      }
+      g.AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+                label);
+    } else if (directive[0] == '#') {
+      std::string rest;
+      std::getline(in, rest);  // comment
+    } else {
+      return fail("unknown directive: " + directive);
+    }
+  }
+  return true;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool ReadTextFile(const std::string& path, std::string* text) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (ok) *text = std::move(out);
+  return ok;
+}
+
+}  // namespace tnmine::graph

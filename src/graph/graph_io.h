@@ -1,0 +1,52 @@
+#ifndef TNMINE_GRAPH_GRAPH_IO_H_
+#define TNMINE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace tnmine::graph {
+
+/// Serializes `g` in tnmine's native text format:
+///   g <num_vertices> <num_edges>
+///   v <id> <label>
+///   e <src> <dst> <label>
+/// Tombstoned edges are skipped; vertex ids are the dense ids of `g`.
+std::string WriteNative(const LabeledGraph& g);
+
+/// Parses the native format. Returns false and sets `error` on malformed
+/// input (wrong counts, out-of-range ids, unknown directives).
+bool ReadNative(const std::string& text, LabeledGraph* g, std::string* error);
+
+/// Serializes in the SUBDUE 5.x input style used by Cook & Holder's tool:
+///   v <1-based-id> <label>
+///   d <1-based-src> <1-based-dst> <label>    (directed edge)
+std::string WriteSubdueFormat(const LabeledGraph& g);
+
+/// Serializes a transaction set in the FSG input style used by Kuramochi &
+/// Karypis's tool (one `t` block per graph, `u` lines emitted for edges —
+/// our edges are directed, so we emit `d` lines instead to preserve
+/// direction):
+///   t # <index>
+///   v <0-based-id> <label>
+///   d <src> <dst> <label>
+std::string WriteFsgFormat(const std::vector<LabeledGraph>& transactions);
+
+/// Parses a transaction set in the FSG input style (the inverse of
+/// WriteFsgFormat; `d`, `u`, and `e` edge directives are all accepted and
+/// read as directed src -> dst edges). Returns false and sets `error` on
+/// malformed input.
+bool ReadFsgFormat(const std::string& text,
+                   std::vector<LabeledGraph>* transactions,
+                   std::string* error);
+
+/// Writes `text` to `path`. Returns false on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& text);
+
+/// Reads the whole of `path` into `text`. Returns false on I/O failure.
+bool ReadTextFile(const std::string& path, std::string* text);
+
+}  // namespace tnmine::graph
+
+#endif  // TNMINE_GRAPH_GRAPH_IO_H_

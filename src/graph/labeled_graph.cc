@@ -1,0 +1,122 @@
+#include "graph/labeled_graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace tnmine::graph {
+
+VertexId LabeledGraph::AddVertex(Label label) {
+  const VertexId id = static_cast<VertexId>(vertex_labels_.size());
+  vertex_labels_.push_back(label);
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  out_degree_.push_back(0);
+  in_degree_.push_back(0);
+  return id;
+}
+
+EdgeId LabeledGraph::AddEdge(VertexId src, VertexId dst, Label label) {
+  TNMINE_CHECK(src < vertex_labels_.size());
+  TNMINE_CHECK(dst < vertex_labels_.size());
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{src, dst, label});
+  alive_.push_back(1);
+  out_edges_[src].push_back(id);
+  in_edges_[dst].push_back(id);
+  ++out_degree_[src];
+  ++in_degree_[dst];
+  ++live_edges_;
+  return id;
+}
+
+void LabeledGraph::RemoveEdge(EdgeId e) {
+  TNMINE_CHECK(e < edges_.size());
+  TNMINE_CHECK_MSG(alive_[e], "edge %u already removed", e);
+  alive_[e] = 0;
+  --out_degree_[edges_[e].src];
+  --in_degree_[edges_[e].dst];
+  --live_edges_;
+}
+
+std::vector<EdgeId> LabeledGraph::LiveEdges() const {
+  std::vector<EdgeId> out;
+  out.reserve(live_edges_);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (alive_[e]) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t LabeledGraph::CountDistinctVertexLabels() const {
+  std::unordered_set<Label> labels(vertex_labels_.begin(),
+                                   vertex_labels_.end());
+  return labels.size();
+}
+
+std::size_t LabeledGraph::CountDistinctEdgeLabels() const {
+  std::unordered_set<Label> labels;
+  ForEachEdge([&](EdgeId e) { labels.insert(edges_[e].label); });
+  return labels.size();
+}
+
+LabeledGraph LabeledGraph::Compact(bool drop_isolated_vertices,
+                                   std::vector<VertexId>* vertex_map) const {
+  LabeledGraph out;
+  std::vector<VertexId> map(vertex_labels_.size(), kInvalidVertex);
+  for (VertexId v = 0; v < vertex_labels_.size(); ++v) {
+    if (drop_isolated_vertices && Degree(v) == 0) continue;
+    map[v] = out.AddVertex(vertex_labels_[v]);
+  }
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!alive_[e]) continue;
+    const Edge& edge = edges_[e];
+    TNMINE_DCHECK(map[edge.src] != kInvalidVertex);
+    TNMINE_DCHECK(map[edge.dst] != kInvalidVertex);
+    out.AddEdge(map[edge.src], map[edge.dst], edge.label);
+  }
+  if (vertex_map != nullptr) *vertex_map = std::move(map);
+  return out;
+}
+
+bool LabeledGraph::StructurallyEqual(const LabeledGraph& other) const {
+  if (vertex_labels_ != other.vertex_labels_) return false;
+  if (live_edges_ != other.live_edges_) return false;
+  auto collect = [](const LabeledGraph& g) {
+    std::vector<std::tuple<VertexId, VertexId, Label>> es;
+    es.reserve(g.live_edges_);
+    g.ForEachEdge([&](EdgeId e) {
+      const Edge& edge = g.edges_[e];
+      es.emplace_back(edge.src, edge.dst, edge.label);
+    });
+    std::sort(es.begin(), es.end());
+    return es;
+  };
+  return collect(*this) == collect(other);
+}
+
+void LabeledGraph::Reserve(std::size_t vertices, std::size_t edges) {
+  vertex_labels_.reserve(vertices);
+  out_edges_.reserve(vertices);
+  in_edges_.reserve(vertices);
+  out_degree_.reserve(vertices);
+  in_degree_.reserve(vertices);
+  edges_.reserve(edges);
+  alive_.reserve(edges);
+}
+
+std::string LabeledGraph::DebugString() const {
+  std::ostringstream out;
+  out << "graph(" << num_vertices() << " vertices, " << num_edges()
+      << " edges)\n";
+  for (VertexId v = 0; v < vertex_labels_.size(); ++v) {
+    out << "  v " << v << " label=" << vertex_labels_[v] << "\n";
+  }
+  ForEachEdge([&](EdgeId e) {
+    out << "  e " << edges_[e].src << " -> " << edges_[e].dst
+        << " label=" << edges_[e].label << "\n";
+  });
+  return out.str();
+}
+
+}  // namespace tnmine::graph

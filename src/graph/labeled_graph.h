@@ -1,0 +1,187 @@
+#ifndef TNMINE_GRAPH_LABELED_GRAPH_H_
+#define TNMINE_GRAPH_LABELED_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tnmine::graph {
+
+/// Vertex identifier; dense indices starting at 0.
+using VertexId = std::uint32_t;
+/// Edge identifier; dense indices starting at 0. Removed edges keep their
+/// id (tombstoned) until Compact().
+using EdgeId = std::uint32_t;
+/// Small integer label attached to vertices and edges. The data layer maps
+/// attribute bins / locations to labels.
+using Label = std::int32_t;
+
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+inline constexpr EdgeId kInvalidEdge = ~EdgeId{0};
+
+/// A directed labeled edge.
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  Label label = 0;
+};
+
+/// Directed labeled multigraph.
+///
+/// This is the single graph representation used across tnmine: the full OD
+/// network, partitioned graph transactions, and the small pattern graphs
+/// mined from them are all LabeledGraphs. Parallel edges are allowed (the
+/// OD network is a multigraph: one edge per shipment between the same
+/// origin and destination). Self-loops are allowed.
+///
+/// Edges can be removed (tombstoned) in O(1); this is what the SplitGraph
+/// partitioner (Algorithm 2 in the paper) relies on when it peels
+/// sub-graphs off the network. Vertex and edge counts, degrees, and
+/// iteration all reflect only live edges. Compact() rebuilds a dense graph
+/// without tombstones.
+class LabeledGraph {
+ public:
+  LabeledGraph() = default;
+
+  LabeledGraph(const LabeledGraph&) = default;
+  LabeledGraph& operator=(const LabeledGraph&) = default;
+  LabeledGraph(LabeledGraph&&) = default;
+  LabeledGraph& operator=(LabeledGraph&&) = default;
+
+  /// Adds a vertex with `label`; returns its id.
+  VertexId AddVertex(Label label);
+
+  /// Adds a directed edge src -> dst with `label`; returns its id. Both
+  /// endpoints must exist.
+  EdgeId AddEdge(VertexId src, VertexId dst, Label label);
+
+  /// Tombstones edge `e` (must be live). Degree counts update immediately.
+  void RemoveEdge(EdgeId e);
+
+  /// Number of vertices ever added (tombstoning never removes vertices).
+  std::size_t num_vertices() const { return vertex_labels_.size(); }
+
+  /// Number of live edges.
+  std::size_t num_edges() const { return live_edges_; }
+
+  /// Total edge slots including tombstones; valid EdgeIds are [0, this).
+  std::size_t edge_capacity() const { return edges_.size(); }
+
+  Label vertex_label(VertexId v) const {
+    TNMINE_DCHECK(v < vertex_labels_.size());
+    return vertex_labels_[v];
+  }
+  void set_vertex_label(VertexId v, Label label) {
+    TNMINE_DCHECK(v < vertex_labels_.size());
+    vertex_labels_[v] = label;
+  }
+
+  const Edge& edge(EdgeId e) const {
+    TNMINE_DCHECK(e < edges_.size());
+    return edges_[e];
+  }
+  bool edge_alive(EdgeId e) const {
+    TNMINE_DCHECK(e < edges_.size());
+    return alive_[e];
+  }
+
+  /// Live out-degree / in-degree of `v`.
+  std::size_t OutDegree(VertexId v) const {
+    TNMINE_DCHECK(v < out_degree_.size());
+    return out_degree_[v];
+  }
+  std::size_t InDegree(VertexId v) const {
+    TNMINE_DCHECK(v < in_degree_.size());
+    return in_degree_[v];
+  }
+  std::size_t Degree(VertexId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// Out-edge / in-edge id lists of `v`, including tombstoned entries;
+  /// callers must skip ids for which edge_alive() is false (or use the
+  /// ForEach helpers, which do).
+  const std::vector<EdgeId>& RawOutEdges(VertexId v) const {
+    TNMINE_DCHECK(v < out_edges_.size());
+    return out_edges_[v];
+  }
+  const std::vector<EdgeId>& RawInEdges(VertexId v) const {
+    TNMINE_DCHECK(v < in_edges_.size());
+    return in_edges_[v];
+  }
+
+  /// Invokes fn(EdgeId) for every live out-edge of `v`.
+  template <typename Fn>
+  void ForEachOutEdge(VertexId v, Fn&& fn) const {
+    for (EdgeId e : RawOutEdges(v)) {
+      if (alive_[e]) fn(e);
+    }
+  }
+
+  /// Invokes fn(EdgeId) for every live in-edge of `v`.
+  template <typename Fn>
+  void ForEachInEdge(VertexId v, Fn&& fn) const {
+    for (EdgeId e : RawInEdges(v)) {
+      if (alive_[e]) fn(e);
+    }
+  }
+
+  /// Invokes fn(EdgeId) for every live edge incident to `v`, out-edges
+  /// first. A self-loop is visited twice (once per direction), matching
+  /// its contribution to Degree().
+  template <typename Fn>
+  void ForEachIncidentEdge(VertexId v, Fn&& fn) const {
+    ForEachOutEdge(v, fn);
+    ForEachInEdge(v, fn);
+  }
+
+  /// Invokes fn(EdgeId) for every live edge.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      if (alive_[e]) fn(e);
+    }
+  }
+
+  /// Returns the ids of all live edges, ascending.
+  std::vector<EdgeId> LiveEdges() const;
+
+  /// Number of distinct vertex labels among all vertices.
+  std::size_t CountDistinctVertexLabels() const;
+  /// Number of distinct edge labels among live edges.
+  std::size_t CountDistinctEdgeLabels() const;
+
+  /// Rebuilds a dense graph: drops tombstoned edges and, optionally,
+  /// isolated vertices (live degree 0). `vertex_map`, when non-null,
+  /// receives old-vertex -> new-vertex (kInvalidVertex for dropped ones).
+  LabeledGraph Compact(bool drop_isolated_vertices,
+                       std::vector<VertexId>* vertex_map = nullptr) const;
+
+  /// True when the graph has no tombstoned edges.
+  bool IsDense() const { return live_edges_ == edges_.size(); }
+
+  /// Structural equality: same vertex count, same labels, same live edge
+  /// multiset (src, dst, label). This is identity, not isomorphism; use
+  /// iso::AreIsomorphic for the latter.
+  bool StructurallyEqual(const LabeledGraph& other) const;
+
+  /// Reserves storage for an expected number of vertices and edges.
+  void Reserve(std::size_t vertices, std::size_t edges);
+
+  /// Debug rendering: one line per vertex and edge.
+  std::string DebugString() const;
+
+ private:
+  std::vector<Label> vertex_labels_;
+  std::vector<Edge> edges_;
+  std::vector<char> alive_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::vector<std::uint32_t> out_degree_;
+  std::vector<std::uint32_t> in_degree_;
+  std::size_t live_edges_ = 0;
+};
+
+}  // namespace tnmine::graph
+
+#endif  // TNMINE_GRAPH_LABELED_GRAPH_H_

@@ -1,0 +1,217 @@
+#include "gspan/dfs_code.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace tnmine::gspan {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::kInvalidVertex;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+graph::LabeledGraph DfsCode::ToGraph() const {
+  LabeledGraph g;
+  auto ensure_vertex = [&](std::uint32_t position, graph::Label label) {
+    while (g.num_vertices() <= position) {
+      g.AddVertex(0);  // placeholder label, set below
+    }
+    g.set_vertex_label(position, label);
+  };
+  for (const DfsEdge& e : edges_) {
+    ensure_vertex(e.from, e.from_label);
+    ensure_vertex(e.to, e.to_label);
+    if (e.forward_direction) {
+      g.AddEdge(e.from, e.to, e.edge_label);
+    } else {
+      g.AddEdge(e.to, e.from, e.edge_label);
+    }
+  }
+  return g;
+}
+
+std::string DfsCode::ToString() const {
+  std::ostringstream out;
+  for (const DfsEdge& e : edges_) {
+    out << "(" << e.from << (e.forward_direction ? ">" : "<") << e.to
+        << ":" << e.from_label << "," << e.edge_label << "," << e.to_label
+        << ")";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// One embedding of the current code prefix into the graph.
+struct State {
+  std::vector<VertexId> pos2v;   // DFS position -> graph vertex
+  std::vector<char> used_edge;   // by EdgeId
+  std::vector<std::uint32_t> v2pos;  // graph vertex -> position (or ~0)
+};
+
+/// Recursive minimal-code search: try extensions in ascending entry order;
+/// the first complete code reached depth-first is the lexicographic
+/// minimum (all complete codes have exactly |E| entries).
+class MinimalSearch {
+ public:
+  explicit MinimalSearch(const LabeledGraph& g) : g_(g) {}
+
+  DfsCode Run() {
+    TNMINE_CHECK(g_.num_edges() > 0);
+    TNMINE_CHECK_MSG(g_.IsDense(), "graph must be dense");
+    TNMINE_CHECK_MSG(graph::IsWeaklyConnected(g_),
+                     "DFS codes require a connected graph");
+    // Initial entries: every edge in both role assignments.
+    std::map<DfsEdge, std::vector<State>> candidates;
+    g_.ForEachEdge([&](EdgeId eid) {
+      const Edge& edge = g_.edge(eid);
+      auto start = [&](VertexId first, VertexId second, bool forward) {
+        DfsEdge entry;
+        entry.from = 0;
+        entry.to = (first == second) ? 0 : 1;
+        entry.from_label = g_.vertex_label(first);
+        entry.to_label = g_.vertex_label(second);
+        entry.edge_label = edge.label;
+        entry.forward_direction = forward;
+        State state;
+        state.pos2v = {first};
+        if (first != second) state.pos2v.push_back(second);
+        state.used_edge.assign(g_.edge_capacity(), 0);
+        state.used_edge[eid] = 1;
+        state.v2pos.assign(g_.num_vertices(), ~std::uint32_t{0});
+        state.v2pos[first] = 0;
+        if (first != second) state.v2pos[second] = 1;
+        candidates[entry].push_back(std::move(state));
+      };
+      if (edge.src == edge.dst) {
+        start(edge.src, edge.src, true);
+      } else {
+        start(edge.src, edge.dst, true);
+        start(edge.dst, edge.src, false);
+      }
+    });
+    std::vector<DfsEdge> code;
+    const bool found = Extend(&code, candidates);
+    TNMINE_CHECK(found);
+    return DfsCode(std::move(code));
+  }
+
+ private:
+  /// Rightmost path positions (rightmost vertex first) of the current
+  /// code.
+  static std::vector<std::uint32_t> RightmostPath(
+      const std::vector<DfsEdge>& code) {
+    std::uint32_t max_pos = 0;
+    std::map<std::uint32_t, std::uint32_t> parent;
+    for (const DfsEdge& e : code) {
+      if (e.to > e.from) {  // forward entry
+        parent[e.to] = e.from;
+        max_pos = std::max(max_pos, e.to);
+      }
+    }
+    std::vector<std::uint32_t> path = {max_pos};
+    while (path.back() != 0) path.push_back(parent.at(path.back()));
+    return path;
+  }
+
+  void Extensions(const std::vector<DfsEdge>& code, const State& state,
+                  std::map<DfsEdge, std::vector<State>>* candidates) const {
+    const std::vector<std::uint32_t> path = RightmostPath(code);
+    const std::uint32_t rightmost = path.front();
+    const std::uint32_t next_pos =
+        static_cast<std::uint32_t>(state.pos2v.size());
+    const VertexId rv = state.pos2v[rightmost];
+
+    auto add = [&](const DfsEdge& entry, EdgeId eid, VertexId new_vertex) {
+      State grown = state;
+      grown.used_edge[eid] = 1;
+      if (new_vertex != kInvalidVertex) {
+        grown.v2pos[new_vertex] = next_pos;
+        grown.pos2v.push_back(new_vertex);
+      }
+      (*candidates)[entry].push_back(std::move(grown));
+    };
+
+    // Backward edges and self-loops from the rightmost vertex.
+    auto backward = [&](EdgeId eid, bool outgoing) {
+      if (state.used_edge[eid]) return;
+      const Edge& edge = g_.edge(eid);
+      const VertexId other = outgoing ? edge.dst : edge.src;
+      if (other == rv && outgoing) {
+        DfsEdge entry{rightmost, rightmost, g_.vertex_label(rv), edge.label,
+                      true, g_.vertex_label(rv)};
+        add(entry, eid, kInvalidVertex);
+        return;
+      }
+      if (other == rv) return;  // self-loop handled on the outgoing side
+      const std::uint32_t opos = state.v2pos[other];
+      if (opos == ~std::uint32_t{0}) return;  // forward case, handled below
+      // Valid backward targets: vertices on the rightmost path.
+      if (std::find(path.begin(), path.end(), opos) == path.end()) return;
+      if (opos == rightmost) return;
+      DfsEdge entry{rightmost, opos, g_.vertex_label(rv), edge.label,
+                    outgoing, g_.vertex_label(other)};
+      add(entry, eid, kInvalidVertex);
+    };
+    g_.ForEachOutEdge(rv, [&](EdgeId eid) { backward(eid, true); });
+    g_.ForEachInEdge(rv, [&](EdgeId eid) {
+      if (g_.edge(eid).src != g_.edge(eid).dst) backward(eid, false);
+    });
+
+    // Forward edges from every rightmost-path vertex to unvisited
+    // vertices.
+    for (const std::uint32_t from_pos : path) {
+      const VertexId fv = state.pos2v[from_pos];
+      auto forward = [&](EdgeId eid, bool outgoing) {
+        if (state.used_edge[eid]) return;
+        const Edge& edge = g_.edge(eid);
+        const VertexId other = outgoing ? edge.dst : edge.src;
+        if (other == fv) return;
+        if (state.v2pos[other] != ~std::uint32_t{0}) return;  // visited
+        DfsEdge entry{from_pos, next_pos, g_.vertex_label(fv), edge.label,
+                      outgoing, g_.vertex_label(other)};
+        add(entry, eid, other);
+      };
+      g_.ForEachOutEdge(fv, [&](EdgeId eid) { forward(eid, true); });
+      g_.ForEachInEdge(fv, [&](EdgeId eid) { forward(eid, false); });
+    }
+  }
+
+  bool Extend(std::vector<DfsEdge>* code,
+              const std::map<DfsEdge, std::vector<State>>& candidates) {
+    if (candidates.empty()) return false;
+    for (const auto& [entry, states] : candidates) {
+      code->push_back(entry);
+      if (code->size() == g_.num_edges()) return true;
+      std::map<DfsEdge, std::vector<State>> next;
+      for (const State& state : states) {
+        Extensions(*code, state, &next);
+      }
+      if (Extend(code, next)) return true;
+      code->pop_back();
+    }
+    return false;
+  }
+
+  const LabeledGraph& g_;
+};
+
+}  // namespace
+
+DfsCode MinimalDfsCode(const LabeledGraph& g) {
+  MinimalSearch search(g);
+  return search.Run();
+}
+
+bool IsMinimalDfsCode(const DfsCode& code) {
+  if (code.empty()) return true;
+  const LabeledGraph g = code.ToGraph();
+  return MinimalDfsCode(g) == code;
+}
+
+}  // namespace tnmine::gspan

@@ -1,0 +1,70 @@
+#ifndef TNMINE_GSPAN_DFS_CODE_H_
+#define TNMINE_GSPAN_DFS_CODE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace tnmine::gspan {
+
+/// One entry of a DFS code (Yan & Han, ICDM 2002), extended for directed
+/// graphs: the edge between DFS-discovery positions `from` and `to`,
+/// carrying the vertex labels at both ends, the edge label, and whether
+/// the underlying directed edge runs from -> to (`forward_direction`) or
+/// to -> from.
+///
+/// A forward entry has to == max position so far + 1 (tree edge of the
+/// DFS); a backward entry has to < from (closing edge).
+struct DfsEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  graph::Label from_label = 0;
+  graph::Label edge_label = 0;
+  bool forward_direction = true;  ///< directed edge goes from -> to
+  graph::Label to_label = 0;
+
+  auto operator<=>(const DfsEdge&) const = default;
+};
+
+/// A DFS code: the edge sequence of one depth-first traversal of a
+/// connected graph. Two isomorphic graphs share the same *minimal* DFS
+/// code (lexicographically smallest over all traversals), which is
+/// gSpan's canonical form.
+class DfsCode {
+ public:
+  DfsCode() = default;
+  explicit DfsCode(std::vector<DfsEdge> edges) : edges_(std::move(edges)) {}
+
+  const std::vector<DfsEdge>& edges() const { return edges_; }
+  std::size_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  /// Lexicographic comparison over the edge sequence.
+  auto operator<=>(const DfsCode&) const = default;
+
+  /// Reconstructs the pattern graph this code describes. DFS positions
+  /// become vertex ids.
+  graph::LabeledGraph ToGraph() const;
+
+  /// Readable single-line form, for debugging and tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<DfsEdge> edges_;
+};
+
+/// Computes the minimal DFS code of a connected, dense labeled graph
+/// (direction-aware). Exponential worst case like any canonical form;
+/// intended for pattern-sized graphs.
+DfsCode MinimalDfsCode(const graph::LabeledGraph& g);
+
+/// True when `code` is its graph's minimal DFS code — the gSpan
+/// duplicate-pruning test.
+bool IsMinimalDfsCode(const DfsCode& code);
+
+}  // namespace tnmine::gspan
+
+#endif  // TNMINE_GSPAN_DFS_CODE_H_

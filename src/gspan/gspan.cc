@@ -1,0 +1,255 @@
+#include "gspan/gspan.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "iso/canonical.h"
+
+namespace tnmine::gspan {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+using pattern::FrequentPattern;
+
+namespace {
+
+/// One occurrence of the current pattern inside a transaction: the images
+/// of the pattern's vertices and the set of transaction edges in use.
+struct Emb {
+  std::uint32_t tid;
+  std::vector<VertexId> vertices;  // pattern vertex -> transaction vertex
+  std::vector<EdgeId> edges;       // sorted; pattern edge i -> edges[i] NOT
+                                   // guaranteed — used as an occupancy set
+};
+
+/// Extension descriptor: add one edge to the pattern. Either between two
+/// existing pattern vertices, or from/to a brand-new vertex.
+struct Extension {
+  VertexId from;            // pattern vertex (source of the new edge)
+  VertexId to;              // pattern vertex, or kNewVertex
+  bool new_is_source;       // when new vertex: new -> from instead
+  Label new_vertex_label;   // label of the new vertex (if any)
+  Label edge_label;
+
+  static constexpr VertexId kNewVertex = ~VertexId{0};
+
+  auto operator<=>(const Extension&) const = default;
+};
+
+struct Miner {
+  const std::vector<LabeledGraph>& transactions;
+  const GspanOptions& options;
+  GspanResult result;
+  std::unordered_set<std::string> visited_codes;
+
+  std::size_t SupportOf(const std::vector<Emb>& embs) const {
+    std::size_t support = 0;
+    std::uint32_t prev = ~std::uint32_t{0};
+    for (const Emb& e : embs) {  // embeddings are grouped by tid
+      if (e.tid != prev) {
+        ++support;
+        prev = e.tid;
+      }
+    }
+    return support;
+  }
+
+  void Grow(const LabeledGraph& pg, const std::string& code,
+            std::vector<Emb> embs) {
+    FrequentPattern fp;
+    fp.graph = pg;
+    fp.code = code;
+    {
+      std::uint32_t prev = ~std::uint32_t{0};
+      for (const Emb& e : embs) {
+        if (e.tid != prev) {
+          fp.tids.push_back(e.tid);
+          prev = e.tid;
+        }
+      }
+    }
+    fp.support = fp.tids.size();
+    result.patterns.push_back(fp);
+    result.max_level = std::max(result.max_level, pg.num_edges());
+    if (options.max_edges != 0 && pg.num_edges() >= options.max_edges) {
+      return;
+    }
+
+    // Enumerate extensions across all embeddings, collecting the extended
+    // embeddings per descriptor.
+    std::map<Extension, std::vector<Emb>> extensions;
+    for (const Emb& emb : embs) {
+      const LabeledGraph& t = transactions[emb.tid];
+      // Occupancy for O(log n) membership tests.
+      auto edge_used = [&](EdgeId e) {
+        return std::binary_search(emb.edges.begin(), emb.edges.end(), e);
+      };
+      // Map transaction vertex -> pattern vertex (or invalid).
+      // Linear scan is fine: patterns are small.
+      auto pattern_vertex_of = [&](VertexId tv) -> VertexId {
+        for (VertexId p = 0; p < emb.vertices.size(); ++p) {
+          if (emb.vertices[p] == tv) return p;
+        }
+        return graph::kInvalidVertex;
+      };
+      for (VertexId pu = 0; pu < emb.vertices.size(); ++pu) {
+        const VertexId tu = emb.vertices[pu];
+        auto consider = [&](EdgeId te, bool outgoing) {
+          if (edge_used(te)) return;
+          const Edge& tedge = t.edge(te);
+          const VertexId other = outgoing ? tedge.dst : tedge.src;
+          const VertexId pother = pattern_vertex_of(other);
+          Extension ext;
+          ext.edge_label = tedge.label;
+          if (pother != graph::kInvalidVertex) {
+            // Closing edge between existing pattern vertices (includes
+            // self-loops when other == tu).
+            if (!outgoing) return;  // counted once, from the source side
+            ext.from = pu;
+            ext.to = pattern_vertex_of(tedge.dst);
+            if (ext.to == graph::kInvalidVertex) return;
+            if (pattern_vertex_of(tedge.src) != pu) return;
+            ext.new_is_source = false;
+            ext.new_vertex_label = 0;
+          } else {
+            ext.from = pu;
+            ext.to = Extension::kNewVertex;
+            ext.new_is_source = !outgoing;
+            ext.new_vertex_label = t.vertex_label(other);
+          }
+          Emb extended = emb;
+          extended.edges.insert(
+              std::lower_bound(extended.edges.begin(), extended.edges.end(),
+                               te),
+              te);
+          if (pother == graph::kInvalidVertex) {
+            extended.vertices.push_back(other);
+          }
+          extensions[ext].push_back(std::move(extended));
+        };
+        t.ForEachOutEdge(tu, [&](EdgeId te) { consider(te, true); });
+        t.ForEachInEdge(tu, [&](EdgeId te) {
+          if (t.edge(te).src != t.edge(te).dst) consider(te, false);
+        });
+      }
+    }
+
+    // Recurse into frequent, unseen extensions.
+    for (auto& [ext, raw_embs] : extensions) {
+      // Deduplicate identical embeddings (the same occurrence can be
+      // reached from several parent embeddings related by automorphism —
+      // keep distinct (tid, vertex map, edge set) triples only) and apply
+      // the per-transaction cap.
+      std::sort(raw_embs.begin(), raw_embs.end(),
+                [](const Emb& a, const Emb& b) {
+                  return std::tie(a.tid, a.vertices, a.edges) <
+                         std::tie(b.tid, b.vertices, b.edges);
+                });
+      raw_embs.erase(std::unique(raw_embs.begin(), raw_embs.end(),
+                                 [](const Emb& a, const Emb& b) {
+                                   return a.tid == b.tid &&
+                                          a.vertices == b.vertices &&
+                                          a.edges == b.edges;
+                                 }),
+                     raw_embs.end());
+      if (options.max_embeddings_per_transaction != 0) {
+        std::vector<Emb> capped;
+        std::size_t run = 0;
+        std::uint32_t prev = ~std::uint32_t{0};
+        for (Emb& e : raw_embs) {
+          if (e.tid != prev) {
+            prev = e.tid;
+            run = 0;
+          }
+          if (run < options.max_embeddings_per_transaction) {
+            capped.push_back(std::move(e));
+            ++run;
+          } else {
+            result.embeddings_truncated = true;
+          }
+        }
+        raw_embs = std::move(capped);
+      }
+      if (SupportOf(raw_embs) < options.min_support) continue;
+      // Build the extended pattern graph.
+      LabeledGraph ext_pg = pg;
+      if (ext.to == Extension::kNewVertex) {
+        const VertexId nv = ext_pg.AddVertex(ext.new_vertex_label);
+        if (ext.new_is_source) {
+          ext_pg.AddEdge(nv, ext.from, ext.edge_label);
+        } else {
+          ext_pg.AddEdge(ext.from, nv, ext.edge_label);
+        }
+      } else {
+        ext_pg.AddEdge(ext.from, ext.to, ext.edge_label);
+      }
+      std::string ext_code = iso::CanonicalCode(ext_pg);
+      if (!visited_codes.insert(ext_code).second) continue;
+      ++result.patterns_explored;
+      Grow(ext_pg, ext_code, std::move(raw_embs));
+    }
+  }
+};
+
+}  // namespace
+
+GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
+                      const GspanOptions& options) {
+  TNMINE_CHECK(options.min_support >= 1);
+  for (const LabeledGraph& t : transactions) {
+    TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
+  }
+  Miner miner{transactions, options, {}, {}};
+
+  // Seed: single-edge patterns with their embeddings.
+  struct Seed {
+    LabeledGraph pg;
+    std::vector<Emb> embs;
+  };
+  std::map<std::tuple<Label, Label, Label, bool>, Seed> seeds;
+  for (std::uint32_t tid = 0; tid < transactions.size(); ++tid) {
+    const LabeledGraph& t = transactions[tid];
+    t.ForEachEdge([&](EdgeId e) {
+      const Edge& edge = t.edge(e);
+      const bool self_loop = edge.src == edge.dst;
+      const auto key =
+          std::make_tuple(t.vertex_label(edge.src),
+                          t.vertex_label(edge.dst), edge.label, self_loop);
+      auto it = seeds.find(key);
+      if (it == seeds.end()) {
+        Seed seed;
+        const VertexId a = seed.pg.AddVertex(t.vertex_label(edge.src));
+        if (self_loop) {
+          seed.pg.AddEdge(a, a, edge.label);
+        } else {
+          const VertexId b = seed.pg.AddVertex(t.vertex_label(edge.dst));
+          seed.pg.AddEdge(a, b, edge.label);
+        }
+        it = seeds.emplace(key, std::move(seed)).first;
+      }
+      Emb emb;
+      emb.tid = tid;
+      emb.vertices.push_back(edge.src);
+      if (!self_loop) emb.vertices.push_back(edge.dst);
+      emb.edges.push_back(e);
+      it->second.embs.push_back(std::move(emb));
+    });
+  }
+  for (auto& [key, seed] : seeds) {
+    if (miner.SupportOf(seed.embs) < options.min_support) continue;
+    std::string code = iso::CanonicalCode(seed.pg);
+    if (!miner.visited_codes.insert(code).second) continue;
+    ++miner.result.patterns_explored;
+    miner.Grow(seed.pg, code, std::move(seed.embs));
+  }
+  return miner.result;
+}
+
+}  // namespace tnmine::gspan

@@ -1,0 +1,37 @@
+#ifndef TNMINE_ISO_CANONICAL_H_
+#define TNMINE_ISO_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/labeled_graph.h"
+
+namespace tnmine::iso {
+
+/// Returns a canonical code for `g`: a byte string such that two labeled
+/// directed multigraphs have equal codes if and only if they are
+/// isomorphic (label-preserving, direction-preserving).
+///
+/// The code is computed by iterated color refinement (1-WL with vertex
+/// labels and directed edge-label neighborhoods) followed by a
+/// depth-first search over vertex orderings consistent with the refined
+/// partition, with lexicographic prefix pruning and sound transposition-
+/// automorphism candidate pruning. Exponential in the worst case (as any
+/// canonical form must be), but fast for the small, richly-labeled
+/// patterns graph miners produce. Intended for pattern-sized graphs; a
+/// guard rejects graphs with more than `kMaxCanonicalVertices` vertices.
+std::string CanonicalCode(const graph::LabeledGraph& g);
+
+inline constexpr std::size_t kMaxCanonicalVertices = 64;
+
+/// True when `a` and `b` are isomorphic (via canonical codes).
+bool AreIsomorphic(const graph::LabeledGraph& a, const graph::LabeledGraph& b);
+
+/// Fast isomorphism-invariant 64-bit hash: equal for isomorphic graphs,
+/// usually different otherwise. Use for pre-bucketing before the exact
+/// CanonicalCode comparison.
+std::uint64_t InvariantHash(const graph::LabeledGraph& g);
+
+}  // namespace tnmine::iso
+
+#endif  // TNMINE_ISO_CANONICAL_H_

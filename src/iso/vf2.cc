@@ -1,0 +1,384 @@
+#include "iso/vf2.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace tnmine::iso {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::kInvalidVertex;
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+SubgraphMatcher::SubgraphMatcher(const LabeledGraph& pattern,
+                                 const LabeledGraph& target)
+    : pattern_(pattern), target_(target) {
+  TNMINE_CHECK_MSG(pattern.num_vertices() > 0, "pattern must be non-empty");
+  TNMINE_CHECK_MSG(pattern.IsDense(),
+                   "pattern must be dense (Compact() it first)");
+
+  // Placement order: BFS from the highest-degree vertex of each component,
+  // so every non-root vertex is anchored to an already-placed neighbor and
+  // candidate sets come from target adjacency lists instead of all
+  // vertices.
+  const std::size_t n = pattern.num_vertices();
+  std::vector<char> placed(n, 0);
+  order_.reserve(n);
+  while (order_.size() < n) {
+    VertexId root = kInvalidVertex;
+    std::size_t best_degree = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!placed[v] && (root == kInvalidVertex ||
+                         pattern.Degree(v) > best_degree)) {
+        root = v;
+        best_degree = pattern.Degree(v);
+      }
+    }
+    // BFS over the undirected view of the pattern.
+    std::vector<VertexId> queue = {root};
+    placed[root] = 1;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const VertexId v = queue[head++];
+      order_.push_back(v);
+      auto visit = [&](EdgeId e) {
+        const Edge& edge = pattern.edge(e);
+        const VertexId other = (edge.src == v) ? edge.dst : edge.src;
+        if (!placed[other]) {
+          placed[other] = 1;
+          queue.push_back(other);
+        }
+      };
+      pattern.ForEachOutEdge(v, visit);
+      pattern.ForEachInEdge(v, visit);
+    }
+  }
+
+  // Position of each pattern vertex in the order.
+  std::vector<std::size_t> position(n, 0);
+  for (std::size_t i = 0; i < n; ++i) position[order_[i]] = i;
+
+  back_edges_.resize(n);
+  has_anchor_.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId p = order_[i];
+    pattern.ForEachOutEdge(p, [&](EdgeId e) {
+      const VertexId other = pattern.edge(e).dst;
+      if (position[other] < i || other == p) {
+        back_edges_[i].push_back({e, /*outgoing=*/true});
+      }
+    });
+    pattern.ForEachInEdge(p, [&](EdgeId e) {
+      const VertexId other = pattern.edge(e).src;
+      if (position[other] < i) {
+        back_edges_[i].push_back({e, /*outgoing=*/false});
+      }
+    });
+    has_anchor_[i] = !back_edges_[i].empty() &&
+                     // a lone self-loop does not anchor the vertex to an
+                     // earlier placement
+                     std::any_of(back_edges_[i].begin(), back_edges_[i].end(),
+                                 [&](const PatternEdgeRef& ref) {
+                                   const Edge& edge = pattern.edge(ref.edge);
+                                   return edge.src != edge.dst;
+                                 });
+  }
+}
+
+namespace {
+
+bool EdgeAllowed(const MatchOptions& options, EdgeId e) {
+  return options.forbidden_target_edges == nullptr ||
+         !(*options.forbidden_target_edges)[e];
+}
+
+bool VertexAllowed(const MatchOptions& options, VertexId v) {
+  return options.forbidden_target_vertices == nullptr ||
+         !(*options.forbidden_target_vertices)[v];
+}
+
+/// Counts live, allowed target edges src -> dst with the given label.
+std::size_t CountTargetEdges(const LabeledGraph& target,
+                             const MatchOptions& options, VertexId src,
+                             VertexId dst, Label label) {
+  std::size_t count = 0;
+  target.ForEachOutEdge(src, [&](EdgeId e) {
+    const Edge& edge = target.edge(e);
+    if (edge.dst == dst && edge.label == label && EdgeAllowed(options, e)) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+}  // namespace
+
+bool SubgraphMatcher::EmitCurrentEmbedding() {
+  Embedding emb;
+  emb.vertex_map = vertex_image_;
+  // Assign target edges to pattern edges: group parallel pattern edges by
+  // (mapped src, mapped dst, label) and hand out distinct target edges in
+  // ascending EdgeId order.
+  std::map<std::tuple<VertexId, VertexId, Label>, std::vector<EdgeId>> pool;
+  emb.edge_map.assign(pattern_.edge_capacity(), graph::kInvalidEdge);
+  bool ok = true;
+  pattern_.ForEachEdge([&](EdgeId pe) {
+    if (!ok) return;
+    const Edge& pedge = pattern_.edge(pe);
+    const VertexId ts = vertex_image_[pedge.src];
+    const VertexId td = vertex_image_[pedge.dst];
+    const auto key = std::make_tuple(ts, td, pedge.label);
+    auto it = pool.find(key);
+    if (it == pool.end()) {
+      std::vector<EdgeId> available;
+      target_.ForEachOutEdge(ts, [&](EdgeId te) {
+        const Edge& tedge = target_.edge(te);
+        if (tedge.dst == td && tedge.label == pedge.label &&
+            EdgeAllowed(*options_, te)) {
+          available.push_back(te);
+        }
+      });
+      // Descending, so pop_back() hands out ascending EdgeIds.
+      std::sort(available.rbegin(), available.rend());
+      it = pool.emplace(key, std::move(available)).first;
+    }
+    if (it->second.empty()) {
+      ok = false;  // cannot happen if feasibility counting was exact
+      return;
+    }
+    emb.edge_map[pe] = it->second.back();
+    it->second.pop_back();
+  });
+  TNMINE_DCHECK(ok);
+  if (!ok) return true;
+  ++emitted_;
+  return (*callback_)(emb);
+}
+
+bool SubgraphMatcher::Extend(std::size_t depth) {
+  if (stopped_) return false;
+  if (options_->max_search_steps != 0 &&
+      ++steps_ > options_->max_search_steps) {
+    stopped_ = true;
+    return false;
+  }
+  if (depth == order_.size()) return EmitCurrentEmbedding();
+
+  const VertexId p = order_[depth];
+  const Label want_label = pattern_.vertex_label(p);
+
+  // Required multiplicities to already-placed neighbors, grouped by
+  // (target endpoint, outgoing?, label). Self-loops group under the
+  // candidate itself and are validated per-candidate below.
+  struct Requirement {
+    VertexId placed_image;
+    bool outgoing;
+    Label label;
+    std::size_t count;
+    bool self_loop;
+  };
+  std::vector<Requirement> requirements;
+  std::size_t self_loops = 0;
+  for (const PatternEdgeRef& ref : back_edges_[depth]) {
+    const Edge& pedge = pattern_.edge(ref.edge);
+    if (pedge.src == pedge.dst) {
+      ++self_loops;
+      continue;
+    }
+    const VertexId other = ref.outgoing ? pedge.dst : pedge.src;
+    const VertexId image = vertex_image_[other];
+    bool merged = false;
+    for (Requirement& req : requirements) {
+      if (req.placed_image == image && req.outgoing == ref.outgoing &&
+          req.label == pedge.label && !req.self_loop) {
+        ++req.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      requirements.push_back({image, ref.outgoing, pedge.label, 1, false});
+    }
+  }
+  // Self-loop label multiplicities.
+  std::map<Label, std::size_t> self_loop_need;
+  if (self_loops > 0) {
+    for (const PatternEdgeRef& ref : back_edges_[depth]) {
+      const Edge& pedge = pattern_.edge(ref.edge);
+      if (pedge.src == pedge.dst && ref.outgoing) {
+        ++self_loop_need[pedge.label];
+      }
+    }
+  }
+
+  auto try_candidate = [&](VertexId t) -> bool {
+    // Returns false to abort the whole enumeration.
+    if (target_used_[t] || !VertexAllowed(*options_, t)) return true;
+    if (target_.vertex_label(t) != want_label) return true;
+    if (target_.OutDegree(t) < pattern_.OutDegree(p) ||
+        target_.InDegree(t) < pattern_.InDegree(p)) {
+      return true;
+    }
+    for (const Requirement& req : requirements) {
+      const std::size_t available =
+          req.outgoing
+              ? CountTargetEdges(target_, *options_, t, req.placed_image,
+                                 req.label)
+              : CountTargetEdges(target_, *options_, req.placed_image, t,
+                                 req.label);
+      if (available < req.count) return true;
+    }
+    for (const auto& [label, need] : self_loop_need) {
+      if (CountTargetEdges(target_, *options_, t, t, label) < need) {
+        return true;
+      }
+    }
+    if (options_->induced) {
+      // Exact multiset equality against every placed vertex: the target
+      // may carry no edge (by direction and label) that the pattern does
+      // not.
+      auto count_pattern = [&](VertexId a, VertexId b,
+                               std::map<Label, std::size_t>* out) {
+        pattern_.ForEachOutEdge(a, [&](EdgeId e) {
+          if (pattern_.edge(e).dst == b) ++(*out)[pattern_.edge(e).label];
+        });
+      };
+      auto count_target = [&](VertexId a, VertexId b,
+                              std::map<Label, std::size_t>* out) {
+        target_.ForEachOutEdge(a, [&](EdgeId e) {
+          if (target_.edge(e).dst == b && EdgeAllowed(*options_, e)) {
+            ++(*out)[target_.edge(e).label];
+          }
+        });
+      };
+      for (VertexId q = 0; q < pattern_.num_vertices(); ++q) {
+        if (q == p || vertex_image_[q] == kInvalidVertex) continue;
+        const VertexId tq = vertex_image_[q];
+        std::map<Label, std::size_t> need_out, need_in, have_out, have_in;
+        count_pattern(p, q, &need_out);
+        count_pattern(q, p, &need_in);
+        count_target(t, tq, &have_out);
+        count_target(tq, t, &have_in);
+        if (need_out != have_out || need_in != have_in) return true;
+      }
+      std::map<Label, std::size_t> need_loop, have_loop;
+      count_pattern(p, p, &need_loop);
+      count_target(t, t, &have_loop);
+      if (need_loop != have_loop) return true;
+    }
+    vertex_image_[p] = t;
+    target_used_[t] = 1;
+    const bool keep_going = Extend(depth + 1);
+    target_used_[t] = 0;
+    vertex_image_[p] = kInvalidVertex;
+    return keep_going;
+  };
+
+  if (has_anchor_[depth]) {
+    // Enumerate candidates from the adjacency of the anchor's image, using
+    // the first non-self-loop back edge.
+    const PatternEdgeRef* anchor = nullptr;
+    for (const PatternEdgeRef& ref : back_edges_[depth]) {
+      const Edge& pedge = pattern_.edge(ref.edge);
+      if (pedge.src != pedge.dst) {
+        anchor = &ref;
+        break;
+      }
+    }
+    TNMINE_DCHECK(anchor != nullptr);
+    const Edge& aedge = pattern_.edge(anchor->edge);
+    const VertexId placed_other = anchor->outgoing ? aedge.dst : aedge.src;
+    const VertexId image = vertex_image_[placed_other];
+    bool keep_going = true;
+    std::vector<char> tried(0);
+    // Dedup candidates locally (parallel target edges would revisit t).
+    std::vector<VertexId> candidates;
+    if (anchor->outgoing) {
+      // pattern edge p -> other; candidate t must have t -> image.
+      target_.ForEachInEdge(image, [&](EdgeId e) {
+        const Edge& tedge = target_.edge(e);
+        if (tedge.label == aedge.label && EdgeAllowed(*options_, e)) {
+          candidates.push_back(tedge.src);
+        }
+      });
+    } else {
+      target_.ForEachOutEdge(image, [&](EdgeId e) {
+        const Edge& tedge = target_.edge(e);
+        if (tedge.label == aedge.label && EdgeAllowed(*options_, e)) {
+          candidates.push_back(tedge.dst);
+        }
+      });
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (VertexId t : candidates) {
+      if (!try_candidate(t)) {
+        keep_going = false;
+        break;
+      }
+    }
+    return keep_going;
+  }
+
+  // Unanchored (component root): all target vertices are candidates.
+  for (VertexId t = 0; t < target_.num_vertices(); ++t) {
+    if (!try_candidate(t)) return false;
+  }
+  return true;
+}
+
+std::uint64_t SubgraphMatcher::ForEachEmbedding(
+    const MatchOptions& options,
+    const std::function<bool(const Embedding&)>& fn) {
+  options_ = &options;
+  callback_ = &fn;
+  vertex_image_.assign(pattern_.num_vertices(), kInvalidVertex);
+  target_used_.assign(target_.num_vertices(), 0);
+  emitted_ = 0;
+  steps_ = 0;
+  stopped_ = false;
+  if (pattern_.num_vertices() <= target_.num_vertices() &&
+      pattern_.num_edges() <= target_.num_edges()) {
+    Extend(0);
+  }
+  return emitted_;
+}
+
+bool SubgraphMatcher::Contains(const MatchOptions& options) {
+  return ForEachEmbedding(options, [](const Embedding&) { return false; }) >
+         0;
+}
+
+std::uint64_t SubgraphMatcher::CountEmbeddings(std::uint64_t limit,
+                                               const MatchOptions& options) {
+  return ForEachEmbedding(options, [&](const Embedding&) {
+    return limit == 0 || emitted_ < limit;
+  });
+}
+
+bool ContainsSubgraph(const LabeledGraph& pattern,
+                      const LabeledGraph& target) {
+  SubgraphMatcher matcher(pattern, target);
+  return matcher.Contains();
+}
+
+std::uint64_t CountEmbeddings(const LabeledGraph& pattern,
+                              const LabeledGraph& target,
+                              std::uint64_t limit) {
+  SubgraphMatcher matcher(pattern, target);
+  return matcher.CountEmbeddings(limit);
+}
+
+bool ContainsInducedSubgraph(const LabeledGraph& pattern,
+                             const LabeledGraph& target) {
+  SubgraphMatcher matcher(pattern, target);
+  MatchOptions options;
+  options.induced = true;
+  return matcher.Contains(options);
+}
+
+}  // namespace tnmine::iso

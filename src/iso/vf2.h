@@ -1,0 +1,109 @@
+#ifndef TNMINE_ISO_VF2_H_
+#define TNMINE_ISO_VF2_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace tnmine::iso {
+
+/// One occurrence of a pattern inside a target graph.
+///
+/// `vertex_map[p]` is the target vertex playing pattern vertex p;
+/// `edge_map[i]` is the target edge playing the i-th live pattern edge
+/// (pattern edges are indexed by ascending EdgeId). When the pattern has
+/// parallel edges, interchangeable target edges are assigned in a fixed
+/// deterministic order, so each distinct vertex mapping yields exactly one
+/// embedding.
+struct Embedding {
+  std::vector<graph::VertexId> vertex_map;
+  std::vector<graph::EdgeId> edge_map;
+};
+
+/// Options for subgraph matching.
+struct MatchOptions {
+  /// Target vertices that may not be used (size num_vertices of the target,
+  /// nonzero = forbidden). Used by SUBDUE's no-overlap instance search.
+  const std::vector<char>* forbidden_target_vertices = nullptr;
+  /// Target edges that may not be used (indexed by EdgeId over the
+  /// target's edge_capacity()).
+  const std::vector<char>* forbidden_target_edges = nullptr;
+  /// Abort the search after this many recursive extensions (0 = unlimited);
+  /// a safety valve against pathological workloads. When tripped, the
+  /// matcher behaves as if no further embeddings exist.
+  std::uint64_t max_search_steps = 0;
+  /// Induced matching (AGM-style semantics, the paper's [10]): between
+  /// every pair of mapped vertices the target must carry *exactly* the
+  /// pattern's edges — same multiplicities per direction and label, and
+  /// nothing more. Default is the non-induced monomorphism FSG/gSpan use.
+  bool induced = false;
+};
+
+/// Label-preserving subgraph (monomorphism) matcher for directed labeled
+/// multigraphs — the Section 4 notion of "identical" subgraphs: vertices
+/// map injectively with equal labels, and every pattern edge maps to a
+/// distinct live target edge with the same direction and label. The match
+/// is NOT induced: extra target edges between mapped vertices are allowed,
+/// which is the semantics FSG/gSpan support counting requires.
+class SubgraphMatcher {
+ public:
+  /// `pattern` must be dense (no tombstoned edges) and non-empty. Both
+  /// references must outlive the matcher.
+  SubgraphMatcher(const graph::LabeledGraph& pattern,
+                  const graph::LabeledGraph& target);
+
+  /// Invokes `fn` for each embedding; `fn` returns false to stop the
+  /// enumeration. Returns the number of embeddings visited.
+  std::uint64_t ForEachEmbedding(const MatchOptions& options,
+                                 const std::function<bool(const Embedding&)>& fn);
+
+  /// True if at least one embedding exists.
+  bool Contains(const MatchOptions& options = {});
+
+  /// Counts embeddings, stopping early at `limit` when nonzero.
+  std::uint64_t CountEmbeddings(std::uint64_t limit = 0,
+                                const MatchOptions& options = {});
+
+ private:
+  struct PatternEdgeRef {
+    graph::EdgeId edge;
+    bool outgoing;  // relative to the pattern vertex being placed
+  };
+
+  bool Extend(std::size_t depth);
+  bool EmitCurrentEmbedding();
+
+  const graph::LabeledGraph& pattern_;
+  const graph::LabeledGraph& target_;
+
+  // Search plan: pattern vertices in placement order; for each, the pattern
+  // edges connecting it to earlier-placed vertices.
+  std::vector<graph::VertexId> order_;
+  std::vector<std::vector<PatternEdgeRef>> back_edges_;
+  std::vector<bool> has_anchor_;  // order_[i] adjacent to an earlier vertex?
+
+  // Per-run state.
+  const MatchOptions* options_ = nullptr;
+  const std::function<bool(const Embedding&)>* callback_ = nullptr;
+  std::vector<graph::VertexId> vertex_image_;   // pattern v -> target v
+  std::vector<char> target_used_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t steps_ = 0;
+  bool stopped_ = false;
+};
+
+/// Convenience wrappers.
+bool ContainsSubgraph(const graph::LabeledGraph& pattern,
+                      const graph::LabeledGraph& target);
+std::uint64_t CountEmbeddings(const graph::LabeledGraph& pattern,
+                              const graph::LabeledGraph& target,
+                              std::uint64_t limit = 0);
+/// Induced-subgraph containment (MatchOptions::induced).
+bool ContainsInducedSubgraph(const graph::LabeledGraph& pattern,
+                             const graph::LabeledGraph& target);
+
+}  // namespace tnmine::iso
+
+#endif  // TNMINE_ISO_VF2_H_

@@ -1,0 +1,186 @@
+#include "ml/apriori.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tnmine::ml {
+
+namespace {
+
+/// True when `row` contains every item of `items`.
+bool RowSupports(const std::vector<double>& row,
+                 const std::vector<Item>& items) {
+  for (const Item& item : items) {
+    if (static_cast<int>(row[static_cast<std::size_t>(item.attribute)]) !=
+        item.value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t CountSupport(const AttributeTable& table,
+                         const std::vector<Item>& items) {
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    count += RowSupports(table.row(r), items);
+  }
+  return count;
+}
+
+}  // namespace
+
+AprioriResult MineAssociationRules(const AttributeTable& table,
+                                   const AprioriOptions& options) {
+  AprioriResult result;
+  for (const Attribute& attr : table.attributes()) {
+    TNMINE_CHECK_MSG(attr.kind == AttrKind::kNominal,
+                     "Apriori needs a fully-nominal table (Discretize "
+                     "first): %s is numeric",
+                     attr.name.c_str());
+  }
+  const std::size_t n = table.num_rows();
+  if (n == 0) return result;
+  const std::size_t min_count = static_cast<std::size_t>(
+      std::max(1.0, options.min_support * static_cast<double>(n)));
+
+  // Level 1.
+  std::vector<ItemSet> frontier;
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    const Attribute& attr = table.attribute(a);
+    std::vector<std::size_t> counts(attr.values.size(), 0);
+    for (std::size_t r = 0; r < n; ++r) {
+      ++counts[static_cast<std::size_t>(table.value(r, a))];
+    }
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+      if (counts[v] >= min_count) {
+        frontier.push_back(
+            ItemSet{{Item{a, static_cast<int>(v)}}, counts[v]});
+      }
+    }
+  }
+  // Single-item support lookup for the rule metrics.
+  std::map<Item, std::size_t> item_support;
+  for (const ItemSet& s : frontier) item_support[s.items[0]] = s.count;
+
+  for (const ItemSet& s : frontier) result.frequent_itemsets.push_back(s);
+
+  // Levels 2..max.
+  std::size_t level = 1;
+  while (!frontier.empty() && level < options.max_itemset_size) {
+    ++level;
+    // Join pairs sharing the first level-1 items; require the last items'
+    // attributes to differ (at most one item per attribute).
+    std::vector<ItemSet> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      for (std::size_t j = i + 1; j < frontier.size(); ++j) {
+        const auto& a = frontier[i].items;
+        const auto& b = frontier[j].items;
+        if (!std::equal(a.begin(), a.end() - 1, b.begin())) continue;
+        if (a.back().attribute >= b.back().attribute) continue;
+        std::vector<Item> candidate = a;
+        candidate.push_back(b.back());
+        // Apriori prune: all (k-1)-subsets must be frequent. The two
+        // generating parents cover the subsets missing the last or
+        // second-to-last item; check the rest.
+        bool prunable = false;
+        if (candidate.size() > 2) {
+          for (std::size_t drop = 0; drop + 2 < candidate.size(); ++drop) {
+            std::vector<Item> sub;
+            for (std::size_t t = 0; t < candidate.size(); ++t) {
+              if (t != drop) sub.push_back(candidate[t]);
+            }
+            const bool found = std::any_of(
+                frontier.begin(), frontier.end(),
+                [&](const ItemSet& s) { return s.items == sub; });
+            if (!found) {
+              prunable = true;
+              break;
+            }
+          }
+        }
+        if (prunable) continue;
+        const std::size_t count = CountSupport(table, candidate);
+        if (count >= min_count) {
+          next.push_back(ItemSet{std::move(candidate), count});
+        }
+      }
+    }
+    for (const ItemSet& s : next) result.frequent_itemsets.push_back(s);
+    frontier = std::move(next);
+  }
+
+  // Rule generation: single-item consequents from every itemset of size
+  // >= 2.
+  std::map<std::vector<Item>, std::size_t> itemset_support;
+  for (const ItemSet& s : result.frequent_itemsets) {
+    itemset_support[s.items] = s.count;
+  }
+  const double nd = static_cast<double>(n);
+  for (const ItemSet& s : result.frequent_itemsets) {
+    if (s.items.size() < 2) continue;
+    for (std::size_t c = 0; c < s.items.size(); ++c) {
+      const Item consequent = s.items[c];
+      std::vector<Item> lhs;
+      for (std::size_t t = 0; t < s.items.size(); ++t) {
+        if (t != c) lhs.push_back(s.items[t]);
+      }
+      const auto lhs_it = itemset_support.find(lhs);
+      TNMINE_DCHECK(lhs_it != itemset_support.end());
+      const double lhs_count = static_cast<double>(lhs_it->second);
+      const double confidence = static_cast<double>(s.count) / lhs_count;
+      if (confidence < options.min_confidence) continue;
+      const double rhs_frac =
+          static_cast<double>(item_support.at(consequent)) / nd;
+      AssociationRule rule;
+      rule.lhs = std::move(lhs);
+      rule.rhs = {consequent};
+      rule.support = static_cast<double>(s.count) / nd;
+      rule.confidence = confidence;
+      rule.lift = rhs_frac > 0 ? confidence / rhs_frac : 0.0;
+      rule.leverage = rule.support - (lhs_count / nd) * rhs_frac;
+      rule.conviction = confidence >= 1.0
+                            ? std::numeric_limits<double>::infinity()
+                            : (1.0 - rhs_frac) / (1.0 - confidence);
+      result.rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(result.rules.begin(), result.rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.support > b.support;
+            });
+  if (options.max_rules != 0 && result.rules.size() > options.max_rules) {
+    result.rules.resize(options.max_rules);
+  }
+  return result;
+}
+
+std::string RuleToString(const AttributeTable& table,
+                         const AssociationRule& rule) {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<Item>& items) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out << " AND ";
+      const Attribute& attr = table.attribute(items[i].attribute);
+      out << attr.name << "="
+          << attr.values[static_cast<std::size_t>(items[i].value)];
+    }
+  };
+  emit(rule.lhs);
+  out << " -> ";
+  emit(rule.rhs);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " (sup %.3f, conf %.2f, lift %.2f)",
+                rule.support, rule.confidence, rule.lift);
+  out << buf;
+  return out.str();
+}
+
+}  // namespace tnmine::ml

@@ -1,0 +1,69 @@
+#ifndef TNMINE_ML_APRIORI_H_
+#define TNMINE_ML_APRIORI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/attribute_table.h"
+
+namespace tnmine::ml {
+
+/// One (attribute = value) item over a fully-nominal table.
+struct Item {
+  int attribute = 0;
+  int value = 0;
+
+  auto operator<=>(const Item&) const = default;
+};
+
+/// A frequent itemset with its absolute row count.
+struct ItemSet {
+  std::vector<Item> items;  ///< sorted by attribute
+  std::size_t count = 0;
+};
+
+/// An association rule LHS -> RHS with the standard interestingness
+/// measures (Section 7.1 cites [15, 18] on choosing between these).
+struct AssociationRule {
+  std::vector<Item> lhs;
+  std::vector<Item> rhs;
+  double support = 0.0;     ///< P(LHS and RHS)
+  double confidence = 0.0;  ///< P(RHS | LHS)
+  double lift = 0.0;        ///< confidence / P(RHS)
+  double leverage = 0.0;    ///< P(LHS,RHS) - P(LHS)P(RHS)
+  double conviction = 0.0;  ///< (1 - P(RHS)) / (1 - confidence)
+};
+
+/// Options for Apriori.
+struct AprioriOptions {
+  double min_support = 0.1;      ///< fraction of rows
+  double min_confidence = 0.8;
+  std::size_t max_itemset_size = 4;
+  /// Keep at most this many rules, ordered by confidence then support
+  /// (0 = unlimited).
+  std::size_t max_rules = 0;
+};
+
+struct AprioriResult {
+  std::vector<ItemSet> frequent_itemsets;
+  std::vector<AssociationRule> rules;
+};
+
+/// Classic Apriori (Agrawal & Srikant, VLDB 1994 — the paper's [1]) over a
+/// fully-nominal attribute table: each row is a basket of one
+/// (attribute = value) item per column, so itemsets contain at most one
+/// item per attribute. Rules are generated with single-item consequents,
+/// which is what Weka's Apriori reports by default and what the paper's
+/// Section-7.1 examples look like.
+AprioriResult MineAssociationRules(const AttributeTable& table,
+                                   const AprioriOptions& options);
+
+/// Formats a rule in the paper's style:
+/// "GROSS_WEIGHT=(-inf, 4501] -> TRANS_MODE=LTL (conf 0.95, lift 1.7)".
+std::string RuleToString(const AttributeTable& table,
+                         const AssociationRule& rule);
+
+}  // namespace tnmine::ml
+
+#endif  // TNMINE_ML_APRIORI_H_

@@ -1,0 +1,225 @@
+#include "ml/arff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "graph/graph_io.h"
+
+namespace tnmine::ml {
+
+namespace {
+
+/// Quotes a name/value when it contains ARFF-significant characters.
+std::string Quote(const std::string& s) {
+  const bool needs = s.empty() ||
+                     s.find_first_of(" ,{}%'\"\t") != std::string::npos;
+  if (!needs) return s;
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "\\'";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+std::string TrimCopy(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Splits a comma-separated list, honoring single quotes.
+bool SplitList(const std::string& text, std::vector<std::string>* out) {
+  out->clear();
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '\\' && i + 1 < text.size() && text[i + 1] == '\'') {
+        cur.push_back('\'');
+        ++i;
+      } else if (c == '\'') {
+        quoted = false;
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '\'') {
+      quoted = true;
+    } else if (c == ',') {
+      out->push_back(TrimCopy(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (quoted) return false;
+  out->push_back(TrimCopy(cur));
+  return true;
+}
+
+}  // namespace
+
+std::string WriteArff(const AttributeTable& table,
+                      const std::string& relation_name) {
+  std::ostringstream out;
+  out << "@relation " << Quote(relation_name) << "\n\n";
+  for (const Attribute& attr : table.attributes()) {
+    out << "@attribute " << Quote(attr.name) << " ";
+    if (attr.kind == AttrKind::kNumeric) {
+      out << "numeric\n";
+    } else {
+      out << "{";
+      for (std::size_t v = 0; v < attr.values.size(); ++v) {
+        if (v > 0) out << ",";
+        out << Quote(attr.values[v]);
+      }
+      out << "}\n";
+    }
+  }
+  out << "\n@data\n";
+  char buf[64];
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      if (a > 0) out << ",";
+      const Attribute& attr = table.attribute(a);
+      if (attr.kind == AttrKind::kNumeric) {
+        std::snprintf(buf, sizeof(buf), "%.10g", table.value(r, a));
+        out << buf;
+      } else {
+        out << Quote(table.NominalValue(r, a));
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool ReadArff(const std::string& text, AttributeTable* table,
+              std::string* error) {
+  *table = AttributeTable();
+  std::istringstream in(text);
+  std::string line;
+  bool in_data = false;
+  std::size_t line_number = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = message + " at line " + std::to_string(line_number);
+    }
+    return false;
+  };
+  // Nominal dictionaries for cell lookup.
+  std::vector<const Attribute*> attrs;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = TrimCopy(line);
+    if (trimmed.empty() || trimmed[0] == '%') continue;
+    if (!in_data) {
+      std::string lower = trimmed;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (lower.rfind("@relation", 0) == 0) continue;
+      if (lower.rfind("@data", 0) == 0) {
+        in_data = true;
+        continue;
+      }
+      if (lower.rfind("@attribute", 0) == 0) {
+        std::string rest = TrimCopy(trimmed.substr(10));
+        // Name: quoted or up to whitespace.
+        std::string name;
+        if (!rest.empty() && rest[0] == '\'') {
+          std::size_t i = 1;
+          while (i < rest.size() && rest[i] != '\'') {
+            if (rest[i] == '\\' && i + 1 < rest.size()) ++i;
+            name.push_back(rest[i]);
+            ++i;
+          }
+          if (i >= rest.size()) return fail("unterminated attribute name");
+          rest = TrimCopy(rest.substr(i + 1));
+        } else {
+          const std::size_t space = rest.find_first_of(" \t");
+          if (space == std::string::npos) {
+            return fail("attribute missing type");
+          }
+          name = rest.substr(0, space);
+          rest = TrimCopy(rest.substr(space));
+        }
+        std::string lower_rest = rest;
+        std::transform(lower_rest.begin(), lower_rest.end(),
+                       lower_rest.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        if (lower_rest.rfind("numeric", 0) == 0 ||
+            lower_rest.rfind("real", 0) == 0 ||
+            lower_rest.rfind("integer", 0) == 0) {
+          table->AddNumericAttribute(name);
+        } else if (!rest.empty() && rest[0] == '{' &&
+                   rest.back() == '}') {
+          std::vector<std::string> values;
+          if (!SplitList(rest.substr(1, rest.size() - 2), &values)) {
+            return fail("malformed nominal domain");
+          }
+          table->AddNominalAttribute(name, std::move(values));
+        } else {
+          return fail("unsupported attribute type: " + rest);
+        }
+        continue;
+      }
+      return fail("unexpected header line");
+    }
+    // Data row.
+    std::vector<std::string> cells;
+    if (!SplitList(trimmed, &cells)) return fail("malformed data row");
+    if (static_cast<int>(cells.size()) != table->num_attributes()) {
+      return fail("wrong cell count");
+    }
+    std::vector<double> row(cells.size());
+    for (int a = 0; a < table->num_attributes(); ++a) {
+      const Attribute& attr = table->attribute(a);
+      const std::string& cell = cells[static_cast<std::size_t>(a)];
+      if (attr.kind == AttrKind::kNumeric) {
+        char* end = nullptr;
+        row[static_cast<std::size_t>(a)] = std::strtod(cell.c_str(), &end);
+        if (end == cell.c_str() || *end != '\0') {
+          return fail("bad numeric cell '" + cell + "'");
+        }
+      } else {
+        const auto it =
+            std::find(attr.values.begin(), attr.values.end(), cell);
+        if (it == attr.values.end()) {
+          return fail("unknown nominal value '" + cell + "'");
+        }
+        row[static_cast<std::size_t>(a)] =
+            static_cast<double>(it - attr.values.begin());
+      }
+    }
+    table->AddRow(std::move(row));
+  }
+  if (!in_data) return fail("missing @data section");
+  (void)attrs;
+  return true;
+}
+
+bool SaveArff(const AttributeTable& table, const std::string& relation_name,
+              const std::string& path, std::string* error) {
+  if (!graph::WriteTextFile(path, WriteArff(table, relation_name))) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  return true;
+}
+
+bool LoadArff(const std::string& path, AttributeTable* table,
+              std::string* error) {
+  std::string text;
+  if (!graph::ReadTextFile(path, &text)) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  return ReadArff(text, table, error);
+}
+
+}  // namespace tnmine::ml

@@ -1,0 +1,160 @@
+#include "ml/attribute_table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tnmine::ml {
+
+int AttributeTable::AddNumericAttribute(const std::string& name) {
+  TNMINE_CHECK_MSG(rows_.empty(), "add attributes before rows");
+  attributes_.push_back(Attribute{name, AttrKind::kNumeric, {}});
+  return static_cast<int>(attributes_.size()) - 1;
+}
+
+int AttributeTable::AddNominalAttribute(const std::string& name,
+                                        std::vector<std::string> values) {
+  TNMINE_CHECK_MSG(rows_.empty(), "add attributes before rows");
+  TNMINE_CHECK(!values.empty());
+  attributes_.push_back(
+      Attribute{name, AttrKind::kNominal, std::move(values)});
+  return static_cast<int>(attributes_.size()) - 1;
+}
+
+void AttributeTable::AddRow(std::vector<double> row) {
+  TNMINE_CHECK(row.size() == attributes_.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (attributes_[i].kind == AttrKind::kNominal) {
+      const auto index = static_cast<std::size_t>(row[i]);
+      TNMINE_CHECK_MSG(row[i] >= 0 &&
+                           index < attributes_[i].values.size() &&
+                           row[i] == static_cast<double>(index),
+                       "invalid nominal index in column %zu", i);
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+const Attribute& AttributeTable::attribute(int index) const {
+  TNMINE_DCHECK(index >= 0 &&
+                index < static_cast<int>(attributes_.size()));
+  return attributes_[static_cast<std::size_t>(index)];
+}
+
+double AttributeTable::value(std::size_t row, int attribute) const {
+  TNMINE_DCHECK(row < rows_.size());
+  return rows_[row][static_cast<std::size_t>(attribute)];
+}
+
+const std::vector<double>& AttributeTable::row(std::size_t index) const {
+  TNMINE_DCHECK(index < rows_.size());
+  return rows_[index];
+}
+
+int AttributeTable::AttributeIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> AttributeTable::Column(int attribute) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    out.push_back(row[static_cast<std::size_t>(attribute)]);
+  }
+  return out;
+}
+
+const std::string& AttributeTable::NominalValue(std::size_t row,
+                                                int attribute) const {
+  const Attribute& attr = this->attribute(attribute);
+  TNMINE_CHECK(attr.kind == AttrKind::kNominal);
+  return attr.values[static_cast<std::size_t>(value(row, attribute))];
+}
+
+AttributeTable AttributeTable::FromTransactions(
+    const data::TransactionDataset& ds) {
+  AttributeTable table;
+  table.AddNumericAttribute("ORIGIN_LATITUDE");
+  table.AddNumericAttribute("ORIGIN_LONGITUDE");
+  table.AddNumericAttribute("DEST_LATITUDE");
+  table.AddNumericAttribute("DEST_LONGITUDE");
+  table.AddNumericAttribute("TOTAL_DISTANCE");
+  table.AddNumericAttribute("GROSS_WEIGHT");
+  table.AddNumericAttribute("MOVE_TRANSIT_HOURS");
+  table.AddNominalAttribute("TRANS_MODE", {"TL", "LTL"});
+  for (const data::Transaction& t : ds.transactions()) {
+    table.AddRow({t.origin_latitude, t.origin_longitude, t.dest_latitude,
+                  t.dest_longitude, t.total_distance, t.gross_weight,
+                  t.transit_hours,
+                  static_cast<double>(static_cast<int>(t.mode))});
+  }
+  return table;
+}
+
+AttributeTable AttributeTable::Discretized(int num_bins,
+                                           bool equal_frequency) const {
+  TNMINE_CHECK(num_bins >= 1);
+  AttributeTable out;
+  std::vector<Discretizer> discretizers;
+  discretizers.reserve(attributes_.size());
+  for (int a = 0; a < num_attributes(); ++a) {
+    const Attribute& attr = attributes_[static_cast<std::size_t>(a)];
+    if (attr.kind == AttrKind::kNominal) {
+      out.AddNominalAttribute(attr.name, attr.values);
+      discretizers.push_back(Discretizer::FromCutPoints({}));
+      continue;
+    }
+    const std::vector<double> column = Column(a);
+    Discretizer d = column.empty()
+                        ? Discretizer::FromCutPoints({})
+                        : (equal_frequency
+                               ? Discretizer::EqualFrequency(column,
+                                                             num_bins)
+                               : Discretizer::EqualWidth(column, num_bins));
+    std::vector<std::string> values;
+    for (int b = 0; b < d.num_bins(); ++b) {
+      values.push_back(d.IntervalLabel(b));
+    }
+    out.AddNominalAttribute(attr.name, std::move(values));
+    discretizers.push_back(std::move(d));
+  }
+  for (const auto& row : rows_) {
+    std::vector<double> cells(row.size());
+    for (std::size_t a = 0; a < row.size(); ++a) {
+      if (attributes_[a].kind == AttrKind::kNominal) {
+        cells[a] = row[a];
+      } else {
+        cells[a] = discretizers[a].Bin(row[a]);
+      }
+    }
+    out.AddRow(std::move(cells));
+  }
+  return out;
+}
+
+void AttributeTable::Split(double test_fraction, Rng& rng,
+                           AttributeTable* train,
+                           AttributeTable* test) const {
+  TNMINE_CHECK(test_fraction >= 0.0 && test_fraction <= 1.0);
+  *train = AttributeTable();
+  *test = AttributeTable();
+  train->attributes_ = attributes_;
+  test->attributes_ = attributes_;
+  std::vector<std::size_t> order(rows_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const std::size_t test_count = static_cast<std::size_t>(
+      test_fraction * static_cast<double>(rows_.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i < test_count) {
+      test->rows_.push_back(rows_[order[i]]);
+    } else {
+      train->rows_.push_back(rows_[order[i]]);
+    }
+  }
+}
+
+}  // namespace tnmine::ml

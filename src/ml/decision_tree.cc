@@ -1,0 +1,371 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tnmine::ml {
+
+namespace {
+
+double Entropy(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0) continue;
+    const double p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+/// Acklam's rational approximation to the standard normal quantile.
+double NormalInverse(double p) {
+  TNMINE_CHECK(p > 0.0 && p < 1.0);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+double PessimisticExtraErrors(double n, double e, double cf) {
+  // Port of Weka's Utils.addErrs (the J4.8 pruning bound).
+  if (cf > 0.5) return e;  // no pessimism requested
+  if (e < 1) {
+    const double base = n * (1 - std::pow(cf, 1 / n));
+    if (e == 0) return base;
+    return base + e * (PessimisticExtraErrors(n, 1, cf) - base);
+  }
+  if (e + 0.5 >= n) return std::max(n - e, 0.0);
+  const double z = NormalInverse(1 - cf);
+  const double f = (e + 0.5) / n;
+  const double r =
+      (f + z * z / (2 * n) +
+       z * std::sqrt(f / n - f * f / n + z * z / (4 * n * n))) /
+      (1 + z * z / n);
+  return r * n - e;
+}
+
+int DecisionTree::BuildNode(const AttributeTable& table, int class_attribute,
+                            const DecisionTreeOptions& options,
+                            std::vector<std::size_t>& rows, int depth,
+                            std::vector<char>& used_nominal) {
+  const Attribute& class_attr = table.attribute(class_attribute);
+  const std::size_t num_classes = class_attr.values.size();
+  std::vector<double> counts(num_classes, 0.0);
+  for (std::size_t r : rows) {
+    counts[static_cast<std::size_t>(table.value(r, class_attribute))] += 1;
+  }
+  const double total = static_cast<double>(rows.size());
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.count = total;
+    node.prediction = static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    node.errors =
+        total - counts[static_cast<std::size_t>(node.prediction)];
+  }
+
+  const double base_entropy = Entropy(counts, total);
+  const bool pure = base_entropy <= 1e-12;
+  if (pure || total < 2.0 * options.min_instances_per_leaf ||
+      (options.max_depth != 0 && depth >= options.max_depth)) {
+    return node_index;
+  }
+
+  // Evaluate candidate splits.
+  int best_attr = -1;
+  bool best_numeric = false;
+  double best_threshold = 0.0;
+  double best_gain_ratio = 1e-9;
+  for (int a = 0; a < table.num_attributes(); ++a) {
+    if (a == class_attribute) continue;
+    const Attribute& attr = table.attribute(a);
+    if (attr.kind == AttrKind::kNominal) {
+      if (used_nominal[static_cast<std::size_t>(a)]) continue;
+      std::vector<std::vector<double>> branch_counts(
+          attr.values.size(), std::vector<double>(num_classes, 0.0));
+      std::vector<double> branch_totals(attr.values.size(), 0.0);
+      for (std::size_t r : rows) {
+        const auto v = static_cast<std::size_t>(table.value(r, a));
+        branch_counts[v][static_cast<std::size_t>(
+            table.value(r, class_attribute))] += 1;
+        branch_totals[v] += 1;
+      }
+      double remainder = 0.0, split_info = 0.0;
+      std::size_t nonempty = 0;
+      for (std::size_t v = 0; v < attr.values.size(); ++v) {
+        if (branch_totals[v] <= 0) continue;
+        ++nonempty;
+        const double frac = branch_totals[v] / total;
+        remainder += frac * Entropy(branch_counts[v], branch_totals[v]);
+        split_info -= frac * std::log2(frac);
+      }
+      if (nonempty < 2 || split_info <= 1e-12) continue;
+      const double gain = base_entropy - remainder;
+      if (gain <= 1e-9) continue;
+      const double ratio = gain / split_info;
+      if (ratio > best_gain_ratio) {
+        best_gain_ratio = ratio;
+        best_attr = a;
+        best_numeric = false;
+      }
+    } else {
+      // Numeric: scan sorted values for the best binary threshold.
+      std::vector<std::pair<double, int>> values;
+      values.reserve(rows.size());
+      for (std::size_t r : rows) {
+        values.emplace_back(table.value(r, a),
+                            static_cast<int>(table.value(r,
+                                                         class_attribute)));
+      }
+      std::sort(values.begin(), values.end());
+      std::vector<double> left(num_classes, 0.0);
+      std::vector<double> right = counts;
+      double left_total = 0.0;
+      for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+        left[static_cast<std::size_t>(values[i].second)] += 1;
+        right[static_cast<std::size_t>(values[i].second)] -= 1;
+        left_total += 1;
+        if (values[i].first == values[i + 1].first) continue;
+        const double right_total = total - left_total;
+        if (left_total < options.min_instances_per_leaf ||
+            right_total < options.min_instances_per_leaf) {
+          continue;
+        }
+        const double lf = left_total / total;
+        const double rf = right_total / total;
+        const double remainder = lf * Entropy(left, left_total) +
+                                 rf * Entropy(right, right_total);
+        const double gain = base_entropy - remainder;
+        if (gain <= 1e-9) continue;
+        const double split_info = -(lf * std::log2(lf) + rf * std::log2(rf));
+        if (split_info <= 1e-12) continue;
+        const double ratio = gain / split_info;
+        if (ratio > best_gain_ratio) {
+          best_gain_ratio = ratio;
+          best_attr = a;
+          best_numeric = true;
+          best_threshold = (values[i].first + values[i + 1].first) / 2.0;
+        }
+      }
+    }
+  }
+  if (best_attr < 0) return node_index;  // no useful split
+
+  // Partition the rows and recurse.
+  if (best_numeric) {
+    std::vector<std::size_t> left_rows, right_rows;
+    for (std::size_t r : rows) {
+      (table.value(r, best_attr) <= best_threshold ? left_rows : right_rows)
+          .push_back(r);
+    }
+    rows.clear();
+    rows.shrink_to_fit();
+    const int left = BuildNode(table, class_attribute, options, left_rows,
+                               depth + 1, used_nominal);
+    const int right = BuildNode(table, class_attribute, options, right_rows,
+                                depth + 1, used_nominal);
+    Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    node.leaf = false;
+    node.attribute = best_attr;
+    node.numeric_split = true;
+    node.threshold = best_threshold;
+    node.children = {left, right};
+  } else {
+    const Attribute& attr = table.attribute(best_attr);
+    std::vector<std::vector<std::size_t>> branches(attr.values.size());
+    for (std::size_t r : rows) {
+      branches[static_cast<std::size_t>(table.value(r, best_attr))]
+          .push_back(r);
+    }
+    rows.clear();
+    rows.shrink_to_fit();
+    used_nominal[static_cast<std::size_t>(best_attr)] = 1;
+    std::vector<int> children;
+    const int majority =
+        nodes_[static_cast<std::size_t>(node_index)].prediction;
+    for (auto& branch : branches) {
+      if (branch.empty()) {
+        // Empty branch: a leaf predicting the parent majority.
+        const int leaf_index = static_cast<int>(nodes_.size());
+        nodes_.emplace_back();
+        nodes_.back().prediction = majority;
+        children.push_back(leaf_index);
+      } else {
+        children.push_back(BuildNode(table, class_attribute, options,
+                                     branch, depth + 1, used_nominal));
+      }
+    }
+    used_nominal[static_cast<std::size_t>(best_attr)] = 0;
+    Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    node.leaf = false;
+    node.attribute = best_attr;
+    node.numeric_split = false;
+    node.children = std::move(children);
+  }
+  return node_index;
+}
+
+double DecisionTree::PruneNode(int node_index,
+                               const DecisionTreeOptions& options) {
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  const double leaf_estimate =
+      node.errors +
+      PessimisticExtraErrors(std::max(1.0, node.count), node.errors,
+                             options.pruning_confidence);
+  if (node.leaf) return leaf_estimate;
+  double subtree_estimate = 0.0;
+  for (int child : node.children) {
+    subtree_estimate += PruneNode(child, options);
+  }
+  if (leaf_estimate <= subtree_estimate + 0.1) {
+    node.leaf = true;
+    node.children.clear();
+    return leaf_estimate;
+  }
+  return subtree_estimate;
+}
+
+DecisionTree DecisionTree::Train(const AttributeTable& table,
+                                 int class_attribute,
+                                 const DecisionTreeOptions& options) {
+  TNMINE_CHECK(class_attribute >= 0 &&
+               class_attribute < table.num_attributes());
+  TNMINE_CHECK_MSG(
+      table.attribute(class_attribute).kind == AttrKind::kNominal,
+      "class attribute must be nominal");
+  TNMINE_CHECK(table.num_rows() > 0);
+  DecisionTree tree;
+  tree.class_attribute_ = class_attribute;
+  std::vector<std::size_t> rows(table.num_rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  std::vector<char> used_nominal(
+      static_cast<std::size_t>(table.num_attributes()), 0);
+  tree.root_ =
+      tree.BuildNode(table, class_attribute, options, rows, 0, used_nominal);
+  if (options.prune) tree.PruneNode(tree.root_, options);
+  return tree;
+}
+
+int DecisionTree::Predict(const std::vector<double>& row) const {
+  TNMINE_CHECK(root_ >= 0);
+  int current = root_;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(current)];
+    if (node.leaf) return node.prediction;
+    if (node.numeric_split) {
+      current = row[static_cast<std::size_t>(node.attribute)] <=
+                        node.threshold
+                    ? node.children[0]
+                    : node.children[1];
+    } else {
+      const auto v = static_cast<std::size_t>(
+          row[static_cast<std::size_t>(node.attribute)]);
+      if (v >= node.children.size()) return node.prediction;
+      current = node.children[v];
+    }
+  }
+}
+
+double DecisionTree::Accuracy(const AttributeTable& table) const {
+  if (table.num_rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    correct += Predict(table.row(r)) ==
+               static_cast<int>(table.value(r, class_attribute_));
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(table.num_rows());
+}
+
+int DecisionTree::root_attribute() const {
+  if (root_ < 0) return -1;
+  const Node& node = nodes_[static_cast<std::size_t>(root_)];
+  return node.leaf ? -1 : node.attribute;
+}
+
+std::size_t DecisionTree::DepthOf(int node_index) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  if (node.leaf) return 1;
+  std::size_t deepest = 0;
+  for (int child : node.children) {
+    deepest = std::max(deepest, DepthOf(child));
+  }
+  return deepest + 1;
+}
+
+std::size_t DecisionTree::depth() const {
+  return root_ < 0 ? 0 : DepthOf(root_);
+}
+
+void DecisionTree::Render(const AttributeTable& table, int node_index,
+                          int indent, std::string* out) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (node.leaf) {
+    const Attribute& cls = table.attribute(class_attribute_);
+    out->append(pad + "-> " +
+                cls.values[static_cast<std::size_t>(node.prediction)] +
+                " (" + std::to_string(static_cast<long long>(node.count)) +
+                ")\n");
+    return;
+  }
+  const Attribute& attr = table.attribute(node.attribute);
+  if (node.numeric_split) {
+    std::ostringstream line;
+    line << pad << attr.name << " <= " << node.threshold << ":\n";
+    out->append(line.str());
+    Render(table, node.children[0], indent + 1, out);
+    std::ostringstream line2;
+    line2 << pad << attr.name << " > " << node.threshold << ":\n";
+    out->append(line2.str());
+    Render(table, node.children[1], indent + 1, out);
+  } else {
+    for (std::size_t v = 0; v < node.children.size(); ++v) {
+      out->append(pad + attr.name + " = " + attr.values[v] + ":\n");
+      Render(table, node.children[v], indent + 1, out);
+    }
+  }
+}
+
+std::string DecisionTree::ToString(const AttributeTable& table) const {
+  std::string out;
+  if (root_ >= 0) Render(table, root_, 0, &out);
+  return out;
+}
+
+}  // namespace tnmine::ml

@@ -1,0 +1,86 @@
+#ifndef TNMINE_ML_DECISION_TREE_H_
+#define TNMINE_ML_DECISION_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/attribute_table.h"
+
+namespace tnmine::ml {
+
+/// Options for the C4.5-style tree learner (Weka's J4.8, Section 7.2).
+struct DecisionTreeOptions {
+  /// Minimum training instances in a leaf (J4.8's -M, default 2).
+  int min_instances_per_leaf = 2;
+  /// Post-prune with pessimistic (confidence-bound) subtree replacement.
+  bool prune = true;
+  /// Pruning confidence factor (J4.8's -C, default 0.25; smaller prunes
+  /// harder).
+  double pruning_confidence = 0.25;
+  /// Maximum tree depth (0 = unlimited).
+  int max_depth = 0;
+};
+
+/// A C4.5-style decision tree: gain-ratio splits, multiway branches on
+/// nominal attributes, binary threshold splits on numeric attributes, and
+/// pessimistic-error subtree-replacement pruning.
+class DecisionTree {
+ public:
+  /// Learns a tree predicting the nominal attribute `class_attribute`.
+  static DecisionTree Train(const AttributeTable& table, int class_attribute,
+                            const DecisionTreeOptions& options);
+
+  /// Predicts the class value index for a row laid out like the training
+  /// table's rows (the class cell is ignored).
+  int Predict(const std::vector<double>& row) const;
+
+  /// Fraction of rows of `table` classified correctly.
+  double Accuracy(const AttributeTable& table) const;
+
+  /// The root split attribute (-1 when the tree is a single leaf). The
+  /// paper reads this off J4.8's output: "The classification tree first
+  /// splits on the GROSS_WEIGHT attribute".
+  int root_attribute() const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t depth() const;
+  int class_attribute() const { return class_attribute_; }
+
+  /// Indented, human-readable rendering.
+  std::string ToString(const AttributeTable& table) const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int prediction = 0;              ///< majority class value index
+    int attribute = -1;              ///< split attribute (when not a leaf)
+    bool numeric_split = false;
+    double threshold = 0.0;          ///< numeric: <= goes to children[0]
+    std::vector<int> children;       ///< indices into nodes_
+    double count = 0.0;              ///< training rows at this node
+    double errors = 0.0;             ///< training misclassifications
+  };
+
+  int BuildNode(const AttributeTable& table, int class_attribute,
+                const DecisionTreeOptions& options,
+                std::vector<std::size_t>& rows, int depth,
+                std::vector<char>& used_nominal);
+  double PruneNode(int node, const DecisionTreeOptions& options);
+  std::size_t DepthOf(int node) const;
+  void Render(const AttributeTable& table, int node, int indent,
+              std::string* out) const;
+
+  std::vector<Node> nodes_;
+  int class_attribute_ = -1;
+  int root_ = -1;
+};
+
+/// C4.5's pessimistic additional-error estimate: given `n` instances with
+/// `e` observed errors at a leaf, the upper-confidence-bound estimate of
+/// extra errors at confidence factor `cf` (Weka's Utils.addErrs). Exposed
+/// for testing.
+double PessimisticExtraErrors(double n, double e, double cf);
+
+}  // namespace tnmine::ml
+
+#endif  // TNMINE_ML_DECISION_TREE_H_

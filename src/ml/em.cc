@@ -1,0 +1,344 @@
+#include "ml/em.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "ml/kmeans.h"
+
+namespace tnmine::ml {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+/// Standardized view of the selected numeric columns.
+struct Standardized {
+  std::vector<std::vector<double>> points;  // n x d, z-scored
+  std::vector<double> mean;                 // per dimension
+  std::vector<double> scale;                // per dimension (stddev or 1)
+};
+
+Standardized StandardizeColumns(const AttributeTable& table,
+                                const std::vector<int>& attrs) {
+  Standardized s;
+  const std::size_t n = table.num_rows();
+  const std::size_t d = attrs.size();
+  s.mean.assign(d, 0.0);
+  s.scale.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += table.value(i, attrs[j]);
+    s.mean[j] = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = table.value(i, attrs[j]) - s.mean[j];
+      var += dx * dx;
+    }
+    var /= static_cast<double>(n);
+    s.scale[j] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+  s.points.assign(n, std::vector<double>(d, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      s.points[i][j] = (table.value(i, attrs[j]) - s.mean[j]) / s.scale[j];
+    }
+  }
+  return s;
+}
+
+struct Model {
+  std::vector<double> priors;
+  std::vector<std::vector<double>> means;    // standardized units
+  std::vector<std::vector<double>> stddevs;  // standardized units
+};
+
+double LogDensity(const Model& m, std::size_t c,
+                  const std::vector<double>& x) {
+  double ll = 0.0;
+  const auto& mu = m.means[c];
+  const auto& sd = m.stddevs[c];
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double z = (x[j] - mu[j]) / sd[j];
+    ll += -0.5 * (z * z + kLog2Pi) - std::log(sd[j]);
+  }
+  return ll;
+}
+
+/// One full EM fit on standardized points. Returns total log-likelihood.
+double FitOnce(const std::vector<std::vector<double>>& points, int k,
+               const EmOptions& options, std::uint64_t seed, Model* model,
+               int* iterations) {
+  const std::size_t n = points.size();
+  const std::size_t d = points[0].size();
+  const std::size_t kk = static_cast<std::size_t>(k);
+
+  // Initialize from k-means.
+  KMeansOptions km;
+  km.k = k;
+  km.seed = seed;
+  km.farthest_point_init = options.farthest_point_init;
+  const KMeansResult init = RunKMeans(points, km);
+  model->priors.assign(kk, 1.0 / static_cast<double>(kk));
+  model->means.assign(kk, std::vector<double>(d, 0.0));
+  model->stddevs.assign(kk, std::vector<double>(d, 1.0));
+  {
+    std::vector<std::size_t> counts(kk, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(init.assignment[i]);
+      ++counts[c];
+      for (std::size_t j = 0; j < d; ++j) {
+        model->means[c][j] += points[i][j];
+      }
+    }
+    for (std::size_t c = 0; c < kk; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        model->means[c][j] /= static_cast<double>(counts[c]);
+      }
+      model->priors[c] =
+          static_cast<double>(counts[c]) / static_cast<double>(n);
+    }
+    std::vector<std::vector<double>> var(kk, std::vector<double>(d, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(init.assignment[i]);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double dx = points[i][j] - model->means[c][j];
+        var[c][j] += dx * dx;
+      }
+    }
+    for (std::size_t c = 0; c < kk; ++c) {
+      for (std::size_t j = 0; j < d; ++j) {
+        const double v = counts[c] > 0
+                             ? var[c][j] / static_cast<double>(counts[c])
+                             : 1.0;
+        model->stddevs[c][j] =
+            std::max(options.min_stddev, std::sqrt(std::max(v, 0.0)));
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> resp(n, std::vector<double>(kk, 0.0));
+  double prev_ll = -std::numeric_limits<double>::max();
+  double total_ll = prev_ll;
+  *iterations = 0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++*iterations;
+    // E step (log-sum-exp).
+    total_ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double max_l = -std::numeric_limits<double>::max();
+      std::vector<double>& r = resp[i];
+      for (std::size_t c = 0; c < kk; ++c) {
+        r[c] = std::log(std::max(model->priors[c], 1e-300)) +
+               LogDensity(*model, c, points[i]);
+        max_l = std::max(max_l, r[c]);
+      }
+      double sum = 0.0;
+      for (std::size_t c = 0; c < kk; ++c) {
+        r[c] = std::exp(r[c] - max_l);
+        sum += r[c];
+      }
+      for (std::size_t c = 0; c < kk; ++c) r[c] /= sum;
+      total_ll += max_l + std::log(sum);
+    }
+    // M step.
+    for (std::size_t c = 0; c < kk; ++c) {
+      double weight = 0.0;
+      std::vector<double> mean(d, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        weight += resp[i][c];
+        for (std::size_t j = 0; j < d; ++j) {
+          mean[j] += resp[i][c] * points[i][j];
+        }
+      }
+      if (weight < 1e-9) {
+        model->priors[c] = 1e-9;
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j) mean[j] /= weight;
+      std::vector<double> var(d, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+          const double dx = points[i][j] - mean[j];
+          var[j] += resp[i][c] * dx * dx;
+        }
+      }
+      model->priors[c] = weight / static_cast<double>(n);
+      model->means[c] = std::move(mean);
+      for (std::size_t j = 0; j < d; ++j) {
+        model->stddevs[c][j] = std::max(
+            options.min_stddev, std::sqrt(var[j] / weight));
+      }
+    }
+    if (total_ll - prev_ll <
+        options.tolerance * static_cast<double>(n) &&
+        iter > 0) {
+      break;
+    }
+    prev_ll = total_ll;
+  }
+  return total_ll;
+}
+
+/// Average held-out log-likelihood per row under `folds`-fold CV.
+double CrossValidatedLl(const std::vector<std::vector<double>>& points,
+                        int k, const EmOptions& options) {
+  const std::size_t n = points.size();
+  const std::size_t folds =
+      std::min<std::size_t>(static_cast<std::size_t>(options.cv_folds), n);
+  if (folds < 2) return -std::numeric_limits<double>::max();
+  double total = 0.0;
+  std::size_t held_out = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::vector<double>> train, test;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % folds == f) {
+        test.push_back(points[i]);
+      } else {
+        train.push_back(points[i]);
+      }
+    }
+    if (train.size() < static_cast<std::size_t>(k) || test.empty()) {
+      return -std::numeric_limits<double>::max();
+    }
+    Model model;
+    int iters = 0;
+    FitOnce(train, k, options, options.seed + f, &model, &iters);
+    for (const auto& x : test) {
+      double max_l = -std::numeric_limits<double>::max();
+      std::vector<double> logs(model.priors.size());
+      for (std::size_t c = 0; c < model.priors.size(); ++c) {
+        logs[c] = std::log(std::max(model.priors[c], 1e-300)) +
+                  LogDensity(model, c, x);
+        max_l = std::max(max_l, logs[c]);
+      }
+      double sum = 0.0;
+      for (double l : logs) sum += std::exp(l - max_l);
+      total += max_l + std::log(sum);
+      ++held_out;
+    }
+  }
+  return total / static_cast<double>(held_out);
+}
+
+}  // namespace
+
+EmResult FitEm(const AttributeTable& table,
+               const std::vector<int>& numeric_attributes,
+               const EmOptions& options) {
+  TNMINE_CHECK(!numeric_attributes.empty());
+  TNMINE_CHECK(table.num_rows() >= 2);
+  for (int a : numeric_attributes) {
+    TNMINE_CHECK(table.attribute(a).kind == AttrKind::kNumeric);
+  }
+  const Standardized s = StandardizeColumns(table, numeric_attributes);
+
+  int k = options.num_clusters;
+  if (k <= 0) {
+    // Weka-style selection: grow k while cross-validated likelihood
+    // improves.
+    double best_ll = -std::numeric_limits<double>::max();
+    k = 1;
+    for (int trial = 1; trial <= options.max_clusters; ++trial) {
+      const double ll = CrossValidatedLl(s.points, trial, options);
+      // Require a material relative improvement, not a hairline one —
+      // otherwise high-dimensional mixtures keep "improving" all the way
+      // to the bound.
+      const double needed =
+          best_ll == -std::numeric_limits<double>::max()
+              ? 0.0
+              : std::fabs(best_ll) * options.cv_improvement;
+      if (ll > best_ll + needed) {
+        best_ll = ll;
+        k = trial;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Model model;
+  EmResult result;
+  result.log_likelihood =
+      FitOnce(s.points, k, options, options.seed, &model,
+              &result.iterations);
+  result.num_clusters = k;
+
+  // Hard assignments and soft counts.
+  const std::size_t n = s.points.size();
+  const std::size_t kk = static_cast<std::size_t>(k);
+  result.assignment.assign(n, 0);
+  result.soft_counts.assign(kk, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = -std::numeric_limits<double>::max();
+    int arg = 0;
+    std::vector<double> logs(kk);
+    double max_l = -std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < kk; ++c) {
+      logs[c] = std::log(std::max(model.priors[c], 1e-300)) +
+                LogDensity(model, c, s.points[i]);
+      max_l = std::max(max_l, logs[c]);
+      if (logs[c] > best) {
+        best = logs[c];
+        arg = static_cast<int>(c);
+      }
+    }
+    result.assignment[i] = arg;
+    double sum = 0.0;
+    for (double l : logs) sum += std::exp(l - max_l);
+    for (std::size_t c = 0; c < kk; ++c) {
+      result.soft_counts[c] += std::exp(logs[c] - max_l) / sum;
+    }
+  }
+
+  // Report in original units, clusters ordered largest-first.
+  std::vector<std::size_t> order(kk);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return model.priors[a] > model.priors[b];
+  });
+  std::vector<int> rank(kk);
+  for (std::size_t r = 0; r < kk; ++r) {
+    rank[order[r]] = static_cast<int>(r);
+  }
+  result.priors.resize(kk);
+  result.means.assign(kk, std::vector<double>(numeric_attributes.size()));
+  result.stddevs.assign(kk, std::vector<double>(numeric_attributes.size()));
+  std::vector<double> reordered_counts(kk);
+  for (std::size_t c = 0; c < kk; ++c) {
+    const std::size_t to = static_cast<std::size_t>(rank[c]);
+    result.priors[to] = model.priors[c];
+    reordered_counts[to] = result.soft_counts[c];
+    for (std::size_t j = 0; j < numeric_attributes.size(); ++j) {
+      result.means[to][j] = model.means[c][j] * s.scale[j] + s.mean[j];
+      result.stddevs[to][j] = model.stddevs[c][j] * s.scale[j];
+    }
+  }
+  result.soft_counts = std::move(reordered_counts);
+  for (int& a : result.assignment) a = rank[static_cast<std::size_t>(a)];
+  return result;
+}
+
+double ClusterMean(const AttributeTable& table, const EmResult& em,
+                   int attribute, int cluster) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    if (em.assignment[i] == cluster) {
+      sum += table.value(i, attribute);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::size_t ClusterSize(const EmResult& em, int cluster) {
+  std::size_t count = 0;
+  for (int a : em.assignment) count += (a == cluster);
+  return count;
+}
+
+}  // namespace tnmine::ml

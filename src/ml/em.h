@@ -1,0 +1,64 @@
+#ifndef TNMINE_ML_EM_H_
+#define TNMINE_ML_EM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/attribute_table.h"
+
+namespace tnmine::ml {
+
+/// Options for the EM Gaussian-mixture clusterer (Weka's EM, Section 7.3).
+struct EmOptions {
+  /// Number of clusters; 0 selects it by cross-validated log-likelihood
+  /// the way Weka's EM does (increase k while held-out likelihood
+  /// improves).
+  int num_clusters = 0;
+  int max_clusters = 12;   ///< bound for the CV search
+  int cv_folds = 5;
+  int max_iterations = 100;
+  double tolerance = 1e-6;  ///< stop when the LL gain per row drops below
+  std::uint64_t seed = 1;
+  /// Floor for per-dimension standard deviations (on the standardized
+  /// scale) — keeps singleton clusters from collapsing.
+  double min_stddev = 1e-3;
+  /// Seed the k-means initializer with deterministic farthest-point
+  /// centroids so far-flung outlier groups (the paper's air-freight
+  /// shipments) reliably receive their own mixture component.
+  bool farthest_point_init = false;
+  /// Relative held-out log-likelihood improvement required to keep
+  /// growing k during automatic selection.
+  double cv_improvement = 0.002;
+};
+
+/// Mixture-model result. Means/stddevs are reported in the original units
+/// of the selected attributes.
+struct EmResult {
+  int num_clusters = 0;
+  std::vector<double> priors;                  ///< mixing weights
+  std::vector<std::vector<double>> means;      ///< k x d
+  std::vector<std::vector<double>> stddevs;    ///< k x d
+  std::vector<int> assignment;                 ///< argmax responsibility
+  std::vector<double> soft_counts;             ///< expected cluster sizes
+  double log_likelihood = 0.0;                 ///< total over rows
+  int iterations = 0;
+};
+
+/// Fits a diagonal-covariance Gaussian mixture to the listed numeric
+/// attributes of `table` by expectation-maximization, initialized with
+/// k-means on standardized data. Clusters are reported largest-first.
+EmResult FitEm(const AttributeTable& table,
+               const std::vector<int>& numeric_attributes,
+               const EmOptions& options);
+
+/// Mean of `attribute` over the rows hard-assigned to `cluster` — the
+/// per-cluster summaries behind Figure 6(a)/(b).
+double ClusterMean(const AttributeTable& table, const EmResult& em,
+                   int attribute, int cluster);
+
+/// Number of rows hard-assigned to `cluster` (Figure 5's cluster sizes).
+std::size_t ClusterSize(const EmResult& em, int cluster);
+
+}  // namespace tnmine::ml
+
+#endif  // TNMINE_ML_EM_H_

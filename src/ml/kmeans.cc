@@ -1,0 +1,152 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tnmine::ml {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const std::vector<std::vector<double>>& points,
+                       const KMeansOptions& options) {
+  TNMINE_CHECK(options.k >= 1);
+  TNMINE_CHECK(!points.empty());
+  const std::size_t n = points.size();
+  const std::size_t d = points[0].size();
+  for (const auto& p : points) TNMINE_CHECK(p.size() == d);
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(options.k), n);
+  Rng rng(options.seed);
+
+  KMeansResult result;
+  if (options.farthest_point_init) {
+    // First centroid: the point nearest the mean; then repeatedly the
+    // point farthest from every chosen centroid.
+    std::vector<double> mean(d, 0.0);
+    for (const auto& p : points) {
+      for (std::size_t j = 0; j < d; ++j) mean[j] += p[j];
+    }
+    for (double& m : mean) m /= static_cast<double>(n);
+    std::size_t first = 0;
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dd = SquaredDistance(points[i], mean);
+      if (dd < best) {
+        best = dd;
+        first = i;
+      }
+    }
+    result.centroids.push_back(points[first]);
+    std::vector<double> dist2(n, std::numeric_limits<double>::max());
+    while (result.centroids.size() < k) {
+      std::size_t farthest = 0;
+      double far_d = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dist2[i] = std::min(dist2[i],
+                            SquaredDistance(points[i],
+                                            result.centroids.back()));
+        if (dist2[i] > far_d) {
+          far_d = dist2[i];
+          farthest = i;
+        }
+      }
+      result.centroids.push_back(points[farthest]);
+    }
+  }
+  if (result.centroids.empty()) {
+    // k-means++ seeding.
+    result.centroids.push_back(points[rng.NextBounded(n)]);
+    std::vector<double> dist2(n, std::numeric_limits<double>::max());
+    while (result.centroids.size() < k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        dist2[i] = std::min(dist2[i],
+                            SquaredDistance(points[i],
+                                            result.centroids.back()));
+      }
+      double total = 0.0;
+      for (double x : dist2) total += x;
+      if (total <= 0.0) {
+        // All remaining points coincide with chosen centroids.
+        result.centroids.push_back(points[rng.NextBounded(n)]);
+        continue;
+      }
+      double target = rng.NextDouble() * total;
+      std::size_t chosen = n - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= dist2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+      result.centroids.push_back(points[chosen]);
+    }
+  }
+
+  result.assignment.assign(n, 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+        const double dd = SquaredDistance(points[i], result.centroids[c]);
+        if (dd < best_d) {
+          best_d = dd;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(result.centroids.size(),
+                                          std::vector<double>(d, 0.0));
+    std::vector<std::size_t> counts(result.centroids.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      for (std::size_t j = 0; j < d; ++j) sums[c][j] += points[i][j];
+    }
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[rng.NextBounded(n)];
+        changed = true;
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        result.centroids[c][j] =
+            sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(
+        points[i],
+        result.centroids[static_cast<std::size_t>(result.assignment[i])]);
+  }
+  return result;
+}
+
+}  // namespace tnmine::ml

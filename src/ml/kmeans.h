@@ -1,0 +1,39 @@
+#ifndef TNMINE_ML_KMEANS_H_
+#define TNMINE_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tnmine::ml {
+
+/// Options for Lloyd's k-means with k-means++ seeding.
+struct KMeansOptions {
+  int k = 2;
+  int max_iterations = 100;
+  std::uint64_t seed = 1;
+  /// Deterministic farthest-point seeding instead of k-means++: the first
+  /// centroid is the point closest to the data mean, each next centroid
+  /// the point farthest from all chosen ones. Guarantees extreme outlier
+  /// groups (e.g., the paper's three air-freight shipments) get their own
+  /// seed.
+  bool farthest_point_init = false;
+};
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k x d
+  std::vector<int> assignment;                 ///< per point
+  double inertia = 0.0;  ///< sum of squared distances to centroids
+  int iterations = 0;
+};
+
+/// Clusters `points` (row vectors, equal dimension) into k groups. Used
+/// standalone and as the EM initializer (Weka's EM also initializes with
+/// k-means).
+KMeansResult RunKMeans(const std::vector<std::vector<double>>& points,
+                       const KMeansOptions& options);
+
+}  // namespace tnmine::ml
+
+#endif  // TNMINE_ML_KMEANS_H_

@@ -1,0 +1,134 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tnmine::ml {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093453;
+}  // namespace
+
+NaiveBayes NaiveBayes::Train(const AttributeTable& table,
+                             int class_attribute,
+                             const NaiveBayesOptions& options) {
+  TNMINE_CHECK(table.num_rows() > 0);
+  TNMINE_CHECK(table.attribute(class_attribute).kind == AttrKind::kNominal);
+  NaiveBayes model;
+  model.class_attribute_ = class_attribute;
+  const std::size_t num_classes =
+      table.attribute(class_attribute).values.size();
+  const std::size_t n = table.num_rows();
+
+  std::vector<double> class_counts(num_classes, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    class_counts[static_cast<std::size_t>(
+        table.value(r, class_attribute))] += 1;
+  }
+  model.log_prior_.resize(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    model.log_prior_[c] = std::log(
+        (class_counts[c] + options.laplace) /
+        (static_cast<double>(n) +
+         options.laplace * static_cast<double>(num_classes)));
+  }
+
+  const int num_attrs = table.num_attributes();
+  model.nominal_.resize(static_cast<std::size_t>(num_attrs));
+  model.numeric_.resize(static_cast<std::size_t>(num_attrs));
+  model.kinds_.resize(static_cast<std::size_t>(num_attrs));
+  for (int a = 0; a < num_attrs; ++a) {
+    const Attribute& attr = table.attribute(a);
+    model.kinds_[static_cast<std::size_t>(a)] = attr.kind;
+    if (a == class_attribute) continue;
+    if (attr.kind == AttrKind::kNominal) {
+      const std::size_t num_values = attr.values.size();
+      std::vector<std::vector<double>> counts(
+          num_classes, std::vector<double>(num_values, 0.0));
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto c = static_cast<std::size_t>(
+            table.value(r, class_attribute));
+        counts[c][static_cast<std::size_t>(table.value(r, a))] += 1;
+      }
+      auto& ll = model.nominal_[static_cast<std::size_t>(a)].log_likelihood;
+      ll.assign(num_classes, std::vector<double>(num_values, 0.0));
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        for (std::size_t v = 0; v < num_values; ++v) {
+          ll[c][v] = std::log(
+              (counts[c][v] + options.laplace) /
+              (class_counts[c] +
+               options.laplace * static_cast<double>(num_values)));
+        }
+      }
+    } else {
+      auto& nm = model.numeric_[static_cast<std::size_t>(a)];
+      nm.mean.assign(num_classes, 0.0);
+      nm.stddev.assign(num_classes, 1.0);
+      std::vector<double> sums(num_classes, 0.0);
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto c = static_cast<std::size_t>(
+            table.value(r, class_attribute));
+        sums[c] += table.value(r, a);
+      }
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        if (class_counts[c] > 0) nm.mean[c] = sums[c] / class_counts[c];
+      }
+      std::vector<double> sq(num_classes, 0.0);
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto c = static_cast<std::size_t>(
+            table.value(r, class_attribute));
+        const double d = table.value(r, a) - nm.mean[c];
+        sq[c] += d * d;
+      }
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const double var =
+            class_counts[c] > 0 ? sq[c] / class_counts[c] : 1.0;
+        nm.stddev[c] = std::max(options.min_stddev, std::sqrt(var));
+      }
+    }
+  }
+  return model;
+}
+
+std::vector<double> NaiveBayes::LogPosterior(
+    const std::vector<double>& row) const {
+  std::vector<double> scores = log_prior_;
+  for (std::size_t a = 0; a < kinds_.size(); ++a) {
+    if (static_cast<int>(a) == class_attribute_) continue;
+    if (kinds_[a] == AttrKind::kNominal) {
+      const auto& ll = nominal_[a].log_likelihood;
+      const auto v = static_cast<std::size_t>(row[a]);
+      for (std::size_t c = 0; c < scores.size(); ++c) {
+        if (v < ll[c].size()) scores[c] += ll[c][v];
+      }
+    } else {
+      const auto& nm = numeric_[a];
+      for (std::size_t c = 0; c < scores.size(); ++c) {
+        const double z = (row[a] - nm.mean[c]) / nm.stddev[c];
+        scores[c] += -0.5 * (z * z + kLog2Pi) - std::log(nm.stddev[c]);
+      }
+    }
+  }
+  return scores;
+}
+
+int NaiveBayes::Predict(const std::vector<double>& row) const {
+  const std::vector<double> scores = LogPosterior(row);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+double NaiveBayes::Accuracy(const AttributeTable& table) const {
+  if (table.num_rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    correct += Predict(table.row(r)) ==
+               static_cast<int>(table.value(r, class_attribute_));
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(table.num_rows());
+}
+
+}  // namespace tnmine::ml

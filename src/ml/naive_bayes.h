@@ -1,0 +1,60 @@
+#ifndef TNMINE_ML_NAIVE_BAYES_H_
+#define TNMINE_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/attribute_table.h"
+
+namespace tnmine::ml {
+
+/// Options for the naive Bayes classifier.
+struct NaiveBayesOptions {
+  /// Laplace smoothing constant for nominal likelihoods.
+  double laplace = 1.0;
+  /// Floor for per-class numeric standard deviations.
+  double min_stddev = 1e-6;
+};
+
+/// Naive Bayes classifier over mixed attributes: nominal features use
+/// Laplace-smoothed frequency estimates, numeric features per-class
+/// Gaussians — Weka's NaiveBayes, the standard sanity baseline next to
+/// J4.8 in the paper's Section-7 tool chest.
+class NaiveBayes {
+ public:
+  /// Learns class-conditional models for the nominal attribute
+  /// `class_attribute`.
+  static NaiveBayes Train(const AttributeTable& table, int class_attribute,
+                          const NaiveBayesOptions& options = {});
+
+  /// Predicts the class value index for a row laid out like the training
+  /// table's rows.
+  int Predict(const std::vector<double>& row) const;
+
+  /// Per-class log posterior (up to a constant) for a row; useful for
+  /// confidence inspection.
+  std::vector<double> LogPosterior(const std::vector<double>& row) const;
+
+  double Accuracy(const AttributeTable& table) const;
+
+  int class_attribute() const { return class_attribute_; }
+
+ private:
+  int class_attribute_ = -1;
+  std::vector<double> log_prior_;  // per class
+  struct NominalModel {
+    // log P(value | class): [class][value]
+    std::vector<std::vector<double>> log_likelihood;
+  };
+  struct NumericModel {
+    std::vector<double> mean;    // per class
+    std::vector<double> stddev;  // per class
+  };
+  // Index by attribute; exactly one of the two is populated per feature.
+  std::vector<NominalModel> nominal_;
+  std::vector<NumericModel> numeric_;
+  std::vector<AttrKind> kinds_;
+};
+
+}  // namespace tnmine::ml
+
+#endif  // TNMINE_ML_NAIVE_BAYES_H_

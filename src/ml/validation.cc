@@ -1,0 +1,125 @@
+#include "ml/validation.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace tnmine::ml {
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t sum = 0;
+  for (const auto& row : counts_) {
+    for (std::size_t c : row) sum += c;
+  }
+  return sum;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) diag += counts_[i][i];
+  return static_cast<double>(diag) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t predicted = 0;
+  for (const auto& row : counts_) predicted += row[c];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(counts_[c][c]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t actual = 0;
+  for (std::size_t j = 0; j < counts_.size(); ++j) actual += counts_[c][j];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(counts_[c][c]) / static_cast<double>(actual);
+}
+
+std::string ConfusionMatrix::ToString(const Attribute& attr) const {
+  std::ostringstream out;
+  out << "actual \\ predicted";
+  for (const std::string& v : attr.values) out << "  " << v;
+  out << "\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out << attr.values[i];
+    for (std::size_t j = 0; j < counts_.size(); ++j) {
+      out << "  " << counts_[i][j];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+CrossValidationResult CrossValidate(const AttributeTable& table,
+                                    int class_attribute, std::size_t folds,
+                                    std::uint64_t seed,
+                                    const ClassifierFactory& factory) {
+  TNMINE_CHECK(folds >= 2);
+  TNMINE_CHECK(table.num_rows() >= folds);
+  const std::size_t num_classes =
+      table.attribute(class_attribute).values.size();
+  CrossValidationResult result;
+  result.confusion = ConfusionMatrix(num_classes);
+
+  std::vector<std::size_t> order(table.num_rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(order);
+
+  for (std::size_t f = 0; f < folds; ++f) {
+    // Rebuild fold tables (rows copied; tables are modest).
+    AttributeTable train, test;
+    {
+      // Steal the schema via Discretized(1)? No — copy attributes by
+      // constructing from scratch.
+      AttributeTable schema;
+      for (const Attribute& attr : table.attributes()) {
+        if (attr.kind == AttrKind::kNumeric) {
+          schema.AddNumericAttribute(attr.name);
+        } else {
+          schema.AddNominalAttribute(attr.name, attr.values);
+        }
+      }
+      train = schema;
+      test = schema;
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i % folds == f) {
+        test.AddRow(table.row(order[i]));
+      } else {
+        train.AddRow(table.row(order[i]));
+      }
+    }
+    const auto classifier = factory(train, class_attribute);
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < test.num_rows(); ++r) {
+      const int actual =
+          static_cast<int>(test.value(r, class_attribute));
+      const int predicted = classifier(test.row(r));
+      result.confusion.Add(actual, predicted);
+      correct += predicted == actual;
+    }
+    result.fold_accuracies.push_back(
+        test.num_rows() == 0
+            ? 0.0
+            : static_cast<double>(correct) /
+                  static_cast<double>(test.num_rows()));
+  }
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy = sum / static_cast<double>(folds);
+  double sq = 0.0;
+  for (double a : result.fold_accuracies) {
+    sq += (a - result.mean_accuracy) * (a - result.mean_accuracy);
+  }
+  result.stddev_accuracy = std::sqrt(sq / static_cast<double>(folds));
+  return result;
+}
+
+}  // namespace tnmine::ml

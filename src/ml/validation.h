@@ -1,0 +1,66 @@
+#ifndef TNMINE_ML_VALIDATION_H_
+#define TNMINE_ML_VALIDATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ml/attribute_table.h"
+
+namespace tnmine::ml {
+
+/// A confusion matrix over the class values of a nominal attribute.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes)
+      : counts_(num_classes, std::vector<std::size_t>(num_classes, 0)) {}
+
+  void Add(int actual, int predicted) {
+    ++counts_[static_cast<std::size_t>(actual)]
+             [static_cast<std::size_t>(predicted)];
+  }
+
+  std::size_t count(int actual, int predicted) const {
+    return counts_[static_cast<std::size_t>(actual)]
+                  [static_cast<std::size_t>(predicted)];
+  }
+
+  std::size_t total() const;
+  double Accuracy() const;
+  /// Per-class precision / recall (0 when undefined).
+  double Precision(int cls) const;
+  double Recall(int cls) const;
+
+  /// Readable grid with class value names from `attr`.
+  std::string ToString(const Attribute& attr) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> counts_;
+};
+
+/// A classifier under evaluation: trained on one table, queried per row.
+/// The factory receives the training fold and the class attribute; the
+/// returned function maps a row to a predicted class value index.
+using ClassifierFactory = std::function<std::function<int(
+    const std::vector<double>&)>(const AttributeTable&, int)>;
+
+/// Result of a k-fold cross-validation.
+struct CrossValidationResult {
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  std::vector<double> fold_accuracies;
+  ConfusionMatrix confusion{0};
+};
+
+/// Stratification-free k-fold cross-validation of a classifier on
+/// `table` (rows shuffled by `seed`, split into `folds` consecutive
+/// blocks; each block serves once as the test fold).
+CrossValidationResult CrossValidate(const AttributeTable& table,
+                                    int class_attribute, std::size_t folds,
+                                    std::uint64_t seed,
+                                    const ClassifierFactory& factory);
+
+}  // namespace tnmine::ml
+
+#endif  // TNMINE_ML_VALIDATION_H_

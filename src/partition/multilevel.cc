@@ -1,0 +1,302 @@
+#include "partition/multilevel.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace tnmine::partition {
+
+namespace {
+
+/// Undirected weighted working graph used internally by the multilevel
+/// scheme. Parallel input edges are collapsed into weights; self-loops are
+/// dropped (they never contribute to a cut).
+struct WorkGraph {
+  std::vector<std::uint32_t> vertex_weight;
+  // adj[v] = (neighbor, edge weight), each undirected edge stored twice.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj;
+
+  std::size_t size() const { return vertex_weight.size(); }
+  std::uint64_t total_vertex_weight() const {
+    return std::accumulate(vertex_weight.begin(), vertex_weight.end(),
+                           std::uint64_t{0});
+  }
+};
+
+WorkGraph FromLabeledGraph(const graph::LabeledGraph& g) {
+  WorkGraph w;
+  w.vertex_weight.assign(g.num_vertices(), 1);
+  w.adj.resize(g.num_vertices());
+  std::unordered_map<std::uint64_t, std::uint32_t> weight;
+  g.ForEachEdge([&](graph::EdgeId e) {
+    const auto& edge = g.edge(e);
+    if (edge.src == edge.dst) return;
+    const std::uint32_t a = std::min(edge.src, edge.dst);
+    const std::uint32_t b = std::max(edge.src, edge.dst);
+    ++weight[(static_cast<std::uint64_t>(a) << 32) | b];
+  });
+  for (const auto& [key, wgt] : weight) {
+    const std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
+    const std::uint32_t b = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    w.adj[a].emplace_back(b, wgt);
+    w.adj[b].emplace_back(a, wgt);
+  }
+  return w;
+}
+
+/// One coarsening step: heavy-edge matching. Returns the coarse graph and
+/// fills fine_to_coarse.
+WorkGraph Coarsen(const WorkGraph& fine, Rng& rng,
+                  std::vector<std::uint32_t>* fine_to_coarse) {
+  const std::size_t n = fine.size();
+  std::vector<std::uint32_t> match(n, ~std::uint32_t{0});
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  for (std::uint32_t v : order) {
+    if (match[v] != ~std::uint32_t{0}) continue;
+    std::uint32_t best = v;  // default: match with self (singleton)
+    std::uint32_t best_weight = 0;
+    for (const auto& [nbr, wgt] : fine.adj[v]) {
+      if (match[nbr] == ~std::uint32_t{0} && wgt > best_weight) {
+        best = nbr;
+        best_weight = wgt;
+      }
+    }
+    match[v] = best;
+    match[best] = v;
+  }
+  fine_to_coarse->assign(n, 0);
+  std::uint32_t next = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (match[v] >= v) {  // representative of its pair (or singleton)
+      (*fine_to_coarse)[v] = next;
+      if (match[v] != v && match[v] != ~std::uint32_t{0}) {
+        (*fine_to_coarse)[match[v]] = next;
+      }
+      ++next;
+    }
+  }
+  WorkGraph coarse;
+  coarse.vertex_weight.assign(next, 0);
+  coarse.adj.resize(next);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    coarse.vertex_weight[(*fine_to_coarse)[v]] += fine.vertex_weight[v];
+  }
+  std::unordered_map<std::uint64_t, std::uint32_t> weight;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const auto& [nbr, wgt] : fine.adj[v]) {
+      if (nbr < v) continue;  // visit each undirected edge once
+      const std::uint32_t a = (*fine_to_coarse)[v];
+      const std::uint32_t b = (*fine_to_coarse)[nbr];
+      if (a == b) continue;
+      const std::uint32_t lo = std::min(a, b), hi = std::max(a, b);
+      weight[(static_cast<std::uint64_t>(lo) << 32) | hi] += wgt;
+    }
+  }
+  for (const auto& [key, wgt] : weight) {
+    const std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
+    const std::uint32_t b = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    coarse.adj[a].emplace_back(b, wgt);
+    coarse.adj[b].emplace_back(a, wgt);
+  }
+  return coarse;
+}
+
+/// Greedy region-growing initial partition of the coarsest graph.
+std::vector<std::uint32_t> InitialPartition(const WorkGraph& g,
+                                            std::size_t k, Rng& rng) {
+  const std::size_t n = g.size();
+  std::vector<std::uint32_t> part(n, ~std::uint32_t{0});
+  const double target =
+      static_cast<double>(g.total_vertex_weight()) / static_cast<double>(k);
+  std::size_t assigned = 0;
+  for (std::size_t p = 0; p + 1 < k && assigned < n; ++p) {
+    double weight = 0.0;
+    while (weight < target && assigned < n) {
+      // Seed from a random unassigned vertex.
+      std::uint32_t seed = ~std::uint32_t{0};
+      for (std::size_t tries = 0; tries < 2 * n; ++tries) {
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(rng.NextBounded(n));
+        if (part[v] == ~std::uint32_t{0}) {
+          seed = v;
+          break;
+        }
+      }
+      if (seed == ~std::uint32_t{0}) {
+        for (std::uint32_t v = 0; v < n; ++v) {
+          if (part[v] == ~std::uint32_t{0}) {
+            seed = v;
+            break;
+          }
+        }
+      }
+      if (seed == ~std::uint32_t{0}) break;
+      // BFS growth.
+      std::vector<std::uint32_t> frontier = {seed};
+      part[seed] = static_cast<std::uint32_t>(p);
+      weight += g.vertex_weight[seed];
+      ++assigned;
+      std::size_t head = 0;
+      while (head < frontier.size() && weight < target) {
+        const std::uint32_t v = frontier[head++];
+        for (const auto& [nbr, wgt] : g.adj[v]) {
+          (void)wgt;
+          if (weight >= target) break;
+          if (part[nbr] == ~std::uint32_t{0}) {
+            part[nbr] = static_cast<std::uint32_t>(p);
+            weight += g.vertex_weight[nbr];
+            ++assigned;
+            frontier.push_back(nbr);
+          }
+        }
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (part[v] == ~std::uint32_t{0}) {
+      part[v] = static_cast<std::uint32_t>(k - 1);
+    }
+  }
+  return part;
+}
+
+/// Greedy boundary refinement: move vertices to the neighboring partition
+/// with the largest positive gain, subject to the balance cap.
+void Refine(const WorkGraph& g, std::size_t k, double max_part_weight,
+            int passes, Rng& rng, std::vector<std::uint32_t>* part) {
+  const std::size_t n = g.size();
+  std::vector<double> part_weight(k, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    part_weight[(*part)[v]] += g.vertex_weight[v];
+  }
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int pass = 0; pass < passes; ++pass) {
+    rng.Shuffle(order);
+    bool moved_any = false;
+    for (std::uint32_t v : order) {
+      // Edge weight from v toward each adjacent partition.
+      std::unordered_map<std::uint32_t, std::int64_t> toward;
+      for (const auto& [nbr, wgt] : g.adj[v]) {
+        toward[(*part)[nbr]] += wgt;
+      }
+      const std::int64_t internal = toward[(*part)[v]];
+      std::uint32_t best_part = (*part)[v];
+      std::int64_t best_gain = 0;
+      for (const auto& [p, w] : toward) {
+        if (p == (*part)[v]) continue;
+        const std::int64_t gain = w - internal;
+        if (gain > best_gain &&
+            part_weight[p] + g.vertex_weight[v] <= max_part_weight) {
+          best_gain = gain;
+          best_part = p;
+        }
+      }
+      if (best_part != (*part)[v]) {
+        part_weight[(*part)[v]] -= g.vertex_weight[v];
+        part_weight[best_part] += g.vertex_weight[v];
+        (*part)[v] = best_part;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+}
+
+}  // namespace
+
+MultilevelResult MultilevelPartition(const graph::LabeledGraph& g,
+                                     const MultilevelOptions& options) {
+  TNMINE_CHECK(options.num_partitions >= 1);
+  MultilevelResult result;
+  result.assignment.assign(g.num_vertices(), 0);
+  if (g.num_vertices() == 0 || options.num_partitions == 1) {
+    g.ForEachEdge([](graph::EdgeId) {});
+    return result;
+  }
+  Rng rng(options.seed);
+
+  // Coarsening phase.
+  std::vector<WorkGraph> levels;
+  std::vector<std::vector<std::uint32_t>> maps;  // fine index -> coarse
+  levels.push_back(FromLabeledGraph(g));
+  const std::size_t stop_size = std::max<std::size_t>(
+      options.num_partitions,
+      options.coarsen_to_per_partition * options.num_partitions);
+  while (levels.back().size() > stop_size) {
+    std::vector<std::uint32_t> fine_to_coarse;
+    WorkGraph coarse = Coarsen(levels.back(), rng, &fine_to_coarse);
+    if (coarse.size() >=
+        levels.back().size() - levels.back().size() / 20) {
+      break;  // matching stalled; further coarsening is pointless
+    }
+    maps.push_back(std::move(fine_to_coarse));
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial partition on the coarsest level, then uncoarsen with
+  // refinement at every level.
+  const double max_part_weight =
+      (1.0 + options.balance_slack) *
+      static_cast<double>(levels.front().total_vertex_weight()) /
+      static_cast<double>(options.num_partitions);
+  std::vector<std::uint32_t> part =
+      InitialPartition(levels.back(), options.num_partitions, rng);
+  Refine(levels.back(), options.num_partitions, max_part_weight,
+         options.refine_passes, rng, &part);
+  for (std::size_t level = levels.size() - 1; level-- > 0;) {
+    std::vector<std::uint32_t> finer(levels[level].size());
+    for (std::uint32_t v = 0; v < finer.size(); ++v) {
+      finer[v] = part[maps[level][v]];
+    }
+    part = std::move(finer);
+    Refine(levels[level], options.num_partitions, max_part_weight,
+           options.refine_passes, rng, &part);
+  }
+
+  result.assignment = std::move(part);
+  g.ForEachEdge([&](graph::EdgeId e) {
+    const auto& edge = g.edge(e);
+    if (result.assignment[edge.src] != result.assignment[edge.dst]) {
+      ++result.cut_edges;
+    }
+  });
+  return result;
+}
+
+std::vector<graph::LabeledGraph> ExtractPartitions(
+    const graph::LabeledGraph& g,
+    const std::vector<std::uint32_t>& assignment) {
+  TNMINE_CHECK(assignment.size() == g.num_vertices());
+  std::uint32_t num_parts = 0;
+  for (std::uint32_t p : assignment) num_parts = std::max(num_parts, p + 1);
+  std::vector<graph::LabeledGraph> parts(num_parts);
+  std::vector<std::vector<graph::VertexId>> local(
+      num_parts, std::vector<graph::VertexId>(g.num_vertices(),
+                                              graph::kInvalidVertex));
+  auto local_vertex = [&](std::uint32_t p, graph::VertexId v) {
+    if (local[p][v] == graph::kInvalidVertex) {
+      local[p][v] = parts[p].AddVertex(g.vertex_label(v));
+    }
+    return local[p][v];
+  };
+  g.ForEachEdge([&](graph::EdgeId e) {
+    const auto& edge = g.edge(e);
+    const std::uint32_t p = assignment[edge.src];
+    if (p != assignment[edge.dst]) return;  // cut edge dropped
+    parts[p].AddEdge(local_vertex(p, edge.src), local_vertex(p, edge.dst),
+                     edge.label);
+  });
+  std::vector<graph::LabeledGraph> out;
+  for (graph::LabeledGraph& part : parts) {
+    if (part.num_edges() > 0) out.push_back(std::move(part));
+  }
+  return out;
+}
+
+}  // namespace tnmine::partition

@@ -1,0 +1,124 @@
+#include "partition/split_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace tnmine::partition {
+
+using graph::EdgeId;
+using graph::kInvalidVertex;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+std::vector<LabeledGraph> SplitGraph(const LabeledGraph& g,
+                                     const SplitOptions& options) {
+  TNMINE_CHECK(options.num_partitions >= 1);
+  std::vector<LabeledGraph> partitions;
+  if (g.num_edges() == 0) return partitions;
+
+  LabeledGraph work = g;  // edges are consumed from this copy
+  Rng rng(options.seed);
+
+  // Monotonic scan cursors into each vertex's raw adjacency: edges never
+  // come back to life, so the first-live-edge scan is amortized O(degree)
+  // per vertex over the whole run instead of O(degree^2).
+  std::vector<std::size_t> out_cursor(work.num_vertices(), 0);
+  std::vector<std::size_t> in_cursor(work.num_vertices(), 0);
+  auto first_live_edge = [&](VertexId v) -> EdgeId {
+    const auto& outs = work.RawOutEdges(v);
+    while (out_cursor[v] < outs.size() &&
+           !work.edge_alive(outs[out_cursor[v]])) {
+      ++out_cursor[v];
+    }
+    if (out_cursor[v] < outs.size()) return outs[out_cursor[v]];
+    const auto& ins = work.RawInEdges(v);
+    while (in_cursor[v] < ins.size() &&
+           !work.edge_alive(ins[in_cursor[v]])) {
+      ++in_cursor[v];
+    }
+    if (in_cursor[v] < ins.size()) return ins[in_cursor[v]];
+    return graph::kInvalidEdge;
+  };
+
+  // Vertices that still have live edges, for seed selection. Refreshed
+  // lazily: stale entries (degree 0) are skipped.
+  std::vector<VertexId> active;
+  active.reserve(work.num_vertices());
+  for (VertexId v = 0; v < work.num_vertices(); ++v) {
+    if (work.Degree(v) > 0) active.push_back(v);
+  }
+
+  auto pick_seed = [&]() -> VertexId {
+    while (!active.empty()) {
+      const std::size_t i = rng.NextBounded(active.size());
+      const VertexId v = active[i];
+      if (work.Degree(v) > 0) return v;
+      active[i] = active.back();
+      active.pop_back();
+    }
+    return kInvalidVertex;
+  };
+
+  while (work.num_edges() > 0) {
+    const std::size_t partitions_remaining =
+        options.num_partitions > partitions.size()
+            ? options.num_partitions - partitions.size()
+            : 1;
+    std::size_t budget = std::max<std::size_t>(
+        1, work.num_edges() / partitions_remaining);
+
+    const VertexId seed = pick_seed();
+    TNMINE_CHECK(seed != kInvalidVertex);
+
+    LabeledGraph part;
+    std::vector<VertexId> local(work.num_vertices(), kInvalidVertex);
+    auto local_vertex = [&](VertexId v) {
+      if (local[v] == kInvalidVertex) {
+        local[v] = part.AddVertex(work.vertex_label(v));
+      }
+      return local[v];
+    };
+
+    std::deque<VertexId> frontier;
+    std::vector<char> queued(work.num_vertices(), 0);
+    frontier.push_back(seed);
+    queued[seed] = 1;
+
+    while (budget > 0 && !frontier.empty()) {
+      VertexId v;
+      if (options.strategy == SplitStrategy::kBreadthFirst) {
+        v = frontier.front();
+        frontier.pop_front();
+      } else {
+        v = frontier.back();
+        frontier.pop_back();
+      }
+      local_vertex(v);
+      // Move all of v's remaining edges (both directions) while budget
+      // lasts.
+      while (budget > 0 && work.Degree(v) > 0) {
+        const EdgeId take = first_live_edge(v);
+        TNMINE_DCHECK(take != graph::kInvalidEdge);
+        const graph::Edge edge = work.edge(take);
+        part.AddEdge(local_vertex(edge.src), local_vertex(edge.dst),
+                     edge.label);
+        work.RemoveEdge(take);
+        --budget;
+        const VertexId other = (edge.src == v) ? edge.dst : edge.src;
+        if (!queued[other]) {
+          queued[other] = 1;
+          frontier.push_back(other);
+        }
+      }
+    }
+    // Drop vertices that never received an edge (the seed can end up
+    // orphaned when its edges were consumed by the budget check).
+    partitions.push_back(part.Compact(/*drop_isolated_vertices=*/true));
+  }
+  return partitions;
+}
+
+}  // namespace tnmine::partition

@@ -1,0 +1,162 @@
+#include "partition/temporal.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace tnmine::partition {
+
+using data::Transaction;
+using data::TransactionDataset;
+using graph::LabeledGraph;
+
+TemporalPartition PartitionByActiveDay(const TransactionDataset& dataset,
+                                       const TemporalOptions& options) {
+  TemporalPartition out;
+  if (dataset.empty()) return out;
+
+  // Global discretizer over the labeling attribute.
+  std::vector<double> values;
+  values.reserve(dataset.size());
+  for (const Transaction& t : dataset.transactions()) {
+    values.push_back(data::AttributeValue(t, options.attribute));
+  }
+  out.discretizer =
+      options.equal_frequency
+          ? Discretizer::EqualFrequency(values, options.num_bins)
+          : Discretizer::EqualWidth(values, options.num_bins);
+
+  // Global location labels.
+  auto location_label = [&](data::LocationKey key) {
+    const auto it = out.location_label.find(key);
+    if (it != out.location_label.end()) return it->second;
+    const graph::Label label =
+        static_cast<graph::Label>(out.location_label.size());
+    out.location_label.emplace(key, label);
+    return label;
+  };
+
+  // Index transactions by active day.
+  std::int64_t first_day = dataset[0].req_pickup_day;
+  std::int64_t last_day = dataset[0].req_delivery_day;
+  for (const Transaction& t : dataset.transactions()) {
+    first_day = std::min(first_day, t.req_pickup_day);
+    last_day = std::max(last_day, t.req_delivery_day);
+  }
+  const std::size_t num_days =
+      static_cast<std::size_t>(last_day - first_day + 1);
+  std::vector<std::vector<std::uint32_t>> active(num_days);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Transaction& t = dataset[i];
+    TNMINE_CHECK(t.req_delivery_day >= t.req_pickup_day);
+    for (std::int64_t d = t.req_pickup_day; d <= t.req_delivery_day; ++d) {
+      active[static_cast<std::size_t>(d - first_day)].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+
+  for (std::size_t day_index = 0; day_index < num_days; ++day_index) {
+    const auto& txns = active[day_index];
+    if (txns.empty()) continue;
+    // Day-level vertex-label filter (Table 3's "< 200 distinct vertex
+    // labels").
+    if (options.max_distinct_vertex_labels > 0) {
+      std::unordered_set<data::LocationKey> distinct;
+      for (std::uint32_t i : txns) {
+        distinct.insert(TransactionDataset::OriginKey(dataset[i]));
+        distinct.insert(TransactionDataset::DestKey(dataset[i]));
+      }
+      if (distinct.size() >= options.max_distinct_vertex_labels) {
+        ++out.days_filtered_out;
+        continue;
+      }
+    }
+    // Build the day's graph.
+    LabeledGraph day_graph;
+    std::unordered_map<data::LocationKey, graph::VertexId> vertex_of;
+    auto vertex_for = [&](data::LocationKey key) {
+      const auto it = vertex_of.find(key);
+      if (it != vertex_of.end()) return it->second;
+      const graph::VertexId v = day_graph.AddVertex(location_label(key));
+      vertex_of.emplace(key, v);
+      return v;
+    };
+    for (std::uint32_t i : txns) {
+      const Transaction& t = dataset[i];
+      const graph::VertexId src =
+          vertex_for(TransactionDataset::OriginKey(t));
+      const graph::VertexId dst = vertex_for(TransactionDataset::DestKey(t));
+      const graph::Label label = static_cast<graph::Label>(
+          out.discretizer.Bin(data::AttributeValue(t, options.attribute)));
+      day_graph.AddEdge(src, dst, label);
+    }
+    if (options.deduplicate_edges) graph::DeduplicateEdges(&day_graph);
+
+    const std::int64_t day = first_day + static_cast<std::int64_t>(day_index);
+    if (options.split_components) {
+      for (LabeledGraph& component : graph::SplitIntoComponents(day_graph)) {
+        if (options.remove_single_edge_transactions &&
+            component.num_edges() <= 1) {
+          continue;
+        }
+        out.transactions.push_back(std::move(component));
+        out.transaction_day.push_back(day);
+      }
+    } else {
+      if (options.remove_single_edge_transactions &&
+          day_graph.num_edges() <= 1) {
+        continue;
+      }
+      out.transactions.push_back(
+          day_graph.Compact(/*drop_isolated_vertices=*/true));
+      out.transaction_day.push_back(day);
+    }
+  }
+  return out;
+}
+
+TemporalStats ComputeTemporalStats(
+    const std::vector<LabeledGraph>& transactions) {
+  TemporalStats stats;
+  stats.num_transactions = transactions.size();
+  if (transactions.empty()) return stats;
+  std::unordered_set<graph::Label> edge_labels;
+  std::unordered_set<graph::Label> vertex_labels;
+  std::size_t total_edges = 0, total_vertices = 0;
+  for (const LabeledGraph& g : transactions) {
+    total_edges += g.num_edges();
+    total_vertices += g.num_vertices();
+    stats.max_edges = std::max(stats.max_edges, g.num_edges());
+    stats.max_vertices = std::max(stats.max_vertices, g.num_vertices());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      vertex_labels.insert(g.vertex_label(v));
+    }
+    g.ForEachEdge(
+        [&](graph::EdgeId e) { edge_labels.insert(g.edge(e).label); });
+    const std::size_t size = g.num_edges();
+    if (size < 10) {
+      ++stats.size_buckets[0];
+    } else if (size < 100) {
+      ++stats.size_buckets[1];
+    } else if (size < 1000) {
+      ++stats.size_buckets[2];
+    } else if (size < 2000) {
+      ++stats.size_buckets[3];
+    } else if (size < 5000) {
+      ++stats.size_buckets[4];
+    } else {
+      ++stats.size_buckets[5];
+    }
+  }
+  stats.distinct_edge_labels = edge_labels.size();
+  stats.distinct_vertex_labels = vertex_labels.size();
+  stats.avg_edges = static_cast<double>(total_edges) /
+                    static_cast<double>(transactions.size());
+  stats.avg_vertices = static_cast<double>(total_vertices) /
+                       static_cast<double>(transactions.size());
+  return stats;
+}
+
+}  // namespace tnmine::partition

@@ -1,0 +1,66 @@
+#include "pattern/dot.h"
+
+#include <sstream>
+
+namespace tnmine::pattern {
+
+namespace {
+
+/// Escapes a DOT double-quoted string.
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void EmitBody(const graph::LabeledGraph& g, const DotOptions& options,
+              std::ostringstream& out) {
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << "  n" << v;
+    if (options.show_vertex_labels) {
+      out << " [label=\"" << v << " (L" << g.vertex_label(v) << ")\"]";
+    } else {
+      out << " [label=\"" << v << "\"]";
+    }
+    out << ";\n";
+  }
+  g.ForEachEdge([&](graph::EdgeId e) {
+    const auto& edge = g.edge(e);
+    out << "  n" << edge.src << " -> n" << edge.dst << " [label=\"";
+    if (options.bins != nullptr && edge.label >= 0 &&
+        edge.label < options.bins->num_bins()) {
+      out << Escape(options.bins->IntervalLabel(edge.label));
+    } else {
+      out << edge.label;
+    }
+    out << "\"];\n";
+  });
+}
+
+}  // namespace
+
+std::string ToDot(const graph::LabeledGraph& g, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph " << options.name << " {\n";
+  out << "  node [shape=circle fontsize=10];\n";
+  out << "  edge [fontsize=9];\n";
+  EmitBody(g, options, out);
+  out << "}\n";
+  return out.str();
+}
+
+std::string ToDot(const FrequentPattern& p, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph " << options.name << " {\n";
+  out << "  label=\"support " << p.support << "\";\n";
+  out << "  node [shape=circle fontsize=10];\n";
+  out << "  edge [fontsize=9];\n";
+  EmitBody(p.graph, options, out);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tnmine::pattern

@@ -1,0 +1,33 @@
+#ifndef TNMINE_PATTERN_DOT_H_
+#define TNMINE_PATTERN_DOT_H_
+
+#include <string>
+
+#include "common/binning.h"
+#include "pattern/pattern.h"
+
+namespace tnmine::pattern {
+
+/// Options for Graphviz export.
+struct DotOptions {
+  /// Graph name in the `digraph <name> { ... }` header.
+  std::string name = "pattern";
+  /// Show vertex labels (off for Section-5-style uniform labeling, where
+  /// they carry no information).
+  bool show_vertex_labels = true;
+  /// Render edge labels as value intervals using this discretizer
+  /// (Figure-4 style); nullptr prints the raw label integer.
+  const Discretizer* bins = nullptr;
+};
+
+/// Renders a graph as Graphviz DOT — the paper presents all its patterns
+/// (Figures 1-4) as drawn graphs; this produces the same artifacts from
+/// mined patterns (`dot -Tpng` renders them).
+std::string ToDot(const graph::LabeledGraph& g, const DotOptions& options = {});
+
+/// Renders a frequent pattern with its support in the graph label.
+std::string ToDot(const FrequentPattern& p, const DotOptions& options = {});
+
+}  // namespace tnmine::pattern
+
+#endif  // TNMINE_PATTERN_DOT_H_

@@ -1,0 +1,64 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "iso/canonical.h"
+
+namespace tnmine::pattern {
+
+bool PatternRegistry::InsertOrMerge(FrequentPattern p, bool merge_tids) {
+  if (p.code.empty()) p.code = iso::CanonicalCode(p.graph);
+  const auto it = patterns_.find(p.code);
+  if (it == patterns_.end()) {
+    const std::string code = p.code;
+    patterns_.emplace(code, std::move(p));
+    return true;
+  }
+  FrequentPattern& existing = it->second;
+  if (merge_tids) {
+    std::vector<std::uint32_t> merged;
+    merged.reserve(existing.tids.size() + p.tids.size());
+    std::merge(existing.tids.begin(), existing.tids.end(), p.tids.begin(),
+               p.tids.end(), std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    existing.tids = std::move(merged);
+    existing.support = std::max(existing.support, existing.tids.size());
+  }
+  existing.support = std::max(existing.support, p.support);
+  return false;
+}
+
+bool PatternRegistry::Contains(const graph::LabeledGraph& g) const {
+  return patterns_.contains(iso::CanonicalCode(g));
+}
+
+const FrequentPattern* PatternRegistry::Find(const std::string& code) const {
+  const auto it = patterns_.find(code);
+  return it == patterns_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FrequentPattern*> PatternRegistry::SortedBySupport() const {
+  std::vector<const FrequentPattern*> out;
+  out.reserve(patterns_.size());
+  for (const auto& [code, p] : patterns_) out.push_back(&p);
+  std::sort(out.begin(), out.end(),
+            [](const FrequentPattern* a, const FrequentPattern* b) {
+              if (a->support != b->support) return a->support > b->support;
+              if (a->graph.num_edges() != b->graph.num_edges()) {
+                return a->graph.num_edges() > b->graph.num_edges();
+              }
+              return a->code < b->code;
+            });
+  return out;
+}
+
+std::vector<FrequentPattern> PatternRegistry::TakeAll() {
+  std::vector<FrequentPattern> out;
+  out.reserve(patterns_.size());
+  for (auto& [code, p] : patterns_) out.push_back(std::move(p));
+  patterns_.clear();
+  return out;
+}
+
+}  // namespace tnmine::pattern

@@ -1,0 +1,62 @@
+#ifndef TNMINE_PATTERN_PATTERN_H_
+#define TNMINE_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace tnmine::pattern {
+
+/// A frequent pattern over a graph-transaction set — Section 4's notion:
+/// two sub-graphs support the same pattern when they are identical under a
+/// label-preserving isomorphism, and a pattern is frequent when at least
+/// `min_support` transactions contain a sub-graph identical to it.
+struct FrequentPattern {
+  /// The pattern graph (dense, no tombstones).
+  graph::LabeledGraph graph;
+  /// Number of transactions containing the pattern.
+  std::size_t support = 0;
+  /// Indices of the supporting transactions, ascending.
+  std::vector<std::uint32_t> tids;
+  /// Canonical isomorphism-class code (iso::CanonicalCode of `graph`).
+  std::string code;
+};
+
+/// Registry of pattern isomorphism classes keyed by canonical code. Used
+/// by the miners for candidate dedup and by Algorithm 1 to union results
+/// across repeated partitionings.
+class PatternRegistry {
+ public:
+  /// Inserts `p` if its isomorphism class is new; otherwise merges: keeps
+  /// the maximum support (Algorithm 1's union semantics — a pattern
+  /// frequent under any partitioning is frequent in the whole graph) and
+  /// unions the tid lists when `merge_tids` is set. `p.code` may be empty,
+  /// in which case it is computed. Returns true when the class was new.
+  bool InsertOrMerge(FrequentPattern p, bool merge_tids = false);
+
+  /// True if a pattern isomorphic to `g` is present.
+  bool Contains(const graph::LabeledGraph& g) const;
+
+  /// Looks up by canonical code; nullptr when absent.
+  const FrequentPattern* Find(const std::string& code) const;
+
+  std::size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+
+  /// All registered patterns, ordered by decreasing support, ties broken
+  /// by decreasing edge count then code.
+  std::vector<const FrequentPattern*> SortedBySupport() const;
+
+  /// Consumes the registry into a plain vector (unspecified order).
+  std::vector<FrequentPattern> TakeAll();
+
+ private:
+  std::unordered_map<std::string, FrequentPattern> patterns_;
+};
+
+}  // namespace tnmine::pattern
+
+#endif  // TNMINE_PATTERN_PATTERN_H_

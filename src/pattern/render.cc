@@ -1,0 +1,108 @@
+#include "pattern/render.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace tnmine::pattern {
+
+using graph::EdgeId;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+PatternShape ClassifyShape(const LabeledGraph& g) {
+  TNMINE_CHECK(g.num_edges() >= 1);
+  if (g.num_edges() == 1) return PatternShape::kSingleEdge;
+
+  const bool connected = graph::IsWeaklyConnected(g);
+  const bool acyclic =
+      connected && g.num_edges() == g.num_vertices() - 1;
+  std::size_t max_degree = 0;
+  std::size_t degree_two = 0;
+  std::size_t active = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t deg = g.Degree(v);
+    if (deg == 0) continue;
+    ++active;
+    max_degree = std::max(max_degree, deg);
+    degree_two += (deg == 2);
+  }
+  // A simple path (any edge directions along it — Figure 3's route mixes
+  // pickups and deliveries). Checked before hub-and-spoke because a
+  // two-edge path also trivially shares its middle vertex.
+  if (acyclic && max_degree <= 2) return PatternShape::kChain;
+
+  // Hub-and-spoke: one vertex touches every edge (three or more spokes;
+  // fewer is a chain).
+  for (VertexId hub = 0; hub < g.num_vertices(); ++hub) {
+    if (g.Degree(hub) < 3) continue;
+    bool all_incident = true;
+    g.ForEachEdge([&](EdgeId e) {
+      const auto& edge = g.edge(e);
+      if (edge.src != hub && edge.dst != hub) all_incident = false;
+    });
+    if (all_incident) return PatternShape::kHubAndSpoke;
+  }
+
+  if (connected && g.num_edges() == g.num_vertices() &&
+      degree_two == active) {
+    return PatternShape::kCycle;
+  }
+  if (acyclic) return PatternShape::kTree;
+  return PatternShape::kComplex;
+}
+
+const char* ShapeName(PatternShape shape) {
+  switch (shape) {
+    case PatternShape::kSingleEdge:
+      return "single-edge";
+    case PatternShape::kHubAndSpoke:
+      return "hub-and-spoke";
+    case PatternShape::kChain:
+      return "chain";
+    case PatternShape::kCycle:
+      return "cycle";
+    case PatternShape::kTree:
+      return "tree";
+    case PatternShape::kComplex:
+      return "complex";
+  }
+  return "?";
+}
+
+std::string RenderGraph(const LabeledGraph& g, const Discretizer* bins) {
+  std::ostringstream out;
+  const bool uniform_vertices = g.CountDistinctVertexLabels() <= 1;
+  auto vertex_name = [&](VertexId v) {
+    std::ostringstream name;
+    name << v;
+    if (!uniform_vertices) name << "(L" << g.vertex_label(v) << ")";
+    return name.str();
+  };
+  g.ForEachEdge([&](EdgeId e) {
+    const auto& edge = g.edge(e);
+    out << "    " << vertex_name(edge.src) << " -[";
+    if (bins != nullptr && edge.label >= 0 &&
+        edge.label < bins->num_bins()) {
+      out << bins->IntervalLabel(edge.label);
+    } else {
+      out << edge.label;
+    }
+    out << "]-> " << vertex_name(edge.dst) << "\n";
+  });
+  return out.str();
+}
+
+std::string RenderPattern(const FrequentPattern& p, const Discretizer* bins) {
+  std::ostringstream out;
+  out << "pattern support=" << p.support << " vertices="
+      << p.graph.num_vertices() << " edges=" << p.graph.num_edges();
+  if (p.graph.num_edges() >= 1) {
+    out << " shape=" << ShapeName(ClassifyShape(p.graph));
+  }
+  out << "\n" << RenderGraph(p.graph, bins);
+  return out.str();
+}
+
+}  // namespace tnmine::pattern

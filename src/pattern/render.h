@@ -1,0 +1,42 @@
+#ifndef TNMINE_PATTERN_RENDER_H_
+#define TNMINE_PATTERN_RENDER_H_
+
+#include <string>
+
+#include "common/binning.h"
+#include "pattern/pattern.h"
+
+namespace tnmine::pattern {
+
+/// Coarse structural shape of a connected pattern — the vocabulary the
+/// paper uses when reading its figures ("hub-and-spoke", "long chain",
+/// circular routes).
+enum class PatternShape {
+  kSingleEdge,
+  kHubAndSpoke,  ///< every edge shares one center vertex (Figure 2)
+  kChain,        ///< a simple path (Figure 3)
+  kCycle,        ///< a simple cycle (the paper's "circular route")
+  kTree,         ///< acyclic, branching
+  kComplex,      ///< anything with a cycle plus extra structure
+};
+
+/// Classifies the undirected shape of `g` (must be non-empty).
+PatternShape ClassifyShape(const graph::LabeledGraph& g);
+
+/// Human-readable shape name.
+const char* ShapeName(PatternShape shape);
+
+/// Renders a pattern as readable text, Figure-1/2/3-style: one line per
+/// edge "v0 -[label]-> v1". When `bins` is given, edge labels are shown as
+/// value intervals (Figure 4's "[0, 6500]" style); otherwise as raw label
+/// integers. Vertex labels are shown only when not uniform.
+std::string RenderPattern(const FrequentPattern& p,
+                          const Discretizer* bins = nullptr);
+
+/// Renders just the graph (no support line).
+std::string RenderGraph(const graph::LabeledGraph& g,
+                        const Discretizer* bins = nullptr);
+
+}  // namespace tnmine::pattern
+
+#endif  // TNMINE_PATTERN_RENDER_H_

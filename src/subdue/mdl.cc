@@ -1,0 +1,76 @@
+#include "subdue/mdl.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace tnmine::subdue {
+
+using graph::EdgeId;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+namespace {
+
+double Lg(double x) { return x <= 1.0 ? 0.0 : std::log2(x); }
+
+/// log2 of the binomial coefficient C(n, k) via lgamma.
+double LgChoose(std::size_t n, std::size_t k) {
+  if (k == 0 || k >= n) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return (std::lgamma(nd + 1) - std::lgamma(kd + 1) -
+          std::lgamma(nd - kd + 1)) /
+         std::log(2.0);
+}
+
+}  // namespace
+
+double DescriptionLengthBits(const LabeledGraph& g,
+                             std::size_t vertex_label_alphabet,
+                             std::size_t edge_label_alphabet) {
+  const std::size_t v = g.num_vertices();
+  const std::size_t e = g.num_edges();
+  const std::size_t lv = vertex_label_alphabet != 0
+                             ? vertex_label_alphabet
+                             : std::max<std::size_t>(
+                                   1, g.CountDistinctVertexLabels());
+  const std::size_t le =
+      edge_label_alphabet != 0
+          ? edge_label_alphabet
+          : std::max<std::size_t>(1, g.CountDistinctEdgeLabels());
+
+  const double vbits =
+      Lg(static_cast<double>(v) + 1) + static_cast<double>(v) * Lg(lv);
+
+  // Adjacency rows: k_i = number of distinct out-neighbors of vertex i;
+  // multiplicities counted separately below.
+  std::map<std::pair<VertexId, VertexId>, std::size_t> entries;
+  g.ForEachEdge([&](EdgeId eid) {
+    const auto& edge = g.edge(eid);
+    ++entries[{edge.src, edge.dst}];
+  });
+  std::vector<std::size_t> row_count(v, 0);
+  std::size_t max_multiplicity = 0;
+  for (const auto& [key, mult] : entries) {
+    ++row_count[key.first];
+    max_multiplicity = std::max(max_multiplicity, mult);
+  }
+  std::size_t b = 0;
+  for (std::size_t k : row_count) b = std::max(b, k);
+  double rbits = (static_cast<double>(v) + 1) * Lg(static_cast<double>(b) + 1);
+  for (std::size_t i = 0; i < v; ++i) rbits += LgChoose(v, row_count[i]);
+
+  const double ebits =
+      static_cast<double>(e) * (1.0 + Lg(le)) +
+      (static_cast<double>(entries.size()) + 1) *
+          Lg(static_cast<double>(max_multiplicity) + 1);
+
+  return vbits + rbits + ebits;
+}
+
+std::size_t GraphSize(const LabeledGraph& g) {
+  return g.num_vertices() + g.num_edges();
+}
+
+}  // namespace tnmine::subdue

@@ -1,0 +1,36 @@
+#ifndef TNMINE_SUBDUE_MDL_H_
+#define TNMINE_SUBDUE_MDL_H_
+
+#include "graph/labeled_graph.h"
+
+namespace tnmine::subdue {
+
+/// Description length of a labeled directed multigraph in bits, following
+/// the adjacency-matrix encoding of Cook & Holder (JAIR 1994):
+///
+///   vbits — the number of vertices plus each vertex's label
+///           (log2(v+1) + v * log2(lv));
+///   rbits — the adjacency-matrix rows, each encoded as its count of
+///           nonzero entries k_i plus which of the C(v, k_i) vertex
+///           subsets is adjacent ((v+1) * log2(b+1) + sum_i log2 C(v, k_i)
+///           with b = max_i k_i);
+///   ebits — the edge entries: each of the e edges carries its label and
+///           a continuation bit, plus the parallel-edge multiplicities
+///           (e * (1 + log2(le)) + (K+1) * log2(m+1) with K the number of
+///           nonzero adjacency entries and m the largest multiplicity).
+///
+/// `vertex_label_alphabet` / `edge_label_alphabet` give the label-universe
+/// sizes; pass 0 to use the graph's own distinct-label counts (the right
+/// choice when measuring a standalone graph; when measuring a substructure
+/// against a host graph, pass the host's counts so both sides price labels
+/// consistently).
+double DescriptionLengthBits(const graph::LabeledGraph& g,
+                             std::size_t vertex_label_alphabet = 0,
+                             std::size_t edge_label_alphabet = 0);
+
+/// Size of a graph in SUBDUE's "size" evaluation: vertices + edges.
+std::size_t GraphSize(const graph::LabeledGraph& g);
+
+}  // namespace tnmine::subdue
+
+#endif  // TNMINE_SUBDUE_MDL_H_

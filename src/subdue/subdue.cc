@@ -1,0 +1,338 @@
+#include "subdue/subdue.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "iso/canonical.h"
+#include "subdue/mdl.h"
+
+namespace tnmine::subdue {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::kInvalidVertex;
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+namespace {
+
+/// Unique key for an instance (vertex set + edge set).
+std::string InstanceKey(const Instance& inst) {
+  std::ostringstream key;
+  std::vector<VertexId> vs = inst.vertices;
+  std::sort(vs.begin(), vs.end());
+  for (VertexId v : vs) key << v << ',';
+  key << '|';
+  for (EdgeId e : inst.edges) key << e << ',';
+  return key.str();
+}
+
+/// Builds the local pattern graph of an instance. Vertex order follows
+/// inst.vertices.
+LabeledGraph PatternOf(const LabeledGraph& host, const Instance& inst) {
+  LabeledGraph pattern;
+  std::unordered_map<VertexId, VertexId> local;
+  for (VertexId v : inst.vertices) {
+    local.emplace(v, pattern.AddVertex(host.vertex_label(v)));
+  }
+  for (EdgeId e : inst.edges) {
+    const Edge& edge = host.edge(e);
+    pattern.AddEdge(local.at(edge.src), local.at(edge.dst), edge.label);
+  }
+  return pattern;
+}
+
+/// Greedy vertex-disjoint instance selection, in list order. Returns the
+/// selected indices.
+std::vector<std::size_t> SelectDisjoint(const LabeledGraph& host,
+                                        const std::vector<Instance>& insts) {
+  std::vector<char> used(host.num_vertices(), 0);
+  std::vector<std::size_t> chosen;
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    bool free = true;
+    for (VertexId v : insts[i].vertices) {
+      if (used[v]) {
+        free = false;
+        break;
+      }
+    }
+    if (!free) continue;
+    for (VertexId v : insts[i].vertices) used[v] = 1;
+    chosen.push_back(i);
+  }
+  return chosen;
+}
+
+/// Evaluation context: host-graph quantities precomputed once per run.
+struct EvalContext {
+  const LabeledGraph* host;
+  EvalMethod method;
+  bool allow_overlap;
+  double base_cost;          // DL(G) bits or size(G)
+  std::size_t host_vlabels;  // label alphabet sizes of the host
+  std::size_t host_elabels;
+  Label replacement_label;   // fresh label used by trial compressions
+};
+
+void Evaluate(const EvalContext& ctx, Substructure* sub) {
+  const std::vector<std::size_t> chosen =
+      SelectDisjoint(*ctx.host, sub->instances);
+  sub->non_overlapping_instances = chosen.size();
+  switch (ctx.method) {
+    case EvalMethod::kSetCover: {
+      // No negative examples in transportation data (Section 5.1): the
+      // value degenerates to the number of counted instances.
+      sub->value = static_cast<double>(ctx.allow_overlap
+                                           ? sub->instances.size()
+                                           : chosen.size());
+      return;
+    }
+    case EvalMethod::kMdl: {
+      const LabeledGraph compressed =
+          CompressGraph(*ctx.host, *sub, ctx.replacement_label);
+      // The compressed graph and the substructure are priced with the
+      // host's alphabets extended by the replacement label.
+      const double dl_s = DescriptionLengthBits(
+          sub->pattern, ctx.host_vlabels + 1, ctx.host_elabels);
+      const double dl_gs = DescriptionLengthBits(
+          compressed, ctx.host_vlabels + 1, ctx.host_elabels);
+      sub->value = ctx.base_cost / std::max(1e-9, dl_s + dl_gs);
+      return;
+    }
+    case EvalMethod::kSize: {
+      const LabeledGraph compressed =
+          CompressGraph(*ctx.host, *sub, ctx.replacement_label);
+      const double denom = static_cast<double>(GraphSize(sub->pattern) +
+                                               GraphSize(compressed));
+      sub->value = ctx.base_cost / std::max(1.0, denom);
+      return;
+    }
+  }
+  TNMINE_CHECK(false);
+}
+
+}  // namespace
+
+LabeledGraph CompressGraph(const LabeledGraph& g, const Substructure& sub,
+                           Label replacement_label) {
+  const std::vector<std::size_t> chosen = SelectDisjoint(g, sub.instances);
+  // Host vertex -> owning chosen instance (or none).
+  std::vector<std::int32_t> owner(g.num_vertices(), -1);
+  std::unordered_set<EdgeId> instance_edges;
+  for (std::size_t rank = 0; rank < chosen.size(); ++rank) {
+    const Instance& inst = sub.instances[chosen[rank]];
+    for (VertexId v : inst.vertices) {
+      owner[v] = static_cast<std::int32_t>(rank);
+    }
+    instance_edges.insert(inst.edges.begin(), inst.edges.end());
+  }
+  LabeledGraph out;
+  // One vertex per chosen instance, then the untouched vertices.
+  std::vector<VertexId> instance_vertex(chosen.size());
+  for (std::size_t rank = 0; rank < chosen.size(); ++rank) {
+    instance_vertex[rank] = out.AddVertex(replacement_label);
+  }
+  std::vector<VertexId> mapped(g.num_vertices(), kInvalidVertex);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    mapped[v] = owner[v] >= 0
+                    ? instance_vertex[static_cast<std::size_t>(owner[v])]
+                    : out.AddVertex(g.vertex_label(v));
+  }
+  g.ForEachEdge([&](EdgeId e) {
+    if (instance_edges.contains(e)) return;
+    const Edge& edge = g.edge(e);
+    out.AddEdge(mapped[edge.src], mapped[edge.dst], edge.label);
+  });
+  return out;
+}
+
+SubdueResult DiscoverSubstructures(const LabeledGraph& g,
+                                   const SubdueOptions& options) {
+  TNMINE_CHECK(options.beam_width >= 1);
+  TNMINE_CHECK(options.num_best >= 1);
+  SubdueResult result;
+
+  EvalContext ctx;
+  ctx.host = &g;
+  ctx.method = options.method;
+  ctx.allow_overlap = options.allow_overlap;
+  ctx.host_vlabels = std::max<std::size_t>(1, g.CountDistinctVertexLabels());
+  ctx.host_elabels = std::max<std::size_t>(1, g.CountDistinctEdgeLabels());
+  // A label value guaranteed unused by the host.
+  Label max_label = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_label = std::max(max_label, g.vertex_label(v));
+  }
+  ctx.replacement_label = max_label + 1;
+  ctx.base_cost = options.method == EvalMethod::kMdl
+                      ? DescriptionLengthBits(g, ctx.host_vlabels,
+                                              ctx.host_elabels)
+                      : static_cast<double>(GraphSize(g));
+  result.base_cost = ctx.base_cost;
+
+  const std::size_t limit =
+      options.limit != 0 ? options.limit : g.num_edges() / 2 + 1;
+
+  // Initial substructures: one per distinct vertex label.
+  std::map<Label, Substructure> initial;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Label label = g.vertex_label(v);
+    auto it = initial.find(label);
+    if (it == initial.end()) {
+      Substructure sub;
+      sub.pattern.AddVertex(label);
+      sub.code = iso::CanonicalCode(sub.pattern);
+      it = initial.emplace(label, std::move(sub)).first;
+    }
+    if (options.max_instances == 0 ||
+        it->second.instances.size() < options.max_instances) {
+      it->second.instances.push_back(Instance{{v}, {}});
+    }
+  }
+
+  std::vector<Substructure> best;
+  auto offer_best = [&](const Substructure& sub) {
+    best.push_back(sub);
+    std::sort(best.begin(), best.end(),
+              [](const Substructure& a, const Substructure& b) {
+                return a.value > b.value;
+              });
+    if (best.size() > options.num_best) best.resize(options.num_best);
+  };
+
+  std::vector<Substructure> parents;
+  for (auto& [label, sub] : initial) {
+    Evaluate(ctx, &sub);
+    ++result.substructures_evaluated;
+    offer_best(sub);
+    parents.push_back(std::move(sub));
+  }
+  std::sort(parents.begin(), parents.end(),
+            [](const Substructure& a, const Substructure& b) {
+              return a.value > b.value;
+            });
+  if (parents.size() > options.beam_width) {
+    parents.resize(options.beam_width);
+  }
+
+  while (!parents.empty() && result.substructures_evaluated < limit) {
+    // Grow every parent instance by one host edge; group the grown
+    // instances by pattern isomorphism class.
+    struct Child {
+      LabeledGraph pattern;
+      std::vector<Instance> instances;
+      std::unordered_set<std::string> seen;  // instance dedup
+    };
+    std::map<std::string, Child> children;
+    for (const Substructure& parent : parents) {
+      if (options.max_pattern_edges != 0 &&
+          parent.pattern.num_edges() >= options.max_pattern_edges) {
+        continue;
+      }
+      for (const Instance& inst : parent.instances) {
+        // Membership helpers.
+        auto vertex_in = [&](VertexId v) {
+          return std::find(inst.vertices.begin(), inst.vertices.end(), v) !=
+                 inst.vertices.end();
+        };
+        auto edge_in = [&](EdgeId e) {
+          return std::binary_search(inst.edges.begin(), inst.edges.end(), e);
+        };
+        for (VertexId v : inst.vertices) {
+          auto try_extend = [&](EdgeId e) {
+            if (edge_in(e)) return;
+            const Edge& edge = g.edge(e);
+            Instance grown = inst;
+            grown.edges.insert(
+                std::lower_bound(grown.edges.begin(), grown.edges.end(), e),
+                e);
+            const VertexId other = (edge.src == v) ? edge.dst : edge.src;
+            if (!vertex_in(other)) grown.vertices.push_back(other);
+            const std::string key = InstanceKey(grown);
+            const LabeledGraph pattern = PatternOf(g, grown);
+            std::string code = iso::CanonicalCode(pattern);
+            auto [it, inserted] =
+                children.try_emplace(std::move(code));
+            Child& child = it->second;
+            if (inserted) child.pattern = pattern;
+            if (!child.seen.insert(key).second) return;
+            if (options.max_instances != 0 &&
+                child.instances.size() >= options.max_instances) {
+              return;
+            }
+            child.instances.push_back(std::move(grown));
+          };
+          g.ForEachOutEdge(v, try_extend);
+          g.ForEachInEdge(v, [&](EdgeId e) {
+            if (g.edge(e).src != g.edge(e).dst) try_extend(e);
+          });
+        }
+      }
+    }
+
+    std::vector<Substructure> evaluated;
+    for (auto& [code, child] : children) {
+      if (result.substructures_evaluated >= limit) break;
+      Substructure sub;
+      sub.pattern = std::move(child.pattern);
+      sub.code = code;
+      sub.instances = std::move(child.instances);
+      Evaluate(ctx, &sub);
+      ++result.substructures_evaluated;
+      offer_best(sub);
+      evaluated.push_back(std::move(sub));
+    }
+    std::sort(evaluated.begin(), evaluated.end(),
+              [](const Substructure& a, const Substructure& b) {
+                return a.value > b.value;
+              });
+    if (evaluated.size() > options.beam_width) {
+      evaluated.resize(options.beam_width);
+    }
+    parents = std::move(evaluated);
+  }
+
+  result.best = std::move(best);
+  return result;
+}
+
+std::vector<HierarchyLevel> HierarchicalDiscover(const LabeledGraph& g,
+                                                 const SubdueOptions& options,
+                                                 std::size_t passes) {
+  std::vector<HierarchyLevel> levels;
+  LabeledGraph current = g;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    if (current.num_edges() == 0) break;
+    const SubdueResult found = DiscoverSubstructures(current, options);
+    if (found.best.empty()) break;
+    const Substructure& winner = found.best.front();
+    // Stop when nothing compresses any more (for instance-count methods,
+    // require at least two disjoint instances with at least one edge).
+    if (options.method == EvalMethod::kSetCover) {
+      if (winner.non_overlapping_instances < 2 ||
+          winner.pattern.num_edges() == 0) {
+        break;
+      }
+    } else if (winner.value <= 1.0) {
+      break;
+    }
+    Label max_label = 0;
+    for (VertexId v = 0; v < current.num_vertices(); ++v) {
+      max_label = std::max(max_label, current.vertex_label(v));
+    }
+    HierarchyLevel level;
+    level.substructure = winner;
+    level.compressed = CompressGraph(current, winner, max_label + 1)
+                           .Compact(/*drop_isolated_vertices=*/false);
+    levels.push_back(level);
+    current = levels.back().compressed;
+  }
+  return levels;
+}
+
+}  // namespace tnmine::subdue

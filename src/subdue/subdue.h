@@ -1,0 +1,109 @@
+#ifndef TNMINE_SUBDUE_SUBDUE_H_
+#define TNMINE_SUBDUE_SUBDUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace tnmine::subdue {
+
+/// Substructure-evaluation principles (Section 5.1: the paper ran MDL and
+/// Size; Set Cover "is not relevant, as the transportation data has no
+/// concept of negative examples" — it is implemented for completeness and
+/// degenerates to instance counting without negative graphs).
+enum class EvalMethod {
+  kMdl,
+  kSize,
+  kSetCover,
+};
+
+/// One occurrence of a substructure inside the host graph.
+struct Instance {
+  std::vector<graph::VertexId> vertices;  ///< host vertex ids
+  std::vector<graph::EdgeId> edges;       ///< host edge ids, sorted
+};
+
+/// A candidate substructure: its pattern graph and all discovered
+/// instances in the host graph.
+struct Substructure {
+  graph::LabeledGraph pattern;  ///< dense local pattern graph
+  std::string code;             ///< canonical isomorphism-class code
+  std::vector<Instance> instances;
+  /// Greedily-selected count of vertex-disjoint instances (what the
+  /// paper's "without allowing overlap" runs count).
+  std::size_t non_overlapping_instances = 0;
+  /// Evaluation score; higher is better. For MDL and Size this is the
+  /// compression ratio DL(G) / (DL(S) + DL(G|S)) — a value above 1 means
+  /// the substructure compresses the graph.
+  double value = 0.0;
+};
+
+/// Options for substructure discovery.
+struct SubdueOptions {
+  EvalMethod method = EvalMethod::kMdl;
+  /// Beam width of the search (the paper's runs used 4 and 5).
+  std::size_t beam_width = 4;
+  /// Number of best substructures to report (the paper asked for 3-15).
+  std::size_t num_best = 3;
+  /// Do not grow patterns past this many edges (0 = unlimited; the
+  /// paper's Size run capped at 6).
+  std::size_t max_pattern_edges = 0;
+  /// Total substructures to evaluate before stopping (SUBDUE's "limit";
+  /// 0 chooses the tool's default of |E|/2 + 1).
+  std::size_t limit = 0;
+  /// Count overlapping instances in the evaluation. Compression always
+  /// uses a vertex-disjoint instance subset (overlap would double-count
+  /// savings); this flag only changes the reported instance counts.
+  bool allow_overlap = false;
+  /// Cap on retained instances per substructure; keeps hub-heavy graphs
+  /// from exploding the search. 0 = unlimited.
+  std::size_t max_instances = 5000;
+};
+
+/// Discovery outcome.
+struct SubdueResult {
+  /// The num_best best substructures, best first.
+  std::vector<Substructure> best;
+  std::size_t substructures_evaluated = 0;
+  /// DL(G) in bits (MDL) or size(G) in vertices+edges (Size), the
+  /// denominatorless baseline the values are relative to.
+  double base_cost = 0.0;
+};
+
+/// SUBDUE substructure discovery (Holder, Cook & Djoko 1994): beam search
+/// from single-vertex substructures, growing each substructure's instances
+/// one host edge at a time, grouping the grown instances by pattern
+/// isomorphism class, and scoring each class by how well replacing its
+/// instances with a single vertex compresses the host graph.
+SubdueResult DiscoverSubstructures(const graph::LabeledGraph& g,
+                                   const SubdueOptions& options);
+
+/// Replaces the greedily-chosen vertex-disjoint instances of `sub` in `g`
+/// with single vertices labeled `replacement_label`. Edges interior to an
+/// instance disappear; edges crossing the boundary reattach to the new
+/// vertex (possibly becoming self-loops). This is the compression step
+/// SUBDUE uses for hierarchical multi-pass discovery.
+graph::LabeledGraph CompressGraph(const graph::LabeledGraph& g,
+                                  const Substructure& sub,
+                                  graph::Label replacement_label);
+
+/// One level of hierarchical discovery.
+struct HierarchyLevel {
+  Substructure substructure;      ///< best substructure found at this level
+  graph::LabeledGraph compressed; ///< host graph after compression
+};
+
+/// Multi-pass discovery: repeatedly finds the best substructure and
+/// compresses it out of the graph, producing "a hierarchical description
+/// of the structural regularities in the data". Stops after `passes`
+/// levels, when no substructure compresses (value <= 1), or when the
+/// graph runs out of edges.
+std::vector<HierarchyLevel> HierarchicalDiscover(const graph::LabeledGraph& g,
+                                                 const SubdueOptions& options,
+                                                 std::size_t passes);
+
+}  // namespace tnmine::subdue
+
+#endif  // TNMINE_SUBDUE_SUBDUE_H_

@@ -1,0 +1,121 @@
+#include "synth/kk_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace tnmine::synth {
+
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+namespace {
+
+/// A connected random graph: a random tree plus a few extra edges.
+LabeledGraph RandomConnectedPattern(Rng& rng, std::size_t edges,
+                                    int vlabels, int elabels) {
+  LabeledGraph g;
+  const std::size_t tree_edges = std::max<std::size_t>(1, edges);
+  const std::size_t vertices =
+      std::max<std::size_t>(2, tree_edges * 3 / 4 + 1);
+  for (std::size_t i = 0; i < vertices; ++i) {
+    g.AddVertex(static_cast<Label>(rng.NextBounded(vlabels)));
+  }
+  // Random tree over the vertices (each vertex attaches to an earlier
+  // one), random direction.
+  for (VertexId v = 1; v < vertices; ++v) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(v));
+    const Label label = static_cast<Label>(rng.NextBounded(elabels));
+    if (rng.NextBool()) {
+      g.AddEdge(u, v, label);
+    } else {
+      g.AddEdge(v, u, label);
+    }
+  }
+  while (g.num_edges() < edges) {
+    const VertexId a = static_cast<VertexId>(rng.NextBounded(vertices));
+    const VertexId b = static_cast<VertexId>(rng.NextBounded(vertices));
+    g.AddEdge(a, b, static_cast<Label>(rng.NextBounded(elabels)));
+  }
+  return g;
+}
+
+/// Approximately-Poisson positive size around `mean`.
+std::size_t DrawSize(Rng& rng, double mean) {
+  const double x = rng.NextGaussian(mean, std::sqrt(std::max(1.0, mean)));
+  return static_cast<std::size_t>(std::max(1.0, std::round(x)));
+}
+
+}  // namespace
+
+KkResult GenerateKkTransactions(const KkOptions& options) {
+  TNMINE_CHECK(options.num_transactions >= 1);
+  TNMINE_CHECK(options.num_seed_patterns >= 1);
+  TNMINE_CHECK(options.num_vertex_labels >= 1);
+  TNMINE_CHECK(options.num_edge_labels >= 1);
+  Rng rng(options.seed);
+  KkResult result;
+
+  for (std::size_t i = 0; i < options.num_seed_patterns; ++i) {
+    result.seed_patterns.push_back(RandomConnectedPattern(
+        rng, DrawSize(rng, options.avg_pattern_edges),
+        options.num_vertex_labels, options.num_edge_labels));
+  }
+
+  for (std::size_t t = 0; t < options.num_transactions; ++t) {
+    const std::size_t target = DrawSize(rng, options.avg_transaction_edges);
+    LabeledGraph txn;
+    while (txn.num_edges() < target) {
+      const LabeledGraph& seed =
+          result.seed_patterns[rng.NextBounded(
+              result.seed_patterns.size())];
+      // Embed the seed: map each seed vertex either to a fresh vertex or
+      // (with some probability, when the transaction already has
+      // vertices) to a random existing vertex with a matching label — the
+      // overlay step of the original generator.
+      std::vector<VertexId> map(seed.num_vertices());
+      for (VertexId sv = 0; sv < seed.num_vertices(); ++sv) {
+        VertexId target_v = graph::kInvalidVertex;
+        if (txn.num_vertices() > 0 && rng.NextBool(0.3)) {
+          // Try a few times to find a label-compatible existing vertex.
+          for (int tries = 0; tries < 4; ++tries) {
+            const VertexId candidate = static_cast<VertexId>(
+                rng.NextBounded(txn.num_vertices()));
+            if (txn.vertex_label(candidate) == seed.vertex_label(sv)) {
+              target_v = candidate;
+              break;
+            }
+          }
+        }
+        if (target_v == graph::kInvalidVertex) {
+          target_v = txn.AddVertex(seed.vertex_label(sv));
+        }
+        map[sv] = target_v;
+      }
+      seed.ForEachEdge([&](graph::EdgeId e) {
+        const auto& edge = seed.edge(e);
+        txn.AddEdge(map[edge.src], map[edge.dst], edge.label);
+      });
+    }
+    // Top up with random edges if the overlay undershot (rare) and trim is
+    // impossible; a little size noise is fine.
+    while (txn.num_edges() < target) {
+      if (txn.num_vertices() < 2) {
+        txn.AddVertex(
+            static_cast<Label>(rng.NextBounded(options.num_vertex_labels)));
+        continue;
+      }
+      txn.AddEdge(
+          static_cast<VertexId>(rng.NextBounded(txn.num_vertices())),
+          static_cast<VertexId>(rng.NextBounded(txn.num_vertices())),
+          static_cast<Label>(rng.NextBounded(options.num_edge_labels)));
+    }
+    result.transactions.push_back(std::move(txn));
+  }
+  return result;
+}
+
+}  // namespace tnmine::synth

@@ -1,0 +1,106 @@
+#include "synth/planted.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "iso/canonical.h"
+
+namespace tnmine::synth {
+
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+namespace {
+
+LabeledGraph RandomConnectedPattern(Rng& rng, std::size_t edges,
+                                    int vlabels, int elabels) {
+  LabeledGraph g;
+  const std::size_t vertices = std::max<std::size_t>(2, edges * 3 / 4 + 1);
+  for (std::size_t i = 0; i < vertices; ++i) {
+    g.AddVertex(static_cast<Label>(rng.NextBounded(vlabels)));
+  }
+  for (VertexId v = 1; v < vertices; ++v) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(v));
+    const Label label = static_cast<Label>(rng.NextBounded(elabels));
+    if (rng.NextBool()) {
+      g.AddEdge(u, v, label);
+    } else {
+      g.AddEdge(v, u, label);
+    }
+  }
+  while (g.num_edges() < edges) {
+    g.AddEdge(static_cast<VertexId>(rng.NextBounded(vertices)),
+              static_cast<VertexId>(rng.NextBounded(vertices)),
+              static_cast<Label>(rng.NextBounded(elabels)));
+  }
+  return g;
+}
+
+}  // namespace
+
+PlantedResult GeneratePlantedGraph(const PlantedOptions& options) {
+  TNMINE_CHECK(options.num_patterns >= 1);
+  TNMINE_CHECK(options.pattern_edges >= 1);
+  TNMINE_CHECK(options.instances_per_pattern >= 1);
+  Rng rng(options.seed);
+  PlantedResult result;
+
+  // Draw pairwise non-isomorphic patterns.
+  std::vector<std::string> codes;
+  std::size_t attempts = 0;
+  while (result.patterns.size() < options.num_patterns) {
+    TNMINE_CHECK_MSG(++attempts < 1000 * options.num_patterns,
+                     "cannot draw enough distinct patterns; enlarge the "
+                     "label alphabets or pattern size");
+    LabeledGraph candidate = RandomConnectedPattern(
+        rng, options.pattern_edges, options.num_vertex_labels,
+        options.num_edge_labels);
+    std::string code = iso::CanonicalCode(candidate);
+    if (std::find(codes.begin(), codes.end(), code) != codes.end()) {
+      continue;
+    }
+    codes.push_back(std::move(code));
+    result.patterns.push_back(std::move(candidate));
+  }
+
+  // Embed vertex-disjoint instances.
+  LabeledGraph& g = result.graph;
+  for (const LabeledGraph& pattern : result.patterns) {
+    for (std::size_t i = 0; i < options.instances_per_pattern; ++i) {
+      std::vector<VertexId> map(pattern.num_vertices());
+      for (VertexId pv = 0; pv < pattern.num_vertices(); ++pv) {
+        map[pv] = g.AddVertex(pattern.vertex_label(pv));
+      }
+      pattern.ForEachEdge([&](graph::EdgeId e) {
+        const auto& edge = pattern.edge(e);
+        g.AddEdge(map[edge.src], map[edge.dst], edge.label);
+      });
+    }
+  }
+  // Noise vertices and joining edges (single-graph glue).
+  for (std::size_t i = 0; i < options.noise_vertices; ++i) {
+    g.AddVertex(
+        static_cast<Label>(rng.NextBounded(options.num_vertex_labels)));
+  }
+  for (std::size_t i = 0; i < options.noise_edges && g.num_vertices() >= 2;
+       ++i) {
+    g.AddEdge(static_cast<VertexId>(rng.NextBounded(g.num_vertices())),
+              static_cast<VertexId>(rng.NextBounded(g.num_vertices())),
+              static_cast<Label>(rng.NextBounded(options.num_edge_labels)));
+  }
+  return result;
+}
+
+double PatternRecall(const std::vector<LabeledGraph>& truth,
+                     const pattern::PatternRegistry& mined) {
+  if (truth.empty()) return 0.0;
+  std::size_t found = 0;
+  for (const LabeledGraph& pattern : truth) {
+    found += mined.Contains(pattern);
+  }
+  return static_cast<double>(found) / static_cast<double>(truth.size());
+}
+
+}  // namespace tnmine::synth

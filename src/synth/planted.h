@@ -1,0 +1,48 @@
+#ifndef TNMINE_SYNTH_PLANTED_H_
+#define TNMINE_SYNTH_PLANTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "pattern/pattern.h"
+
+namespace tnmine::synth {
+
+/// Parameters for the planted-pattern single-graph generator — the
+/// "simulated data constructed by joining subgraphs with known frequent
+/// patterns to form a single graph" of the paper's footnote 2, used to
+/// measure the recall of partition-then-mine (Algorithm 1).
+struct PlantedOptions {
+  std::size_t num_patterns = 5;
+  std::size_t pattern_edges = 4;
+  std::size_t instances_per_pattern = 30;
+  /// Random vertices/edges stitched around the instances so the result is
+  /// one connected-ish graph rather than a disjoint union.
+  std::size_t noise_vertices = 100;
+  std::size_t noise_edges = 200;
+  int num_vertex_labels = 1;  ///< 1 = uniform (Section 5's setting)
+  int num_edge_labels = 6;
+  std::uint64_t seed = 1;
+};
+
+struct PlantedResult {
+  graph::LabeledGraph graph;
+  /// The planted ground-truth patterns (dense, connected, pairwise
+  /// non-isomorphic).
+  std::vector<graph::LabeledGraph> patterns;
+};
+
+/// Generates a single graph containing `instances_per_pattern`
+/// vertex-disjoint embeddings of each planted pattern, joined into one
+/// graph by noise edges.
+PlantedResult GeneratePlantedGraph(const PlantedOptions& options);
+
+/// Fraction of `truth` patterns whose isomorphism class appears in
+/// `mined` — the footnote-2 recall measure.
+double PatternRecall(const std::vector<graph::LabeledGraph>& truth,
+                     const pattern::PatternRegistry& mined);
+
+}  // namespace tnmine::synth
+
+#endif  // TNMINE_SYNTH_PLANTED_H_

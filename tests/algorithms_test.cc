@@ -1,0 +1,147 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace tnmine::graph {
+namespace {
+
+LabeledGraph TwoTrianglesAndIsolated() {
+  LabeledGraph g;
+  // Triangle 1: 0 -> 1 -> 2 -> 0, triangle 2: 3 -> 4 -> 5 -> 3, isolated 6.
+  for (int i = 0; i < 7; ++i) g.AddVertex(0);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 2, 1);
+  g.AddEdge(2, 0, 1);
+  g.AddEdge(3, 4, 2);
+  g.AddEdge(4, 5, 2);
+  g.AddEdge(5, 3, 2);
+  return g;
+}
+
+TEST(ComponentsTest, FindsComponents) {
+  const LabeledGraph g = TwoTrianglesAndIsolated();
+  const ComponentResult cc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 3u);
+  EXPECT_EQ(cc.component[0], cc.component[1]);
+  EXPECT_EQ(cc.component[1], cc.component[2]);
+  EXPECT_EQ(cc.component[3], cc.component[4]);
+  EXPECT_NE(cc.component[0], cc.component[3]);
+  EXPECT_NE(cc.component[6], cc.component[0]);
+  EXPECT_NE(cc.component[6], cc.component[3]);
+}
+
+TEST(ComponentsTest, DirectionIgnored) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddEdge(1, 0, 1);  // only an in-edge for vertex 0
+  EXPECT_TRUE(IsWeaklyConnected(g));
+}
+
+TEST(ComponentsTest, TombstonedEdgesDisconnect) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  const EdgeId e = g.AddEdge(0, 1, 1);
+  EXPECT_TRUE(IsWeaklyConnected(g));
+  g.RemoveEdge(e);
+  EXPECT_FALSE(IsWeaklyConnected(g));
+}
+
+TEST(SplitIntoComponentsTest, SplitsAndDropsIsolated) {
+  const LabeledGraph g = TwoTrianglesAndIsolated();
+  const std::vector<LabeledGraph> parts = SplitIntoComponents(g);
+  ASSERT_EQ(parts.size(), 2u);
+  for (const LabeledGraph& part : parts) {
+    EXPECT_EQ(part.num_vertices(), 3u);
+    EXPECT_EQ(part.num_edges(), 3u);
+    EXPECT_TRUE(IsWeaklyConnected(part));
+  }
+}
+
+TEST(SplitIntoComponentsTest, PreservesTotalEdges) {
+  Rng rng(5);
+  LabeledGraph g;
+  for (int i = 0; i < 60; ++i) g.AddVertex(static_cast<Label>(i % 4));
+  for (int i = 0; i < 90; ++i) {
+    g.AddEdge(static_cast<VertexId>(rng.NextBounded(60)),
+              static_cast<VertexId>(rng.NextBounded(60)),
+              static_cast<Label>(rng.NextBounded(5)));
+  }
+  const auto parts = SplitIntoComponents(g);
+  std::size_t total_edges = 0;
+  for (const auto& part : parts) total_edges += part.num_edges();
+  EXPECT_EQ(total_edges, g.num_edges());
+}
+
+TEST(InducedSubgraphTest, KeepsOnlySelectedEndpointEdges) {
+  const LabeledGraph g = TwoTrianglesAndIsolated();
+  std::vector<VertexId> map;
+  const LabeledGraph sub = InducedSubgraph(g, {0, 1, 3}, &map);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 1u);  // only 0 -> 1 survives
+  EXPECT_EQ(map[2], kInvalidVertex);
+  EXPECT_NE(map[0], kInvalidVertex);
+}
+
+TEST(InducedSubgraphTest, DuplicateSelectionIsIdempotent) {
+  const LabeledGraph g = TwoTrianglesAndIsolated();
+  const LabeledGraph sub = InducedSubgraph(g, {0, 0, 1, 1});
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);
+}
+
+TEST(DegreeStatsTest, MatchesHandComputation) {
+  LabeledGraph g;
+  for (int i = 0; i < 4; ++i) g.AddVertex(0);
+  // Star: 0 -> 1, 0 -> 2, 0 -> 3, and 1 -> 0.
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(0, 2, 1);
+  g.AddEdge(0, 3, 1);
+  g.AddEdge(1, 0, 1);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.max_out, 3u);
+  EXPECT_EQ(stats.min_out, 0u);
+  EXPECT_EQ(stats.max_in, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_out, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avg_in, 1.0);
+}
+
+TEST(DegreeStatsTest, IgnoresIsolatedVertices) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddVertex(0);  // isolated
+  g.AddEdge(0, 1, 1);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_DOUBLE_EQ(stats.avg_out, 0.5);  // over the two active vertices
+}
+
+TEST(DeduplicateEdgesTest, RemovesExactDuplicatesOnly) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(0);
+  g.AddEdge(a, b, 1);
+  g.AddEdge(a, b, 1);  // duplicate
+  g.AddEdge(a, b, 2);  // different label, kept
+  g.AddEdge(b, a, 1);  // different direction, kept
+  EXPECT_EQ(DeduplicateEdges(&g), 1u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(BfsOrderTest, VisitsReachableOnce) {
+  const LabeledGraph g = TwoTrianglesAndIsolated();
+  const std::vector<VertexId> order = BfsOrder(g, 0);
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0u);
+  std::vector<VertexId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VertexId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace tnmine::graph

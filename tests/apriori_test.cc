@@ -1,0 +1,135 @@
+#include "ml/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tnmine::ml {
+namespace {
+
+/// Weather-style toy table with a deterministic rule: heavy -> TL.
+AttributeTable ModeTable() {
+  AttributeTable t;
+  t.AddNominalAttribute("WEIGHT", {"light", "heavy"});
+  t.AddNominalAttribute("MODE", {"TL", "LTL"});
+  t.AddNominalAttribute("REGION", {"east", "west"});
+  // 6 heavy TL east, 2 heavy TL west, 1 heavy LTL east,
+  // 5 light LTL east, 4 light LTL west, 2 light TL west.
+  for (int i = 0; i < 6; ++i) t.AddRow({1, 0, 0});
+  for (int i = 0; i < 2; ++i) t.AddRow({1, 0, 1});
+  t.AddRow({1, 1, 0});
+  for (int i = 0; i < 5; ++i) t.AddRow({0, 1, 0});
+  for (int i = 0; i < 4; ++i) t.AddRow({0, 1, 1});
+  for (int i = 0; i < 2; ++i) t.AddRow({0, 0, 1});
+  return t;
+}
+
+TEST(AprioriTest, FindsWeightToModeRule) {
+  const AttributeTable t = ModeTable();
+  AprioriOptions options;
+  options.min_support = 0.2;
+  options.min_confidence = 0.8;
+  const AprioriResult r = MineAssociationRules(t, options);
+  ASSERT_FALSE(r.rules.empty());
+  bool found = false;
+  for (const AssociationRule& rule : r.rules) {
+    if (rule.lhs.size() == 1 && rule.lhs[0].attribute == 0 &&
+        rule.lhs[0].value == 1 && rule.rhs[0].attribute == 1 &&
+        rule.rhs[0].value == 0) {
+      found = true;
+      EXPECT_NEAR(rule.confidence, 8.0 / 9.0, 1e-12);
+      EXPECT_NEAR(rule.support, 8.0 / 20.0, 1e-12);
+      EXPECT_GT(rule.lift, 1.5);  // TL base rate is 10/20
+      EXPECT_GT(rule.leverage, 0.0);
+      EXPECT_GT(rule.conviction, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AprioriTest, MinSupportFilters) {
+  const AttributeTable t = ModeTable();
+  AprioriOptions options;
+  options.min_support = 0.95;  // nothing is that common
+  const AprioriResult r = MineAssociationRules(t, options);
+  EXPECT_TRUE(r.frequent_itemsets.empty());
+  EXPECT_TRUE(r.rules.empty());
+}
+
+TEST(AprioriTest, SupportCountsAreExact) {
+  const AttributeTable t = ModeTable();
+  AprioriOptions options;
+  options.min_support = 0.1;
+  options.min_confidence = 0.0;
+  const AprioriResult r = MineAssociationRules(t, options);
+  for (const ItemSet& s : r.frequent_itemsets) {
+    // Recount by scan.
+    std::size_t count = 0;
+    for (std::size_t row = 0; row < t.num_rows(); ++row) {
+      bool match = true;
+      for (const Item& item : s.items) {
+        if (static_cast<int>(t.value(row, item.attribute)) != item.value) {
+          match = false;
+        }
+      }
+      count += match;
+    }
+    EXPECT_EQ(s.count, count);
+    EXPECT_GE(s.count, static_cast<std::size_t>(2));  // 0.1 * 20
+    // At most one item per attribute.
+    for (std::size_t i = 1; i < s.items.size(); ++i) {
+      EXPECT_LT(s.items[i - 1].attribute, s.items[i].attribute);
+    }
+  }
+}
+
+TEST(AprioriTest, RulesSortedByConfidence) {
+  const AttributeTable t = ModeTable();
+  AprioriOptions options;
+  options.min_support = 0.1;
+  options.min_confidence = 0.5;
+  const AprioriResult r = MineAssociationRules(t, options);
+  for (std::size_t i = 1; i < r.rules.size(); ++i) {
+    EXPECT_GE(r.rules[i - 1].confidence, r.rules[i].confidence);
+  }
+}
+
+TEST(AprioriTest, MaxRulesTruncates) {
+  const AttributeTable t = ModeTable();
+  AprioriOptions options;
+  options.min_support = 0.1;
+  options.min_confidence = 0.3;
+  options.max_rules = 3;
+  const AprioriResult r = MineAssociationRules(t, options);
+  EXPECT_LE(r.rules.size(), 3u);
+}
+
+TEST(AprioriTest, PerfectConfidenceGivesInfiniteConviction) {
+  AttributeTable t;
+  t.AddNominalAttribute("A", {"x", "y"});
+  t.AddNominalAttribute("B", {"p", "q"});
+  for (int i = 0; i < 5; ++i) t.AddRow({0, 0});
+  for (int i = 0; i < 5; ++i) t.AddRow({1, 1});
+  AprioriOptions options;
+  options.min_support = 0.3;
+  options.min_confidence = 0.9;
+  const AprioriResult r = MineAssociationRules(t, options);
+  ASSERT_FALSE(r.rules.empty());
+  EXPECT_TRUE(std::isinf(r.rules.front().conviction));
+  EXPECT_DOUBLE_EQ(r.rules.front().confidence, 1.0);
+}
+
+TEST(AprioriTest, RuleToStringReadable) {
+  const AttributeTable t = ModeTable();
+  AprioriOptions options;
+  options.min_support = 0.2;
+  options.min_confidence = 0.8;
+  const AprioriResult r = MineAssociationRules(t, options);
+  ASSERT_FALSE(r.rules.empty());
+  const std::string text = RuleToString(t, r.rules.front());
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_NE(text.find("conf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tnmine::ml

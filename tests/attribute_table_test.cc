@@ -1,0 +1,91 @@
+#include "ml/attribute_table.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace tnmine::ml {
+namespace {
+
+AttributeTable TinyTable() {
+  AttributeTable t;
+  t.AddNumericAttribute("x");
+  t.AddNominalAttribute("color", {"red", "green"});
+  t.AddRow({1.5, 0});
+  t.AddRow({2.5, 1});
+  t.AddRow({3.5, 1});
+  return t;
+}
+
+TEST(AttributeTableTest, BasicAccess) {
+  const AttributeTable t = TinyTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_attributes(), 2);
+  EXPECT_EQ(t.attribute(0).name, "x");
+  EXPECT_EQ(t.attribute(0).kind, AttrKind::kNumeric);
+  EXPECT_EQ(t.attribute(1).kind, AttrKind::kNominal);
+  EXPECT_DOUBLE_EQ(t.value(1, 0), 2.5);
+  EXPECT_EQ(t.NominalValue(0, 1), "red");
+  EXPECT_EQ(t.NominalValue(2, 1), "green");
+  EXPECT_EQ(t.AttributeIndex("color"), 1);
+  EXPECT_EQ(t.AttributeIndex("missing"), -1);
+  EXPECT_EQ(t.Column(0), (std::vector<double>{1.5, 2.5, 3.5}));
+}
+
+TEST(AttributeTableTest, FromTransactionsSchema) {
+  const auto ds =
+      data::GenerateTransportData(data::GeneratorConfig::SmallScale());
+  const AttributeTable t = AttributeTable::FromTransactions(ds);
+  EXPECT_EQ(t.num_rows(), ds.size());
+  EXPECT_EQ(t.num_attributes(), 8);  // dates and ID excluded (Section 7)
+  EXPECT_EQ(t.AttributeIndex("REQ_PICKUP_DT"), -1);
+  EXPECT_EQ(t.AttributeIndex("ID"), -1);
+  EXPECT_GE(t.AttributeIndex("GROSS_WEIGHT"), 0);
+  const int mode = t.AttributeIndex("TRANS_MODE");
+  ASSERT_GE(mode, 0);
+  EXPECT_EQ(t.attribute(mode).kind, AttrKind::kNominal);
+  EXPECT_EQ(t.attribute(mode).values,
+            (std::vector<std::string>{"TL", "LTL"}));
+}
+
+TEST(AttributeTableTest, DiscretizedMakesEverythingNominal) {
+  const AttributeTable t = TinyTable();
+  const AttributeTable d = t.Discretized(2, /*equal_frequency=*/false);
+  EXPECT_EQ(d.num_rows(), t.num_rows());
+  for (int a = 0; a < d.num_attributes(); ++a) {
+    EXPECT_EQ(d.attribute(a).kind, AttrKind::kNominal);
+  }
+  // x column: [1.5, 3.5] into 2 equal-width bins, cut at 2.5 (closed
+  // right): rows 0 and 1 -> bin 0, row 2 -> bin 1.
+  EXPECT_EQ(d.value(0, 0), 0.0);
+  EXPECT_EQ(d.value(1, 0), 0.0);
+  EXPECT_EQ(d.value(2, 0), 1.0);
+  // Nominal column untouched.
+  EXPECT_EQ(d.NominalValue(2, 1), "green");
+  // Interval names are human-readable.
+  EXPECT_NE(d.attribute(0).values[0].find("(-inf"), std::string::npos);
+}
+
+TEST(AttributeTableTest, SplitPartitionsRows) {
+  AttributeTable t;
+  t.AddNumericAttribute("x");
+  for (int i = 0; i < 100; ++i) t.AddRow({static_cast<double>(i)});
+  Rng rng(3);
+  AttributeTable train, test;
+  t.Split(0.3, rng, &train, &test);
+  EXPECT_EQ(train.num_rows(), 70u);
+  EXPECT_EQ(test.num_rows(), 30u);
+  // No row lost or duplicated.
+  std::vector<double> all;
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    all.push_back(train.value(i, 0));
+  }
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    all.push_back(test.value(i, 0));
+  }
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(all[i], i);
+}
+
+}  // namespace
+}  // namespace tnmine::ml

@@ -1,0 +1,119 @@
+#include "common/binning.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace tnmine {
+namespace {
+
+TEST(DiscretizerTest, FromCutPointsBasic) {
+  const Discretizer d = Discretizer::FromCutPoints({10.0, 20.0, 30.0});
+  EXPECT_EQ(d.num_bins(), 4);
+  EXPECT_EQ(d.Bin(-100.0), 0);
+  EXPECT_EQ(d.Bin(10.0), 0);   // closed on the right
+  EXPECT_EQ(d.Bin(10.0001), 1);
+  EXPECT_EQ(d.Bin(20.0), 1);
+  EXPECT_EQ(d.Bin(25.0), 2);
+  EXPECT_EQ(d.Bin(30.0), 2);
+  EXPECT_EQ(d.Bin(31.0), 3);
+  EXPECT_EQ(d.Bin(1e12), 3);
+}
+
+TEST(DiscretizerTest, EmptyCutsSingleBin) {
+  const Discretizer d = Discretizer::FromCutPoints({});
+  EXPECT_EQ(d.num_bins(), 1);
+  EXPECT_EQ(d.Bin(-1.0), 0);
+  EXPECT_EQ(d.Bin(42.0), 0);
+}
+
+TEST(DiscretizerTest, EqualWidthCoversRange) {
+  const std::vector<double> values = {0.0, 10.0, 20.0, 30.0, 40.0};
+  const Discretizer d = Discretizer::EqualWidth(values, 4);
+  EXPECT_EQ(d.num_bins(), 4);
+  EXPECT_EQ(d.Bin(0.0), 0);
+  EXPECT_EQ(d.Bin(10.0), 0);  // boundary closed right
+  EXPECT_EQ(d.Bin(15.0), 1);
+  EXPECT_EQ(d.Bin(35.0), 3);
+  EXPECT_EQ(d.Bin(40.0), 3);
+}
+
+TEST(DiscretizerTest, EqualWidthDegenerateAllEqual) {
+  const std::vector<double> values(7, 3.5);
+  const Discretizer d = Discretizer::EqualWidth(values, 5);
+  EXPECT_EQ(d.num_bins(), 1);
+  EXPECT_EQ(d.Bin(3.5), 0);
+}
+
+TEST(DiscretizerTest, EqualFrequencyBalances) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i));
+  const Discretizer d = Discretizer::EqualFrequency(values, 10);
+  EXPECT_EQ(d.num_bins(), 10);
+  std::vector<int> counts(10, 0);
+  for (double v : values) ++counts[d.Bin(v)];
+  for (int c : counts) {
+    EXPECT_GE(c, 80);
+    EXPECT_LE(c, 120);
+  }
+}
+
+TEST(DiscretizerTest, EqualFrequencyHeavyDuplicatesCollapses) {
+  // 90% of the mass at one value: duplicate quantile cuts must collapse.
+  std::vector<double> values(900, 5.0);
+  for (int i = 0; i < 100; ++i) values.push_back(100.0 + i);
+  const Discretizer d = Discretizer::EqualFrequency(values, 10);
+  EXPECT_LT(d.num_bins(), 10);
+  EXPECT_GE(d.num_bins(), 2);
+  EXPECT_EQ(d.Bin(5.0), 0);
+  EXPECT_GT(d.Bin(150.0), 0);
+}
+
+TEST(DiscretizerTest, IntervalLabelsAreInformative) {
+  const Discretizer d = Discretizer::FromCutPoints({6500.0, 13000.0});
+  EXPECT_EQ(d.IntervalLabel(0), "(-inf, 6500]");
+  EXPECT_EQ(d.IntervalLabel(1), "(6500, 13000]");
+  EXPECT_EQ(d.IntervalLabel(2), "(13000, +inf)");
+}
+
+// Paper Section 3: with binning, two weights of 49 and 52 tons (98,000 and
+// 104,000 lb) within a ~500-ton range must land in the same bin when seven
+// bins cover the range.
+TEST(DiscretizerTest, PaperWeightBinningScenario) {
+  std::vector<double> weights;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) weights.push_back(rng.NextDouble(0, 1.0e6));
+  const Discretizer d = Discretizer::EqualWidth(weights, 7);
+  EXPECT_EQ(d.num_bins(), 7);
+  EXPECT_EQ(d.Bin(98000.0), d.Bin(104000.0));
+}
+
+class BinningPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinningPropertyTest, EveryValueMapsIntoValidBinAndMonotone) {
+  const int bins = GetParam();
+  Rng rng(99 + static_cast<std::uint64_t>(bins));
+  std::vector<double> values;
+  for (int i = 0; i < 777; ++i) values.push_back(rng.NextGaussian(0, 100));
+  for (const Discretizer& d : {Discretizer::EqualWidth(values, bins),
+                               Discretizer::EqualFrequency(values, bins)}) {
+    int prev = -1;
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (double v : sorted) {
+      const int b = d.Bin(v);
+      ASSERT_GE(b, 0);
+      ASSERT_LT(b, d.num_bins());
+      ASSERT_GE(b, prev);  // monotone in the value
+      prev = b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, BinningPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 10, 16));
+
+}  // namespace
+}  // namespace tnmine

@@ -1,0 +1,127 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tnmine {
+namespace {
+
+TEST(ParseCsvLineTest, PlainFields) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine("a,b,c", &fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine(",,", &fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithComma) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine("\"a,b\",c", &fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EscapedQuote) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine("\"say \"\"hi\"\"\"", &fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"say \"hi\""}));
+}
+
+TEST(ParseCsvLineTest, MalformedUnterminatedQuote) {
+  std::vector<std::string> fields;
+  EXPECT_FALSE(ParseCsvLine("\"oops", &fields));
+}
+
+TEST(ParseCsvLineTest, MalformedQuoteMidField) {
+  std::vector<std::string> fields;
+  EXPECT_FALSE(ParseCsvLine("ab\"cd\",e", &fields));
+}
+
+TEST(EscapeCsvFieldTest, RoundTrips) {
+  const std::vector<std::string> cases = {"plain", "with,comma",
+                                          "with\"quote", "", "multi\nline"};
+  for (const std::string& s : cases) {
+    std::vector<std::string> fields;
+    ASSERT_TRUE(ParseCsvLine(EscapeCsvField(s), &fields)) << s;
+    if (s.find('\n') == std::string::npos) {
+      ASSERT_EQ(fields.size(), 1u);
+      EXPECT_EQ(fields[0], s);
+    }
+  }
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/tnmine_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvFileTest, WriteThenReadRoundTrip) {
+  {
+    CsvWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRecord({"id", "origin", "note"});
+    writer.WriteRecord({"1", "44.5,-88.0", "plain"});
+    writer.WriteRecord({"2", "40.4,-86.9", "has \"quotes\""});
+  }
+  CsvReader reader(path_);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.ReadRecord(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"id", "origin", "note"}));
+  ASSERT_TRUE(reader.ReadRecord(&fields));
+  EXPECT_EQ(fields[1], "44.5,-88.0");
+  ASSERT_TRUE(reader.ReadRecord(&fields));
+  EXPECT_EQ(fields[2], "has \"quotes\"");
+  EXPECT_FALSE(reader.ReadRecord(&fields));
+  EXPECT_TRUE(reader.ok());  // clean EOF, not an error
+}
+
+TEST_F(CsvFileTest, MissingFileReportsError) {
+  CsvReader reader("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CsvFileTest, MalformedRecordStopsWithError) {
+  {
+    CsvWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRecord({"good", "row"});
+  }
+  // Append a malformed line manually.
+  FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("bad\"quote,row\n", f);
+  std::fclose(f);
+
+  CsvReader reader(path_);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.ReadRecord(&fields));
+  EXPECT_FALSE(reader.ReadRecord(&fields));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("malformed"), std::string::npos);
+}
+
+TEST_F(CsvFileTest, SkipsBlankLines) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("a,b\n\n\nc,d\n", f);
+  std::fclose(f);
+  CsvReader reader(path_);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.ReadRecord(&fields));
+  EXPECT_EQ(fields[0], "a");
+  ASSERT_TRUE(reader.ReadRecord(&fields));
+  EXPECT_EQ(fields[0], "c");
+  EXPECT_FALSE(reader.ReadRecord(&fields));
+}
+
+}  // namespace
+}  // namespace tnmine

@@ -1,0 +1,157 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/date.h"
+
+namespace tnmine::data {
+namespace {
+
+Transaction MakeTransaction(std::int64_t id, double olat, double olon,
+                            double dlat, double dlon) {
+  Transaction t;
+  t.id = id;
+  t.req_pickup_day = DayNumberFromCivil({2004, 3, 1});
+  t.req_delivery_day = t.req_pickup_day + 2;
+  t.origin_latitude = olat;
+  t.origin_longitude = olon;
+  t.dest_latitude = dlat;
+  t.dest_longitude = dlon;
+  t.total_distance = 300.0;
+  t.gross_weight = 12000.0;
+  t.transit_hours = 9.5;
+  t.mode = TransMode::kTruckload;
+  return t;
+}
+
+TEST(DatasetStatsTest, EmptyDataset) {
+  TransactionDataset ds;
+  const DatasetStats stats = ds.ComputeStats();
+  EXPECT_EQ(stats.num_transactions, 0u);
+  EXPECT_EQ(stats.distinct_locations, 0u);
+}
+
+TEST(DatasetStatsTest, CountsDistinctEntities) {
+  TransactionDataset ds;
+  // A -> B twice (one OD pair), B -> A once, A -> C once.
+  ds.Add(MakeTransaction(1, 44.5, -88.0, 40.4, -86.9));
+  ds.Add(MakeTransaction(2, 44.5, -88.0, 40.4, -86.9));
+  ds.Add(MakeTransaction(3, 40.4, -86.9, 44.5, -88.0));
+  ds.Add(MakeTransaction(4, 44.5, -88.0, 33.7, -84.4));
+  const DatasetStats stats = ds.ComputeStats();
+  EXPECT_EQ(stats.num_transactions, 4u);
+  EXPECT_EQ(stats.distinct_locations, 3u);
+  EXPECT_EQ(stats.distinct_origins, 2u);
+  EXPECT_EQ(stats.distinct_destinations, 3u);
+  EXPECT_EQ(stats.distinct_od_pairs, 3u);
+  EXPECT_EQ(stats.num_truckload, 4u);
+  EXPECT_EQ(stats.num_less_than_truckload, 0u);
+}
+
+TEST(DatasetStatsTest, SummariesAndDateRange) {
+  TransactionDataset ds;
+  Transaction a = MakeTransaction(1, 44.5, -88.0, 40.4, -86.9);
+  a.total_distance = 100.0;
+  a.req_pickup_day = 100;
+  Transaction b = MakeTransaction(2, 44.5, -88.0, 40.4, -86.9);
+  b.total_distance = 300.0;
+  b.req_pickup_day = 50;
+  b.mode = TransMode::kLessThanTruckload;
+  ds.Add(a);
+  ds.Add(b);
+  const DatasetStats stats = ds.ComputeStats();
+  EXPECT_DOUBLE_EQ(stats.distance.mean, 200.0);
+  EXPECT_EQ(stats.first_pickup_day, 50);
+  EXPECT_EQ(stats.last_pickup_day, 100);
+  EXPECT_EQ(stats.num_less_than_truckload, 1u);
+}
+
+class DatasetCsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/tnmine_dataset_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(DatasetCsvTest, SaveLoadRoundTrip) {
+  TransactionDataset ds;
+  ds.Add(MakeTransaction(1, 44.5, -88.0, 40.4, -86.9));
+  Transaction t2 = MakeTransaction(2, 47.6, -122.3, 21.3, -157.9);
+  t2.mode = TransMode::kLessThanTruckload;
+  t2.gross_weight = 1500.5;
+  t2.transit_hours = 9.25;
+  ds.Add(t2);
+  std::string error;
+  ASSERT_TRUE(ds.SaveCsv(path_, &error)) << error;
+
+  TransactionDataset back;
+  ASSERT_TRUE(TransactionDataset::LoadCsv(path_, &back, &error)) << error;
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, 1);
+  EXPECT_EQ(back[1].id, 2);
+  EXPECT_EQ(back[1].mode, TransMode::kLessThanTruckload);
+  EXPECT_DOUBLE_EQ(back[1].gross_weight, 1500.5);
+  EXPECT_DOUBLE_EQ(back[1].transit_hours, 9.25);
+  EXPECT_EQ(back[1].req_pickup_day, t2.req_pickup_day);
+  EXPECT_DOUBLE_EQ(back[1].origin_latitude, 47.6);
+}
+
+TEST_F(DatasetCsvTest, LoadRejectsMalformedRow) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "ID,REQ_PICKUP_DT,REQ_DELIVERY_DT,ORIGIN_LATITUDE,ORIGIN_LONGITUDE,"
+      "DEST_LATITUDE,DEST_LONGITUDE,TOTAL_DISTANCE,GROSS_WEIGHT,"
+      "MOVE_TRANSIT_HOURS,TRANS_MODE\n",
+      f);
+  std::fputs(
+      "1,2004-03-01,2004-03-03,44.5,-88.0,40.4,-86.9,300,12000,9.5,"
+      "HOVERCRAFT\n",
+      f);
+  std::fclose(f);
+  TransactionDataset ds;
+  std::string error;
+  EXPECT_FALSE(TransactionDataset::LoadCsv(path_, &ds, &error));
+  EXPECT_NE(error.find("bad mode"), std::string::npos);
+}
+
+TEST_F(DatasetCsvTest, LoadRejectsBadDate) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "ID,REQ_PICKUP_DT,REQ_DELIVERY_DT,ORIGIN_LATITUDE,ORIGIN_LONGITUDE,"
+      "DEST_LATITUDE,DEST_LONGITUDE,TOTAL_DISTANCE,GROSS_WEIGHT,"
+      "MOVE_TRANSIT_HOURS,TRANS_MODE\n",
+      f);
+  std::fputs(
+      "1,2004-99-01,2004-03-03,44.5,-88.0,40.4,-86.9,300,12000,9.5,TL\n", f);
+  std::fclose(f);
+  TransactionDataset ds;
+  std::string error;
+  EXPECT_FALSE(TransactionDataset::LoadCsv(path_, &ds, &error));
+  EXPECT_NE(error.find("bad pickup date"), std::string::npos);
+}
+
+TEST_F(DatasetCsvTest, LoadMissingFile) {
+  TransactionDataset ds;
+  std::string error;
+  EXPECT_FALSE(
+      TransactionDataset::LoadCsv("/no/such/file.csv", &ds, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TransModeTest, RoundTrip) {
+  TransMode mode;
+  ASSERT_TRUE(ParseTransMode("TL", &mode));
+  EXPECT_EQ(mode, TransMode::kTruckload);
+  ASSERT_TRUE(ParseTransMode("LTL", &mode));
+  EXPECT_EQ(mode, TransMode::kLessThanTruckload);
+  EXPECT_FALSE(ParseTransMode("tl", &mode));
+  EXPECT_EQ(ToString(TransMode::kTruckload), "TL");
+  EXPECT_EQ(ToString(TransMode::kLessThanTruckload), "LTL");
+}
+
+}  // namespace
+}  // namespace tnmine::data

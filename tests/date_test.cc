@@ -1,0 +1,65 @@
+#include "common/date.h"
+
+#include <gtest/gtest.h>
+
+namespace tnmine {
+namespace {
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(DayNumberFromCivil({1970, 1, 1}), 0);
+  const CivilDate c = CivilFromDayNumber(0);
+  EXPECT_EQ(c.year, 1970);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DayNumberFromCivil({1970, 1, 2}), 1);
+  EXPECT_EQ(DayNumberFromCivil({1969, 12, 31}), -1);
+  EXPECT_EQ(DayNumberFromCivil({2000, 3, 1}), 11017);
+  // The paper's data era: mid-2004.
+  EXPECT_EQ(FormatDayNumber(DayNumberFromCivil({2004, 7, 1})), "2004-07-01");
+}
+
+TEST(DateTest, RoundTripAcrossDecades) {
+  for (std::int64_t dn = -40000; dn <= 40000; dn += 17) {
+    const CivilDate c = CivilFromDayNumber(dn);
+    EXPECT_EQ(DayNumberFromCivil(c), dn);
+  }
+}
+
+TEST(DateTest, LeapYearHandling) {
+  const std::int64_t feb28 = DayNumberFromCivil({2004, 2, 28});
+  const CivilDate next = CivilFromDayNumber(feb28 + 1);
+  EXPECT_EQ(next.month, 2);
+  EXPECT_EQ(next.day, 29);  // 2004 is a leap year
+  const std::int64_t feb28_2005 = DayNumberFromCivil({2005, 2, 28});
+  const CivilDate next2005 = CivilFromDayNumber(feb28_2005 + 1);
+  EXPECT_EQ(next2005.month, 3);
+  EXPECT_EQ(next2005.day, 1);
+}
+
+TEST(DateTest, ParseValid) {
+  std::int64_t dn = -1;
+  ASSERT_TRUE(ParseDayNumber("2004-02-29", &dn));
+  EXPECT_EQ(FormatDayNumber(dn), "2004-02-29");
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  std::int64_t dn = 0;
+  EXPECT_FALSE(ParseDayNumber("not-a-date", &dn));
+  EXPECT_FALSE(ParseDayNumber("2004-13-01", &dn));
+  EXPECT_FALSE(ParseDayNumber("2004-00-10", &dn));
+  EXPECT_FALSE(ParseDayNumber("2005-02-29", &dn));  // not a leap year
+  EXPECT_FALSE(ParseDayNumber("2004-04-31", &dn));  // April has 30 days
+}
+
+TEST(DateTest, DayOfWeek) {
+  EXPECT_EQ(DayOfWeek(DayNumberFromCivil({1970, 1, 1})), 3);   // Thursday
+  EXPECT_EQ(DayOfWeek(DayNumberFromCivil({2004, 7, 5})), 0);   // Monday
+  EXPECT_EQ(DayOfWeek(DayNumberFromCivil({2004, 7, 11})), 6);  // Sunday
+  EXPECT_EQ(DayOfWeek(DayNumberFromCivil({1969, 12, 31})), 2); // Wednesday
+}
+
+}  // namespace
+}  // namespace tnmine

@@ -1,0 +1,63 @@
+#include "pattern/dot.h"
+
+#include <gtest/gtest.h>
+
+namespace tnmine::pattern {
+namespace {
+
+using graph::LabeledGraph;
+using graph::VertexId;
+
+LabeledGraph Star() {
+  LabeledGraph g;
+  const VertexId hub = g.AddVertex(0);
+  g.AddEdge(hub, g.AddVertex(1), 2);
+  g.AddEdge(hub, g.AddVertex(1), 3);
+  return g;
+}
+
+TEST(DotTest, EmitsDigraphWithEdges) {
+  const std::string dot = ToDot(Star());
+  EXPECT_NE(dot.find("digraph pattern {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"2\""), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotTest, VertexLabelsToggle) {
+  DotOptions options;
+  options.show_vertex_labels = true;
+  EXPECT_NE(ToDot(Star(), options).find("(L1)"), std::string::npos);
+  options.show_vertex_labels = false;
+  EXPECT_EQ(ToDot(Star(), options).find("(L1)"), std::string::npos);
+}
+
+TEST(DotTest, IntervalLabelsViaDiscretizer) {
+  const Discretizer bins = Discretizer::FromCutPoints({10.0});
+  DotOptions options;
+  options.bins = &bins;
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(0);
+  g.AddEdge(a, g.AddVertex(0), 0);
+  const std::string dot = ToDot(g, options);
+  EXPECT_NE(dot.find("(-inf, 10]"), std::string::npos);
+}
+
+TEST(DotTest, PatternOverloadIncludesSupport) {
+  FrequentPattern p;
+  p.graph = Star();
+  p.support = 42;
+  const std::string dot = ToDot(p);
+  EXPECT_NE(dot.find("support 42"), std::string::npos);
+}
+
+TEST(DotTest, CustomName) {
+  DotOptions options;
+  options.name = "figure2";
+  EXPECT_NE(ToDot(Star(), options).find("digraph figure2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tnmine::pattern

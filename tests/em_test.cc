@@ -1,0 +1,155 @@
+#include "ml/em.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "ml/kmeans.h"
+
+namespace tnmine::ml {
+namespace {
+
+/// Table with three well-separated 2-D Gaussian blobs (sizes 60/30/10).
+AttributeTable ThreeBlobs(std::uint64_t seed) {
+  AttributeTable t;
+  t.AddNumericAttribute("a");
+  t.AddNumericAttribute("b");
+  Rng rng(seed);
+  auto blob = [&](double cx, double cy, int n) {
+    for (int i = 0; i < n; ++i) {
+      t.AddRow({rng.NextGaussian(cx, 0.5), rng.NextGaussian(cy, 0.5)});
+    }
+  };
+  blob(0, 0, 60);
+  blob(10, 0, 30);
+  blob(0, 10, 10);
+  return t;
+}
+
+TEST(KMeansTest, SeparatesBlobs) {
+  const AttributeTable t = ThreeBlobs(1);
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < t.num_rows(); ++i) points.push_back(t.row(i));
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 2;
+  const KMeansResult r = RunKMeans(points, options);
+  EXPECT_EQ(r.centroids.size(), 3u);
+  // Inertia for well-separated blobs is small relative to a single-cluster
+  // solution.
+  KMeansOptions one;
+  one.k = 1;
+  const KMeansResult r1 = RunKMeans(points, one);
+  EXPECT_LT(r.inertia, r1.inertia / 5.0);
+}
+
+TEST(KMeansTest, KLargerThanPointsClamped) {
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  KMeansOptions options;
+  options.k = 10;
+  const KMeansResult r = RunKMeans(points, options);
+  EXPECT_LE(r.centroids.size(), 2u);
+}
+
+TEST(EmTest, RecoverFixedK) {
+  const AttributeTable t = ThreeBlobs(3);
+  EmOptions options;
+  options.num_clusters = 3;
+  options.seed = 4;
+  const EmResult r = FitEm(t, {0, 1}, options);
+  EXPECT_EQ(r.num_clusters, 3);
+  // Largest-first ordering.
+  for (std::size_t c = 1; c < r.priors.size(); ++c) {
+    EXPECT_GE(r.priors[c - 1], r.priors[c]);
+  }
+  // Sizes approximately 60/30/10.
+  EXPECT_NEAR(static_cast<double>(ClusterSize(r, 0)), 60, 6);
+  EXPECT_NEAR(static_cast<double>(ClusterSize(r, 1)), 30, 6);
+  EXPECT_NEAR(static_cast<double>(ClusterSize(r, 2)), 10, 4);
+  // Means land near the blob centers (original units).
+  double largest_a = r.means[0][0];
+  EXPECT_NEAR(largest_a, 0.0, 0.5);
+}
+
+TEST(EmTest, SelectsKByCrossValidation) {
+  const AttributeTable t = ThreeBlobs(5);
+  EmOptions options;
+  options.num_clusters = 0;  // auto
+  options.max_clusters = 6;
+  options.seed = 6;
+  const EmResult r = FitEm(t, {0, 1}, options);
+  EXPECT_GE(r.num_clusters, 2);
+  EXPECT_LE(r.num_clusters, 4);  // three blobs, some tolerance
+}
+
+TEST(EmTest, SoftCountsSumToN) {
+  const AttributeTable t = ThreeBlobs(7);
+  EmOptions options;
+  options.num_clusters = 3;
+  const EmResult r = FitEm(t, {0, 1}, options);
+  double total = 0.0;
+  for (double c : r.soft_counts) total += c;
+  EXPECT_NEAR(total, static_cast<double>(t.num_rows()), 1e-6);
+}
+
+TEST(EmTest, ClusterMeanMatchesManual) {
+  const AttributeTable t = ThreeBlobs(9);
+  EmOptions options;
+  options.num_clusters = 3;
+  const EmResult r = FitEm(t, {0, 1}, options);
+  const double mean0 = ClusterMean(t, r, 0, 0);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < t.num_rows(); ++i) {
+    if (r.assignment[i] == 0) {
+      sum += t.value(i, 0);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_NEAR(mean0, sum / static_cast<double>(count), 1e-9);
+}
+
+TEST(EmTest, TinyOutlierClusterSurvives) {
+  // The paper's cluster 0: three extreme outliers (air freight) must form
+  // their own cluster rather than be absorbed.
+  AttributeTable t;
+  t.AddNumericAttribute("distance");
+  t.AddNumericAttribute("hours");
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const double d = rng.NextDouble(50, 1200);
+    t.AddRow({d, d / 45.0 + rng.NextDouble(2, 20)});
+  }
+  for (int i = 0; i < 3; ++i) {
+    t.AddRow({3100.0 + rng.NextDouble(0, 50), 9.0 + rng.NextDouble(0, 1)});
+  }
+  EmOptions options;
+  options.num_clusters = 4;
+  options.seed = 12;
+  const EmResult r = FitEm(t, {0, 1}, options);
+  // Some cluster holds exactly the three outliers.
+  bool found = false;
+  for (int c = 0; c < r.num_clusters; ++c) {
+    if (ClusterSize(r, c) == 3 && ClusterMean(t, r, 0, c) > 3000.0) {
+      found = true;
+      EXPECT_LT(ClusterMean(t, r, 1, c), 24.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EmTest, DeterministicForSeed) {
+  const AttributeTable t = ThreeBlobs(13);
+  EmOptions options;
+  options.num_clusters = 3;
+  options.seed = 99;
+  const EmResult a = FitEm(t, {0, 1}, options);
+  const EmResult b = FitEm(t, {0, 1}, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+}
+
+}  // namespace
+}  // namespace tnmine::ml

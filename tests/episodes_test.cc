@@ -1,0 +1,133 @@
+#include "core/episodes.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace tnmine::core {
+namespace {
+
+using data::Transaction;
+using data::TransactionDataset;
+
+Transaction Txn(double olat, double olon, double dlat, double dlon,
+                std::int64_t day) {
+  Transaction t;
+  t.origin_latitude = olat;
+  t.origin_longitude = olon;
+  t.dest_latitude = dlat;
+  t.dest_longitude = dlon;
+  t.req_pickup_day = day;
+  t.req_delivery_day = day + 1;
+  t.gross_weight = 1000;
+  t.total_distance = 100;
+  t.transit_hours = 10;
+  return t;
+}
+
+TEST(EpisodesTest, FindsWeeklyRoute) {
+  TransactionDataset ds;
+  // Weekly A -> B for 8 weeks.
+  for (int w = 0; w < 8; ++w) {
+    ds.Add(Txn(40.0, -90.0, 41.0, -91.0, 100 + 7 * w));
+  }
+  // Irregular C -> D (not periodic).
+  const int irregular_days[] = {100, 101, 120, 150, 152, 199};
+  for (int d : irregular_days) ds.Add(Txn(30.0, -80.0, 31.0, -81.0, d));
+  EpisodeOptions options;
+  options.min_occurrences = 4;
+  const EpisodeResult r = MineRouteEpisodes(ds, options);
+  ASSERT_EQ(r.routes.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.routes[0].median_period_days, 7.0);
+  EXPECT_EQ(r.routes[0].pickup_days.size(), 8u);
+  EXPECT_NE(EpisodeToString(r.routes[0]).find("every ~7"),
+            std::string::npos);
+}
+
+TEST(EpisodesTest, ToleratesJitter) {
+  TransactionDataset ds;
+  const int days[] = {100, 107, 115, 121, 128, 136};  // ~weekly +-1
+  for (int d : days) ds.Add(Txn(40.0, -90.0, 41.0, -91.0, d));
+  EpisodeOptions options;
+  options.min_occurrences = 5;
+  options.period_tolerance_days = 1.5;
+  const EpisodeResult r = MineRouteEpisodes(ds, options);
+  ASSERT_EQ(r.routes.size(), 1u);
+  EXPECT_NEAR(r.routes[0].median_period_days, 7.0, 1.0);
+}
+
+TEST(EpisodesTest, RejectsAperiodicRoutes) {
+  TransactionDataset ds;
+  const int days[] = {100, 101, 130, 131, 132, 180};
+  for (int d : days) ds.Add(Txn(40.0, -90.0, 41.0, -91.0, d));
+  EpisodeOptions options;
+  options.min_occurrences = 4;
+  options.period_tolerance_days = 1.0;
+  const EpisodeResult r = MineRouteEpisodes(ds, options);
+  EXPECT_TRUE(r.routes.empty());
+}
+
+TEST(EpisodesTest, ChainsPathEpisodes) {
+  TransactionDataset ds;
+  // A -> B weekly; B -> C departs one day after each A -> B; the path
+  // A -> B -> C is never fully present on one day.
+  for (int w = 0; w < 6; ++w) {
+    ds.Add(Txn(40.0, -90.0, 41.0, -91.0, 100 + 7 * w));
+    ds.Add(Txn(41.0, -91.0, 42.0, -92.0, 101 + 7 * w));
+  }
+  EpisodeOptions options;
+  options.min_path_occurrences = 4;
+  options.min_leg_gap_days = 1;
+  options.max_leg_gap_days = 2;
+  const EpisodeResult r = MineRouteEpisodes(ds, options);
+  ASSERT_FALSE(r.paths.empty());
+  const PathEpisode& top = r.paths.front();
+  EXPECT_EQ(top.stops.size(), 3u);
+  EXPECT_EQ(top.occurrences, 6u);
+  EXPECT_NE(EpisodeToString(top).find("->"), std::string::npos);
+}
+
+TEST(EpisodesTest, NoImmediateBounceBack) {
+  TransactionDataset ds;
+  for (int w = 0; w < 6; ++w) {
+    ds.Add(Txn(40.0, -90.0, 41.0, -91.0, 100 + 7 * w));
+    ds.Add(Txn(41.0, -91.0, 40.0, -90.0, 101 + 7 * w));
+  }
+  EpisodeOptions options;
+  options.min_path_occurrences = 4;
+  options.min_leg_gap_days = 1;
+  options.max_leg_gap_days = 2;
+  const EpisodeResult r = MineRouteEpisodes(ds, options);
+  for (const PathEpisode& p : r.paths) {
+    for (std::size_t i = 2; i < p.stops.size(); ++i) {
+      EXPECT_NE(p.stops[i], p.stops[i - 2]) << EpisodeToString(p);
+    }
+  }
+}
+
+TEST(EpisodesTest, SyntheticDataHasPlantedSchedules) {
+  const auto ds =
+      data::GenerateTransportData(data::GeneratorConfig::SmallScale());
+  EpisodeOptions options;
+  options.min_occurrences = 5;
+  options.min_period_days = 5;
+  options.max_period_days = 9;
+  const EpisodeResult r = MineRouteEpisodes(ds, options);
+  // The generator plants weekly scheduled routes; episode mining must
+  // recover a healthy number of them.
+  EXPECT_GE(r.routes.size(), 10u);
+  for (const RouteEpisode& e : r.routes) {
+    EXPECT_GE(e.pickup_days.size(), 5u);
+    EXPECT_GE(e.median_period_days, 5.0);
+    EXPECT_LE(e.median_period_days, 9.0);
+  }
+}
+
+TEST(EpisodesTest, EmptyDataset) {
+  const EpisodeResult r = MineRouteEpisodes(TransactionDataset{}, {});
+  EXPECT_TRUE(r.routes.empty());
+  EXPECT_TRUE(r.paths.empty());
+}
+
+}  // namespace
+}  // namespace tnmine::core

@@ -1,0 +1,190 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/date.h"
+#include "data/geo.h"
+
+namespace tnmine::data {
+namespace {
+
+TEST(GeneratorTest, SmallScaleExactCardinalities) {
+  const GeneratorConfig config = GeneratorConfig::SmallScale();
+  const TransactionDataset ds = GenerateTransportData(config);
+  const DatasetStats stats = ds.ComputeStats();
+  EXPECT_EQ(stats.num_transactions, config.num_transactions);
+  EXPECT_EQ(stats.distinct_od_pairs, config.num_od_pairs);
+  EXPECT_EQ(stats.distinct_locations, config.num_locations);
+  EXPECT_EQ(stats.distinct_origins, config.num_origins);
+  EXPECT_EQ(stats.distinct_destinations, config.num_destinations);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const GeneratorConfig config = GeneratorConfig::SmallScale();
+  const TransactionDataset a = GenerateTransportData(config);
+  const TransactionDataset b = GenerateTransportData(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].req_pickup_day, b[i].req_pickup_day);
+    EXPECT_DOUBLE_EQ(a[i].gross_weight, b[i].gross_weight);
+    EXPECT_DOUBLE_EQ(a[i].total_distance, b[i].total_distance);
+  }
+}
+
+TEST(GeneratorTest, SeedsDiffer) {
+  GeneratorConfig config = GeneratorConfig::SmallScale();
+  const TransactionDataset a = GenerateTransportData(config);
+  config.seed = 999;
+  const TransactionDataset b = GenerateTransportData(config);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size() && !any_different; ++i) {
+    any_different = a[i].gross_weight != b[i].gross_weight;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GeneratorTest, DegreeExtremesMatchConfig) {
+  const GeneratorConfig config = GeneratorConfig::SmallScale();
+  const TransactionDataset ds = GenerateTransportData(config);
+  // Deduplicated OD graph degrees.
+  std::unordered_map<LocationKey, std::unordered_set<LocationKey>> out_nbrs;
+  std::unordered_map<LocationKey, std::unordered_set<LocationKey>> in_nbrs;
+  for (const Transaction& t : ds.transactions()) {
+    const LocationKey o = TransactionDataset::OriginKey(t);
+    const LocationKey d = TransactionDataset::DestKey(t);
+    out_nbrs[o].insert(d);
+    in_nbrs[d].insert(o);
+  }
+  std::size_t max_out = 0, min_out = ~std::size_t{0};
+  for (const auto& [k, nbrs] : out_nbrs) {
+    max_out = std::max(max_out, nbrs.size());
+    min_out = std::min(min_out, nbrs.size());
+  }
+  std::size_t max_in = 0, min_in = ~std::size_t{0};
+  for (const auto& [k, nbrs] : in_nbrs) {
+    max_in = std::max(max_in, nbrs.size());
+    min_in = std::min(min_in, nbrs.size());
+  }
+  EXPECT_EQ(max_out, config.hub_out_degree);
+  EXPECT_EQ(max_in, config.hub_in_degree);
+  EXPECT_EQ(min_out, 1u);
+  EXPECT_EQ(min_in, 1u);
+}
+
+TEST(GeneratorTest, DatesWithinConfiguredWindow) {
+  const GeneratorConfig config = GeneratorConfig::SmallScale();
+  const TransactionDataset ds = GenerateTransportData(config);
+  const std::int64_t start = DayNumberFromCivil(
+      {config.start_year, config.start_month, config.start_day_of_month});
+  const std::int64_t end = start + static_cast<std::int64_t>(config.num_days);
+  for (const Transaction& t : ds.transactions()) {
+    EXPECT_GE(t.req_pickup_day, start);
+    EXPECT_LT(t.req_pickup_day, end);
+    EXPECT_GE(t.req_delivery_day, t.req_pickup_day);
+    EXPECT_LT(t.req_delivery_day, end + 30);  // bounded slack
+  }
+}
+
+TEST(GeneratorTest, PhysicalFieldsSane) {
+  const TransactionDataset ds =
+      GenerateTransportData(GeneratorConfig::SmallScale());
+  for (const Transaction& t : ds.transactions()) {
+    EXPECT_GT(t.total_distance, 0.0);
+    EXPECT_LT(t.total_distance, 6000.0);
+    EXPECT_GE(t.gross_weight, 40.0);
+    EXPECT_LE(t.gross_weight, 1.0e6);
+    EXPECT_GE(t.transit_hours, 1.0);
+    // Coordinates quantized to 0.1 degree.
+    EXPECT_DOUBLE_EQ(t.origin_latitude,
+                     RoundToDeciDegree(t.origin_latitude));
+    EXPECT_DOUBLE_EQ(t.dest_longitude,
+                     RoundToDeciDegree(t.dest_longitude));
+  }
+}
+
+TEST(GeneratorTest, AirFreightOutliersPresent) {
+  const GeneratorConfig config = GeneratorConfig::SmallScale();
+  const TransactionDataset ds = GenerateTransportData(config);
+  std::size_t air_count = 0;
+  for (const Transaction& t : ds.transactions()) {
+    if (t.dest_latitude < 24.0) {  // Hawaii
+      ++air_count;
+      EXPECT_GT(t.total_distance, 2800.0);
+      EXPECT_LT(t.transit_hours, 24.0);
+      EXPECT_GT(t.origin_latitude, 45.0);  // Pacific Northwest origin
+    }
+  }
+  EXPECT_GE(air_count, config.num_air_freight);
+  EXPECT_LE(air_count, config.num_air_freight + 2);
+}
+
+TEST(GeneratorTest, WeightModeDependence) {
+  const TransactionDataset ds =
+      GenerateTransportData(GeneratorConfig::SmallScale());
+  std::size_t heavy_tl = 0, heavy = 0, light_ltl = 0, light = 0;
+  for (const Transaction& t : ds.transactions()) {
+    if (t.gross_weight > 10000.0) {
+      ++heavy;
+      heavy_tl += t.mode == TransMode::kTruckload;
+    } else {
+      ++light;
+      light_ltl += t.mode == TransMode::kLessThanTruckload;
+    }
+  }
+  ASSERT_GT(heavy, 0u);
+  ASSERT_GT(light, 0u);
+  // ~96 % consistency (4 % configured noise).
+  EXPECT_GT(static_cast<double>(heavy_tl) / heavy, 0.90);
+  EXPECT_GT(static_cast<double>(light_ltl) / light, 0.90);
+}
+
+TEST(GeneratorTest, ScheduledRoutesRepeatWeekly) {
+  const GeneratorConfig config = GeneratorConfig::SmallScale();
+  const TransactionDataset ds = GenerateTransportData(config);
+  // Group transactions by OD pair; look for pairs with >= 5 occurrences
+  // whose day-of-week is stable — the planted weekly schedules.
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> by_pair;
+  for (const Transaction& t : ds.transactions()) {
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(TransactionDataset::OriginKey(t)) *
+            0x9E3779B97F4A7C15ULL ^
+        static_cast<std::uint64_t>(TransactionDataset::DestKey(t));
+    by_pair[key].push_back(t.req_pickup_day);
+  }
+  std::size_t weekly_pairs = 0;
+  for (auto& [key, days] : by_pair) {
+    if (days.size() < 5) continue;
+    std::unordered_map<int, std::size_t> dow_counts;
+    for (std::int64_t d : days) ++dow_counts[DayOfWeek(d)];
+    std::size_t dominant = 0;
+    for (const auto& [dow, c] : dow_counts) dominant = std::max(dominant, c);
+    if (static_cast<double>(dominant) / days.size() >= 0.7) ++weekly_pairs;
+  }
+  EXPECT_GE(weekly_pairs, 10u);
+}
+
+TEST(GeneratorTest, HeavyOutliersStretchWeightRange) {
+  const GeneratorConfig config = GeneratorConfig::SmallScale();
+  const TransactionDataset ds = GenerateTransportData(config);
+  const DatasetStats stats = ds.ComputeStats();
+  EXPECT_GT(stats.weight.max, 7.5e5);  // near the 500-ton range
+}
+
+// Paper-scale generation is the expensive path; verify cardinalities once.
+TEST(GeneratorTest, PaperScaleMatchesSection3) {
+  const TransactionDataset ds =
+      GenerateTransportData(GeneratorConfig::PaperScale());
+  const DatasetStats stats = ds.ComputeStats();
+  EXPECT_EQ(stats.num_transactions, 98292u);
+  EXPECT_EQ(stats.distinct_locations, 4038u);
+  EXPECT_EQ(stats.distinct_origins, 1797u);
+  EXPECT_EQ(stats.distinct_destinations, 3770u);
+  EXPECT_EQ(stats.distinct_od_pairs, 20900u);
+}
+
+}  // namespace
+}  // namespace tnmine::data

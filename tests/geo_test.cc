@@ -1,0 +1,58 @@
+#include "data/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace tnmine::data {
+namespace {
+
+TEST(GeoTest, RoundToDeciDegree) {
+  EXPECT_DOUBLE_EQ(RoundToDeciDegree(44.512), 44.5);
+  EXPECT_DOUBLE_EQ(RoundToDeciDegree(44.55), 44.6);
+  EXPECT_DOUBLE_EQ(RoundToDeciDegree(-88.049), -88.0);
+  EXPECT_DOUBLE_EQ(RoundToDeciDegree(-88.06), -88.1);
+}
+
+TEST(GeoTest, LocationKeyRoundTrip) {
+  const double cases[][2] = {
+      {44.5, -88.0}, {21.3, -157.9}, {49.0, -67.0}, {24.6, -124.4}};
+  for (const auto& c : cases) {
+    const LocationKey key = MakeLocationKey(c[0], c[1]);
+    double lat = 0, lon = 0;
+    LocationFromKey(key, &lat, &lon);
+    EXPECT_DOUBLE_EQ(lat, c[0]);
+    EXPECT_DOUBLE_EQ(lon, c[1]);
+  }
+}
+
+TEST(GeoTest, NearbyPointsCoalesceToSameKey) {
+  // Paper: "points within a few miles are coalesced to the same vertex".
+  EXPECT_EQ(MakeLocationKey(44.51, -88.02), MakeLocationKey(44.54, -87.98));
+  EXPECT_NE(MakeLocationKey(44.5, -88.0), MakeLocationKey(44.6, -88.0));
+  EXPECT_NE(MakeLocationKey(44.5, -88.0), MakeLocationKey(44.5, -88.1));
+}
+
+TEST(GeoTest, DistinctLocationsDistinctKeys) {
+  // Latitude/longitude must not alias across the packing boundary.
+  EXPECT_NE(MakeLocationKey(40.0, -100.0), MakeLocationKey(41.0, -100.0));
+  EXPECT_NE(MakeLocationKey(40.0, -100.0), MakeLocationKey(40.0, -99.0));
+  EXPECT_NE(MakeLocationKey(20.0, -155.0), MakeLocationKey(45.0, -90.0));
+}
+
+TEST(GeoTest, HaversineKnownDistances) {
+  // Green Bay, WI to Lafayette, IN: ~222 miles great circle.
+  EXPECT_NEAR(HaversineMiles(44.5, -88.0, 40.4, -86.9), 290.0, 10.0);
+  // Seattle to Honolulu: ~2677 miles.
+  EXPECT_NEAR(HaversineMiles(47.6, -122.3, 21.3, -157.9), 2677.0, 30.0);
+  // Zero distance.
+  EXPECT_DOUBLE_EQ(HaversineMiles(40.0, -90.0, 40.0, -90.0), 0.0);
+}
+
+TEST(GeoTest, HaversineSymmetric) {
+  const double a = HaversineMiles(40.4, -86.9, 33.7, -84.4);
+  const double b = HaversineMiles(33.7, -84.4, 40.4, -86.9);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+}  // namespace
+}  // namespace tnmine::data

@@ -1,0 +1,129 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tnmine::graph {
+namespace {
+
+LabeledGraph SampleGraph() {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(3);
+  const VertexId b = g.AddVertex(4);
+  const VertexId c = g.AddVertex(3);
+  g.AddEdge(a, b, 1);
+  g.AddEdge(b, c, 2);
+  g.AddEdge(c, a, 1);
+  return g;
+}
+
+TEST(GraphIoTest, NativeRoundTrip) {
+  const LabeledGraph g = SampleGraph();
+  const std::string text = WriteNative(g);
+  LabeledGraph back;
+  std::string error;
+  ASSERT_TRUE(ReadNative(text, &back, &error)) << error;
+  EXPECT_TRUE(g.StructurallyEqual(back));
+}
+
+TEST(GraphIoTest, NativeSkipsTombstones) {
+  LabeledGraph g = SampleGraph();
+  g.RemoveEdge(1);
+  LabeledGraph back;
+  std::string error;
+  ASSERT_TRUE(ReadNative(WriteNative(g), &back, &error)) << error;
+  EXPECT_EQ(back.num_edges(), 2u);
+  EXPECT_TRUE(back.IsDense());
+}
+
+TEST(GraphIoTest, RejectsCorruptHeader) {
+  LabeledGraph g;
+  std::string error;
+  EXPECT_FALSE(ReadNative("g 2\nv 0 1\n", &g, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(GraphIoTest, RejectsDanglingEdge) {
+  LabeledGraph g;
+  std::string error;
+  EXPECT_FALSE(ReadNative("g 1 1\nv 0 1\ne 0 5 2\n", &g, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsCountMismatch) {
+  LabeledGraph g;
+  std::string error;
+  EXPECT_FALSE(ReadNative("g 2 1\nv 0 1\nv 1 1\n", &g, &error));
+  EXPECT_NE(error.find("edge count"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsUnknownDirective) {
+  LabeledGraph g;
+  std::string error;
+  EXPECT_FALSE(ReadNative("g 0 0\nz nonsense\n", &g, &error));
+}
+
+TEST(GraphIoTest, SubdueFormatUsesOneBasedIds) {
+  const std::string text = WriteSubdueFormat(SampleGraph());
+  EXPECT_NE(text.find("v 1 3"), std::string::npos);
+  EXPECT_NE(text.find("v 2 4"), std::string::npos);
+  EXPECT_NE(text.find("d 1 2 1"), std::string::npos);
+}
+
+TEST(GraphIoTest, FsgFormatEmitsTransactionHeaders) {
+  const std::vector<LabeledGraph> txns = {SampleGraph(), SampleGraph()};
+  const std::string text = WriteFsgFormat(txns);
+  EXPECT_NE(text.find("t # 0"), std::string::npos);
+  EXPECT_NE(text.find("t # 1"), std::string::npos);
+}
+
+TEST(GraphIoTest, FsgFormatRoundTrip) {
+  LabeledGraph second;
+  const VertexId x = second.AddVertex(9);
+  second.AddEdge(x, x, 4);  // self-loop survives the format
+  const std::vector<LabeledGraph> txns = {SampleGraph(), second};
+  std::vector<LabeledGraph> back;
+  std::string error;
+  ASSERT_TRUE(ReadFsgFormat(WriteFsgFormat(txns), &back, &error)) << error;
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].StructurallyEqual(txns[0]));
+  EXPECT_TRUE(back[1].StructurallyEqual(txns[1]));
+}
+
+TEST(GraphIoTest, FsgFormatAcceptsUndirectedAlias) {
+  std::vector<LabeledGraph> back;
+  std::string error;
+  ASSERT_TRUE(ReadFsgFormat("t # 0\nv 0 1\nv 1 2\nu 0 1 5\n", &back,
+                            &error))
+      << error;
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].num_edges(), 1u);
+}
+
+TEST(GraphIoTest, FsgFormatRejectsGarbage) {
+  std::vector<LabeledGraph> back;
+  std::string error;
+  EXPECT_FALSE(ReadFsgFormat("v 0 1\n", &back, &error));  // vertex first
+  EXPECT_FALSE(ReadFsgFormat("t # 0\nv 5 1\n", &back, &error));  // sparse id
+  EXPECT_FALSE(ReadFsgFormat("t # 0\nv 0 1\nd 0 9 1\n", &back, &error));
+  EXPECT_FALSE(ReadFsgFormat("t # 0\nz nonsense\n", &back, &error));
+}
+
+TEST(GraphIoTest, TextFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tnmine_graph_io.txt";
+  const std::string payload = WriteNative(SampleGraph());
+  ASSERT_TRUE(WriteTextFile(path, payload));
+  std::string read_back;
+  ASSERT_TRUE(ReadTextFile(path, &read_back));
+  EXPECT_EQ(read_back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ReadMissingFileFails) {
+  std::string text;
+  EXPECT_FALSE(ReadTextFile("/does/not/exist.graph", &text));
+}
+
+}  // namespace
+}  // namespace tnmine::graph

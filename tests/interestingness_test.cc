@@ -1,0 +1,85 @@
+#include "core/interestingness.h"
+
+#include <gtest/gtest.h>
+
+namespace tnmine::core {
+namespace {
+
+using graph::LabeledGraph;
+using graph::VertexId;
+
+pattern::FrequentPattern MakePattern(LabeledGraph g, std::size_t support) {
+  pattern::FrequentPattern p;
+  p.graph = std::move(g);
+  p.support = support;
+  return p;
+}
+
+LabeledGraph SingleEdge() {
+  LabeledGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddEdge(0, 1, 1);
+  return g;
+}
+
+LabeledGraph Cycle(int n, bool varied_labels) {
+  LabeledGraph g;
+  std::vector<VertexId> vs;
+  for (int i = 0; i < n; ++i) vs.push_back(g.AddVertex(0));
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(vs[static_cast<std::size_t>(i)],
+              vs[static_cast<std::size_t>((i + 1) % n)],
+              varied_labels ? i : 1);
+  }
+  return g;
+}
+
+TEST(InterestingnessTest, EmptyPatternScoresZero) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  EXPECT_EQ(PatternInterestingness(MakePattern(g, 100)), 0.0);
+}
+
+TEST(InterestingnessTest, BiggerAndMoreFrequentScoresHigher) {
+  const double small = PatternInterestingness(MakePattern(SingleEdge(), 10));
+  const double frequent =
+      PatternInterestingness(MakePattern(SingleEdge(), 100));
+  EXPECT_GT(frequent, small);
+  const double big =
+      PatternInterestingness(MakePattern(Cycle(4, false), 10));
+  EXPECT_GT(big, small);
+}
+
+TEST(InterestingnessTest, CycleBeatsEquallySupportedSingleEdge) {
+  const double edge = PatternInterestingness(MakePattern(SingleEdge(), 50));
+  const double cycle =
+      PatternInterestingness(MakePattern(Cycle(3, false), 50));
+  EXPECT_GT(cycle, edge);
+}
+
+TEST(InterestingnessTest, LabelDiversityHelps) {
+  const double uniform =
+      PatternInterestingness(MakePattern(Cycle(4, false), 20));
+  const double varied =
+      PatternInterestingness(MakePattern(Cycle(4, true), 20));
+  EXPECT_GT(varied, uniform);
+}
+
+TEST(InterestingnessTest, RankPatternsOrdersByScore) {
+  pattern::PatternRegistry reg;
+  reg.InsertOrMerge(MakePattern(SingleEdge(), 500));
+  reg.InsertOrMerge(MakePattern(Cycle(4, true), 60));
+  reg.InsertOrMerge(MakePattern(Cycle(3, false), 5));
+  const auto ranked = RankPatterns(reg);
+  ASSERT_EQ(ranked.size(), 3u);
+  double prev = PatternInterestingness(*ranked[0]);
+  for (const auto* p : ranked) {
+    const double score = PatternInterestingness(*p);
+    EXPECT_LE(score, prev + 1e-12);
+    prev = score;
+  }
+}
+
+}  // namespace
+}  // namespace tnmine::core

@@ -1,0 +1,80 @@
+// Failure-injection tests: the library fails fast (TNMINE_CHECK) on
+// programming errors instead of limping on with corrupt state. Death
+// tests document the contracts.
+
+#include <gtest/gtest.h>
+
+#include "common/binning.h"
+#include "data/generator.h"
+#include "fsg/fsg.h"
+#include "graph/labeled_graph.h"
+#include "iso/canonical.h"
+#include "ml/attribute_table.h"
+
+namespace tnmine {
+namespace {
+
+using graph::LabeledGraph;
+
+TEST(InvariantsDeathTest, AddEdgeRequiresExistingVertices) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  EXPECT_DEATH(g.AddEdge(0, 5, 1), "CHECK");
+}
+
+TEST(InvariantsDeathTest, RemoveEdgeTwice) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  const graph::EdgeId e = g.AddEdge(0, 1, 1);
+  g.RemoveEdge(e);
+  EXPECT_DEATH(g.RemoveEdge(e), "already removed");
+}
+
+TEST(InvariantsDeathTest, CutPointsMustAscend) {
+  EXPECT_DEATH(Discretizer::FromCutPoints({3.0, 1.0}),
+               "strictly ascending");
+}
+
+TEST(InvariantsDeathTest, FsgRejectsTombstonedTransactions) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  const graph::EdgeId e0 = g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 0, 1);
+  g.RemoveEdge(e0);
+  fsg::FsgOptions options;
+  options.min_support = 1;
+  EXPECT_DEATH(fsg::MineFsg({g}, options), "dense");
+}
+
+TEST(InvariantsDeathTest, GeneratorValidatesCardinalities) {
+  data::GeneratorConfig config = data::GeneratorConfig::SmallScale();
+  config.num_origins = 10;
+  config.num_destinations = 10;  // 10 + 10 < 120 locations: uncovered
+  EXPECT_DEATH(data::GenerateTransportData(config), "origin");
+}
+
+TEST(InvariantsDeathTest, CanonicalCodeSizeGuard) {
+  LabeledGraph g;
+  for (std::size_t i = 0; i < iso::kMaxCanonicalVertices + 1; ++i) {
+    g.AddVertex(0);
+  }
+  EXPECT_DEATH(iso::CanonicalCode(g), "too large");
+}
+
+TEST(InvariantsDeathTest, NominalCellsValidated) {
+  ml::AttributeTable t;
+  t.AddNominalAttribute("m", {"a", "b"});
+  EXPECT_DEATH(t.AddRow({7.0}), "invalid nominal");
+}
+
+TEST(InvariantsDeathTest, AttributesBeforeRows) {
+  ml::AttributeTable t;
+  t.AddNumericAttribute("x");
+  t.AddRow({1.0});
+  EXPECT_DEATH(t.AddNumericAttribute("y"), "before rows");
+}
+
+}  // namespace
+}  // namespace tnmine

@@ -1,0 +1,155 @@
+#include "graph/labeled_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tnmine::graph {
+namespace {
+
+TEST(LabeledGraphTest, EmptyGraph) {
+  LabeledGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.IsDense());
+}
+
+TEST(LabeledGraphTest, AddVerticesAndEdges) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(1);
+  const VertexId b = g.AddVertex(2);
+  const VertexId c = g.AddVertex(1);
+  const EdgeId e0 = g.AddEdge(a, b, 10);
+  const EdgeId e1 = g.AddEdge(b, c, 20);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.vertex_label(a), 1);
+  EXPECT_EQ(g.vertex_label(b), 2);
+  EXPECT_EQ(g.edge(e0).src, a);
+  EXPECT_EQ(g.edge(e0).dst, b);
+  EXPECT_EQ(g.edge(e0).label, 10);
+  EXPECT_EQ(g.edge(e1).label, 20);
+  EXPECT_EQ(g.OutDegree(a), 1u);
+  EXPECT_EQ(g.InDegree(b), 1u);
+  EXPECT_EQ(g.OutDegree(b), 1u);
+  EXPECT_EQ(g.Degree(b), 2u);
+}
+
+TEST(LabeledGraphTest, ParallelEdgesAllowed) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(0);
+  g.AddEdge(a, b, 1);
+  g.AddEdge(a, b, 1);
+  g.AddEdge(a, b, 2);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(a), 3u);
+  EXPECT_EQ(g.InDegree(b), 3u);
+}
+
+TEST(LabeledGraphTest, SelfLoop) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(0);
+  g.AddEdge(a, a, 5);
+  EXPECT_EQ(g.OutDegree(a), 1u);
+  EXPECT_EQ(g.InDegree(a), 1u);
+  EXPECT_EQ(g.Degree(a), 2u);
+}
+
+TEST(LabeledGraphTest, RemoveEdgeUpdatesEverything) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(0);
+  const EdgeId e0 = g.AddEdge(a, b, 1);
+  const EdgeId e1 = g.AddEdge(b, a, 2);
+  g.RemoveEdge(e0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.edge_alive(e0));
+  EXPECT_TRUE(g.edge_alive(e1));
+  EXPECT_EQ(g.OutDegree(a), 0u);
+  EXPECT_EQ(g.InDegree(b), 0u);
+  EXPECT_FALSE(g.IsDense());
+  int visited = 0;
+  g.ForEachOutEdge(a, [&](EdgeId) { ++visited; });
+  EXPECT_EQ(visited, 0);
+  g.ForEachEdge([&](EdgeId e) { EXPECT_EQ(e, e1); ++visited; });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(LabeledGraphTest, LiveEdgesSkipsTombstones) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(0);
+  const EdgeId e0 = g.AddEdge(a, b, 1);
+  const EdgeId e1 = g.AddEdge(a, b, 2);
+  const EdgeId e2 = g.AddEdge(a, b, 3);
+  g.RemoveEdge(e1);
+  EXPECT_EQ(g.LiveEdges(), (std::vector<EdgeId>{e0, e2}));
+}
+
+TEST(LabeledGraphTest, CompactDropsTombstonesAndIsolated) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(10);
+  const VertexId b = g.AddVertex(20);
+  const VertexId c = g.AddVertex(30);  // becomes isolated
+  const EdgeId e0 = g.AddEdge(a, b, 1);
+  const EdgeId e1 = g.AddEdge(b, c, 2);
+  (void)e0;
+  g.RemoveEdge(e1);
+  std::vector<VertexId> map;
+  const LabeledGraph dense = g.Compact(/*drop_isolated_vertices=*/true, &map);
+  EXPECT_EQ(dense.num_vertices(), 2u);
+  EXPECT_EQ(dense.num_edges(), 1u);
+  EXPECT_TRUE(dense.IsDense());
+  EXPECT_EQ(map[c], kInvalidVertex);
+  EXPECT_EQ(dense.vertex_label(map[a]), 10);
+  EXPECT_EQ(dense.vertex_label(map[b]), 20);
+}
+
+TEST(LabeledGraphTest, CompactKeepIsolated) {
+  LabeledGraph g;
+  g.AddVertex(10);
+  g.AddVertex(20);
+  const LabeledGraph dense = g.Compact(/*drop_isolated_vertices=*/false);
+  EXPECT_EQ(dense.num_vertices(), 2u);
+}
+
+TEST(LabeledGraphTest, DistinctLabelCounts) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(1);
+  const VertexId b = g.AddVertex(1);
+  const VertexId c = g.AddVertex(2);
+  g.AddEdge(a, b, 5);
+  const EdgeId dup = g.AddEdge(b, c, 5);
+  g.AddEdge(c, a, 6);
+  EXPECT_EQ(g.CountDistinctVertexLabels(), 2u);
+  EXPECT_EQ(g.CountDistinctEdgeLabels(), 2u);
+  g.RemoveEdge(dup);
+  EXPECT_EQ(g.CountDistinctEdgeLabels(), 2u);
+}
+
+TEST(LabeledGraphTest, StructurallyEqual) {
+  auto build = [](Label extra) {
+    LabeledGraph g;
+    const VertexId a = g.AddVertex(1);
+    const VertexId b = g.AddVertex(2);
+    g.AddEdge(a, b, extra);
+    return g;
+  };
+  EXPECT_TRUE(build(7).StructurallyEqual(build(7)));
+  EXPECT_FALSE(build(7).StructurallyEqual(build(8)));
+}
+
+TEST(LabeledGraphTest, StructurallyEqualIgnoresTombstones) {
+  LabeledGraph a;
+  const VertexId x = a.AddVertex(0);
+  const VertexId y = a.AddVertex(0);
+  a.AddEdge(x, y, 1);
+  LabeledGraph b = a;
+  const EdgeId extra = b.AddEdge(x, y, 9);
+  b.RemoveEdge(extra);
+  EXPECT_TRUE(a.StructurallyEqual(b));
+}
+
+}  // namespace
+}  // namespace tnmine::graph

@@ -1,0 +1,128 @@
+#include "partition/multilevel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+#include "graph/algorithms.h"
+
+namespace tnmine::partition {
+namespace {
+
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+/// Two dense clusters joined by a single bridge edge — the canonical
+/// easy-cut instance.
+LabeledGraph TwoClusters(std::size_t cluster_size, std::uint64_t seed) {
+  Rng rng(seed);
+  LabeledGraph g;
+  for (std::size_t i = 0; i < 2 * cluster_size; ++i) g.AddVertex(0);
+  auto dense = [&](std::size_t base) {
+    for (std::size_t i = 0; i < cluster_size; ++i) {
+      for (int k = 0; k < 3; ++k) {
+        const std::size_t j = rng.NextBounded(cluster_size);
+        if (i != j) {
+          g.AddEdge(static_cast<VertexId>(base + i),
+                    static_cast<VertexId>(base + j), 1);
+        }
+      }
+    }
+  };
+  dense(0);
+  dense(cluster_size);
+  g.AddEdge(0, static_cast<VertexId>(cluster_size), 9);  // bridge
+  return g;
+}
+
+TEST(MultilevelTest, SinglePartitionIsTrivial) {
+  const LabeledGraph g = TwoClusters(20, 1);
+  MultilevelOptions options;
+  options.num_partitions = 1;
+  const MultilevelResult r = MultilevelPartition(g, options);
+  EXPECT_EQ(r.cut_edges, 0u);
+  for (std::uint32_t p : r.assignment) EXPECT_EQ(p, 0u);
+}
+
+TEST(MultilevelTest, FindsTheObviousCut) {
+  const LabeledGraph g = TwoClusters(40, 2);
+  MultilevelOptions options;
+  options.num_partitions = 2;
+  options.seed = 3;
+  const MultilevelResult r = MultilevelPartition(g, options);
+  // The ideal cut is the single bridge; accept a small constant.
+  EXPECT_LE(r.cut_edges, 4u);
+  // Balance: each side within the slack of half the vertices.
+  std::size_t side0 = 0;
+  for (std::uint32_t p : r.assignment) side0 += (p == 0);
+  EXPECT_GT(side0, g.num_vertices() / 4);
+  EXPECT_LT(side0, 3 * g.num_vertices() / 4);
+}
+
+TEST(MultilevelTest, AssignmentCoversAllVerticesAndParts) {
+  Rng rng(5);
+  LabeledGraph g;
+  for (int i = 0; i < 200; ++i) g.AddVertex(0);
+  for (int i = 0; i < 600; ++i) {
+    g.AddEdge(static_cast<VertexId>(rng.NextBounded(200)),
+              static_cast<VertexId>(rng.NextBounded(200)), 1);
+  }
+  MultilevelOptions options;
+  options.num_partitions = 8;
+  const MultilevelResult r = MultilevelPartition(g, options);
+  ASSERT_EQ(r.assignment.size(), g.num_vertices());
+  std::vector<std::size_t> sizes(8, 0);
+  for (std::uint32_t p : r.assignment) {
+    ASSERT_LT(p, 8u);
+    ++sizes[p];
+  }
+  // Balance cap: no partition above (1 + slack) * n/k (+1 rounding).
+  for (std::size_t s : sizes) {
+    EXPECT_LE(s, static_cast<std::size_t>(1.1 * 200.0 / 8.0) + 2);
+  }
+}
+
+TEST(MultilevelTest, CutCountMatchesAssignment) {
+  const LabeledGraph g = TwoClusters(25, 7);
+  MultilevelOptions options;
+  options.num_partitions = 4;
+  const MultilevelResult r = MultilevelPartition(g, options);
+  std::size_t expected_cut = 0;
+  g.ForEachEdge([&](graph::EdgeId e) {
+    const auto& edge = g.edge(e);
+    if (r.assignment[edge.src] != r.assignment[edge.dst]) ++expected_cut;
+  });
+  EXPECT_EQ(r.cut_edges, expected_cut);
+}
+
+TEST(MultilevelTest, ExtractPartitionsDropsCutEdges) {
+  const LabeledGraph g = TwoClusters(15, 9);
+  MultilevelOptions options;
+  options.num_partitions = 2;
+  const MultilevelResult r = MultilevelPartition(g, options);
+  const auto parts = ExtractPartitions(g, r.assignment);
+  std::size_t kept = 0;
+  for (const auto& part : parts) {
+    kept += part.num_edges();
+    for (VertexId v = 0; v < part.num_vertices(); ++v) {
+      EXPECT_GT(part.Degree(v), 0u);
+    }
+  }
+  EXPECT_EQ(kept + r.cut_edges, g.num_edges());
+}
+
+TEST(MultilevelTest, Deterministic) {
+  const LabeledGraph g = TwoClusters(30, 11);
+  MultilevelOptions options;
+  options.num_partitions = 3;
+  options.seed = 13;
+  const MultilevelResult a = MultilevelPartition(g, options);
+  const MultilevelResult b = MultilevelPartition(g, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+}
+
+}  // namespace
+}  // namespace tnmine::partition

@@ -1,0 +1,146 @@
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "iso/canonical.h"
+#include "pattern/render.h"
+
+namespace tnmine::pattern {
+namespace {
+
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+LabeledGraph Edge1(Label a, Label b, Label e) {
+  LabeledGraph g;
+  const VertexId va = g.AddVertex(a);
+  const VertexId vb = g.AddVertex(b);
+  g.AddEdge(va, vb, e);
+  return g;
+}
+
+FrequentPattern MakePattern(LabeledGraph g, std::size_t support,
+                            std::vector<std::uint32_t> tids = {}) {
+  FrequentPattern p;
+  p.graph = std::move(g);
+  p.support = support;
+  p.tids = std::move(tids);
+  return p;
+}
+
+TEST(PatternRegistryTest, InsertAndFind) {
+  PatternRegistry reg;
+  EXPECT_TRUE(reg.InsertOrMerge(MakePattern(Edge1(0, 1, 2), 5)));
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.Contains(Edge1(0, 1, 2)));
+  EXPECT_FALSE(reg.Contains(Edge1(0, 1, 3)));
+}
+
+TEST(PatternRegistryTest, IsomorphicGraphsMerge) {
+  PatternRegistry reg;
+  // Same pattern built with vertices in the opposite order.
+  LabeledGraph mirrored;
+  const VertexId b = mirrored.AddVertex(1);
+  const VertexId a = mirrored.AddVertex(0);
+  mirrored.AddEdge(a, b, 2);
+  EXPECT_TRUE(reg.InsertOrMerge(MakePattern(Edge1(0, 1, 2), 5)));
+  EXPECT_FALSE(reg.InsertOrMerge(MakePattern(mirrored, 9)));
+  EXPECT_EQ(reg.size(), 1u);
+  // Merge keeps the max support (Algorithm 1 union semantics).
+  const FrequentPattern* p =
+      reg.Find(iso::CanonicalCode(Edge1(0, 1, 2)));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->support, 9u);
+}
+
+TEST(PatternRegistryTest, MergeTidsUnions) {
+  PatternRegistry reg;
+  reg.InsertOrMerge(MakePattern(Edge1(0, 1, 2), 2, {1, 5}), true);
+  reg.InsertOrMerge(MakePattern(Edge1(0, 1, 2), 2, {3, 5}), true);
+  const FrequentPattern* p = reg.Find(iso::CanonicalCode(Edge1(0, 1, 2)));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->tids, (std::vector<std::uint32_t>{1, 3, 5}));
+  EXPECT_EQ(p->support, 3u);
+}
+
+TEST(PatternRegistryTest, SortedBySupport) {
+  PatternRegistry reg;
+  reg.InsertOrMerge(MakePattern(Edge1(0, 1, 1), 3));
+  reg.InsertOrMerge(MakePattern(Edge1(0, 1, 2), 9));
+  reg.InsertOrMerge(MakePattern(Edge1(0, 1, 3), 6));
+  const auto sorted = reg.SortedBySupport();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0]->support, 9u);
+  EXPECT_EQ(sorted[1]->support, 6u);
+  EXPECT_EQ(sorted[2]->support, 3u);
+}
+
+TEST(ShapeTest, ClassifiesFigures) {
+  // Figure 2: hub with spokes.
+  LabeledGraph star;
+  const VertexId hub = star.AddVertex(0);
+  for (int i = 0; i < 5; ++i) star.AddEdge(hub, star.AddVertex(0), i);
+  EXPECT_EQ(ClassifyShape(star), PatternShape::kHubAndSpoke);
+
+  // Figure 3: a chain.
+  LabeledGraph chain;
+  VertexId prev = chain.AddVertex(0);
+  for (int i = 0; i < 4; ++i) {
+    const VertexId next = chain.AddVertex(0);
+    chain.AddEdge(prev, next, 1);
+    prev = next;
+  }
+  EXPECT_EQ(ClassifyShape(chain), PatternShape::kChain);
+
+  // Circular route.
+  LabeledGraph cycle;
+  std::vector<VertexId> vs;
+  for (int i = 0; i < 4; ++i) vs.push_back(cycle.AddVertex(0));
+  for (int i = 0; i < 4; ++i) cycle.AddEdge(vs[i], vs[(i + 1) % 4], 1);
+  EXPECT_EQ(ClassifyShape(cycle), PatternShape::kCycle);
+
+  // Tree with branching.
+  LabeledGraph tree;
+  const VertexId root = tree.AddVertex(0);
+  const VertexId l = tree.AddVertex(0);
+  const VertexId r = tree.AddVertex(0);
+  tree.AddEdge(root, l, 1);
+  tree.AddEdge(root, r, 1);
+  tree.AddEdge(l, tree.AddVertex(0), 1);
+  tree.AddEdge(l, tree.AddVertex(0), 1);
+  EXPECT_EQ(ClassifyShape(tree), PatternShape::kTree);
+
+  // Single edge.
+  EXPECT_EQ(ClassifyShape(Edge1(0, 0, 1)), PatternShape::kSingleEdge);
+
+  // Complex: cycle plus chord.
+  LabeledGraph complex_g = cycle;
+  complex_g.AddEdge(vs[0], vs[2], 7);
+  EXPECT_EQ(ClassifyShape(complex_g), PatternShape::kComplex);
+}
+
+TEST(RenderTest, RendersEdgesAndSupport) {
+  FrequentPattern p = MakePattern(Edge1(0, 0, 2), 243);
+  const std::string text = RenderPattern(p);
+  EXPECT_NE(text.find("support=243"), std::string::npos);
+  EXPECT_NE(text.find("-[2]->"), std::string::npos);
+  EXPECT_NE(text.find("single-edge"), std::string::npos);
+}
+
+TEST(RenderTest, IntervalLabelsWhenBinsGiven) {
+  const Discretizer bins = Discretizer::FromCutPoints({6500.0, 13000.0});
+  FrequentPattern p = MakePattern(Edge1(0, 0, 0), 10);
+  const std::string text = RenderPattern(p, &bins);
+  EXPECT_NE(text.find("(-inf, 6500]"), std::string::npos);
+}
+
+TEST(RenderTest, VertexLabelsShownWhenNotUniform) {
+  FrequentPattern p = MakePattern(Edge1(4, 7, 1), 2);
+  const std::string text = RenderPattern(p);
+  EXPECT_NE(text.find("(L4)"), std::string::npos);
+  EXPECT_NE(text.find("(L7)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tnmine::pattern

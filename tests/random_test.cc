@@ -1,0 +1,143 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tnmine {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 - 600);
+    EXPECT_LT(c, kDraws / 10 + 600);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.NextInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyCorrect) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ZipfRankZeroMostPopular) {
+  Rng rng(23);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.NextZipf(50, 1.1)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], counts[49] * 10);
+}
+
+TEST(RngTest, ZipfRespectsBound) {
+  Rng rng(29);
+  for (double s : {0.5, 1.0, 1.5, 2.5}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.NextZipf(17, s), 17u);
+    }
+  }
+  EXPECT_EQ(rng.NextZipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 2, 3, 4, 5, 5, 5};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(orig.begin(), orig.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(101);
+  Rng fork1 = a.Fork();
+  Rng b(101);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fork1.Next(), fork2.Next());
+}
+
+TEST(RngTest, LogNormalPositive) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.NextLogNormal(3.0, 1.5), 0.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(43);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace tnmine

@@ -1,0 +1,183 @@
+#include "partition/split_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "data/od_graph.h"
+#include "graph/algorithms.h"
+
+namespace tnmine::partition {
+namespace {
+
+using graph::EdgeId;
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+LabeledGraph RandomGraph(std::uint64_t seed, std::size_t n, std::size_t m) {
+  Rng rng(seed);
+  LabeledGraph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.AddVertex(static_cast<Label>(rng.NextBounded(3)));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    g.AddEdge(static_cast<VertexId>(rng.NextBounded(n)),
+              static_cast<VertexId>(rng.NextBounded(n)),
+              static_cast<Label>(rng.NextBounded(4)));
+  }
+  return g;
+}
+
+/// Multiset of (src label, dst label, edge label) triples — partition-
+/// invariant because SplitGraph preserves labels even though ids change.
+std::multiset<std::tuple<Label, Label, Label>> EdgeLabelMultiset(
+    const LabeledGraph& g) {
+  std::multiset<std::tuple<Label, Label, Label>> out;
+  g.ForEachEdge([&](EdgeId e) {
+    const auto& edge = g.edge(e);
+    out.insert({g.vertex_label(edge.src), g.vertex_label(edge.dst),
+                edge.label});
+  });
+  return out;
+}
+
+TEST(SplitGraphTest, EmptyGraphGivesNoPartitions) {
+  LabeledGraph g;
+  g.AddVertex(0);
+  SplitOptions options;
+  EXPECT_TRUE(SplitGraph(g, options).empty());
+}
+
+class SplitGraphPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SplitStrategy, int>> {};
+
+TEST_P(SplitGraphPropertyTest, EdgePartitionIsExact) {
+  const auto [strategy, k] = GetParam();
+  const LabeledGraph g = RandomGraph(42, 60, 150);
+  SplitOptions options;
+  options.strategy = strategy;
+  options.num_partitions = static_cast<std::size_t>(k);
+  options.seed = 7;
+  const std::vector<LabeledGraph> parts = SplitGraph(g, options);
+  ASSERT_FALSE(parts.empty());
+  // Every edge appears in exactly one partition: the union of the label
+  // multisets equals the original's.
+  std::multiset<std::tuple<Label, Label, Label>> combined;
+  std::size_t total_edges = 0;
+  for (const LabeledGraph& part : parts) {
+    total_edges += part.num_edges();
+    for (const auto& t : EdgeLabelMultiset(part)) combined.insert(t);
+    // No orphaned vertices.
+    for (VertexId v = 0; v < part.num_vertices(); ++v) {
+      EXPECT_GT(part.Degree(v), 0u);
+    }
+    EXPECT_TRUE(part.IsDense());
+  }
+  EXPECT_EQ(total_edges, g.num_edges());
+  EXPECT_EQ(combined, EdgeLabelMultiset(g));
+}
+
+TEST_P(SplitGraphPropertyTest, PartitionSizesNearTarget) {
+  const auto [strategy, k] = GetParam();
+  const LabeledGraph g = RandomGraph(99, 100, 400);
+  SplitOptions options;
+  options.strategy = strategy;
+  options.num_partitions = static_cast<std::size_t>(k);
+  const std::vector<LabeledGraph> parts = SplitGraph(g, options);
+  // The algorithm aims at |E|/k per partition; allow generous slack for
+  // disconnection effects, but no partition may exceed ~2x the target.
+  const std::size_t target = g.num_edges() / static_cast<std::size_t>(k);
+  for (const LabeledGraph& part : parts) {
+    EXPECT_LE(part.num_edges(), 2 * target + 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyAndK, SplitGraphPropertyTest,
+    ::testing::Combine(::testing::Values(SplitStrategy::kBreadthFirst,
+                                         SplitStrategy::kDepthFirst),
+                       ::testing::Values(2, 4, 8, 16)));
+
+TEST(SplitGraphTest, DeterministicForSeed) {
+  const LabeledGraph g = RandomGraph(5, 40, 90);
+  SplitOptions options;
+  options.seed = 11;
+  const auto a = SplitGraph(g, options);
+  const auto b = SplitGraph(g, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].StructurallyEqual(b[i]));
+  }
+}
+
+TEST(SplitGraphTest, DifferentSeedsUsuallyDiffer) {
+  const LabeledGraph g = RandomGraph(5, 40, 90);
+  SplitOptions options;
+  options.seed = 1;
+  const auto a = SplitGraph(g, options);
+  options.seed = 2;
+  const auto b = SplitGraph(g, options);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = !a[i].StructurallyEqual(b[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SplitGraphTest, BreadthFirstKeepsStarTogether) {
+  // A star with 8 spokes plus a long tail elsewhere: when the star's hub
+  // seeds a BF partition with budget >= 8, all spokes land together.
+  LabeledGraph g;
+  const VertexId hub = g.AddVertex(0);
+  for (int i = 0; i < 8; ++i) g.AddEdge(hub, g.AddVertex(0), 1);
+  SplitOptions options;
+  options.strategy = SplitStrategy::kBreadthFirst;
+  options.num_partitions = 1;
+  const auto parts = SplitGraph(g, options);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].num_edges(), 8u);
+}
+
+TEST(SplitGraphTest, DepthFirstFollowsChains) {
+  // A pure directed path: DF partitioning into 2 parts must produce parts
+  // that are themselves paths (each vertex has degree <= 2).
+  LabeledGraph g;
+  VertexId prev = g.AddVertex(0);
+  for (int i = 0; i < 20; ++i) {
+    const VertexId next = g.AddVertex(0);
+    g.AddEdge(prev, next, 1);
+    prev = next;
+  }
+  SplitOptions options;
+  options.strategy = SplitStrategy::kDepthFirst;
+  options.num_partitions = 2;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    options.seed = seed;
+    for (const LabeledGraph& part : SplitGraph(g, options)) {
+      for (VertexId v = 0; v < part.num_vertices(); ++v) {
+        EXPECT_LE(part.Degree(v), 2u);
+      }
+    }
+  }
+}
+
+TEST(SplitGraphTest, WorksOnRealOdGraph) {
+  const data::TransactionDataset ds =
+      data::GenerateTransportData(data::GeneratorConfig::SmallScale());
+  const data::OdGraph od = data::BuildOdGw(ds);
+  SplitOptions options;
+  options.num_partitions = 5;
+  const auto parts = SplitGraph(od.graph, options);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.num_edges();
+  EXPECT_EQ(total, od.graph.num_edges());
+}
+
+}  // namespace
+}  // namespace tnmine::partition

@@ -1,0 +1,98 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tnmine {
+namespace {
+
+TEST(SummarizeTest, EmptyGivesZeros) {
+  const SummaryStats s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const SummaryStats s = Summarize({7.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, KnownSample) {
+  const SummaryStats s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.0, 1e-12);  // classic population-stddev example
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchOnRandomData) {
+  Rng rng(3);
+  std::vector<double> values;
+  RunningStats acc;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.NextGaussian(10, 4);
+    values.push_back(x);
+    acc.Add(x);
+  }
+  const SummaryStats batch = Summarize(values);
+  const SummaryStats streaming = acc.Finish();
+  EXPECT_EQ(batch.count, streaming.count);
+  EXPECT_NEAR(batch.mean, streaming.mean, 1e-9);
+  EXPECT_NEAR(batch.stddev, streaming.stddev, 1e-9);
+  EXPECT_EQ(batch.min, streaming.min);
+  EXPECT_EQ(batch.max, streaming.max);
+}
+
+TEST(HistogramTest, CountsIntoBuckets) {
+  const std::vector<double> values = {1, 5, 9, 10, 11, 99, 100, 150, 999};
+  const std::vector<double> edges = {1, 10, 100, 1000};
+  const auto buckets = Histogram(values, edges);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].count, 3u);   // 1, 5, 9
+  EXPECT_EQ(buckets[1].count, 3u);   // 10, 11, 99
+  EXPECT_EQ(buckets[2].count, 3u);   // 100, 150, 999
+}
+
+TEST(HistogramTest, IgnoresOutOfRange) {
+  const auto buckets = Histogram({-5.0, 0.5, 10.0, 20.0}, {1.0, 10.0});
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].count, 0u);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg;
+  for (double v : y) neg.push_back(-v);
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, IndependentNearZero) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.NextDouble());
+    y.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.03);
+}
+
+TEST(PearsonTest, DegenerateIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+}
+
+}  // namespace
+}  // namespace tnmine

@@ -1,0 +1,164 @@
+#include "synth/kk_generator.h"
+#include "synth/planted.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.h"
+#include "iso/canonical.h"
+#include "iso/vf2.h"
+
+namespace tnmine::synth {
+namespace {
+
+TEST(KkGeneratorTest, ProducesRequestedTransactionCount) {
+  KkOptions options;
+  options.num_transactions = 50;
+  options.avg_transaction_edges = 12;
+  options.seed = 1;
+  const KkResult r = GenerateKkTransactions(options);
+  EXPECT_EQ(r.transactions.size(), 50u);
+  EXPECT_EQ(r.seed_patterns.size(), options.num_seed_patterns);
+}
+
+TEST(KkGeneratorTest, TransactionSizesNearTarget) {
+  KkOptions options;
+  options.num_transactions = 200;
+  options.avg_transaction_edges = 20;
+  options.seed = 2;
+  const KkResult r = GenerateKkTransactions(options);
+  double total = 0;
+  for (const auto& t : r.transactions) {
+    total += static_cast<double>(t.num_edges());
+    EXPECT_GE(t.num_edges(), 1u);
+  }
+  const double avg = total / 200.0;
+  EXPECT_GT(avg, 15.0);
+  EXPECT_LT(avg, 30.0);
+}
+
+TEST(KkGeneratorTest, SeedPatternsConnectedAndLabeledInRange) {
+  KkOptions options;
+  options.num_seed_patterns = 15;
+  options.num_vertex_labels = 5;
+  options.num_edge_labels = 3;
+  options.seed = 3;
+  const KkResult r = GenerateKkTransactions(options);
+  for (const auto& p : r.seed_patterns) {
+    EXPECT_TRUE(graph::IsWeaklyConnected(p));
+    for (graph::VertexId v = 0; v < p.num_vertices(); ++v) {
+      EXPECT_GE(p.vertex_label(v), 0);
+      EXPECT_LT(p.vertex_label(v), 5);
+    }
+    p.ForEachEdge([&](graph::EdgeId e) {
+      EXPECT_GE(p.edge(e).label, 0);
+      EXPECT_LT(p.edge(e).label, 3);
+    });
+  }
+}
+
+TEST(KkGeneratorTest, SeedPatternsActuallyAppearInTransactions) {
+  KkOptions options;
+  options.num_transactions = 80;
+  options.num_seed_patterns = 5;
+  options.avg_pattern_edges = 3;
+  options.avg_transaction_edges = 15;
+  options.num_vertex_labels = 3;
+  options.num_edge_labels = 2;
+  options.seed = 4;
+  const KkResult r = GenerateKkTransactions(options);
+  // Each seed pattern should be contained in a healthy share of the
+  // transactions (it is planted repeatedly).
+  for (const auto& seed : r.seed_patterns) {
+    std::size_t hits = 0;
+    for (const auto& t : r.transactions) {
+      hits += iso::ContainsSubgraph(seed, t);
+    }
+    EXPECT_GE(hits, 8u) << seed.DebugString();
+  }
+}
+
+TEST(KkGeneratorTest, MoreLabelsMeanMoreDistinctEdgeTypes) {
+  KkOptions few;
+  few.num_transactions = 60;
+  few.num_vertex_labels = 2;
+  few.seed = 5;
+  KkOptions many = few;
+  many.num_vertex_labels = 60;
+  auto count_types = [](const KkResult& r) {
+    std::set<std::tuple<graph::Label, graph::Label, graph::Label>> types;
+    for (const auto& t : r.transactions) {
+      t.ForEachEdge([&](graph::EdgeId e) {
+        types.insert({t.vertex_label(t.edge(e).src),
+                      t.vertex_label(t.edge(e).dst), t.edge(e).label});
+      });
+    }
+    return types.size();
+  };
+  EXPECT_GT(count_types(GenerateKkTransactions(many)),
+            2 * count_types(GenerateKkTransactions(few)));
+}
+
+TEST(PlantedTest, GroundTruthEmbedded) {
+  PlantedOptions options;
+  options.num_patterns = 4;
+  options.pattern_edges = 3;
+  options.instances_per_pattern = 10;
+  options.noise_vertices = 30;
+  options.noise_edges = 40;
+  options.seed = 6;
+  const PlantedResult r = GeneratePlantedGraph(options);
+  ASSERT_EQ(r.patterns.size(), 4u);
+  for (const auto& p : r.patterns) {
+    // At least the planted number of embeddings exist.
+    EXPECT_GE(iso::CountEmbeddings(p, r.graph, 1), 1u);
+  }
+}
+
+TEST(PlantedTest, PatternsPairwiseNonIsomorphic) {
+  PlantedOptions options;
+  options.num_patterns = 6;
+  options.seed = 7;
+  const PlantedResult r = GeneratePlantedGraph(options);
+  std::set<std::string> codes;
+  for (const auto& p : r.patterns) {
+    EXPECT_TRUE(codes.insert(iso::CanonicalCode(p)).second);
+  }
+}
+
+TEST(PlantedTest, GraphSizeAccounting) {
+  PlantedOptions options;
+  options.num_patterns = 2;
+  options.pattern_edges = 3;
+  options.instances_per_pattern = 5;
+  options.noise_vertices = 10;
+  options.noise_edges = 20;
+  options.seed = 8;
+  const PlantedResult r = GeneratePlantedGraph(options);
+  std::size_t instance_edges = 0;
+  for (const auto& p : r.patterns) {
+    instance_edges += p.num_edges() * options.instances_per_pattern;
+  }
+  EXPECT_EQ(r.graph.num_edges(), instance_edges + options.noise_edges);
+}
+
+TEST(PlantedTest, RecallMeasure) {
+  PlantedOptions options;
+  options.num_patterns = 4;
+  options.seed = 9;
+  const PlantedResult r = GeneratePlantedGraph(options);
+  pattern::PatternRegistry mined;
+  // Register two of the four truths.
+  for (int i = 0; i < 2; ++i) {
+    pattern::FrequentPattern p;
+    p.graph = r.patterns[static_cast<std::size_t>(i)];
+    p.support = 10;
+    mined.InsertOrMerge(std::move(p));
+  }
+  EXPECT_DOUBLE_EQ(PatternRecall(r.patterns, mined), 0.5);
+  EXPECT_DOUBLE_EQ(PatternRecall({}, mined), 0.0);
+}
+
+}  // namespace
+}  // namespace tnmine::synth

@@ -1,0 +1,335 @@
+// tnmine_cli — command-line driver for the tnmine library.
+//
+// Subcommands:
+//   generate   synthesize a transaction dataset and write it as CSV
+//   stats      print the Section-3 dataset description
+//   structural mine structurally similar routes (Section 5 pipeline)
+//   temporal   mine temporally repeated routes (Section 6 pipeline)
+//   episodes   mine periodic / chained route episodes (Section 9 extension)
+//   export     write ARFF / SUBDUE / FSG files for external tools
+//
+// Examples:
+//   tnmine_cli generate --out /tmp/data.csv --scale small --seed 7
+//   tnmine_cli structural --data /tmp/data.csv --strategy bf --k 40 \
+//       --support 12 --top 3 --dot /tmp/patterns
+//   tnmine_cli temporal --data /tmp/data.csv --support-fraction 0.05
+//   tnmine_cli episodes --data /tmp/data.csv --min-occurrences 5
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/episodes.h"
+#include "core/flow_balance.h"
+#include "core/interestingness.h"
+#include "core/miner.h"
+#include "data/generator.h"
+#include "data/od_graph.h"
+#include "graph/graph_io.h"
+#include "ml/arff.h"
+#include "partition/split_graph.h"
+#include "pattern/dot.h"
+#include "pattern/render.h"
+
+namespace {
+
+using namespace tnmine;
+
+/// Tiny --key value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tnmine_cli <generate|stats|structural|temporal|"
+               "episodes|deadhead|export> [--flag value ...]\n"
+               "see the header of tools/tnmine_cli.cc for examples\n");
+  return 2;
+}
+
+bool LoadData(const Flags& flags, data::TransactionDataset* dataset) {
+  const std::string path = flags.Get("data", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--data <csv> is required\n");
+    return false;
+  }
+  std::string error;
+  if (!data::TransactionDataset::LoadCsv(path, dataset, &error)) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out <csv> is required\n");
+    return 2;
+  }
+  data::GeneratorConfig config =
+      flags.Get("scale", "small") == "paper"
+          ? data::GeneratorConfig::PaperScale()
+          : data::GeneratorConfig::SmallScale();
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2005));
+  const data::TransactionDataset dataset =
+      data::GenerateTransportData(config);
+  std::string error;
+  if (!dataset.SaveCsv(out, &error)) {
+    std::fprintf(stderr, "write failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu transactions to %s\n", dataset.size(),
+              out.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  data::TransactionDataset dataset;
+  if (!LoadData(flags, &dataset)) return 1;
+  const data::DatasetStats stats = dataset.ComputeStats();
+  std::printf("transactions:          %zu\n", stats.num_transactions);
+  std::printf("distinct locations:    %zu\n", stats.distinct_locations);
+  std::printf("distinct origins:      %zu\n", stats.distinct_origins);
+  std::printf("distinct destinations: %zu\n", stats.distinct_destinations);
+  std::printf("distinct OD pairs:     %zu\n", stats.distinct_od_pairs);
+  std::printf("weight range:          %.0f - %.0f lb\n", stats.weight.min,
+              stats.weight.max);
+  std::printf("distance mean:         %.0f mi\n", stats.distance.mean);
+  std::printf("TL / LTL:              %zu / %zu\n", stats.num_truckload,
+              stats.num_less_than_truckload);
+  return 0;
+}
+
+data::OdGraph BuildGraphFor(const Flags& flags,
+                            const data::TransactionDataset& dataset) {
+  const std::string attr = flags.Get("attribute", "weight");
+  if (attr == "hours") return data::BuildOdTh(dataset);
+  if (attr == "distance") return data::BuildOdTd(dataset);
+  return data::BuildOdGw(dataset);
+}
+
+int CmdStructural(const Flags& flags) {
+  data::TransactionDataset dataset;
+  if (!LoadData(flags, &dataset)) return 1;
+  const data::OdGraph od = BuildGraphFor(flags, dataset);
+  core::StructuralMiningOptions options;
+  options.strategy = flags.Get("strategy", "bf") == "df"
+                         ? partition::SplitStrategy::kDepthFirst
+                         : partition::SplitStrategy::kBreadthFirst;
+  options.num_partitions =
+      static_cast<std::size_t>(flags.GetInt("k", 40));
+  options.min_support =
+      static_cast<std::size_t>(flags.GetInt("support", 10));
+  options.max_pattern_edges =
+      static_cast<std::size_t>(flags.GetInt("max-edges", 3));
+  options.repetitions =
+      static_cast<std::size_t>(flags.GetInt("reps", 1));
+  options.miner = flags.Get("miner", "fsg") == "gspan"
+                      ? core::MinerKind::kGspan
+                      : core::MinerKind::kFsg;
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const auto result = core::MineStructuralPatterns(od.graph, options);
+  std::printf("%zu frequent pattern classes\n", result.registry.size());
+  const auto ranked = core::RankPatterns(result.registry);
+  const std::size_t top =
+      static_cast<std::size_t>(flags.GetInt("top", 3));
+  const std::string dot_dir = flags.Get("dot", "");
+  for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+    std::printf("\n#%zu %s", i + 1,
+                pattern::RenderPattern(*ranked[i],
+                                       &od.discretizer).c_str());
+    if (!dot_dir.empty()) {
+      pattern::DotOptions dot;
+      dot.name = "pattern" + std::to_string(i + 1);
+      dot.show_vertex_labels = false;
+      dot.bins = &od.discretizer;
+      const std::string path =
+          dot_dir + "/pattern" + std::to_string(i + 1) + ".dot";
+      if (graph::WriteTextFile(path, pattern::ToDot(*ranked[i], dot))) {
+        std::printf("  (wrote %s)\n", path.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdTemporal(const Flags& flags) {
+  data::TransactionDataset dataset;
+  if (!LoadData(flags, &dataset)) return 1;
+  core::TemporalMiningOptions options;
+  options.min_support_fraction = flags.GetDouble("support-fraction", 0.05);
+  options.max_pattern_edges =
+      static_cast<std::size_t>(flags.GetInt("max-edges", 3));
+  options.partition.max_distinct_vertex_labels =
+      static_cast<std::size_t>(flags.GetInt("max-labels", 0));
+  const auto result = core::MineTemporalPatterns(dataset, options);
+  std::printf("%zu per-day transactions (support threshold %zu)\n",
+              result.partition.transactions.size(),
+              result.absolute_min_support);
+  std::printf("%zu temporally repeated pattern classes\n",
+              result.registry.size());
+  const std::size_t top =
+      static_cast<std::size_t>(flags.GetInt("top", 3));
+  std::size_t shown = 0;
+  for (const auto* p : result.registry.SortedBySupport()) {
+    if (p->graph.num_edges() < 2) continue;
+    std::printf("\n%s", pattern::RenderPattern(
+                            *p, &result.partition.discretizer).c_str());
+    if (++shown == top) break;
+  }
+  return 0;
+}
+
+int CmdEpisodes(const Flags& flags) {
+  data::TransactionDataset dataset;
+  if (!LoadData(flags, &dataset)) return 1;
+  core::EpisodeOptions options;
+  options.min_occurrences =
+      static_cast<std::size_t>(flags.GetInt("min-occurrences", 5));
+  options.min_period_days =
+      static_cast<int>(flags.GetInt("min-period", 2));
+  options.max_period_days =
+      static_cast<int>(flags.GetInt("max-period", 28));
+  const auto result = core::MineRouteEpisodes(dataset, options);
+  std::printf("periodic routes: %zu\n", result.routes.size());
+  const std::size_t top =
+      static_cast<std::size_t>(flags.GetInt("top", 5));
+  for (std::size_t i = 0; i < std::min(top, result.routes.size()); ++i) {
+    std::printf("  %s\n",
+                core::EpisodeToString(result.routes[i]).c_str());
+  }
+  std::printf("chained paths: %zu\n", result.paths.size());
+  std::size_t shown = 0;
+  for (const auto& p : result.paths) {
+    if (p.stops.size() < 3) continue;
+    std::printf("  %s\n", core::EpisodeToString(p).c_str());
+    if (++shown == top) break;
+  }
+  return 0;
+}
+
+int CmdDeadhead(const Flags& flags) {
+  data::TransactionDataset dataset;
+  if (!LoadData(flags, &dataset)) return 1;
+  core::LaneBalanceOptions options;
+  options.min_forward_shipments =
+      static_cast<std::size_t>(flags.GetInt("min-forward", 10));
+  options.min_imbalance = flags.GetDouble("min-imbalance", 0.8);
+  const auto lanes = core::FindDeadheadLanes(dataset, options);
+  const std::size_t top =
+      static_cast<std::size_t>(flags.GetInt("top", 10));
+  std::printf("deadhead lanes (one-directional traffic): %zu\n",
+              lanes.size());
+  for (std::size_t i = 0; i < std::min(top, lanes.size()); ++i) {
+    std::printf("  %s\n", core::ToString(lanes[i]).c_str());
+  }
+  core::MarketFlowOptions market_options;
+  market_options.min_shipments =
+      static_cast<std::size_t>(flags.GetInt("min-shipments", 20));
+  const auto markets = core::ComputeMarketFlows(dataset, market_options);
+  std::printf("most imbalanced markets:\n");
+  for (std::size_t i = 0; i < std::min(top, markets.size()); ++i) {
+    std::printf("  %s\n", core::ToString(markets[i]).c_str());
+  }
+  return 0;
+}
+
+int CmdExport(const Flags& flags) {
+  data::TransactionDataset dataset;
+  if (!LoadData(flags, &dataset)) return 1;
+  std::string error;
+  if (flags.Has("arff")) {
+    const ml::AttributeTable table =
+        ml::AttributeTable::FromTransactions(dataset);
+    if (!ml::SaveArff(table, "transport", flags.Get("arff", ""), &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.Get("arff", "").c_str());
+  }
+  if (flags.Has("subdue")) {
+    const data::OdGraph od = BuildGraphFor(flags, dataset);
+    if (!graph::WriteTextFile(flags.Get("subdue", ""),
+                              graph::WriteSubdueFormat(od.graph))) {
+      std::fprintf(stderr, "cannot write SUBDUE file\n");
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.Get("subdue", "").c_str());
+  }
+  if (flags.Has("fsg")) {
+    const data::OdGraph od = BuildGraphFor(flags, dataset);
+    partition::SplitOptions split;
+    split.num_partitions =
+        static_cast<std::size_t>(flags.GetInt("k", 40));
+    const auto parts = partition::SplitGraph(od.graph, split);
+    if (!graph::WriteTextFile(flags.Get("fsg", ""),
+                              graph::WriteFsgFormat(parts))) {
+      std::fprintf(stderr, "cannot write FSG file\n");
+      return 1;
+    }
+    std::printf("wrote %s (%zu transactions)\n",
+                flags.Get("fsg", "").c_str(), parts.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (!flags.ok()) return 2;
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "structural") return CmdStructural(flags);
+  if (command == "temporal") return CmdTemporal(flags);
+  if (command == "episodes") return CmdEpisodes(flags);
+  if (command == "deadhead") return CmdDeadhead(flags);
+  if (command == "export") return CmdExport(flags);
+  return Usage();
+}
