@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gspan.dir/bench_ablation_gspan.cc.o"
+  "CMakeFiles/bench_ablation_gspan.dir/bench_ablation_gspan.cc.o.d"
+  "bench_ablation_gspan"
+  "bench_ablation_gspan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gspan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assoc_rules.dir/bench_assoc_rules.cc.o"
+  "CMakeFiles/bench_assoc_rules.dir/bench_assoc_rules.cc.o.d"
+  "bench_assoc_rules"
+  "bench_assoc_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assoc_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_episode_mining.dir/bench_episode_mining.cc.o"
+  "CMakeFiles/bench_episode_mining.dir/bench_episode_mining.cc.o.d"
+  "bench_episode_mining"
+  "bench_episode_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_episode_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_subdue_mdl.dir/bench_fig1_subdue_mdl.cc.o"
+  "CMakeFiles/bench_fig1_subdue_mdl.dir/bench_fig1_subdue_mdl.cc.o.d"
+  "bench_fig1_subdue_mdl"
+  "bench_fig1_subdue_mdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_subdue_mdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

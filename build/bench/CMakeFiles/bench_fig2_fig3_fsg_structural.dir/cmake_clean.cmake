@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fig3_fsg_structural.dir/bench_fig2_fig3_fsg_structural.cc.o"
+  "CMakeFiles/bench_fig2_fig3_fsg_structural.dir/bench_fig2_fig3_fsg_structural.cc.o.d"
+  "bench_fig2_fig3_fsg_structural"
+  "bench_fig2_fig3_fsg_structural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fig3_fsg_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

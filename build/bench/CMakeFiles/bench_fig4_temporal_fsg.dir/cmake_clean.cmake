@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_temporal_fsg.dir/bench_fig4_temporal_fsg.cc.o"
+  "CMakeFiles/bench_fig4_temporal_fsg.dir/bench_fig4_temporal_fsg.cc.o.d"
+  "bench_fig4_temporal_fsg"
+  "bench_fig4_temporal_fsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_temporal_fsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

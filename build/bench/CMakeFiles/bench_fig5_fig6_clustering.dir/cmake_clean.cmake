@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fig6_clustering.dir/bench_fig5_fig6_clustering.cc.o"
+  "CMakeFiles/bench_fig5_fig6_clustering.dir/bench_fig5_fig6_clustering.cc.o.d"
+  "bench_fig5_fig6_clustering"
+  "bench_fig5_fig6_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig6_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_footnote3_labels.dir/bench_footnote3_labels.cc.o"
+  "CMakeFiles/bench_footnote3_labels.dir/bench_footnote3_labels.cc.o.d"
+  "bench_footnote3_labels"
+  "bench_footnote3_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_footnote3_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_sweep.dir/bench_partition_sweep.cc.o"
+  "CMakeFiles/bench_partition_sweep.dir/bench_partition_sweep.cc.o.d"
+  "bench_partition_sweep"
+  "bench_partition_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recall_planted.dir/bench_recall_planted.cc.o"
+  "CMakeFiles/bench_recall_planted.dir/bench_recall_planted.cc.o.d"
+  "bench_recall_planted"
+  "bench_recall_planted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recall_planted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

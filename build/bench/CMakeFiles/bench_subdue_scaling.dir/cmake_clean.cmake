@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subdue_scaling.dir/bench_subdue_scaling.cc.o"
+  "CMakeFiles/bench_subdue_scaling.dir/bench_subdue_scaling.cc.o.d"
+  "bench_subdue_scaling"
+  "bench_subdue_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subdue_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_subdue_size.cc" "bench/CMakeFiles/bench_subdue_size.dir/bench_subdue_size.cc.o" "gcc" "bench/CMakeFiles/bench_subdue_size.dir/bench_subdue_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tnmine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/tnmine_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsg/CMakeFiles/tnmine_fsg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gspan/CMakeFiles/tnmine_gspan.dir/DependInfo.cmake"
+  "/root/repo/build/src/subdue/CMakeFiles/tnmine_subdue.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/tnmine_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tnmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/tnmine_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/iso/CMakeFiles/tnmine_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tnmine_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tnmine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subdue_size.dir/bench_subdue_size.cc.o"
+  "CMakeFiles/bench_subdue_size.dir/bench_subdue_size.cc.o.d"
+  "bench_subdue_size"
+  "bench_subdue_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subdue_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_table3_temporal.dir/bench_table2_table3_temporal.cc.o"
+  "CMakeFiles/bench_table2_table3_temporal.dir/bench_table2_table3_temporal.cc.o.d"
+  "bench_table2_table3_temporal"
+  "bench_table2_table3_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_table3_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conventional_mining.dir/conventional_mining.cpp.o"
+  "CMakeFiles/conventional_mining.dir/conventional_mining.cpp.o.d"
+  "conventional_mining"
+  "conventional_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conventional_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_episodes.dir/dynamic_episodes.cpp.o"
+  "CMakeFiles/dynamic_episodes.dir/dynamic_episodes.cpp.o.d"
+  "dynamic_episodes"
+  "dynamic_episodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_episodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_routes.dir/structural_routes.cpp.o"
+  "CMakeFiles/structural_routes.dir/structural_routes.cpp.o.d"
+  "structural_routes"
+  "structural_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

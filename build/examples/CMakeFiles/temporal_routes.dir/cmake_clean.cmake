@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_routes.dir/temporal_routes.cpp.o"
+  "CMakeFiles/temporal_routes.dir/temporal_routes.cpp.o.d"
+  "temporal_routes"
+  "temporal_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

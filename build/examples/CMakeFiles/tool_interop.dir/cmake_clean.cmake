@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_interop.dir/tool_interop.cpp.o"
+  "CMakeFiles/tool_interop.dir/tool_interop.cpp.o.d"
+  "tool_interop"
+  "tool_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

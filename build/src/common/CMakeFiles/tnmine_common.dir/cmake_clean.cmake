@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_common.dir/binning.cc.o"
+  "CMakeFiles/tnmine_common.dir/binning.cc.o.d"
+  "CMakeFiles/tnmine_common.dir/csv.cc.o"
+  "CMakeFiles/tnmine_common.dir/csv.cc.o.d"
+  "CMakeFiles/tnmine_common.dir/date.cc.o"
+  "CMakeFiles/tnmine_common.dir/date.cc.o.d"
+  "CMakeFiles/tnmine_common.dir/random.cc.o"
+  "CMakeFiles/tnmine_common.dir/random.cc.o.d"
+  "CMakeFiles/tnmine_common.dir/statistics.cc.o"
+  "CMakeFiles/tnmine_common.dir/statistics.cc.o.d"
+  "libtnmine_common.a"
+  "libtnmine_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_core.dir/episodes.cc.o"
+  "CMakeFiles/tnmine_core.dir/episodes.cc.o.d"
+  "CMakeFiles/tnmine_core.dir/flow_balance.cc.o"
+  "CMakeFiles/tnmine_core.dir/flow_balance.cc.o.d"
+  "CMakeFiles/tnmine_core.dir/interestingness.cc.o"
+  "CMakeFiles/tnmine_core.dir/interestingness.cc.o.d"
+  "CMakeFiles/tnmine_core.dir/miner.cc.o"
+  "CMakeFiles/tnmine_core.dir/miner.cc.o.d"
+  "libtnmine_core.a"
+  "libtnmine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_data.dir/dataset.cc.o"
+  "CMakeFiles/tnmine_data.dir/dataset.cc.o.d"
+  "CMakeFiles/tnmine_data.dir/generator.cc.o"
+  "CMakeFiles/tnmine_data.dir/generator.cc.o.d"
+  "CMakeFiles/tnmine_data.dir/geo.cc.o"
+  "CMakeFiles/tnmine_data.dir/geo.cc.o.d"
+  "CMakeFiles/tnmine_data.dir/od_graph.cc.o"
+  "CMakeFiles/tnmine_data.dir/od_graph.cc.o.d"
+  "libtnmine_data.a"
+  "libtnmine_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

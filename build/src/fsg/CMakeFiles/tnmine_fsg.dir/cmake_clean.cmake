@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_fsg.dir/fsg.cc.o"
+  "CMakeFiles/tnmine_fsg.dir/fsg.cc.o.d"
+  "libtnmine_fsg.a"
+  "libtnmine_fsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_fsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tnmine_fsg.
+# This may be replaced when dependencies are built.

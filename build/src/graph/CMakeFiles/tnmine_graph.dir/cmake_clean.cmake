@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_graph.dir/algorithms.cc.o"
+  "CMakeFiles/tnmine_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/tnmine_graph.dir/graph_io.cc.o"
+  "CMakeFiles/tnmine_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/tnmine_graph.dir/labeled_graph.cc.o"
+  "CMakeFiles/tnmine_graph.dir/labeled_graph.cc.o.d"
+  "libtnmine_graph.a"
+  "libtnmine_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

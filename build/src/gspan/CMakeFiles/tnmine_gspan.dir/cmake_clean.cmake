@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_gspan.dir/dfs_code.cc.o"
+  "CMakeFiles/tnmine_gspan.dir/dfs_code.cc.o.d"
+  "CMakeFiles/tnmine_gspan.dir/gspan.cc.o"
+  "CMakeFiles/tnmine_gspan.dir/gspan.cc.o.d"
+  "libtnmine_gspan.a"
+  "libtnmine_gspan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_gspan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_iso.dir/canonical.cc.o"
+  "CMakeFiles/tnmine_iso.dir/canonical.cc.o.d"
+  "CMakeFiles/tnmine_iso.dir/vf2.cc.o"
+  "CMakeFiles/tnmine_iso.dir/vf2.cc.o.d"
+  "libtnmine_iso.a"
+  "libtnmine_iso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/apriori.cc" "src/ml/CMakeFiles/tnmine_ml.dir/apriori.cc.o" "gcc" "src/ml/CMakeFiles/tnmine_ml.dir/apriori.cc.o.d"
+  "/root/repo/src/ml/arff.cc" "src/ml/CMakeFiles/tnmine_ml.dir/arff.cc.o" "gcc" "src/ml/CMakeFiles/tnmine_ml.dir/arff.cc.o.d"
+  "/root/repo/src/ml/attribute_table.cc" "src/ml/CMakeFiles/tnmine_ml.dir/attribute_table.cc.o" "gcc" "src/ml/CMakeFiles/tnmine_ml.dir/attribute_table.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/tnmine_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/tnmine_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/em.cc" "src/ml/CMakeFiles/tnmine_ml.dir/em.cc.o" "gcc" "src/ml/CMakeFiles/tnmine_ml.dir/em.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/tnmine_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/tnmine_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/tnmine_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/tnmine_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/validation.cc" "src/ml/CMakeFiles/tnmine_ml.dir/validation.cc.o" "gcc" "src/ml/CMakeFiles/tnmine_ml.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tnmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tnmine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tnmine_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_ml.dir/apriori.cc.o"
+  "CMakeFiles/tnmine_ml.dir/apriori.cc.o.d"
+  "CMakeFiles/tnmine_ml.dir/arff.cc.o"
+  "CMakeFiles/tnmine_ml.dir/arff.cc.o.d"
+  "CMakeFiles/tnmine_ml.dir/attribute_table.cc.o"
+  "CMakeFiles/tnmine_ml.dir/attribute_table.cc.o.d"
+  "CMakeFiles/tnmine_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/tnmine_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/tnmine_ml.dir/em.cc.o"
+  "CMakeFiles/tnmine_ml.dir/em.cc.o.d"
+  "CMakeFiles/tnmine_ml.dir/kmeans.cc.o"
+  "CMakeFiles/tnmine_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/tnmine_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/tnmine_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/tnmine_ml.dir/validation.cc.o"
+  "CMakeFiles/tnmine_ml.dir/validation.cc.o.d"
+  "libtnmine_ml.a"
+  "libtnmine_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_partition.dir/multilevel.cc.o"
+  "CMakeFiles/tnmine_partition.dir/multilevel.cc.o.d"
+  "CMakeFiles/tnmine_partition.dir/split_graph.cc.o"
+  "CMakeFiles/tnmine_partition.dir/split_graph.cc.o.d"
+  "CMakeFiles/tnmine_partition.dir/temporal.cc.o"
+  "CMakeFiles/tnmine_partition.dir/temporal.cc.o.d"
+  "libtnmine_partition.a"
+  "libtnmine_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

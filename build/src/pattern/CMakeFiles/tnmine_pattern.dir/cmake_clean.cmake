@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_pattern.dir/dot.cc.o"
+  "CMakeFiles/tnmine_pattern.dir/dot.cc.o.d"
+  "CMakeFiles/tnmine_pattern.dir/pattern.cc.o"
+  "CMakeFiles/tnmine_pattern.dir/pattern.cc.o.d"
+  "CMakeFiles/tnmine_pattern.dir/render.cc.o"
+  "CMakeFiles/tnmine_pattern.dir/render.cc.o.d"
+  "libtnmine_pattern.a"
+  "libtnmine_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

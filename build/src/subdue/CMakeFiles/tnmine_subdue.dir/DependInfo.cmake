@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subdue/mdl.cc" "src/subdue/CMakeFiles/tnmine_subdue.dir/mdl.cc.o" "gcc" "src/subdue/CMakeFiles/tnmine_subdue.dir/mdl.cc.o.d"
+  "/root/repo/src/subdue/subdue.cc" "src/subdue/CMakeFiles/tnmine_subdue.dir/subdue.cc.o" "gcc" "src/subdue/CMakeFiles/tnmine_subdue.dir/subdue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pattern/CMakeFiles/tnmine_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/iso/CMakeFiles/tnmine_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tnmine_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tnmine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_subdue.dir/mdl.cc.o"
+  "CMakeFiles/tnmine_subdue.dir/mdl.cc.o.d"
+  "CMakeFiles/tnmine_subdue.dir/subdue.cc.o"
+  "CMakeFiles/tnmine_subdue.dir/subdue.cc.o.d"
+  "libtnmine_subdue.a"
+  "libtnmine_subdue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_subdue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

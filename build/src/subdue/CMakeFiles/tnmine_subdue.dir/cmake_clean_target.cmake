@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtnmine_subdue.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_synth.dir/kk_generator.cc.o"
+  "CMakeFiles/tnmine_synth.dir/kk_generator.cc.o.d"
+  "CMakeFiles/tnmine_synth.dir/planted.cc.o"
+  "CMakeFiles/tnmine_synth.dir/planted.cc.o.d"
+  "libtnmine_synth.a"
+  "libtnmine_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

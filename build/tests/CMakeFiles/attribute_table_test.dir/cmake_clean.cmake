@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_table_test.dir/attribute_table_test.cc.o"
+  "CMakeFiles/attribute_table_test.dir/attribute_table_test.cc.o.d"
+  "attribute_table_test"
+  "attribute_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

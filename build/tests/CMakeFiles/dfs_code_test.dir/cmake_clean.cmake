@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_code_test.dir/dfs_code_test.cc.o"
+  "CMakeFiles/dfs_code_test.dir/dfs_code_test.cc.o.d"
+  "dfs_code_test"
+  "dfs_code_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

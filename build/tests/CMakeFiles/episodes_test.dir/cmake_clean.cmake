@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/episodes_test.dir/episodes_test.cc.o"
+  "CMakeFiles/episodes_test.dir/episodes_test.cc.o.d"
+  "episodes_test"
+  "episodes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/episodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

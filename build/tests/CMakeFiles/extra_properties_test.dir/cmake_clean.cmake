@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_properties_test.dir/extra_properties_test.cc.o"
+  "CMakeFiles/extra_properties_test.dir/extra_properties_test.cc.o.d"
+  "extra_properties_test"
+  "extra_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

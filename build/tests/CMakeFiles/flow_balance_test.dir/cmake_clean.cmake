@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_balance_test.dir/flow_balance_test.cc.o"
+  "CMakeFiles/flow_balance_test.dir/flow_balance_test.cc.o.d"
+  "flow_balance_test"
+  "flow_balance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_balance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

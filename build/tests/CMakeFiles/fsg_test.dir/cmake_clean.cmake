@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsg_test.dir/fsg_test.cc.o"
+  "CMakeFiles/fsg_test.dir/fsg_test.cc.o.d"
+  "fsg_test"
+  "fsg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

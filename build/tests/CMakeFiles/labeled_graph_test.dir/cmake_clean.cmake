@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeled_graph_test.dir/labeled_graph_test.cc.o"
+  "CMakeFiles/labeled_graph_test.dir/labeled_graph_test.cc.o.d"
+  "labeled_graph_test"
+  "labeled_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeled_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/od_graph_test.dir/od_graph_test.cc.o"
+  "CMakeFiles/od_graph_test.dir/od_graph_test.cc.o.d"
+  "od_graph_test"
+  "od_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/od_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

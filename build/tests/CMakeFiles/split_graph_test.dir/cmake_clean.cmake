@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_graph_test.dir/split_graph_test.cc.o"
+  "CMakeFiles/split_graph_test.dir/split_graph_test.cc.o.d"
+  "split_graph_test"
+  "split_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

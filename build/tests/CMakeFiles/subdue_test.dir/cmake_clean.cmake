@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdue_test.dir/subdue_test.cc.o"
+  "CMakeFiles/subdue_test.dir/subdue_test.cc.o.d"
+  "subdue_test"
+  "subdue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_partition_test.dir/temporal_partition_test.cc.o"
+  "CMakeFiles/temporal_partition_test.dir/temporal_partition_test.cc.o.d"
+  "temporal_partition_test"
+  "temporal_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

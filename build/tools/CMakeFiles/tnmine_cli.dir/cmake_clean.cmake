@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnmine_cli.dir/tnmine_cli.cc.o"
+  "CMakeFiles/tnmine_cli.dir/tnmine_cli.cc.o.d"
+  "tnmine_cli"
+  "tnmine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
