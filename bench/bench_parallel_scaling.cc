@@ -1,0 +1,155 @@
+// Perf-tracking bench: parallel scaling of the mining core.
+//
+// Runs gSpan mining, FSG candidate counting, and the Algorithm-1
+// partition sweep at 1/2/4/N lanes and emits machine-readable
+// BENCH_parallel.json alongside the usual table, so the perf trajectory
+// of the parallel mining core is tracked from the PR that introduced it
+// onward. Every run also cross-checks that the pattern sets are
+// identical across thread counts (the thread pool's determinism
+// contract).
+//
+// Workloads are seeded synthetic sets (KK transactions, planted graph)
+// sized to give every lane real work while finishing in seconds even on
+// a single core — the paper-scale sweeps live in bench_partition_sweep
+// and the figure benches.
+
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/miner.h"
+#include "fsg/fsg.h"
+#include "gspan/gspan.h"
+#include "iso/canonical.h"
+#include "synth/kk_generator.h"
+#include "synth/planted.h"
+
+using namespace tnmine;
+
+namespace {
+
+std::vector<std::size_t> ThreadCounts() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::set<std::size_t> counts = {1, 2, 4};
+  counts.insert(hw == 0 ? 1 : hw);
+  return {counts.begin(), counts.end()};
+}
+
+struct Timing {
+  double seconds = 0;
+  std::size_t patterns = 0;
+};
+
+/// Times `run` at each thread count; aborts if the pattern count drifts
+/// across thread counts (determinism violation).
+template <typename Run>
+void Sweep(const char* name, bench::JsonRowWriter& json, const Run& run) {
+  std::printf("%-16s %-8s %-10s %-10s %-9s\n", name, "threads", "seconds",
+              "patterns", "speedup");
+  double base_seconds = 0;
+  std::size_t base_patterns = 0;
+  for (std::size_t threads : ThreadCounts()) {
+    // Cold canonical-code cache per run so timings compare like for like.
+    iso::ClearCanonicalCodeCache();
+    Stopwatch sw;
+    const Timing t = run(threads);
+    const double seconds = sw.ElapsedSeconds();
+    if (threads == 1) {
+      base_seconds = seconds;
+      base_patterns = t.patterns;
+    } else if (t.patterns != base_patterns) {
+      std::fprintf(stderr,
+                   "FATAL: %s at %zu threads found %zu patterns, expected "
+                   "%zu\n",
+                   name, threads, t.patterns, base_patterns);
+      std::abort();
+    }
+    const double speedup = seconds > 0 ? base_seconds / seconds : 0;
+    std::printf("%-16s %-8zu %-10.3f %-10zu %-9.2f\n", "", threads, seconds,
+                t.patterns, speedup);
+    json.BeginRow();
+    json.Field("bench", name);
+    json.Field("threads", threads);
+    json.Field("seconds", seconds);
+    json.Field("patterns", t.patterns);
+    json.Field("speedup_vs_1", speedup);
+    json.Field("hardware_concurrency",
+               static_cast<std::size_t>(std::thread::hardware_concurrency()));
+    json.EndRow();
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::Section("Parallel scaling: gSpan / FSG / partition sweep");
+
+  // One fixed KK-style transaction set shared by the two miner sweeps,
+  // so only the miners' own parallelism is measured.
+  synth::KkOptions kk;
+  kk.num_transactions = 1200;
+  kk.avg_transaction_edges = 14;
+  kk.num_seed_patterns = 8;
+  kk.avg_pattern_edges = 3;
+  kk.num_vertex_labels = 6;
+  kk.num_edge_labels = 3;
+  kk.seed = 42;
+  const std::vector<graph::LabeledGraph> transactions =
+      synth::GenerateKkTransactions(kk).transactions;
+  std::printf("workload: %zu KK-style transactions\n\n",
+              transactions.size());
+
+  bench::JsonRowWriter json("BENCH_parallel.json");
+
+  Sweep("gspan", json, [&](std::size_t threads) {
+    gspan::GspanOptions options;
+    options.min_support = 48;
+    options.max_edges = 4;
+    options.parallelism = common::Parallelism{threads};
+    const gspan::GspanResult result =
+        gspan::MineGspan(transactions, options);
+    return Timing{0, result.patterns.size()};
+  });
+
+  Sweep("fsg", json, [&](std::size_t threads) {
+    fsg::FsgOptions options;
+    options.min_support = 48;
+    options.max_edges = 3;
+    options.parallelism = common::Parallelism{threads};
+    const fsg::FsgResult result = fsg::MineFsg(transactions, options);
+    return Timing{0, result.patterns.size()};
+  });
+
+  // Algorithm 1 over a planted single graph: repetitions fan out in
+  // parallel, each repetition runs the full split + mine pipeline.
+  synth::PlantedOptions planted;
+  planted.num_patterns = 4;
+  planted.pattern_edges = 3;
+  planted.instances_per_pattern = 80;
+  planted.noise_vertices = 300;
+  planted.noise_edges = 600;
+  planted.seed = 17;
+  const synth::PlantedResult data = synth::GeneratePlantedGraph(planted);
+
+  Sweep("partition_sweep", json, [&](std::size_t threads) {
+    core::StructuralMiningOptions options;
+    options.num_partitions = 60;
+    options.min_support = 18;
+    options.max_pattern_edges = 3;
+    options.repetitions = 4;
+    options.seed = 5;
+    options.parallelism = common::Parallelism{threads};
+    const core::StructuralMiningResult result =
+        core::MineStructuralPatterns(data.graph, options);
+    return Timing{0, result.registry.size()};
+  });
+
+  json.Close();
+  std::printf("rows written to BENCH_parallel.json\n");
+  return 0;
+}

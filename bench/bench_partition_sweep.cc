@@ -8,9 +8,11 @@
 // strategies.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/miner.h"
 #include "data/od_graph.h"
 
@@ -21,29 +23,58 @@ int main() {
   const data::OdGraph od_th = data::BuildOdTh(bench::PaperDataset());
   const data::OdGraph od_td = data::BuildOdTd(bench::PaperDataset());
 
-  std::printf("%-14s %-6s %-9s %-11s %-10s %-9s\n", "strategy", "k",
-              "support", "partitions", "patterns", "seconds");
+  // The sweep's (strategy, k) cells are independent miner invocations —
+  // run them on parallel lanes, then print in order.
+  struct Cell {
+    partition::SplitStrategy strategy;
+    std::size_t k;
+  };
+  std::vector<Cell> cells;
   for (const auto strategy : {partition::SplitStrategy::kBreadthFirst,
                               partition::SplitStrategy::kDepthFirst}) {
-    const bool bf = strategy == partition::SplitStrategy::kBreadthFirst;
     for (std::size_t k : {400u, 800u, 1200u, 1600u}) {
-      core::StructuralMiningOptions options;
-      options.strategy = strategy;
-      options.num_partitions = k;
-      // The paper's supports: 240 for breadth-first, 120 for depth-first.
-      options.min_support = bf ? 240 : 120;
-      options.max_pattern_edges = 3;
-      options.repetitions = 1;
-      options.seed = 42;
-      const auto& graph = bf ? od_th.graph : od_td.graph;
-      Stopwatch sw;
-      const auto result = core::MineStructuralPatterns(graph, options);
-      std::printf("%-14s %-6zu %-9zu %-11zu %-10zu %-9.2f\n",
-                  bf ? "breadth-first" : "depth-first", k,
-                  options.min_support,
-                  result.partitions_per_repetition[0],
-                  result.registry.size(), sw.ElapsedSeconds());
+      cells.push_back({strategy, k});
     }
+  }
+
+  struct CellResult {
+    core::StructuralMiningResult mined;
+    std::size_t min_support = 0;
+    double seconds = 0;
+  };
+  const std::vector<CellResult> results =
+      common::ParallelMap<CellResult>(
+          common::Parallelism{}, cells.size(), [&](std::size_t i) {
+            const bool bf =
+                cells[i].strategy == partition::SplitStrategy::kBreadthFirst;
+            core::StructuralMiningOptions options;
+            options.strategy = cells[i].strategy;
+            options.num_partitions = cells[i].k;
+            // The paper's supports: 240 for breadth-first, 120 for
+            // depth-first.
+            options.min_support = bf ? 240 : 120;
+            options.max_pattern_edges = 3;
+            options.repetitions = 1;
+            options.seed = 42;
+            const auto& graph = bf ? od_th.graph : od_td.graph;
+            CellResult cell;
+            cell.min_support = options.min_support;
+            Stopwatch sw;
+            cell.mined = core::MineStructuralPatterns(graph, options);
+            cell.seconds = sw.ElapsedSeconds();
+            return cell;
+          });
+
+  std::printf("%-14s %-6s %-9s %-11s %-10s %-9s\n", "strategy", "k",
+              "support", "partitions", "patterns", "seconds");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const bool bf =
+        cells[i].strategy == partition::SplitStrategy::kBreadthFirst;
+    std::printf("%-14s %-6zu %-9zu %-11zu %-10zu %-9.2f\n",
+                bf ? "breadth-first" : "depth-first", cells[i].k,
+                results[i].min_support,
+                results[i].mined.partitions_per_repetition[0],
+                results[i].mined.registry.size(), results[i].seconds);
   }
   std::printf(
       "\nExpected shape (paper): pattern counts fall as k rises, for both "

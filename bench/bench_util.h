@@ -31,6 +31,98 @@ inline void Row(const std::string& name, std::size_t value) {
   std::printf("  %-52s %zu\n", name.c_str(), value);
 }
 
+/// Machine-readable benchmark output: a JSON array of flat row objects
+/// written to `path` ("[{...},{...}]"). Scripts track perf trajectories
+/// across PRs from these files (e.g. BENCH_parallel.json). Usage:
+///
+///   JsonRowWriter json("BENCH_parallel.json");
+///   json.BeginRow();
+///   json.Field("bench", "gspan");
+///   json.Field("threads", std::size_t{4});
+///   json.Field("seconds", 1.25);
+///   json.EndRow();
+class JsonRowWriter {
+ public:
+  explicit JsonRowWriter(const std::string& path)
+      : out_(std::fopen(path.c_str(), "w")) {
+    if (out_ != nullptr) std::fputc('[', out_);
+  }
+  ~JsonRowWriter() { Close(); }
+  JsonRowWriter(const JsonRowWriter&) = delete;
+  JsonRowWriter& operator=(const JsonRowWriter&) = delete;
+
+  bool ok() const { return out_ != nullptr; }
+
+  void BeginRow() {
+    if (out_ == nullptr) return;
+    if (rows_ > 0) std::fputc(',', out_);
+    std::fputs("\n  {", out_);
+    fields_ = 0;
+  }
+
+  void Field(const std::string& name, const std::string& value) {
+    Key(name);
+    Escaped(value);
+  }
+  void Field(const std::string& name, const char* value) {
+    Field(name, std::string(value));
+  }
+  void Field(const std::string& name, double value) {
+    if (out_ == nullptr) return;
+    Key(name);
+    std::fprintf(out_, "%.6g", value);
+  }
+  void Field(const std::string& name, std::size_t value) {
+    if (out_ == nullptr) return;
+    Key(name);
+    std::fprintf(out_, "%zu", value);
+  }
+  void Field(const std::string& name, bool value) {
+    if (out_ == nullptr) return;
+    Key(name);
+    std::fputs(value ? "true" : "false", out_);
+  }
+
+  void EndRow() {
+    if (out_ == nullptr) return;
+    std::fputc('}', out_);
+    ++rows_;
+  }
+
+  void Close() {
+    if (out_ == nullptr) return;
+    std::fputs("\n]\n", out_);
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+
+ private:
+  void Key(const std::string& name) {
+    if (out_ == nullptr) return;
+    if (fields_ > 0) std::fputc(',', out_);
+    std::fputc(' ', out_);
+    Escaped(name);
+    std::fputs(": ", out_);
+    ++fields_;
+  }
+
+  void Escaped(const std::string& s) {
+    if (out_ == nullptr) return;
+    std::fputc('"', out_);
+    for (char c : s) {
+      if (c == '"' || c == '\\') std::fputc('\\', out_);
+      if (static_cast<unsigned char>(c) >= 0x20) {
+        std::fputc(c, out_);
+      }
+    }
+    std::fputc('"', out_);
+  }
+
+  std::FILE* out_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t fields_ = 0;
+};
+
 /// The calibrated paper-scale dataset every experiment starts from. Built
 /// once per process.
 inline const data::TransactionDataset& PaperDataset() {

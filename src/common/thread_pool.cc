@@ -1,0 +1,168 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/check.h"
+
+namespace tnmine::common {
+
+namespace {
+
+/// Set while a thread is executing pool work (worker threads permanently;
+/// submitting threads for the duration of their own job). Nested parallel
+/// calls check it and degrade to inline serial execution.
+thread_local bool tls_in_pool_lane = false;
+
+}  // namespace
+
+std::size_t Parallelism::Resolve() const {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// One ParallelFor call in flight. Lanes claim chunks of the index space
+/// with a shared atomic cursor; completion is tracked by counting finished
+/// items so the submitter can block until the exact moment all work (and
+/// all in-flight exceptions) have settled.
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::size_t extra_lanes = 0;  // worker lanes still allowed to join;
+                                // guarded by the owning pool's mu_
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;  // guards error/error_index and the finished wait
+  std::condition_variable finished;
+  std::exception_ptr error;
+  std::size_t error_index = ~std::size_t{0};
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  TNMINE_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Intentionally leaked: worker threads must not be joined during static
+  // destruction (other static destructors might still submit work).
+  static ThreadPool* pool = new ThreadPool(
+      std::max<std::size_t>(2, Parallelism{}.Resolve()));
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_lane = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [&] { return shutting_down_ || !queue_.empty(); });
+      if (shutting_down_) return;
+      // Front-most job that still wants lanes; claim one under the lock.
+      job = queue_.front();
+      if (--job->extra_lanes == 0) queue_.pop_front();
+    }
+    WorkOn(*job);
+  }
+}
+
+void ThreadPool::WorkOn(Job& job) {
+  for (;;) {
+    const std::size_t begin = job.next.fetch_add(job.chunk);
+    if (begin >= job.n) return;
+    const std::size_t end = std::min(job.n, begin + job.chunk);
+    if (!job.cancelled.load(std::memory_order_relaxed)) {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*job.fn)(i);
+        } catch (...) {
+          job.cancelled.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(job.mu);
+          // Keep the lowest-index exception so reruns rethrow the same one.
+          if (job.error == nullptr || i < job.error_index) {
+            job.error = std::current_exception();
+            job.error_index = i;
+          }
+          break;  // drop the rest of this chunk (items counted below)
+        }
+      }
+    }
+    // Count the whole chunk — skipped (cancelled) items included — so
+    // done == n remains the exact completion condition.
+    const std::size_t finished =
+        job.done.fetch_add(end - begin) + (end - begin);
+    if (finished == job.n) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.finished.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(std::size_t n, std::size_t max_threads,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t lanes =
+      std::min({max_threads, n, num_threads()});
+  if (lanes <= 1 || tls_in_pool_lane) {
+    // Inline path: sequential semantics, exceptions propagate naturally.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  // Coarse dynamic chunking: enough chunks for load balance, few enough
+  // that the shared cursor stays cold. Results are index-addressed, so
+  // chunking never affects output.
+  job->chunk = std::max<std::size_t>(1, n / (lanes * 8));
+  job->extra_lanes = lanes - 1;  // the submitter occupies one lane itself
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
+  }
+  work_available_.notify_all();
+
+  tls_in_pool_lane = true;
+  WorkOn(*job);
+  tls_in_pool_lane = false;
+
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->finished.wait(lock, [&] { return job->done.load() == job->n; });
+  }
+  {
+    // Workers that never woke up may still hold the job in the queue;
+    // remove it so they cannot touch `fn` after we return.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase(queue_, job);
+  }
+  if (job->error != nullptr) std::rethrow_exception(job->error);
+}
+
+void ParallelFor(const Parallelism& par, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  ThreadPool::Shared().Run(n, par.Resolve(), fn);
+}
+
+}  // namespace tnmine::common

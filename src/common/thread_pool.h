@@ -1,0 +1,129 @@
+#ifndef TNMINE_COMMON_THREAD_POOL_H_
+#define TNMINE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tnmine::common {
+
+/// How much parallelism a call may use. Every parallel entry point in
+/// tnmine (the miners, Algorithm 1's repetition driver, the benches)
+/// carries one of these in its options struct, so thread counts can be
+/// pinned for reproducible benchmarks.
+struct Parallelism {
+  /// Worker lanes a call may occupy, including the calling thread.
+  /// 0 means one lane per hardware thread
+  /// (std::thread::hardware_concurrency()).
+  std::size_t num_threads = 0;
+
+  /// The effective lane count (never 0).
+  std::size_t Resolve() const;
+
+  /// Single-threaded execution: the exact sequential code path, no pool
+  /// involvement.
+  static Parallelism Serial() { return Parallelism{1}; }
+};
+
+/// Fixed-size worker pool with a blocking ParallelFor/ParallelMap API.
+///
+/// One shared pool (Shared()) serves the whole process; mining layers
+/// never spawn threads of their own. Properties the miners rely on:
+///
+/// - **Deterministic results.** ParallelFor invokes fn(i) for every
+///   i in [0, n) exactly once (any lane, any order); ParallelMap returns
+///   results in input order. Callers that need a deterministic *output
+///   sequence* combine per-index results in index order after the call.
+/// - **Nested calls run inline.** A ParallelFor issued from inside a pool
+///   lane executes serially on that lane. This makes nesting deadlock-free
+///   (no lane ever blocks waiting for work that only itself could run) and
+///   keeps the total lane count bounded by the pool size.
+/// - **Exceptions propagate.** If any fn(i) throws, remaining unstarted
+///   work is skipped (best effort) and the exception with the lowest index
+///   is rethrown on the calling thread once all lanes have quiesced.
+/// - **Multiple concurrent jobs are fair.** Jobs from different caller
+///   threads queue FIFO; each caller always works on its own job, so a
+///   busy pool degrades toward serial execution, never deadlock.
+class ThreadPool {
+ public:
+  /// Pool with `num_threads` lanes total: the calling thread participates
+  /// in every job it submits, so num_threads - 1 worker threads are
+  /// spawned. num_threads == 1 means a purely inline, thread-free pool.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (worker threads + the caller's lane).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// The process-wide pool used by the free ParallelFor/ParallelMap.
+  /// Sized max(2, hardware_concurrency) so concurrent code paths are
+  /// exercised (and sanitizer-checked) even on single-core machines;
+  /// effective parallelism is still capped per call by Parallelism.
+  static ThreadPool& Shared();
+
+  /// Runs fn(0) .. fn(n-1), using at most `max_threads` lanes (clamped to
+  /// the pool size), and blocks until all items finished. See the class
+  /// comment for determinism / nesting / exception semantics.
+  void Run(std::size_t n, std::size_t max_threads,
+           const std::function<void(std::size_t)>& fn);
+
+  /// Run() with all of the pool's lanes available.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) {
+    Run(n, num_threads(), fn);
+  }
+
+  /// Maps fn over [0, n); result i is fn(i), in input order.
+  template <typename T, typename Fn>
+  std::vector<T> ParallelMap(std::size_t n, Fn&& fn) {
+    std::vector<std::optional<T>> slots(n);
+    ParallelFor(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  void WorkOn(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Job>> queue_;  // guarded by mu_
+  bool shutting_down_ = false;              // guarded by mu_
+};
+
+/// Runs fn(0) .. fn(n-1) on the shared pool with at most par.Resolve()
+/// lanes; blocks until done. With Parallelism::Serial() (or n <= 1, or
+/// when called from inside a pool lane) this is a plain sequential loop.
+void ParallelFor(const Parallelism& par, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+/// Maps fn over [0, n) on the shared pool; result i is fn(i), in input
+/// order regardless of execution order.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(const Parallelism& par, std::size_t n, Fn&& fn) {
+  std::vector<std::optional<T>> slots(n);
+  ParallelFor(par, n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace tnmine::common
+
+#endif  // TNMINE_COMMON_THREAD_POOL_H_

@@ -15,12 +15,14 @@ namespace {
 std::vector<pattern::FrequentPattern> RunMiner(
     const std::vector<graph::LabeledGraph>& transactions, MinerKind miner,
     std::size_t min_support, std::size_t max_edges,
-    std::uint64_t max_candidate_bytes, bool* oom) {
+    std::uint64_t max_candidate_bytes, common::Parallelism parallelism,
+    bool* oom) {
   if (miner == MinerKind::kFsg) {
     fsg::FsgOptions options;
     options.min_support = min_support;
     options.max_edges = max_edges;
     options.max_candidate_bytes = max_candidate_bytes;
+    options.parallelism = parallelism;
     fsg::FsgResult result = fsg::MineFsg(transactions, options);
     if (oom != nullptr) *oom = result.aborted_out_of_memory;
     return std::move(result.patterns);
@@ -28,6 +30,7 @@ std::vector<pattern::FrequentPattern> RunMiner(
   gspan::GspanOptions options;
   options.min_support = min_support;
   options.max_edges = max_edges;
+  options.parallelism = parallelism;
   gspan::GspanResult result = gspan::MineGspan(transactions, options);
   if (oom != nullptr) *oom = false;
   return std::move(result.patterns);
@@ -40,23 +43,35 @@ StructuralMiningResult MineStructuralPatterns(
   TNMINE_CHECK(options.repetitions >= 1);
   TNMINE_CHECK(options.min_support >= 1);
   StructuralMiningResult result;
-  for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
-    partition::SplitOptions split;
-    split.strategy = options.strategy;
-    split.num_partitions = options.num_partitions;
-    split.seed = options.seed + rep;
-    const std::vector<graph::LabeledGraph> transactions =
-        partition::SplitGraph(g, split);
-    result.partitions_per_repetition.push_back(transactions.size());
-
+  // Each repetition is an independent (SplitGraph, mine) run seeded by
+  // seed + rep; run them on parallel lanes and merge in rep order so the
+  // union registry is filled deterministically.
+  struct RepOutcome {
+    std::size_t partitions = 0;
+    std::vector<pattern::FrequentPattern> found;
     bool oom = false;
-    std::vector<pattern::FrequentPattern> found =
-        RunMiner(transactions, options.miner, options.min_support,
-                 options.max_pattern_edges, options.max_candidate_bytes,
-                 &oom);
-    result.any_out_of_memory |= oom;
-    result.patterns_per_repetition.push_back(found.size());
-    for (pattern::FrequentPattern& p : found) {
+  };
+  std::vector<RepOutcome> outcomes = common::ParallelMap<RepOutcome>(
+      options.parallelism, options.repetitions, [&](std::size_t rep) {
+        partition::SplitOptions split;
+        split.strategy = options.strategy;
+        split.num_partitions = options.num_partitions;
+        split.seed = options.seed + rep;
+        const std::vector<graph::LabeledGraph> transactions =
+            partition::SplitGraph(g, split);
+        RepOutcome outcome;
+        outcome.partitions = transactions.size();
+        outcome.found =
+            RunMiner(transactions, options.miner, options.min_support,
+                     options.max_pattern_edges, options.max_candidate_bytes,
+                     options.parallelism, &outcome.oom);
+        return outcome;
+      });
+  for (RepOutcome& outcome : outcomes) {
+    result.partitions_per_repetition.push_back(outcome.partitions);
+    result.any_out_of_memory |= outcome.oom;
+    result.patterns_per_repetition.push_back(outcome.found.size());
+    for (pattern::FrequentPattern& p : outcome.found) {
       // Across repetitions tids refer to different partitionings; keep
       // the max support, not the tid union.
       p.tids.clear();
@@ -83,7 +98,7 @@ TemporalMiningResult MineTemporalPatterns(
   std::vector<pattern::FrequentPattern> found = RunMiner(
       result.partition.transactions, options.miner,
       result.absolute_min_support, options.max_pattern_edges,
-      options.max_candidate_bytes, &oom);
+      options.max_candidate_bytes, options.parallelism, &oom);
   result.out_of_memory = oom;
   for (pattern::FrequentPattern& p : found) {
     result.registry.InsertOrMerge(std::move(p), /*merge_tids=*/true);

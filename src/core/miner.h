@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "data/od_graph.h"
 #include "graph/labeled_graph.h"
@@ -35,6 +36,13 @@ struct StructuralMiningOptions {
   std::uint64_t seed = 1;
   /// Forwarded to FSG's candidate-memory budget (0 = unlimited).
   std::uint64_t max_candidate_bytes = 0;
+  /// Lanes shared between the repetition level and the miner beneath it:
+  /// independent (SplitGraph, mine) repetitions run concurrently, and
+  /// whatever lanes repetitions leave idle the per-call miners use (a
+  /// nested parallel call from a busy pool runs inline). Results are
+  /// identical for any value: each repetition derives its partitioning
+  /// from seed + rep alone, and the union is merged in repetition order.
+  common::Parallelism parallelism;
 };
 
 struct StructuralMiningResult {
@@ -62,6 +70,8 @@ struct TemporalMiningOptions {
   std::size_t max_pattern_edges = 4;
   MinerKind miner = MinerKind::kFsg;
   std::uint64_t max_candidate_bytes = 0;
+  /// Forwarded to the underlying miner (see FsgOptions / GspanOptions).
+  common::Parallelism parallelism;
 };
 
 struct TemporalMiningResult {

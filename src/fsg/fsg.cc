@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "graph/algorithms.h"
 #include "iso/canonical.h"
 #include "iso/vf2.h"
@@ -104,7 +105,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     p.graph = OneEdgePattern(type, self_loop);
     p.tids = std::move(tids);
     p.support = p.tids.size();
-    p.code = iso::CanonicalCode(p.graph);
+    p.code = iso::CanonicalCodeCached(p.graph);
     frontier.push_back(std::move(p));
     if (frequent_edge_set.insert(type).second) {
       frequent_edges.push_back(type);
@@ -149,7 +150,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
       const LabeledGraph& pg = parent.graph;
       auto consider = [&](LabeledGraph&& extended) {
         if (oom) return;
-        std::string code = iso::CanonicalCode(extended);
+        std::string code = iso::CanonicalCodeCached(extended);
         if (candidates.contains(code)) return;
         // Downward closure: every connected k-edge sub-pattern must be
         // frequent.
@@ -158,7 +159,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
         for (EdgeId drop : live) {
           const LabeledGraph sub = WithoutEdge(extended, drop);
           if (!graph::IsWeaklyConnected(sub)) continue;  // not checkable
-          if (!previous_level_codes.contains(iso::CanonicalCode(sub))) {
+          if (!previous_level_codes.contains(iso::CanonicalCodeCached(sub))) {
             prunable = true;
             break;
           }
@@ -220,26 +221,47 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
       break;
     }
 
-    // Support counting against the generating parent's TID list.
-    std::vector<FrequentPattern> next_frontier;
+    // Support counting against the generating parent's TID list. Each
+    // candidate's containment checks are independent, so candidates are
+    // counted on parallel lanes; sorting them by canonical code first
+    // fixes the counting/output order deterministically (the hash-map
+    // iteration order it replaces was implementation-defined).
+    std::vector<Candidate> ordered;
+    ordered.reserve(candidates.size());
     for (auto& [code, candidate] : candidates) {
-      FrequentPattern& p = candidate.pattern;
-      std::vector<std::uint32_t>& feasible = candidate.parent_tids;
-      std::vector<std::uint32_t> tids;
-      for (std::size_t i = 0; i < feasible.size(); ++i) {
-        // Early abort when the remaining transactions cannot reach
-        // min_support.
-        if (tids.size() + (feasible.size() - i) < options.min_support) {
-          break;
-        }
-        const std::uint32_t tid = feasible[i];
-        if (ContainsWithBudget(p.graph, transactions[tid],
-                               options.max_match_steps)) {
-          tids.push_back(tid);
-        }
-      }
-      if (tids.size() < options.min_support) continue;
-      p.tids = std::move(tids);
+      ordered.push_back(std::move(candidate));
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.pattern.code < b.pattern.code;
+              });
+    const std::vector<std::vector<std::uint32_t>> counted =
+        common::ParallelMap<std::vector<std::uint32_t>>(
+            options.parallelism, ordered.size(), [&](std::size_t c) {
+              const FrequentPattern& p = ordered[c].pattern;
+              const std::vector<std::uint32_t>& feasible =
+                  ordered[c].parent_tids;
+              std::vector<std::uint32_t> tids;
+              for (std::size_t i = 0; i < feasible.size(); ++i) {
+                // Early abort when the remaining transactions cannot
+                // reach min_support.
+                if (tids.size() + (feasible.size() - i) <
+                    options.min_support) {
+                  break;
+                }
+                const std::uint32_t tid = feasible[i];
+                if (ContainsWithBudget(p.graph, transactions[tid],
+                                       options.max_match_steps)) {
+                  tids.push_back(tid);
+                }
+              }
+              return tids;
+            });
+    std::vector<FrequentPattern> next_frontier;
+    for (std::size_t c = 0; c < ordered.size(); ++c) {
+      if (counted[c].size() < options.min_support) continue;
+      FrequentPattern& p = ordered[c].pattern;
+      p.tids = counted[c];
       p.support = p.tids.size();
       next_frontier.push_back(std::move(p));
     }

@@ -4,9 +4,12 @@
 #include <map>
 #include <set>
 #include <tuple>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "iso/canonical.h"
 
 namespace tnmine::gspan {
@@ -43,23 +46,42 @@ struct Extension {
   auto operator<=>(const Extension&) const = default;
 };
 
+struct ExtensionHash {
+  std::size_t operator()(const Extension& e) const {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    auto mix = [&h](std::uint64_t x) {
+      h ^= x;
+      h *= 0x100000001B3ULL;
+    };
+    mix(e.from);
+    mix(e.to);
+    mix(e.new_is_source ? 1 : 0);
+    mix(static_cast<std::uint32_t>(e.new_vertex_label));
+    mix(static_cast<std::uint32_t>(e.edge_label));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+std::size_t SupportOf(const std::vector<Emb>& embs) {
+  std::size_t support = 0;
+  std::uint32_t prev = ~std::uint32_t{0};
+  for (const Emb& e : embs) {  // embeddings are grouped by tid
+    if (e.tid != prev) {
+      ++support;
+      prev = e.tid;
+    }
+  }
+  return support;
+}
+
+/// Mines one seed's growth subtree. Each instance owns its visited-code
+/// set, so instances for different seeds share nothing and can run on
+/// separate pool lanes; MineGspan merges their results.
 struct Miner {
   const std::vector<LabeledGraph>& transactions;
   const GspanOptions& options;
   GspanResult result;
   std::unordered_set<std::string> visited_codes;
-
-  std::size_t SupportOf(const std::vector<Emb>& embs) const {
-    std::size_t support = 0;
-    std::uint32_t prev = ~std::uint32_t{0};
-    for (const Emb& e : embs) {  // embeddings are grouped by tid
-      if (e.tid != prev) {
-        ++support;
-        prev = e.tid;
-      }
-    }
-    return support;
-  }
 
   void Grow(const LabeledGraph& pg, const std::string& code,
             std::vector<Emb> embs) {
@@ -83,20 +105,35 @@ struct Miner {
     }
 
     // Enumerate extensions across all embeddings, collecting the extended
-    // embeddings per descriptor.
-    std::map<Extension, std::vector<Emb>> extensions;
+    // embeddings per descriptor. Hashed container + reserve: this map is
+    // rebuilt for every pattern visited; descriptors are sorted once at
+    // recursion time instead of on every insert.
+    std::unordered_map<Extension, std::vector<Emb>, ExtensionHash>
+        extensions;
+    extensions.reserve(embs.size() * 4);
+    std::vector<std::pair<VertexId, VertexId>> reverse;  // (tv, pv) sorted
     for (const Emb& emb : embs) {
       const LabeledGraph& t = transactions[emb.tid];
       // Occupancy for O(log n) membership tests.
       auto edge_used = [&](EdgeId e) {
         return std::binary_search(emb.edges.begin(), emb.edges.end(), e);
       };
-      // Map transaction vertex -> pattern vertex (or invalid).
-      // Linear scan is fine: patterns are small.
+      // Map transaction vertex -> pattern vertex (or invalid) via a
+      // reverse map built once per embedding — the former per-edge linear
+      // scan made deep patterns quadratic in pattern size.
+      reverse.clear();
+      reverse.reserve(emb.vertices.size());
+      for (VertexId p = 0; p < emb.vertices.size(); ++p) {
+        reverse.emplace_back(emb.vertices[p], p);
+      }
+      std::sort(reverse.begin(), reverse.end());
       auto pattern_vertex_of = [&](VertexId tv) -> VertexId {
-        for (VertexId p = 0; p < emb.vertices.size(); ++p) {
-          if (emb.vertices[p] == tv) return p;
-        }
+        auto it = std::lower_bound(
+            reverse.begin(), reverse.end(), tv,
+            [](const std::pair<VertexId, VertexId>& entry, VertexId key) {
+              return entry.first < key;
+            });
+        if (it != reverse.end() && it->first == tv) return it->second;
         return graph::kInvalidVertex;
       };
       for (VertexId pu = 0; pu < emb.vertices.size(); ++pu) {
@@ -141,8 +178,17 @@ struct Miner {
       }
     }
 
-    // Recurse into frequent, unseen extensions.
+    // Recurse into frequent, unseen extensions, in sorted descriptor
+    // order (the order the former std::map iterated in) so the output
+    // sequence is unchanged.
+    std::vector<std::pair<Extension, std::vector<Emb>>> ordered;
+    ordered.reserve(extensions.size());
     for (auto& [ext, raw_embs] : extensions) {
+      ordered.emplace_back(ext, std::move(raw_embs));
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [ext, raw_embs] : ordered) {
       // Deduplicate identical embeddings (the same occurrence can be
       // reached from several parent embeddings related by automorphism —
       // keep distinct (tid, vertex map, edge set) triples only) and apply
@@ -190,7 +236,7 @@ struct Miner {
       } else {
         ext_pg.AddEdge(ext.from, ext.to, ext.edge_label);
       }
-      std::string ext_code = iso::CanonicalCode(ext_pg);
+      std::string ext_code = iso::CanonicalCodeCached(ext_pg);
       if (!visited_codes.insert(ext_code).second) continue;
       ++result.patterns_explored;
       Grow(ext_pg, ext_code, std::move(raw_embs));
@@ -206,11 +252,13 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
   for (const LabeledGraph& t : transactions) {
     TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
   }
-  Miner miner{transactions, options, {}, {}};
 
-  // Seed: single-edge patterns with their embeddings.
+  // Seed: single-edge patterns with their embeddings, in deterministic
+  // (label-tuple) order. Distinct tuples yield non-isomorphic 1-edge
+  // patterns, so seed codes are pairwise distinct.
   struct Seed {
     LabeledGraph pg;
+    std::string code;
     std::vector<Emb> embs;
   };
   std::map<std::tuple<Label, Label, Label, bool>, Seed> seeds;
@@ -242,14 +290,43 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
       it->second.embs.push_back(std::move(emb));
     });
   }
+  std::vector<Seed> frequent;
   for (auto& [key, seed] : seeds) {
-    if (miner.SupportOf(seed.embs) < options.min_support) continue;
-    std::string code = iso::CanonicalCode(seed.pg);
-    if (!miner.visited_codes.insert(code).second) continue;
-    ++miner.result.patterns_explored;
-    miner.Grow(seed.pg, code, std::move(seed.embs));
+    if (SupportOf(seed.embs) < options.min_support) continue;
+    seed.code = iso::CanonicalCodeCached(seed.pg);
+    frequent.push_back(std::move(seed));
   }
-  return miner.result;
+
+  // Mine each seed's subtree independently (own lane, own visited set)...
+  std::vector<GspanResult> parts = common::ParallelMap<GspanResult>(
+      options.parallelism, frequent.size(), [&](std::size_t i) {
+        Seed& seed = frequent[i];
+        Miner miner{transactions, options, {}, {}};
+        miner.visited_codes.insert(seed.code);
+        ++miner.result.patterns_explored;
+        miner.Grow(seed.pg, seed.code, std::move(seed.embs));
+        return std::move(miner.result);
+      });
+
+  // ...then merge in seed order with cross-subtree canonical-code dedup.
+  // The first (lowest-seed) occurrence of a pattern class is kept — the
+  // same occurrence the sequential global-visited-set miner recorded, so
+  // the merged output is byte-identical to the sequential run (see the
+  // header comment for the argument).
+  GspanResult merged;
+  std::unordered_set<std::string> claimed;
+  for (GspanResult& part : parts) {
+    merged.embeddings_truncated |= part.embeddings_truncated;
+    for (FrequentPattern& p : part.patterns) {
+      if (!claimed.insert(p.code).second) continue;
+      merged.max_level = std::max(merged.max_level, p.graph.num_edges());
+      merged.patterns.push_back(std::move(p));
+    }
+  }
+  // Every visited class records exactly one pattern, so after dedup the
+  // distinct classes explored equal the patterns kept.
+  merged.patterns_explored = merged.patterns.size();
+  return merged;
 }
 
 }  // namespace tnmine::gspan

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/labeled_graph.h"
 #include "pattern/pattern.h"
 
@@ -19,6 +20,9 @@ struct GspanOptions {
   /// When hit, results become a sound under-approximation (no false
   /// positives; some deep extensions may be missed); the result is flagged.
   std::size_t max_embeddings_per_transaction = 0;
+  /// Lanes for mining the frequent 1-edge seed subtrees concurrently.
+  /// Any value yields byte-identical results (see MineGspan).
+  common::Parallelism parallelism;
 };
 
 struct GspanResult {
@@ -50,6 +54,20 @@ struct GspanResult {
 ///
 /// Produces exactly the connected frequent patterns FSG produces on the
 /// same input (a property the test suite cross-checks).
+///
+/// Parallel execution: each frequent 1-edge seed roots an independent
+/// growth subtree mined on its own pool lane with its own visited-code
+/// set; subtree results are merged in seed order with cross-subtree
+/// canonical-code dedup (first seed wins). Because a pattern's embedding
+/// list is the same whichever seed grows it, and every ancestor on a
+/// pattern's first-arrival path is one of its own subgraphs (so the
+/// sequential global visited set can never cut such a path earlier than
+/// the subtree-local set does), the merged output is byte-identical to
+/// the single-threaded run — same patterns, same order, same graphs,
+/// supports and tids. The one caveat: with a nonzero
+/// max_embeddings_per_transaction, `embeddings_truncated` may be set in
+/// runs where the old global-visited-set miner did not explore the
+/// truncating region; the pattern set itself is unaffected.
 GspanResult MineGspan(const std::vector<graph::LabeledGraph>& transactions,
                       const GspanOptions& options);
 

@@ -1,8 +1,12 @@
 #include "iso/canonical.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <mutex>
+#include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -291,6 +295,148 @@ std::string CanonicalCode(const LabeledGraph& g) {
   const DenseGraph d = Snapshot(g);
   CanonicalSearch search(d);
   return search.Run();
+}
+
+namespace {
+
+/// Exact byte serialization of a dense graph: vertex labels in id order,
+/// then the edge list in edge-id order. Two equal serializations denote
+/// the very same labeled graph, which is what makes cache hits sound.
+std::string SerializeExact(const LabeledGraph& g) {
+  std::string key;
+  key.reserve(8 + 4 * g.num_vertices() + 12 * g.num_edges());
+  auto put32 = [&key](std::uint32_t x) {
+    key.push_back(static_cast<char>(x));
+    key.push_back(static_cast<char>(x >> 8));
+    key.push_back(static_cast<char>(x >> 16));
+    key.push_back(static_cast<char>(x >> 24));
+  };
+  put32(static_cast<std::uint32_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    put32(static_cast<std::uint32_t>(g.vertex_label(v)));
+  }
+  g.ForEachEdge([&](EdgeId e) {
+    const Edge& edge = g.edge(e);
+    put32(edge.src);
+    put32(edge.dst);
+    put32(static_cast<std::uint32_t>(edge.label));
+  });
+  return key;
+}
+
+/// Cheap isomorphism-invariant fingerprint: vertex-label multiset,
+/// edge-label multiset, and the sorted (in, out) degree sequence, mixed
+/// order-independently. Isomorphic graphs always collide (desired: their
+/// differently-numbered serializations share a bucket); unequal graphs
+/// rarely do.
+std::uint64_t Fingerprint(const LabeledGraph& g) {
+  auto mix = [](std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t vertex_acc = 0;
+  std::uint64_t degree_acc = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    vertex_acc += mix(0x51ULL, static_cast<std::uint64_t>(
+                                   static_cast<std::uint32_t>(
+                                       g.vertex_label(v)))) *
+                  0x9E3779B97F4A7C15ULL;
+    degree_acc += mix(mix(0xD3ULL, g.InDegree(v)), g.OutDegree(v)) *
+                  0xD1B54A32D192ED03ULL;
+  }
+  std::uint64_t edge_acc = 0;
+  g.ForEachEdge([&](EdgeId e) {
+    edge_acc += mix(0xE7ULL, static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(
+                                     g.edge(e).label))) *
+                0x8CB92BA72F3D8DD7ULL;
+  });
+  std::uint64_t h = mix(0xC0DEULL, g.num_vertices());
+  h = mix(h, g.num_edges());
+  h = mix(h, vertex_acc);
+  h = mix(h, degree_acc);
+  h = mix(h, edge_acc);
+  return h;
+}
+
+/// Pass-through hasher: keys are pre-hashed with Fingerprint.
+struct IdentityHash {
+  std::size_t operator()(std::uint64_t x) const {
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// One lock-sharded cache segment. Buckets map fingerprint -> the list of
+/// (exact serialization, code) entries sharing it; lookup verifies the
+/// serialization byte-for-byte, so fingerprint collisions cost a probe
+/// but can never produce a wrong code.
+struct CacheShard {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::string, std::string>>,
+                     IdentityHash>
+      buckets;
+  std::size_t entries = 0;
+};
+
+constexpr std::size_t kNumShards = 16;
+/// Per-shard entry budget; a shard that grows past it is cleared outright
+/// (epoch-style invalidation — recomputing a code is always safe).
+constexpr std::size_t kMaxEntriesPerShard = 1 << 16;
+
+CacheShard g_shards[kNumShards];
+std::atomic<std::uint64_t> g_cache_hits{0};
+std::atomic<std::uint64_t> g_cache_misses{0};
+
+}  // namespace
+
+std::string CanonicalCodeCached(const LabeledGraph& g) {
+  TNMINE_CHECK_MSG(g.IsDense(),
+                   "CanonicalCodeCached requires a dense graph");
+  const std::uint64_t fp = Fingerprint(g);
+  std::string key = SerializeExact(g);
+  CacheShard& shard = g_shards[fp % kNumShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.buckets.find(fp);
+    if (it != shard.buckets.end()) {
+      for (const auto& [entry_key, code] : it->second) {
+        if (entry_key == key) {
+          g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          return code;
+        }
+      }
+    }
+  }
+  g_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  std::string code = CanonicalCode(g);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries >= kMaxEntriesPerShard) {
+      shard.buckets.clear();
+      shard.entries = 0;
+    }
+    shard.buckets[fp].emplace_back(std::move(key), code);
+    ++shard.entries;
+  }
+  return code;
+}
+
+void ClearCanonicalCodeCache() {
+  for (CacheShard& shard : g_shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.buckets.clear();
+    shard.entries = 0;
+  }
+  g_cache_hits.store(0, std::memory_order_relaxed);
+  g_cache_misses.store(0, std::memory_order_relaxed);
+}
+
+CanonicalCacheStats GetCanonicalCacheStats() {
+  CanonicalCacheStats stats;
+  stats.hits = g_cache_hits.load(std::memory_order_relaxed);
+  stats.misses = g_cache_misses.load(std::memory_order_relaxed);
+  return stats;
 }
 
 bool AreIsomorphic(const LabeledGraph& a, const LabeledGraph& b) {

@@ -27,6 +27,37 @@ inline constexpr std::size_t kMaxCanonicalVertices = 64;
 /// True when `a` and `b` are isomorphic (via canonical codes).
 bool AreIsomorphic(const graph::LabeledGraph& a, const graph::LabeledGraph& b);
 
+/// Memoized CanonicalCode, safe to call from any thread. Returns exactly
+/// CanonicalCode(g) — the cache can never change an answer, only skip the
+/// canonical-ordering search.
+///
+/// The miners re-derive the same concrete pattern graphs over and over
+/// (gSpan rebuilds each extension per arrival path; FSG re-codes every
+/// downward-closure sub-pattern; Algorithm 1 re-mines overlapping
+/// partitions), so exact-graph memoization hits often. Entries are keyed
+/// by the graph's exact byte serialization (vertex labels in id order plus
+/// the live edge list) — identical bytes imply an identical graph, so a
+/// hit is always sound. The cheap isomorphism-invariant fingerprint
+/// (vertex/edge label multisets + degree sequence) is used as the hash, so
+/// the many isomorphic-but-differently-numbered variants of one pattern
+/// land in the same bucket and probe cheaply. `g` must be dense
+/// (tombstone-free), as all miner pattern graphs are.
+std::string CanonicalCodeCached(const graph::LabeledGraph& g);
+
+/// Drops every cached canonical code (all shards). Never required for
+/// correctness — codes are immutable facts about graphs — but used by
+/// benchmarks to time cold runs, and by long-lived processes to bound
+/// memory. Shards also self-clear when they exceed a fixed entry budget.
+void ClearCanonicalCodeCache();
+
+/// Cache effectiveness counters (process-wide, monotonically increasing
+/// except across ClearCanonicalCodeCache, which resets them).
+struct CanonicalCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+CanonicalCacheStats GetCanonicalCacheStats();
+
 /// Fast isomorphism-invariant 64-bit hash: equal for isomorphic graphs,
 /// usually different otherwise. Use for pre-bucketing before the exact
 /// CanonicalCode comparison.

@@ -1,0 +1,171 @@
+// Determinism contract of the parallel mining core: for any thread count,
+// gSpan, FSG and the Algorithm-1 repetition driver must return exactly
+// what the single-threaded run returns — same patterns, same order, same
+// graphs, supports and tids — and the canonical-code cache must never
+// change an answer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/miner.h"
+#include "fsg/fsg.h"
+#include "gspan/gspan.h"
+#include "iso/canonical.h"
+#include "synth/kk_generator.h"
+#include "synth/planted.h"
+
+namespace tnmine {
+namespace {
+
+using pattern::FrequentPattern;
+
+/// Seeded paper-style transaction set (the KK generator the paper's
+/// footnote-3 experiments use).
+std::vector<graph::LabeledGraph> TestTransactions(std::uint64_t seed) {
+  synth::KkOptions options;
+  options.num_transactions = 80;
+  options.avg_transaction_edges = 14;
+  options.num_seed_patterns = 8;
+  options.avg_pattern_edges = 3;
+  options.num_vertex_labels = 6;
+  options.num_edge_labels = 3;
+  options.seed = seed;
+  return synth::GenerateKkTransactions(options).transactions;
+}
+
+void ExpectIdenticalPatternLists(const std::vector<FrequentPattern>& a,
+                                 const std::vector<FrequentPattern>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].code, b[i].code) << "index " << i;
+    EXPECT_EQ(a[i].support, b[i].support) << "index " << i;
+    EXPECT_EQ(a[i].tids, b[i].tids) << "index " << i;
+    EXPECT_TRUE(a[i].graph.StructurallyEqual(b[i].graph)) << "index " << i;
+  }
+}
+
+class ParallelGspanTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelGspanTest, ParallelEqualsSequentialExactly) {
+  const auto txns = TestTransactions(GetParam());
+  gspan::GspanOptions options;
+  options.min_support = 4;
+  options.max_edges = 4;
+  options.parallelism = common::Parallelism::Serial();
+  const gspan::GspanResult sequential = gspan::MineGspan(txns, options);
+  ASSERT_FALSE(sequential.patterns.empty());
+
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    options.parallelism = common::Parallelism{threads};
+    const gspan::GspanResult parallel = gspan::MineGspan(txns, options);
+    ExpectIdenticalPatternLists(sequential.patterns, parallel.patterns);
+    EXPECT_EQ(sequential.patterns_explored, parallel.patterns_explored);
+    EXPECT_EQ(sequential.max_level, parallel.max_level);
+  }
+}
+
+class ParallelFsgTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelFsgTest, ParallelEqualsSequentialExactly) {
+  const auto txns = TestTransactions(GetParam());
+  fsg::FsgOptions options;
+  options.min_support = 4;
+  options.max_edges = 3;
+  options.parallelism = common::Parallelism::Serial();
+  const fsg::FsgResult sequential = fsg::MineFsg(txns, options);
+  ASSERT_FALSE(sequential.patterns.empty());
+
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    options.parallelism = common::Parallelism{threads};
+    const fsg::FsgResult parallel = fsg::MineFsg(txns, options);
+    ExpectIdenticalPatternLists(sequential.patterns, parallel.patterns);
+    EXPECT_EQ(sequential.levels_completed, parallel.levels_completed);
+    EXPECT_EQ(sequential.candidates_per_level,
+              parallel.candidates_per_level);
+    EXPECT_EQ(sequential.frequent_per_level, parallel.frequent_per_level);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelGspanTest,
+                         ::testing::Values(301, 302, 303));
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelFsgTest,
+                         ::testing::Values(301, 302, 303));
+
+TEST(ParallelStructuralMiningTest, ParallelRepetitionsEqualSequential) {
+  synth::PlantedOptions planted;
+  planted.num_patterns = 4;
+  planted.pattern_edges = 3;
+  planted.instances_per_pattern = 30;
+  planted.noise_vertices = 50;
+  planted.noise_edges = 100;
+  planted.seed = 17;
+  const synth::PlantedResult data = synth::GeneratePlantedGraph(planted);
+
+  core::StructuralMiningOptions options;
+  options.num_partitions = 30;
+  options.repetitions = 4;
+  options.min_support = 10;
+  options.max_pattern_edges = 3;
+  options.seed = 5;
+  options.parallelism = common::Parallelism::Serial();
+  const auto sequential = core::MineStructuralPatterns(data.graph, options);
+  options.parallelism = common::Parallelism{4};
+  const auto parallel = core::MineStructuralPatterns(data.graph, options);
+
+  EXPECT_EQ(sequential.partitions_per_repetition,
+            parallel.partitions_per_repetition);
+  EXPECT_EQ(sequential.patterns_per_repetition,
+            parallel.patterns_per_repetition);
+  ASSERT_EQ(sequential.registry.size(), parallel.registry.size());
+  const auto seq_sorted = sequential.registry.SortedBySupport();
+  const auto par_sorted = parallel.registry.SortedBySupport();
+  for (std::size_t i = 0; i < seq_sorted.size(); ++i) {
+    EXPECT_EQ(seq_sorted[i]->code, par_sorted[i]->code);
+    EXPECT_EQ(seq_sorted[i]->support, par_sorted[i]->support);
+  }
+}
+
+TEST(CanonicalCodeCacheTest, CachedCodeMatchesUncachedOnRepeatedLookups) {
+  iso::ClearCanonicalCodeCache();
+  const auto txns = TestTransactions(909);
+  for (const auto& g : txns) {
+    const std::string expected = iso::CanonicalCode(g);
+    EXPECT_EQ(iso::CanonicalCodeCached(g), expected);  // miss
+    EXPECT_EQ(iso::CanonicalCodeCached(g), expected);  // hit
+  }
+  const auto stats = iso::GetCanonicalCacheStats();
+  EXPECT_GE(stats.hits, txns.size());
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST(CanonicalCodeCacheTest, ConcurrentLookupsAreConsistent) {
+  iso::ClearCanonicalCodeCache();
+  const auto txns = TestTransactions(910);
+  std::vector<std::string> expected;
+  expected.reserve(txns.size());
+  for (const auto& g : txns) expected.push_back(iso::CanonicalCode(g));
+  // Hammer the cache from many lanes, repeatedly visiting each graph.
+  constexpr std::size_t kRounds = 8;
+  const std::vector<std::string> got =
+      common::ParallelMap<std::string>(
+          common::Parallelism{8}, txns.size() * kRounds,
+          [&](std::size_t i) {
+            return iso::CanonicalCodeCached(txns[i % txns.size()]);
+          });
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i % txns.size()]);
+  }
+}
+
+TEST(CanonicalCodeCacheTest, ClearResetsStats) {
+  iso::ClearCanonicalCodeCache();
+  const auto stats = iso::GetCanonicalCacheStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace tnmine

@@ -1,0 +1,149 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tnmine::common {
+namespace {
+
+TEST(ParallelismTest, ResolveDefaultsToHardwareConcurrency) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(Parallelism{}.Resolve(), hw == 0 ? 1 : hw);
+  EXPECT_EQ(Parallelism{3}.Resolve(), 3u);
+  EXPECT_EQ(Parallelism::Serial().Resolve(), 1u);
+}
+
+TEST(ThreadPoolTest, PoolOfSizeOneRunsSeriallyOnCallerThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<std::size_t> order;
+  std::vector<std::thread::id> thread_ids;
+  pool.ParallelFor(16, [&](std::size_t i) {
+    // Safe unsynchronized: a size-1 pool must run inline.
+    order.push_back(i);
+    thread_ids.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);  // serial == in-order
+    EXPECT_EQ(thread_ids[i], std::this_thread::get_id());
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapReturnsResultsInInputOrder) {
+  ThreadPool pool(4);
+  const std::vector<std::size_t> out =
+      pool.ParallelMap<std::size_t>(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, FreeFunctionsUseSharedPool) {
+  std::atomic<std::size_t> sum{0};
+  ParallelFor(Parallelism{3}, 100,
+              [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+  const std::vector<int> doubled = ParallelMap<int>(
+      Parallelism{4}, 5, [](std::size_t i) { return static_cast<int>(2 * i); });
+  EXPECT_EQ(doubled, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](std::size_t i) {
+                         if (i == 37) {
+                           throw std::runtime_error("lane failure");
+                         }
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWinsWhenSerial) {
+  ThreadPool pool(1);
+  try {
+    pool.ParallelFor(10, [](std::size_t i) {
+      throw std::runtime_error("item " + std::to_string(i));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "item 0");
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   50, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<std::size_t> count{0};
+  pool.ParallelFor(50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<std::size_t>> inner_sums(8);
+  pool.ParallelFor(8, [&](std::size_t outer) {
+    // The nested call must not block on pool lanes the outer job holds.
+    pool.ParallelFor(100, [&](std::size_t inner) {
+      inner_sums[outer].fetch_add(inner);
+    });
+  });
+  for (std::size_t outer = 0; outer < 8; ++outer) {
+    EXPECT_EQ(inner_sums[outer].load(), 4950u);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndSingleItemJobs) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> count{0};
+  pool.ParallelFor(0, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0u);
+  pool.ParallelFor(1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1u);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersBothComplete) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  std::thread other([&] {
+    pool.ParallelFor(1000, [&](std::size_t) { total.fetch_add(1); });
+  });
+  pool.ParallelFor(1000, [&](std::size_t) { total.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(total.load(), 2000u);
+}
+
+TEST(ThreadPoolTest, MaxThreadsClampIsHonored) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::set<std::thread::id> lanes;
+  pool.Run(2000, 2, [&](std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    lanes.insert(std::this_thread::get_id());
+  });
+  // At most 2 lanes may participate (submitter + 1 worker).
+  EXPECT_LE(lanes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tnmine::common
