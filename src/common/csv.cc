@@ -9,47 +9,138 @@ namespace {
 
 FILE* AsFile(void* p) { return static_cast<FILE*>(p); }
 
+/// Incremental CSV record parser shared by the streaming reader and
+/// ParseCsvLine.
+///
+/// `next_char` is a getc-style callable returning the next byte or EOF.
+/// Parses ONE record: fields separated by ',', fields optionally quoted
+/// with '"', escaped quotes doubled. Inside quotes every byte — including
+/// '\n' and '\r' — is preserved verbatim; outside quotes '\n' (or a bare
+/// '\r', covering CRLF and classic-Mac line endings) terminates the
+/// record. Records with no content at all (blank lines) are skipped.
+///
+/// `line`/`column` are updated as characters are consumed so errors carry
+/// a position ('\n' advances the line and resets the column).
+///
+/// Returns 1 when a record was parsed into `fields`, 0 on clean
+/// end-of-input with no record, -1 on a malformed record (with `error`
+/// filled in).
+template <typename GetC>
+int ParseOneRecord(GetC&& next_char, std::size_t* line, std::size_t* column,
+                   std::size_t* record_line, std::vector<std::string>* fields,
+                   ParseError* error) {
+  fields->clear();
+  std::string cur;
+  enum State {
+    kRecordStart,  // nothing seen yet for this record
+    kFieldStart,   // right after a comma
+    kUnquoted,     // inside an unquoted field
+    kQuoted,       // inside a quoted field
+    kQuoteEnd,     // just saw a '"' inside a quoted field
+  };
+  State state = kRecordStart;
+  auto fail = [&](const char* msg) {
+    *error = ParseError::At(*line, *column, msg);
+    return -1;
+  };
+  auto end_field = [&] {
+    fields->push_back(std::move(cur));
+    cur.clear();
+  };
+  for (;;) {
+    const int ci = next_char();
+    if (ci == EOF) {
+      switch (state) {
+        case kRecordStart:
+          return 0;
+        case kQuoted:
+          return fail("unterminated quoted field at end of input");
+        case kFieldStart:
+        case kUnquoted:
+        case kQuoteEnd:
+          end_field();
+          return 1;  // final record without trailing newline
+      }
+    }
+    const char c = static_cast<char>(ci);
+    ++*column;
+    const bool is_terminator = (c == '\n' || c == '\r');
+    if (is_terminator && state != kQuoted) {
+      if (c == '\n') {
+        ++*line;
+        *column = 0;
+      }
+      if (state == kRecordStart) continue;  // blank line (or the LF of CRLF)
+      end_field();
+      return 1;
+    }
+    if (state == kRecordStart) *record_line = *line;
+    switch (state) {
+      case kRecordStart:
+      case kFieldStart:
+        if (c == '"') {
+          state = kQuoted;
+        } else if (c == ',') {
+          end_field();
+          state = kFieldStart;
+        } else {
+          cur.push_back(c);
+          state = kUnquoted;
+        }
+        break;
+      case kUnquoted:
+        if (c == ',') {
+          end_field();
+          state = kFieldStart;
+        } else if (c == '"') {
+          return fail("quote inside unquoted field");
+        } else {
+          cur.push_back(c);
+        }
+        break;
+      case kQuoted:
+        if (c == '"') {
+          state = kQuoteEnd;
+        } else {
+          if (c == '\n') {
+            ++*line;
+            *column = 0;
+          }
+          cur.push_back(c);
+        }
+        break;
+      case kQuoteEnd:
+        if (c == '"') {
+          cur.push_back('"');  // escaped quote
+          state = kQuoted;
+        } else if (c == ',') {
+          end_field();
+          state = kFieldStart;
+        } else {
+          return fail("unexpected character after closing quote");
+        }
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 bool ParseCsvLine(const std::string& line, std::vector<std::string>* fields) {
-  fields->clear();
-  std::string cur;
-  bool in_quotes = false;
-  std::size_t i = 0;
-  const std::size_t n = line.size();
-  while (i < n) {
-    const char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < n && line[i + 1] == '"') {
-          cur.push_back('"');
-          i += 2;
-        } else {
-          in_quotes = false;
-          ++i;
-        }
-      } else {
-        cur.push_back(c);
-        ++i;
-      }
-    } else {
-      if (c == '"') {
-        if (!cur.empty()) return false;  // quote in the middle of a field
-        in_quotes = true;
-        ++i;
-      } else if (c == ',') {
-        fields->push_back(std::move(cur));
-        cur.clear();
-        ++i;
-      } else {
-        cur.push_back(c);
-        ++i;
-      }
-    }
+  if (line.empty()) {
+    fields->assign(1, std::string());
+    return true;
   }
-  if (in_quotes) return false;  // unterminated quote
-  fields->push_back(std::move(cur));
-  return true;
+  std::size_t i = 0;
+  auto next_char = [&]() -> int {
+    return i < line.size() ? static_cast<unsigned char>(line[i++]) : EOF;
+  };
+  std::size_t ln = 1, col = 0, record_ln = 1;
+  ParseError err;
+  const int r = ParseOneRecord(next_char, &ln, &col, &record_ln, fields, &err);
+  // Reject records that end before the string does (an unquoted embedded
+  // newline) — this function is documented as single-record.
+  return r == 1 && i == line.size();
 }
 
 std::string EscapeCsvField(const std::string& field) {
@@ -69,6 +160,7 @@ CsvReader::CsvReader(const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     error_ = "cannot open " + path;
+    parse_error_.message = error_;
     return;
   }
   file_ = f;
@@ -81,30 +173,18 @@ CsvReader::~CsvReader() {
 
 bool CsvReader::ReadRecord(std::vector<std::string>* fields) {
   if (!ok_ || file_ == nullptr) return false;
-  std::string line;
-  for (;;) {
-    line.clear();
-    int c;
-    bool saw_any = false;
-    while ((c = std::fgetc(AsFile(file_))) != EOF) {
-      saw_any = true;
-      if (c == '\n') break;
-      if (c == '\r') continue;
-      line.push_back(static_cast<char>(c));
-    }
-    if (!saw_any && line.empty()) return false;  // clean EOF
-    ++line_number_;
-    if (line.empty()) {
-      if (c == EOF) return false;
-      continue;  // skip blank line
-    }
-    if (!ParseCsvLine(line, fields)) {
-      ok_ = false;
-      error_ = "malformed CSV record at line " + std::to_string(line_number_);
-      return false;
-    }
-    return true;
+  FILE* f = AsFile(file_);
+  auto next_char = [f]() -> int { return std::fgetc(f); };
+  record_line_ = current_line_;
+  const int r =
+      ParseOneRecord(next_char, &current_line_, &current_column_,
+                     &record_line_, fields, &parse_error_);
+  if (r == 1) return true;
+  if (r == -1) {
+    ok_ = false;
+    error_ = parse_error_.ToString();
   }
+  return false;
 }
 
 CsvWriter::CsvWriter(const std::string& path) {
@@ -124,9 +204,15 @@ CsvWriter::~CsvWriter() {
 void CsvWriter::WriteRecord(const std::vector<std::string>& fields) {
   if (!ok_) return;
   std::string line;
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) line.push_back(',');
-    line += EscapeCsvField(fields[i]);
+  if (fields.size() == 1 && fields[0].empty()) {
+    // A lone empty field would serialize to a blank line, which readers
+    // skip; quote it so the record survives the round trip.
+    line = "\"\"";
+  } else {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) line.push_back(',');
+      line += EscapeCsvField(fields[i]);
+    }
   }
   line.push_back('\n');
   if (std::fwrite(line.data(), 1, line.size(), AsFile(file_)) != line.size()) {

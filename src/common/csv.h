@@ -4,14 +4,18 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
+
 namespace tnmine {
 
 /// Minimal RFC-4180-style CSV support for persisting transaction datasets.
 ///
 /// Fields may be quoted with double quotes; embedded quotes are doubled;
-/// embedded commas and newlines inside quoted fields are preserved. This is
-/// deliberately a small, dependency-free reader sized for the project's
-/// needs, not a general CSV engine.
+/// embedded commas, CRs, and newlines inside quoted fields are preserved
+/// byte-for-byte, so everything CsvWriter::WriteRecord emits reads back
+/// identically. Outside quotes, LF, CRLF, and bare CR all terminate a
+/// record. This is deliberately a small, dependency-free reader sized for
+/// the project's needs, not a general CSV engine.
 class CsvReader {
  public:
   /// Opens `path`. Check ok() before reading; on failure error() describes
@@ -25,19 +29,26 @@ class CsvReader {
   bool ok() const { return ok_; }
   const std::string& error() const { return error_; }
 
-  /// Reads the next record into `fields`. Returns false at end of input or
-  /// on a malformed record (in which case ok() turns false and error() is
+  /// Structured position-carrying error for the most recent failure.
+  const ParseError& parse_error() const { return parse_error_; }
+
+  /// Reads the next record into `fields`. Quoted fields may span multiple
+  /// physical lines. Returns false at end of input or on a malformed
+  /// record (in which case ok() turns false and error()/parse_error() are
   /// set). Blank lines are skipped.
   bool ReadRecord(std::vector<std::string>* fields);
 
-  /// 1-based line number of the most recently read record.
-  std::size_t line_number() const { return line_number_; }
+  /// 1-based physical line on which the most recently read record starts.
+  std::size_t line_number() const { return record_line_; }
 
  private:
   void* file_ = nullptr;  // FILE*, kept opaque to avoid <cstdio> in the API
   bool ok_ = false;
   std::string error_;
-  std::size_t line_number_ = 0;
+  ParseError parse_error_;
+  std::size_t current_line_ = 1;
+  std::size_t current_column_ = 0;
+  std::size_t record_line_ = 1;
 };
 
 /// Streams CSV records to a file.
@@ -61,8 +72,10 @@ class CsvWriter {
   std::string error_;
 };
 
-/// Parses a single CSV line (no embedded newlines) into fields. Returns
-/// false if the quoting is malformed. Exposed for unit testing.
+/// Parses a single CSV record given as a string into fields. The record
+/// must span the whole string (an unquoted embedded newline fails);
+/// newlines inside quoted fields are allowed and preserved. Returns false
+/// if the quoting is malformed. Exposed for unit testing.
 bool ParseCsvLine(const std::string& line, std::vector<std::string>* fields);
 
 /// Escapes a field for CSV output (quotes only when necessary).

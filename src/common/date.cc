@@ -1,6 +1,9 @@
 #include "common/date.h"
 
 #include <cstdio>
+#include <string_view>
+
+#include "common/parse.h"
 
 namespace tnmine {
 
@@ -39,14 +42,26 @@ CivilDate CivilFromDayNumber(std::int64_t day_number) {
 
 std::string FormatDayNumber(std::int64_t day_number) {
   const CivilDate c = CivilFromDayNumber(day_number);
-  char buf[16];
+  char buf[32];  // sized for a full 10-digit year plus sign
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
   return buf;
 }
 
 bool ParseDayNumber(const std::string& text, std::int64_t* day_number) {
+  // Strict "Y-M-D": three '-'-separated integer fields, each fully
+  // consumed, no whitespace, no trailing garbage. The year may itself be
+  // negative ("-0004-01-02"), so the year/month separator is searched from
+  // position 1.
+  const std::string_view s = text;
+  if (s.empty()) return false;
+  const std::size_t p1 = s.find('-', 1);
+  if (p1 == std::string_view::npos) return false;
+  const std::size_t p2 = s.find('-', p1 + 1);
+  if (p2 == std::string_view::npos) return false;
   CivilDate c;
-  if (std::sscanf(text.c_str(), "%d-%d-%d", &c.year, &c.month, &c.day) != 3) {
+  if (!ParseInt32(s.substr(0, p1), &c.year) ||
+      !ParseInt32(s.substr(p1 + 1, p2 - p1 - 1), &c.month) ||
+      !ParseInt32(s.substr(p2 + 1), &c.day)) {
     return false;
   }
   if (c.month < 1 || c.month > 12 || c.day < 1 || c.day > 31) return false;

@@ -51,9 +51,13 @@ std::vector<HistogramBucket> Histogram(const std::vector<double>& values,
     buckets[i].hi = edges[i + 1];
   }
   for (double v : values) {
-    if (v < edges.front() || v >= edges.back()) continue;
+    // The final bucket is closed ([lo, hi], Weka convention) so the
+    // maximum in-range value is counted rather than silently dropped.
+    if (v < edges.front() || v > edges.back()) continue;
     const auto it = std::upper_bound(edges.begin(), edges.end(), v);
-    const std::size_t idx = static_cast<std::size_t>(it - edges.begin()) - 1;
+    std::size_t idx = static_cast<std::size_t>(it - edges.begin());
+    if (idx > 0) --idx;
+    if (idx >= buckets.size()) idx = buckets.size() - 1;
     ++buckets[idx].count;
   }
   return buckets;

@@ -41,13 +41,15 @@ class RunningStats {
 /// A labeled histogram bucket for Table-2-style size breakdowns.
 struct HistogramBucket {
   double lo = 0.0;   ///< inclusive lower bound
-  double hi = 0.0;   ///< exclusive upper bound
+  double hi = 0.0;   ///< upper bound (exclusive except for the last bucket)
   std::size_t count = 0;
 };
 
 /// Counts `values` into buckets delimited by `edges` (ascending). Bucket i
-/// covers [edges[i], edges[i+1]). Values outside [edges.front(),
-/// edges.back()) are ignored.
+/// covers [edges[i], edges[i+1]); the final bucket is closed,
+/// [edges[n-2], edges[n-1]], following the Weka convention, so every value
+/// in [edges.front(), edges.back()] is counted exactly once. Values
+/// strictly outside that range are ignored.
 std::vector<HistogramBucket> Histogram(const std::vector<double>& values,
                                        const std::vector<double>& edges);
 

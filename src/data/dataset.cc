@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/csv.h"
 #include "common/date.h"
+#include "common/parse.h"
 
 namespace tnmine::data {
 
@@ -134,27 +135,20 @@ bool TransactionDataset::LoadCsv(const std::string& path,
   while (reader.ReadRecord(&fields)) {
     if (fields.size() != kNumAttributes) return fail_row("wrong field count");
     Transaction t;
-    char* end = nullptr;
-    t.id = std::strtoll(fields[0].c_str(), &end, 10);
-    if (end == fields[0].c_str()) return fail_row("bad id");
+    if (!ParseInt64(fields[0], &t.id)) return fail_row("bad id");
     if (!ParseDayNumber(fields[1], &t.req_pickup_day)) {
       return fail_row("bad pickup date");
     }
     if (!ParseDayNumber(fields[2], &t.req_delivery_day)) {
       return fail_row("bad delivery date");
     }
-    auto parse_double = [&](const std::string& s, double* out) {
-      char* e = nullptr;
-      *out = std::strtod(s.c_str(), &e);
-      return e != s.c_str() && *e == '\0';
-    };
-    if (!parse_double(fields[3], &t.origin_latitude) ||
-        !parse_double(fields[4], &t.origin_longitude) ||
-        !parse_double(fields[5], &t.dest_latitude) ||
-        !parse_double(fields[6], &t.dest_longitude) ||
-        !parse_double(fields[7], &t.total_distance) ||
-        !parse_double(fields[8], &t.gross_weight) ||
-        !parse_double(fields[9], &t.transit_hours)) {
+    if (!ParseFiniteDouble(fields[3], &t.origin_latitude) ||
+        !ParseFiniteDouble(fields[4], &t.origin_longitude) ||
+        !ParseFiniteDouble(fields[5], &t.dest_latitude) ||
+        !ParseFiniteDouble(fields[6], &t.dest_longitude) ||
+        !ParseFiniteDouble(fields[7], &t.total_distance) ||
+        !ParseFiniteDouble(fields[8], &t.gross_weight) ||
+        !ParseFiniteDouble(fields[9], &t.transit_hours)) {
       return fail_row("bad numeric field");
     }
     if (!ParseTransMode(fields[10], &t.mode)) return fail_row("bad mode");

@@ -1,9 +1,36 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <string_view>
 
 namespace tnmine::graph {
+
+namespace {
+
+/// Parses a vertex/edge id or count token as uint32 (the width of
+/// VertexId/EdgeId). Rejects '-', '+', overflow, and partial consumption,
+/// so "-1" can never wrap into a huge id.
+bool ParseId(std::string_view token, std::uint32_t* out) {
+  return ParseUint32(token, out);
+}
+
+bool ParseLabel(std::string_view token, Label* out) {
+  return ParseInt32(token, out);
+}
+
+/// Caps a header-declared element count against what the remaining input
+/// could plausibly hold, so a hostile header ("g 4000000000 0") cannot
+/// force a multi-gigabyte Reserve before the count mismatch is detected.
+/// `min_bytes_per_element` is the smallest possible serialized line for
+/// one element ("v 0 0\n" = 6 bytes, "e 0 0 0\n" = 8 bytes).
+std::size_t CapReserve(std::size_t declared, std::size_t input_bytes,
+                       std::size_t min_bytes_per_element) {
+  return std::min(declared, input_bytes / min_bytes_per_element + 1);
+}
+
+}  // namespace
 
 std::string WriteNative(const LabeledGraph& g) {
   std::ostringstream out;
@@ -19,53 +46,109 @@ std::string WriteNative(const LabeledGraph& g) {
 }
 
 bool ReadNative(const std::string& text, LabeledGraph* g,
-                std::string* error) {
+                ParseError* error) {
   *g = LabeledGraph();
-  std::istringstream in(text);
-  std::string directive;
   std::size_t expect_vertices = 0, expect_edges = 0;
   bool have_header = false;
   std::size_t seen_vertices = 0, seen_edges = 0;
-  auto fail = [&](const std::string& message) {
-    if (error != nullptr) *error = message;
-    return false;
-  };
-  while (in >> directive) {
+  ParseError err;
+  const bool scanned = ForEachLine(text, [&](std::size_t line_number,
+                                             std::string_view line) {
+    const std::vector<LineToken> tokens = TokenizeLine(line);
+    if (tokens.empty()) return true;  // blank line
+    auto fail = [&](std::size_t column, std::string message) {
+      err = ParseError::At(line_number, column, std::move(message));
+      return false;
+    };
+    const std::string_view directive = tokens[0].text;
+    if (directive[0] == '#') return true;  // comment line
     if (directive == "g") {
-      if (have_header) return fail("duplicate header");
-      if (!(in >> expect_vertices >> expect_edges)) {
-        return fail("malformed header");
+      if (have_header) return fail(tokens[0].column, "duplicate header");
+      if (tokens.size() != 3) {
+        return fail(tokens[0].column,
+                    "header must be 'g <vertices> <edges>'");
       }
+      std::uint32_t nv = 0, ne = 0;
+      if (!ParseId(tokens[1].text, &nv)) {
+        return fail(tokens[1].column, "bad vertex count '" +
+                                          std::string(tokens[1].text) + "'");
+      }
+      if (!ParseId(tokens[2].text, &ne)) {
+        return fail(tokens[2].column,
+                    "bad edge count '" + std::string(tokens[2].text) + "'");
+      }
+      expect_vertices = nv;
+      expect_edges = ne;
       have_header = true;
-      g->Reserve(expect_vertices, expect_edges);
+      g->Reserve(CapReserve(expect_vertices, text.size(), 6),
+                 CapReserve(expect_edges, text.size(), 8));
     } else if (directive == "v") {
-      std::uint64_t id;
-      Label label;
-      if (!(in >> id >> label)) return fail("malformed vertex line");
-      if (id != seen_vertices) return fail("vertex ids must be dense");
+      if (tokens.size() != 3) {
+        return fail(tokens[0].column, "vertex line must be 'v <id> <label>'");
+      }
+      std::uint32_t id = 0;
+      Label label = 0;
+      if (!ParseId(tokens[1].text, &id)) {
+        return fail(tokens[1].column,
+                    "bad vertex id '" + std::string(tokens[1].text) + "'");
+      }
+      if (!ParseLabel(tokens[2].text, &label)) {
+        return fail(tokens[2].column,
+                    "bad vertex label '" + std::string(tokens[2].text) + "'");
+      }
+      if (id != seen_vertices) {
+        return fail(tokens[1].column, "vertex ids must be dense");
+      }
       g->AddVertex(label);
       ++seen_vertices;
     } else if (directive == "e") {
-      std::uint64_t src, dst;
-      Label label;
-      if (!(in >> src >> dst >> label)) return fail("malformed edge line");
+      if (tokens.size() != 4) {
+        return fail(tokens[0].column,
+                    "edge line must be 'e <src> <dst> <label>'");
+      }
+      std::uint32_t src = 0, dst = 0;
+      Label label = 0;
+      if (!ParseId(tokens[1].text, &src) || !ParseId(tokens[2].text, &dst)) {
+        return fail(tokens[1].column, "bad edge endpoint");
+      }
+      if (!ParseLabel(tokens[3].text, &label)) {
+        return fail(tokens[3].column,
+                    "bad edge label '" + std::string(tokens[3].text) + "'");
+      }
       if (src >= seen_vertices || dst >= seen_vertices) {
-        return fail("edge endpoint out of range");
+        return fail(tokens[1].column, "edge endpoint out of range");
       }
       g->AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst),
                  label);
       ++seen_edges;
-    } else if (directive[0] == '#') {
-      std::string rest;
-      std::getline(in, rest);  // comment line
     } else {
-      return fail("unknown directive: " + directive);
+      return fail(tokens[0].column,
+                  "unknown directive: " + std::string(directive));
     }
+    return true;
+  });
+  if (!scanned) {
+    ReportParseError(err, error, nullptr);
+    return false;
   }
-  if (!have_header) return fail("missing header");
-  if (seen_vertices != expect_vertices) return fail("vertex count mismatch");
-  if (seen_edges != expect_edges) return fail("edge count mismatch");
+  auto fail_global = [&](const std::string& message) {
+    ReportParseError(ParseError::At(0, 0, message), error, nullptr);
+    return false;
+  };
+  if (!have_header) return fail_global("missing header");
+  if (seen_vertices != expect_vertices) {
+    return fail_global("vertex count mismatch");
+  }
+  if (seen_edges != expect_edges) return fail_global("edge count mismatch");
   return true;
+}
+
+bool ReadNative(const std::string& text, LabeledGraph* g,
+                std::string* error) {
+  ParseError err;
+  if (ReadNative(text, g, &err)) return true;
+  if (error != nullptr) *error = err.ToString();
+  return false;
 }
 
 std::string WriteSubdueFormat(const LabeledGraph& g) {
@@ -79,6 +162,81 @@ std::string WriteSubdueFormat(const LabeledGraph& g) {
         << edge.label << "\n";
   });
   return out.str();
+}
+
+bool ReadSubdueFormat(const std::string& text, LabeledGraph* g,
+                      ParseError* error) {
+  *g = LabeledGraph();
+  std::size_t seen_vertices = 0;
+  ParseError err;
+  const bool scanned = ForEachLine(text, [&](std::size_t line_number,
+                                             std::string_view line) {
+    const std::vector<LineToken> tokens = TokenizeLine(line);
+    if (tokens.empty()) return true;
+    auto fail = [&](std::size_t column, std::string message) {
+      err = ParseError::At(line_number, column, std::move(message));
+      return false;
+    };
+    const std::string_view directive = tokens[0].text;
+    if (directive[0] == '#' || directive[0] == '%') return true;  // comment
+    if (directive == "v") {
+      if (tokens.size() != 3) {
+        return fail(tokens[0].column, "vertex line must be 'v <id> <label>'");
+      }
+      std::uint32_t id = 0;
+      Label label = 0;
+      if (!ParseId(tokens[1].text, &id)) {
+        return fail(tokens[1].column,
+                    "bad vertex id '" + std::string(tokens[1].text) + "'");
+      }
+      if (!ParseLabel(tokens[2].text, &label)) {
+        return fail(tokens[2].column,
+                    "bad vertex label '" + std::string(tokens[2].text) + "'");
+      }
+      if (id != seen_vertices + 1) {
+        return fail(tokens[1].column, "vertex ids must be 1-based and dense");
+      }
+      g->AddVertex(label);
+      ++seen_vertices;
+    } else if (directive == "d" || directive == "e" || directive == "u") {
+      if (tokens.size() != 4) {
+        return fail(tokens[0].column,
+                    "edge line must be 'd <src> <dst> <label>'");
+      }
+      std::uint32_t src = 0, dst = 0;
+      Label label = 0;
+      if (!ParseId(tokens[1].text, &src) || !ParseId(tokens[2].text, &dst)) {
+        return fail(tokens[1].column, "bad edge endpoint");
+      }
+      if (!ParseLabel(tokens[3].text, &label)) {
+        return fail(tokens[3].column,
+                    "bad edge label '" + std::string(tokens[3].text) + "'");
+      }
+      if (src < 1 || dst < 1 || src > seen_vertices ||
+          dst > seen_vertices) {
+        return fail(tokens[1].column, "edge endpoint out of range");
+      }
+      g->AddEdge(static_cast<VertexId>(src - 1),
+                 static_cast<VertexId>(dst - 1), label);
+    } else {
+      return fail(tokens[0].column,
+                  "unknown directive: " + std::string(directive));
+    }
+    return true;
+  });
+  if (!scanned) {
+    ReportParseError(err, error, nullptr);
+    return false;
+  }
+  return true;
+}
+
+bool ReadSubdueFormat(const std::string& text, LabeledGraph* g,
+                      std::string* error) {
+  ParseError err;
+  if (ReadSubdueFormat(text, g, &err)) return true;
+  if (error != nullptr) *error = err.ToString();
+  return false;
 }
 
 std::string WriteFsgFormat(const std::vector<LabeledGraph>& transactions) {
@@ -99,50 +257,91 @@ std::string WriteFsgFormat(const std::vector<LabeledGraph>& transactions) {
 
 bool ReadFsgFormat(const std::string& text,
                    std::vector<LabeledGraph>* transactions,
-                   std::string* error) {
+                   ParseError* error) {
   transactions->clear();
-  std::istringstream in(text);
-  std::string directive;
-  auto fail = [&](const std::string& message) {
-    if (error != nullptr) *error = message;
-    return false;
-  };
-  while (in >> directive) {
+  ParseError err;
+  const bool scanned = ForEachLine(text, [&](std::size_t line_number,
+                                             std::string_view line) {
+    const std::vector<LineToken> tokens = TokenizeLine(line);
+    if (tokens.empty()) return true;
+    auto fail = [&](std::size_t column, std::string message) {
+      err = ParseError::At(line_number, column, std::move(message));
+      return false;
+    };
+    const std::string_view directive = tokens[0].text;
+    if (directive[0] == '#') return true;  // comment line
     if (directive == "t") {
-      std::string hash;
-      std::uint64_t index;
-      if (!(in >> hash >> index) || hash != "#") {
-        return fail("malformed transaction header");
+      std::uint64_t index = 0;
+      if (tokens.size() != 3 || tokens[1].text != "#" ||
+          !ParseUint64(tokens[2].text, &index)) {
+        return fail(tokens[0].column, "malformed transaction header");
       }
       transactions->emplace_back();
     } else if (directive == "v") {
-      if (transactions->empty()) return fail("vertex before transaction");
-      std::uint64_t id;
-      Label label;
-      if (!(in >> id >> label)) return fail("malformed vertex line");
+      if (transactions->empty()) {
+        return fail(tokens[0].column, "vertex before transaction");
+      }
+      if (tokens.size() != 3) {
+        return fail(tokens[0].column, "vertex line must be 'v <id> <label>'");
+      }
+      std::uint32_t id = 0;
+      Label label = 0;
+      if (!ParseId(tokens[1].text, &id)) {
+        return fail(tokens[1].column,
+                    "bad vertex id '" + std::string(tokens[1].text) + "'");
+      }
+      if (!ParseLabel(tokens[2].text, &label)) {
+        return fail(tokens[2].column,
+                    "bad vertex label '" + std::string(tokens[2].text) + "'");
+      }
       if (id != transactions->back().num_vertices()) {
-        return fail("vertex ids must be dense per transaction");
+        return fail(tokens[1].column, "vertex ids must be dense per "
+                                      "transaction");
       }
       transactions->back().AddVertex(label);
     } else if (directive == "d" || directive == "u" || directive == "e") {
-      if (transactions->empty()) return fail("edge before transaction");
-      std::uint64_t src, dst;
-      Label label;
-      if (!(in >> src >> dst >> label)) return fail("malformed edge line");
+      if (transactions->empty()) {
+        return fail(tokens[0].column, "edge before transaction");
+      }
+      if (tokens.size() != 4) {
+        return fail(tokens[0].column,
+                    "edge line must be 'd <src> <dst> <label>'");
+      }
+      std::uint32_t src = 0, dst = 0;
+      Label label = 0;
+      if (!ParseId(tokens[1].text, &src) || !ParseId(tokens[2].text, &dst)) {
+        return fail(tokens[1].column, "bad edge endpoint");
+      }
+      if (!ParseLabel(tokens[3].text, &label)) {
+        return fail(tokens[3].column,
+                    "bad edge label '" + std::string(tokens[3].text) + "'");
+      }
       LabeledGraph& g = transactions->back();
       if (src >= g.num_vertices() || dst >= g.num_vertices()) {
-        return fail("edge endpoint out of range");
+        return fail(tokens[1].column, "edge endpoint out of range");
       }
       g.AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst),
                 label);
-    } else if (directive[0] == '#') {
-      std::string rest;
-      std::getline(in, rest);  // comment
     } else {
-      return fail("unknown directive: " + directive);
+      return fail(tokens[0].column,
+                  "unknown directive: " + std::string(directive));
     }
+    return true;
+  });
+  if (!scanned) {
+    ReportParseError(err, error, nullptr);
+    return false;
   }
   return true;
+}
+
+bool ReadFsgFormat(const std::string& text,
+                   std::vector<LabeledGraph>* transactions,
+                   std::string* error) {
+  ParseError err;
+  if (ReadFsgFormat(text, transactions, &err)) return true;
+  if (error != nullptr) *error = err.ToString();
+  return false;
 }
 
 bool WriteTextFile(const std::string& path, const std::string& text) {

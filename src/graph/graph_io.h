@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "graph/labeled_graph.h"
 
 namespace tnmine::graph {
@@ -15,14 +16,29 @@ namespace tnmine::graph {
 /// Tombstoned edges are skipped; vertex ids are the dense ids of `g`.
 std::string WriteNative(const LabeledGraph& g);
 
-/// Parses the native format. Returns false and sets `error` on malformed
-/// input (wrong counts, out-of-range ids, unknown directives).
+/// Parses the native format. All numeric fields go through the strict
+/// helpers in common/parse.h: negative or overflowing counts and ids are
+/// rejected (a header like "g -1 0" is an error, not a wrapped huge
+/// reservation), and storage reservations are capped against the input
+/// size. Returns false and fills `error` (line/column/message) on
+/// malformed input.
+bool ReadNative(const std::string& text, LabeledGraph* g, ParseError* error);
+/// Legacy overload reporting the formatted error as a string.
 bool ReadNative(const std::string& text, LabeledGraph* g, std::string* error);
 
 /// Serializes in the SUBDUE 5.x input style used by Cook & Holder's tool:
 ///   v <1-based-id> <label>
 ///   d <1-based-src> <1-based-dst> <label>    (directed edge)
 std::string WriteSubdueFormat(const LabeledGraph& g);
+
+/// Parses the SUBDUE input style (the inverse of WriteSubdueFormat; `d`,
+/// `e`, and `u` edge directives are all accepted as directed edges).
+/// Vertex ids must be 1-based and dense; endpoints must reference declared
+/// vertices. Same strict-number contract as ReadNative.
+bool ReadSubdueFormat(const std::string& text, LabeledGraph* g,
+                      ParseError* error);
+bool ReadSubdueFormat(const std::string& text, LabeledGraph* g,
+                      std::string* error);
 
 /// Serializes a transaction set in the FSG input style used by Kuramochi &
 /// Karypis's tool (one `t` block per graph, `u` lines emitted for edges —
@@ -35,8 +51,11 @@ std::string WriteFsgFormat(const std::vector<LabeledGraph>& transactions);
 
 /// Parses a transaction set in the FSG input style (the inverse of
 /// WriteFsgFormat; `d`, `u`, and `e` edge directives are all accepted and
-/// read as directed src -> dst edges). Returns false and sets `error` on
-/// malformed input.
+/// read as directed src -> dst edges). Same strict-number contract as
+/// ReadNative. Returns false and fills `error` on malformed input.
+bool ReadFsgFormat(const std::string& text,
+                   std::vector<LabeledGraph>* transactions,
+                   ParseError* error);
 bool ReadFsgFormat(const std::string& text,
                    std::vector<LabeledGraph>* transactions,
                    std::string* error);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <sstream>
+#include <string_view>
 
+#include "common/parse.h"
 #include "graph/graph_io.h"
 
 namespace tnmine::ml {
@@ -12,6 +15,9 @@ namespace tnmine::ml {
 namespace {
 
 /// Quotes a name/value when it contains ARFF-significant characters.
+/// Inside quotes both the quote and the backslash are escaped — otherwise
+/// a value ending in '\' would serialize as '...\'' and the trailing \'
+/// would read back as an escaped quote.
 std::string Quote(const std::string& s) {
   const bool needs = s.empty() ||
                      s.find_first_of(" ,{}%'\"\t") != std::string::npos;
@@ -19,6 +25,7 @@ std::string Quote(const std::string& s) {
   std::string out = "'";
   for (char c : s) {
     if (c == '\'') out += "\\'";
+    else if (c == '\\') out += "\\\\";
     else out.push_back(c);
   }
   out += "'";
@@ -32,34 +39,66 @@ std::string TrimCopy(const std::string& s) {
   return s.substr(b, e - b);
 }
 
-/// Splits a comma-separated list, honoring single quotes.
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Splits a comma-separated list, honoring single quotes. Whitespace
+/// around unquoted items is trimmed; the content of quoted items is
+/// preserved verbatim (including leading/trailing spaces), which is what
+/// makes Quote() round-trip. After a closing quote only whitespace may
+/// precede the next comma.
 bool SplitList(const std::string& text, std::vector<std::string>* out) {
   out->clear();
-  std::string cur;
-  bool quoted = false;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (quoted) {
-      if (c == '\\' && i + 1 < text.size() && text[i + 1] == '\'') {
-        cur.push_back('\'');
-        ++i;
-      } else if (c == '\'') {
-        quoted = false;
-      } else {
-        cur.push_back(c);
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  for (;;) {
+    while (i < n && IsSpace(text[i])) ++i;
+    std::string item;
+    if (i < n && text[i] == '\'') {
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        const char c = text[i];
+        if (c == '\\' && i + 1 < n &&
+            (text[i + 1] == '\'' || text[i + 1] == '\\')) {
+          item.push_back(text[i + 1]);
+          i += 2;
+        } else if (c == '\'') {
+          ++i;
+          closed = true;
+          break;
+        } else {
+          item.push_back(c);
+          ++i;
+        }
       }
-    } else if (c == '\'') {
-      quoted = true;
-    } else if (c == ',') {
-      out->push_back(TrimCopy(cur));
-      cur.clear();
+      if (!closed) return false;  // unterminated quote
+      while (i < n && IsSpace(text[i])) ++i;
+      if (i < n && text[i] != ',') return false;  // junk after closing quote
     } else {
-      cur.push_back(c);
+      const std::size_t start = i;
+      while (i < n && text[i] != ',') {
+        if (text[i] == '\'') return false;  // quote inside unquoted item
+        ++i;
+      }
+      std::size_t end = i;
+      while (end > start && IsSpace(text[end - 1])) --end;
+      item = text.substr(start, end - start);
     }
+    out->push_back(std::move(item));
+    if (i >= n) break;
+    ++i;  // skip the comma
   }
-  if (quoted) return false;
-  out->push_back(TrimCopy(cur));
   return true;
+}
+
+/// Shortest representation that parses back to exactly the same double
+/// (std::to_chars), so numeric cells survive Write -> Read unchanged.
+void AppendDouble(std::ostringstream& out, double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out << std::string_view(buf, static_cast<std::size_t>(ptr - buf));
 }
 
 }  // namespace
@@ -82,14 +121,12 @@ std::string WriteArff(const AttributeTable& table,
     }
   }
   out << "\n@data\n";
-  char buf[64];
   for (std::size_t r = 0; r < table.num_rows(); ++r) {
     for (int a = 0; a < table.num_attributes(); ++a) {
       if (a > 0) out << ",";
       const Attribute& attr = table.attribute(a);
       if (attr.kind == AttrKind::kNumeric) {
-        std::snprintf(buf, sizeof(buf), "%.10g", table.value(r, a));
-        out << buf;
+        AppendDouble(out, table.value(r, a));
       } else {
         out << Quote(table.NominalValue(r, a));
       }
@@ -100,20 +137,16 @@ std::string WriteArff(const AttributeTable& table,
 }
 
 bool ReadArff(const std::string& text, AttributeTable* table,
-              std::string* error) {
+              ParseError* error) {
   *table = AttributeTable();
   std::istringstream in(text);
   std::string line;
   bool in_data = false;
   std::size_t line_number = 0;
   auto fail = [&](const std::string& message) {
-    if (error != nullptr) {
-      *error = message + " at line " + std::to_string(line_number);
-    }
+    if (error != nullptr) *error = ParseError::At(line_number, 0, message);
     return false;
   };
-  // Nominal dictionaries for cell lookup.
-  std::vector<const Attribute*> attrs;
   while (std::getline(in, line)) {
     ++line_number;
     const std::string trimmed = TrimCopy(line);
@@ -133,13 +166,23 @@ bool ReadArff(const std::string& text, AttributeTable* table,
         std::string name;
         if (!rest.empty() && rest[0] == '\'') {
           std::size_t i = 1;
-          while (i < rest.size() && rest[i] != '\'') {
-            if (rest[i] == '\\' && i + 1 < rest.size()) ++i;
-            name.push_back(rest[i]);
-            ++i;
+          bool closed = false;
+          while (i < rest.size()) {
+            if (rest[i] == '\\' && i + 1 < rest.size() &&
+                (rest[i + 1] == '\'' || rest[i + 1] == '\\')) {
+              name.push_back(rest[i + 1]);
+              i += 2;
+            } else if (rest[i] == '\'') {
+              ++i;
+              closed = true;
+              break;
+            } else {
+              name.push_back(rest[i]);
+              ++i;
+            }
           }
-          if (i >= rest.size()) return fail("unterminated attribute name");
-          rest = TrimCopy(rest.substr(i + 1));
+          if (!closed) return fail("unterminated attribute name");
+          rest = TrimCopy(rest.substr(i));
         } else {
           const std::size_t space = rest.find_first_of(" \t");
           if (space == std::string::npos) {
@@ -181,9 +224,7 @@ bool ReadArff(const std::string& text, AttributeTable* table,
       const Attribute& attr = table->attribute(a);
       const std::string& cell = cells[static_cast<std::size_t>(a)];
       if (attr.kind == AttrKind::kNumeric) {
-        char* end = nullptr;
-        row[static_cast<std::size_t>(a)] = std::strtod(cell.c_str(), &end);
-        if (end == cell.c_str() || *end != '\0') {
+        if (!ParseDouble(cell, &row[static_cast<std::size_t>(a)])) {
           return fail("bad numeric cell '" + cell + "'");
         }
       } else {
@@ -199,8 +240,15 @@ bool ReadArff(const std::string& text, AttributeTable* table,
     table->AddRow(std::move(row));
   }
   if (!in_data) return fail("missing @data section");
-  (void)attrs;
   return true;
+}
+
+bool ReadArff(const std::string& text, AttributeTable* table,
+              std::string* error) {
+  ParseError err;
+  if (ReadArff(text, table, &err)) return true;
+  if (error != nullptr) *error = err.ToString();
+  return false;
 }
 
 bool SaveArff(const AttributeTable& table, const std::string& relation_name,

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/parse.h"
 #include "ml/attribute_table.h"
 
 namespace tnmine::ml {
@@ -17,8 +18,12 @@ std::string WriteArff(const AttributeTable& table,
 /// Parses an ARFF document produced by WriteArff (a practical subset of
 /// the format: `@relation`, `@attribute ... numeric`, `@attribute
 /// {v1,v2,...}`, `@data` with comma-separated rows; `%` comments and blank
-/// lines are skipped; strings may be single-quoted). Returns false and
-/// sets `error` on malformed input.
+/// lines are skipped; strings may be single-quoted). Numeric cells are
+/// parsed with the strict locale-independent helpers in common/parse.h.
+/// Returns false and fills `error` (line/message) on malformed input.
+bool ReadArff(const std::string& text, AttributeTable* table,
+              ParseError* error);
+/// Legacy overload reporting the formatted error as a string.
 bool ReadArff(const std::string& text, AttributeTable* table,
               std::string* error);
 

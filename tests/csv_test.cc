@@ -106,7 +106,64 @@ TEST_F(CsvFileTest, MalformedRecordStopsWithError) {
   ASSERT_TRUE(reader.ReadRecord(&fields));
   EXPECT_FALSE(reader.ReadRecord(&fields));
   EXPECT_FALSE(reader.ok());
-  EXPECT_NE(reader.error().find("malformed"), std::string::npos);
+  EXPECT_NE(reader.error().find("quote"), std::string::npos);
+  EXPECT_EQ(reader.parse_error().line, 2u);
+  EXPECT_FALSE(reader.parse_error().message.empty());
+}
+
+TEST_F(CsvFileTest, RoundTripsEmbeddedNewlinesAndCrs) {
+  // Regression: WriteRecord legally quotes fields containing \n and \r;
+  // the reader must consume physical lines until the quote closes and
+  // preserve every byte inside the quotes.
+  const std::vector<std::vector<std::string>> records = {
+      {"multi\nline", "plain"},
+      {"carriage\rreturn", "cr\r\nlf"},
+      {"quotes \"and\" commas, too", ""},
+      {"trailing\n", "\nleading"},
+      {"\r", "\n"},
+  };
+  {
+    CsvWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    for (const auto& r : records) writer.WriteRecord(r);
+    ASSERT_TRUE(writer.ok());
+  }
+  CsvReader reader(path_);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> fields;
+  for (const auto& expected : records) {
+    ASSERT_TRUE(reader.ReadRecord(&fields)) << reader.error();
+    EXPECT_EQ(fields, expected);
+  }
+  EXPECT_FALSE(reader.ReadRecord(&fields));
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST_F(CsvFileTest, CrlfLineEndingsOutsideQuotes) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("a,b\r\nc,d\r\n", f);
+  std::fclose(f);
+  CsvReader reader(path_);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.ReadRecord(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(reader.ReadRecord(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"c", "d"}));
+  EXPECT_FALSE(reader.ReadRecord(&fields));
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST_F(CsvFileTest, UnterminatedQuoteAtEofIsAnError) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("a,\"open quote\nnever closes", f);
+  std::fclose(f);
+  CsvReader reader(path_);
+  std::vector<std::string> fields;
+  EXPECT_FALSE(reader.ReadRecord(&fields));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("unterminated"), std::string::npos);
 }
 
 TEST_F(CsvFileTest, SkipsBlankLines) {

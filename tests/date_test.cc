@@ -54,6 +54,51 @@ TEST(DateTest, ParseRejectsGarbage) {
   EXPECT_FALSE(ParseDayNumber("2004-04-31", &dn));  // April has 30 days
 }
 
+TEST(DateTest, ParseAcceptRejectTable) {
+  // Regression: the old sscanf-based parser accepted trailing garbage and
+  // leading whitespace. The strict parser requires full consumption.
+  struct Case {
+    const char* text;
+    bool accept;
+  };
+  const Case cases[] = {
+      {"2005-01-02", true},
+      {"2005-1-2", true},       // unpadded fields are fine
+      {"0001-01-01", true},
+      {"1969-12-31", true},
+      {"2005-01-02xyz", false},  // trailing garbage
+      {"2005-01-0", false},      // day 0
+      {" 2005-01-02", false},    // leading whitespace
+      {"2005-01-02 ", false},    // trailing whitespace
+      {"2005-01-02\n", false},   // trailing newline
+      {"2005 -01-02", false},    // internal whitespace
+      {"2005-01- 2", false},
+      {"+2005-01-02", false},    // explicit '+' sign
+      {"2005-+1-02", false},
+      {"20050102", false},       // missing separators
+      {"2005-01", false},        // missing day
+      {"2005-01-02-03", false},  // extra field
+      {"", false},
+      {"--", false},
+      {"99999999999-01-02", false},  // year overflows int32
+      {"2005-01-99999999999", false},
+  };
+  for (const Case& c : cases) {
+    std::int64_t dn = 0;
+    EXPECT_EQ(ParseDayNumber(c.text, &dn), c.accept)
+        << "input: '" << c.text << "'";
+  }
+}
+
+TEST(DateTest, FormatParseRoundTrip) {
+  for (std::int64_t dn = -100000; dn <= 100000; dn += 997) {
+    std::int64_t back = 0;
+    const std::string text = FormatDayNumber(dn);
+    ASSERT_TRUE(ParseDayNumber(text, &back)) << text;
+    EXPECT_EQ(back, dn) << text;
+  }
+}
+
 TEST(DateTest, DayOfWeek) {
   EXPECT_EQ(DayOfWeek(DayNumberFromCivil({1970, 1, 1})), 3);   // Thursday
   EXPECT_EQ(DayOfWeek(DayNumberFromCivil({2004, 7, 5})), 0);   // Monday

@@ -64,11 +64,88 @@ TEST(GraphIoTest, RejectsUnknownDirective) {
   EXPECT_FALSE(ReadNative("g 0 0\nz nonsense\n", &g, &error));
 }
 
+TEST(GraphIoTest, RejectsNegativeCounts) {
+  // Regression: "g -1 0" used to wrap through the unsigned stream
+  // extraction into a multi-exabyte Reserve. Negative counts and ids are
+  // now parse errors.
+  LabeledGraph g;
+  std::string error;
+  EXPECT_FALSE(ReadNative("g -1 0\n", &g, &error));
+  EXPECT_NE(error.find("count"), std::string::npos);
+  EXPECT_FALSE(ReadNative("g 0 -3\n", &g, &error));
+  EXPECT_FALSE(ReadNative("g 1 0\nv -1 5\n", &g, &error));
+  EXPECT_FALSE(ReadNative("g 2 1\nv 0 1\nv 1 1\ne -1 0 2\n", &g, &error));
+}
+
+TEST(GraphIoTest, RejectsOverflowingCounts) {
+  LabeledGraph g;
+  std::string error;
+  // Larger than uint32 / uint64: must fail cleanly, not wrap.
+  EXPECT_FALSE(ReadNative("g 99999999999999999999 0\n", &g, &error));
+  EXPECT_FALSE(ReadNative("g 8589934592 0\n", &g, &error));  // 2^33
+}
+
+TEST(GraphIoTest, HugeDeclaredCountDoesNotOverReserve) {
+  // A header declaring ~4e9 vertices with no body must fail on the count
+  // mismatch without first attempting a ~100 GB allocation.
+  LabeledGraph g;
+  std::string error;
+  EXPECT_FALSE(ReadNative("g 4000000000 0\n", &g, &error));
+  EXPECT_NE(error.find("mismatch"), std::string::npos);
+}
+
+TEST(GraphIoTest, ReportsLineAndColumn) {
+  LabeledGraph g;
+  ParseError err;
+  ASSERT_FALSE(ReadNative("g 1 0\nv zero 5\n", &g, &err));
+  EXPECT_EQ(err.line, 2u);
+  EXPECT_EQ(err.column, 3u);
+  EXPECT_NE(err.ToString().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsTrailingTokens) {
+  LabeledGraph g;
+  std::string error;
+  EXPECT_FALSE(ReadNative("g 1 0 extra\nv 0 1\n", &g, &error));
+  EXPECT_FALSE(ReadNative("g 1 0\nv 0 1 extra\n", &g, &error));
+}
+
 TEST(GraphIoTest, SubdueFormatUsesOneBasedIds) {
   const std::string text = WriteSubdueFormat(SampleGraph());
   EXPECT_NE(text.find("v 1 3"), std::string::npos);
   EXPECT_NE(text.find("v 2 4"), std::string::npos);
   EXPECT_NE(text.find("d 1 2 1"), std::string::npos);
+}
+
+TEST(GraphIoTest, SubdueFormatRoundTrip) {
+  const LabeledGraph g = SampleGraph();
+  LabeledGraph back;
+  std::string error;
+  ASSERT_TRUE(ReadSubdueFormat(WriteSubdueFormat(g), &back, &error))
+      << error;
+  EXPECT_TRUE(g.StructurallyEqual(back));
+  // And the re-serialization is byte-identical.
+  EXPECT_EQ(WriteSubdueFormat(back), WriteSubdueFormat(g));
+}
+
+TEST(GraphIoTest, SubdueFormatRejectsBadIds) {
+  LabeledGraph g;
+  std::string error;
+  EXPECT_FALSE(ReadSubdueFormat("v 0 3\n", &g, &error));   // 0-based id
+  EXPECT_FALSE(ReadSubdueFormat("v 2 3\n", &g, &error));   // sparse id
+  EXPECT_FALSE(ReadSubdueFormat("v -1 3\n", &g, &error));  // negative id
+  EXPECT_FALSE(ReadSubdueFormat("v 1 3\nd 1 2 0\n", &g, &error));
+  EXPECT_FALSE(ReadSubdueFormat("v 1 3\nd 0 1 0\n", &g, &error));
+  EXPECT_FALSE(ReadSubdueFormat("v 1 3\nx 1 1 0\n", &g, &error));
+}
+
+TEST(GraphIoTest, SubdueFormatSkipsComments) {
+  LabeledGraph g;
+  std::string error;
+  ASSERT_TRUE(ReadSubdueFormat("% SUBDUE comment\nv 1 3\n# hash too\n",
+                               &g, &error))
+      << error;
+  EXPECT_EQ(g.num_vertices(), 1u);
 }
 
 TEST(GraphIoTest, FsgFormatEmitsTransactionHeaders) {

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "generators.h"
+#include "ml/arff.h"
+
+namespace tnmine::ml {
+namespace {
+
+TEST(ArffPropertyTest, SeededRounds) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(seed);
+    const auto failure = fuzz::ArffRound(rng);
+    ASSERT_FALSE(failure.has_value()) << "seed " << seed << ": " << *failure;
+  }
+}
+
+TEST(ArffPropertyTest, QuotedValuesPreserveWhitespaceAndEscapes) {
+  // Regression: SplitList used to trim whitespace inside quoted values,
+  // and a value ending in '\' broke the quote escaping.
+  AttributeTable table;
+  table.AddNominalAttribute("v", {" leading", "trailing ", "back\\slash",
+                                  "ends in \\", "quo'te", "com,ma"});
+  table.AddRow({0});
+  table.AddRow({1});
+  table.AddRow({2});
+  table.AddRow({3});
+  table.AddRow({4});
+  table.AddRow({5});
+  AttributeTable back;
+  ParseError err;
+  ASSERT_TRUE(ReadArff(WriteArff(table, "r"), &back, &err))
+      << err.ToString();
+  std::string why;
+  EXPECT_TRUE(fuzz::TablesEqual(table, back, &why)) << why;
+}
+
+TEST(ArffPropertyTest, NumericCellsRoundTripExactly) {
+  // to_chars emits the shortest representation that parses back to the
+  // same double, for every magnitude.
+  AttributeTable table;
+  table.AddNumericAttribute("x");
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) table.AddRow({fuzz::GenFiniteDouble(rng)});
+  table.AddRow({0.1});
+  table.AddRow({1.0 / 3.0});
+  table.AddRow({-0.0});
+  table.AddRow({1e-308});
+  table.AddRow({1.7976931348623157e308});
+  AttributeTable back;
+  ParseError err;
+  ASSERT_TRUE(ReadArff(WriteArff(table, "r"), &back, &err))
+      << err.ToString();
+  ASSERT_EQ(back.num_rows(), table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_EQ(table.value(r, 0), back.value(r, 0)) << "row " << r;
+  }
+}
+
+TEST(ArffPropertyTest, MutantsNeverCrash) {
+  Rng rng(31);
+  for (int i = 0; i < 300; ++i) {
+    const AttributeTable table = fuzz::GenTable(rng);
+    std::string text = WriteArff(table, "rel");
+    text = fuzz::MutateText(rng, std::move(text));
+    AttributeTable m;
+    ParseError err;
+    (void)ReadArff(text, &m, &err);  // accept or reject, never crash
+  }
+}
+
+}  // namespace
+}  // namespace tnmine::ml

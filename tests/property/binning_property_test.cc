@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/binning.h"
+#include "common/random.h"
+#include "common/statistics.h"
+#include "generators.h"
+
+namespace tnmine {
+namespace {
+
+TEST(BinningPropertyTest, SeededRounds) {
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    Rng rng(seed);
+    const auto failure = fuzz::BinningRound(rng);
+    ASSERT_FALSE(failure.has_value()) << "seed " << seed << ": " << *failure;
+  }
+}
+
+TEST(BinningPropertyTest, HistogramAndSummarizeAgreeOnCount) {
+  // Every in-range value — including ones exactly on the top edge — is
+  // counted by exactly one bucket.
+  Rng rng(17);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<double> values;
+    const std::size_t n = 1 + rng.NextBounded(50);
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(rng.NextDouble(-10.0, 10.0));
+    }
+    // Force edge collisions: duplicate the extremes a few times.
+    values.push_back(*std::min_element(values.begin(), values.end()));
+    values.push_back(*std::max_element(values.begin(), values.end()));
+    const SummaryStats stats = Summarize(values);
+    if (stats.min >= stats.max) continue;
+    std::vector<double> edges = {stats.min,
+                                 (stats.min + stats.max) / 2.0,
+                                 stats.max};
+    if (!(edges[0] < edges[1] && edges[1] < edges[2])) continue;
+    const auto buckets = Histogram(values, edges);
+    std::size_t total = 0;
+    for (const auto& b : buckets) total += b.count;
+    EXPECT_EQ(total, stats.count) << "round " << round;
+  }
+}
+
+TEST(BinningPropertyTest, DiscretizedLabelsCoverEveryBin) {
+  Rng rng(29);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<double> values;
+    const std::size_t n = 2 + rng.NextBounded(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(rng.NextDouble(-100.0, 100.0));
+    }
+    const int bins = 1 + static_cast<int>(rng.NextBounded(6));
+    const Discretizer disc = Discretizer::EqualWidth(values, bins);
+    std::set<std::string> labels;
+    for (int b = 0; b < disc.num_bins(); ++b) {
+      labels.insert(disc.IntervalLabel(b));
+    }
+    // Interval labels are distinct per bin.
+    EXPECT_EQ(labels.size(), static_cast<std::size_t>(disc.num_bins()));
+    // The maximum value must land in the last bin, not fall off the end.
+    const double maxv = *std::max_element(values.begin(), values.end());
+    EXPECT_LT(disc.Bin(maxv), disc.num_bins());
+  }
+}
+
+}  // namespace
+}  // namespace tnmine

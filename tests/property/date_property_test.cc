@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "common/random.h"
+#include "generators.h"
+
+namespace tnmine {
+namespace {
+
+TEST(DatePropertyTest, SeededRounds) {
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    Rng rng(seed);
+    const auto failure = fuzz::DateRound(rng);
+    ASSERT_FALSE(failure.has_value()) << "seed " << seed << ": " << *failure;
+  }
+}
+
+TEST(DatePropertyTest, RandomStringsNeverCrashTheParser) {
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    std::string s;
+    const std::size_t len = rng.NextBounded(16);
+    for (std::size_t j = 0; j < len; ++j) s.push_back(fuzz::NastyChar(rng));
+    std::int64_t dn = 0;
+    (void)ParseDayNumber(s, &dn);  // accept or reject, never crash
+  }
+}
+
+TEST(DatePropertyTest, ParseIsInverseOfFormatEverywhere) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t dn = rng.NextInt(-3000000, 3000000);
+    std::int64_t back = 0;
+    ASSERT_TRUE(ParseDayNumber(FormatDayNumber(dn), &back));
+    EXPECT_EQ(back, dn);
+  }
+}
+
+}  // namespace
+}  // namespace tnmine

@@ -1,0 +1,473 @@
+#ifndef TNMINE_TESTS_PROPERTY_GENERATORS_H_
+#define TNMINE_TESTS_PROPERTY_GENERATORS_H_
+
+/// Structure-aware input generators and per-format fuzz rounds shared by
+/// the deterministic property tests (tests/property/) and the standalone
+/// fuzzer (tools/fuzz_io).
+///
+/// Every round follows the same contract:
+///   1. Generate a random in-memory structure from a seeded Rng.
+///   2. Write it, read it back, and require exact identity (Write -> Read
+///      == id, and for canonical text formats Write(Read(x)) == x).
+///   3. Mutate the serialized bytes and require the reader to either
+///      succeed or fail cleanly — never crash, hang, or mis-reserve.
+///
+/// Rounds return std::nullopt on success and a human-readable failure
+/// description otherwise, so the property tests and the fuzz tool can
+/// share them verbatim. All randomness flows from the caller's Rng, so a
+/// failure reproduces from its seed.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/binning.h"
+#include "common/csv.h"
+#include "common/date.h"
+#include "common/random.h"
+#include "common/statistics.h"
+#include "graph/graph_io.h"
+#include "graph/labeled_graph.h"
+#include "ml/arff.h"
+#include "ml/attribute_table.h"
+
+namespace tnmine::fuzz {
+
+// ---------------------------------------------------------------------------
+// Generators
+
+/// Characters deliberately chosen to stress quoting and escaping.
+inline char NastyChar(Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "abcXYZ019 \t,\"'\n\r%{}@-+.eE\\#;:";
+  const std::size_t n = sizeof(kAlphabet) - 1;  // drop the NUL
+  return kAlphabet[rng.NextBounded(n)];
+}
+
+/// Arbitrary CSV field content: commas, quotes, CRs, LFs, NULs.
+inline std::string GenCsvField(Rng& rng) {
+  const std::size_t len = rng.NextBounded(12);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (rng.NextBool(0.05)) {
+      out.push_back('\0');  // embedded NUL must survive quoting
+    } else {
+      out.push_back(NastyChar(rng));
+    }
+  }
+  return out;
+}
+
+inline std::vector<std::vector<std::string>> GenCsvRecords(Rng& rng) {
+  const std::size_t nrecords = 1 + rng.NextBounded(8);
+  std::vector<std::vector<std::string>> records;
+  records.reserve(nrecords);
+  for (std::size_t r = 0; r < nrecords; ++r) {
+    const std::size_t nfields = 1 + rng.NextBounded(5);
+    std::vector<std::string> rec;
+    rec.reserve(nfields);
+    for (std::size_t f = 0; f < nfields; ++f) rec.push_back(GenCsvField(rng));
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+inline graph::LabeledGraph GenGraph(Rng& rng, std::size_t max_vertices = 12,
+                                    std::size_t max_edges = 24) {
+  graph::LabeledGraph g;
+  const std::size_t nv = rng.NextBounded(max_vertices + 1);
+  for (std::size_t v = 0; v < nv; ++v) {
+    g.AddVertex(static_cast<graph::Label>(rng.NextInt(-5, 100)));
+  }
+  if (nv == 0) return g;
+  const std::size_t ne = rng.NextBounded(max_edges + 1);
+  for (std::size_t e = 0; e < ne; ++e) {
+    const auto src = static_cast<graph::VertexId>(rng.NextBounded(nv));
+    const auto dst = static_cast<graph::VertexId>(rng.NextBounded(nv));
+    g.AddEdge(src, dst, static_cast<graph::Label>(rng.NextInt(-5, 100)));
+  }
+  return g;
+}
+
+inline std::vector<graph::LabeledGraph> GenTransactions(Rng& rng) {
+  const std::size_t n = rng.NextBounded(5);
+  std::vector<graph::LabeledGraph> txns;
+  txns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) txns.push_back(GenGraph(rng, 6, 10));
+  return txns;
+}
+
+/// A name or nominal value that the ARFF subset can round-trip: any of the
+/// nasty characters except newlines (the format has no newline escape).
+inline std::string GenArffString(Rng& rng) {
+  const std::size_t len = rng.NextBounded(9);
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    char c = NastyChar(rng);
+    while (c == '\n' || c == '\r') c = NastyChar(rng);
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// A finite double spanning many magnitudes (to_chars/from_chars must
+/// round-trip all of them exactly).
+inline double GenFiniteDouble(Rng& rng) {
+  switch (rng.NextBounded(5)) {
+    case 0:
+      return static_cast<double>(rng.NextInt(-1000000, 1000000));
+    case 1:
+      return rng.NextDouble(-1.0, 1.0);
+    case 2:
+      return rng.NextDouble() * 1e18;
+    case 3:
+      return rng.NextDouble() * 1e-18;
+    default: {
+      // Fully random mantissa bits at a random scale.
+      const double m = rng.NextDouble(-1.0, 1.0);
+      const int exp = static_cast<int>(rng.NextInt(-200, 200));
+      return std::ldexp(m, exp);
+    }
+  }
+}
+
+inline ml::AttributeTable GenTable(Rng& rng) {
+  ml::AttributeTable table;
+  const int nattrs = 1 + static_cast<int>(rng.NextBounded(5));
+  std::vector<std::size_t> nominal_sizes;
+  for (int a = 0; a < nattrs; ++a) {
+    // Unique-ify names/values by suffixing the index: ARFF identifies
+    // nominal cells by string value, so duplicates cannot round-trip.
+    const std::string name =
+        GenArffString(rng) + "#" + std::to_string(a);
+    if (rng.NextBool(0.5)) {
+      table.AddNumericAttribute(name);
+      nominal_sizes.push_back(0);
+    } else {
+      const std::size_t nvalues = 1 + rng.NextBounded(4);
+      std::vector<std::string> values;
+      for (std::size_t v = 0; v < nvalues; ++v) {
+        values.push_back(GenArffString(rng) + "#" + std::to_string(v));
+      }
+      nominal_sizes.push_back(values.size());
+      table.AddNominalAttribute(name, std::move(values));
+    }
+  }
+  const std::size_t nrows = rng.NextBounded(12);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    std::vector<double> row;
+    row.reserve(static_cast<std::size_t>(nattrs));
+    for (int a = 0; a < nattrs; ++a) {
+      if (nominal_sizes[static_cast<std::size_t>(a)] == 0) {
+        row.push_back(GenFiniteDouble(rng));
+      } else {
+        row.push_back(static_cast<double>(
+            rng.NextBounded(nominal_sizes[static_cast<std::size_t>(a)])));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation
+
+/// Applies 1-4 random byte-level mutations: flips, inserts, deletes,
+/// chunk duplication, truncation, and number-warping (turning digits into
+/// '-' or appending digits, to hit sign/overflow paths).
+inline std::string MutateText(Rng& rng, std::string text) {
+  const int ops = 1 + static_cast<int>(rng.NextBounded(4));
+  for (int op = 0; op < ops; ++op) {
+    if (text.empty()) {
+      text.push_back(NastyChar(rng));
+      continue;
+    }
+    const std::size_t pos = rng.NextBounded(text.size());
+    switch (rng.NextBounded(7)) {
+      case 0:  // flip a byte
+        text[pos] = NastyChar(rng);
+        break;
+      case 1:  // insert a byte
+        text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos),
+                    NastyChar(rng));
+        break;
+      case 2:  // delete a byte
+        text.erase(pos, 1);
+        break;
+      case 3: {  // duplicate a chunk
+        const std::size_t len =
+            std::min<std::size_t>(text.size() - pos, rng.NextBounded(16) + 1);
+        text.insert(pos, text.substr(pos, len));
+        break;
+      }
+      case 4:  // truncate
+        text.resize(pos);
+        break;
+      case 5:  // negate a number: prefix a digit with '-'
+        text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos), '-');
+        break;
+      default: {  // append digits to blow up a number
+        const std::size_t len = 1 + rng.NextBounded(24);
+        text.insert(pos, std::string(len, '9'));
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+// ---------------------------------------------------------------------------
+// Equality helpers
+
+inline bool TablesEqual(const ml::AttributeTable& a,
+                        const ml::AttributeTable& b, std::string* why) {
+  if (a.num_attributes() != b.num_attributes()) {
+    *why = "attribute count mismatch";
+    return false;
+  }
+  for (int i = 0; i < a.num_attributes(); ++i) {
+    const ml::Attribute& aa = a.attribute(i);
+    const ml::Attribute& bb = b.attribute(i);
+    if (aa.name != bb.name) {
+      *why = "attribute " + std::to_string(i) + " name mismatch: '" +
+             aa.name + "' vs '" + bb.name + "'";
+      return false;
+    }
+    if (aa.kind != bb.kind) {
+      *why = "attribute " + std::to_string(i) + " kind mismatch";
+      return false;
+    }
+    if (aa.values != bb.values) {
+      *why = "attribute " + std::to_string(i) + " nominal domain mismatch";
+      return false;
+    }
+  }
+  if (a.num_rows() != b.num_rows()) {
+    *why = "row count mismatch";
+    return false;
+  }
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_attributes(); ++c) {
+      if (a.value(r, c) != b.value(r, c)) {
+        *why = "cell (" + std::to_string(r) + ", " + std::to_string(c) +
+               ") mismatch";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Per-format fuzz rounds
+
+/// CSV: write records to `temp_path`, read them back, require field-exact
+/// identity; then write mutated bytes and require a clean read-or-reject.
+inline std::optional<std::string> CsvRound(Rng& rng,
+                                           const std::string& temp_path) {
+  const auto records = GenCsvRecords(rng);
+  {
+    CsvWriter writer(temp_path);
+    if (!writer.ok()) return "cannot open temp file " + temp_path;
+    for (const auto& r : records) writer.WriteRecord(r);
+    if (!writer.ok()) return "write failed: " + writer.error();
+  }
+  {
+    CsvReader reader(temp_path);
+    if (!reader.ok()) return "cannot reopen temp file";
+    std::vector<std::string> fields;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (!reader.ReadRecord(&fields)) {
+        return "record " + std::to_string(i) +
+               " failed to read back: " + reader.error();
+      }
+      if (fields != records[i]) {
+        return "record " + std::to_string(i) + " round-trip mismatch";
+      }
+    }
+    if (reader.ReadRecord(&fields)) return "phantom extra record";
+    if (!reader.ok()) return "clean EOF expected: " + reader.error();
+  }
+  // Mutation: the reader must consume arbitrary bytes without crashing.
+  {
+    std::string text;
+    if (!graph::ReadTextFile(temp_path, &text)) return "reread failed";
+    text = MutateText(rng, std::move(text));
+    if (!graph::WriteTextFile(temp_path, text)) return "rewrite failed";
+    CsvReader reader(temp_path);
+    std::vector<std::string> fields;
+    std::size_t guard = text.size() + 16;
+    while (reader.ReadRecord(&fields)) {
+      if (--guard == 0) return "reader failed to terminate";
+    }
+  }
+  return std::nullopt;
+}
+
+inline std::optional<std::string> NativeRound(Rng& rng) {
+  const graph::LabeledGraph g = GenGraph(rng);
+  const std::string text = graph::WriteNative(g);
+  graph::LabeledGraph back;
+  ParseError err;
+  if (!graph::ReadNative(text, &back, &err)) {
+    return "valid native output rejected: " + err.ToString();
+  }
+  if (!g.StructurallyEqual(back)) return "native round-trip mismatch";
+  if (graph::WriteNative(back) != text) return "native reserialization diff";
+  const std::string mutated = MutateText(rng, text);
+  graph::LabeledGraph m;
+  if (graph::ReadNative(mutated, &m, &err)) {
+    // Accepted mutants must still be coherent graphs.
+    const std::string rewritten = graph::WriteNative(m);
+    graph::LabeledGraph again;
+    if (!graph::ReadNative(rewritten, &again, &err)) {
+      return "accepted mutant does not reserialize: " + err.ToString();
+    }
+    if (!m.StructurallyEqual(again)) return "mutant reserialization drift";
+  }
+  return std::nullopt;
+}
+
+inline std::optional<std::string> SubdueRound(Rng& rng) {
+  const graph::LabeledGraph g = GenGraph(rng);
+  const std::string text = graph::WriteSubdueFormat(g);
+  graph::LabeledGraph back;
+  ParseError err;
+  if (!graph::ReadSubdueFormat(text, &back, &err)) {
+    return "valid SUBDUE output rejected: " + err.ToString();
+  }
+  if (!g.StructurallyEqual(back)) return "SUBDUE round-trip mismatch";
+  if (graph::WriteSubdueFormat(back) != text) {
+    return "SUBDUE reserialization diff";
+  }
+  const std::string mutated = MutateText(rng, text);
+  graph::LabeledGraph m;
+  (void)graph::ReadSubdueFormat(mutated, &m, &err);  // must not crash
+  return std::nullopt;
+}
+
+inline std::optional<std::string> FsgRound(Rng& rng) {
+  const std::vector<graph::LabeledGraph> txns = GenTransactions(rng);
+  const std::string text = graph::WriteFsgFormat(txns);
+  std::vector<graph::LabeledGraph> back;
+  ParseError err;
+  if (!graph::ReadFsgFormat(text, &back, &err)) {
+    return "valid FSG output rejected: " + err.ToString();
+  }
+  if (back.size() != txns.size()) return "FSG transaction count mismatch";
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    if (!txns[i].StructurallyEqual(back[i])) {
+      return "FSG round-trip mismatch at transaction " + std::to_string(i);
+    }
+  }
+  if (graph::WriteFsgFormat(back) != text) return "FSG reserialization diff";
+  const std::string mutated = MutateText(rng, text);
+  std::vector<graph::LabeledGraph> m;
+  (void)graph::ReadFsgFormat(mutated, &m, &err);  // must not crash
+  return std::nullopt;
+}
+
+inline std::optional<std::string> ArffRound(Rng& rng) {
+  const ml::AttributeTable table = GenTable(rng);
+  const std::string relation = GenArffString(rng);
+  const std::string text = ml::WriteArff(table, relation);
+  ml::AttributeTable back;
+  ParseError err;
+  if (!ml::ReadArff(text, &back, &err)) {
+    return "valid ARFF output rejected: " + err.ToString() + "\n" + text;
+  }
+  std::string why;
+  if (!TablesEqual(table, back, &why)) {
+    return "ARFF round-trip mismatch: " + why + "\n" + text;
+  }
+  if (ml::WriteArff(back, relation) != text) return "ARFF reserialization diff";
+  const std::string mutated = MutateText(rng, text);
+  ml::AttributeTable m;
+  (void)ml::ReadArff(mutated, &m, &err);  // must not crash
+  return std::nullopt;
+}
+
+inline std::optional<std::string> DateRound(Rng& rng) {
+  const std::int64_t dn = rng.NextInt(-3000000, 3000000);
+  const std::string text = FormatDayNumber(dn);
+  std::int64_t back = 0;
+  if (!ParseDayNumber(text, &back)) {
+    return "formatted date rejected: " + text;
+  }
+  if (back != dn) return "date round-trip mismatch: " + text;
+  const std::string mutated = MutateText(rng, text);
+  std::int64_t m = 0;
+  if (ParseDayNumber(mutated, &m)) {
+    // Whatever the strict parser accepts must round-trip through the
+    // canonical formatter.
+    std::int64_t m2 = 0;
+    const std::string canonical = FormatDayNumber(m);
+    if (!ParseDayNumber(canonical, &m2) || m2 != m) {
+      return "accepted mutant '" + mutated + "' does not round-trip via '" +
+             canonical + "'";
+    }
+  }
+  return std::nullopt;
+}
+
+inline std::optional<std::string> BinningRound(Rng& rng) {
+  const std::size_t n = 1 + rng.NextBounded(40);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(rng.NextBool(0.3)
+                         ? static_cast<double>(rng.NextInt(-5, 5))
+                         : rng.NextDouble(-100.0, 100.0));
+  }
+  const int bins = 1 + static_cast<int>(rng.NextBounded(8));
+  const Discretizer disc = rng.NextBool()
+                               ? Discretizer::EqualWidth(values, bins)
+                               : Discretizer::EqualFrequency(values, bins);
+  const auto& cuts = disc.cut_points();
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    if (!(cuts[i - 1] < cuts[i])) return "cut points not ascending";
+  }
+  if (disc.num_bins() > bins) return "more bins than requested";
+  int prev_bin = -1;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double v : sorted) {
+    const int b = disc.Bin(v);
+    if (b < 0 || b >= disc.num_bins()) return "bin out of range";
+    if (b < prev_bin) return "Bin() is not monotone";
+    prev_bin = b;
+    // The bin's interval must actually contain v.
+    if (b > 0 && !(v > cuts[static_cast<std::size_t>(b) - 1])) {
+      return "value below its bin's open lower bound";
+    }
+    if (b < static_cast<int>(cuts.size()) &&
+        !(v <= cuts[static_cast<std::size_t>(b)])) {
+      return "value above its bin's closed upper bound";
+    }
+    (void)disc.IntervalLabel(b);  // must not crash
+  }
+  // Histogram over the full value range accounts for every value once.
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  if (*min_it < *max_it) {
+    const auto buckets = Histogram(values, {*min_it, *max_it});
+    std::size_t total = 0;
+    for (const auto& b : buckets) total += b.count;
+    if (total != values.size()) {
+      return "histogram dropped " + std::to_string(values.size() - total) +
+             " in-range values";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tnmine::fuzz
+
+#endif  // TNMINE_TESTS_PROPERTY_GENERATORS_H_

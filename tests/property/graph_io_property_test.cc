@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "generators.h"
+#include "graph/graph_io.h"
+
+namespace tnmine::graph {
+namespace {
+
+TEST(GraphIoPropertyTest, NativeSeededRounds) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(seed);
+    const auto failure = fuzz::NativeRound(rng);
+    ASSERT_FALSE(failure.has_value()) << "seed " << seed << ": " << *failure;
+  }
+}
+
+TEST(GraphIoPropertyTest, SubdueSeededRounds) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(seed ^ 0x5151'5151ULL);
+    const auto failure = fuzz::SubdueRound(rng);
+    ASSERT_FALSE(failure.has_value()) << "seed " << seed << ": " << *failure;
+  }
+}
+
+TEST(GraphIoPropertyTest, FsgSeededRounds) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(seed ^ 0xF5F5'F5F5ULL);
+    const auto failure = fuzz::FsgRound(rng);
+    ASSERT_FALSE(failure.has_value()) << "seed " << seed << ": " << *failure;
+  }
+}
+
+TEST(GraphIoPropertyTest, HostileHeadersNeverReserveHugeMemory) {
+  // Structure-aware hostile inputs: headers promising astronomically more
+  // elements than the body could contain must fail fast and cleanly.
+  const char* hostile[] = {
+      "g -1 0\n",
+      "g 0 -1\n",
+      "g 18446744073709551615 0\n",
+      "g 4294967295 4294967295\n",
+      "g 99999999999999999999999999 1\n",
+      "g 1 0\nv 0 1\ng 1 0\n",
+      "g 1 1\nv -0 1\ne 0 0 1\n",  // "-0" is rejected (sign not allowed)
+  };
+  for (const char* text : hostile) {
+    LabeledGraph g;
+    ParseError err;
+    EXPECT_FALSE(ReadNative(text, &g, &err)) << text;
+    EXPECT_FALSE(err.message.empty()) << text;
+  }
+}
+
+TEST(GraphIoPropertyTest, EmptyGraphRoundTripsEverywhere) {
+  const LabeledGraph empty;
+  LabeledGraph back;
+  ParseError err;
+  ASSERT_TRUE(ReadNative(WriteNative(empty), &back, &err)) << err.ToString();
+  EXPECT_EQ(back.num_vertices(), 0u);
+  ASSERT_TRUE(ReadSubdueFormat(WriteSubdueFormat(empty), &back, &err));
+  EXPECT_EQ(back.num_vertices(), 0u);
+  std::vector<LabeledGraph> txns;
+  ASSERT_TRUE(ReadFsgFormat(WriteFsgFormat({}), &txns, &err));
+  EXPECT_TRUE(txns.empty());
+}
+
+}  // namespace
+}  // namespace tnmine::graph

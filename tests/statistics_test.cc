@@ -65,9 +65,33 @@ TEST(HistogramTest, CountsIntoBuckets) {
 }
 
 TEST(HistogramTest, IgnoresOutOfRange) {
+  // 10.0 == edges.back() is IN range (final bucket is closed); only the
+  // values strictly outside [1, 10] are dropped.
   const auto buckets = Histogram({-5.0, 0.5, 10.0, 20.0}, {1.0, 10.0});
   ASSERT_EQ(buckets.size(), 1u);
-  EXPECT_EQ(buckets[0].count, 0u);
+  EXPECT_EQ(buckets[0].count, 1u);
+}
+
+TEST(HistogramTest, FinalBucketIsClosed) {
+  // Regression: values exactly equal to edges.back() used to be silently
+  // dropped. The final bucket is [lo, hi] (Weka convention).
+  const std::vector<double> values = {1.0, 5.0, 10.0, 10.0};
+  const auto buckets = Histogram(values, {1.0, 5.0, 10.0});
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].count, 1u);  // [1, 5): 1.0
+  EXPECT_EQ(buckets[1].count, 3u);  // [5, 10]: 5.0 and both 10.0s
+}
+
+TEST(HistogramTest, AccountsForEveryInRangeValue) {
+  const std::vector<double> edges = {0.0, 2.5, 5.0, 7.5, 10.0};
+  std::vector<double> values;
+  for (int i = 0; i <= 100; ++i) values.push_back(i * 0.1);  // [0, 10]
+  const auto buckets = Histogram(values, edges);
+  std::size_t total = 0;
+  for (const auto& b : buckets) total += b.count;
+  EXPECT_EQ(total, values.size());  // nothing dropped, nothing doubled
+  const SummaryStats stats = Summarize(values);
+  EXPECT_EQ(stats.count, values.size());
 }
 
 TEST(PearsonTest, PerfectCorrelation) {
