@@ -15,6 +15,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_ablation_binning");
   bench::Section("A3: frequent patterns vs. edge-label bin count "
                  "(OD_GW, breadth-first k=800, support 240)");
   const auto& ds = bench::PaperDataset();

@@ -18,6 +18,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_ablation_overlap");
   bench::Section("A2: SUBDUE with and without instance overlap");
   const data::OdGraph od = data::BuildOdGw(bench::PaperDataset());
   const graph::LabeledGraph g = bench::RegionSubgraph(od.graph, 100, 100);

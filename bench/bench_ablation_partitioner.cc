@@ -16,6 +16,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_ablation_partitioner");
   bench::Section("A4: BFS/DFS SplitGraph vs. multilevel min-cut, planted "
                  "recall");
   synth::PlantedOptions planted;

@@ -37,6 +37,7 @@ void PrintMatching(const ml::AttributeTable& table,
 }  // namespace
 
 int main() {
+  bench::RunReportScope report("bench_assoc_rules");
   const auto& ds = bench::PaperDataset();
 
   bench::Section(

@@ -23,6 +23,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_classification");
   const auto& ds = bench::PaperDataset();
   const ml::AttributeTable raw = ml::AttributeTable::FromTransactions(ds);
 

@@ -14,6 +14,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_episode_mining");
   bench::Section("X1: dynamic-graph episode mining (Section 9 extension)");
   const auto& ds = bench::PaperDataset();
   core::EpisodeOptions options;

@@ -23,6 +23,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_fig1_subdue_mdl");
   bench::Section("E2 / Figure 1: SUBDUE (MDL) on an OD_GW subgraph");
   const data::OdGraph od = data::BuildOdGw(bench::PaperDataset());
   const graph::LabeledGraph g = bench::RegionSubgraph(od.graph, 100, 100);

@@ -59,6 +59,7 @@ void ShowTop(const core::StructuralMiningResult& result,
 }  // namespace
 
 int main() {
+  bench::RunReportScope report("bench_fig2_fig3_fsg_structural");
   const auto& ds = bench::PaperDataset();
 
   bench::Section(

@@ -20,6 +20,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_fig4_temporal_fsg");
   bench::Section("E10 / Table 3: days with < 200 distinct vertex labels");
   core::TemporalMiningOptions options;
   options.partition.max_distinct_vertex_labels = 200;

@@ -19,6 +19,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_fig5_fig6_clustering");
   const auto& ds = bench::PaperDataset();
   const ml::AttributeTable table = ml::AttributeTable::FromTransactions(ds);
   std::vector<int> numeric;

@@ -18,6 +18,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_footnote3_labels");
   bench::Section(
       "E11 / footnote 3: FSG candidate growth vs. vertex-label "
       "cardinality (KK-style generator: |D|=200, |T|=20, |I|=5)");

@@ -87,6 +87,7 @@ void Sweep(const char* name, bench::JsonRowWriter& json, const Run& run) {
 }  // namespace
 
 int main() {
+  bench::RunReportScope report("bench_parallel_scaling");
   bench::Section("Parallel scaling: gSpan / FSG / partition sweep");
 
   // One fixed KK-style transaction set shared by the two miner sweeps,

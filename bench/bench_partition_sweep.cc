@@ -19,6 +19,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_partition_sweep");
   bench::Section("E7: frequent patterns vs. partition count (k)");
   const data::OdGraph od_th = data::BuildOdTh(bench::PaperDataset());
   const data::OdGraph od_td = data::BuildOdTd(bench::PaperDataset());

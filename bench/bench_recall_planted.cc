@@ -36,6 +36,7 @@ double MeasureRecall(const synth::PlantedResult& data,
 }  // namespace
 
 int main() {
+  bench::RunReportScope report("bench_recall_planted");
   bench::Section("E8 / footnote 2: planted-pattern recall");
   std::printf("%-12s %-14s %-8s %-8s %-8s\n", "graph", "strategy", "m=1",
               "m=3", "m=5");

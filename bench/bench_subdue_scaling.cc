@@ -69,4 +69,11 @@ BENCHMARK(BM_SubdueSize)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tnmine::bench::RunReportScope report("bench_subdue_scaling");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -46,6 +46,7 @@ void Report(const subdue::SubdueResult& result, double seconds,
 }  // namespace
 
 int main() {
+  bench::RunReportScope report("bench_subdue_size");
   const data::OdGraph od = data::BuildOdTd(bench::PaperDataset());
 
   bench::Section(

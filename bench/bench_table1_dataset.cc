@@ -17,6 +17,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_table1_dataset");
   bench::Section("E1 / Table 1 + Section 3: dataset description");
   const data::TransactionDataset& ds = bench::PaperDataset();
   const data::DatasetStats stats = ds.ComputeStats();

@@ -19,6 +19,7 @@
 using namespace tnmine;
 
 int main() {
+  bench::RunReportScope report("bench_table2_table3_temporal");
   const auto& ds = bench::PaperDataset();
 
   bench::Section("E9 / Table 2: per-day graph transactions (before "

@@ -2,10 +2,13 @@
 #define TNMINE_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "data/dataset.h"
 #include "data/generator.h"
 
@@ -14,7 +17,8 @@ namespace tnmine::bench {
 /// Prints a boxed section header so every experiment binary's output reads
 /// the same way.
 inline void Section(const std::string& title) {
-  std::printf("\n============================================================\n");
+  std::printf(
+      "\n============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("============================================================\n");
 }
@@ -121,6 +125,50 @@ class JsonRowWriter {
   std::FILE* out_ = nullptr;
   std::size_t rows_ = 0;
   std::size_t fields_ = 0;
+};
+
+/// Emits this binary's RunReport (counters + span aggregates + wall time;
+/// see telemetry::RenderRunReport) when it goes out of scope — declare one
+/// at the top of main():
+///
+///   int main() {
+///     tnmine::bench::RunReportScope report("bench_gspan_scaling");
+///     ...
+///   }
+///
+/// The report lands in RUNREPORT_<name>.json in the working directory;
+/// TNMINE_RUNREPORT_OUT overrides the path (CI points it at the artifact
+/// directory). Extra workload knobs can be attached via AddField().
+class RunReportScope {
+ public:
+  explicit RunReportScope(std::string name)
+      : start_(std::chrono::steady_clock::now()) {
+    options_.binary = std::move(name);
+  }
+  ~RunReportScope() {
+    options_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const char* env = std::getenv("TNMINE_RUNREPORT_OUT");
+    const std::string path = env != nullptr && env[0] != '\0'
+                                 ? std::string(env)
+                                 : "RUNREPORT_" + options_.binary + ".json";
+    if (!telemetry::WriteRunReport(path, options_)) {
+      std::fprintf(stderr, "warning: could not write RunReport to %s\n",
+                   path.c_str());
+    }
+  }
+  RunReportScope(const RunReportScope&) = delete;
+  RunReportScope& operator=(const RunReportScope&) = delete;
+
+  void AddField(const std::string& key, const std::string& value) {
+    options_.extra[key] = value;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  telemetry::RunReportOptions options_;
 };
 
 /// The calibrated paper-scale dataset every experiment starts from. Built

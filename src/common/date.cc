@@ -14,10 +14,10 @@ std::int64_t DayNumberFromCivil(const CivilDate& date) {
   const int d = date.day;
   y -= m <= 2;
   const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
-  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);  // [0, 399]
   const unsigned doy =
       static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
-  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
   return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
 }
 
@@ -25,14 +25,14 @@ CivilDate CivilFromDayNumber(std::int64_t day_number) {
   // Howard Hinnant's civil_from_days.
   std::int64_t z = day_number + 719468;
   const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
-  const unsigned doe = static_cast<unsigned>(z - era * 146097);         // [0, 146096]
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
   const unsigned yoe =
-      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;            // [0, 399]
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
   const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
-  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0, 365]
-  const unsigned mp = (5 * doy + 2) / 153;                              // [0, 11]
-  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                      // [1, 31]
-  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));    // [1, 12]
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;  // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;  // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));  // [1, 12]
   CivilDate out;
   out.year = static_cast<int>(y + (m <= 2));
   out.month = static_cast<int>(m);

@@ -1,0 +1,252 @@
+#include "common/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace tnmine::telemetry {
+
+std::size_t ThisThreadShard() {
+  static std::atomic<std::size_t> next_shard{0};
+  thread_local const std::size_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+std::uint64_t LatencyHistogram::Count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<HistogramBucket> LatencyHistogram::Snapshot() const {
+  std::vector<HistogramBucket> out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t count = buckets_[i].load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    HistogramBucket bucket;
+    bucket.lo = std::ldexp(1.0, static_cast<int>(i)) * 1e-9;
+    bucket.hi = std::ldexp(1.0, static_cast<int>(i) + 1) * 1e-9;
+    bucket.count = count;
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  // Intentionally leaked: instrumentation in static destructors (worker
+  // threads, cache teardown) must still find a live registry.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+SpanStat& Registry::GetSpanStat(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    it = spans_.emplace(std::string(name), std::make_unique<SpanStat>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.count = histogram->Count();
+    row.total_nanos = histogram->TotalNanos();
+    row.buckets = histogram->Snapshot();
+    snap.histograms.emplace(name, std::move(row));
+  }
+  for (const auto& [name, span] : spans_) {
+    MetricsSnapshot::SpanRow row;
+    row.count = span->Count();
+    row.total_nanos = span->TotalNanos();
+    snap.spans.emplace(name, row);
+  }
+  return snap;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+  for (const auto& [name, span] : spans_) span->Reset();
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+void AppendEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string GitSha() {
+  if (const char* sha = std::getenv("TNMINE_GIT_SHA");
+      sha != nullptr && *sha != '\0') {
+    return sha;
+  }
+  if (const char* sha = std::getenv("GITHUB_SHA");
+      sha != nullptr && *sha != '\0') {
+    return sha;
+  }
+#if defined(TNMINE_BUILD_GIT_SHA)
+  return TNMINE_BUILD_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string RenderRunReport(const RunReportOptions& options) {
+  const MetricsSnapshot snap = Registry::Global().Snapshot();
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"report_version\": 1,\n  \"binary\": ";
+  AppendEscaped(&out, options.binary);
+  out += ",\n  \"git_sha\": ";
+  AppendEscaped(&out, GitSha());
+  out += ",\n  \"hardware_concurrency\": ";
+  out += std::to_string(
+      static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  out += ",\n  \"telemetry_enabled\": ";
+  out += TNMINE_TELEMETRY_ENABLED ? "true" : "false";
+  out += ",\n  \"wall_seconds\": ";
+  AppendDouble(&out, options.wall_seconds);
+  for (const auto& [key, value] : options.extra) {
+    out += ",\n  ";
+    AppendEscaped(&out, key);
+    out += ": ";
+    AppendEscaped(&out, value);
+  }
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    out += ": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n  \"gauges\": {" : "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    out += ": ";
+    AppendDouble(&out, value);
+  }
+  out += first ? "},\n  \"histograms\": {" : "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, row] : snap.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    out += ": {\"count\": ";
+    out += std::to_string(row.count);
+    out += ", \"total_seconds\": ";
+    AppendDouble(&out, static_cast<double>(row.total_nanos) * 1e-9);
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"lo\": ";
+      AppendDouble(&out, row.buckets[i].lo);
+      out += ", \"hi\": ";
+      AppendDouble(&out, row.buckets[i].hi);
+      out += ", \"count\": ";
+      out += std::to_string(row.buckets[i].count);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += first ? "},\n  \"spans\": {" : "\n  },\n  \"spans\": {";
+  first = true;
+  for (const auto& [name, row] : snap.spans) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    out += ": {\"count\": ";
+    out += std::to_string(row.count);
+    out += ", \"total_seconds\": ";
+    AppendDouble(&out, static_cast<double>(row.total_nanos) * 1e-9);
+    out += "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+bool WriteRunReport(const std::string& path,
+                    const RunReportOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string report = RenderRunReport(options);
+  const bool ok =
+      std::fwrite(report.data(), 1, report.size(), f) == report.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace tnmine::telemetry

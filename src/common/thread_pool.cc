@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace tnmine::common {
 
@@ -75,8 +77,19 @@ void ThreadPool::WorkerLoop() {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
+#if TNMINE_TELEMETRY_ENABLED
+      const auto wait_start = std::chrono::steady_clock::now();
+#endif
       work_available_.wait(
           lock, [&] { return shutting_down_ || !queue_.empty(); });
+#if TNMINE_TELEMETRY_ENABLED
+      TNMINE_HISTOGRAM_NANOS(
+          "threadpool/idle_wait_nanos",
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - wait_start)
+                  .count()));
+#endif
       if (shutting_down_) return;
       // Front-most job that still wants lanes; claim one under the lock.
       job = queue_.front();
@@ -121,13 +134,16 @@ void ThreadPool::WorkOn(Job& job) {
 void ThreadPool::Run(std::size_t n, std::size_t max_threads,
                      const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  TNMINE_COUNTER_ADD("threadpool/items_run", n);
   const std::size_t lanes =
       std::min({max_threads, n, num_threads()});
   if (lanes <= 1 || tls_in_pool_lane) {
     // Inline path: sequential semantics, exceptions propagate naturally.
+    TNMINE_COUNTER_ADD("threadpool/inline_runs", 1);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  TNMINE_COUNTER_ADD("threadpool/jobs_submitted", 1);
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;

@@ -1,0 +1,164 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace tnmine::trace {
+
+namespace {
+
+/// Collected events of the current/last session. One global buffer under
+/// one mutex is enough: spans are placed at coarse granularity (per run,
+/// per level, per seed subtree), so contention here is negligible next to
+/// the work a span brackets.
+struct EventStore {
+  std::mutex mu;
+  std::vector<SpanEvent> events;
+  std::uint64_t base_nanos = 0;  ///< session start, absolute clock
+  std::uint64_t dropped = 0;
+};
+
+EventStore& Store() {
+  static EventStore* store = new EventStore();
+  return *store;
+}
+
+/// Hard cap so a forgotten session cannot grow without bound.
+constexpr std::size_t kMaxEvents = 1 << 20;
+
+std::atomic<Session::ClockFn> g_clock{nullptr};
+
+std::uint32_t ThisThreadTid() {
+  static std::atomic<std::uint32_t> next_tid{0};
+  thread_local const std::uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local std::uint32_t tls_depth = 0;
+
+}  // namespace
+
+std::atomic<bool> Session::recording_{false};
+
+std::uint64_t Session::NowNanos() {
+  if (const ClockFn clock = g_clock.load(std::memory_order_acquire);
+      clock != nullptr) {
+    return clock();
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Session::Start() {
+  EventStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mu);
+  store.events.clear();
+  store.dropped = 0;
+  store.base_nanos = NowNanos();
+  recording_.store(true, std::memory_order_release);
+}
+
+void Session::Stop() { recording_.store(false, std::memory_order_release); }
+
+void Session::SetClockForTest(ClockFn clock) {
+  g_clock.store(clock, std::memory_order_release);
+}
+
+std::vector<SpanEvent> Session::CollectedEvents() {
+  EventStore& store = Store();
+  std::vector<SpanEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(store.mu);
+    events = store.events;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start_nanos != b.start_nanos) {
+                       return a.start_nanos < b.start_nanos;
+                     }
+                     // Outer spans close after inner ones but start at or
+                     // before them; deeper-last keeps children after their
+                     // parent at equal timestamps.
+                     return a.depth < b.depth;
+                   });
+  return events;
+}
+
+std::string Session::ExportChromeTraceJson() {
+  const std::vector<SpanEvent> events = CollectedEvents();
+  std::string out;
+  out.reserve(64 + events.size() * 96);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[64];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"ph\": \"X\", \"cat\": \"tnmine\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    out += ", \"name\": \"";
+    for (const char* c = e.name; *c != '\0'; ++c) {
+      if (*c == '"' || *c == '\\') out += '\\';
+      out += *c;
+    }
+    out += "\", \"ts\": ";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.start_nanos) * 1e-3);
+    out += buf;
+    out += ", \"dur\": ";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.duration_nanos) * 1e-3);
+    out += buf;
+    out += ", \"args\": {\"depth\": ";
+    out += std::to_string(e.depth);
+    out += "}}";
+  }
+  out += events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+bool Session::WriteChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ExportChromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+Span::Span(const char* name) : name_(name) {
+  depth_ = tls_depth++;
+  recording_ = Session::IsRecording();
+  start_nanos_ = Session::NowNanos();
+}
+
+Span::~Span() {
+  const std::uint64_t end_nanos = Session::NowNanos();
+  --tls_depth;
+  const std::uint64_t duration =
+      end_nanos >= start_nanos_ ? end_nanos - start_nanos_ : 0;
+  telemetry::Registry::Global().GetSpanStat(name_).Record(duration);
+  if (!recording_) return;
+  EventStore& store = Store();
+  SpanEvent event;
+  event.name = name_;
+  event.tid = ThisThreadTid();
+  event.depth = depth_;
+  std::lock_guard<std::mutex> lock(store.mu);
+  event.start_nanos = start_nanos_ >= store.base_nanos
+                          ? start_nanos_ - store.base_nanos
+                          : 0;
+  event.duration_nanos = duration;
+  if (store.events.size() >= kMaxEvents) {
+    ++store.dropped;
+    return;
+  }
+  store.events.push_back(event);
+}
+
+}  // namespace tnmine::trace

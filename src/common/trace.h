@@ -1,0 +1,112 @@
+#ifndef TNMINE_COMMON_TRACE_H_
+#define TNMINE_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/telemetry.h"
+
+namespace tnmine::trace {
+
+/// Hierarchical wall-clock trace spans over the mining core.
+///
+/// `TNMINE_TRACE_SPAN("gspan/mine")` opens a RAII span: the destructor
+/// closes it, so spans nest lexically and close correctly when an
+/// exception unwinds the scope. Every span always feeds the aggregate
+/// `telemetry::SpanStat` for its name (count + total nanos — what
+/// RunReports serialize); when a `Session` is recording, the span
+/// additionally appends a timestamped event to a per-thread buffer that
+/// `ExportChromeTraceJson()` renders in Chrome `trace_event` format
+/// (load it at chrome://tracing or https://ui.perfetto.dev).
+///
+/// Span names must be string literals (or otherwise outlive the process):
+/// events store the pointer, not a copy.
+
+/// One finished span occurrence.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t start_nanos = 0;  ///< relative to session start
+  std::uint64_t duration_nanos = 0;
+  std::uint32_t tid = 0;    ///< dense per-thread id, assigned on first use
+  std::uint32_t depth = 0;  ///< nesting depth at open (0 = top level)
+};
+
+/// Global recording session. Exactly one can record at a time; Start()
+/// clears previously collected events. All methods are safe to call
+/// while pool lanes are emitting spans.
+class Session {
+ public:
+  /// True when a session is recording (spans buffer events).
+  static bool IsRecording() {
+    return recording_.load(std::memory_order_acquire);
+  }
+  static void Start();
+  static void Stop();
+
+  /// The events collected by the last session, merged across threads in
+  /// (tid, start time) order.
+  static std::vector<SpanEvent> CollectedEvents();
+
+  /// Chrome trace_event JSON ("X" complete events, microsecond units).
+  static std::string ExportChromeTraceJson();
+  /// ExportChromeTraceJson + write to `path`. False on I/O failure.
+  static bool WriteChromeTrace(const std::string& path);
+
+  /// Test hook: a deterministic fake clock returning nanoseconds.
+  /// nullptr restores the real steady clock.
+  using ClockFn = std::uint64_t (*)();
+  static void SetClockForTest(ClockFn clock);
+
+ private:
+  friend class Span;
+  static std::uint64_t NowNanos();
+  static std::atomic<bool> recording_;
+};
+
+/// RAII span (ON builds). Cost when no session records: one acquire load
+/// + the SpanStat aggregate (two relaxed adds) + two clock reads.
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+ private:
+  const char* name_;
+  std::uint64_t start_nanos_;
+  std::uint32_t depth_ = 0;
+  bool recording_ = false;
+};
+
+/// OFF-build span: an empty object the optimizer erases. The size check
+/// in tests/telemetry_test.cc pins the "compiles away" claim.
+class NullSpan {
+ public:
+  explicit NullSpan(const char* /*name*/) {}
+};
+static_assert(sizeof(NullSpan) == 1 && std::is_empty_v<NullSpan>,
+              "NullSpan must carry no state");
+
+}  // namespace tnmine::trace
+
+#define TNMINE_INTERNAL_TRACE_CONCAT2(a, b) a##b
+#define TNMINE_INTERNAL_TRACE_CONCAT(a, b) \
+  TNMINE_INTERNAL_TRACE_CONCAT2(a, b)
+
+#define TNMINE_INTERNAL_TRACE_SPAN_ON(name)                 \
+  ::tnmine::trace::Span TNMINE_INTERNAL_TRACE_CONCAT(       \
+      tnmine_internal_span_, __LINE__)(name)
+#define TNMINE_INTERNAL_TRACE_SPAN_OFF(name)                \
+  ::tnmine::trace::NullSpan TNMINE_INTERNAL_TRACE_CONCAT(   \
+      tnmine_internal_span_, __LINE__)(name)
+
+#if TNMINE_TELEMETRY_ENABLED
+#define TNMINE_TRACE_SPAN(name) TNMINE_INTERNAL_TRACE_SPAN_ON(name)
+#else
+#define TNMINE_TRACE_SPAN(name) TNMINE_INTERNAL_TRACE_SPAN_OFF(name)
+#endif
+
+#endif  // TNMINE_COMMON_TRACE_H_

@@ -106,8 +106,8 @@ EpisodeResult MineRouteEpisodes(const data::TransactionDataset& dataset,
   for (std::size_t i = 0; i < routes.size(); ++i) {
     routes_from[routes[i].origin].push_back(i);
   }
-  auto extend = [&](const Chain& chain,
-                    const Route& next) -> std::vector<std::vector<std::int64_t>> {
+  auto extend = [&](const Chain& chain, const Route& next)
+      -> std::vector<std::vector<std::int64_t>> {
     std::vector<std::vector<std::int64_t>> extended;
     for (const std::vector<std::int64_t>& occ : chain.occurrences) {
       const std::int64_t last_day = occ.back();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "fsg/fsg.h"
 #include "gspan/gspan.h"
 
@@ -40,6 +41,7 @@ std::vector<pattern::FrequentPattern> RunMiner(
 
 StructuralMiningResult MineStructuralPatterns(
     const graph::LabeledGraph& g, const StructuralMiningOptions& options) {
+  TNMINE_TRACE_SPAN("core/structural_mine");
   TNMINE_CHECK(options.repetitions >= 1);
   TNMINE_CHECK(options.min_support >= 1);
   StructuralMiningResult result;
@@ -84,6 +86,7 @@ StructuralMiningResult MineStructuralPatterns(
 TemporalMiningResult MineTemporalPatterns(
     const data::TransactionDataset& dataset,
     const TemporalMiningOptions& options) {
+  TNMINE_TRACE_SPAN("core/temporal_mine");
   TemporalMiningResult result;
   result.partition = partition::PartitionByActiveDay(dataset,
                                                      options.partition);

@@ -8,7 +8,9 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "graph/algorithms.h"
 #include "iso/canonical.h"
 #include "iso/vf2.h"
@@ -73,7 +75,9 @@ bool ContainsWithBudget(const LabeledGraph& pattern,
 
 FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
                   const FsgOptions& options) {
+  TNMINE_TRACE_SPAN("fsg/mine");
   TNMINE_CHECK(options.min_support >= 1);
+  TNMINE_COUNTER_ADD("fsg/runs_started", 1);
   FsgResult result;
   for (const LabeledGraph& t : transactions) {
     TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
@@ -113,6 +117,8 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
   }
   result.frequent_per_level.push_back(frontier.size());
   result.levels_completed = 1;
+  TNMINE_COUNTER_ADD("fsg/candidates_generated", edge_tids.size());
+  TNMINE_COUNTER_ADD("fsg/patterns_frequent", frontier.size());
 
   std::uint64_t frontier_bytes = 0;
   for (const FrequentPattern& p : frontier) frontier_bytes +=
@@ -144,12 +150,18 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     std::unordered_map<std::string, Candidate> candidates;
     std::uint64_t candidate_bytes = 0;
     bool oom = false;
+    // Level-local telemetry, flushed once per level so the hot extension
+    // loop stays free of atomics.
+    std::uint64_t extensions_considered = 0;
+    std::uint64_t pruned_closure = 0;
 
+    TNMINE_TRACE_SPAN("fsg/level");
     for (const FrequentPattern& parent : frontier) {
       if (oom) break;
       const LabeledGraph& pg = parent.graph;
       auto consider = [&](LabeledGraph&& extended) {
         if (oom) return;
+        ++extensions_considered;
         std::string code = iso::CanonicalCodeCached(extended);
         if (candidates.contains(code)) return;
         // Downward closure: every connected k-edge sub-pattern must be
@@ -164,7 +176,10 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
             break;
           }
         }
-        if (prunable) return;
+        if (prunable) {
+          ++pruned_closure;
+          return;
+        }
         Candidate c;
         c.pattern.graph = std::move(extended);
         c.pattern.code = code;
@@ -216,6 +231,9 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
       }
     }
     result.candidates_per_level.push_back(candidates.size());
+    TNMINE_COUNTER_ADD("fsg/extensions_considered", extensions_considered);
+    TNMINE_COUNTER_ADD("fsg/candidates_pruned_closure", pruned_closure);
+    TNMINE_COUNTER_ADD("fsg/candidates_generated", candidates.size());
     if (oom) {
       result.aborted_out_of_memory = true;
       break;
@@ -242,6 +260,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
               const std::vector<std::uint32_t>& feasible =
                   ordered[c].parent_tids;
               std::vector<std::uint32_t> tids;
+              std::uint64_t checks = 0;
               for (std::size_t i = 0; i < feasible.size(); ++i) {
                 // Early abort when the remaining transactions cannot
                 // reach min_support.
@@ -250,11 +269,15 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
                   break;
                 }
                 const std::uint32_t tid = feasible[i];
+                ++checks;
                 if (ContainsWithBudget(p.graph, transactions[tid],
                                        options.max_match_steps)) {
                   tids.push_back(tid);
                 }
               }
+              // One flush per candidate: the per-candidate check count is
+              // scheduling-independent, so the total is too.
+              TNMINE_COUNTER_ADD("fsg/support_checks", checks);
               return tids;
             });
     std::vector<FrequentPattern> next_frontier;
@@ -267,6 +290,8 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     }
     result.frequent_per_level.push_back(next_frontier.size());
     result.levels_completed = level;
+    TNMINE_COUNTER_ADD("fsg/candidates_counted", ordered.size());
+    TNMINE_COUNTER_ADD("fsg/patterns_frequent", next_frontier.size());
 
     previous_level_codes.clear();
     for (const FrequentPattern& p : next_frontier) {

@@ -51,7 +51,9 @@ std::vector<LabeledGraph> SplitIntoComponents(const LabeledGraph& g) {
   });
   auto local_vertex = [&](std::size_t slot, VertexId v) {
     VertexId& mapped = vertex_maps[slot][v];
-    if (mapped == kInvalidVertex) mapped = out[slot].AddVertex(g.vertex_label(v));
+    if (mapped == kInvalidVertex) {
+      mapped = out[slot].AddVertex(g.vertex_label(v));
+    }
     return mapped;
   };
   g.ForEachEdge([&](EdgeId e) {

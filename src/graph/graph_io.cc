@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/telemetry.h"
+
 namespace tnmine::graph {
 
 namespace {
@@ -48,6 +50,7 @@ std::string WriteNative(const LabeledGraph& g) {
 bool ReadNative(const std::string& text, LabeledGraph* g,
                 ParseError* error) {
   *g = LabeledGraph();
+  TNMINE_COUNTER_ADD("graph_io/bytes_parsed", text.size());
   std::size_t expect_vertices = 0, expect_edges = 0;
   bool have_header = false;
   std::size_t seen_vertices = 0, seen_edges = 0;
@@ -128,10 +131,12 @@ bool ReadNative(const std::string& text, LabeledGraph* g,
     return true;
   });
   if (!scanned) {
+    TNMINE_COUNTER_ADD("graph_io/parse_errors", 1);
     ReportParseError(err, error, nullptr);
     return false;
   }
   auto fail_global = [&](const std::string& message) {
+    TNMINE_COUNTER_ADD("graph_io/parse_errors", 1);
     ReportParseError(ParseError::At(0, 0, message), error, nullptr);
     return false;
   };
@@ -140,6 +145,7 @@ bool ReadNative(const std::string& text, LabeledGraph* g,
     return fail_global("vertex count mismatch");
   }
   if (seen_edges != expect_edges) return fail_global("edge count mismatch");
+  TNMINE_COUNTER_ADD("graph_io/records_parsed", seen_vertices + seen_edges);
   return true;
 }
 
@@ -167,7 +173,9 @@ std::string WriteSubdueFormat(const LabeledGraph& g) {
 bool ReadSubdueFormat(const std::string& text, LabeledGraph* g,
                       ParseError* error) {
   *g = LabeledGraph();
+  TNMINE_COUNTER_ADD("graph_io/bytes_parsed", text.size());
   std::size_t seen_vertices = 0;
+  std::size_t seen_edges = 0;
   ParseError err;
   const bool scanned = ForEachLine(text, [&](std::size_t line_number,
                                              std::string_view line) {
@@ -218,6 +226,7 @@ bool ReadSubdueFormat(const std::string& text, LabeledGraph* g,
       }
       g->AddEdge(static_cast<VertexId>(src - 1),
                  static_cast<VertexId>(dst - 1), label);
+      ++seen_edges;
     } else {
       return fail(tokens[0].column,
                   "unknown directive: " + std::string(directive));
@@ -225,9 +234,11 @@ bool ReadSubdueFormat(const std::string& text, LabeledGraph* g,
     return true;
   });
   if (!scanned) {
+    TNMINE_COUNTER_ADD("graph_io/parse_errors", 1);
     ReportParseError(err, error, nullptr);
     return false;
   }
+  TNMINE_COUNTER_ADD("graph_io/records_parsed", seen_vertices + seen_edges);
   return true;
 }
 
@@ -259,6 +270,8 @@ bool ReadFsgFormat(const std::string& text,
                    std::vector<LabeledGraph>* transactions,
                    ParseError* error) {
   transactions->clear();
+  TNMINE_COUNTER_ADD("graph_io/bytes_parsed", text.size());
+  std::size_t records = 0;
   ParseError err;
   const bool scanned = ForEachLine(text, [&](std::size_t line_number,
                                              std::string_view line) {
@@ -326,12 +339,15 @@ bool ReadFsgFormat(const std::string& text,
       return fail(tokens[0].column,
                   "unknown directive: " + std::string(directive));
     }
+    ++records;
     return true;
   });
   if (!scanned) {
+    TNMINE_COUNTER_ADD("graph_io/parse_errors", 1);
     ReportParseError(err, error, nullptr);
     return false;
   }
+  TNMINE_COUNTER_ADD("graph_io/records_parsed", records);
   return true;
 }
 
@@ -349,6 +365,7 @@ bool WriteTextFile(const std::string& path, const std::string& text) {
   if (f == nullptr) return false;
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
   std::fclose(f);
+  if (ok) TNMINE_COUNTER_ADD("graph_io/bytes_written", text.size());
   return ok;
 }
 
@@ -361,7 +378,10 @@ bool ReadTextFile(const std::string& path, std::string* text) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);
-  if (ok) *text = std::move(out);
+  if (ok) {
+    TNMINE_COUNTER_ADD("graph_io/bytes_read", out.size());
+    *text = std::move(out);
+  }
   return ok;
 }
 

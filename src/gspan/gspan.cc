@@ -9,7 +9,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "iso/canonical.h"
 
 namespace tnmine::gspan {
@@ -82,6 +84,12 @@ struct Miner {
   const GspanOptions& options;
   GspanResult result;
   std::unordered_set<std::string> visited_codes;
+  // Subtree-local telemetry, flushed to the registry once per seed (keeps
+  // the hot recursion free of atomics and the totals independent of lane
+  // scheduling).
+  std::uint64_t extensions_enumerated = 0;
+  std::uint64_t embeddings_materialized = 0;
+  std::uint64_t codes_generated = 0;
 
   void Grow(const LabeledGraph& pg, const std::string& code,
             std::vector<Emb> embs) {
@@ -161,6 +169,7 @@ struct Miner {
             ext.new_is_source = !outgoing;
             ext.new_vertex_label = t.vertex_label(other);
           }
+          ++embeddings_materialized;
           Emb extended = emb;
           extended.edges.insert(
               std::lower_bound(extended.edges.begin(), extended.edges.end(),
@@ -181,6 +190,7 @@ struct Miner {
     // Recurse into frequent, unseen extensions, in sorted descriptor
     // order (the order the former std::map iterated in) so the output
     // sequence is unchanged.
+    extensions_enumerated += extensions.size();
     std::vector<std::pair<Extension, std::vector<Emb>>> ordered;
     ordered.reserve(extensions.size());
     for (auto& [ext, raw_embs] : extensions) {
@@ -236,6 +246,7 @@ struct Miner {
       } else {
         ext_pg.AddEdge(ext.from, ext.to, ext.edge_label);
       }
+      ++codes_generated;
       std::string ext_code = iso::CanonicalCodeCached(ext_pg);
       if (!visited_codes.insert(ext_code).second) continue;
       ++result.patterns_explored;
@@ -248,7 +259,9 @@ struct Miner {
 
 GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
                       const GspanOptions& options) {
+  TNMINE_TRACE_SPAN("gspan/mine");
   TNMINE_CHECK(options.min_support >= 1);
+  TNMINE_COUNTER_ADD("gspan/runs_started", 1);
   for (const LabeledGraph& t : transactions) {
     TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
   }
@@ -297,14 +310,22 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
     frequent.push_back(std::move(seed));
   }
 
+  TNMINE_COUNTER_ADD("gspan/seeds_expanded", frequent.size());
+
   // Mine each seed's subtree independently (own lane, own visited set)...
   std::vector<GspanResult> parts = common::ParallelMap<GspanResult>(
       options.parallelism, frequent.size(), [&](std::size_t i) {
+        TNMINE_TRACE_SPAN("gspan/seed_subtree");
         Seed& seed = frequent[i];
         Miner miner{transactions, options, {}, {}};
         miner.visited_codes.insert(seed.code);
         ++miner.result.patterns_explored;
         miner.Grow(seed.pg, seed.code, std::move(seed.embs));
+        TNMINE_COUNTER_ADD("gspan/extensions_enumerated",
+                           miner.extensions_enumerated);
+        TNMINE_COUNTER_ADD("gspan/embeddings_materialized",
+                           miner.embeddings_materialized);
+        TNMINE_COUNTER_ADD("gspan/codes_generated", miner.codes_generated);
         return std::move(miner.result);
       });
 
@@ -326,6 +347,7 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
   // Every visited class records exactly one pattern, so after dedup the
   // distinct classes explored equal the patterns kept.
   merged.patterns_explored = merged.patterns.size();
+  TNMINE_COUNTER_ADD("gspan/patterns_emitted", merged.patterns.size());
   return merged;
 }
 

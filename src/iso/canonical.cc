@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace tnmine::iso {
 
@@ -292,6 +293,7 @@ std::string CanonicalCode(const LabeledGraph& g) {
   TNMINE_CHECK_MSG(g.num_vertices() <= kMaxCanonicalVertices,
                    "graph too large for canonical coding (%zu vertices)",
                    g.num_vertices());
+  TNMINE_COUNTER_ADD("iso/codes_computed", 1);
   const DenseGraph d = Snapshot(g);
   CanonicalSearch search(d);
   return search.Run();
@@ -403,12 +405,14 @@ std::string CanonicalCodeCached(const LabeledGraph& g) {
       for (const auto& [entry_key, code] : it->second) {
         if (entry_key == key) {
           g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          TNMINE_COUNTER_ADD("iso/cache_hits", 1);
           return code;
         }
       }
     }
   }
   g_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  TNMINE_COUNTER_ADD("iso/cache_misses", 1);
   std::string code = CanonicalCode(g);
   {
     std::lock_guard<std::mutex> lock(shard.mu);

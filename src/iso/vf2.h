@@ -56,8 +56,9 @@ class SubgraphMatcher {
 
   /// Invokes `fn` for each embedding; `fn` returns false to stop the
   /// enumeration. Returns the number of embeddings visited.
-  std::uint64_t ForEachEmbedding(const MatchOptions& options,
-                                 const std::function<bool(const Embedding&)>& fn);
+  std::uint64_t ForEachEmbedding(
+      const MatchOptions& options,
+      const std::function<bool(const Embedding&)>& fn);
 
   /// True if at least one embedding exists.
   bool Contains(const MatchOptions& options = {});

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace tnmine::partition {
 
@@ -15,6 +17,7 @@ using graph::VertexId;
 
 std::vector<LabeledGraph> SplitGraph(const LabeledGraph& g,
                                      const SplitOptions& options) {
+  TNMINE_TRACE_SPAN("partition/split_graph");
   TNMINE_CHECK(options.num_partitions >= 1);
   std::vector<LabeledGraph> partitions;
   if (g.num_edges() == 0) return partitions;
@@ -117,6 +120,22 @@ std::vector<LabeledGraph> SplitGraph(const LabeledGraph& g,
     // Drop vertices that never received an edge (the seed can end up
     // orphaned when its edges were consumed by the budget check).
     partitions.push_back(part.Compact(/*drop_isolated_vertices=*/true));
+  }
+  TNMINE_COUNTER_ADD("partition/partitions_emitted", partitions.size());
+  TNMINE_COUNTER_ADD("partition/edges_assigned", g.num_edges());
+  // Boundary duplication factor: partition vertex occurrences per source
+  // vertex with edges. 1000x fixed-point so the gauge stays integral.
+  std::size_t vertex_occurrences = 0;
+  for (const LabeledGraph& part : partitions) {
+    vertex_occurrences += part.num_vertices();
+  }
+  std::size_t touched_vertices = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.Degree(v) > 0) ++touched_vertices;
+  }
+  if (touched_vertices > 0) {
+    TNMINE_GAUGE_SET("partition/overlap_ratio_milli",
+                     vertex_occurrences * 1000 / touched_vertices);
   }
   return partitions;
 }

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "graph/algorithms.h"
 
 namespace tnmine::partition {
@@ -14,6 +16,7 @@ using graph::LabeledGraph;
 
 TemporalPartition PartitionByActiveDay(const TransactionDataset& dataset,
                                        const TemporalOptions& options) {
+  TNMINE_TRACE_SPAN("partition/by_active_day");
   TemporalPartition out;
   if (dataset.empty()) return out;
 
@@ -114,6 +117,8 @@ TemporalPartition PartitionByActiveDay(const TransactionDataset& dataset,
       out.transaction_day.push_back(day);
     }
   }
+  TNMINE_COUNTER_ADD("partition/day_graphs_emitted", out.transactions.size());
+  TNMINE_COUNTER_ADD("partition/days_filtered_out", out.days_filtered_out);
   return out;
 }
 

@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "iso/canonical.h"
 #include "subdue/mdl.h"
 
@@ -93,6 +95,7 @@ void Evaluate(const EvalContext& ctx, Substructure* sub) {
       return;
     }
     case EvalMethod::kMdl: {
+      TNMINE_COUNTER_ADD("subdue/mdl_computations", 1);
       const LabeledGraph compressed =
           CompressGraph(*ctx.host, *sub, ctx.replacement_label);
       // The compressed graph and the substructure are priced with the
@@ -153,9 +156,15 @@ LabeledGraph CompressGraph(const LabeledGraph& g, const Substructure& sub,
 
 SubdueResult DiscoverSubstructures(const LabeledGraph& g,
                                    const SubdueOptions& options) {
+  TNMINE_TRACE_SPAN("subdue/discover");
   TNMINE_CHECK(options.beam_width >= 1);
   TNMINE_CHECK(options.num_best >= 1);
+  TNMINE_COUNTER_ADD("subdue/runs_started", 1);
   SubdueResult result;
+  // Run-local telemetry, flushed once at the end (the discovery loop is
+  // sequential, so locals also keep totals trivially deterministic).
+  std::uint64_t instances_grown = 0;
+  std::uint64_t beam_evictions = 0;
 
   EvalContext ctx;
   ctx.host = &g;
@@ -217,6 +226,7 @@ SubdueResult DiscoverSubstructures(const LabeledGraph& g,
               return a.value > b.value;
             });
   if (parents.size() > options.beam_width) {
+    beam_evictions += parents.size() - options.beam_width;
     parents.resize(options.beam_width);
   }
 
@@ -253,6 +263,7 @@ SubdueResult DiscoverSubstructures(const LabeledGraph& g,
                 e);
             const VertexId other = (edge.src == v) ? edge.dst : edge.src;
             if (!vertex_in(other)) grown.vertices.push_back(other);
+            ++instances_grown;
             const std::string key = InstanceKey(grown);
             const LabeledGraph pattern = PatternOf(g, grown);
             std::string code = iso::CanonicalCode(pattern);
@@ -292,12 +303,17 @@ SubdueResult DiscoverSubstructures(const LabeledGraph& g,
                 return a.value > b.value;
               });
     if (evaluated.size() > options.beam_width) {
+      beam_evictions += evaluated.size() - options.beam_width;
       evaluated.resize(options.beam_width);
     }
     parents = std::move(evaluated);
   }
 
   result.best = std::move(best);
+  TNMINE_COUNTER_ADD("subdue/substructures_evaluated",
+                     result.substructures_evaluated);
+  TNMINE_COUNTER_ADD("subdue/instances_grown", instances_grown);
+  TNMINE_COUNTER_ADD("subdue/beam_evictions", beam_evictions);
   return result;
 }
 

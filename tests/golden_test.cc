@@ -157,8 +157,8 @@ TEST(GoldenTest, FsgTransactions) {
   if (Regenerating()) return;
   std::vector<graph::LabeledGraph> back;
   ParseError err;
-  ASSERT_TRUE(graph::ReadFsgFormat(ReadFileOrDie(GoldenPath("transactions.fsg")),
-                                   &back, &err))
+  ASSERT_TRUE(graph::ReadFsgFormat(
+      ReadFileOrDie(GoldenPath("transactions.fsg")), &back, &err))
       << err.ToString();
   ASSERT_EQ(back.size(), txns.size());
   for (std::size_t i = 0; i < txns.size(); ++i) {

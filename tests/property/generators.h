@@ -38,6 +38,15 @@
 
 namespace tnmine::fuzz {
 
+/// The serialized bytes most recently handed to a reader by any round on
+/// this thread. Rounds refresh it before every parse, so when a round
+/// fails the offending input is still here — tools/fuzz_io dumps it as a
+/// CI artifact (--artifact-dir) for offline reproduction.
+inline std::string& LastInputBytes() {
+  thread_local std::string bytes;
+  return bytes;
+}
+
 // ---------------------------------------------------------------------------
 // Generators
 
@@ -279,6 +288,9 @@ inline std::optional<std::string> CsvRound(Rng& rng,
     for (const auto& r : records) writer.WriteRecord(r);
     if (!writer.ok()) return "write failed: " + writer.error();
   }
+  if (!graph::ReadTextFile(temp_path, &LastInputBytes())) {
+    return "reread failed";
+  }
   {
     CsvReader reader(temp_path);
     if (!reader.ok()) return "cannot reopen temp file";
@@ -301,6 +313,7 @@ inline std::optional<std::string> CsvRound(Rng& rng,
     if (!graph::ReadTextFile(temp_path, &text)) return "reread failed";
     text = MutateText(rng, std::move(text));
     if (!graph::WriteTextFile(temp_path, text)) return "rewrite failed";
+    LastInputBytes() = text;
     CsvReader reader(temp_path);
     std::vector<std::string> fields;
     std::size_t guard = text.size() + 16;
@@ -316,6 +329,7 @@ inline std::optional<std::string> NativeRound(Rng& rng) {
   const std::string text = graph::WriteNative(g);
   graph::LabeledGraph back;
   ParseError err;
+  LastInputBytes() = text;
   if (!graph::ReadNative(text, &back, &err)) {
     return "valid native output rejected: " + err.ToString();
   }
@@ -323,6 +337,7 @@ inline std::optional<std::string> NativeRound(Rng& rng) {
   if (graph::WriteNative(back) != text) return "native reserialization diff";
   const std::string mutated = MutateText(rng, text);
   graph::LabeledGraph m;
+  LastInputBytes() = mutated;
   if (graph::ReadNative(mutated, &m, &err)) {
     // Accepted mutants must still be coherent graphs.
     const std::string rewritten = graph::WriteNative(m);
@@ -340,6 +355,7 @@ inline std::optional<std::string> SubdueRound(Rng& rng) {
   const std::string text = graph::WriteSubdueFormat(g);
   graph::LabeledGraph back;
   ParseError err;
+  LastInputBytes() = text;
   if (!graph::ReadSubdueFormat(text, &back, &err)) {
     return "valid SUBDUE output rejected: " + err.ToString();
   }
@@ -349,6 +365,7 @@ inline std::optional<std::string> SubdueRound(Rng& rng) {
   }
   const std::string mutated = MutateText(rng, text);
   graph::LabeledGraph m;
+  LastInputBytes() = mutated;
   (void)graph::ReadSubdueFormat(mutated, &m, &err);  // must not crash
   return std::nullopt;
 }
@@ -358,6 +375,7 @@ inline std::optional<std::string> FsgRound(Rng& rng) {
   const std::string text = graph::WriteFsgFormat(txns);
   std::vector<graph::LabeledGraph> back;
   ParseError err;
+  LastInputBytes() = text;
   if (!graph::ReadFsgFormat(text, &back, &err)) {
     return "valid FSG output rejected: " + err.ToString();
   }
@@ -370,6 +388,7 @@ inline std::optional<std::string> FsgRound(Rng& rng) {
   if (graph::WriteFsgFormat(back) != text) return "FSG reserialization diff";
   const std::string mutated = MutateText(rng, text);
   std::vector<graph::LabeledGraph> m;
+  LastInputBytes() = mutated;
   (void)graph::ReadFsgFormat(mutated, &m, &err);  // must not crash
   return std::nullopt;
 }
@@ -380,6 +399,7 @@ inline std::optional<std::string> ArffRound(Rng& rng) {
   const std::string text = ml::WriteArff(table, relation);
   ml::AttributeTable back;
   ParseError err;
+  LastInputBytes() = text;
   if (!ml::ReadArff(text, &back, &err)) {
     return "valid ARFF output rejected: " + err.ToString() + "\n" + text;
   }
@@ -390,6 +410,7 @@ inline std::optional<std::string> ArffRound(Rng& rng) {
   if (ml::WriteArff(back, relation) != text) return "ARFF reserialization diff";
   const std::string mutated = MutateText(rng, text);
   ml::AttributeTable m;
+  LastInputBytes() = mutated;
   (void)ml::ReadArff(mutated, &m, &err);  // must not crash
   return std::nullopt;
 }
@@ -398,12 +419,14 @@ inline std::optional<std::string> DateRound(Rng& rng) {
   const std::int64_t dn = rng.NextInt(-3000000, 3000000);
   const std::string text = FormatDayNumber(dn);
   std::int64_t back = 0;
+  LastInputBytes() = text;
   if (!ParseDayNumber(text, &back)) {
     return "formatted date rejected: " + text;
   }
   if (back != dn) return "date round-trip mismatch: " + text;
   const std::string mutated = MutateText(rng, text);
   std::int64_t m = 0;
+  LastInputBytes() = mutated;
   if (ParseDayNumber(mutated, &m)) {
     // Whatever the strict parser accepts must round-trip through the
     // canonical formatter.

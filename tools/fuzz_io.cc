@@ -5,11 +5,13 @@
 //
 // Usage:
 //   fuzz_io [--seed N] [--iters M] [--format csv|native|subdue|fsg|arff|
-//            date|binning|all] [--tmp PATH]
+//            date|binning|all] [--tmp PATH] [--artifact-dir DIR]
 //
 // Exit status 0 if every iteration passes; 1 on the first failure, after
 // printing the format, seed, iteration, and failure description needed to
-// reproduce it. Intended to run under ASan/UBSan builds
+// reproduce it. With --artifact-dir, the exact input bytes last fed to a
+// reader are also written there (plus a metadata sidecar) so CI can upload
+// them as a failure artifact. Intended to run under ASan/UBSan builds
 // (-DTNMINE_SANITIZE=address / undefined).
 
 #include <cstdint>
@@ -36,9 +38,46 @@ struct Format {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--iters M] [--format csv|native|"
-               "subdue|fsg|arff|date|binning|all] [--tmp PATH]\n",
+               "subdue|fsg|arff|date|binning|all] [--tmp PATH] "
+               "[--artifact-dir DIR]\n",
                argv0);
   return 2;
+}
+
+bool WriteBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = bytes.empty() ||
+                  std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                      bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+/// Persists the failing input bytes and a replay-recipe sidecar under
+/// `dir` (which must already exist; CI creates it before the run).
+void WriteFailureArtifact(const std::string& dir, const char* format,
+                          std::uint64_t seed, std::uint64_t iteration,
+                          std::uint64_t iter_seed,
+                          const std::string& detail) {
+  const std::string stem = dir + "/failing_input_" + format + "_" +
+                           std::to_string(iter_seed);
+  const std::string& bytes = tnmine::fuzz::LastInputBytes();
+  if (!WriteBytes(stem + ".bin", bytes)) {
+    std::fprintf(stderr, "fuzz_io: cannot write artifact under %s\n",
+                 dir.c_str());
+    return;
+  }
+  std::string meta;
+  meta += "format:    " + std::string(format) + "\n";
+  meta += "base_seed: " + std::to_string(seed) + "\n";
+  meta += "iteration: " + std::to_string(iteration) + "\n";
+  meta += "iter_seed: " + std::to_string(iter_seed) + "\n";
+  meta += "detail:    " + detail + "\n";
+  meta += "replay:    fuzz_io --format " + std::string(format) +
+          " --seed " + std::to_string(iter_seed) + " --iters 1\n";
+  (void)WriteBytes(stem + ".txt", meta);
+  std::fprintf(stderr, "fuzz_io: failing input saved to %s.bin\n",
+               stem.c_str());
 }
 
 }  // namespace
@@ -48,6 +87,7 @@ int main(int argc, char** argv) {
   std::uint64_t iters = 1000;
   std::string format = "all";
   std::string tmp_path;
+  std::string artifact_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +106,8 @@ int main(int argc, char** argv) {
       format = next("--format");
     } else if (arg == "--tmp") {
       tmp_path = next("--tmp");
+    } else if (arg == "--artifact-dir") {
+      artifact_dir = next("--artifact-dir");
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else {
@@ -111,6 +153,10 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(i),
                      static_cast<unsigned long long>(iter_seed),
                      failure->c_str());
+        if (!artifact_dir.empty()) {
+          WriteFailureArtifact(artifact_dir, f.name, seed, i, iter_seed,
+                               *failure);
+        }
         std::remove(tmp_path.c_str());
         return 1;
       }

@@ -5,8 +5,15 @@
 //   stats      print the Section-3 dataset description
 //   structural mine structurally similar routes (Section 5 pipeline)
 //   temporal   mine temporally repeated routes (Section 6 pipeline)
+//   subdue     discover SUBDUE substructures on the OD graph (Section 5.1)
 //   episodes   mine periodic / chained route episodes (Section 9 extension)
 //   export     write ARFF / SUBDUE / FSG files for external tools
+//
+// Observability (DESIGN.md §9): every subcommand accepts
+//   --metrics-out <file>   write a RunReport JSON (counters + spans + wall
+//                          time) after the command finishes
+//   --trace-out <file>     record a trace session and write Chrome
+//                          trace_event JSON (load in chrome://tracing)
 //
 // Examples:
 //   tnmine_cli generate --out /tmp/data.csv --scale small --seed 7
@@ -14,7 +21,10 @@
 //       --support 12 --top 3 --dot /tmp/patterns
 //   tnmine_cli temporal --data /tmp/data.csv --support-fraction 0.05
 //   tnmine_cli episodes --data /tmp/data.csv --min-occurrences 5
+//   tnmine_cli structural --data /tmp/data.csv --miner gspan \
+//       --metrics-out report.json --trace-out trace.json
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/episodes.h"
 #include "core/flow_balance.h"
 #include "core/interestingness.h"
@@ -33,6 +46,7 @@
 #include "partition/split_graph.h"
 #include "pattern/dot.h"
 #include "pattern/render.h"
+#include "subdue/subdue.h"
 
 namespace {
 
@@ -84,7 +98,8 @@ class Flags {
 int Usage() {
   std::fprintf(stderr,
                "usage: tnmine_cli <generate|stats|structural|temporal|"
-               "episodes|deadhead|export> [--flag value ...]\n"
+               "subdue|episodes|deadhead|export> [--flag value ...]\n"
+               "common flags: --metrics-out <file> --trace-out <file>\n"
                "see the header of tools/tnmine_cli.cc for examples\n");
   return 2;
 }
@@ -172,6 +187,8 @@ int CmdStructural(const Flags& flags) {
                       ? core::MinerKind::kGspan
                       : core::MinerKind::kFsg;
   options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  options.parallelism = common::Parallelism{
+      static_cast<std::size_t>(flags.GetInt("threads", 0))};
   const auto result = core::MineStructuralPatterns(od.graph, options);
   std::printf("%zu frequent pattern classes\n", result.registry.size());
   const auto ranked = core::RankPatterns(result.registry);
@@ -206,6 +223,8 @@ int CmdTemporal(const Flags& flags) {
       static_cast<std::size_t>(flags.GetInt("max-edges", 3));
   options.partition.max_distinct_vertex_labels =
       static_cast<std::size_t>(flags.GetInt("max-labels", 0));
+  options.parallelism = common::Parallelism{
+      static_cast<std::size_t>(flags.GetInt("threads", 0))};
   const auto result = core::MineTemporalPatterns(dataset, options);
   std::printf("%zu per-day transactions (support threshold %zu)\n",
               result.partition.transactions.size(),
@@ -220,6 +239,35 @@ int CmdTemporal(const Flags& flags) {
     std::printf("\n%s", pattern::RenderPattern(
                             *p, &result.partition.discretizer).c_str());
     if (++shown == top) break;
+  }
+  return 0;
+}
+
+int CmdSubdue(const Flags& flags) {
+  data::TransactionDataset dataset;
+  if (!LoadData(flags, &dataset)) return 1;
+  const data::OdGraph od = BuildGraphFor(flags, dataset);
+  subdue::SubdueOptions options;
+  const std::string method = flags.Get("method", "mdl");
+  options.method = method == "size"      ? subdue::EvalMethod::kSize
+                   : method == "setcover" ? subdue::EvalMethod::kSetCover
+                                          : subdue::EvalMethod::kMdl;
+  options.beam_width =
+      static_cast<std::size_t>(flags.GetInt("beam", 4));
+  options.num_best = static_cast<std::size_t>(flags.GetInt("best", 3));
+  options.max_pattern_edges =
+      static_cast<std::size_t>(flags.GetInt("max-edges", 0));
+  options.limit = static_cast<std::size_t>(flags.GetInt("limit", 0));
+  const auto result = subdue::DiscoverSubstructures(od.graph, options);
+  std::printf("evaluated %zu substructures (base cost %.1f)\n",
+              result.substructures_evaluated, result.base_cost);
+  for (std::size_t i = 0; i < result.best.size(); ++i) {
+    const subdue::Substructure& sub = result.best[i];
+    std::printf("#%zu value %.4f | %zu vertices, %zu edges | "
+                "%zu instances (%zu disjoint)\n",
+                i + 1, sub.value, sub.pattern.num_vertices(),
+                sub.pattern.num_edges(), sub.instances.size(),
+                sub.non_overlapping_instances);
   }
   return 0;
 }
@@ -319,17 +367,54 @@ int CmdExport(const Flags& flags) {
 
 }  // namespace
 
+int Dispatch(const std::string& command, const Flags& flags, bool* known) {
+  *known = true;
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "structural") return CmdStructural(flags);
+  if (command == "temporal") return CmdTemporal(flags);
+  if (command == "subdue") return CmdSubdue(flags);
+  if (command == "episodes") return CmdEpisodes(flags);
+  if (command == "deadhead") return CmdDeadhead(flags);
+  if (command == "export") return CmdExport(flags);
+  *known = false;
+  return Usage();
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
   if (!flags.ok()) return 2;
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "structural") return CmdStructural(flags);
-  if (command == "temporal") return CmdTemporal(flags);
-  if (command == "episodes") return CmdEpisodes(flags);
-  if (command == "deadhead") return CmdDeadhead(flags);
-  if (command == "export") return CmdExport(flags);
-  return Usage();
+
+  const std::string trace_out = flags.Get("trace-out", "");
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  if (!trace_out.empty()) tnmine::trace::Session::Start();
+
+  const auto start = std::chrono::steady_clock::now();
+  bool known = false;
+  const int rc = Dispatch(command, flags, &known);
+  if (!known) return rc;
+
+  if (!trace_out.empty()) {
+    tnmine::trace::Session::Stop();
+    if (!tnmine::trace::Session::WriteChromeTrace(trace_out)) {
+      std::fprintf(stderr, "warning: could not write trace to %s\n",
+                   trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    tnmine::telemetry::RunReportOptions report;
+    report.binary = "tnmine_cli";
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    report.extra["command"] = command;
+    if (!tnmine::telemetry::WriteRunReport(metrics_out, report)) {
+      std::fprintf(stderr, "warning: could not write RunReport to %s\n",
+                   metrics_out.c_str());
+    }
+  }
+  return rc;
 }
