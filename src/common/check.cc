@@ -1,0 +1,56 @@
+#include "common/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tnmine {
+
+std::string CheckError::Format(const char* file, int line,
+                               const char* expression,
+                               const std::string& message) {
+  std::string out = "TNMINE_CHECK failed at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += ": ";
+  out += expression;
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+namespace internal {
+namespace {
+
+[[noreturn]] void Fail(const char* file, int line, const char* expression,
+                       const std::string& message) {
+#if defined(TNMINE_CHECK_ABORTS)
+  std::fprintf(stderr, "%s\n",
+               CheckError(file, line, expression, message).what());
+  std::abort();
+#else
+  throw CheckError(file, line, expression, message);
+#endif
+}
+
+}  // namespace
+
+void CheckFailed(const char* file, int line, const char* expression) {
+  Fail(file, line, expression, std::string());
+}
+
+void CheckFailedMsg(const char* file, int line, const char* expression,
+                    const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  Fail(file, line, expression, buffer);
+}
+
+}  // namespace internal
+}  // namespace tnmine

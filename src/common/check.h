@@ -1,35 +1,77 @@
 #ifndef TNMINE_COMMON_CHECK_H_
 #define TNMINE_COMMON_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
 
 /// Invariant checking for tnmine.
 ///
-/// TNMINE_CHECK aborts the process with a source location when the condition
-/// fails. It is always on (benchmark-critical inner loops use
-/// TNMINE_DCHECK, which compiles away in NDEBUG builds). The library does
-/// not throw exceptions across its API boundary; programming errors fail
-/// fast instead.
-#define TNMINE_CHECK(cond)                                                  \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "TNMINE_CHECK failed at %s:%d: %s\n", __FILE__,  \
-                   __LINE__, #cond);                                        \
-      std::abort();                                                         \
-    }                                                                       \
+/// TNMINE_CHECK throws tnmine::CheckError (carrying file, line, and the
+/// failed expression) when the condition fails, so harnesses like
+/// tnmine_cli and fuzz_io can report the violation and exit cleanly
+/// instead of dumping core. It is always on (benchmark-critical inner
+/// loops use TNMINE_DCHECK, which compiles away in NDEBUG builds).
+///
+/// Under the sanitizer presets (-DTNMINE_CHECK_ABORTS=ON, set
+/// automatically when TNMINE_SANITIZE is non-empty) a failed check
+/// aborts instead: sanitizers produce their report at the point of
+/// failure, and an exception unwinding through the stack would destroy
+/// the evidence.
+namespace tnmine {
+
+/// A failed TNMINE_CHECK. what() is the full human-readable message.
+class CheckError : public std::logic_error {
+ public:
+  CheckError(const char* file, int line, const char* expression,
+             const std::string& message)
+      : std::logic_error(Format(file, line, expression, message)),
+        file_(file),
+        line_(line),
+        expression_(expression) {}
+
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+  const char* expression() const { return expression_; }
+
+ private:
+  static std::string Format(const char* file, int line,
+                            const char* expression,
+                            const std::string& message);
+
+  const char* file_;
+  int line_;
+  const char* expression_;
+};
+
+namespace internal {
+
+/// Out-of-line failure paths keep the macro expansion small. Both are
+/// [[noreturn]]: they throw CheckError, or abort with the message on
+/// stderr when TNMINE_CHECK_ABORTS is defined.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* expression);
+[[noreturn]] void CheckFailedMsg(const char* file, int line,
+                                 const char* expression, const char* format,
+                                 ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace internal
+}  // namespace tnmine
+
+#define TNMINE_CHECK(cond)                                            \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::tnmine::internal::CheckFailed(__FILE__, __LINE__, #cond);     \
+    }                                                                 \
   } while (0)
 
 /// Like TNMINE_CHECK but with a printf-style explanatory message.
-#define TNMINE_CHECK_MSG(cond, ...)                                         \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "TNMINE_CHECK failed at %s:%d: %s: ", __FILE__,  \
-                   __LINE__, #cond);                                        \
-      std::fprintf(stderr, __VA_ARGS__);                                    \
-      std::fprintf(stderr, "\n");                                           \
-      std::abort();                                                         \
-    }                                                                       \
+#define TNMINE_CHECK_MSG(cond, ...)                                   \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::tnmine::internal::CheckFailedMsg(__FILE__, __LINE__, #cond,   \
+                                         __VA_ARGS__);                \
+    }                                                                 \
   } while (0)
 
 #ifdef NDEBUG

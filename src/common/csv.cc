@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace tnmine {
 
 namespace {
@@ -157,7 +159,9 @@ std::string EscapeCsvField(const std::string& field) {
 }
 
 CsvReader::CsvReader(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
+  FILE* f = TNMINE_FAILPOINT("csv/open_read")
+                ? nullptr
+                : std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     error_ = "cannot open " + path;
     parse_error_.message = error_;
@@ -188,7 +192,9 @@ bool CsvReader::ReadRecord(std::vector<std::string>* fields) {
 }
 
 CsvWriter::CsvWriter(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "wb");
+  FILE* f = TNMINE_FAILPOINT("csv/open_write")
+                ? nullptr
+                : std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     error_ = "cannot open " + path + " for writing";
     return;

@@ -1,0 +1,183 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <map>
+#include <mutex>
+#include <new>
+
+namespace tnmine::failpoint {
+namespace {
+
+struct Armed {
+  Kind kind;
+  std::uint64_t fire_at_hit;  // 1-based, counted from Arm()
+  std::uint64_t hits_since_arm = 0;
+  bool fired = false;
+};
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, Armed, std::less<>> armed;
+  std::map<std::string, std::uint64_t, std::less<>> hit_counts;
+  bool recording = false;
+  std::uint64_t injections = 0;
+  std::string last_injected_site;
+};
+
+/// Leaked singleton: failpoints may be hit during static destruction
+/// (e.g. from a RunReport flush), so the state must never be destroyed.
+State& GetState() {
+  static State* state = new State();
+  return *state;
+}
+
+/// Fast-path gate: true iff any site is armed or recording is on. Hot
+/// sites pay exactly this one relaxed load when fault injection is idle.
+std::atomic<bool> g_active{false};
+
+void UpdateActiveLocked(const State& state) {
+  g_active.store(state.recording || !state.armed.empty(),
+                 std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kBadAlloc:
+      return "alloc";
+    case Kind::kIoError:
+      return "io";
+    case Kind::kThrow:
+      return "throw";
+  }
+  return "unknown";
+}
+
+bool Active() { return g_active.load(std::memory_order_relaxed); }
+
+bool Arm(std::string_view site, Kind kind, std::uint64_t fire_at_hit) {
+#if !TNMINE_FAILPOINTS_ENABLED
+  (void)site;
+  (void)kind;
+  (void)fire_at_hit;
+  return false;
+#else
+  if (site.empty() || fire_at_hit == 0) return false;
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.armed[std::string(site)] = Armed{kind, fire_at_hit};
+  UpdateActiveLocked(state);
+  return true;
+#endif
+}
+
+bool ArmFromSpec(std::string_view spec) {
+  const std::size_t first = spec.find(':');
+  if (first == std::string_view::npos || first == 0) return false;
+  const std::string_view site = spec.substr(0, first);
+  std::string_view rest = spec.substr(first + 1);
+  std::string_view kind_name = rest;
+  std::uint64_t fire_at_hit = 1;
+  const std::size_t second = rest.find(':');
+  if (second != std::string_view::npos) {
+    kind_name = rest.substr(0, second);
+    const std::string_view hit = rest.substr(second + 1);
+    auto [ptr, ec] = std::from_chars(hit.data(), hit.data() + hit.size(),
+                                     fire_at_hit);
+    if (ec != std::errc() || ptr != hit.data() + hit.size() ||
+        fire_at_hit == 0) {
+      return false;
+    }
+  }
+  Kind kind;
+  if (kind_name == "alloc") {
+    kind = Kind::kBadAlloc;
+  } else if (kind_name == "io") {
+    kind = Kind::kIoError;
+  } else if (kind_name == "throw") {
+    kind = Kind::kThrow;
+  } else {
+    return false;
+  }
+  return Arm(site, kind, fire_at_hit);
+}
+
+void DisarmAll() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.armed.clear();
+  state.injections = 0;
+  state.last_injected_site.clear();
+  UpdateActiveLocked(state);
+}
+
+void StartRecording() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.recording = true;
+  state.hit_counts.clear();
+  state.injections = 0;
+  state.last_injected_site.clear();
+  UpdateActiveLocked(state);
+}
+
+std::vector<std::string> SitesSeen() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::string> sites;
+  sites.reserve(state.hit_counts.size());
+  for (const auto& [site, count] : state.hit_counts) sites.push_back(site);
+  return sites;  // std::map iteration order is already sorted
+}
+
+std::uint64_t HitCount(std::string_view site) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.hit_counts.find(site);
+  return it == state.hit_counts.end() ? 0 : it->second;
+}
+
+std::uint64_t InjectionCount() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.injections;
+}
+
+std::string LastInjectedSite() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.last_injected_site;
+}
+
+bool Hit(std::string_view site) {
+  State& state = GetState();
+  Kind fire_kind;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.recording) ++state.hit_counts[std::string(site)];
+    const auto it = state.armed.find(site);
+    if (it == state.armed.end()) return false;
+    Armed& armed = it->second;
+    if (armed.fired || ++armed.hits_since_arm != armed.fire_at_hit) {
+      return false;
+    }
+    armed.fired = true;  // one-shot
+    ++state.injections;
+    state.last_injected_site = std::string(site);
+    fire_kind = armed.kind;
+  }
+  switch (fire_kind) {
+    case Kind::kBadAlloc:
+      throw std::bad_alloc();
+    case Kind::kThrow:
+      throw InjectedFault(site);
+    case Kind::kIoError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace tnmine::failpoint

@@ -1,0 +1,103 @@
+#ifndef TNMINE_COMMON_FAILPOINT_H_
+#define TNMINE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Deterministic fault injection. A failpoint is a named site in
+/// production code — `if (TNMINE_FAILPOINT("csv/reader_open")) ...` —
+/// that normally evaluates to false with the cost of one relaxed atomic
+/// load. Tests and stress harnesses Arm() a site to fire on its Nth hit,
+/// injecting an allocation failure (throws std::bad_alloc), a simulated
+/// I/O error (the macro returns true and the call site takes its error
+/// path), or a worker-thread exception (throws InjectedFault). Hits are
+/// counted per site, so "fire on hit 3" reproduces exactly on replay.
+///
+/// Configure with -DTNMINE_FAILPOINTS=OFF to define
+/// TNMINE_FAILPOINTS_DISABLED: every macro site compiles to `(false)` and
+/// the branch folds away. The registry functions below stay compiled so
+/// harness code links either way (arming is a no-op that reports failure).
+#if defined(TNMINE_FAILPOINTS_DISABLED)
+#define TNMINE_FAILPOINTS_ENABLED 0
+#else
+#define TNMINE_FAILPOINTS_ENABLED 1
+#endif
+
+namespace tnmine::failpoint {
+
+/// Thrown by sites armed with Kind::kThrow — models an unexpected
+/// exception escaping a worker task (distinct from std::bad_alloc, which
+/// miners absorb at work-unit boundaries; this one must propagate).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(std::string_view site)
+      : std::runtime_error("injected fault at failpoint: " +
+                           std::string(site)),
+        site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+enum class Kind : std::uint8_t {
+  kBadAlloc,  ///< site throws std::bad_alloc
+  kIoError,   ///< site's macro returns true (caller takes error path)
+  kThrow,     ///< site throws InjectedFault
+};
+
+const char* KindName(Kind kind);
+
+/// Arms `site` to fire once, on its `fire_at_hit`-th hit (1-based),
+/// counting from this call. Returns false when failpoints are compiled
+/// out. Arming is process-global; not intended for use while worker
+/// threads are mid-flight (arm, run the workload, inspect, DisarmAll).
+bool Arm(std::string_view site, Kind kind, std::uint64_t fire_at_hit = 1);
+
+/// Arms from a "site:kind[:hit]" spec, kind in {alloc, io, throw} —
+/// e.g. "gspan/grow:alloc:5". Returns false on a malformed spec or when
+/// compiled out.
+bool ArmFromSpec(std::string_view spec);
+
+void DisarmAll();
+
+/// Starts recording distinct site names (and resets hit/injection
+/// tallies). Recording also takes the slow path on every hit, so keep it
+/// to site-discovery sweeps.
+void StartRecording();
+
+/// Distinct sites hit since StartRecording(), sorted. This is how the
+/// stress harness discovers the full site inventory to sweep.
+std::vector<std::string> SitesSeen();
+
+/// Hits observed at `site` since the last StartRecording()/Arm() reset
+/// of that site's counter.
+std::uint64_t HitCount(std::string_view site);
+
+/// Total faults injected since the last StartRecording()/DisarmAll().
+std::uint64_t InjectionCount();
+
+/// Site of the most recent injection ("" when none). fuzz_io writes this
+/// into failure artifacts so CI reproduces injected faults exactly.
+std::string LastInjectedSite();
+
+/// Implementation hook behind TNMINE_FAILPOINT. Returns true when an
+/// armed kIoError fires; throws for kBadAlloc / kThrow.
+bool Hit(std::string_view site);
+
+/// True when any site is armed or recording is on (one relaxed load).
+bool Active();
+
+}  // namespace tnmine::failpoint
+
+#if TNMINE_FAILPOINTS_ENABLED
+#define TNMINE_FAILPOINT(site)                  \
+  (::tnmine::failpoint::Active() ? ::tnmine::failpoint::Hit(site) : false)
+#else
+#define TNMINE_FAILPOINT(site) (false)
+#endif
+
+#endif  // TNMINE_COMMON_FAILPOINT_H_

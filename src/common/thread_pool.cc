@@ -32,6 +32,7 @@ std::size_t Parallelism::Resolve() const {
 /// all in-flight exceptions) have settled.
 struct ThreadPool::Job {
   const std::function<void(std::size_t)>* fn = nullptr;
+  const CancelToken* cancel = nullptr;  // optional caller-owned token
   std::size_t n = 0;
   std::size_t chunk = 1;
   std::size_t extra_lanes = 0;  // worker lanes still allowed to join;
@@ -104,20 +105,25 @@ void ThreadPool::WorkOn(Job& job) {
     const std::size_t begin = job.next.fetch_add(job.chunk);
     if (begin >= job.n) return;
     const std::size_t end = std::min(job.n, begin + job.chunk);
-    if (!job.cancelled.load(std::memory_order_relaxed)) {
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          (*job.fn)(i);
-        } catch (...) {
-          job.cancelled.store(true, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(job.mu);
-          // Keep the lowest-index exception so reruns rethrow the same one.
-          if (job.error == nullptr || i < job.error_index) {
-            job.error = std::current_exception();
-            job.error_index = i;
-          }
-          break;  // drop the rest of this chunk (items counted below)
+    for (std::size_t i = begin; i < end; ++i) {
+      // Checked before every item (not per chunk) so a sibling's
+      // exception or a fired cancel token stops this lane at the next
+      // item boundary, not after tens of thousands more calls.
+      if (job.cancelled.load(std::memory_order_relaxed) ||
+          (job.cancel != nullptr && job.cancel->cancelled())) {
+        break;
+      }
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        job.cancelled.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(job.mu);
+        // Keep the lowest-index exception so reruns rethrow the same one.
+        if (job.error == nullptr || i < job.error_index) {
+          job.error = std::current_exception();
+          job.error_index = i;
         }
+        break;  // drop the rest of this chunk (items counted below)
       }
     }
     // Count the whole chunk — skipped (cancelled) items included — so
@@ -132,7 +138,8 @@ void ThreadPool::WorkOn(Job& job) {
 }
 
 void ThreadPool::Run(std::size_t n, std::size_t max_threads,
-                     const std::function<void(std::size_t)>& fn) {
+                     const std::function<void(std::size_t)>& fn,
+                     const CancelToken* cancel) {
   if (n == 0) return;
   TNMINE_COUNTER_ADD("threadpool/items_run", n);
   const std::size_t lanes =
@@ -140,13 +147,17 @@ void ThreadPool::Run(std::size_t n, std::size_t max_threads,
   if (lanes <= 1 || tls_in_pool_lane) {
     // Inline path: sequential semantics, exceptions propagate naturally.
     TNMINE_COUNTER_ADD("threadpool/inline_runs", 1);
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      fn(i);
+    }
     return;
   }
   TNMINE_COUNTER_ADD("threadpool/jobs_submitted", 1);
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;
+  job->cancel = cancel;
   job->n = n;
   // Coarse dynamic chunking: enough chunks for load balance, few enough
   // that the shared cursor stays cold. Results are index-addressed, so
@@ -177,8 +188,9 @@ void ThreadPool::Run(std::size_t n, std::size_t max_threads,
 }
 
 void ParallelFor(const Parallelism& par, std::size_t n,
-                 const std::function<void(std::size_t)>& fn) {
-  ThreadPool::Shared().Run(n, par.Resolve(), fn);
+                 const std::function<void(std::size_t)>& fn,
+                 const CancelToken* cancel) {
+  ThreadPool::Shared().Run(n, par.Resolve(), fn, cancel);
 }
 
 }  // namespace tnmine::common

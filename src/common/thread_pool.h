@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/budget.h"
+
 namespace tnmine::common {
 
 /// How much parallelism a call may use. Every parallel entry point in
@@ -44,9 +46,15 @@ struct Parallelism {
 ///   lane executes serially on that lane. This makes nesting deadlock-free
 ///   (no lane ever blocks waiting for work that only itself could run) and
 ///   keeps the total lane count bounded by the pool size.
-/// - **Exceptions propagate.** If any fn(i) throws, remaining unstarted
-///   work is skipped (best effort) and the exception with the lowest index
-///   is rethrown on the calling thread once all lanes have quiesced.
+/// - **Exceptions propagate.** If any fn(i) throws, the job's cancel flag
+///   is set so sibling lanes short-circuit before every not-yet-started
+///   item, and the exception with the lowest index is rethrown on the
+///   calling thread once all lanes have quiesced.
+/// - **Cooperative cancellation.** Run/ParallelFor accept an optional
+///   CancelToken; once it fires, not-yet-started items are skipped.
+///   Skipped items never ran, so token-based calls are for fire-and-skip
+///   loops — ParallelMap requires every slot and therefore polls budgets
+///   inside fn instead of taking a token.
 /// - **Multiple concurrent jobs are fair.** Jobs from different caller
 ///   threads queue FIFO; each caller always works on its own job, so a
 ///   busy pool degrades toward serial execution, never deadlock.
@@ -71,15 +79,19 @@ class ThreadPool {
   static ThreadPool& Shared();
 
   /// Runs fn(0) .. fn(n-1), using at most `max_threads` lanes (clamped to
-  /// the pool size), and blocks until all items finished. See the class
+  /// the pool size), and blocks until all items finished. When `cancel`
+  /// is non-null and fires, items that have not started yet are skipped
+  /// (the call still blocks until in-flight items settle). See the class
   /// comment for determinism / nesting / exception semantics.
   void Run(std::size_t n, std::size_t max_threads,
-           const std::function<void(std::size_t)>& fn);
+           const std::function<void(std::size_t)>& fn,
+           const CancelToken* cancel = nullptr);
 
   /// Run() with all of the pool's lanes available.
   void ParallelFor(std::size_t n,
-                   const std::function<void(std::size_t)>& fn) {
-    Run(n, num_threads(), fn);
+                   const std::function<void(std::size_t)>& fn,
+                   const CancelToken* cancel = nullptr) {
+    Run(n, num_threads(), fn, cancel);
   }
 
   /// Maps fn over [0, n); result i is fn(i), in input order.
@@ -109,8 +121,10 @@ class ThreadPool {
 /// Runs fn(0) .. fn(n-1) on the shared pool with at most par.Resolve()
 /// lanes; blocks until done. With Parallelism::Serial() (or n <= 1, or
 /// when called from inside a pool lane) this is a plain sequential loop.
+/// A fired `cancel` token skips not-yet-started items.
 void ParallelFor(const Parallelism& par, std::size_t n,
-                 const std::function<void(std::size_t)>& fn);
+                 const std::function<void(std::size_t)>& fn,
+                 const CancelToken* cancel = nullptr);
 
 /// Maps fn over [0, n) on the shared pool; result i is fn(i), in input
 /// order regardless of execution order.

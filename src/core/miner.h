@@ -43,6 +43,12 @@ struct StructuralMiningOptions {
   /// identical for any value: each repetition derives its partitioning
   /// from seed + rep alone, and the union is merged in repetition order.
   common::Parallelism parallelism;
+  /// Resource governance for the whole pipeline. The tick allotment is
+  /// Slice()d across repetitions; within a repetition the split phase
+  /// spends its (deterministic) cost first and the miner receives the
+  /// exact remainder — so tick-truncated unions are byte-identical at any
+  /// thread count. Default: inert (unbounded).
+  common::ResourceBudget budget;
 };
 
 struct StructuralMiningResult {
@@ -52,6 +58,13 @@ struct StructuralMiningResult {
   /// Frequent patterns found per repetition (before the union).
   std::vector<std::size_t> patterns_per_repetition;
   bool any_out_of_memory = false;
+  /// Combined outcome over every repetition's split + mine (severity
+  /// max). Anything but kComplete means the union is a valid partial
+  /// result: patterns present are genuinely frequent in the repetitions
+  /// that produced them.
+  common::MiningOutcome outcome = common::MiningOutcome::kComplete;
+  /// Work ticks spent across all repetitions (deterministic).
+  std::uint64_t work_ticks = 0;
 };
 
 /// Algorithm 1: for i in 1..m, SplitGraph(G, k) and mine frequent
@@ -72,6 +85,10 @@ struct TemporalMiningOptions {
   std::uint64_t max_candidate_bytes = 0;
   /// Forwarded to the underlying miner (see FsgOptions / GspanOptions).
   common::Parallelism parallelism;
+  /// Resource governance: the day partitioner spends its (deterministic)
+  /// tick cost first, the miner receives the exact remainder. Default:
+  /// inert (unbounded).
+  common::ResourceBudget budget;
 };
 
 struct TemporalMiningResult {
@@ -80,6 +97,9 @@ struct TemporalMiningResult {
   partition::TemporalStats stats;
   std::size_t absolute_min_support = 0;
   bool out_of_memory = false;
+  /// Combined partition + mining outcome (severity max).
+  common::MiningOutcome outcome = common::MiningOutcome::kComplete;
+  std::uint64_t work_ticks = 0;
 };
 
 /// Partitions the dated transactions into per-day graph transactions and

@@ -7,7 +7,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/budget.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -83,11 +85,25 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
   }
 
+  // Sequential tick ledger: level 1 and candidate generation run on the
+  // calling thread, so charging them directly is deterministic. The
+  // parallel counting phase is settled post hoc (see below).
+  common::BudgetMeter meter(options.budget);
+
   // ---------------------------------------------------------------------
-  // Level 1: frequent single-edge patterns by direct counting.
+  // Level 1: frequent single-edge patterns by direct counting. A budget
+  // stop here returns an empty (but honest) result: partially counted
+  // level-1 supports would under-report and cannot be emitted as frequent.
   std::map<std::pair<EdgeType, bool>, std::vector<std::uint32_t>> edge_tids;
   for (std::uint32_t tid = 0; tid < transactions.size(); ++tid) {
     const LabeledGraph& t = transactions[tid];
+    const common::MiningOutcome stop = meter.Charge(1 + t.num_edges());
+    if (stop != common::MiningOutcome::kComplete) {
+      result.outcome = stop;
+      result.work_ticks = meter.ticks_spent();
+      common::RecordOutcome("fsg", result.outcome);
+      return result;
+    }
     std::set<std::pair<EdgeType, bool>> seen;
     t.ForEachEdge([&](EdgeId e) {
       const Edge& edge = t.edge(e);
@@ -150,85 +166,122 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     std::unordered_map<std::string, Candidate> candidates;
     std::uint64_t candidate_bytes = 0;
     bool oom = false;
+    common::MiningOutcome level_outcome = common::MiningOutcome::kComplete;
+    // Bytes charged against the shared memory ceiling for this level's
+    // candidate set, released when the level's scope ends (break or not).
+    std::uint64_t level_charged = 0;
+    struct MemRelease {
+      const common::ResourceBudget* budget;
+      const std::uint64_t* bytes;
+      ~MemRelease() { budget->ReleaseMemory(*bytes); }
+    } release{&options.budget, &level_charged};
     // Level-local telemetry, flushed once per level so the hot extension
     // loop stays free of atomics.
     std::uint64_t extensions_considered = 0;
     std::uint64_t pruned_closure = 0;
 
     TNMINE_TRACE_SPAN("fsg/level");
-    for (const FrequentPattern& parent : frontier) {
-      if (oom) break;
-      const LabeledGraph& pg = parent.graph;
-      auto consider = [&](LabeledGraph&& extended) {
-        if (oom) return;
-        ++extensions_considered;
-        std::string code = iso::CanonicalCodeCached(extended);
-        if (candidates.contains(code)) return;
-        // Downward closure: every connected k-edge sub-pattern must be
-        // frequent.
-        bool prunable = false;
-        const std::vector<EdgeId> live = extended.LiveEdges();
-        for (EdgeId drop : live) {
-          const LabeledGraph sub = WithoutEdge(extended, drop);
-          if (!graph::IsWeaklyConnected(sub)) continue;  // not checkable
-          if (!previous_level_codes.contains(iso::CanonicalCodeCached(sub))) {
-            prunable = true;
+    try {
+      for (const FrequentPattern& parent : frontier) {
+        if (oom || level_outcome != common::MiningOutcome::kComplete) break;
+        const LabeledGraph& pg = parent.graph;
+        auto consider = [&](LabeledGraph&& extended) {
+          if (oom || level_outcome != common::MiningOutcome::kComplete) {
+            return;
+          }
+          (void)TNMINE_FAILPOINT("fsg/consider");
+          ++extensions_considered;
+          // One tick per extension plus one per edge covers the canonical
+          // code and closure checks; all of it runs sequentially, so the
+          // ledger is deterministic.
+          const common::MiningOutcome stop =
+              meter.Charge(1 + extended.num_edges());
+          if (stop != common::MiningOutcome::kComplete) {
+            level_outcome = stop;
+            return;
+          }
+          std::string code = iso::CanonicalCodeCached(extended);
+          if (candidates.contains(code)) return;
+          // Downward closure: every connected k-edge sub-pattern must be
+          // frequent.
+          bool prunable = false;
+          const std::vector<EdgeId> live = extended.LiveEdges();
+          for (EdgeId drop : live) {
+            const LabeledGraph sub = WithoutEdge(extended, drop);
+            if (!graph::IsWeaklyConnected(sub)) continue;  // not checkable
+            if (!previous_level_codes.contains(iso::CanonicalCodeCached(sub))) {
+              prunable = true;
+              break;
+            }
+          }
+          if (prunable) {
+            ++pruned_closure;
+            return;
+          }
+          Candidate c;
+          c.pattern.graph = std::move(extended);
+          c.pattern.code = code;
+          c.parent_tids = parent.tids;
+          const std::uint64_t delta =
+              EstimateBytes(c.pattern) + 4 * c.parent_tids.size();
+          candidate_bytes += delta;
+          result.peak_candidate_bytes =
+              std::max(result.peak_candidate_bytes,
+                       frontier_bytes + candidate_bytes);
+          if (options.max_candidate_bytes != 0 &&
+              frontier_bytes + candidate_bytes > options.max_candidate_bytes) {
+            oom = true;
+            return;
+          }
+          if (!options.budget.TryChargeMemory(delta)) {
+            oom = true;
+            return;
+          }
+          level_charged += delta;
+          candidates.emplace(std::move(code), std::move(c));
+        };
+
+        for (VertexId u = 0; u < pg.num_vertices(); ++u) {
+          const Label lu = pg.vertex_label(u);
+          for (const EdgeType& t : frequent_edges) {
+            if (t.src_label == lu) {
+              // u -> new vertex.
+              {
+                LabeledGraph ext = pg;
+                const VertexId w = ext.AddVertex(t.dst_label);
+                ext.AddEdge(u, w, t.edge_label);
+                consider(std::move(ext));
+              }
+              // u -> existing vertex (including self-loop when labels
+              // allow).
+              for (VertexId w = 0; w < pg.num_vertices(); ++w) {
+                if (pg.vertex_label(w) != t.dst_label) continue;
+                LabeledGraph ext = pg;
+                ext.AddEdge(u, w, t.edge_label);
+                consider(std::move(ext));
+              }
+            }
+            if (t.dst_label == lu) {
+              // new vertex -> u. (existing -> u is covered by the outgoing
+              // case at that existing vertex.)
+              LabeledGraph ext = pg;
+              const VertexId w = ext.AddVertex(t.src_label);
+              ext.AddEdge(w, u, t.edge_label);
+              consider(std::move(ext));
+            }
+            if (oom || level_outcome != common::MiningOutcome::kComplete) {
+              break;
+            }
+          }
+          if (oom || level_outcome != common::MiningOutcome::kComplete) {
             break;
           }
         }
-        if (prunable) {
-          ++pruned_closure;
-          return;
-        }
-        Candidate c;
-        c.pattern.graph = std::move(extended);
-        c.pattern.code = code;
-        c.parent_tids = parent.tids;
-        candidate_bytes += EstimateBytes(c.pattern) +
-                           4 * c.parent_tids.size();
-        result.peak_candidate_bytes =
-            std::max(result.peak_candidate_bytes,
-                     frontier_bytes + candidate_bytes);
-        if (options.max_candidate_bytes != 0 &&
-            frontier_bytes + candidate_bytes > options.max_candidate_bytes) {
-          oom = true;
-          return;
-        }
-        candidates.emplace(std::move(code), std::move(c));
-      };
-
-      for (VertexId u = 0; u < pg.num_vertices(); ++u) {
-        const Label lu = pg.vertex_label(u);
-        for (const EdgeType& t : frequent_edges) {
-          if (t.src_label == lu) {
-            // u -> new vertex.
-            {
-              LabeledGraph ext = pg;
-              const VertexId w = ext.AddVertex(t.dst_label);
-              ext.AddEdge(u, w, t.edge_label);
-              consider(std::move(ext));
-            }
-            // u -> existing vertex (including self-loop when labels
-            // allow).
-            for (VertexId w = 0; w < pg.num_vertices(); ++w) {
-              if (pg.vertex_label(w) != t.dst_label) continue;
-              LabeledGraph ext = pg;
-              ext.AddEdge(u, w, t.edge_label);
-              consider(std::move(ext));
-            }
-          }
-          if (t.dst_label == lu) {
-            // new vertex -> u. (existing -> u is covered by the outgoing
-            // case at that existing vertex.)
-            LabeledGraph ext = pg;
-            const VertexId w = ext.AddVertex(t.src_label);
-            ext.AddEdge(w, u, t.edge_label);
-            consider(std::move(ext));
-          }
-          if (oom) break;
-        }
-        if (oom) break;
       }
+    } catch (const std::bad_alloc&) {
+      // Allocation failure (real or injected) while building the level's
+      // candidate set: degrade exactly like the candidate-byte ceiling.
+      oom = true;
     }
     result.candidates_per_level.push_back(candidates.size());
     TNMINE_COUNTER_ADD("fsg/extensions_considered", extensions_considered);
@@ -236,6 +289,14 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     TNMINE_COUNTER_ADD("fsg/candidates_generated", candidates.size());
     if (oom) {
       result.aborted_out_of_memory = true;
+      result.outcome = common::CombineOutcomes(
+          result.outcome, common::MiningOutcome::kMemoryBudgetExceeded);
+      break;
+    }
+    if (level_outcome != common::MiningOutcome::kComplete) {
+      // Budget stop mid-generation: the level's candidate set is partial,
+      // so none of it can be honestly counted. Keep completed levels.
+      result.outcome = common::CombineOutcomes(result.outcome, level_outcome);
       break;
     }
 
@@ -253,43 +314,75 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
               [](const Candidate& a, const Candidate& b) {
                 return a.pattern.code < b.pattern.code;
               });
-    const std::vector<std::vector<std::uint32_t>> counted =
-        common::ParallelMap<std::vector<std::uint32_t>>(
+    struct CountResult {
+      std::vector<std::uint32_t> tids;
+      std::uint64_t checks = 0;
+      common::MiningOutcome aborted = common::MiningOutcome::kComplete;
+    };
+    const std::vector<CountResult> counted =
+        common::ParallelMap<CountResult>(
             options.parallelism, ordered.size(), [&](std::size_t c) {
+              CountResult out;
+              // Shared stop conditions (cancel/deadline/memory trip) are
+              // honored per candidate; tick truncation is settled
+              // deterministically after the map, below.
+              out.aborted = options.budget.StopReason();
+              if (out.aborted != common::MiningOutcome::kComplete) {
+                return out;
+              }
               const FrequentPattern& p = ordered[c].pattern;
               const std::vector<std::uint32_t>& feasible =
                   ordered[c].parent_tids;
-              std::vector<std::uint32_t> tids;
-              std::uint64_t checks = 0;
-              for (std::size_t i = 0; i < feasible.size(); ++i) {
-                // Early abort when the remaining transactions cannot
-                // reach min_support.
-                if (tids.size() + (feasible.size() - i) <
-                    options.min_support) {
-                  break;
+              try {
+                (void)TNMINE_FAILPOINT("fsg/count");
+                for (std::size_t i = 0; i < feasible.size(); ++i) {
+                  // Early abort when the remaining transactions cannot
+                  // reach min_support.
+                  if (out.tids.size() + (feasible.size() - i) <
+                      options.min_support) {
+                    break;
+                  }
+                  const std::uint32_t tid = feasible[i];
+                  ++out.checks;
+                  if (ContainsWithBudget(p.graph, transactions[tid],
+                                         options.max_match_steps)) {
+                    out.tids.push_back(tid);
+                  }
                 }
-                const std::uint32_t tid = feasible[i];
-                ++checks;
-                if (ContainsWithBudget(p.graph, transactions[tid],
-                                       options.max_match_steps)) {
-                  tids.push_back(tid);
-                }
+              } catch (const std::bad_alloc&) {
+                out.aborted = common::MiningOutcome::kMemoryBudgetExceeded;
+                out.tids.clear();
               }
               // One flush per candidate: the per-candidate check count is
               // scheduling-independent, so the total is too.
-              TNMINE_COUNTER_ADD("fsg/support_checks", checks);
-              return tids;
+              TNMINE_COUNTER_ADD("fsg/support_checks", out.checks);
+              return out;
             });
+    // Settle the parallel phase against the tick ledger in sorted
+    // candidate order. Each candidate's check count is a deterministic
+    // function of the candidate alone, so the prefix that fits the
+    // remaining allotment — and therefore the emitted pattern set — is
+    // identical at any thread count.
     std::vector<FrequentPattern> next_frontier;
     for (std::size_t c = 0; c < ordered.size(); ++c) {
-      if (counted[c].size() < options.min_support) continue;
+      if (counted[c].aborted != common::MiningOutcome::kComplete) {
+        level_outcome =
+            common::CombineOutcomes(level_outcome, counted[c].aborted);
+        continue;
+      }
+      const common::MiningOutcome stop =
+          meter.Charge(counted[c].checks > 0 ? counted[c].checks : 1);
+      if (stop != common::MiningOutcome::kComplete) {
+        level_outcome = common::CombineOutcomes(level_outcome, stop);
+        break;
+      }
+      if (counted[c].tids.size() < options.min_support) continue;
       FrequentPattern& p = ordered[c].pattern;
-      p.tids = counted[c];
+      p.tids = counted[c].tids;
       p.support = p.tids.size();
       next_frontier.push_back(std::move(p));
     }
     result.frequent_per_level.push_back(next_frontier.size());
-    result.levels_completed = level;
     TNMINE_COUNTER_ADD("fsg/candidates_counted", ordered.size());
     TNMINE_COUNTER_ADD("fsg/patterns_frequent", next_frontier.size());
 
@@ -298,12 +391,22 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
       previous_level_codes.insert(p.code);
       result.patterns.push_back(p);
     }
+    if (level_outcome != common::MiningOutcome::kComplete) {
+      // The level was truncated: its surviving prefix is emitted above
+      // (every pattern in it was fully counted), but the frontier is
+      // incomplete, so deeper levels cannot be mined honestly.
+      result.outcome = common::CombineOutcomes(result.outcome, level_outcome);
+      break;
+    }
+    result.levels_completed = level;
     frontier = std::move(next_frontier);
     frontier_bytes = 0;
     for (const FrequentPattern& p : frontier) {
       frontier_bytes += EstimateBytes(p);
     }
   }
+  result.work_ticks = meter.ticks_spent();
+  common::RecordOutcome("fsg", result.outcome);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/failpoint.h"
 #include "common/telemetry.h"
 
 namespace tnmine::graph {
@@ -361,6 +362,7 @@ bool ReadFsgFormat(const std::string& text,
 }
 
 bool WriteTextFile(const std::string& path, const std::string& text) {
+  if (TNMINE_FAILPOINT("graph_io/write")) return false;
   FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
@@ -370,6 +372,7 @@ bool WriteTextFile(const std::string& path, const std::string& text) {
 }
 
 bool ReadTextFile(const std::string& path, std::string* text) {
+  if (TNMINE_FAILPOINT("graph_io/read")) return false;
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return false;
   std::string out;

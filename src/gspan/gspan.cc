@@ -8,7 +8,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/budget.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -84,6 +86,10 @@ struct Miner {
   const GspanOptions& options;
   GspanResult result;
   std::unordered_set<std::string> visited_codes;
+  /// This seed subtree's deterministic tick ledger (its Slice of the
+  /// run's allotment). The subtree is mined sequentially, so tick
+  /// exhaustion cuts the DFS at the same pattern on every run.
+  common::BudgetMeter meter;
   // Subtree-local telemetry, flushed to the registry once per seed (keeps
   // the hot recursion free of atomics and the totals independent of lane
   // scheduling).
@@ -111,6 +117,34 @@ struct Miner {
     if (options.max_edges != 0 && pg.num_edges() >= options.max_edges) {
       return;
     }
+
+    // Budget gate: the pattern above is already recorded (so truncated
+    // runs keep every pattern they paid for), but growing costs one tick
+    // per embedding scanned — a deterministic function of this subtree.
+    if (result.outcome != common::MiningOutcome::kComplete) return;
+    (void)TNMINE_FAILPOINT("gspan/grow");
+    const common::MiningOutcome tick =
+        meter.Charge(1 + static_cast<std::uint64_t>(embs.size()));
+    if (tick != common::MiningOutcome::kComplete) {
+      result.outcome = common::CombineOutcomes(result.outcome, tick);
+      return;
+    }
+    // Coarse estimate of this level's projected-database footprint,
+    // charged against the shared memory ceiling for the duration of the
+    // extension scan.
+    const std::uint64_t approx_bytes =
+        static_cast<std::uint64_t>(embs.size()) *
+        (sizeof(Emb) + 8 * (pg.num_vertices() + pg.num_edges()));
+    if (!options.budget.TryChargeMemory(approx_bytes)) {
+      result.outcome = common::CombineOutcomes(
+          result.outcome, common::MiningOutcome::kMemoryBudgetExceeded);
+      return;
+    }
+    struct MemRelease {
+      const common::ResourceBudget* budget;
+      std::uint64_t bytes;
+      ~MemRelease() { budget->ReleaseMemory(bytes); }
+    } release{&options.budget, approx_bytes};
 
     // Enumerate extensions across all embeddings, collecting the extended
     // embeddings per descriptor. Hashed container + reserve: this map is
@@ -199,6 +233,8 @@ struct Miner {
     std::sort(ordered.begin(), ordered.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     for (auto& [ext, raw_embs] : ordered) {
+      // A child subtree that ran out of budget stops its siblings too.
+      if (result.outcome != common::MiningOutcome::kComplete) break;
       // Deduplicate identical embeddings (the same occurrence can be
       // reached from several parent embeddings related by automorphism —
       // keep distinct (tid, vertex map, edge set) triples only) and apply
@@ -312,15 +348,28 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
 
   TNMINE_COUNTER_ADD("gspan/seeds_expanded", frequent.size());
 
-  // Mine each seed's subtree independently (own lane, own visited set)...
+  // Mine each seed's subtree independently (own lane, own visited set).
+  // Each subtree gets its deterministic Slice of the tick allotment, so
+  // tick-truncated output is identical at any thread count; a bad_alloc
+  // (real or injected) is absorbed at this boundary, downgrading the
+  // subtree to its partial result with an honest memory outcome.
   std::vector<GspanResult> parts = common::ParallelMap<GspanResult>(
       options.parallelism, frequent.size(), [&](std::size_t i) {
         TNMINE_TRACE_SPAN("gspan/seed_subtree");
         Seed& seed = frequent[i];
         Miner miner{transactions, options, {}, {}};
+        miner.meter =
+            common::BudgetMeter(options.budget.Slice(i, frequent.size()));
         miner.visited_codes.insert(seed.code);
         ++miner.result.patterns_explored;
-        miner.Grow(seed.pg, seed.code, std::move(seed.embs));
+        try {
+          miner.Grow(seed.pg, seed.code, std::move(seed.embs));
+        } catch (const std::bad_alloc&) {
+          miner.result.outcome = common::CombineOutcomes(
+              miner.result.outcome,
+              common::MiningOutcome::kMemoryBudgetExceeded);
+        }
+        miner.result.work_ticks = miner.meter.ticks_spent();
         TNMINE_COUNTER_ADD("gspan/extensions_enumerated",
                            miner.extensions_enumerated);
         TNMINE_COUNTER_ADD("gspan/embeddings_materialized",
@@ -338,6 +387,8 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
   std::unordered_set<std::string> claimed;
   for (GspanResult& part : parts) {
     merged.embeddings_truncated |= part.embeddings_truncated;
+    merged.outcome = common::CombineOutcomes(merged.outcome, part.outcome);
+    merged.work_ticks += part.work_ticks;
     for (FrequentPattern& p : part.patterns) {
       if (!claimed.insert(p.code).second) continue;
       merged.max_level = std::max(merged.max_level, p.graph.num_edges());
@@ -348,6 +399,7 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
   // distinct classes explored equal the patterns kept.
   merged.patterns_explored = merged.patterns.size();
   TNMINE_COUNTER_ADD("gspan/patterns_emitted", merged.patterns.size());
+  common::RecordOutcome("gspan", merged.outcome);
   return merged;
 }
 

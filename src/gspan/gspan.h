@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/thread_pool.h"
 #include "graph/labeled_graph.h"
 #include "pattern/pattern.h"
@@ -23,6 +24,11 @@ struct GspanOptions {
   /// Lanes for mining the frequent 1-edge seed subtrees concurrently.
   /// Any value yields byte-identical results (see MineGspan).
   common::Parallelism parallelism;
+  /// Resource governance. The tick allotment is Slice()d across seed
+  /// subtrees before the parallel fan-out, so a tick-truncated run is
+  /// byte-identical at any thread count; deadline/memory/cancel cutoffs
+  /// are honored but scheduling-dependent. Default: inert (unbounded).
+  common::ResourceBudget budget;
 };
 
 struct GspanResult {
@@ -33,6 +39,14 @@ struct GspanResult {
   std::size_t max_level = 0;
   /// True when the embedding cap truncated any embedding list.
   bool embeddings_truncated = false;
+  /// How the run ended. Anything but kComplete means `patterns` is the
+  /// best partial result found before the budget/cancel cutoff: every
+  /// pattern listed is genuinely frequent, but deeper extensions may be
+  /// missing. Seed patterns are always recorded, so a truncated run on a
+  /// non-trivial input is never empty.
+  common::MiningOutcome outcome = common::MiningOutcome::kComplete;
+  /// Work ticks spent (summed over seed subtrees; deterministic).
+  std::uint64_t work_ticks = 0;
 };
 
 /// gSpan-style pattern-growth mining (Yan & Han, ICDM 2002 — the

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/budget.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -15,12 +17,14 @@ using graph::kInvalidVertex;
 using graph::LabeledGraph;
 using graph::VertexId;
 
-std::vector<LabeledGraph> SplitGraph(const LabeledGraph& g,
-                                     const SplitOptions& options) {
+SplitResult SplitGraphBudgeted(const LabeledGraph& g,
+                               const SplitOptions& options) {
   TNMINE_TRACE_SPAN("partition/split_graph");
   TNMINE_CHECK(options.num_partitions >= 1);
-  std::vector<LabeledGraph> partitions;
-  if (g.num_edges() == 0) return partitions;
+  SplitResult result;
+  std::vector<LabeledGraph>& partitions = result.partitions;
+  common::BudgetMeter meter(options.budget);
+  if (g.num_edges() == 0) return result;
 
   LabeledGraph work = g;  // edges are consumed from this copy
   Rng rng(options.seed);
@@ -65,64 +69,85 @@ std::vector<LabeledGraph> SplitGraph(const LabeledGraph& g,
     return kInvalidVertex;
   };
 
-  while (work.num_edges() > 0) {
-    const std::size_t partitions_remaining =
-        options.num_partitions > partitions.size()
-            ? options.num_partitions - partitions.size()
-            : 1;
-    std::size_t budget = std::max<std::size_t>(
-        1, work.num_edges() / partitions_remaining);
+  try {
+    while (work.num_edges() > 0) {
+      if (result.outcome != common::MiningOutcome::kComplete) break;
+      (void)TNMINE_FAILPOINT("partition/split");
+      const std::size_t partitions_remaining =
+          options.num_partitions > partitions.size()
+              ? options.num_partitions - partitions.size()
+              : 1;
+      std::size_t budget = std::max<std::size_t>(
+          1, work.num_edges() / partitions_remaining);
 
-    const VertexId seed = pick_seed();
-    TNMINE_CHECK(seed != kInvalidVertex);
+      const VertexId seed = pick_seed();
+      TNMINE_CHECK(seed != kInvalidVertex);
 
-    LabeledGraph part;
-    std::vector<VertexId> local(work.num_vertices(), kInvalidVertex);
-    auto local_vertex = [&](VertexId v) {
-      if (local[v] == kInvalidVertex) {
-        local[v] = part.AddVertex(work.vertex_label(v));
-      }
-      return local[v];
-    };
+      LabeledGraph part;
+      std::vector<VertexId> local(work.num_vertices(), kInvalidVertex);
+      auto local_vertex = [&](VertexId v) {
+        if (local[v] == kInvalidVertex) {
+          local[v] = part.AddVertex(work.vertex_label(v));
+        }
+        return local[v];
+      };
 
-    std::deque<VertexId> frontier;
-    std::vector<char> queued(work.num_vertices(), 0);
-    frontier.push_back(seed);
-    queued[seed] = 1;
+      std::deque<VertexId> frontier;
+      std::vector<char> queued(work.num_vertices(), 0);
+      frontier.push_back(seed);
+      queued[seed] = 1;
 
-    while (budget > 0 && !frontier.empty()) {
-      VertexId v;
-      if (options.strategy == SplitStrategy::kBreadthFirst) {
-        v = frontier.front();
-        frontier.pop_front();
-      } else {
-        v = frontier.back();
-        frontier.pop_back();
-      }
-      local_vertex(v);
-      // Move all of v's remaining edges (both directions) while budget
-      // lasts.
-      while (budget > 0 && work.Degree(v) > 0) {
-        const EdgeId take = first_live_edge(v);
-        TNMINE_DCHECK(take != graph::kInvalidEdge);
-        const graph::Edge edge = work.edge(take);
-        part.AddEdge(local_vertex(edge.src), local_vertex(edge.dst),
-                     edge.label);
-        work.RemoveEdge(take);
-        --budget;
-        const VertexId other = (edge.src == v) ? edge.dst : edge.src;
-        if (!queued[other]) {
-          queued[other] = 1;
-          frontier.push_back(other);
+      while (budget > 0 && !frontier.empty() &&
+             result.outcome == common::MiningOutcome::kComplete) {
+        VertexId v;
+        if (options.strategy == SplitStrategy::kBreadthFirst) {
+          v = frontier.front();
+          frontier.pop_front();
+        } else {
+          v = frontier.back();
+          frontier.pop_back();
+        }
+        local_vertex(v);
+        // Move all of v's remaining edges (both directions) while budget
+        // lasts.
+        while (budget > 0 && work.Degree(v) > 0) {
+          const common::MiningOutcome stop = meter.Charge(1);
+          if (stop != common::MiningOutcome::kComplete) {
+            result.outcome = common::CombineOutcomes(result.outcome, stop);
+            break;
+          }
+          const EdgeId take = first_live_edge(v);
+          TNMINE_DCHECK(take != graph::kInvalidEdge);
+          const graph::Edge edge = work.edge(take);
+          part.AddEdge(local_vertex(edge.src), local_vertex(edge.dst),
+                       edge.label);
+          work.RemoveEdge(take);
+          --budget;
+          const VertexId other = (edge.src == v) ? edge.dst : edge.src;
+          if (!queued[other]) {
+            queued[other] = 1;
+            frontier.push_back(other);
+          }
         }
       }
+      // Drop vertices that never received an edge (the seed can end up
+      // orphaned when its edges were consumed by the budget check).
+      // A resource-stopped partition is kept too: its edges were already
+      // consumed from the working copy and it is a valid sub-graph.
+      if (part.num_edges() > 0) {
+        partitions.push_back(part.Compact(/*drop_isolated_vertices=*/true));
+      }
     }
-    // Drop vertices that never received an edge (the seed can end up
-    // orphaned when its edges were consumed by the budget check).
-    partitions.push_back(part.Compact(/*drop_isolated_vertices=*/true));
+  } catch (const std::bad_alloc&) {
+    // Allocation failure mid-partition: partitions already emitted are
+    // valid sub-graphs; the in-flight one is dropped (its edges count as
+    // assigned-but-unemitted).
+    result.outcome = common::CombineOutcomes(
+        result.outcome, common::MiningOutcome::kMemoryBudgetExceeded);
   }
   TNMINE_COUNTER_ADD("partition/partitions_emitted", partitions.size());
-  TNMINE_COUNTER_ADD("partition/edges_assigned", g.num_edges());
+  TNMINE_COUNTER_ADD("partition/edges_assigned",
+                     g.num_edges() - work.num_edges());
   // Boundary duplication factor: partition vertex occurrences per source
   // vertex with edges. 1000x fixed-point so the gauge stays integral.
   std::size_t vertex_occurrences = 0;
@@ -137,7 +162,14 @@ std::vector<LabeledGraph> SplitGraph(const LabeledGraph& g,
     TNMINE_GAUGE_SET("partition/overlap_ratio_milli",
                      vertex_occurrences * 1000 / touched_vertices);
   }
-  return partitions;
+  result.work_ticks = meter.ticks_spent();
+  common::RecordOutcome("partition", result.outcome);
+  return result;
+}
+
+std::vector<LabeledGraph> SplitGraph(const LabeledGraph& g,
+                                     const SplitOptions& options) {
+  return SplitGraphBudgeted(g, options).partitions;
 }
 
 }  // namespace tnmine::partition

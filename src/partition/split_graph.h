@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.h"
 #include "graph/labeled_graph.h"
 
 namespace tnmine::partition {
@@ -26,6 +27,19 @@ struct SplitOptions {
   /// edges remain — exactly the behaviour the paper describes.
   std::size_t num_partitions = 10;
   std::uint64_t seed = 1;
+  /// Resource governance (one tick per assigned edge; the walk is
+  /// sequential, so tick truncation is deterministic). Default: inert.
+  common::ResourceBudget budget;
+};
+
+/// SplitGraphBudgeted's outcome: the partitions plus how the run ended.
+struct SplitResult {
+  std::vector<graph::LabeledGraph> partitions;
+  /// Anything but kComplete means the split stopped early: the emitted
+  /// partitions are valid edge-disjoint sub-graphs, but some edges of the
+  /// source graph remain unassigned.
+  common::MiningOutcome outcome = common::MiningOutcome::kComplete;
+  std::uint64_t work_ticks = 0;
 };
 
 /// Faithful implementation of Algorithm 2 (SplitGraph, breadth-first /
@@ -40,7 +54,13 @@ struct SplitOptions {
 /// reached or the frontier empties. Repeats until every edge of `g` has
 /// been assigned. Orphaned vertices are dropped from the sub-graphs.
 ///
-/// Every live edge of `g` appears in exactly one returned sub-graph.
+/// Every live edge of `g` appears in exactly one returned sub-graph —
+/// unless the budget in `options` stops the run (see SplitResult).
+SplitResult SplitGraphBudgeted(const graph::LabeledGraph& g,
+                               const SplitOptions& options);
+
+/// Convenience wrapper returning just the partitions (callers that care
+/// about truncation use SplitGraphBudgeted).
 std::vector<graph::LabeledGraph> SplitGraph(const graph::LabeledGraph& g,
                                             const SplitOptions& options);
 

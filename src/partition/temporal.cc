@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/budget.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "graph/algorithms.h"
@@ -60,65 +62,82 @@ TemporalPartition PartitionByActiveDay(const TransactionDataset& dataset,
     }
   }
 
-  for (std::size_t day_index = 0; day_index < num_days; ++day_index) {
-    const auto& txns = active[day_index];
-    if (txns.empty()) continue;
-    // Day-level vertex-label filter (Table 3's "< 200 distinct vertex
-    // labels").
-    if (options.max_distinct_vertex_labels > 0) {
-      std::unordered_set<data::LocationKey> distinct;
-      for (std::uint32_t i : txns) {
-        distinct.insert(TransactionDataset::OriginKey(dataset[i]));
-        distinct.insert(TransactionDataset::DestKey(dataset[i]));
+  common::BudgetMeter meter(options.budget);
+  try {
+    for (std::size_t day_index = 0; day_index < num_days; ++day_index) {
+      const auto& txns = active[day_index];
+      if (txns.empty()) continue;
+      (void)TNMINE_FAILPOINT("partition/active_day");
+      // One tick per active transaction-day; days already emitted stay
+      // valid when the budget stops the loop.
+      const common::MiningOutcome stop = meter.Charge(1 + txns.size());
+      if (stop != common::MiningOutcome::kComplete) {
+        out.outcome = common::CombineOutcomes(out.outcome, stop);
+        break;
       }
-      if (distinct.size() >= options.max_distinct_vertex_labels) {
-        ++out.days_filtered_out;
-        continue;
-      }
-    }
-    // Build the day's graph.
-    LabeledGraph day_graph;
-    std::unordered_map<data::LocationKey, graph::VertexId> vertex_of;
-    auto vertex_for = [&](data::LocationKey key) {
-      const auto it = vertex_of.find(key);
-      if (it != vertex_of.end()) return it->second;
-      const graph::VertexId v = day_graph.AddVertex(location_label(key));
-      vertex_of.emplace(key, v);
-      return v;
-    };
-    for (std::uint32_t i : txns) {
-      const Transaction& t = dataset[i];
-      const graph::VertexId src =
-          vertex_for(TransactionDataset::OriginKey(t));
-      const graph::VertexId dst = vertex_for(TransactionDataset::DestKey(t));
-      const graph::Label label = static_cast<graph::Label>(
-          out.discretizer.Bin(data::AttributeValue(t, options.attribute)));
-      day_graph.AddEdge(src, dst, label);
-    }
-    if (options.deduplicate_edges) graph::DeduplicateEdges(&day_graph);
-
-    const std::int64_t day = first_day + static_cast<std::int64_t>(day_index);
-    if (options.split_components) {
-      for (LabeledGraph& component : graph::SplitIntoComponents(day_graph)) {
-        if (options.remove_single_edge_transactions &&
-            component.num_edges() <= 1) {
+      // Day-level vertex-label filter (Table 3's "< 200 distinct vertex
+      // labels").
+      if (options.max_distinct_vertex_labels > 0) {
+        std::unordered_set<data::LocationKey> distinct;
+        for (std::uint32_t i : txns) {
+          distinct.insert(TransactionDataset::OriginKey(dataset[i]));
+          distinct.insert(TransactionDataset::DestKey(dataset[i]));
+        }
+        if (distinct.size() >= options.max_distinct_vertex_labels) {
+          ++out.days_filtered_out;
           continue;
         }
-        out.transactions.push_back(std::move(component));
+      }
+      // Build the day's graph.
+      LabeledGraph day_graph;
+      std::unordered_map<data::LocationKey, graph::VertexId> vertex_of;
+      auto vertex_for = [&](data::LocationKey key) {
+        const auto it = vertex_of.find(key);
+        if (it != vertex_of.end()) return it->second;
+        const graph::VertexId v = day_graph.AddVertex(location_label(key));
+        vertex_of.emplace(key, v);
+        return v;
+      };
+      for (std::uint32_t i : txns) {
+        const Transaction& t = dataset[i];
+        const graph::VertexId src =
+            vertex_for(TransactionDataset::OriginKey(t));
+        const graph::VertexId dst = vertex_for(TransactionDataset::DestKey(t));
+        const graph::Label label = static_cast<graph::Label>(
+            out.discretizer.Bin(data::AttributeValue(t, options.attribute)));
+        day_graph.AddEdge(src, dst, label);
+      }
+      if (options.deduplicate_edges) graph::DeduplicateEdges(&day_graph);
+
+      const std::int64_t day = first_day + static_cast<std::int64_t>(day_index);
+      if (options.split_components) {
+        for (LabeledGraph& component : graph::SplitIntoComponents(day_graph)) {
+          if (options.remove_single_edge_transactions &&
+              component.num_edges() <= 1) {
+            continue;
+          }
+          out.transactions.push_back(std::move(component));
+          out.transaction_day.push_back(day);
+        }
+      } else {
+        if (options.remove_single_edge_transactions &&
+            day_graph.num_edges() <= 1) {
+          continue;
+        }
+        out.transactions.push_back(
+            day_graph.Compact(/*drop_isolated_vertices=*/true));
         out.transaction_day.push_back(day);
       }
-    } else {
-      if (options.remove_single_edge_transactions &&
-          day_graph.num_edges() <= 1) {
-        continue;
-      }
-      out.transactions.push_back(
-          day_graph.Compact(/*drop_isolated_vertices=*/true));
-      out.transaction_day.push_back(day);
     }
+  } catch (const std::bad_alloc&) {
+    // Days already emitted stay valid; the in-flight day is dropped.
+    out.outcome = common::CombineOutcomes(
+        out.outcome, common::MiningOutcome::kMemoryBudgetExceeded);
   }
   TNMINE_COUNTER_ADD("partition/day_graphs_emitted", out.transactions.size());
   TNMINE_COUNTER_ADD("partition/days_filtered_out", out.days_filtered_out);
+  out.work_ticks = meter.ticks_spent();
+  common::RecordOutcome("partition", out.outcome);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/binning.h"
+#include "common/budget.h"
 #include "data/dataset.h"
 #include "data/od_graph.h"
 #include "graph/labeled_graph.h"
@@ -34,6 +35,10 @@ struct TemporalOptions {
   /// Drop transactions with a single edge ("eliminated as not producing
   /// interesting patterns").
   bool remove_single_edge_transactions = true;
+  /// Resource governance (one tick per active transaction-day; the day
+  /// loop is sequential, so tick truncation is deterministic). Default:
+  /// inert.
+  common::ResourceBudget budget;
 };
 
 /// The per-day graph-transaction set.
@@ -50,6 +55,11 @@ struct TemporalPartition {
   std::unordered_map<data::LocationKey, graph::Label> location_label;
   /// Number of days dropped by the vertex-label filter.
   std::size_t days_filtered_out = 0;
+  /// How the partitioning ended. Anything but kComplete means the day
+  /// loop stopped early: transactions for the days processed so far are
+  /// complete and valid; later days are missing.
+  common::MiningOutcome outcome = common::MiningOutcome::kComplete;
+  std::uint64_t work_ticks = 0;
 };
 
 /// Builds one graph per calendar day containing every OD pair active on

@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/budget.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "iso/canonical.h"
@@ -161,6 +163,9 @@ SubdueResult DiscoverSubstructures(const LabeledGraph& g,
   TNMINE_CHECK(options.num_best >= 1);
   TNMINE_COUNTER_ADD("subdue/runs_started", 1);
   SubdueResult result;
+  // Sequential search, sequential ledger: the same allotment always cuts
+  // the beam at the same substructure.
+  common::BudgetMeter meter(options.budget);
   // Run-local telemetry, flushed once at the end (the discovery loop is
   // sequential, so locals also keep totals trivially deterministic).
   std::uint64_t instances_grown = 0;
@@ -216,6 +221,12 @@ SubdueResult DiscoverSubstructures(const LabeledGraph& g,
 
   std::vector<Substructure> parents;
   for (auto& [label, sub] : initial) {
+    const common::MiningOutcome stop =
+        meter.Charge(1 + sub.instances.size());
+    if (stop != common::MiningOutcome::kComplete) {
+      result.outcome = common::CombineOutcomes(result.outcome, stop);
+      break;
+    }
     Evaluate(ctx, &sub);
     ++result.substructures_evaluated;
     offer_best(sub);
@@ -230,101 +241,138 @@ SubdueResult DiscoverSubstructures(const LabeledGraph& g,
     parents.resize(options.beam_width);
   }
 
-  while (!parents.empty() && result.substructures_evaluated < limit) {
+  while (result.outcome == common::MiningOutcome::kComplete &&
+         !parents.empty() && result.substructures_evaluated < limit) {
     // Grow every parent instance by one host edge; group the grown
-    // instances by pattern isomorphism class.
-    struct Child {
-      LabeledGraph pattern;
-      std::vector<Instance> instances;
-      std::unordered_set<std::string> seen;  // instance dedup
-    };
-    std::map<std::string, Child> children;
-    for (const Substructure& parent : parents) {
-      if (options.max_pattern_edges != 0 &&
-          parent.pattern.num_edges() >= options.max_pattern_edges) {
-        continue;
-      }
-      for (const Instance& inst : parent.instances) {
-        // Membership helpers.
-        auto vertex_in = [&](VertexId v) {
-          return std::find(inst.vertices.begin(), inst.vertices.end(), v) !=
-                 inst.vertices.end();
-        };
-        auto edge_in = [&](EdgeId e) {
-          return std::binary_search(inst.edges.begin(), inst.edges.end(), e);
-        };
-        for (VertexId v : inst.vertices) {
-          auto try_extend = [&](EdgeId e) {
-            if (edge_in(e)) return;
-            const Edge& edge = g.edge(e);
-            Instance grown = inst;
-            grown.edges.insert(
-                std::lower_bound(grown.edges.begin(), grown.edges.end(), e),
-                e);
-            const VertexId other = (edge.src == v) ? edge.dst : edge.src;
-            if (!vertex_in(other)) grown.vertices.push_back(other);
-            ++instances_grown;
-            const std::string key = InstanceKey(grown);
-            const LabeledGraph pattern = PatternOf(g, grown);
-            std::string code = iso::CanonicalCode(pattern);
-            auto [it, inserted] =
-                children.try_emplace(std::move(code));
-            Child& child = it->second;
-            if (inserted) child.pattern = pattern;
-            if (!child.seen.insert(key).second) return;
-            if (options.max_instances != 0 &&
-                child.instances.size() >= options.max_instances) {
-              return;
-            }
-            child.instances.push_back(std::move(grown));
+    // instances by pattern isomorphism class. A bad_alloc (real or
+    // injected) anywhere in the round is absorbed at this boundary:
+    // `best` keeps the substructures already evaluated.
+    try {
+      struct Child {
+        LabeledGraph pattern;
+        std::vector<Instance> instances;
+        std::unordered_set<std::string> seen;  // instance dedup
+      };
+      std::map<std::string, Child> children;
+      for (const Substructure& parent : parents) {
+        if (result.outcome != common::MiningOutcome::kComplete) break;
+        if (options.max_pattern_edges != 0 &&
+            parent.pattern.num_edges() >= options.max_pattern_edges) {
+          continue;
+        }
+        for (const Instance& inst : parent.instances) {
+          const common::MiningOutcome grow_stop = meter.Charge(1);
+          if (grow_stop != common::MiningOutcome::kComplete) {
+            result.outcome = common::CombineOutcomes(result.outcome, grow_stop);
+            break;
+          }
+          // Membership helpers.
+          auto vertex_in = [&](VertexId v) {
+            return std::find(inst.vertices.begin(), inst.vertices.end(), v) !=
+                   inst.vertices.end();
           };
-          g.ForEachOutEdge(v, try_extend);
-          g.ForEachInEdge(v, [&](EdgeId e) {
-            if (g.edge(e).src != g.edge(e).dst) try_extend(e);
-          });
+          auto edge_in = [&](EdgeId e) {
+            return std::binary_search(inst.edges.begin(), inst.edges.end(), e);
+          };
+          for (VertexId v : inst.vertices) {
+            auto try_extend = [&](EdgeId e) {
+              if (edge_in(e)) return;
+              const Edge& edge = g.edge(e);
+              Instance grown = inst;
+              grown.edges.insert(
+                  std::lower_bound(grown.edges.begin(), grown.edges.end(), e),
+                  e);
+              const VertexId other = (edge.src == v) ? edge.dst : edge.src;
+              if (!vertex_in(other)) grown.vertices.push_back(other);
+              ++instances_grown;
+              const std::string key = InstanceKey(grown);
+              const LabeledGraph pattern = PatternOf(g, grown);
+              std::string code = iso::CanonicalCode(pattern);
+              auto [it, inserted] =
+                  children.try_emplace(std::move(code));
+              Child& child = it->second;
+              if (inserted) child.pattern = pattern;
+              if (!child.seen.insert(key).second) return;
+              if (options.max_instances != 0 &&
+                  child.instances.size() >= options.max_instances) {
+                return;
+              }
+              child.instances.push_back(std::move(grown));
+            };
+            g.ForEachOutEdge(v, try_extend);
+            g.ForEachInEdge(v, [&](EdgeId e) {
+              if (g.edge(e).src != g.edge(e).dst) try_extend(e);
+            });
+          }
         }
       }
-    }
 
-    std::vector<Substructure> evaluated;
-    for (auto& [code, child] : children) {
-      if (result.substructures_evaluated >= limit) break;
-      Substructure sub;
-      sub.pattern = std::move(child.pattern);
-      sub.code = code;
-      sub.instances = std::move(child.instances);
-      Evaluate(ctx, &sub);
-      ++result.substructures_evaluated;
-      offer_best(sub);
-      evaluated.push_back(std::move(sub));
+      // A budget stop mid-grow leaves `children` with partially grown
+      // instance groups; evaluating them would under-count, so stop here.
+      if (result.outcome != common::MiningOutcome::kComplete) break;
+
+      std::vector<Substructure> evaluated;
+      for (auto& [code, child] : children) {
+        if (result.substructures_evaluated >= limit) break;
+        (void)TNMINE_FAILPOINT("subdue/evaluate");
+        const common::MiningOutcome eval_stop =
+            meter.Charge(1 + child.instances.size());
+        if (eval_stop != common::MiningOutcome::kComplete) {
+          result.outcome = common::CombineOutcomes(result.outcome, eval_stop);
+          break;
+        }
+        Substructure sub;
+        sub.pattern = std::move(child.pattern);
+        sub.code = code;
+        sub.instances = std::move(child.instances);
+        Evaluate(ctx, &sub);
+        ++result.substructures_evaluated;
+        offer_best(sub);
+        evaluated.push_back(std::move(sub));
+      }
+      std::sort(evaluated.begin(), evaluated.end(),
+                [](const Substructure& a, const Substructure& b) {
+                  return a.value > b.value;
+                });
+      if (evaluated.size() > options.beam_width) {
+        beam_evictions += evaluated.size() - options.beam_width;
+        evaluated.resize(options.beam_width);
+      }
+      parents = std::move(evaluated);
+    } catch (const std::bad_alloc&) {
+      result.outcome = common::CombineOutcomes(
+          result.outcome, common::MiningOutcome::kMemoryBudgetExceeded);
+      break;
     }
-    std::sort(evaluated.begin(), evaluated.end(),
-              [](const Substructure& a, const Substructure& b) {
-                return a.value > b.value;
-              });
-    if (evaluated.size() > options.beam_width) {
-      beam_evictions += evaluated.size() - options.beam_width;
-      evaluated.resize(options.beam_width);
-    }
-    parents = std::move(evaluated);
   }
 
   result.best = std::move(best);
+  result.work_ticks = meter.ticks_spent();
   TNMINE_COUNTER_ADD("subdue/substructures_evaluated",
                      result.substructures_evaluated);
   TNMINE_COUNTER_ADD("subdue/instances_grown", instances_grown);
   TNMINE_COUNTER_ADD("subdue/beam_evictions", beam_evictions);
+  common::RecordOutcome("subdue", result.outcome);
   return result;
 }
 
-std::vector<HierarchyLevel> HierarchicalDiscover(const LabeledGraph& g,
-                                                 const SubdueOptions& options,
-                                                 std::size_t passes) {
+std::vector<HierarchyLevel> HierarchicalDiscover(
+    const LabeledGraph& g, const SubdueOptions& options, std::size_t passes,
+    common::MiningOutcome* outcome) {
   std::vector<HierarchyLevel> levels;
+  if (outcome != nullptr) *outcome = common::MiningOutcome::kComplete;
   LabeledGraph current = g;
   for (std::size_t pass = 0; pass < passes; ++pass) {
     if (current.num_edges() == 0) break;
     const SubdueResult found = DiscoverSubstructures(current, options);
+    if (found.outcome != common::MiningOutcome::kComplete) {
+      // Keep completed levels; a truncated pass cannot be trusted to have
+      // found the genuinely best substructure.
+      if (outcome != nullptr) {
+        *outcome = common::CombineOutcomes(*outcome, found.outcome);
+      }
+      break;
+    }
     if (found.best.empty()) break;
     const Substructure& winner = found.best.front();
     // Stop when nothing compresses any more (for instance-count methods,

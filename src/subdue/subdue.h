@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "graph/labeled_graph.h"
 
 namespace tnmine::subdue {
@@ -60,6 +61,10 @@ struct SubdueOptions {
   /// Cap on retained instances per substructure; keeps hub-heavy graphs
   /// from exploding the search. 0 = unlimited.
   std::size_t max_instances = 5000;
+  /// Resource governance. The beam search is sequential, so tick
+  /// truncation is trivially deterministic: the search stops at the same
+  /// substructure for the same allotment. Default: inert (unbounded).
+  common::ResourceBudget budget;
 };
 
 /// Discovery outcome.
@@ -70,6 +75,12 @@ struct SubdueResult {
   /// DL(G) in bits (MDL) or size(G) in vertices+edges (Size), the
   /// denominatorless baseline the values are relative to.
   double base_cost = 0.0;
+  /// How the run ended. Anything but kComplete means the beam search was
+  /// cut short; `best` still holds the best substructures evaluated
+  /// before the cutoff.
+  common::MiningOutcome outcome = common::MiningOutcome::kComplete;
+  /// Work ticks spent (deterministic for tick-budgeted runs).
+  std::uint64_t work_ticks = 0;
 };
 
 /// SUBDUE substructure discovery (Holder, Cook & Djoko 1994): beam search
@@ -98,11 +109,13 @@ struct HierarchyLevel {
 /// Multi-pass discovery: repeatedly finds the best substructure and
 /// compresses it out of the graph, producing "a hierarchical description
 /// of the structural regularities in the data". Stops after `passes`
-/// levels, when no substructure compresses (value <= 1), or when the
-/// graph runs out of edges.
-std::vector<HierarchyLevel> HierarchicalDiscover(const graph::LabeledGraph& g,
-                                                 const SubdueOptions& options,
-                                                 std::size_t passes);
+/// levels, when no substructure compresses (value <= 1), when the graph
+/// runs out of edges, or when the budget in `options` stops a pass. When
+/// `outcome` is non-null it receives the combined MiningOutcome (levels
+/// already produced are kept on truncation).
+std::vector<HierarchyLevel> HierarchicalDiscover(
+    const graph::LabeledGraph& g, const SubdueOptions& options,
+    std::size_t passes, common::MiningOutcome* outcome = nullptr);
 
 }  // namespace tnmine::subdue
 

@@ -1,0 +1,192 @@
+// Deterministic fault-injection tests: arming a failpoint produces the
+// configured failure exactly once, miners absorb injected allocation
+// failures into honest MiningOutcome labels, injected worker exceptions
+// propagate, and io-kind sites push callers down their error paths.
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/csv.h"
+#include "common/random.h"
+#include "fsg/fsg.h"
+#include "graph/graph_io.h"
+#include "graph/labeled_graph.h"
+#include "gspan/gspan.h"
+
+namespace tnmine::failpoint {
+namespace {
+
+using graph::Label;
+using graph::LabeledGraph;
+using graph::VertexId;
+
+/// Disarms on scope exit so a failing assertion can't leak an armed site
+/// into the next test.
+struct DisarmGuard {
+  ~DisarmGuard() { DisarmAll(); }
+};
+
+std::vector<LabeledGraph> RandomTransactions(std::uint64_t seed,
+                                             std::size_t count) {
+  Rng rng(seed);
+  std::vector<LabeledGraph> txns;
+  for (std::size_t t = 0; t < count; ++t) {
+    LabeledGraph g;
+    for (std::size_t i = 0; i < 6; ++i) {
+      g.AddVertex(static_cast<Label>(rng.NextBounded(2)));
+    }
+    for (std::size_t i = 0; i < 10; ++i) {
+      g.AddEdge(static_cast<VertexId>(rng.NextBounded(6)),
+                static_cast<VertexId>(rng.NextBounded(6)),
+                static_cast<Label>(rng.NextBounded(2)));
+    }
+    txns.push_back(std::move(g));
+  }
+  return txns;
+}
+
+TEST(FailpointTest, UnarmedSiteIsFalse) {
+  DisarmGuard guard;
+  EXPECT_FALSE(TNMINE_FAILPOINT("failpoint_test/nowhere"));
+}
+
+TEST(FailpointTest, IoKindFiresExactlyOnce) {
+  DisarmGuard guard;
+  ASSERT_TRUE(Arm("failpoint_test/io", Kind::kIoError, /*fire_at_hit=*/2));
+  EXPECT_FALSE(TNMINE_FAILPOINT("failpoint_test/io"));  // hit 1
+  EXPECT_TRUE(TNMINE_FAILPOINT("failpoint_test/io"));   // hit 2: fires
+  EXPECT_FALSE(TNMINE_FAILPOINT("failpoint_test/io"));  // one-shot
+  EXPECT_EQ(InjectionCount(), 1u);
+  EXPECT_EQ(LastInjectedSite(), "failpoint_test/io");
+}
+
+TEST(FailpointTest, AllocKindThrowsBadAlloc) {
+  DisarmGuard guard;
+  ASSERT_TRUE(Arm("failpoint_test/alloc", Kind::kBadAlloc));
+  EXPECT_THROW((void)TNMINE_FAILPOINT("failpoint_test/alloc"),
+               std::bad_alloc);
+}
+
+TEST(FailpointTest, ThrowKindThrowsInjectedFaultWithSite) {
+  DisarmGuard guard;
+  ASSERT_TRUE(Arm("failpoint_test/throw", Kind::kThrow));
+  try {
+    (void)TNMINE_FAILPOINT("failpoint_test/throw");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.site(), "failpoint_test/throw");
+  }
+}
+
+TEST(FailpointTest, ArmFromSpecParsesKindAndHit) {
+  DisarmGuard guard;
+  ASSERT_TRUE(ArmFromSpec("failpoint_test/spec:io:3"));
+  EXPECT_FALSE(TNMINE_FAILPOINT("failpoint_test/spec"));
+  EXPECT_FALSE(TNMINE_FAILPOINT("failpoint_test/spec"));
+  EXPECT_TRUE(TNMINE_FAILPOINT("failpoint_test/spec"));
+  EXPECT_FALSE(ArmFromSpec("no-colon"));
+  EXPECT_FALSE(ArmFromSpec("site:bogus-kind"));
+  EXPECT_FALSE(ArmFromSpec("site:io:not-a-number"));
+}
+
+TEST(FailpointTest, RecordingDiscoversMinerSites) {
+  DisarmGuard guard;
+  StartRecording();
+  const auto txns = RandomTransactions(7, 8);
+  gspan::GspanOptions gopts;
+  gopts.min_support = 2;
+  gopts.max_edges = 3;
+  (void)gspan::MineGspan(txns, gopts);
+  fsg::FsgOptions fopts;
+  fopts.min_support = 2;
+  fopts.max_edges = 3;
+  (void)fsg::MineFsg(txns, fopts);
+  const std::vector<std::string> sites = SitesSeen();
+  auto contains = [&](const char* s) {
+    return std::find(sites.begin(), sites.end(), s) != sites.end();
+  };
+  EXPECT_TRUE(contains("gspan/grow"));
+  EXPECT_TRUE(contains("fsg/consider"));
+  EXPECT_TRUE(contains("fsg/count"));
+  EXPECT_GT(HitCount("gspan/grow"), 0u);
+}
+
+TEST(FailpointTest, GspanAbsorbsInjectedBadAllocAsMemoryOutcome) {
+  DisarmGuard guard;
+  const auto txns = RandomTransactions(11, 12);
+  ASSERT_TRUE(Arm("gspan/grow", Kind::kBadAlloc, /*fire_at_hit=*/3));
+  gspan::GspanOptions options;
+  options.min_support = 2;
+  options.max_edges = 4;
+  const gspan::GspanResult result = gspan::MineGspan(txns, options);
+  EXPECT_EQ(result.outcome, common::MiningOutcome::kMemoryBudgetExceeded);
+  EXPECT_FALSE(result.patterns.empty());  // other seeds still mined
+  EXPECT_EQ(InjectionCount(), 1u);
+}
+
+TEST(FailpointTest, FsgAbsorbsInjectedBadAllocAsMemoryOutcome) {
+  DisarmGuard guard;
+  const auto txns = RandomTransactions(13, 12);
+  ASSERT_TRUE(Arm("fsg/count", Kind::kBadAlloc, /*fire_at_hit=*/2));
+  fsg::FsgOptions options;
+  options.min_support = 2;
+  options.max_edges = 4;
+  const fsg::FsgResult result = fsg::MineFsg(txns, options);
+  EXPECT_EQ(result.outcome, common::MiningOutcome::kMemoryBudgetExceeded);
+}
+
+TEST(FailpointTest, InjectedWorkerExceptionPropagates) {
+  DisarmGuard guard;
+  const auto txns = RandomTransactions(17, 12);
+  ASSERT_TRUE(Arm("gspan/grow", Kind::kThrow, /*fire_at_hit=*/2));
+  gspan::GspanOptions options;
+  options.min_support = 2;
+  options.max_edges = 4;
+  EXPECT_THROW((void)gspan::MineGspan(txns, options), InjectedFault);
+}
+
+TEST(FailpointTest, CsvReaderTakesErrorPathOnInjectedOpenFailure) {
+  DisarmGuard guard;
+  const std::string path =
+      testing::TempDir() + "/failpoint_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRecord({"a", "b"});
+  }
+  ASSERT_TRUE(Arm("csv/open_read", Kind::kIoError));
+  {
+    CsvReader reader(path);
+    EXPECT_FALSE(reader.ok());  // injected: the file exists and is valid
+  }
+  {
+    CsvReader reader(path);  // one-shot: next open succeeds
+    EXPECT_TRUE(reader.ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FailpointTest, GraphIoTakesErrorPathOnInjectedFailure) {
+  DisarmGuard guard;
+  const std::string path =
+      testing::TempDir() + "/failpoint_graph_io_test.txt";
+  ASSERT_TRUE(graph::WriteTextFile(path, "payload"));
+  ASSERT_TRUE(Arm("graph_io/read", Kind::kIoError));
+  std::string text;
+  EXPECT_FALSE(graph::ReadTextFile(path, &text));
+  EXPECT_TRUE(graph::ReadTextFile(path, &text));
+  EXPECT_EQ(text, "payload");
+  ASSERT_TRUE(Arm("graph_io/write", Kind::kIoError));
+  EXPECT_FALSE(graph::WriteTextFile(path, "payload2"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tnmine::failpoint

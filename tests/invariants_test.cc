@@ -1,15 +1,38 @@
 // Failure-injection tests: the library fails fast (TNMINE_CHECK) on
-// programming errors instead of limping on with corrupt state. Death
-// tests document the contracts.
+// programming errors instead of limping on with corrupt state. In
+// default builds a failed check throws tnmine::CheckError (so hosts can
+// flush partial results); under TNMINE_CHECK_ABORTS (sanitizer presets)
+// it aborts, and these become death tests.
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/binning.h"
+#include "common/check.h"
 #include "data/generator.h"
 #include "fsg/fsg.h"
 #include "graph/labeled_graph.h"
 #include "iso/canonical.h"
 #include "ml/attribute_table.h"
+
+#if defined(TNMINE_CHECK_ABORTS)
+#define EXPECT_CHECK_FAILURE(statement, pattern) \
+  EXPECT_DEATH(statement, pattern)
+#else
+#define EXPECT_CHECK_FAILURE(statement, pattern)                        \
+  do {                                                                  \
+    try {                                                               \
+      statement;                                                        \
+      ADD_FAILURE() << "expected TNMINE_CHECK to fail";                 \
+    } catch (const ::tnmine::CheckError& e) {                           \
+      EXPECT_NE(std::string(e.what()).find(pattern), std::string::npos) \
+          << "message was: " << e.what();                               \
+      EXPECT_NE(e.line(), 0);                                           \
+      EXPECT_FALSE(std::string(e.expression()).empty());                \
+    }                                                                   \
+  } while (0)
+#endif
 
 namespace tnmine {
 namespace {
@@ -19,7 +42,7 @@ using graph::LabeledGraph;
 TEST(InvariantsDeathTest, AddEdgeRequiresExistingVertices) {
   LabeledGraph g;
   g.AddVertex(0);
-  EXPECT_DEATH(g.AddEdge(0, 5, 1), "CHECK");
+  EXPECT_CHECK_FAILURE(g.AddEdge(0, 5, 1), "CHECK");
 }
 
 TEST(InvariantsDeathTest, RemoveEdgeTwice) {
@@ -28,12 +51,12 @@ TEST(InvariantsDeathTest, RemoveEdgeTwice) {
   g.AddVertex(0);
   const graph::EdgeId e = g.AddEdge(0, 1, 1);
   g.RemoveEdge(e);
-  EXPECT_DEATH(g.RemoveEdge(e), "already removed");
+  EXPECT_CHECK_FAILURE(g.RemoveEdge(e), "already removed");
 }
 
 TEST(InvariantsDeathTest, CutPointsMustAscend) {
-  EXPECT_DEATH(Discretizer::FromCutPoints({3.0, 1.0}),
-               "strictly ascending");
+  EXPECT_CHECK_FAILURE(Discretizer::FromCutPoints({3.0, 1.0}),
+                       "strictly ascending");
 }
 
 TEST(InvariantsDeathTest, FsgRejectsTombstonedTransactions) {
@@ -45,14 +68,14 @@ TEST(InvariantsDeathTest, FsgRejectsTombstonedTransactions) {
   g.RemoveEdge(e0);
   fsg::FsgOptions options;
   options.min_support = 1;
-  EXPECT_DEATH(fsg::MineFsg({g}, options), "dense");
+  EXPECT_CHECK_FAILURE(fsg::MineFsg({g}, options), "dense");
 }
 
 TEST(InvariantsDeathTest, GeneratorValidatesCardinalities) {
   data::GeneratorConfig config = data::GeneratorConfig::SmallScale();
   config.num_origins = 10;
   config.num_destinations = 10;  // 10 + 10 < 120 locations: uncovered
-  EXPECT_DEATH(data::GenerateTransportData(config), "origin");
+  EXPECT_CHECK_FAILURE(data::GenerateTransportData(config), "origin");
 }
 
 TEST(InvariantsDeathTest, CanonicalCodeSizeGuard) {
@@ -60,20 +83,20 @@ TEST(InvariantsDeathTest, CanonicalCodeSizeGuard) {
   for (std::size_t i = 0; i < iso::kMaxCanonicalVertices + 1; ++i) {
     g.AddVertex(0);
   }
-  EXPECT_DEATH(iso::CanonicalCode(g), "too large");
+  EXPECT_CHECK_FAILURE(iso::CanonicalCode(g), "too large");
 }
 
 TEST(InvariantsDeathTest, NominalCellsValidated) {
   ml::AttributeTable t;
   t.AddNominalAttribute("m", {"a", "b"});
-  EXPECT_DEATH(t.AddRow({7.0}), "invalid nominal");
+  EXPECT_CHECK_FAILURE(t.AddRow({7.0}), "invalid nominal");
 }
 
 TEST(InvariantsDeathTest, AttributesBeforeRows) {
   ml::AttributeTable t;
   t.AddNumericAttribute("x");
   t.AddRow({1.0});
-  EXPECT_DEATH(t.AddNumericAttribute("y"), "before rows");
+  EXPECT_CHECK_FAILURE(t.AddNumericAttribute("y"), "before rows");
 }
 
 }  // namespace

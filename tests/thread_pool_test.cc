@@ -133,6 +133,52 @@ TEST(ThreadPoolTest, ConcurrentSubmittersBothComplete) {
   EXPECT_EQ(total.load(), 2000u);
 }
 
+TEST(ThreadPoolTest, FirstExceptionShortCircuitsSiblings) {
+  // Regression: before the pool-wide cancel flag, sibling lanes kept
+  // grinding through their whole chunk after a task threw. The thrower
+  // waits until another lane has demonstrably executed work, throws, and
+  // then the remaining million items must be skipped, not run.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> at_throw{0};
+  const std::size_t n = 1 << 20;
+  try {
+    pool.ParallelFor(n, [&](std::size_t i) {
+      if (i == 0) {
+        // Handshake: make sure a sibling lane is actively executing
+        // before throwing, so the short-circuit is actually exercised.
+        while (executed.load() < 1000) std::this_thread::yield();
+        at_throw.store(executed.load());
+        throw std::runtime_error("boom");
+      }
+      executed.fetch_add(1);
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Siblings may finish the items already in flight (one chunk per lane)
+  // but must not start fresh chunks after the cancel flag is set.
+  EXPECT_LE(executed.load(), at_throw.load() + 4096);
+  EXPECT_LT(executed.load(), n - 1);
+}
+
+TEST(ThreadPoolTest, CallerCancelTokenStopsTheJob) {
+  ThreadPool pool(2);
+  CancelToken cancel;
+  std::atomic<std::size_t> executed{0};
+  const std::size_t n = 1 << 20;
+  pool.ParallelFor(
+      n,
+      [&](std::size_t) {
+        if (executed.fetch_add(1) == 100) cancel.RequestCancel();
+      },
+      &cancel);
+  // The job returns without an exception; most items never ran.
+  EXPECT_LT(executed.load(), n);
+  EXPECT_GE(executed.load(), 100u);
+}
+
 TEST(ThreadPoolTest, MaxThreadsClampIsHonored) {
   ThreadPool pool(8);
   std::mutex mu;

@@ -1,0 +1,331 @@
+// failpoint_stress — sweeps every registered failpoint site under every
+// injection kind and proves the library degrades instead of breaking.
+//
+// Phase 1 (discovery): turn on failpoint recording and run a workload
+// that exercises every subsystem; the distinct sites hit are the sweep
+// inventory, so a newly added TNMINE_FAILPOINT site is swept
+// automatically (and a site the workload cannot reach fails the run).
+//
+// Phase 2 (sweep): for each site x kind in {alloc, io, throw}, arm the
+// site and rerun the workload, asserting the degradation contract:
+//   alloc  compute sites (gspan/fsg/subdue/partition) absorb the
+//          injected std::bad_alloc into MiningOutcome ==
+//          memory_budget_exceeded with valid partial results; I/O-layer
+//          sites (csv/graph_io) may propagate it to the caller.
+//   io     I/O sites take their error path (the operation reports
+//          failure); compute sites ignore the injected bool.
+//   throw  the InjectedFault escapes to the harness (a programming
+//          error must propagate, never be swallowed as a clean result).
+// Any crash, hang, unexpected exception, or dishonest outcome label is a
+// failure. Run under ASan/LSan in CI, the sweep also proves the unwind
+// paths leak nothing.
+//
+// Usage: failpoint_stress [--sites site1,site2] [--verbose 1]
+// Exits 0 when every (site, kind) run honors the contract.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/csv.h"
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "core/miner.h"
+#include "data/dataset.h"
+#include "fsg/fsg.h"
+#include "graph/graph_io.h"
+#include "graph/labeled_graph.h"
+#include "gspan/gspan.h"
+#include "partition/split_graph.h"
+#include "partition/temporal.h"
+#include "subdue/subdue.h"
+
+namespace {
+
+using namespace tnmine;
+using common::MiningOutcome;
+using graph::LabeledGraph;
+
+/// What one workload pass observed, aggregated over all subsystem ops.
+struct WorkloadReport {
+  /// Severity-max of every MiningOutcome the subsystems returned.
+  MiningOutcome worst_outcome = MiningOutcome::kComplete;
+  /// True when any I/O operation reported failure.
+  bool io_failed = false;
+};
+
+std::vector<LabeledGraph> MakeTransactions(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledGraph> txns;
+  for (std::size_t t = 0; t < 10; ++t) {
+    LabeledGraph g;
+    for (std::size_t i = 0; i < 6; ++i) {
+      g.AddVertex(static_cast<graph::Label>(rng.NextBounded(2)));
+    }
+    for (std::size_t i = 0; i < 10; ++i) {
+      g.AddEdge(static_cast<graph::VertexId>(rng.NextBounded(6)),
+                static_cast<graph::VertexId>(rng.NextBounded(6)),
+                static_cast<graph::Label>(rng.NextBounded(2)));
+    }
+    txns.push_back(std::move(g));
+  }
+  return txns;
+}
+
+LabeledGraph MakeOdGraph(std::uint64_t seed) {
+  Rng rng(seed);
+  LabeledGraph g;
+  for (int i = 0; i < 20; ++i) g.AddVertex(0);
+  for (int i = 0; i < 60; ++i) {
+    g.AddEdge(static_cast<graph::VertexId>(rng.NextBounded(20)),
+              static_cast<graph::VertexId>(rng.NextBounded(20)),
+              static_cast<graph::Label>(rng.NextBounded(3)));
+  }
+  return g;
+}
+
+data::TransactionDataset MakeDataset(std::uint64_t seed) {
+  Rng rng(seed);
+  data::TransactionDataset dataset;
+  for (int i = 0; i < 60; ++i) {
+    data::Transaction t;
+    t.id = i;
+    t.req_pickup_day = static_cast<std::int64_t>(rng.NextBounded(10));
+    t.req_delivery_day = t.req_pickup_day +
+                         static_cast<std::int64_t>(rng.NextBounded(3));
+    t.origin_latitude = 30.0 + static_cast<double>(rng.NextBounded(8));
+    t.origin_longitude = -90.0 - static_cast<double>(rng.NextBounded(8));
+    t.dest_latitude = 30.0 + static_cast<double>(rng.NextBounded(8));
+    t.dest_longitude = -90.0 - static_cast<double>(rng.NextBounded(8));
+    t.total_distance = 100.0 + static_cast<double>(rng.NextBounded(900));
+    t.gross_weight = 1000.0 + static_cast<double>(rng.NextBounded(40000));
+    t.transit_hours = 4.0 + static_cast<double>(rng.NextBounded(96));
+    dataset.Add(t);
+  }
+  return dataset;
+}
+
+/// One pass over every subsystem that registers failpoint sites. Each op
+/// folds its outcome / error report into `report`; exceptions propagate
+/// to the caller (the sweep decides whether that was expected).
+WorkloadReport RunWorkload(const std::string& tmp_dir) {
+  WorkloadReport report;
+  auto fold = [&](MiningOutcome outcome) {
+    report.worst_outcome =
+        common::CombineOutcomes(report.worst_outcome, outcome);
+  };
+
+  const std::vector<LabeledGraph> txns = MakeTransactions(11);
+  {
+    gspan::GspanOptions options;
+    options.min_support = 2;
+    options.max_edges = 3;
+    fold(gspan::MineGspan(txns, options).outcome);
+  }
+  {
+    fsg::FsgOptions options;
+    options.min_support = 2;
+    options.max_edges = 3;
+    fold(fsg::MineFsg(txns, options).outcome);
+  }
+  {
+    subdue::SubdueOptions options;
+    options.beam_width = 2;
+    options.limit = 20;
+    fold(subdue::DiscoverSubstructures(MakeOdGraph(5), options).outcome);
+  }
+  {
+    partition::SplitOptions options;
+    options.num_partitions = 4;
+    fold(partition::SplitGraphBudgeted(MakeOdGraph(7), options).outcome);
+  }
+  const data::TransactionDataset dataset = MakeDataset(3);
+  {
+    partition::TemporalOptions options;
+    fold(partition::PartitionByActiveDay(dataset, options).outcome);
+  }
+  {
+    const std::string csv_path = tmp_dir + "/failpoint_stress.csv";
+    std::string error;
+    if (!dataset.SaveCsv(csv_path, &error)) {
+      report.io_failed = true;
+    } else {
+      data::TransactionDataset loaded;
+      if (!data::TransactionDataset::LoadCsv(csv_path, &loaded, &error)) {
+        report.io_failed = true;
+      }
+    }
+  }
+  {
+    const std::string txt_path = tmp_dir + "/failpoint_stress.txt";
+    std::string text;
+    if (!graph::WriteTextFile(txt_path, "failpoint stress payload") ||
+        !graph::ReadTextFile(txt_path, &text)) {
+      report.io_failed = true;
+    }
+  }
+  return report;
+}
+
+bool IsComputeSite(const std::string& site) {
+  return site.rfind("gspan/", 0) == 0 || site.rfind("fsg/", 0) == 0 ||
+         site.rfind("subdue/", 0) == 0 || site.rfind("partition/", 0) == 0;
+}
+
+bool IsIoSite(const std::string& site) {
+  return site.rfind("csv/", 0) == 0 || site.rfind("graph_io/", 0) == 0;
+}
+
+int g_failures = 0;
+
+void Fail(const std::string& site, failpoint::Kind kind,
+          const std::string& why) {
+  std::fprintf(stderr, "FAIL %s:%s — %s\n", site.c_str(),
+               failpoint::KindName(kind), why.c_str());
+  ++g_failures;
+}
+
+void SweepOne(const std::string& site, failpoint::Kind kind,
+              const std::string& tmp_dir, bool verbose) {
+  if (!failpoint::Arm(site, kind)) {
+    Fail(site, kind, "could not arm (failpoints compiled out?)");
+    return;
+  }
+  bool caught_injected = false;
+  bool caught_bad_alloc = false;
+  std::string unexpected;
+  WorkloadReport report;
+  try {
+    report = RunWorkload(tmp_dir);
+  } catch (const failpoint::InjectedFault& e) {
+    caught_injected = true;
+    if (e.site() != site) {
+      unexpected = "InjectedFault from wrong site: " + e.site();
+    }
+  } catch (const std::bad_alloc&) {
+    caught_bad_alloc = true;
+  } catch (const std::exception& e) {
+    unexpected = std::string("unexpected exception: ") + e.what();
+  }
+  const std::uint64_t injections = failpoint::InjectionCount();
+  failpoint::DisarmAll();
+
+  if (!unexpected.empty()) {
+    Fail(site, kind, unexpected);
+    return;
+  }
+  if (injections == 0) {
+    Fail(site, kind, "site never fired (workload no longer reaches it)");
+    return;
+  }
+  switch (kind) {
+    case failpoint::Kind::kThrow:
+      // A programming error must propagate, never read as a result.
+      if (!caught_injected) {
+        Fail(site, kind, "InjectedFault was swallowed");
+      }
+      break;
+    case failpoint::Kind::kBadAlloc:
+      if (IsComputeSite(site)) {
+        // Compute layers absorb allocation failure into an honest label.
+        if (caught_bad_alloc) {
+          Fail(site, kind, "bad_alloc escaped a compute subsystem");
+        } else if (report.worst_outcome !=
+                   MiningOutcome::kMemoryBudgetExceeded) {
+          Fail(site, kind,
+               std::string("outcome was ") +
+                   common::ToString(report.worst_outcome) +
+                   ", want memory_budget_exceeded");
+        }
+      }
+      // I/O-layer construction may propagate bad_alloc to the caller;
+      // reaching this line without a crash (and leak-free under LSan)
+      // is the contract.
+      break;
+    case failpoint::Kind::kIoError:
+      if (caught_injected || caught_bad_alloc) {
+        Fail(site, kind, "io kind must not throw");
+      } else if (IsIoSite(site) && !report.io_failed) {
+        Fail(site, kind, "I/O error path not taken");
+      } else if (IsComputeSite(site) &&
+                 report.worst_outcome != MiningOutcome::kComplete) {
+        // Compute sites discard the injected bool; the run stays clean.
+        Fail(site, kind, "io kind perturbed a compute result");
+      }
+      break;
+  }
+  if (verbose) {
+    std::printf("ok   %s:%s (outcome %s)\n", site.c_str(),
+                failpoint::KindName(kind),
+                common::ToString(report.worst_outcome));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only_sites;
+  bool verbose = false;
+  std::string tmp_dir = "/tmp";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--sites") == 0) only_sites = argv[i + 1];
+    if (std::strcmp(argv[i], "--verbose") == 0)
+      verbose = std::atoi(argv[i + 1]) != 0;
+    if (std::strcmp(argv[i], "--tmp-dir") == 0) tmp_dir = argv[i + 1];
+  }
+  if (const char* env = std::getenv("TMPDIR");
+      env != nullptr && tmp_dir == "/tmp") {
+    tmp_dir = env;
+  }
+
+  // Phase 1: discover the site inventory.
+  failpoint::StartRecording();
+  const WorkloadReport baseline = RunWorkload(tmp_dir);
+  std::vector<std::string> sites = failpoint::SitesSeen();
+  failpoint::DisarmAll();
+  if (baseline.worst_outcome != MiningOutcome::kComplete ||
+      baseline.io_failed) {
+    std::fprintf(stderr, "baseline workload did not run clean\n");
+    return 1;
+  }
+  if (sites.empty()) {
+    std::fprintf(stderr,
+                 "no failpoint sites discovered (built with "
+                 "-DTNMINE_FAILPOINTS=OFF?)\n");
+    return 1;
+  }
+  if (!only_sites.empty()) {
+    std::vector<std::string> filter;
+    std::size_t start = 0;
+    while (start <= only_sites.size()) {
+      const std::size_t comma = only_sites.find(',', start);
+      const std::size_t end =
+          comma == std::string::npos ? only_sites.size() : comma;
+      if (end > start) filter.push_back(only_sites.substr(start, end - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    sites = std::move(filter);
+  }
+  std::printf("sweeping %zu sites x 3 kinds\n", sites.size());
+
+  // Phase 2: the sweep.
+  for (const std::string& site : sites) {
+    for (const failpoint::Kind kind :
+         {failpoint::Kind::kBadAlloc, failpoint::Kind::kIoError,
+          failpoint::Kind::kThrow}) {
+      SweepOne(site, kind, tmp_dir, verbose);
+    }
+  }
+  if (g_failures > 0) {
+    std::fprintf(stderr, "%d sweep failures\n", g_failures);
+    return 1;
+  }
+  std::printf("all %zu sites honored the degradation contract\n",
+              sites.size());
+  return 0;
+}

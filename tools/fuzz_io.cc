@@ -6,6 +6,7 @@
 // Usage:
 //   fuzz_io [--seed N] [--iters M] [--format csv|native|subdue|fsg|arff|
 //            date|binning|all] [--tmp PATH] [--artifact-dir DIR]
+//           [--failpoint SITE:KIND[:HIT]]
 //
 // Exit status 0 if every iteration passes; 1 on the first failure, after
 // printing the format, seed, iteration, and failure description needed to
@@ -13,16 +14,26 @@
 // reader are also written there (plus a metadata sidecar) so CI can upload
 // them as a failure artifact. Intended to run under ASan/UBSan builds
 // (-DTNMINE_SANITIZE=address / undefined).
+//
+// With --failpoint, the named site is armed before the run (e.g.
+// "csv/open_read:io:3" — see common/failpoint.h for the spec grammar). A
+// round that fails while the injected fault fired is EXPECTED: the
+// artifact is written with the failpoint site/seed recorded for replay,
+// and the run continues with exit status 0. A round that fails without an
+// injection is a real bug and exits 1 as usual. An armed failpoint that
+// never fires also exits 1, so CI notices when a swept site goes stale.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <new>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "generators.h"
 
@@ -39,7 +50,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--iters M] [--format csv|native|"
                "subdue|fsg|arff|date|binning|all] [--tmp PATH] "
-               "[--artifact-dir DIR]\n",
+               "[--artifact-dir DIR] [--failpoint SITE:KIND[:HIT]]\n",
                argv0);
   return 2;
 }
@@ -54,11 +65,15 @@ bool WriteBytes(const std::string& path, const std::string& bytes) {
 }
 
 /// Persists the failing input bytes and a replay-recipe sidecar under
-/// `dir` (which must already exist; CI creates it before the run).
+/// `dir` (which must already exist; CI creates it before the run). When
+/// the failure was injected through an armed failpoint, `failpoint_spec`
+/// carries the arming spec so the replay line reproduces the injection
+/// (hits are counted from arming, so replaying the single iteration needs
+/// the fire-at-hit reset to 1 — the sidecar records both).
 void WriteFailureArtifact(const std::string& dir, const char* format,
                           std::uint64_t seed, std::uint64_t iteration,
-                          std::uint64_t iter_seed,
-                          const std::string& detail) {
+                          std::uint64_t iter_seed, const std::string& detail,
+                          const std::string& failpoint_spec) {
   const std::string stem = dir + "/failing_input_" + format + "_" +
                            std::to_string(iter_seed);
   const std::string& bytes = tnmine::fuzz::LastInputBytes();
@@ -73,8 +88,19 @@ void WriteFailureArtifact(const std::string& dir, const char* format,
   meta += "iteration: " + std::to_string(iteration) + "\n";
   meta += "iter_seed: " + std::to_string(iter_seed) + "\n";
   meta += "detail:    " + detail + "\n";
-  meta += "replay:    fuzz_io --format " + std::string(format) +
-          " --seed " + std::to_string(iter_seed) + " --iters 1\n";
+  std::string replay = "fuzz_io --format " + std::string(format) +
+                       " --seed " + std::to_string(iter_seed) + " --iters 1";
+  if (!failpoint_spec.empty()) {
+    const std::string injected = tnmine::failpoint::LastInjectedSite();
+    meta += "failpoint: " + failpoint_spec + "\n";
+    meta += "injected_site: " + injected + "\n";
+    // The single-iteration replay fires on the site's first hit.
+    std::string kind = failpoint_spec.substr(failpoint_spec.find(':') + 1);
+    const std::size_t hit_sep = kind.find(':');
+    if (hit_sep != std::string::npos) kind.resize(hit_sep);
+    replay += " --failpoint " + injected + ":" + kind + ":1";
+  }
+  meta += "replay:    " + replay + "\n";
   (void)WriteBytes(stem + ".txt", meta);
   std::fprintf(stderr, "fuzz_io: failing input saved to %s.bin\n",
                stem.c_str());
@@ -88,6 +114,7 @@ int main(int argc, char** argv) {
   std::string format = "all";
   std::string tmp_path;
   std::string artifact_dir;
+  std::string failpoint_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +135,8 @@ int main(int argc, char** argv) {
       tmp_path = next("--tmp");
     } else if (arg == "--artifact-dir") {
       artifact_dir = next("--artifact-dir");
+    } else if (arg == "--failpoint") {
+      failpoint_spec = next("--failpoint");
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else {
@@ -120,6 +149,15 @@ int main(int argc, char** argv) {
     const char* tmpdir = std::getenv("TMPDIR");
     tmp_path = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
                "/tnmine_fuzz_io_" + std::to_string(seed) + ".csv";
+  }
+
+  if (!failpoint_spec.empty() &&
+      !tnmine::failpoint::ArmFromSpec(failpoint_spec)) {
+    std::fprintf(stderr,
+                 "fuzz_io: cannot arm failpoint '%s' (bad spec, or built "
+                 "with -DTNMINE_FAILPOINTS=OFF)\n",
+                 failpoint_spec.c_str());
+    return 2;
   }
 
   const std::vector<Format> formats = {
@@ -143,7 +181,34 @@ int main(int argc, char** argv) {
       const std::uint64_t iter_seed =
           seed + i * 0x9E3779B97F4A7C15ULL;  // golden-ratio stride
       Rng rng(iter_seed);
-      const std::optional<std::string> failure = f.round(rng);
+      const std::uint64_t injections_before =
+          tnmine::failpoint::InjectionCount();
+      std::optional<std::string> failure;
+      try {
+        failure = f.round(rng);
+      } catch (const tnmine::failpoint::InjectedFault& e) {
+        failure = std::string("propagated ") + e.what();
+      } catch (const std::bad_alloc&) {
+        failure = "propagated std::bad_alloc";
+      }
+      const bool injected =
+          tnmine::failpoint::InjectionCount() > injections_before;
+      if (failure.has_value() && injected) {
+        // The armed fault fired during this round: the failure is the
+        // injection working as intended. Record it for replay and keep
+        // fuzzing — later iterations prove the failure didn't corrupt
+        // shared state.
+        std::printf(
+            "fuzz_io: %-7s iteration %llu failed under injected fault "
+            "at %s (expected)\n",
+            f.name, static_cast<unsigned long long>(i),
+            tnmine::failpoint::LastInjectedSite().c_str());
+        if (!artifact_dir.empty()) {
+          WriteFailureArtifact(artifact_dir, f.name, seed, i, iter_seed,
+                               *failure, failpoint_spec);
+        }
+        continue;
+      }
       if (failure.has_value()) {
         std::fprintf(stderr,
                      "fuzz_io FAILURE\n  format:    %s\n  base seed: "
@@ -155,7 +220,7 @@ int main(int argc, char** argv) {
                      failure->c_str());
         if (!artifact_dir.empty()) {
           WriteFailureArtifact(artifact_dir, f.name, seed, i, iter_seed,
-                               *failure);
+                               *failure, /*failpoint_spec=*/"");
         }
         std::remove(tmp_path.c_str());
         return 1;
@@ -169,6 +234,13 @@ int main(int argc, char** argv) {
   if (!matched) {
     std::fprintf(stderr, "fuzz_io: unknown format '%s'\n", format.c_str());
     return Usage(argv[0]);
+  }
+  if (!failpoint_spec.empty() && tnmine::failpoint::InjectionCount() == 0) {
+    std::fprintf(stderr,
+                 "fuzz_io: failpoint '%s' never fired — the armed site is "
+                 "no longer on this workload's path\n",
+                 failpoint_spec.c_str());
+    return 1;
   }
   return 0;
 }

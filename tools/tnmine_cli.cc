@@ -15,6 +15,18 @@
 //   --trace-out <file>     record a trace session and write Chrome
 //                          trace_event JSON (load in chrome://tracing)
 //
+// Resource governance (DESIGN.md §10): the mining subcommands
+// (structural, temporal, subdue) accept
+//   --deadline-ms <n>      stop mining after n milliseconds of wall time
+//   --max-memory-mb <n>    cap tracked candidate/embedding memory
+//   --max-work-ticks <n>   deterministic work budget (same tick budget =>
+//                          byte-identical partial results at any --threads)
+// A truncated run prints its outcome (deadline_exceeded,
+// memory_budget_exceeded, cancelled), returns the partial results mined
+// so far, and still flushes --metrics-out / --trace-out. SIGINT (Ctrl-C)
+// cancels cooperatively through the same mechanism instead of killing
+// the process.
+//
 // Examples:
 //   tnmine_cli generate --out /tmp/data.csv --scale small --seed 7
 //   tnmine_cli structural --data /tmp/data.csv --strategy bf --k 40 \
@@ -25,13 +37,16 @@
 //       --metrics-out report.json --trace-out trace.json
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -94,6 +109,43 @@ class Flags {
   std::map<std::string, std::string> values_;
   bool ok_ = true;
 };
+
+/// Cancel token shared by every budget this process builds. The signal
+/// handler sees it through a raw pointer: RequestCancel is a single
+/// relaxed atomic store, which is async-signal-safe; miners observe it at
+/// their next budget poll and unwind with partial results, so the
+/// metrics/trace flush in main() still runs.
+std::shared_ptr<common::CancelToken> g_cancel_token;
+common::CancelToken* g_cancel_raw = nullptr;
+
+extern "C" void HandleSigint(int) {
+  if (g_cancel_raw != nullptr) g_cancel_raw->RequestCancel();
+}
+
+/// Builds the run's ResourceBudget from the common governance flags.
+/// With no flags set the budget is inert (unbounded) but still carries
+/// the SIGINT cancel token.
+common::ResourceBudget BudgetFromFlags(const Flags& flags) {
+  common::BudgetLimits limits;
+  limits.deadline_ms =
+      static_cast<std::uint64_t>(flags.GetInt("deadline-ms", 0));
+  limits.max_memory_bytes =
+      static_cast<std::uint64_t>(flags.GetInt("max-memory-mb", 0)) *
+      (1ull << 20);
+  limits.max_work_ticks =
+      static_cast<std::uint64_t>(flags.GetInt("max-work-ticks", 0));
+  return common::ResourceBudget(limits, g_cancel_token);
+}
+
+/// Announces a truncated run. Partial results are valid (patterns shown
+/// are genuinely frequent in the work that completed), so the exit code
+/// stays 0; scripts can read the outcome from the RunReport counters.
+void PrintOutcome(common::MiningOutcome outcome) {
+  if (outcome != common::MiningOutcome::kComplete) {
+    std::printf("outcome: %s (partial results)\n",
+                common::ToString(outcome));
+  }
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -189,7 +241,9 @@ int CmdStructural(const Flags& flags) {
   options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   options.parallelism = common::Parallelism{
       static_cast<std::size_t>(flags.GetInt("threads", 0))};
+  options.budget = BudgetFromFlags(flags);
   const auto result = core::MineStructuralPatterns(od.graph, options);
+  PrintOutcome(result.outcome);
   std::printf("%zu frequent pattern classes\n", result.registry.size());
   const auto ranked = core::RankPatterns(result.registry);
   const std::size_t top =
@@ -225,7 +279,9 @@ int CmdTemporal(const Flags& flags) {
       static_cast<std::size_t>(flags.GetInt("max-labels", 0));
   options.parallelism = common::Parallelism{
       static_cast<std::size_t>(flags.GetInt("threads", 0))};
+  options.budget = BudgetFromFlags(flags);
   const auto result = core::MineTemporalPatterns(dataset, options);
+  PrintOutcome(result.outcome);
   std::printf("%zu per-day transactions (support threshold %zu)\n",
               result.partition.transactions.size(),
               result.absolute_min_support);
@@ -258,7 +314,9 @@ int CmdSubdue(const Flags& flags) {
   options.max_pattern_edges =
       static_cast<std::size_t>(flags.GetInt("max-edges", 0));
   options.limit = static_cast<std::size_t>(flags.GetInt("limit", 0));
+  options.budget = BudgetFromFlags(flags);
   const auto result = subdue::DiscoverSubstructures(od.graph, options);
+  PrintOutcome(result.outcome);
   std::printf("evaluated %zu substructures (base cost %.1f)\n",
               result.substructures_evaluated, result.base_cost);
   for (std::size_t i = 0; i < result.best.size(); ++i) {
@@ -387,6 +445,10 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv, 2);
   if (!flags.ok()) return 2;
 
+  g_cancel_token = std::make_shared<tnmine::common::CancelToken>();
+  g_cancel_raw = g_cancel_token.get();
+  std::signal(SIGINT, HandleSigint);
+
   const std::string trace_out = flags.Get("trace-out", "");
   const std::string metrics_out = flags.Get("metrics-out", "");
   if (!trace_out.empty()) tnmine::trace::Session::Start();
@@ -411,6 +473,7 @@ int main(int argc, char** argv) {
                                       start)
             .count();
     report.extra["command"] = command;
+    if (g_cancel_token->cancelled()) report.extra["interrupted"] = "sigint";
     if (!tnmine::telemetry::WriteRunReport(metrics_out, report)) {
       std::fprintf(stderr, "warning: could not write RunReport to %s\n",
                    metrics_out.c_str());
