@@ -1,0 +1,221 @@
+// Perf-tracking microbench: the four mining kernels the flat-memory port
+// targets (ISSUE 5), measured through their public entry points so the
+// same binary times the code before and after the GraphView/scratch port.
+//
+//   vf2_embedding    CountEmbeddings of mined 3-edge patterns against
+//                    every KK transaction (the FSG support-counting inner
+//                    loop, isolated).
+//   vf2_induced      Induced containment of the same patterns (exercises
+//                    the per-pair degree/label feasibility tallies).
+//   fsg_support      Full MineFsg level-wise run (candidate generation +
+//                    support counting).
+//   gspan_extension  Full MineGspan pattern growth (seed enumeration +
+//                    rightmost-style extension enumeration).
+//   canonical_codes  Uncached CanonicalCode over the mined pattern set
+//                    (snapshot + 1-WL refinement + DFS minimal code).
+//
+// Emits BENCH_kernel_hotpaths.json (JsonRowWriter row list; "seconds" is
+// the tracked metric, every other field is deterministic and used as the
+// row key) plus the usual RunReport. The committed baseline lives in
+// bench/baselines/ and is checked by tools/check_bench_regression.py.
+//
+// Workloads are seeded KK synthetic sets sized to finish in a few seconds
+// on one core; all row-key fields (pattern/embedding counts) are
+// deterministic, so a drifting count is a correctness bug, not noise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "fsg/fsg.h"
+#include "graph/graph_view.h"
+#include "gspan/gspan.h"
+#include "iso/canonical.h"
+#include "iso/vf2.h"
+#include "synth/kk_generator.h"
+
+using namespace tnmine;
+
+namespace {
+
+struct Workload {
+  std::vector<graph::LabeledGraph> transactions;
+  std::vector<graph::LabeledGraph> patterns;  // mined 3-edge patterns
+};
+
+Workload BuildWorkload() {
+  synth::KkOptions kk;
+  kk.num_transactions = 200;
+  kk.avg_transaction_edges = 60.0;
+  kk.num_seed_patterns = 12;
+  kk.avg_pattern_edges = 4.0;
+  kk.num_vertex_labels = 10;  // few labels => real search work per match
+  kk.num_edge_labels = 3;
+  kk.seed = 42;
+  Workload w;
+  w.transactions = synth::GenerateKkTransactions(kk).transactions;
+
+  // Mine the pattern set once with gSpan; the 3-edge frequent patterns
+  // are the probes for the VF2 rows. Deterministic by the miner's
+  // determinism contract.
+  gspan::GspanOptions opts;
+  opts.min_support = 30;
+  opts.max_edges = 3;
+  opts.parallelism = common::Parallelism::Serial();
+  for (const auto& p : gspan::MineGspan(w.transactions, opts).patterns) {
+    if (p.graph.num_edges() == 3) w.patterns.push_back(p.graph);
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  bench::RunReportScope report("bench_kernel_hotpaths");
+  bench::JsonRowWriter json("BENCH_kernel_hotpaths.json");
+
+  bench::Section("Kernel hot paths (ISSUE 5 microbenches)");
+  const Workload w = BuildWorkload();
+  bench::Row("transactions", w.transactions.size());
+  bench::Row("probe patterns (3-edge)", w.patterns.size());
+  if (w.patterns.empty()) {
+    std::fprintf(stderr, "FATAL: workload mined no 3-edge patterns\n");
+    return EXIT_FAILURE;
+  }
+
+  std::printf("\n%-18s %-10s %s\n", "bench", "seconds", "work");
+
+  // Transaction snapshots, built once and reused by the VF2 rows — the
+  // same shape as FSG's counting loop, which snapshots each transaction
+  // once per mining run and then runs every candidate's matcher over the
+  // views.
+  std::vector<graph::GraphView> views;
+  views.reserve(w.transactions.size());
+  for (const auto& t : w.transactions) views.emplace_back(t);
+
+  // --- vf2_embedding: the FSG support-counting inner loop, isolated.
+  {
+    constexpr int kReps = 20;
+    Stopwatch sw;
+    std::uint64_t embeddings = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      embeddings = 0;
+      for (const auto& p : w.patterns) {
+        iso::SubgraphMatcher matcher(p);  // one plan, every transaction
+        for (const auto& v : views) {
+          embeddings += matcher.CountEmbeddings(v);
+        }
+      }
+    }
+    const double seconds = sw.ElapsedSeconds() / kReps;
+    std::printf("%-18s %-10.4f %llu embeddings\n", "vf2_embedding", seconds,
+                static_cast<unsigned long long>(embeddings));
+    json.BeginRow();
+    json.Field("bench", "vf2_embedding");
+    json.Field("embeddings", static_cast<std::size_t>(embeddings));
+    json.Field("seconds", seconds);
+    json.EndRow();
+  }
+
+  // --- vf2_induced: per-pair feasibility tallies under induced semantics.
+  {
+    constexpr int kReps = 20;
+    Stopwatch sw;
+    std::size_t contained = 0;
+    iso::MatchOptions induced;
+    induced.induced = true;
+    for (int rep = 0; rep < kReps; ++rep) {
+      contained = 0;
+      for (const auto& p : w.patterns) {
+        iso::SubgraphMatcher matcher(p);
+        for (const auto& v : views) {
+          contained += matcher.Contains(v, induced) ? 1 : 0;
+        }
+      }
+    }
+    const double seconds = sw.ElapsedSeconds() / kReps;
+    std::printf("%-18s %-10.4f %zu contained\n", "vf2_induced", seconds,
+                contained);
+    json.BeginRow();
+    json.Field("bench", "vf2_induced");
+    json.Field("contained", contained);
+    json.Field("seconds", seconds);
+    json.EndRow();
+  }
+
+  // --- fsg_support: full Apriori run, dominated by support counting.
+  {
+    fsg::FsgOptions opts;
+    opts.min_support = 30;
+    opts.max_edges = 3;
+    opts.parallelism = common::Parallelism::Serial();
+    constexpr int kReps = 5;
+    Stopwatch sw;
+    fsg::FsgResult r;
+    for (int rep = 0; rep < kReps; ++rep) {
+      iso::ClearCanonicalCodeCache();
+      r = fsg::MineFsg(w.transactions, opts);
+    }
+    const double seconds = sw.ElapsedSeconds() / kReps;
+    std::printf("%-18s %-10.4f %zu patterns\n", "fsg_support", seconds,
+                r.patterns.size());
+    json.BeginRow();
+    json.Field("bench", "fsg_support");
+    json.Field("patterns", r.patterns.size());
+    json.Field("seconds", seconds);
+    json.EndRow();
+  }
+
+  // --- gspan_extension: pattern growth, dominated by extension
+  // enumeration over the projected embeddings.
+  {
+    gspan::GspanOptions opts;
+    opts.min_support = 30;
+    opts.max_edges = 4;
+    opts.parallelism = common::Parallelism::Serial();
+    constexpr int kReps = 3;
+    Stopwatch sw;
+    gspan::GspanResult r;
+    for (int rep = 0; rep < kReps; ++rep) {
+      iso::ClearCanonicalCodeCache();
+      r = gspan::MineGspan(w.transactions, opts);
+    }
+    const double seconds = sw.ElapsedSeconds() / kReps;
+    std::printf("%-18s %-10.4f %zu patterns\n", "gspan_extension", seconds,
+                r.patterns.size());
+    json.BeginRow();
+    json.Field("bench", "gspan_extension");
+    json.Field("patterns", r.patterns.size());
+    json.Field("seconds", seconds);
+    json.EndRow();
+  }
+
+  // --- canonical_codes: snapshot + refinement + minimal-code search,
+  // uncached so the kernel itself is what's timed.
+  {
+    constexpr int kReps = 2000;
+    Stopwatch sw;
+    std::size_t codes = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      codes = 0;
+      for (const auto& p : w.patterns) {
+        codes += iso::CanonicalCode(p).size() > 0 ? 1 : 0;
+      }
+    }
+    const double seconds = sw.ElapsedSeconds() / kReps;
+    std::printf("%-18s %-10.4f %zu codes\n", "canonical_codes", seconds,
+                codes);
+    json.BeginRow();
+    json.Field("bench", "canonical_codes");
+    json.Field("codes", codes);
+    json.Field("seconds", seconds);
+    json.EndRow();
+  }
+
+  json.Close();
+  std::printf("\nwrote BENCH_kernel_hotpaths.json\n");
+  return 0;
+}

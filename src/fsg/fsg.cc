@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "graph/algorithms.h"
+#include "graph/graph_view.h"
 #include "iso/canonical.h"
 #include "iso/vf2.h"
 
@@ -64,15 +65,6 @@ LabeledGraph WithoutEdge(const LabeledGraph& g, EdgeId drop) {
   return copy.Compact(/*drop_isolated_vertices=*/true);
 }
 
-bool ContainsWithBudget(const LabeledGraph& pattern,
-                        const LabeledGraph& transaction,
-                        std::uint64_t max_steps) {
-  iso::SubgraphMatcher matcher(pattern, transaction);
-  iso::MatchOptions options;
-  options.max_search_steps = max_steps;
-  return matcher.Contains(options);
-}
-
 }  // namespace
 
 FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
@@ -85,6 +77,12 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
   }
 
+  // One flat snapshot per transaction, shared read-only by all counting
+  // lanes below.
+  std::vector<graph::GraphView> views;
+  views.reserve(transactions.size());
+  for (const LabeledGraph& t : transactions) views.emplace_back(t);
+
   // Sequential tick ledger: level 1 and candidate generation run on the
   // calling thread, so charging them directly is deterministic. The
   // parallel counting phase is settled post hoc (see below).
@@ -96,7 +94,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
   // level-1 supports would under-report and cannot be emitted as frequent.
   std::map<std::pair<EdgeType, bool>, std::vector<std::uint32_t>> edge_tids;
   for (std::uint32_t tid = 0; tid < transactions.size(); ++tid) {
-    const LabeledGraph& t = transactions[tid];
+    const graph::GraphView& t = views[tid];
     const common::MiningOutcome stop = meter.Charge(1 + t.num_edges());
     if (stop != common::MiningOutcome::kComplete) {
       result.outcome = stop;
@@ -104,14 +102,15 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
       common::RecordOutcome("fsg", result.outcome);
       return result;
     }
-    std::set<std::pair<EdgeType, bool>> seen;
-    t.ForEachEdge([&](EdgeId e) {
-      const Edge& edge = t.edge(e);
-      EdgeType type{t.vertex_label(edge.src), t.vertex_label(edge.dst),
-                    edge.label};
-      seen.insert({type, edge.src == edge.dst});
-    });
-    for (const auto& key : seen) edge_tids[key].push_back(tid);
+    // The view's edge-type index is exactly the distinct live edge types
+    // of the transaction, in the order the former per-transaction
+    // std::set produced them.
+    for (std::size_t type = 0; type < t.NumEdgeTypes(); ++type) {
+      const graph::GraphView::EdgeTypeKey& key = t.EdgeTypeAt(type);
+      edge_tids[{EdgeType{key.src_label, key.dst_label, key.edge_label},
+                 key.self_loop}]
+          .push_back(tid);
+    }
   }
   result.candidates_per_level.push_back(edge_tids.size());
 
@@ -335,6 +334,12 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
                   ordered[c].parent_tids;
               try {
                 (void)TNMINE_FAILPOINT("fsg/count");
+                // One search plan per candidate, reused across every
+                // feasible transaction view (the former code rebuilt the
+                // matcher per containment check).
+                iso::SubgraphMatcher matcher(p.graph);
+                iso::MatchOptions match_options;
+                match_options.max_search_steps = options.max_match_steps;
                 for (std::size_t i = 0; i < feasible.size(); ++i) {
                   // Early abort when the remaining transactions cannot
                   // reach min_support.
@@ -344,8 +349,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
                   }
                   const std::uint32_t tid = feasible[i];
                   ++out.checks;
-                  if (ContainsWithBudget(p.graph, transactions[tid],
-                                         options.max_match_steps)) {
+                  if (matcher.Contains(views[tid], match_options)) {
                     out.tids.push_back(tid);
                   }
                 }

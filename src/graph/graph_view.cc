@@ -1,0 +1,285 @@
+#include "graph/graph_view.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/telemetry.h"
+
+namespace tnmine::graph {
+
+namespace {
+
+bool ArcLess(const GraphView::Arc& a, const GraphView::Arc& b) {
+  return std::tie(a.label, a.other, a.edge) <
+         std::tie(b.label, b.other, b.edge);
+}
+
+}  // namespace
+
+GraphView::GraphView(const LabeledGraph& g) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t cap = g.edge_capacity();
+  vertex_labels_.resize(n);
+  for (VertexId v = 0; v < n; ++v) vertex_labels_[v] = g.vertex_label(v);
+  edges_.resize(cap);
+  alive_.resize(cap);
+  for (EdgeId e = 0; e < cap; ++e) {
+    edges_[e] = g.edge(e);
+    alive_[e] = g.edge_alive(e) ? 1 : 0;
+    if (alive_[e]) ++num_live_edges_;
+  }
+
+  // CSR offsets from live degrees (self-loops count on both sides, as in
+  // LabeledGraph).
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (EdgeId e = 0; e < cap; ++e) {
+    if (!alive_[e]) continue;
+    ++out_offsets_[edges_[e].src + 1];
+    ++in_offsets_[edges_[e].dst + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+
+  // Fill the EdgeId-ascending encoding by one ascending edge scan, so each
+  // vertex's slice lands in the exact order LabeledGraph iteration visits
+  // (insertion order == ascending EdgeId).
+  out_ids_.resize(num_live_edges_);
+  in_ids_.resize(num_live_edges_);
+  {
+    std::vector<std::uint32_t> out_cursor(out_offsets_.begin(),
+                                          out_offsets_.end() - 1);
+    std::vector<std::uint32_t> in_cursor(in_offsets_.begin(),
+                                         in_offsets_.end() - 1);
+    for (EdgeId e = 0; e < cap; ++e) {
+      if (!alive_[e]) continue;
+      out_ids_[out_cursor[edges_[e].src]++] = e;
+      in_ids_[in_cursor[edges_[e].dst]++] = e;
+    }
+  }
+
+  // Label-sorted arcs share the offsets: seed from the id encoding, then
+  // sort each vertex slice by (label, other, edge).
+  out_arcs_.resize(num_live_edges_);
+  in_arcs_.resize(num_live_edges_);
+  for (std::size_t i = 0; i < num_live_edges_; ++i) {
+    const Edge& oe = edges_[out_ids_[i]];
+    out_arcs_[i] = {oe.dst, oe.label, out_ids_[i]};
+    const Edge& ie = edges_[in_ids_[i]];
+    in_arcs_[i] = {ie.src, ie.label, in_ids_[i]};
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(out_arcs_.begin() + out_offsets_[v],
+              out_arcs_.begin() + out_offsets_[v + 1], ArcLess);
+    std::sort(in_arcs_.begin() + in_offsets_[v],
+              in_arcs_.begin() + in_offsets_[v + 1], ArcLess);
+  }
+
+  // Per-label vertex index: counting sort over (label, vertex).
+  {
+    std::vector<std::pair<Label, VertexId>> pairs;
+    pairs.reserve(n);
+    for (VertexId v = 0; v < n; ++v) pairs.emplace_back(vertex_labels_[v], v);
+    std::sort(pairs.begin(), pairs.end());
+    vertex_label_offsets_.push_back(0);
+    for (const auto& [label, v] : pairs) {
+      if (vertex_label_keys_.empty() || vertex_label_keys_.back() != label) {
+        vertex_label_keys_.push_back(label);
+        vertex_label_offsets_.push_back(
+            static_cast<std::uint32_t>(vertex_label_ids_.size()));
+      }
+      vertex_label_ids_.push_back(v);
+      vertex_label_offsets_.back() =
+          static_cast<std::uint32_t>(vertex_label_ids_.size());
+    }
+  }
+
+  // Edge-type index: sort (key, edge) — ascending EdgeId within a key
+  // falls out of the pair ordering.
+  {
+    std::vector<std::pair<std::tuple<Label, Label, Label, bool>, EdgeId>>
+        typed;
+    typed.reserve(num_live_edges_);
+    for (EdgeId e = 0; e < cap; ++e) {
+      if (!alive_[e]) continue;
+      const Edge& edge = edges_[e];
+      typed.emplace_back(
+          std::make_tuple(vertex_labels_[edge.src], vertex_labels_[edge.dst],
+                          edge.label, edge.src == edge.dst),
+          e);
+    }
+    std::sort(typed.begin(), typed.end());
+    edge_type_offsets_.push_back(0);
+    for (const auto& [key, e] : typed) {
+      const auto& [sl, dl, el, loop] = key;
+      if (edge_type_keys_.empty() ||
+          EdgeTypeKey{sl, dl, el, loop} != edge_type_keys_.back()) {
+        edge_type_keys_.push_back({sl, dl, el, loop});
+        edge_type_offsets_.push_back(
+            static_cast<std::uint32_t>(edge_type_ids_.size()));
+      }
+      edge_type_ids_.push_back(e);
+      edge_type_offsets_.back() =
+          static_cast<std::uint32_t>(edge_type_ids_.size());
+    }
+  }
+
+  TNMINE_COUNTER_ADD("graphview/views_built", 1);
+  TNMINE_COUNTER_ADD("graphview/vertices_snapshot", n);
+  TNMINE_COUNTER_ADD("graphview/edges_snapshot", num_live_edges_);
+}
+
+std::span<const GraphView::Arc> GraphView::LabelRange(
+    std::span<const Arc> arcs, Label label) {
+  const Arc* lo = std::lower_bound(
+      arcs.data(), arcs.data() + arcs.size(), label,
+      [](const Arc& a, Label l) { return a.label < l; });
+  const Arc* hi =
+      std::upper_bound(lo, arcs.data() + arcs.size(), label,
+                       [](Label l, const Arc& a) { return l < a.label; });
+  return {lo, static_cast<std::size_t>(hi - lo)};
+}
+
+std::size_t GraphView::CountOutEdges(VertexId src, VertexId dst,
+                                     Label label) const {
+  const std::span<const Arc> range = OutArcs(src, label);
+  const Arc* lo = std::lower_bound(
+      range.data(), range.data() + range.size(), dst,
+      [](const Arc& a, VertexId v) { return a.other < v; });
+  const Arc* hi =
+      std::upper_bound(lo, range.data() + range.size(), dst,
+                       [](VertexId v, const Arc& a) { return v < a.other; });
+  return static_cast<std::size_t>(hi - lo);
+}
+
+std::span<const VertexId> GraphView::VerticesWithLabel(Label label) const {
+  const auto it = std::lower_bound(vertex_label_keys_.begin(),
+                                   vertex_label_keys_.end(), label);
+  if (it == vertex_label_keys_.end() || *it != label) return {};
+  const std::size_t i =
+      static_cast<std::size_t>(it - vertex_label_keys_.begin());
+  return {vertex_label_ids_.data() + vertex_label_offsets_[i],
+          vertex_label_offsets_[i + 1] - vertex_label_offsets_[i]};
+}
+
+bool GraphView::CheckConsistent() const {
+  const std::size_t n = vertex_labels_.size();
+  const std::size_t cap = edges_.size();
+  if (alive_.size() != cap) return false;
+  std::size_t live = 0;
+  for (EdgeId e = 0; e < cap; ++e) {
+    if (!alive_[e]) continue;
+    ++live;
+    if (edges_[e].src >= n || edges_[e].dst >= n) return false;
+  }
+  if (live != num_live_edges_) return false;
+
+  // Offsets: monotone, bracketed by [0, live].
+  for (const auto* offsets : {&out_offsets_, &in_offsets_}) {
+    if (offsets->size() != n + 1) return false;
+    if (offsets->front() != 0 || offsets->back() != live) return false;
+    for (std::size_t i = 0; i + 1 < offsets->size(); ++i) {
+      if ((*offsets)[i] > (*offsets)[i + 1]) return false;
+    }
+  }
+  if (out_arcs_.size() != live || in_arcs_.size() != live) return false;
+  if (out_ids_.size() != live || in_ids_.size() != live) return false;
+
+  // Both encodings, per vertex: ids ascending and owned by the vertex;
+  // arcs sorted, consistent with the edge table, and a permutation of the
+  // id slice (checked via sorted copies of the edge ids).
+  std::vector<EdgeId> seen_out, seen_in, arc_ids;
+  for (VertexId v = 0; v < n; ++v) {
+    for (const bool out : {true, false}) {
+      const std::span<const EdgeId> ids = out ? OutEdgesById(v)
+                                              : InEdgesById(v);
+      const std::span<const Arc> arcs = out ? OutArcs(v) : InArcs(v);
+      if (ids.size() != arcs.size()) return false;
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        const EdgeId e = ids[i];
+        if (e >= cap || !alive_[e]) return false;
+        if ((out ? edges_[e].src : edges_[e].dst) != v) return false;
+        if (i > 0 && ids[i - 1] >= e) return false;  // strictly ascending
+        (out ? seen_out : seen_in).push_back(e);
+      }
+      arc_ids.clear();
+      for (std::size_t i = 0; i < arcs.size(); ++i) {
+        const Arc& a = arcs[i];
+        if (a.edge >= cap || !alive_[a.edge]) return false;
+        const Edge& edge = edges_[a.edge];
+        if ((out ? edge.src : edge.dst) != v) return false;
+        if (a.other != (out ? edge.dst : edge.src)) return false;
+        if (a.label != edge.label) return false;
+        if (i > 0 && !ArcLess(arcs[i - 1], a)) return false;
+        arc_ids.push_back(a.edge);
+      }
+      std::sort(arc_ids.begin(), arc_ids.end());
+      std::vector<EdgeId> id_copy(ids.begin(), ids.end());
+      if (arc_ids != id_copy) return false;
+    }
+  }
+  // Every live edge appears exactly once per direction.
+  std::sort(seen_out.begin(), seen_out.end());
+  std::sort(seen_in.begin(), seen_in.end());
+  if (seen_out.size() != live || seen_in.size() != live) return false;
+  if (seen_out != seen_in) return false;
+  if (std::adjacent_find(seen_out.begin(), seen_out.end()) !=
+      seen_out.end()) {
+    return false;
+  }
+
+  // Vertex-label index: keys strictly ascending, slices ascending, every
+  // vertex covered exactly once under its own label.
+  if (vertex_label_offsets_.size() != vertex_label_keys_.size() + 1) {
+    return false;
+  }
+  if (vertex_label_ids_.size() != n) return false;
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < vertex_label_keys_.size(); ++i) {
+    if (i > 0 && vertex_label_keys_[i - 1] >= vertex_label_keys_[i]) {
+      return false;
+    }
+    const std::span<const VertexId> vs =
+        VerticesWithLabel(vertex_label_keys_[i]);
+    if (vs.empty()) return false;
+    for (std::size_t j = 0; j < vs.size(); ++j) {
+      if (vs[j] >= n || vertex_labels_[vs[j]] != vertex_label_keys_[i]) {
+        return false;
+      }
+      if (j > 0 && vs[j - 1] >= vs[j]) return false;
+      ++covered;
+    }
+  }
+  if (covered != n) return false;
+
+  // Edge-type index: keys strictly ascending, ids ascending and of the
+  // right type, every live edge covered exactly once.
+  if (edge_type_offsets_.size() != edge_type_keys_.size() + 1) return false;
+  if (edge_type_ids_.size() != live) return false;
+  for (std::size_t i = 0; i < edge_type_keys_.size(); ++i) {
+    if (i > 0 && !(edge_type_keys_[i - 1] < edge_type_keys_[i])) {
+      return false;
+    }
+    const EdgeTypeKey& key = edge_type_keys_[i];
+    const std::span<const EdgeId> es = EdgesOfType(i);
+    if (es.empty()) return false;
+    for (std::size_t j = 0; j < es.size(); ++j) {
+      const EdgeId e = es[j];
+      if (e >= cap || !alive_[e]) return false;
+      const Edge& edge = edges_[e];
+      const EdgeTypeKey got{vertex_labels_[edge.src],
+                            vertex_labels_[edge.dst], edge.label,
+                            edge.src == edge.dst};
+      if (got != key) return false;
+      if (j > 0 && es[j - 1] >= e) return false;
+    }
+  }
+  std::vector<EdgeId> typed(edge_type_ids_);
+  std::sort(typed.begin(), typed.end());
+  if (typed != seen_out) return false;
+  return true;
+}
+
+}  // namespace tnmine::graph

@@ -1,0 +1,192 @@
+#ifndef TNMINE_GRAPH_GRAPH_VIEW_H_
+#define TNMINE_GRAPH_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace tnmine::graph {
+
+/// Immutable flat-memory snapshot of a LabeledGraph, built once and then
+/// read by the mining kernels (VF2, canonical coding, gSpan extension
+/// enumeration, FSG support counting, SUBDUE growth). See DESIGN.md §11.
+///
+/// Layout: CSR out/in adjacency with tombstoned edges compacted away.
+/// Vertex and edge ids are the ORIGINAL ids of the source graph — the
+/// miners expose both in their output (SUBDUE instances carry host
+/// EdgeIds, VF2 embeddings carry target ids), so the view never renumbers
+/// anything; it only drops dead edges from the adjacency arrays.
+///
+/// Two parallel adjacency encodings share the same CSR offsets:
+///  - Arcs: per-vertex arc records sorted by (label, other, edge), so a
+///    label's neighbors form a contiguous subrange found by binary search
+///    and parallel (src, dst, label) edges sit adjacent with ascending
+///    edge ids.
+///  - Ids: plain EdgeIds in ascending order — exactly the live-edge
+///    sequence LabeledGraph::ForEachOutEdge/ForEachInEdge visits, for the
+///    kernels (SUBDUE) whose OUTPUT depends on discovery order.
+///
+/// Indexes:
+///  - per-label vertex lists (ascending VertexId within a label);
+///  - an edge-type index keyed (src_label, dst_label, edge_label,
+///    self_loop), sorted by that key with ascending EdgeIds per type —
+///    the same enumeration order as gSpan's seed map and FSG's level-1
+///    edge_tids map, so seed enumeration is an index lookup.
+///
+/// The snapshot is decoupled from the source graph (all data is copied);
+/// mutating the source afterwards does not affect the view.
+class GraphView {
+ public:
+  /// One adjacency record. For out-arcs `other` is the edge's dst; for
+  /// in-arcs it is the src. Self-loops appear in both directions (as in
+  /// LabeledGraph, where a self-loop contributes to both degree sides).
+  struct Arc {
+    VertexId other;
+    Label label;
+    EdgeId edge;
+  };
+
+  /// Edge-type key; ordering matches the miners' historical std::map /
+  /// std::set enumeration order (src label, dst label, edge label,
+  /// self-loop flag).
+  struct EdgeTypeKey {
+    Label src_label;
+    Label dst_label;
+    Label edge_label;
+    bool self_loop;
+
+    auto operator<=>(const EdgeTypeKey&) const = default;
+  };
+
+  explicit GraphView(const LabeledGraph& g);
+
+  std::size_t num_vertices() const { return vertex_labels_.size(); }
+  /// Live edges (tombstones excluded).
+  std::size_t num_edges() const { return num_live_edges_; }
+  /// Original edge-id space size; valid EdgeIds are [0, this).
+  std::size_t edge_capacity() const { return edges_.size(); }
+
+  Label vertex_label(VertexId v) const {
+    TNMINE_DCHECK(v < vertex_labels_.size());
+    return vertex_labels_[v];
+  }
+  const Edge& edge(EdgeId e) const {
+    TNMINE_DCHECK(e < edges_.size());
+    return edges_[e];
+  }
+  bool edge_alive(EdgeId e) const {
+    TNMINE_DCHECK(e < edges_.size());
+    return alive_[e];
+  }
+
+  std::size_t OutDegree(VertexId v) const {
+    TNMINE_DCHECK(v + 1 < out_offsets_.size());
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  std::size_t InDegree(VertexId v) const {
+    TNMINE_DCHECK(v + 1 < in_offsets_.size());
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+  std::size_t Degree(VertexId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// Label-sorted adjacency: arcs of `v` ordered by (label, other, edge).
+  std::span<const Arc> OutArcs(VertexId v) const {
+    TNMINE_DCHECK(v + 1 < out_offsets_.size());
+    return {out_arcs_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  std::span<const Arc> InArcs(VertexId v) const {
+    TNMINE_DCHECK(v + 1 < in_offsets_.size());
+    return {in_arcs_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// The contiguous subrange of OutArcs(v)/InArcs(v) carrying `label`
+  /// (binary search; `other` ascending within the result).
+  std::span<const Arc> OutArcs(VertexId v, Label label) const {
+    return LabelRange(OutArcs(v), label);
+  }
+  std::span<const Arc> InArcs(VertexId v, Label label) const {
+    return LabelRange(InArcs(v), label);
+  }
+
+  /// Number of live edges src -> dst with `label` (binary search within
+  /// the label subrange; parallel edges counted with multiplicity).
+  std::size_t CountOutEdges(VertexId src, VertexId dst, Label label) const;
+
+  /// EdgeId-ascending adjacency — the exact sequence
+  /// LabeledGraph::ForEachOutEdge / ForEachInEdge visits (live edges, in
+  /// insertion order, which is ascending EdgeId order).
+  std::span<const EdgeId> OutEdgesById(VertexId v) const {
+    TNMINE_DCHECK(v + 1 < out_offsets_.size());
+    return {out_ids_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  std::span<const EdgeId> InEdgesById(VertexId v) const {
+    TNMINE_DCHECK(v + 1 < in_offsets_.size());
+    return {in_ids_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// Distinct vertex labels, ascending.
+  std::span<const Label> DistinctVertexLabels() const {
+    return vertex_label_keys_;
+  }
+  /// Vertices carrying `label`, ascending (empty when none do).
+  std::span<const VertexId> VerticesWithLabel(Label label) const;
+
+  /// Edge-type index: distinct (src_label, dst_label, edge_label,
+  /// self_loop) keys over live edges, ascending by key.
+  std::size_t NumEdgeTypes() const { return edge_type_keys_.size(); }
+  const EdgeTypeKey& EdgeTypeAt(std::size_t i) const {
+    TNMINE_DCHECK(i < edge_type_keys_.size());
+    return edge_type_keys_[i];
+  }
+  /// Live edges of the i-th type, ascending EdgeId.
+  std::span<const EdgeId> EdgesOfType(std::size_t i) const {
+    TNMINE_DCHECK(i + 1 < edge_type_offsets_.size());
+    return {edge_type_ids_.data() + edge_type_offsets_[i],
+            edge_type_offsets_[i + 1] - edge_type_offsets_[i]};
+  }
+
+  /// Full structural self-check: offsets monotone, arcs sorted and
+  /// consistent with the edge table, both encodings agree, every live
+  /// edge appears exactly once per direction, indexes cover everything.
+  /// Used by the fuzz/property harnesses — a malformed input file must
+  /// never yield an inconsistent snapshot. Returns false (never crashes)
+  /// on violation.
+  bool CheckConsistent() const;
+
+ private:
+  static std::span<const Arc> LabelRange(std::span<const Arc> arcs,
+                                         Label label);
+
+  std::vector<Label> vertex_labels_;
+  std::vector<Edge> edges_;  // full original edge table, dead slots too
+  std::vector<char> alive_;
+  std::size_t num_live_edges_ = 0;
+
+  // CSR adjacency; out_arcs_/out_ids_ share out_offsets_ (same for in).
+  std::vector<std::uint32_t> out_offsets_;
+  std::vector<std::uint32_t> in_offsets_;
+  std::vector<Arc> out_arcs_;
+  std::vector<Arc> in_arcs_;
+  std::vector<EdgeId> out_ids_;
+  std::vector<EdgeId> in_ids_;
+
+  // Per-label vertex index (CSR over vertex_label_keys_).
+  std::vector<Label> vertex_label_keys_;
+  std::vector<std::uint32_t> vertex_label_offsets_;
+  std::vector<VertexId> vertex_label_ids_;
+
+  // Edge-type index (CSR over edge_type_keys_).
+  std::vector<EdgeTypeKey> edge_type_keys_;
+  std::vector<std::uint32_t> edge_type_offsets_;
+  std::vector<EdgeId> edge_type_ids_;
+};
+
+}  // namespace tnmine::graph
+
+#endif  // TNMINE_GRAPH_GRAPH_VIEW_H_

@@ -14,6 +14,7 @@
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "graph/graph_view.h"
 #include "iso/canonical.h"
 
 namespace tnmine::gspan {
@@ -82,7 +83,7 @@ std::size_t SupportOf(const std::vector<Emb>& embs) {
 /// set, so instances for different seeds share nothing and can run on
 /// separate pool lanes; MineGspan merges their results.
 struct Miner {
-  const std::vector<LabeledGraph>& transactions;
+  const std::vector<graph::GraphView>& views;
   const GspanOptions& options;
   GspanResult result;
   std::unordered_set<std::string> visited_codes;
@@ -96,6 +97,8 @@ struct Miner {
   std::uint64_t extensions_enumerated = 0;
   std::uint64_t embeddings_materialized = 0;
   std::uint64_t codes_generated = 0;
+  // Reused across Grow calls (a call finishes with it before recursing).
+  std::vector<std::pair<VertexId, VertexId>> reverse;  // (tv, pv) sorted
 
   void Grow(const LabeledGraph& pg, const std::string& code,
             std::vector<Emb> embs) {
@@ -153,9 +156,8 @@ struct Miner {
     std::unordered_map<Extension, std::vector<Emb>, ExtensionHash>
         extensions;
     extensions.reserve(embs.size() * 4);
-    std::vector<std::pair<VertexId, VertexId>> reverse;  // (tv, pv) sorted
     for (const Emb& emb : embs) {
-      const LabeledGraph& t = transactions[emb.tid];
+      const graph::GraphView& t = views[emb.tid];
       // Occupancy for O(log n) membership tests.
       auto edge_used = [&](EdgeId e) {
         return std::binary_search(emb.edges.begin(), emb.edges.end(), e);
@@ -214,10 +216,10 @@ struct Miner {
           }
           extensions[ext].push_back(std::move(extended));
         };
-        t.ForEachOutEdge(tu, [&](EdgeId te) { consider(te, true); });
-        t.ForEachInEdge(tu, [&](EdgeId te) {
+        for (EdgeId te : t.OutEdgesById(tu)) consider(te, true);
+        for (EdgeId te : t.InEdgesById(tu)) {
           if (t.edge(te).src != t.edge(te).dst) consider(te, false);
-        });
+        }
       }
     }
 
@@ -302,6 +304,12 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
     TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
   }
 
+  // One flat snapshot per transaction, shared read-only by every seed
+  // subtree (and thread) below.
+  std::vector<graph::GraphView> views;
+  views.reserve(transactions.size());
+  for (const LabeledGraph& t : transactions) views.emplace_back(t);
+
   // Seed: single-edge patterns with their embeddings, in deterministic
   // (label-tuple) order. Distinct tuples yield non-isomorphic 1-edge
   // patterns, so seed codes are pairwise distinct.
@@ -310,34 +318,36 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
     std::string code;
     std::vector<Emb> embs;
   };
-  std::map<std::tuple<Label, Label, Label, bool>, Seed> seeds;
-  for (std::uint32_t tid = 0; tid < transactions.size(); ++tid) {
-    const LabeledGraph& t = transactions[tid];
-    t.ForEachEdge([&](EdgeId e) {
-      const Edge& edge = t.edge(e);
-      const bool self_loop = edge.src == edge.dst;
-      const auto key =
-          std::make_tuple(t.vertex_label(edge.src),
-                          t.vertex_label(edge.dst), edge.label, self_loop);
+  // EdgeTypeKey's ordering matches the label tuple this map used to be
+  // keyed on, and each view lists a type's edges in ascending EdgeId
+  // order, so seed order and per-seed embedding order are unchanged.
+  std::map<graph::GraphView::EdgeTypeKey, Seed> seeds;
+  for (std::uint32_t tid = 0; tid < views.size(); ++tid) {
+    const graph::GraphView& t = views[tid];
+    for (std::size_t type = 0; type < t.NumEdgeTypes(); ++type) {
+      const graph::GraphView::EdgeTypeKey& key = t.EdgeTypeAt(type);
       auto it = seeds.find(key);
       if (it == seeds.end()) {
         Seed seed;
-        const VertexId a = seed.pg.AddVertex(t.vertex_label(edge.src));
-        if (self_loop) {
-          seed.pg.AddEdge(a, a, edge.label);
+        const VertexId a = seed.pg.AddVertex(key.src_label);
+        if (key.self_loop) {
+          seed.pg.AddEdge(a, a, key.edge_label);
         } else {
-          const VertexId b = seed.pg.AddVertex(t.vertex_label(edge.dst));
-          seed.pg.AddEdge(a, b, edge.label);
+          const VertexId b = seed.pg.AddVertex(key.dst_label);
+          seed.pg.AddEdge(a, b, key.edge_label);
         }
         it = seeds.emplace(key, std::move(seed)).first;
       }
-      Emb emb;
-      emb.tid = tid;
-      emb.vertices.push_back(edge.src);
-      if (!self_loop) emb.vertices.push_back(edge.dst);
-      emb.edges.push_back(e);
-      it->second.embs.push_back(std::move(emb));
-    });
+      for (EdgeId e : t.EdgesOfType(type)) {
+        const Edge& edge = t.edge(e);
+        Emb emb;
+        emb.tid = tid;
+        emb.vertices.push_back(edge.src);
+        if (!key.self_loop) emb.vertices.push_back(edge.dst);
+        emb.edges.push_back(e);
+        it->second.embs.push_back(std::move(emb));
+      }
+    }
   }
   std::vector<Seed> frequent;
   for (auto& [key, seed] : seeds) {
@@ -357,7 +367,7 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
       options.parallelism, frequent.size(), [&](std::size_t i) {
         TNMINE_TRACE_SPAN("gspan/seed_subtree");
         Seed& seed = frequent[i];
-        Miner miner{transactions, options, {}, {}};
+        Miner miner{views, options, {}, {}};
         miner.meter =
             common::BudgetMeter(options.budget.Slice(i, frequent.size()));
         miner.visited_codes.insert(seed.code);

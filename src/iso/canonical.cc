@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <map>
 #include <mutex>
 #include <string>
 #include <tuple>
@@ -34,8 +33,31 @@ struct DenseGraph {
     std::uint32_t multiplicity;
   };
   std::vector<std::vector<Arc>> adj;
-  // Directed edge multiset keyed (src, dst, label) -> multiplicity.
-  std::map<std::tuple<VertexId, VertexId, Label>, std::uint32_t> edges;
+  // Directed edge multiset as a flat run-length-encoded table sorted by
+  // (src, dst, label); lookups binary-search instead of walking a map.
+  struct EdgeRec {
+    VertexId src;
+    VertexId dst;
+    Label label;
+    std::uint32_t multiplicity;
+  };
+  std::vector<EdgeRec> edges;
+
+  /// Multiplicity of (src, dst, label), 0 if absent.
+  std::uint32_t Multiplicity(VertexId src, VertexId dst, Label label) const {
+    const auto key = std::make_tuple(src, dst, label);
+    const auto it = std::lower_bound(
+        edges.begin(), edges.end(), key,
+        [](const EdgeRec& rec, const std::tuple<VertexId, VertexId, Label>&
+                                   k) {
+          return std::tie(rec.src, rec.dst, rec.label) < k;
+        });
+    if (it == edges.end() ||
+        std::make_tuple(it->src, it->dst, it->label) != key) {
+      return 0;
+    }
+    return it->multiplicity;
+  }
 };
 
 DenseGraph Snapshot(const LabeledGraph& g) {
@@ -43,15 +65,29 @@ DenseGraph Snapshot(const LabeledGraph& g) {
   d.n = g.num_vertices();
   d.vlabel.resize(d.n);
   for (VertexId v = 0; v < d.n; ++v) d.vlabel[v] = g.vertex_label(v);
+  std::vector<std::tuple<VertexId, VertexId, Label>> keys;
+  keys.reserve(g.num_edges());
   g.ForEachEdge([&](EdgeId e) {
     const Edge& edge = g.edge(e);
-    ++d.edges[std::make_tuple(edge.src, edge.dst, edge.label)];
+    keys.emplace_back(edge.src, edge.dst, edge.label);
   });
+  std::sort(keys.begin(), keys.end());
+  d.edges.reserve(keys.size());
+  for (const auto& [src, dst, label] : keys) {
+    if (!d.edges.empty() && d.edges.back().src == src &&
+        d.edges.back().dst == dst && d.edges.back().label == label) {
+      ++d.edges.back().multiplicity;
+    } else {
+      d.edges.push_back({src, dst, label, 1});
+    }
+  }
   d.adj.resize(d.n);
-  for (const auto& [key, mult] : d.edges) {
-    const auto [src, dst, label] = key;
-    d.adj[src].push_back({dst, true, label, mult});
-    if (src != dst) d.adj[dst].push_back({src, false, label, mult});
+  for (const auto& rec : d.edges) {
+    d.adj[rec.src].push_back({rec.dst, true, rec.label, rec.multiplicity});
+    if (rec.src != rec.dst) {
+      d.adj[rec.dst].push_back({rec.src, false, rec.label,
+                                rec.multiplicity});
+    }
   }
   for (auto& arcs : d.adj) {
     std::sort(arcs.begin(), arcs.end(), [](const auto& a, const auto& b) {
@@ -105,8 +141,6 @@ std::vector<std::uint32_t> RefineColors(const DenseGraph& d) {
     std::vector<std::uint32_t> next(d.n, 0);
     std::uint32_t next_colors = 0;
     const Sig* prev = nullptr;
-    std::map<const Sig*, std::uint32_t> dummy;  // unused; keep simple below
-    (void)dummy;
     std::vector<std::uint32_t> assigned(d.n, 0);
     for (std::size_t i = 0; i < d.n; ++i) {
       if (prev != nullptr && *order[i] == *prev) {
@@ -204,12 +238,14 @@ class CanonicalSearch {
   bool TranspositionIsAutomorphism(VertexId u, VertexId v) const {
     if (d_.vlabel[u] != d_.vlabel[v]) return false;
     auto mapped = [&](VertexId w) { return w == u ? v : (w == v ? u : w); };
-    for (const auto& [key, mult] : d_.edges) {
-      const auto [src, dst, label] = key;
-      if (src != u && src != v && dst != u && dst != v) continue;
-      const auto mkey = std::make_tuple(mapped(src), mapped(dst), label);
-      const auto it = d_.edges.find(mkey);
-      if (it == d_.edges.end() || it->second != mult) return false;
+    for (const auto& rec : d_.edges) {
+      if (rec.src != u && rec.src != v && rec.dst != u && rec.dst != v) {
+        continue;
+      }
+      if (d_.Multiplicity(mapped(rec.src), mapped(rec.dst), rec.label) !=
+          rec.multiplicity) {
+        return false;
+      }
     }
     return true;
   }

@@ -2,39 +2,68 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <tuple>
+
+#include "common/scratch.h"
 
 namespace tnmine::iso {
 
 using graph::Edge;
 using graph::EdgeId;
+using graph::GraphView;
 using graph::kInvalidVertex;
 using graph::Label;
 using graph::LabeledGraph;
 using graph::VertexId;
 
-SubgraphMatcher::SubgraphMatcher(const LabeledGraph& pattern,
-                                 const LabeledGraph& target)
-    : pattern_(pattern), target_(target) {
+/// Per-run search state, pooled per thread (common::ScratchLease): after
+/// the first few runs on a thread have warmed these buffers' capacities,
+/// a match run performs no heap allocation.
+struct SubgraphMatcher::MatchScratch {
+  std::vector<VertexId> vertex_image;  // pattern v -> target v
+  std::vector<char> target_used;
+  // One candidate buffer per depth (recursion at depth d iterates its own
+  // buffer while deeper levels fill theirs).
+  std::vector<std::vector<VertexId>> depth_candidates;
+  LabelTally have;              // induced-check tally buffer
+  std::vector<EdgeId> avail;    // emit-time parallel-edge pool
+  Embedding emb;                // reused embedding handed to callbacks
+  // Logical state is fully re-initialized per run; keeping contents (and
+  // therefore capacity) across leases is the point.
+  void Reset() {}
+};
+
+SubgraphMatcher::SubgraphMatcher(const LabeledGraph& pattern)
+    : pattern_(pattern) {
   TNMINE_CHECK_MSG(pattern.num_vertices() > 0, "pattern must be non-empty");
   TNMINE_CHECK_MSG(pattern.IsDense(),
                    "pattern must be dense (Compact() it first)");
+  BuildPlan();
+}
 
+SubgraphMatcher::SubgraphMatcher(const LabeledGraph& pattern,
+                                 const LabeledGraph& target)
+    : SubgraphMatcher(pattern) {
+  default_target_ = std::make_unique<GraphView>(target);
+}
+
+void SubgraphMatcher::BuildPlan() {
   // Placement order: BFS from the highest-degree vertex of each component,
   // so every non-root vertex is anchored to an already-placed neighbor and
   // candidate sets come from target adjacency lists instead of all
   // vertices.
-  const std::size_t n = pattern.num_vertices();
+  const std::size_t n = pattern_.num_vertices();
   std::vector<char> placed(n, 0);
   order_.reserve(n);
   while (order_.size() < n) {
     VertexId root = kInvalidVertex;
     std::size_t best_degree = 0;
     for (VertexId v = 0; v < n; ++v) {
-      if (!placed[v] && (root == kInvalidVertex ||
-                         pattern.Degree(v) > best_degree)) {
+      if (!placed[v] &&
+          (root == kInvalidVertex || pattern_.Degree(v) > best_degree)) {
         root = v;
-        best_degree = pattern.Degree(v);
+        best_degree = pattern_.Degree(v);
       }
     }
     // BFS over the undirected view of the pattern.
@@ -45,15 +74,15 @@ SubgraphMatcher::SubgraphMatcher(const LabeledGraph& pattern,
       const VertexId v = queue[head++];
       order_.push_back(v);
       auto visit = [&](EdgeId e) {
-        const Edge& edge = pattern.edge(e);
+        const Edge& edge = pattern_.edge(e);
         const VertexId other = (edge.src == v) ? edge.dst : edge.src;
         if (!placed[other]) {
           placed[other] = 1;
           queue.push_back(other);
         }
       };
-      pattern.ForEachOutEdge(v, visit);
-      pattern.ForEachInEdge(v, visit);
+      pattern_.ForEachOutEdge(v, visit);
+      pattern_.ForEachInEdge(v, visit);
     }
   }
 
@@ -61,30 +90,103 @@ SubgraphMatcher::SubgraphMatcher(const LabeledGraph& pattern,
   std::vector<std::size_t> position(n, 0);
   for (std::size_t i = 0; i < n; ++i) position[order_[i]] = i;
 
-  back_edges_.resize(n);
-  has_anchor_.assign(n, false);
+  // Back edges per depth: the pattern edges connecting order_[i] to
+  // earlier-placed vertices (self-loops count once, via the out side).
+  struct PatternEdgeRef {
+    EdgeId edge;
+    bool outgoing;  // relative to the vertex being placed
+  };
+  std::vector<std::vector<PatternEdgeRef>> back_edges(n);
   for (std::size_t i = 0; i < n; ++i) {
     const VertexId p = order_[i];
-    pattern.ForEachOutEdge(p, [&](EdgeId e) {
-      const VertexId other = pattern.edge(e).dst;
+    pattern_.ForEachOutEdge(p, [&](EdgeId e) {
+      const VertexId other = pattern_.edge(e).dst;
       if (position[other] < i || other == p) {
-        back_edges_[i].push_back({e, /*outgoing=*/true});
+        back_edges[i].push_back({e, /*outgoing=*/true});
       }
     });
-    pattern.ForEachInEdge(p, [&](EdgeId e) {
-      const VertexId other = pattern.edge(e).src;
+    pattern_.ForEachInEdge(p, [&](EdgeId e) {
+      const VertexId other = pattern_.edge(e).src;
       if (position[other] < i) {
-        back_edges_[i].push_back({e, /*outgoing=*/false});
+        back_edges[i].push_back({e, /*outgoing=*/false});
       }
     });
-    has_anchor_[i] = !back_edges_[i].empty() &&
-                     // a lone self-loop does not anchor the vertex to an
-                     // earlier placement
-                     std::any_of(back_edges_[i].begin(), back_edges_[i].end(),
-                                 [&](const PatternEdgeRef& ref) {
-                                   const Edge& edge = pattern.edge(ref.edge);
-                                   return edge.src != edge.dst;
-                                 });
+  }
+
+  // Compile the per-depth plan rows: wanted label, degree floors, merged
+  // requirement tallies (the former per-call rebuild), anchors, and the
+  // induced-matching obligations.
+  want_label_.resize(n);
+  p_out_degree_.resize(n);
+  p_in_degree_.resize(n);
+  requirements_.resize(n);
+  self_loop_need_.resize(n);
+  anchors_.resize(n);
+  has_anchor_.assign(n, false);
+  induced_pairs_.resize(n);
+  induced_loop_need_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId p = order_[i];
+    want_label_[i] = pattern_.vertex_label(p);
+    p_out_degree_[i] = static_cast<std::uint32_t>(pattern_.OutDegree(p));
+    p_in_degree_[i] = static_cast<std::uint32_t>(pattern_.InDegree(p));
+    std::map<Label, std::uint32_t> loop_need;
+    for (const PatternEdgeRef& ref : back_edges[i]) {
+      const Edge& pedge = pattern_.edge(ref.edge);
+      if (pedge.src == pedge.dst) {
+        if (ref.outgoing) ++loop_need[pedge.label];
+        continue;
+      }
+      if (!has_anchor_[i]) {
+        has_anchor_[i] = true;
+        anchors_[i] = {ref.outgoing ? pedge.dst : pedge.src, ref.outgoing,
+                       pedge.label};
+      }
+      const VertexId other = ref.outgoing ? pedge.dst : pedge.src;
+      bool merged = false;
+      for (Requirement& req : requirements_[i]) {
+        if (req.other == other && req.outgoing == ref.outgoing &&
+            req.label == pedge.label) {
+          ++req.count;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        requirements_[i].push_back({other, ref.outgoing, pedge.label, 1});
+      }
+    }
+    self_loop_need_[i].assign(loop_need.begin(), loop_need.end());
+
+    // Induced obligations: the exact per-label multiset of pattern edges
+    // between p and every other pattern vertex, both directions. Empty
+    // tallies still matter (the target must carry nothing there).
+    auto tally = [&](VertexId a, VertexId b) {
+      std::map<Label, std::uint32_t> counts;
+      pattern_.ForEachOutEdge(a, [&](EdgeId e) {
+        if (pattern_.edge(e).dst == b) ++counts[pattern_.edge(e).label];
+      });
+      return LabelTally(counts.begin(), counts.end());
+    };
+    for (VertexId q = 0; q < n; ++q) {
+      if (q == p) continue;
+      induced_pairs_[i].push_back({q, tally(p, q), tally(q, p)});
+    }
+    induced_loop_need_[i] = tally(p, p);
+  }
+
+  // Emit plan: group parallel pattern edges by (src, dst, label). The
+  // vertex mapping is injective, so plan-time groups coincide exactly
+  // with the former emit-time groups keyed by mapped endpoints.
+  std::map<std::tuple<VertexId, VertexId, Label>, std::vector<EdgeId>>
+      groups;
+  pattern_.ForEachEdge([&](EdgeId e) {
+    const Edge& edge = pattern_.edge(e);
+    groups[std::make_tuple(edge.src, edge.dst, edge.label)].push_back(e);
+  });
+  for (auto& [key, pattern_edges] : groups) {
+    const auto& [src, dst, label] = key;
+    emit_groups_.push_back({src, dst, label, std::move(pattern_edges)});
   }
 }
 
@@ -100,62 +202,126 @@ bool VertexAllowed(const MatchOptions& options, VertexId v) {
          !(*options.forbidden_target_vertices)[v];
 }
 
+/// The contiguous arc subrange of OutArcs(src) with the given (label,
+/// dst): parallel edges, ascending EdgeId (the arc sort order).
+std::span<const GraphView::Arc> PairRange(const GraphView& target,
+                                          VertexId src, VertexId dst,
+                                          Label label) {
+  const std::span<const GraphView::Arc> range = target.OutArcs(src, label);
+  const GraphView::Arc* lo = std::lower_bound(
+      range.data(), range.data() + range.size(), dst,
+      [](const GraphView::Arc& a, VertexId v) { return a.other < v; });
+  const GraphView::Arc* hi = std::upper_bound(
+      lo, range.data() + range.size(), dst,
+      [](VertexId v, const GraphView::Arc& a) { return v < a.other; });
+  return {lo, static_cast<std::size_t>(hi - lo)};
+}
+
 /// Counts live, allowed target edges src -> dst with the given label.
-std::size_t CountTargetEdges(const LabeledGraph& target,
+std::size_t CountTargetEdges(const GraphView& target,
                              const MatchOptions& options, VertexId src,
                              VertexId dst, Label label) {
+  const std::span<const GraphView::Arc> range =
+      PairRange(target, src, dst, label);
+  if (options.forbidden_target_edges == nullptr) return range.size();
   std::size_t count = 0;
-  target.ForEachOutEdge(src, [&](EdgeId e) {
-    const Edge& edge = target.edge(e);
-    if (edge.dst == dst && edge.label == label && EdgeAllowed(options, e)) {
-      ++count;
-    }
-  });
+  for (const GraphView::Arc& arc : range) {
+    if (EdgeAllowed(options, arc.edge)) ++count;
+  }
   return count;
+}
+
+/// Tallies allowed arcs of `arcs` pointing at `other` into sorted
+/// (label, count) runs. Arcs are label-major sorted, so the filtered
+/// subsequence yields ascending labels directly.
+void BuildPairTally(std::span<const GraphView::Arc> arcs, VertexId other,
+                    const MatchOptions& options,
+                    std::vector<std::pair<Label, std::uint32_t>>* out) {
+  out->clear();
+  for (const GraphView::Arc& arc : arcs) {
+    if (arc.other != other || !EdgeAllowed(options, arc.edge)) continue;
+    if (!out->empty() && out->back().first == arc.label) {
+      ++out->back().second;
+    } else {
+      out->emplace_back(arc.label, 1);
+    }
+  }
 }
 
 }  // namespace
 
 bool SubgraphMatcher::EmitCurrentEmbedding() {
-  Embedding emb;
-  emb.vertex_map = vertex_image_;
-  // Assign target edges to pattern edges: group parallel pattern edges by
-  // (mapped src, mapped dst, label) and hand out distinct target edges in
-  // ascending EdgeId order.
-  std::map<std::tuple<VertexId, VertexId, Label>, std::vector<EdgeId>> pool;
+  Embedding& emb = scratch_->emb;
+  emb.vertex_map = scratch_->vertex_image;
   emb.edge_map.assign(pattern_.edge_capacity(), graph::kInvalidEdge);
-  bool ok = true;
-  pattern_.ForEachEdge([&](EdgeId pe) {
-    if (!ok) return;
-    const Edge& pedge = pattern_.edge(pe);
-    const VertexId ts = vertex_image_[pedge.src];
-    const VertexId td = vertex_image_[pedge.dst];
-    const auto key = std::make_tuple(ts, td, pedge.label);
-    auto it = pool.find(key);
-    if (it == pool.end()) {
-      std::vector<EdgeId> available;
-      target_.ForEachOutEdge(ts, [&](EdgeId te) {
-        const Edge& tedge = target_.edge(te);
-        if (tedge.dst == td && tedge.label == pedge.label &&
-            EdgeAllowed(*options_, te)) {
-          available.push_back(te);
-        }
-      });
-      // Descending, so pop_back() hands out ascending EdgeIds.
-      std::sort(available.rbegin(), available.rend());
-      it = pool.emplace(key, std::move(available)).first;
+  for (const EmitGroup& group : emit_groups_) {
+    const VertexId ts = scratch_->vertex_image[group.src];
+    const VertexId td = scratch_->vertex_image[group.dst];
+    std::vector<EdgeId>& avail = scratch_->avail;
+    avail.clear();
+    for (const GraphView::Arc& arc :
+         PairRange(*target_, ts, td, group.label)) {
+      if (EdgeAllowed(*options_, arc.edge)) avail.push_back(arc.edge);
     }
-    if (it->second.empty()) {
-      ok = false;  // cannot happen if feasibility counting was exact
-      return;
+    // avail is ascending (the arc sort order); hand the k smallest target
+    // edges to the group's pattern edges in ascending pattern-id order —
+    // exactly the former per-emission pool assignment.
+    if (avail.size() < group.pattern_edges.size()) {
+      TNMINE_DCHECK(false);  // cannot happen if feasibility was exact
+      return true;
     }
-    emb.edge_map[pe] = it->second.back();
-    it->second.pop_back();
-  });
-  TNMINE_DCHECK(ok);
-  if (!ok) return true;
+    for (std::size_t i = 0; i < group.pattern_edges.size(); ++i) {
+      emb.edge_map[group.pattern_edges[i]] = avail[i];
+    }
+  }
   ++emitted_;
   return (*callback_)(emb);
+}
+
+bool SubgraphMatcher::TryCandidate(std::size_t depth, VertexId t) {
+  // Returns false to abort the whole enumeration.
+  std::vector<VertexId>& vi = scratch_->vertex_image;
+  if (scratch_->target_used[t] || !VertexAllowed(*options_, t)) return true;
+  if (target_->vertex_label(t) != want_label_[depth]) return true;
+  if (target_->OutDegree(t) < p_out_degree_[depth] ||
+      target_->InDegree(t) < p_in_degree_[depth]) {
+    return true;
+  }
+  for (const Requirement& req : requirements_[depth]) {
+    const VertexId image = vi[req.other];
+    const std::size_t available =
+        req.outgoing
+            ? CountTargetEdges(*target_, *options_, t, image, req.label)
+            : CountTargetEdges(*target_, *options_, image, t, req.label);
+    if (available < req.count) return true;
+  }
+  for (const auto& [label, need] : self_loop_need_[depth]) {
+    if (CountTargetEdges(*target_, *options_, t, t, label) < need) {
+      return true;
+    }
+  }
+  if (options_->induced) {
+    // Exact multiset equality against every placed vertex: the target
+    // may carry no edge (by direction and label) that the pattern does
+    // not.
+    for (const InducedPair& pair : induced_pairs_[depth]) {
+      const VertexId tq = vi[pair.other];
+      if (tq == kInvalidVertex) continue;
+      BuildPairTally(target_->OutArcs(t), tq, *options_, &scratch_->have);
+      if (scratch_->have != pair.need_out) return true;
+      BuildPairTally(target_->OutArcs(tq), t, *options_, &scratch_->have);
+      if (scratch_->have != pair.need_in) return true;
+    }
+    BuildPairTally(target_->OutArcs(t), t, *options_, &scratch_->have);
+    if (scratch_->have != induced_loop_need_[depth]) return true;
+  }
+  const VertexId p = order_[depth];
+  vi[p] = t;
+  scratch_->target_used[t] = 1;
+  const bool keep_going = Extend(depth + 1);
+  scratch_->target_used[t] = 0;
+  vi[p] = kInvalidVertex;
+  return keep_going;
 }
 
 bool SubgraphMatcher::Extend(std::size_t depth) {
@@ -167,197 +333,97 @@ bool SubgraphMatcher::Extend(std::size_t depth) {
   }
   if (depth == order_.size()) return EmitCurrentEmbedding();
 
-  const VertexId p = order_[depth];
-  const Label want_label = pattern_.vertex_label(p);
-
-  // Required multiplicities to already-placed neighbors, grouped by
-  // (target endpoint, outgoing?, label). Self-loops group under the
-  // candidate itself and are validated per-candidate below.
-  struct Requirement {
-    VertexId placed_image;
-    bool outgoing;
-    Label label;
-    std::size_t count;
-    bool self_loop;
-  };
-  std::vector<Requirement> requirements;
-  std::size_t self_loops = 0;
-  for (const PatternEdgeRef& ref : back_edges_[depth]) {
-    const Edge& pedge = pattern_.edge(ref.edge);
-    if (pedge.src == pedge.dst) {
-      ++self_loops;
-      continue;
-    }
-    const VertexId other = ref.outgoing ? pedge.dst : pedge.src;
-    const VertexId image = vertex_image_[other];
-    bool merged = false;
-    for (Requirement& req : requirements) {
-      if (req.placed_image == image && req.outgoing == ref.outgoing &&
-          req.label == pedge.label && !req.self_loop) {
-        ++req.count;
-        merged = true;
-        break;
-      }
-    }
-    if (!merged) {
-      requirements.push_back({image, ref.outgoing, pedge.label, 1, false});
-    }
-  }
-  // Self-loop label multiplicities.
-  std::map<Label, std::size_t> self_loop_need;
-  if (self_loops > 0) {
-    for (const PatternEdgeRef& ref : back_edges_[depth]) {
-      const Edge& pedge = pattern_.edge(ref.edge);
-      if (pedge.src == pedge.dst && ref.outgoing) {
-        ++self_loop_need[pedge.label];
-      }
-    }
-  }
-
-  auto try_candidate = [&](VertexId t) -> bool {
-    // Returns false to abort the whole enumeration.
-    if (target_used_[t] || !VertexAllowed(*options_, t)) return true;
-    if (target_.vertex_label(t) != want_label) return true;
-    if (target_.OutDegree(t) < pattern_.OutDegree(p) ||
-        target_.InDegree(t) < pattern_.InDegree(p)) {
-      return true;
-    }
-    for (const Requirement& req : requirements) {
-      const std::size_t available =
-          req.outgoing
-              ? CountTargetEdges(target_, *options_, t, req.placed_image,
-                                 req.label)
-              : CountTargetEdges(target_, *options_, req.placed_image, t,
-                                 req.label);
-      if (available < req.count) return true;
-    }
-    for (const auto& [label, need] : self_loop_need) {
-      if (CountTargetEdges(target_, *options_, t, t, label) < need) {
-        return true;
-      }
-    }
-    if (options_->induced) {
-      // Exact multiset equality against every placed vertex: the target
-      // may carry no edge (by direction and label) that the pattern does
-      // not.
-      auto count_pattern = [&](VertexId a, VertexId b,
-                               std::map<Label, std::size_t>* out) {
-        pattern_.ForEachOutEdge(a, [&](EdgeId e) {
-          if (pattern_.edge(e).dst == b) ++(*out)[pattern_.edge(e).label];
-        });
-      };
-      auto count_target = [&](VertexId a, VertexId b,
-                              std::map<Label, std::size_t>* out) {
-        target_.ForEachOutEdge(a, [&](EdgeId e) {
-          if (target_.edge(e).dst == b && EdgeAllowed(*options_, e)) {
-            ++(*out)[target_.edge(e).label];
-          }
-        });
-      };
-      for (VertexId q = 0; q < pattern_.num_vertices(); ++q) {
-        if (q == p || vertex_image_[q] == kInvalidVertex) continue;
-        const VertexId tq = vertex_image_[q];
-        std::map<Label, std::size_t> need_out, need_in, have_out, have_in;
-        count_pattern(p, q, &need_out);
-        count_pattern(q, p, &need_in);
-        count_target(t, tq, &have_out);
-        count_target(tq, t, &have_in);
-        if (need_out != have_out || need_in != have_in) return true;
-      }
-      std::map<Label, std::size_t> need_loop, have_loop;
-      count_pattern(p, p, &need_loop);
-      count_target(t, t, &have_loop);
-      if (need_loop != have_loop) return true;
-    }
-    vertex_image_[p] = t;
-    target_used_[t] = 1;
-    const bool keep_going = Extend(depth + 1);
-    target_used_[t] = 0;
-    vertex_image_[p] = kInvalidVertex;
-    return keep_going;
-  };
-
   if (has_anchor_[depth]) {
-    // Enumerate candidates from the adjacency of the anchor's image, using
-    // the first non-self-loop back edge.
-    const PatternEdgeRef* anchor = nullptr;
-    for (const PatternEdgeRef& ref : back_edges_[depth]) {
-      const Edge& pedge = pattern_.edge(ref.edge);
-      if (pedge.src != pedge.dst) {
-        anchor = &ref;
-        break;
+    // Enumerate candidates from the label subrange of the anchor image's
+    // adjacency: `other` is ascending there, so duplicates from parallel
+    // target edges are adjacent and the former sort+unique reduces to a
+    // back()-check.
+    const Anchor& anchor = anchors_[depth];
+    const VertexId image = scratch_->vertex_image[anchor.other];
+    std::vector<VertexId>& candidates = scratch_->depth_candidates[depth];
+    candidates.clear();
+    const std::span<const GraphView::Arc> arcs =
+        anchor.outgoing ? target_->InArcs(image, anchor.label)
+                        : target_->OutArcs(image, anchor.label);
+    for (const GraphView::Arc& arc : arcs) {
+      if (!EdgeAllowed(*options_, arc.edge)) continue;
+      if (candidates.empty() || candidates.back() != arc.other) {
+        candidates.push_back(arc.other);
       }
     }
-    TNMINE_DCHECK(anchor != nullptr);
-    const Edge& aedge = pattern_.edge(anchor->edge);
-    const VertexId placed_other = anchor->outgoing ? aedge.dst : aedge.src;
-    const VertexId image = vertex_image_[placed_other];
-    bool keep_going = true;
-    std::vector<char> tried(0);
-    // Dedup candidates locally (parallel target edges would revisit t).
-    std::vector<VertexId> candidates;
-    if (anchor->outgoing) {
-      // pattern edge p -> other; candidate t must have t -> image.
-      target_.ForEachInEdge(image, [&](EdgeId e) {
-        const Edge& tedge = target_.edge(e);
-        if (tedge.label == aedge.label && EdgeAllowed(*options_, e)) {
-          candidates.push_back(tedge.src);
-        }
-      });
-    } else {
-      target_.ForEachOutEdge(image, [&](EdgeId e) {
-        const Edge& tedge = target_.edge(e);
-        if (tedge.label == aedge.label && EdgeAllowed(*options_, e)) {
-          candidates.push_back(tedge.dst);
-        }
-      });
-    }
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
     for (VertexId t : candidates) {
-      if (!try_candidate(t)) {
-        keep_going = false;
-        break;
-      }
+      if (!TryCandidate(depth, t)) return false;
     }
-    return keep_going;
+    return true;
   }
 
-  // Unanchored (component root): all target vertices are candidates.
-  for (VertexId t = 0; t < target_.num_vertices(); ++t) {
-    if (!try_candidate(t)) return false;
+  // Unanchored (component root): every target vertex with the wanted
+  // label, ascending — the same sequence the former all-vertex scan
+  // admitted past its label check.
+  for (VertexId t : target_->VerticesWithLabel(want_label_[depth])) {
+    if (!TryCandidate(depth, t)) return false;
   }
   return true;
 }
 
 std::uint64_t SubgraphMatcher::ForEachEmbedding(
-    const MatchOptions& options,
+    const GraphView& target, const MatchOptions& options,
     const std::function<bool(const Embedding&)>& fn) {
+  common::ScratchLease<MatchScratch> scratch;
+  scratch_ = scratch.get();
+  target_ = &target;
   options_ = &options;
   callback_ = &fn;
-  vertex_image_.assign(pattern_.num_vertices(), kInvalidVertex);
-  target_used_.assign(target_.num_vertices(), 0);
+  scratch_->vertex_image.assign(pattern_.num_vertices(), kInvalidVertex);
+  scratch_->target_used.assign(target.num_vertices(), 0);
+  if (scratch_->depth_candidates.size() < order_.size()) {
+    scratch_->depth_candidates.resize(order_.size());
+  }
   emitted_ = 0;
   steps_ = 0;
   stopped_ = false;
-  if (pattern_.num_vertices() <= target_.num_vertices() &&
-      pattern_.num_edges() <= target_.num_edges()) {
+  if (pattern_.num_vertices() <= target.num_vertices() &&
+      pattern_.num_edges() <= target.num_edges()) {
     Extend(0);
   }
+  scratch_ = nullptr;
+  target_ = nullptr;
   return emitted_;
 }
 
+bool SubgraphMatcher::Contains(const GraphView& target,
+                               const MatchOptions& options) {
+  return ForEachEmbedding(target, options,
+                          [](const Embedding&) { return false; }) > 0;
+}
+
+std::uint64_t SubgraphMatcher::CountEmbeddings(const GraphView& target,
+                                               std::uint64_t limit,
+                                               const MatchOptions& options) {
+  return ForEachEmbedding(target, options, [&](const Embedding&) {
+    return limit == 0 || emitted_ < limit;
+  });
+}
+
+std::uint64_t SubgraphMatcher::ForEachEmbedding(
+    const MatchOptions& options,
+    const std::function<bool(const Embedding&)>& fn) {
+  TNMINE_CHECK_MSG(default_target_ != nullptr,
+                   "no default target; pass a GraphView");
+  return ForEachEmbedding(*default_target_, options, fn);
+}
+
 bool SubgraphMatcher::Contains(const MatchOptions& options) {
-  return ForEachEmbedding(options, [](const Embedding&) { return false; }) >
-         0;
+  TNMINE_CHECK_MSG(default_target_ != nullptr,
+                   "no default target; pass a GraphView");
+  return Contains(*default_target_, options);
 }
 
 std::uint64_t SubgraphMatcher::CountEmbeddings(std::uint64_t limit,
                                                const MatchOptions& options) {
-  return ForEachEmbedding(options, [&](const Embedding&) {
-    return limit == 0 || emitted_ < limit;
-  });
+  TNMINE_CHECK_MSG(default_target_ != nullptr,
+                   "no default target; pass a GraphView");
+  return CountEmbeddings(*default_target_, limit, options);
 }
 
 bool ContainsSubgraph(const LabeledGraph& pattern,

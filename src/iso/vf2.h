@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "graph/graph_view.h"
 #include "graph/labeled_graph.h"
 
 namespace tnmine::iso {
@@ -47,55 +49,126 @@ struct MatchOptions {
 /// distinct live target edge with the same direction and label. The match
 /// is NOT induced: extra target edges between mapped vertices are allowed,
 /// which is the semantics FSG/gSpan support counting requires.
+///
+/// Construction compiles the PATTERN into a search plan (placement order,
+/// per-depth requirement tallies, emit groups); targets are bound per
+/// call as prebuilt graph::GraphView snapshots. One plan can therefore be
+/// reused against many targets — the FSG support-counting loop builds one
+/// matcher per candidate and runs it over every transaction view. The
+/// per-run search state lives in a per-thread scratch lease, so repeated
+/// runs on a warmed thread do not allocate.
 class SubgraphMatcher {
  public:
-  /// `pattern` must be dense (no tombstoned edges) and non-empty. Both
-  /// references must outlive the matcher.
+  /// Compiles the plan for `pattern` only; bind a target per call.
+  /// `pattern` must be dense (no tombstoned edges), non-empty, and must
+  /// outlive the matcher.
+  explicit SubgraphMatcher(const graph::LabeledGraph& pattern);
+
+  /// Legacy convenience: also snapshots `target` as the default target
+  /// for the target-less call overloads below.
   SubgraphMatcher(const graph::LabeledGraph& pattern,
                   const graph::LabeledGraph& target);
 
-  /// Invokes `fn` for each embedding; `fn` returns false to stop the
-  /// enumeration. Returns the number of embeddings visited.
+  /// Invokes `fn` for each embedding of the pattern in `target`; `fn`
+  /// returns false to stop the enumeration. Returns the number of
+  /// embeddings visited.
+  std::uint64_t ForEachEmbedding(
+      const graph::GraphView& target, const MatchOptions& options,
+      const std::function<bool(const Embedding&)>& fn);
+
+  /// True if at least one embedding exists in `target`.
+  bool Contains(const graph::GraphView& target,
+                const MatchOptions& options = {});
+
+  /// Counts embeddings in `target`, stopping early at `limit` when
+  /// nonzero.
+  std::uint64_t CountEmbeddings(const graph::GraphView& target,
+                                std::uint64_t limit = 0,
+                                const MatchOptions& options = {});
+
+  /// Default-target overloads (require the two-argument constructor).
   std::uint64_t ForEachEmbedding(
       const MatchOptions& options,
       const std::function<bool(const Embedding&)>& fn);
-
-  /// True if at least one embedding exists.
   bool Contains(const MatchOptions& options = {});
-
-  /// Counts embeddings, stopping early at `limit` when nonzero.
   std::uint64_t CountEmbeddings(std::uint64_t limit = 0,
                                 const MatchOptions& options = {});
 
  private:
-  struct PatternEdgeRef {
-    graph::EdgeId edge;
-    bool outgoing;  // relative to the pattern vertex being placed
+  struct MatchScratch;  // per-run search state, pooled per thread
+
+  /// A required edge multiplicity between the vertex being placed and an
+  /// earlier-placed pattern vertex.
+  struct Requirement {
+    graph::VertexId other;  // earlier-placed pattern vertex
+    bool outgoing;          // relative to the vertex being placed
+    graph::Label label;
+    std::uint32_t count;
   };
 
+  /// Sorted (label, multiplicity) tally.
+  using LabelTally = std::vector<std::pair<graph::Label, std::uint32_t>>;
+
+  /// Induced-matching obligation against one other pattern vertex: the
+  /// exact per-label edge multiset required in each direction (empty
+  /// means the target must carry no such edges at all).
+  struct InducedPair {
+    graph::VertexId other;  // pattern vertex (any, not just earlier)
+    LabelTally need_out;    // placed vertex -> other
+    LabelTally need_in;     // other -> placed vertex
+  };
+
+  /// Anchor: the first non-self-loop back edge of a depth, used to
+  /// enumerate candidates from the anchor image's adjacency.
+  struct Anchor {
+    graph::VertexId other;
+    bool outgoing;
+    graph::Label label;
+  };
+
+  /// Parallel pattern edges grouped by endpoints and label; target edges
+  /// are assigned to `pattern_edges` (ascending) in ascending-target-id
+  /// order at emit time.
+  struct EmitGroup {
+    graph::VertexId src;
+    graph::VertexId dst;
+    graph::Label label;
+    std::vector<graph::EdgeId> pattern_edges;
+  };
+
+  void BuildPlan();
   bool Extend(std::size_t depth);
+  bool TryCandidate(std::size_t depth, graph::VertexId t);
   bool EmitCurrentEmbedding();
 
   const graph::LabeledGraph& pattern_;
-  const graph::LabeledGraph& target_;
+  std::unique_ptr<graph::GraphView> default_target_;
 
-  // Search plan: pattern vertices in placement order; for each, the pattern
-  // edges connecting it to earlier-placed vertices.
-  std::vector<graph::VertexId> order_;
-  std::vector<std::vector<PatternEdgeRef>> back_edges_;
-  std::vector<bool> has_anchor_;  // order_[i] adjacent to an earlier vertex?
+  // --- Search plan (pattern-only, built once). ---
+  std::vector<graph::VertexId> order_;  // placement order
+  std::vector<graph::Label> want_label_;
+  std::vector<std::uint32_t> p_out_degree_;
+  std::vector<std::uint32_t> p_in_degree_;
+  std::vector<std::vector<Requirement>> requirements_;
+  std::vector<LabelTally> self_loop_need_;
+  std::vector<Anchor> anchors_;  // valid when has_anchor_[depth]
+  std::vector<bool> has_anchor_;
+  std::vector<std::vector<InducedPair>> induced_pairs_;
+  std::vector<LabelTally> induced_loop_need_;
+  std::vector<EmitGroup> emit_groups_;
 
-  // Per-run state.
+  // --- Per-run state. ---
+  const graph::GraphView* target_ = nullptr;
   const MatchOptions* options_ = nullptr;
   const std::function<bool(const Embedding&)>* callback_ = nullptr;
-  std::vector<graph::VertexId> vertex_image_;   // pattern v -> target v
-  std::vector<char> target_used_;
+  MatchScratch* scratch_ = nullptr;
   std::uint64_t emitted_ = 0;
   std::uint64_t steps_ = 0;
   bool stopped_ = false;
 };
 
-/// Convenience wrappers.
+/// Convenience wrappers (snapshot the target per call; hot loops should
+/// prebuild GraphViews and reuse a SubgraphMatcher instead).
 bool ContainsSubgraph(const graph::LabeledGraph& pattern,
                       const graph::LabeledGraph& target);
 std::uint64_t CountEmbeddings(const graph::LabeledGraph& pattern,

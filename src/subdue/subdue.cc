@@ -11,6 +11,7 @@
 #include "common/failpoint.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "graph/graph_view.h"
 #include "iso/canonical.h"
 #include "subdue/mdl.h"
 
@@ -192,21 +193,26 @@ SubdueResult DiscoverSubstructures(const LabeledGraph& g,
   const std::size_t limit =
       options.limit != 0 ? options.limit : g.num_edges() / 2 + 1;
 
-  // Initial substructures: one per distinct vertex label.
+  // Flat snapshot of the host: the growth loop below walks its
+  // EdgeId-ascending adjacency spans (discovery order is output-relevant
+  // here — the max_instances cap and SelectDisjoint are first-come).
+  const graph::GraphView view(g);
+
+  // Initial substructures: one per distinct vertex label, instances in
+  // ascending VertexId order (the order the label index stores).
   std::map<Label, Substructure> initial;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const Label label = g.vertex_label(v);
-    auto it = initial.find(label);
-    if (it == initial.end()) {
-      Substructure sub;
-      sub.pattern.AddVertex(label);
-      sub.code = iso::CanonicalCode(sub.pattern);
-      it = initial.emplace(label, std::move(sub)).first;
+  for (const Label label : view.DistinctVertexLabels()) {
+    Substructure sub;
+    sub.pattern.AddVertex(label);
+    sub.code = iso::CanonicalCode(sub.pattern);
+    for (const VertexId v : view.VerticesWithLabel(label)) {
+      if (options.max_instances != 0 &&
+          sub.instances.size() >= options.max_instances) {
+        break;
+      }
+      sub.instances.push_back(Instance{{v}, {}});
     }
-    if (options.max_instances == 0 ||
-        it->second.instances.size() < options.max_instances) {
-      it->second.instances.push_back(Instance{{v}, {}});
-    }
+    initial.emplace(label, std::move(sub));
   }
 
   std::vector<Substructure> best;
@@ -299,10 +305,10 @@ SubdueResult DiscoverSubstructures(const LabeledGraph& g,
               }
               child.instances.push_back(std::move(grown));
             };
-            g.ForEachOutEdge(v, try_extend);
-            g.ForEachInEdge(v, [&](EdgeId e) {
+            for (EdgeId e : view.OutEdgesById(v)) try_extend(e);
+            for (EdgeId e : view.InEdgesById(v)) {
               if (g.edge(e).src != g.edge(e).dst) try_extend(e);
-            });
+            }
           }
         }
       }

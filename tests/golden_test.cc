@@ -19,6 +19,7 @@
 
 #include "common/csv.h"
 #include "graph/graph_io.h"
+#include "graph/graph_view.h"
 #include "graph/labeled_graph.h"
 #include "ml/arff.h"
 #include "ml/attribute_table.h"
@@ -127,6 +128,7 @@ TEST(GoldenTest, NativeGraph) {
                                 &back, &err))
       << err.ToString();
   EXPECT_TRUE(g.StructurallyEqual(back));
+  EXPECT_TRUE(graph::GraphView(back).CheckConsistent());
 }
 
 TEST(GoldenTest, SubdueGraph) {
@@ -140,6 +142,7 @@ TEST(GoldenTest, SubdueGraph) {
       ReadFileOrDie(GoldenPath("graph.subdue")), &back, &err))
       << err.ToString();
   EXPECT_TRUE(g.StructurallyEqual(back));
+  EXPECT_TRUE(graph::GraphView(back).CheckConsistent());
 }
 
 TEST(GoldenTest, FsgTransactions) {
@@ -163,6 +166,7 @@ TEST(GoldenTest, FsgTransactions) {
   ASSERT_EQ(back.size(), txns.size());
   for (std::size_t i = 0; i < txns.size(); ++i) {
     EXPECT_TRUE(txns[i].StructurallyEqual(back[i])) << "txn " << i;
+    EXPECT_TRUE(graph::GraphView(back[i]).CheckConsistent()) << "txn " << i;
   }
 }
 

@@ -1,0 +1,202 @@
+// Property test: GraphView must be a faithful flat-memory snapshot of any
+// LabeledGraph — including graphs with tombstoned (removed) edges, which
+// the CSR arrays must compact away while every original id keeps meaning.
+// Each check compares the view against the source graph's own answers, so
+// a divergence pinpoints the broken encoding.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_view.h"
+#include "graph/labeled_graph.h"
+
+namespace tnmine::graph {
+namespace {
+
+/// Random multigraph (parallel edges, self-loops, few labels so types
+/// collide) with roughly a third of its edges tombstoned afterwards.
+LabeledGraph GenGraphWithTombstones(Rng& rng) {
+  LabeledGraph g;
+  const std::size_t nv = rng.NextBounded(15);
+  for (std::size_t v = 0; v < nv; ++v) {
+    g.AddVertex(static_cast<Label>(rng.NextInt(-3, 4)));
+  }
+  if (nv == 0) return g;
+  const std::size_t ne = rng.NextBounded(41);
+  for (std::size_t e = 0; e < ne; ++e) {
+    g.AddEdge(static_cast<VertexId>(rng.NextBounded(nv)),
+              static_cast<VertexId>(rng.NextBounded(nv)),
+              static_cast<Label>(rng.NextInt(0, 3)));
+  }
+  for (const EdgeId e : g.LiveEdges()) {
+    if (rng.NextBool(0.3)) g.RemoveEdge(e);
+  }
+  return g;
+}
+
+std::vector<EdgeId> AsVector(std::span<const EdgeId> span) {
+  return {span.begin(), span.end()};
+}
+
+void ExpectViewMatchesGraph(const GraphView& view, const LabeledGraph& g) {
+  ASSERT_EQ(view.num_vertices(), g.num_vertices());
+  ASSERT_EQ(view.num_edges(), g.num_edges());
+  ASSERT_EQ(view.edge_capacity(), g.edge_capacity());
+  EXPECT_TRUE(view.CheckConsistent());
+
+  const std::vector<EdgeId> live = g.LiveEdges();
+  const std::set<EdgeId> live_set(live.begin(), live.end());
+  for (EdgeId e = 0; e < g.edge_capacity(); ++e) {
+    EXPECT_EQ(view.edge_alive(e), live_set.contains(e)) << "edge " << e;
+    if (!live_set.contains(e)) continue;
+    EXPECT_EQ(view.edge(e).src, g.edge(e).src);
+    EXPECT_EQ(view.edge(e).dst, g.edge(e).dst);
+    EXPECT_EQ(view.edge(e).label, g.edge(e).label);
+  }
+
+  std::map<Label, std::vector<VertexId>> by_label;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(view.vertex_label(v), g.vertex_label(v)) << "vertex " << v;
+    by_label[g.vertex_label(v)].push_back(v);
+
+    EXPECT_EQ(view.OutDegree(v), g.OutDegree(v)) << "vertex " << v;
+    EXPECT_EQ(view.InDegree(v), g.InDegree(v)) << "vertex " << v;
+
+    // Id encoding: exactly the ForEach visit sequence.
+    std::vector<EdgeId> expected_out;
+    g.ForEachOutEdge(v, [&](EdgeId e) { expected_out.push_back(e); });
+    EXPECT_EQ(AsVector(view.OutEdgesById(v)), expected_out) << "v " << v;
+    std::vector<EdgeId> expected_in;
+    g.ForEachInEdge(v, [&](EdgeId e) { expected_in.push_back(e); });
+    EXPECT_EQ(AsVector(view.InEdgesById(v)), expected_in) << "v " << v;
+
+    // Arc encoding: sorted by (label, other, edge) and the same edge
+    // multiset as the id encoding.
+    const auto arcs = view.OutArcs(v);
+    std::set<EdgeId> arc_edges;
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      const GraphView::Arc& a = arcs[i];
+      EXPECT_EQ(a.other, g.edge(a.edge).dst);
+      EXPECT_EQ(a.label, g.edge(a.edge).label);
+      EXPECT_EQ(g.edge(a.edge).src, v);
+      arc_edges.insert(a.edge);
+      if (i > 0) {
+        EXPECT_LE(std::make_tuple(arcs[i - 1].label, arcs[i - 1].other,
+                                  arcs[i - 1].edge),
+                  std::make_tuple(a.label, a.other, a.edge));
+      }
+    }
+    EXPECT_EQ(arc_edges,
+              std::set<EdgeId>(expected_out.begin(), expected_out.end()));
+
+    // Label subrange and pair counting, for every label that occurs.
+    for (const GraphView::Arc& a : arcs) {
+      const auto range = view.OutArcs(v, a.label);
+      std::size_t expected_range = 0;
+      std::size_t expected_pairs = 0;
+      g.ForEachOutEdge(v, [&](EdgeId e) {
+        if (g.edge(e).label != a.label) return;
+        ++expected_range;
+        if (g.edge(e).dst == a.other) ++expected_pairs;
+      });
+      EXPECT_EQ(range.size(), expected_range);
+      EXPECT_EQ(view.CountOutEdges(v, a.other, a.label), expected_pairs);
+    }
+    EXPECT_TRUE(view.OutArcs(v, Label{99}).empty());
+    EXPECT_EQ(view.CountOutEdges(v, 0, Label{99}), 0u);
+  }
+
+  // Vertex-label index.
+  std::vector<Label> expected_labels;
+  for (const auto& [label, ids] : by_label) expected_labels.push_back(label);
+  const auto distinct = view.DistinctVertexLabels();
+  EXPECT_EQ(std::vector<Label>(distinct.begin(), distinct.end()),
+            expected_labels);
+  for (const auto& [label, ids] : by_label) {
+    const auto got = view.VerticesWithLabel(label);
+    EXPECT_EQ(std::vector<VertexId>(got.begin(), got.end()), ids);
+  }
+  EXPECT_TRUE(view.VerticesWithLabel(Label{99}).empty());
+
+  // Edge-type index: strictly ascending keys whose edge lists partition
+  // the live edges, each edge under its own type.
+  std::set<EdgeId> typed;
+  for (std::size_t i = 0; i < view.NumEdgeTypes(); ++i) {
+    const GraphView::EdgeTypeKey& key = view.EdgeTypeAt(i);
+    if (i > 0) EXPECT_LT(view.EdgeTypeAt(i - 1), key);
+    EdgeId prev = 0;
+    bool first = true;
+    for (const EdgeId e : view.EdgesOfType(i)) {
+      EXPECT_TRUE(first || e > prev);  // ascending EdgeId within a type
+      first = false;
+      prev = e;
+      const Edge& edge = g.edge(e);
+      EXPECT_EQ(key.src_label, g.vertex_label(edge.src));
+      EXPECT_EQ(key.dst_label, g.vertex_label(edge.dst));
+      EXPECT_EQ(key.edge_label, edge.label);
+      EXPECT_EQ(key.self_loop, edge.src == edge.dst);
+      EXPECT_TRUE(typed.insert(e).second) << "edge in two types";
+    }
+  }
+  EXPECT_EQ(typed, live_set);
+}
+
+TEST(GraphViewPropertyTest, MatchesLabeledGraphOnRandomTombstonedGraphs) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    Rng rng(seed);
+    const LabeledGraph g = GenGraphWithTombstones(rng);
+    const GraphView view(g);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExpectViewMatchesGraph(view, g);
+  }
+}
+
+TEST(GraphViewTest, SnapshotIsDecoupledFromSourceMutations) {
+  Rng rng(77);
+  LabeledGraph g = GenGraphWithTombstones(rng);
+  while (g.num_vertices() < 2) g.AddVertex(1);
+  const GraphView view(g);
+  const std::size_t edges_before = view.num_edges();
+  const std::size_t capacity_before = view.edge_capacity();
+  g.AddEdge(0, 1, 5);
+  if (!g.LiveEdges().empty()) g.RemoveEdge(g.LiveEdges().front());
+  EXPECT_EQ(view.num_edges(), edges_before);
+  EXPECT_EQ(view.edge_capacity(), capacity_before);
+  EXPECT_TRUE(view.CheckConsistent());
+}
+
+TEST(GraphViewTest, EmptyGraph) {
+  const LabeledGraph g;
+  const GraphView view(g);
+  EXPECT_EQ(view.num_vertices(), 0u);
+  EXPECT_EQ(view.num_edges(), 0u);
+  EXPECT_TRUE(view.DistinctVertexLabels().empty());
+  EXPECT_EQ(view.NumEdgeTypes(), 0u);
+  EXPECT_TRUE(view.CheckConsistent());
+}
+
+TEST(GraphViewTest, FullyTombstonedGraphHasEmptyAdjacency) {
+  LabeledGraph g;
+  const VertexId a = g.AddVertex(1);
+  const VertexId b = g.AddVertex(2);
+  g.AddEdge(a, b, 3);
+  g.AddEdge(b, a, 4);
+  g.AddEdge(a, a, 5);
+  for (const EdgeId e : g.LiveEdges()) g.RemoveEdge(e);
+  const GraphView view(g);
+  EXPECT_EQ(view.num_edges(), 0u);
+  EXPECT_EQ(view.edge_capacity(), 3u);  // dead slots keep their ids
+  EXPECT_EQ(view.OutDegree(a), 0u);
+  EXPECT_EQ(view.InDegree(a), 0u);
+  EXPECT_EQ(view.NumEdgeTypes(), 0u);
+  EXPECT_TRUE(view.CheckConsistent());
+}
+
+}  // namespace
+}  // namespace tnmine::graph

@@ -9,11 +9,15 @@
 #include <string>
 #include <vector>
 
+#include "common/scratch.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/miner.h"
 #include "fsg/fsg.h"
+#include "graph/graph_view.h"
 #include "gspan/gspan.h"
 #include "iso/canonical.h"
+#include "iso/vf2.h"
 #include "synth/kk_generator.h"
 #include "synth/planted.h"
 
@@ -126,6 +130,89 @@ TEST(ParallelStructuralMiningTest, ParallelRepetitionsEqualSequential) {
     EXPECT_EQ(seq_sorted[i]->code, par_sorted[i]->code);
     EXPECT_EQ(seq_sorted[i]->support, par_sorted[i]->support);
   }
+}
+
+// The flat-memory VF2 kernel under concurrency: many lanes matching
+// against shared GraphView snapshots (each lane with its own matcher —
+// matchers hold per-run state) must produce the sequential counts.
+TEST(ParallelVf2Test, SharedViewsMatchSequentialCounts) {
+  const auto txns = TestTransactions(404);
+  gspan::GspanOptions mine;
+  mine.min_support = 4;
+  mine.max_edges = 2;
+  mine.parallelism = common::Parallelism::Serial();
+  std::vector<graph::LabeledGraph> patterns;
+  for (const auto& p : gspan::MineGspan(txns, mine).patterns) {
+    if (p.graph.num_edges() == 2) patterns.push_back(p.graph);
+  }
+  ASSERT_FALSE(patterns.empty());
+
+  std::vector<graph::GraphView> views;
+  views.reserve(txns.size());
+  for (const auto& t : txns) views.emplace_back(t);
+
+  std::vector<std::uint64_t> sequential(patterns.size() * views.size());
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    iso::SubgraphMatcher matcher(patterns[p]);
+    for (std::size_t t = 0; t < views.size(); ++t) {
+      sequential[p * views.size() + t] = matcher.CountEmbeddings(views[t]);
+    }
+  }
+  for (std::size_t threads : {2u, 4u}) {
+    const std::vector<std::uint64_t> parallel =
+        common::ParallelMap<std::uint64_t>(
+            common::Parallelism{threads}, sequential.size(),
+            [&](std::size_t i) {
+              iso::SubgraphMatcher matcher(patterns[i / views.size()]);
+              return matcher.CountEmbeddings(views[i % views.size()]);
+            });
+    EXPECT_EQ(parallel, sequential) << threads << " threads";
+  }
+}
+
+/// Deltas of the snapshot/scratch telemetry across one mining run. Unlike
+/// threadpool/*, these are part of the determinism contract (DESIGN.md
+/// §9): graphview/* and scratch/acquires must not depend on the thread
+/// count. (scratch/reuse_hits and scratch/fresh_allocs DO depend on which
+/// thread ran what, and are deliberately absent here.)
+std::vector<std::uint64_t> KernelCounterDeltas(std::size_t threads) {
+  static const char* kNames[] = {"graphview/views_built",
+                                 "graphview/vertices_snapshot",
+                                 "graphview/edges_snapshot"};
+  const auto txns = TestTransactions(505);
+  const auto before = telemetry::Registry::Global().Snapshot().counters;
+  const common::ScratchStats scratch_before = common::GetScratchStats();
+  fsg::FsgOptions fsg_options;
+  fsg_options.min_support = 4;
+  fsg_options.max_edges = 3;
+  fsg_options.parallelism = common::Parallelism{threads};
+  (void)fsg::MineFsg(txns, fsg_options);
+  gspan::GspanOptions gspan_options;
+  gspan_options.min_support = 4;
+  gspan_options.max_edges = 3;
+  gspan_options.parallelism = common::Parallelism{threads};
+  iso::ClearCanonicalCodeCache();  // cache state must not leak across runs
+  (void)gspan::MineGspan(txns, gspan_options);
+  const auto after = telemetry::Registry::Global().Snapshot().counters;
+  std::vector<std::uint64_t> deltas;
+  for (const char* name : kNames) {
+    const auto get = [](const std::map<std::string, std::uint64_t>& m,
+                        const char* key) {
+      const auto it = m.find(key);
+      return it == m.end() ? std::uint64_t{0} : it->second;
+    };
+    deltas.push_back(get(after, name) - get(before, name));
+  }
+  deltas.push_back(common::GetScratchStats().acquires -
+                   scratch_before.acquires);
+  return deltas;
+}
+
+TEST(KernelTelemetryTest, SnapshotAndScratchCountersAreScheduleIndependent) {
+  iso::ClearCanonicalCodeCache();
+  const auto serial = KernelCounterDeltas(1);
+  EXPECT_EQ(KernelCounterDeltas(2), serial);
+  EXPECT_EQ(KernelCounterDeltas(4), serial);
 }
 
 TEST(CanonicalCodeCacheTest, CachedCodeMatchesUncachedOnRepeatedLookups) {

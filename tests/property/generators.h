@@ -32,6 +32,7 @@
 #include "common/random.h"
 #include "common/statistics.h"
 #include "graph/graph_io.h"
+#include "graph/graph_view.h"
 #include "graph/labeled_graph.h"
 #include "ml/arff.h"
 #include "ml/attribute_table.h"
@@ -324,6 +325,18 @@ inline std::optional<std::string> CsvRound(Rng& rng,
   return std::nullopt;
 }
 
+
+/// Every graph a reader accepts must yield a structurally consistent
+/// GraphView snapshot — the mining kernels consume the view, so a parser
+/// bug that survives into an inconsistent CSR layout is an I/O bug.
+inline std::optional<std::string> ViewOf(const graph::LabeledGraph& g,
+                                         const char* what) {
+  if (!graph::GraphView(g).CheckConsistent()) {
+    return std::string("inconsistent GraphView from ") + what;
+  }
+  return std::nullopt;
+}
+
 inline std::optional<std::string> NativeRound(Rng& rng) {
   const graph::LabeledGraph g = GenGraph(rng);
   const std::string text = graph::WriteNative(g);
@@ -335,11 +348,13 @@ inline std::optional<std::string> NativeRound(Rng& rng) {
   }
   if (!g.StructurallyEqual(back)) return "native round-trip mismatch";
   if (graph::WriteNative(back) != text) return "native reserialization diff";
+  if (auto bad = ViewOf(back, "native reader")) return bad;
   const std::string mutated = MutateText(rng, text);
   graph::LabeledGraph m;
   LastInputBytes() = mutated;
   if (graph::ReadNative(mutated, &m, &err)) {
     // Accepted mutants must still be coherent graphs.
+    if (auto bad = ViewOf(m, "native mutant")) return bad;
     const std::string rewritten = graph::WriteNative(m);
     graph::LabeledGraph again;
     if (!graph::ReadNative(rewritten, &again, &err)) {
@@ -363,10 +378,13 @@ inline std::optional<std::string> SubdueRound(Rng& rng) {
   if (graph::WriteSubdueFormat(back) != text) {
     return "SUBDUE reserialization diff";
   }
+  if (auto bad = ViewOf(back, "SUBDUE reader")) return bad;
   const std::string mutated = MutateText(rng, text);
   graph::LabeledGraph m;
   LastInputBytes() = mutated;
-  (void)graph::ReadSubdueFormat(mutated, &m, &err);  // must not crash
+  if (graph::ReadSubdueFormat(mutated, &m, &err)) {  // must not crash
+    if (auto bad = ViewOf(m, "SUBDUE mutant")) return bad;
+  }
   return std::nullopt;
 }
 
@@ -386,10 +404,17 @@ inline std::optional<std::string> FsgRound(Rng& rng) {
     }
   }
   if (graph::WriteFsgFormat(back) != text) return "FSG reserialization diff";
+  for (const graph::LabeledGraph& t : back) {
+    if (auto bad = ViewOf(t, "FSG reader")) return bad;
+  }
   const std::string mutated = MutateText(rng, text);
   std::vector<graph::LabeledGraph> m;
   LastInputBytes() = mutated;
-  (void)graph::ReadFsgFormat(mutated, &m, &err);  // must not crash
+  if (graph::ReadFsgFormat(mutated, &m, &err)) {  // must not crash
+    for (const graph::LabeledGraph& t : m) {
+      if (auto bad = ViewOf(t, "FSG mutant")) return bad;
+    }
+  }
   return std::nullopt;
 }
 

@@ -12,8 +12,11 @@ Two input shapes are understood, matched automatically:
 
 A metric REGRESSES when the current value exceeds the baseline by more
 than the tolerance (default 20%, i.e. 0.2). Improvements never fail.
-Counters named "threadpool/*" describe the schedule, not the computation,
-and are skipped (they legitimately differ across machines).
+Counters that describe the schedule rather than the computation are
+skipped (they legitimately differ across machines and thread counts):
+"threadpool/*", plus the scratch-pool hit/miss split
+("scratch/reuse_hits", "scratch/fresh_allocs" — which thread's pool was
+warm is scheduling; "scratch/acquires" IS deterministic and is checked).
 
 Override knob: pass --tolerance or set TNMINE_BENCH_TOLERANCE (a float;
 e.g. 0.5 for 50%). CI runs this as a non-blocking job: regressions print
@@ -57,12 +60,21 @@ def exceeds(current, baseline, tolerance):
     return current > baseline * (1.0 + tolerance)
 
 
+# Schedule-dependent counters (see DESIGN.md §9): legitimate to differ
+# between machines/thread counts, so never compared.
+SCHEDULE_COUNTER_PREFIXES = (
+    "threadpool/",
+    "scratch/reuse_hits",
+    "scratch/fresh_allocs",
+)
+
+
 def compare_runreports(baseline, current, tolerance):
     regressions = []
     base_counters = baseline.get("counters", {})
     cur_counters = current.get("counters", {})
     for name, base_value in sorted(base_counters.items()):
-        if name.startswith("threadpool/"):
+        if name.startswith(SCHEDULE_COUNTER_PREFIXES):
             continue
         cur_value = cur_counters.get(name)
         if cur_value is None:
