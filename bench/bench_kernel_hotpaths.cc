@@ -13,6 +13,14 @@
 //                    rightmost-style extension enumeration).
 //   canonical_codes  Uncached CanonicalCode over the mined pattern set
 //                    (snapshot + 1-WL refinement + DFS minimal code).
+//   tidset_intersect TidSet::IntersectWith on seeded random sets, swept
+//                    across universe sizes and densities — one row per
+//                    encoding (sparse gallop vs bitmap word AND) on the
+//                    identical workload (ISSUE 6).
+//   fsg_support (sweep) MineFsg swept across transaction counts, one row
+//                    per forced TID-set encoding on the identical
+//                    workload; "patterns" must agree across encodings
+//                    (byte-identity invariant).
 //
 // Emits BENCH_kernel_hotpaths.json (JsonRowWriter row list; "seconds" is
 // the tracked metric, every other field is deterministic and used as the
@@ -23,6 +31,7 @@
 // on one core; all row-key fields (pattern/embedding counts) are
 // deterministic, so a drifting count is a correctness bug, not noise.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -35,6 +44,7 @@
 #include "gspan/gspan.h"
 #include "iso/canonical.h"
 #include "iso/vf2.h"
+#include "pattern/tid_set.h"
 #include "synth/kk_generator.h"
 
 using namespace tnmine;
@@ -46,17 +56,22 @@ struct Workload {
   std::vector<graph::LabeledGraph> patterns;  // mined 3-edge patterns
 };
 
-Workload BuildWorkload() {
+std::vector<graph::LabeledGraph> BuildTransactions(
+    std::size_t num_transactions) {
   synth::KkOptions kk;
-  kk.num_transactions = 200;
+  kk.num_transactions = num_transactions;
   kk.avg_transaction_edges = 60.0;
   kk.num_seed_patterns = 12;
   kk.avg_pattern_edges = 4.0;
   kk.num_vertex_labels = 10;  // few labels => real search work per match
   kk.num_edge_labels = 3;
   kk.seed = 42;
+  return synth::GenerateKkTransactions(kk).transactions;
+}
+
+Workload BuildWorkload() {
   Workload w;
-  w.transactions = synth::GenerateKkTransactions(kk).transactions;
+  w.transactions = BuildTransactions(200);
 
   // Mine the pattern set once with gSpan; the 3-edge frequent patterns
   // are the probes for the VF2 rows. Deterministic by the miner's
@@ -69,6 +84,29 @@ Workload BuildWorkload() {
     if (p.graph.num_edges() == 3) w.patterns.push_back(p.graph);
   }
   return w;
+}
+
+/// Deterministic 64-bit mix (splitmix64) — platform-independent, unlike
+/// <random> distributions, so row-key fields derived from the generated
+/// sets are stable across standard libraries.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Sorted random subset of [0, universe): element i is kept when its hash
+/// lands under the density threshold.
+std::vector<std::uint32_t> RandomSortedTids(std::uint32_t universe,
+                                            unsigned density_pct,
+                                            std::uint64_t seed) {
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(universe) * density_pct / 100 + 16);
+  for (std::uint32_t i = 0; i < universe; ++i) {
+    if (Mix64(seed ^ i) % 100 < density_pct) out.push_back(i);
+  }
+  return out;
 }
 
 }  // namespace
@@ -213,6 +251,102 @@ int main() {
     json.Field("codes", codes);
     json.Field("seconds", seconds);
     json.EndRow();
+  }
+
+  // --- tidset_intersect: the two intersection kernels (sparse gallop vs
+  // bitmap word AND) on identical seeded workloads, CBitmapCompetition
+  // style: every (universe, density) cell gets one row per encoding, so
+  // the baseline tracks both and the density cutoff can be sanity-checked
+  // against real timings.
+  {
+    constexpr std::uint32_t kUniverses[] = {4096, 65536, 262144};
+    constexpr unsigned kDensities[] = {1, 5, 25};
+    for (const std::uint32_t universe : kUniverses) {
+      for (const unsigned density : kDensities) {
+        const std::vector<std::uint32_t> a =
+            RandomSortedTids(universe, density, 0xA11CE);
+        const std::vector<std::uint32_t> b =
+            RandomSortedTids(universe, density, 0xB0B);
+        const int reps = static_cast<int>(
+            std::max<std::uint32_t>(8, (1u << 24) / universe));
+        for (const pattern::TidSet::Encoding enc :
+             {pattern::TidSet::Encoding::kSparse,
+              pattern::TidSet::Encoding::kBitmap}) {
+          const bool bitmap = enc == pattern::TidSet::Encoding::kBitmap;
+          const pattern::TidSet::ScopedEncodingPolicy policy(
+              bitmap ? pattern::TidSet::EncodingPolicy::kForceBitmap
+                     : pattern::TidSet::EncodingPolicy::kForceSparse);
+          const pattern::TidSet lhs =
+              pattern::TidSet::FromSorted(a, universe);
+          const pattern::TidSet rhs =
+              pattern::TidSet::FromSorted(b, universe);
+          Stopwatch sw;
+          std::size_t cardinality = 0;
+          for (int rep = 0; rep < reps; ++rep) {
+            pattern::TidSet t = lhs;
+            t.IntersectWith(rhs);
+            cardinality = t.Cardinality();
+          }
+          const double seconds = sw.ElapsedSeconds() / reps;
+          const char* enc_name = bitmap ? "bitmap" : "sparse";
+          std::printf("%-18s %-10.3e u=%u d=%u%% %s -> %zu\n",
+                      "tidset_intersect", seconds, universe, density,
+                      enc_name, cardinality);
+          json.BeginRow();
+          json.Field("bench", "tidset_intersect");
+          json.Field("universe", static_cast<std::size_t>(universe));
+          json.Field("density_pct", static_cast<std::size_t>(density));
+          json.Field("encoding", enc_name);
+          json.Field("cardinality", cardinality);
+          json.Field("seconds", seconds);
+          json.EndRow();
+        }
+      }
+    }
+  }
+
+  // --- fsg_support sweep: the full miner at growing transaction counts
+  // (min_support scales with the count, so the pattern space stays
+  // comparable), one row per forced TID-set encoding on the identical
+  // workload. The "patterns" field must agree between the two encodings:
+  // mined output is encoding-independent by contract.
+  {
+    constexpr std::size_t kTxnCounts[] = {200, 400, 800};
+    for (const std::size_t txns : kTxnCounts) {
+      const std::vector<graph::LabeledGraph> transactions =
+          txns == 200 ? w.transactions : BuildTransactions(txns);
+      fsg::FsgOptions opts;
+      opts.min_support = txns * 30 / 200;
+      opts.max_edges = 3;
+      opts.parallelism = common::Parallelism::Serial();
+      for (const pattern::TidSet::Encoding enc :
+           {pattern::TidSet::Encoding::kSparse,
+            pattern::TidSet::Encoding::kBitmap}) {
+        const bool bitmap = enc == pattern::TidSet::Encoding::kBitmap;
+        const pattern::TidSet::ScopedEncodingPolicy policy(
+            bitmap ? pattern::TidSet::EncodingPolicy::kForceBitmap
+                   : pattern::TidSet::EncodingPolicy::kForceSparse);
+        constexpr int kReps = 2;
+        Stopwatch sw;
+        fsg::FsgResult r;
+        for (int rep = 0; rep < kReps; ++rep) {
+          iso::ClearCanonicalCodeCache();
+          r = fsg::MineFsg(transactions, opts);
+        }
+        const double seconds = sw.ElapsedSeconds() / kReps;
+        const char* enc_name = bitmap ? "bitmap" : "sparse";
+        std::printf("%-18s %-10.4f txns=%zu %s %zu patterns\n",
+                    "fsg_support", seconds, txns, enc_name,
+                    r.patterns.size());
+        json.BeginRow();
+        json.Field("bench", "fsg_support");
+        json.Field("txns", txns);
+        json.Field("encoding", enc_name);
+        json.Field("patterns", r.patterns.size());
+        json.Field("seconds", seconds);
+        json.EndRow();
+      }
+    }
   }
 
   json.Close();

@@ -1,0 +1,99 @@
+#ifndef TNMINE_COMMON_BITWORDS_H_
+#define TNMINE_COMMON_BITWORDS_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tnmine::common {
+
+/// Word-aligned bitset primitives shared by pattern::TidSet (compressed
+/// transaction-id sets) and the VF2 candidate-domain pruning in
+/// iso::SubgraphMatcher. The iteration idiom is the classic ctz walk:
+/// peel the lowest set bit with countr_zero, clear it with `word &
+/// (word - 1)`, repeat — so enumerating a word costs one iteration per
+/// set bit, not one per bit.
+
+inline constexpr std::size_t kBitsPerWord = 64;
+
+inline constexpr std::size_t WordsForBits(std::size_t nbits) {
+  return (nbits + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+/// Calls fn(bit_index) for every set bit of `words`, ascending.
+template <typename Fn>
+void ForEachSetBit(std::span<const std::uint64_t> words, Fn&& fn) {
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t word = words[w];
+    while (word != 0) {
+      fn(static_cast<std::uint32_t>(w * kBitsPerWord +
+                                    std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+/// Reusable scratch bitset that remembers which word range Set() dirtied,
+/// so the next ClearTouched() re-zeroes only that range. Rebuilding a
+/// small candidate domain over a large vertex space therefore costs
+/// O(domain), not O(universe) — the property the per-depth VF2 domains
+/// rely on when the target is a full host graph rather than a small
+/// transaction.
+class ScratchBitset {
+ public:
+  /// Grows the word store to cover `nbits` bits (new words zeroed; never
+  /// shrinks, so pooled instances keep their warmed capacity).
+  void EnsureBits(std::size_t nbits) {
+    const std::size_t words = WordsForBits(nbits);
+    if (words_.size() < words) words_.resize(words, 0);
+  }
+
+  /// Zeroes the words dirtied since the last clear and resets the range.
+  void ClearTouched() {
+    for (std::size_t w = lo_; w < hi_; ++w) words_[w] = 0;
+    lo_ = kNoWord;
+    hi_ = 0;
+  }
+
+  /// Zeroes everything (used when individual Clear() calls may have been
+  /// skipped by an exceptional unwind).
+  void ClearAll() {
+    words_.assign(words_.size(), 0);
+    lo_ = kNoWord;
+    hi_ = 0;
+  }
+
+  void Set(std::uint32_t i) {
+    const std::size_t w = i / kBitsPerWord;
+    words_[w] |= std::uint64_t{1} << (i % kBitsPerWord);
+    if (w < lo_) lo_ = w;
+    if (w + 1 > hi_) hi_ = w + 1;
+  }
+  /// Clears one bit without shrinking the touched range.
+  void Clear(std::uint32_t i) {
+    words_[i / kBitsPerWord] &= ~(std::uint64_t{1} << (i % kBitsPerWord));
+  }
+  bool Test(std::uint32_t i) const {
+    return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1;
+  }
+
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+  std::size_t touched_begin() const { return lo_ == kNoWord ? 0 : lo_; }
+  std::size_t touched_end() const { return hi_; }
+
+  std::uint64_t MemoryBytes() const {
+    return sizeof(*this) + words_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  static constexpr std::size_t kNoWord = ~std::size_t{0};
+
+  std::vector<std::uint64_t> words_;
+  std::size_t lo_ = kNoWord;  // dirtied word range [lo_, hi_)
+  std::size_t hi_ = 0;
+};
+
+}  // namespace tnmine::common
+
+#endif  // TNMINE_COMMON_BITWORDS_H_

@@ -119,7 +119,7 @@ StructuralMiningResult MineStructuralPatterns(
     for (pattern::FrequentPattern& p : outcome.found) {
       // Across repetitions tids refer to different partitionings; keep
       // the max support, not the tid union.
-      p.tids.clear();
+      p.tids.Clear();
       result.registry.InsertOrMerge(std::move(p));
     }
   }

@@ -1,8 +1,11 @@
 #include "fsg/fsg.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
+#include <memory>
 #include <set>
+#include <string>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
@@ -17,6 +20,7 @@
 #include "graph/graph_view.h"
 #include "iso/canonical.h"
 #include "iso/vf2.h"
+#include "pattern/tid_set.h"
 
 namespace tnmine::fsg {
 
@@ -26,6 +30,7 @@ using graph::Label;
 using graph::LabeledGraph;
 using graph::VertexId;
 using pattern::FrequentPattern;
+using pattern::TidSet;
 
 namespace {
 
@@ -38,10 +43,12 @@ struct EdgeType {
   auto operator<=>(const EdgeType&) const = default;
 };
 
-/// Rough per-pattern memory footprint used for the OOM budget.
+/// Per-pattern memory footprint used for the OOM budget. The TID set
+/// reports its exact heap footprint (DESIGN.md §12); the rest stays a
+/// structural estimate.
 std::uint64_t EstimateBytes(const FrequentPattern& p) {
   return 64 + 8 * p.graph.num_vertices() + 16 * p.graph.num_edges() +
-         p.code.size() + 4 * p.tids.size();
+         p.code.size() + p.tids.MemoryBytes();
 }
 
 /// Builds the 1-edge pattern graph for an edge type.
@@ -65,6 +72,107 @@ LabeledGraph WithoutEdge(const LabeledGraph& g, EdgeId drop) {
   return copy.Compact(/*drop_isolated_vertices=*/true);
 }
 
+/// Role of vertex v in edge e: 0 = source, 1 = destination, 2 = both
+/// (self-loop).
+std::uint32_t RoleOf(const Edge& e, VertexId v) {
+  if (e.src == v && e.dst == v) return 2;
+  return e.src == v ? 0 : 1;
+}
+
+void AppendU32(std::string* out, std::uint32_t x) {
+  out->append(reinterpret_cast<const char*>(&x), sizeof(x));
+}
+
+/// Serializes the adjacent edge pair (first, second) of `g` in that edge
+/// order: both edge types, then the shared-vertex descriptors (label,
+/// role in first, role in second), sorted.
+void AppendWedgeOrdering(const LabeledGraph& g, EdgeId first, EdgeId second,
+                         std::string* out) {
+  out->clear();
+  const Edge& a = g.edge(first);
+  const Edge& b = g.edge(second);
+  for (const Edge* e : {&a, &b}) {
+    AppendU32(out, static_cast<std::uint32_t>(g.vertex_label(e->src)));
+    AppendU32(out, static_cast<std::uint32_t>(g.vertex_label(e->dst)));
+    AppendU32(out, static_cast<std::uint32_t>(e->label));
+    AppendU32(out, e->src == e->dst ? 1 : 0);
+  }
+  std::array<std::array<std::uint32_t, 3>, 2> desc;
+  std::size_t n = 0;
+  const VertexId ends[2] = {a.src, a.dst};
+  for (int i = 0; i < (a.src == a.dst ? 1 : 2); ++i) {
+    const VertexId v = ends[i];
+    if (b.src == v || b.dst == v) {
+      desc[n++] = {static_cast<std::uint32_t>(g.vertex_label(v)),
+                   RoleOf(a, v), RoleOf(b, v)};
+    }
+  }
+  if (n == 2 && desc[1] < desc[0]) std::swap(desc[0], desc[1]);
+  AppendU32(out, static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::uint32_t x : desc[i]) AppendU32(out, x);
+  }
+}
+
+/// Canonical signature of the connected 2-edge subgraph {e1, e2} (the
+/// edges must share at least one vertex): two such subgraphs get equal
+/// signatures iff they are isomorphic. The two edge orderings are
+/// serialized into the caller's buffers and the lexicographic minimum is
+/// returned (covers the swap ambiguity when both edges have the same
+/// type). This is what makes exact level-2 support counting from the
+/// per-transaction wedge index possible — see DESIGN.md §12.
+const std::string& WedgeSignature(const LabeledGraph& g, EdgeId e1,
+                                  EdgeId e2, std::string* buf_a,
+                                  std::string* buf_b) {
+  AppendWedgeOrdering(g, e1, e2, buf_a);
+  AppendWedgeOrdering(g, e2, e1, buf_b);
+  return *buf_a < *buf_b ? *buf_a : *buf_b;
+}
+
+/// Exact isomorphism test for the tiny dense pattern graphs extension
+/// dedup compares: tries every label-respecting vertex bijection and
+/// matches the translated edge multiset. Callers bucket by
+/// iso::InvariantHash first, so inputs already agree on counts and
+/// degrees; past a handful of vertices it falls back to canonical codes
+/// instead of enumerating permutations.
+bool SmallGraphsIsomorphic(const LabeledGraph& a, const LabeledGraph& b) {
+  const std::size_t n = a.num_vertices();
+  if (n != b.num_vertices() || a.num_edges() != b.num_edges()) return false;
+  if (n > 8) {
+    return iso::CanonicalCodeCached(a) == iso::CanonicalCodeCached(b);
+  }
+  std::vector<std::tuple<VertexId, VertexId, Label>> b_edges;
+  b_edges.reserve(b.num_edges());
+  b.ForEachEdge([&](EdgeId e) {
+    const Edge& ed = b.edge(e);
+    b_edges.emplace_back(ed.src, ed.dst, ed.label);
+  });
+  std::sort(b_edges.begin(), b_edges.end());
+  std::vector<VertexId> perm(n);
+  for (std::size_t v = 0; v < n; ++v) perm[v] = static_cast<VertexId>(v);
+  std::vector<std::tuple<VertexId, VertexId, Label>> mapped;
+  mapped.reserve(a.num_edges());
+  do {
+    bool labels_ok = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (a.vertex_label(static_cast<VertexId>(v)) !=
+          b.vertex_label(perm[v])) {
+        labels_ok = false;
+        break;
+      }
+    }
+    if (!labels_ok) continue;
+    mapped.clear();
+    a.ForEachEdge([&](EdgeId e) {
+      const Edge& ed = a.edge(e);
+      mapped.emplace_back(perm[ed.src], perm[ed.dst], ed.label);
+    });
+    std::sort(mapped.begin(), mapped.end());
+    if (mapped == b_edges) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
 }  // namespace
 
 FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
@@ -76,6 +184,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
   for (const LabeledGraph& t : transactions) {
     TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
   }
+  const auto universe = static_cast<std::uint32_t>(transactions.size());
 
   // One flat snapshot per transaction, shared read-only by all counting
   // lanes below.
@@ -93,6 +202,26 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
   // stop here returns an empty (but honest) result: partially counted
   // level-1 supports would under-report and cannot be emitted as frequent.
   std::map<std::pair<EdgeType, bool>, std::vector<std::uint32_t>> edge_tids;
+  // Transactions with at least k (2 <= k <= kMaxTypeMult) edges of a
+  // type: a candidate using a type m > 1 times can only live where the
+  // type occurs >= m times, and these sets are far smaller than the
+  // plain presence sets. Capped at kMaxTypeMult (higher multiplicities
+  // fall back to the >= kMaxTypeMult set — weaker but still exact).
+  constexpr std::uint32_t kMaxTypeMult = 4;
+  std::map<std::tuple<EdgeType, bool, std::uint32_t>,
+           std::vector<std::uint32_t>>
+      mult_lists;
+  std::map<std::pair<EdgeType, bool>, std::uint32_t> type_counts;
+  // Wedge index: for every adjacent edge pair of every transaction, the
+  // pair's canonical signature is recorded once per transaction. Because
+  // the signature identifies a connected 2-edge pattern up to
+  // isomorphism, a signature's TID list is the exact support set of that
+  // pattern — level 2 is counted from this index with no VF2 at all.
+  std::map<std::string, std::vector<std::uint32_t>> wedge_lists;
+  std::vector<std::vector<EdgeId>> incident;
+  std::unordered_set<std::string> txn_sigs;
+  std::string sig_a;
+  std::string sig_b;
   for (std::uint32_t tid = 0; tid < transactions.size(); ++tid) {
     const graph::GraphView& t = views[tid];
     const common::MiningOutcome stop = meter.Charge(1 + t.num_edges());
@@ -111,19 +240,76 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
                  key.self_loop}]
           .push_back(tid);
     }
+    type_counts.clear();
+    const LabeledGraph& tg = transactions[tid];
+    if (incident.size() < tg.num_vertices()) incident.resize(tg.num_vertices());
+    for (VertexId v = 0; v < tg.num_vertices(); ++v) incident[v].clear();
+    tg.ForEachEdge([&](EdgeId e) {
+      const Edge& edge = tg.edge(e);
+      ++type_counts[{EdgeType{tg.vertex_label(edge.src),
+                              tg.vertex_label(edge.dst), edge.label},
+                     edge.src == edge.dst}];
+      incident[edge.src].push_back(e);
+      if (edge.dst != edge.src) incident[edge.dst].push_back(e);
+    });
+    for (const auto& [key, count] : type_counts) {
+      for (std::uint32_t k = 2; k <= std::min(count, kMaxTypeMult); ++k) {
+        mult_lists[{key.first, key.second, k}].push_back(tid);
+      }
+    }
+    // Every adjacent pair is visited at each shared vertex; pairs sharing
+    // two vertices come up twice and the per-transaction signature set
+    // collapses the duplicates (presence is all the index stores).
+    txn_sigs.clear();
+    for (VertexId v = 0; v < tg.num_vertices(); ++v) {
+      const std::vector<EdgeId>& at_v = incident[v];
+      for (std::size_t i = 0; i + 1 < at_v.size(); ++i) {
+        for (std::size_t j = i + 1; j < at_v.size(); ++j) {
+          const std::string& sig =
+              WedgeSignature(tg, at_v[i], at_v[j], &sig_a, &sig_b);
+          if (txn_sigs.insert(sig).second) {
+            wedge_lists[sig].push_back(tid);
+          }
+        }
+      }
+    }
   }
-  result.candidates_per_level.push_back(edge_tids.size());
+  // The level-1 index lives for the whole mine: every observed edge
+  // type's TID set (frequent or not) is retained so candidate generation
+  // can intersect a join parent's set with the added edge type's set — a
+  // necessary containment condition that shrinks the feasible set before
+  // any VF2 call (DESIGN.md §12).
+  std::map<std::pair<EdgeType, bool>, std::shared_ptr<const TidSet>>
+      type_tids;
+  for (auto& [key, tids] : edge_tids) {
+    type_tids.emplace(key, std::make_shared<const TidSet>(TidSet::FromSorted(
+                               std::move(tids), universe)));
+  }
+  std::map<std::tuple<EdgeType, bool, std::uint32_t>,
+           std::shared_ptr<const TidSet>>
+      mult_tids;
+  for (auto& [key, tids] : mult_lists) {
+    mult_tids.emplace(key, std::make_shared<const TidSet>(TidSet::FromSorted(
+                               std::move(tids), universe)));
+  }
+  std::map<std::string, std::shared_ptr<const TidSet>> wedge_tids;
+  for (auto& [sig, tids] : wedge_lists) {
+    wedge_tids.emplace(sig, std::make_shared<const TidSet>(TidSet::FromSorted(
+                                std::move(tids), universe)));
+  }
+  const auto empty_tids = std::make_shared<const TidSet>();
+  result.candidates_per_level.push_back(type_tids.size());
 
   std::vector<FrequentPattern> frontier;
   std::vector<EdgeType> frequent_edges;  // for extension generation
   std::set<EdgeType> frequent_edge_set;
-  for (auto& [key, tids] : edge_tids) {
-    if (tids.size() < options.min_support) continue;
+  for (const auto& [key, set] : type_tids) {
+    if (set->Cardinality() < options.min_support) continue;
     const auto& [type, self_loop] = key;
     FrequentPattern p;
     p.graph = OneEdgePattern(type, self_loop);
-    p.tids = std::move(tids);
-    p.support = p.tids.size();
+    p.tids = *set;
+    p.support = p.tids.Cardinality();
     p.code = iso::CanonicalCodeCached(p.graph);
     frontier.push_back(std::move(p));
     if (frequent_edge_set.insert(type).second) {
@@ -132,20 +318,59 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
   }
   result.frequent_per_level.push_back(frontier.size());
   result.levels_completed = 1;
-  TNMINE_COUNTER_ADD("fsg/candidates_generated", edge_tids.size());
+  TNMINE_COUNTER_ADD("fsg/candidates_generated", type_tids.size());
   TNMINE_COUNTER_ADD("fsg/patterns_frequent", frontier.size());
 
-  std::uint64_t frontier_bytes = 0;
-  for (const FrequentPattern& p : frontier) frontier_bytes +=
-      EstimateBytes(p);
-  result.peak_candidate_bytes = frontier_bytes;
-
-  // Codes of all frequent patterns at the previous level, for the
-  // downward-closure prune.
-  std::unordered_set<std::string> previous_level_codes;
-  for (const FrequentPattern& p : frontier) {
-    previous_level_codes.insert(p.code);
+  std::uint64_t type_index_bytes = 0;
+  for (const auto& [key, set] : type_tids) {
+    type_index_bytes += set->MemoryBytes();
   }
+  for (const auto& [key, set] : mult_tids) {
+    type_index_bytes += set->MemoryBytes();
+  }
+  for (const auto& [sig, set] : wedge_tids) {
+    type_index_bytes += sig.size() + set->MemoryBytes();
+  }
+
+  // TID sets of all frequent patterns at the previous level, keyed by
+  // canonical code. Serves the downward-closure prune (membership) and
+  // the feasibility intersection (each frequent k-edge sub-pattern's set
+  // is a superset of the candidate's support). Shared immutably with the
+  // candidates that reference them.
+  std::unordered_map<std::string, std::shared_ptr<const TidSet>>
+      previous_level_tids;
+  // When the previous level holds 2-edge patterns, the same sets keyed
+  // by wedge signature: 3-edge extensions then run their closure checks
+  // without building sub-graphs or canonical codes.
+  std::unordered_map<std::string, std::shared_ptr<const TidSet>>
+      previous_level_sigs;
+  auto rebuild_previous = [&](const std::vector<FrequentPattern>& fr) {
+    previous_level_tids.clear();
+    previous_level_sigs.clear();
+    std::string buf_a;
+    std::string buf_b;
+    for (const FrequentPattern& p : fr) {
+      auto set = std::make_shared<const TidSet>(p.tids);
+      previous_level_tids.emplace(p.code, set);
+      if (p.graph.num_edges() == 2) {
+        previous_level_sigs.emplace(
+            WedgeSignature(p.graph, EdgeId{0}, EdgeId{1}, &buf_a, &buf_b),
+            std::move(set));
+      }
+    }
+  };
+  rebuild_previous(frontier);
+
+  auto retained_bytes = [&] {
+    std::uint64_t bytes = type_index_bytes;
+    for (const FrequentPattern& p : frontier) bytes += EstimateBytes(p);
+    for (const auto& [code, set] : previous_level_tids) {
+      bytes += set->MemoryBytes();
+    }
+    return bytes;
+  };
+  std::uint64_t frontier_bytes = retained_bytes();
+  result.peak_candidate_bytes = frontier_bytes;
 
   for (const FrequentPattern& p : frontier) {
     result.patterns.push_back(p);
@@ -159,10 +384,26 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     ++level;
     // Candidate generation.
     struct Candidate {
-      FrequentPattern pattern;            // support/tids empty until counted
-      std::vector<std::uint32_t> parent_tids;
+      FrequentPattern pattern;  // support/tids empty until counted
+      // Transactions that can possibly contain the pattern: the join
+      // parent's TID set intersected with the added edge type's level-1
+      // set and every frequent sub-pattern's set. Shared immutably —
+      // when the intersection does not shrink the parent's set, all of
+      // the parent's candidates share one copy.
+      std::shared_ptr<const TidSet> feasible;
+      // True when `feasible` is the candidate's exact support set (the
+      // level-2 wedge lookup) rather than an upper bound; counting then
+      // takes the set as-is and skips VF2 entirely.
+      bool feasible_exact = false;
     };
     std::unordered_map<std::string, Candidate> candidates;
+    // Isomorphism classes of 2-edge extensions already seen this level,
+    // keyed by wedge signature; dedup happens here so duplicates never
+    // reach the canonical-code cache.
+    std::unordered_set<std::string> level2_seen;
+    // Same idea for 3+ edge extensions: representatives of the classes
+    // already considered, bucketed by invariant hash.
+    std::unordered_map<std::uint64_t, std::vector<LabeledGraph>> ext_classes;
     std::uint64_t candidate_bytes = 0;
     bool oom = false;
     common::MiningOutcome level_outcome = common::MiningOutcome::kComplete;
@@ -178,13 +419,28 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     // loop stays free of atomics.
     std::uint64_t extensions_considered = 0;
     std::uint64_t pruned_closure = 0;
+    std::uint64_t pruned_by_join = 0;
 
     TNMINE_TRACE_SPAN("fsg/level");
     try {
+      TNMINE_TRACE_SPAN("fsg/generate");
       for (const FrequentPattern& parent : frontier) {
         if (oom || level_outcome != common::MiningOutcome::kComplete) break;
         const LabeledGraph& pg = parent.graph;
-        auto consider = [&](LabeledGraph&& extended) {
+        // Lazily created shared copy of the parent's TID set, handed to
+        // every candidate whose feasibility intersection removes nothing
+        // (charged against the memory budget once, not per candidate).
+        std::shared_ptr<const TidSet> parent_shared;
+        std::vector<std::shared_ptr<const TidSet>> sub_sets;
+        std::map<std::pair<EdgeType, bool>, std::uint32_t> cand_type_counts;
+        std::string sig_a;
+        std::string sig_b;
+        std::string parent_sig;
+        if (pg.num_edges() == 2) {
+          parent_sig = WedgeSignature(pg, EdgeId{0}, EdgeId{1}, &sig_a, &sig_b);
+        }
+        auto consider = [&](LabeledGraph&& extended, const EdgeType& t,
+                            bool self_loop) {
           if (oom || level_outcome != common::MiningOutcome::kComplete) {
             return;
           }
@@ -199,30 +455,180 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
             level_outcome = stop;
             return;
           }
-          std::string code = iso::CanonicalCodeCached(extended);
-          if (candidates.contains(code)) return;
-          // Downward closure: every connected k-edge sub-pattern must be
-          // frequent.
-          bool prunable = false;
-          const std::vector<EdgeId> live = extended.LiveEdges();
-          for (EdgeId drop : live) {
-            const LabeledGraph sub = WithoutEdge(extended, drop);
-            if (!graph::IsWeaklyConnected(sub)) continue;  // not checkable
-            if (!previous_level_codes.contains(iso::CanonicalCodeCached(sub))) {
-              prunable = true;
-              break;
+          std::string code;
+          std::shared_ptr<const TidSet> feasible;
+          bool feasible_exact = false;
+          std::uint64_t tid_bytes = 0;
+          const std::size_t parent_card = parent.tids.Cardinality();
+          if (extended.num_edges() == 2) {
+            // Level 2 runs entirely off the level-1 indexes. The wedge
+            // signature names the candidate's isomorphism class, so it
+            // dedups isomorphic extensions before any canonical-code
+            // work (isomorphic extensions serialize differently, and
+            // each distinct serialization would pay a full canonical
+            // search); the retained edge's level-1 frequency is the
+            // whole downward-closure check; and the signature's TID set
+            // is the exact support set, inside the parent's by
+            // anti-monotonicity (DESIGN.md §12).
+            const std::string& sig = WedgeSignature(
+                extended, EdgeId{0}, EdgeId{1}, &sig_a, &sig_b);
+            if (!level2_seen.insert(sig).second) return;  // isomorphic dup
+            const Edge& kept = extended.edge(EdgeId{0});
+            const auto kept_it = type_tids.find(
+                {EdgeType{extended.vertex_label(kept.src),
+                          extended.vertex_label(kept.dst), kept.label},
+                 kept.src == kept.dst});
+            if (kept_it == type_tids.end() ||
+                kept_it->second->Cardinality() < options.min_support) {
+              ++pruned_closure;
+              return;
             }
-          }
-          if (prunable) {
-            ++pruned_closure;
-            return;
+            const auto wit = wedge_tids.find(sig);
+            feasible = wit == wedge_tids.end() ? empty_tids : wit->second;
+            feasible_exact = true;
+            pruned_by_join += parent_card - feasible->Cardinality();
+            if (feasible->Cardinality() < options.min_support) {
+              // The set is exact, so the candidate is already known
+              // infrequent: dropping it here also skips its canonical
+              // code entirely.
+              return;
+            }
+            code = iso::CanonicalCodeCached(extended);
+          } else {
+            // 3+ edge extensions dedup by isomorphism class before any
+            // canonical-code work (isomorphic extensions serialize
+            // differently, so every distinct serialization used to pay
+            // a full canonical search). Classes bucket by the cheap
+            // invariant hash and are separated by an exact tiny-graph
+            // isomorphism test; only the class representative runs the
+            // closure check and — if it survives — the canonical search.
+            const std::uint64_t fp = iso::InvariantHash(extended);
+            std::vector<LabeledGraph>& bucket = ext_classes[fp];
+            for (const LabeledGraph& rep : bucket) {
+              if (SmallGraphsIsomorphic(rep, extended)) return;
+            }
+            bucket.push_back(extended);
+            // Downward closure: every connected k-edge sub-pattern must
+            // be frequent. Found sub-patterns double as feasibility
+            // filters: their TID sets are supersets of the candidate's
+            // support.
+            bool prunable = false;
+            sub_sets.clear();
+            // The extension appended its edge last, so dropping it just
+            // reconstructs the parent — frequent by construction and
+            // already the feasibility base; skip that copy+code
+            // round-trip.
+            const auto added = static_cast<EdgeId>(extended.num_edges() - 1);
+            const std::vector<EdgeId> live = extended.LiveEdges();
+            if (extended.num_edges() == 3) {
+              // 2-edge subs are checked by wedge signature: no sub-graph
+              // copy, no canonical code, and connectivity of the
+              // remaining pair is just "do they share a vertex".
+              for (EdgeId drop : live) {
+                if (drop == added) continue;
+                std::array<EdgeId, 2> rest;
+                std::size_t r = 0;
+                for (EdgeId e : live) {
+                  if (e != drop) rest[r++] = e;
+                }
+                const Edge& ex = extended.edge(rest[0]);
+                const Edge& ey = extended.edge(rest[1]);
+                if (ex.src != ey.src && ex.src != ey.dst &&
+                    ex.dst != ey.src && ex.dst != ey.dst) {
+                  continue;  // disconnected sub: not checkable
+                }
+                const std::string& sub_sig = WedgeSignature(
+                    extended, rest[0], rest[1], &sig_a, &sig_b);
+                const auto sub_it = previous_level_sigs.find(sub_sig);
+                if (sub_it == previous_level_sigs.end()) {
+                  prunable = true;
+                  break;
+                }
+                if (sub_sig == parent_sig) continue;  // base set already
+                if (std::find(sub_sets.begin(), sub_sets.end(),
+                              sub_it->second) == sub_sets.end()) {
+                  sub_sets.push_back(sub_it->second);
+                }
+              }
+            } else {
+              for (EdgeId drop : live) {
+                if (drop == added) continue;
+                const LabeledGraph sub = WithoutEdge(extended, drop);
+                if (!graph::IsWeaklyConnected(sub)) continue;  // not checkable
+                const std::string sub_code = iso::CanonicalCodeCached(sub);
+                const auto sub_it = previous_level_tids.find(sub_code);
+                if (sub_it == previous_level_tids.end()) {
+                  prunable = true;
+                  break;
+                }
+                if (sub_code == parent.code) continue;  // base set already
+                if (std::find(sub_sets.begin(), sub_sets.end(),
+                              sub_it->second) == sub_sets.end()) {
+                  sub_sets.push_back(sub_it->second);
+                }
+              }
+            }
+            if (prunable) {
+              ++pruned_closure;
+              return;
+            }
+            code = iso::CanonicalCodeCached(extended);
+            if (candidates.contains(code)) return;
+            // Feasibility: intersect the parent's TID set with the added
+            // edge type's level-1 set and each sub-pattern set. Every
+            // one is a necessary containment condition — an embedding of
+            // the candidate maps the added edge to an edge of identical
+            // type — so this only removes transactions that cannot
+            // support the candidate; VF2 counting below stays exact.
+            const auto type_it = type_tids.find({t, self_loop});
+            if (type_it == type_tids.end()) {
+              // The added edge type never occurs: trivially infrequent.
+              feasible = empty_tids;
+              pruned_by_join += parent_card;
+            } else {
+              TidSet feas = TidSet::Intersect(parent.tids, *type_it->second);
+              for (const auto& sub : sub_sets) feas.IntersectWith(*sub);
+              // Repeated edge types: an embedding maps the candidate's
+              // edges injectively, so a type used m times needs >= m
+              // occurrences in the transaction.
+              cand_type_counts.clear();
+              extended.ForEachEdge([&](EdgeId e) {
+                const Edge& edge = extended.edge(e);
+                ++cand_type_counts[{
+                    EdgeType{extended.vertex_label(edge.src),
+                             extended.vertex_label(edge.dst), edge.label},
+                    edge.src == edge.dst}];
+              });
+              for (const auto& [key, m] : cand_type_counts) {
+                if (m < 2 || feas.Empty()) continue;
+                const auto mult_it = mult_tids.find(
+                    {key.first, key.second, std::min(m, kMaxTypeMult)});
+                if (mult_it == mult_tids.end()) {
+                  feas.Clear();
+                  break;
+                }
+                feas.IntersectWith(*mult_it->second);
+              }
+              pruned_by_join += parent_card - feas.Cardinality();
+              if (feas.Cardinality() == parent_card) {
+                if (!parent_shared) {
+                  parent_shared = std::make_shared<const TidSet>(parent.tids);
+                  tid_bytes = parent_shared->MemoryBytes();
+                }
+                feasible = parent_shared;
+              } else {
+                auto fresh = std::make_shared<const TidSet>(std::move(feas));
+                tid_bytes = fresh->MemoryBytes();
+                feasible = std::move(fresh);
+              }
+            }
           }
           Candidate c;
           c.pattern.graph = std::move(extended);
           c.pattern.code = code;
-          c.parent_tids = parent.tids;
-          const std::uint64_t delta =
-              EstimateBytes(c.pattern) + 4 * c.parent_tids.size();
+          c.feasible = std::move(feasible);
+          c.feasible_exact = feasible_exact;
+          const std::uint64_t delta = EstimateBytes(c.pattern) + tid_bytes;
           candidate_bytes += delta;
           result.peak_candidate_bytes =
               std::max(result.peak_candidate_bytes,
@@ -249,7 +655,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
                 LabeledGraph ext = pg;
                 const VertexId w = ext.AddVertex(t.dst_label);
                 ext.AddEdge(u, w, t.edge_label);
-                consider(std::move(ext));
+                consider(std::move(ext), t, /*self_loop=*/false);
               }
               // u -> existing vertex (including self-loop when labels
               // allow).
@@ -257,7 +663,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
                 if (pg.vertex_label(w) != t.dst_label) continue;
                 LabeledGraph ext = pg;
                 ext.AddEdge(u, w, t.edge_label);
-                consider(std::move(ext));
+                consider(std::move(ext), t, /*self_loop=*/w == u);
               }
             }
             if (t.dst_label == lu) {
@@ -266,7 +672,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
               LabeledGraph ext = pg;
               const VertexId w = ext.AddVertex(t.src_label);
               ext.AddEdge(w, u, t.edge_label);
-              consider(std::move(ext));
+              consider(std::move(ext), t, /*self_loop=*/false);
             }
             if (oom || level_outcome != common::MiningOutcome::kComplete) {
               break;
@@ -285,6 +691,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     result.candidates_per_level.push_back(candidates.size());
     TNMINE_COUNTER_ADD("fsg/extensions_considered", extensions_considered);
     TNMINE_COUNTER_ADD("fsg/candidates_pruned_closure", pruned_closure);
+    TNMINE_COUNTER_ADD("fsg/feasible_pruned_by_join", pruned_by_join);
     TNMINE_COUNTER_ADD("fsg/candidates_generated", candidates.size());
     if (oom) {
       result.aborted_out_of_memory = true;
@@ -299,7 +706,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
       break;
     }
 
-    // Support counting against the generating parent's TID list. Each
+    // Support counting against the candidate's feasible TID set. Each
     // candidate's containment checks are independent, so candidates are
     // counted on parallel lanes; sorting them by canonical code first
     // fixes the counting/output order deterministically (the hash-map
@@ -318,50 +725,59 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
       std::uint64_t checks = 0;
       common::MiningOutcome aborted = common::MiningOutcome::kComplete;
     };
-    const std::vector<CountResult> counted =
-        common::ParallelMap<CountResult>(
-            options.parallelism, ordered.size(), [&](std::size_t c) {
-              CountResult out;
-              // Shared stop conditions (cancel/deadline/memory trip) are
-              // honored per candidate; tick truncation is settled
-              // deterministically after the map, below.
-              out.aborted = options.budget.StopReason();
-              if (out.aborted != common::MiningOutcome::kComplete) {
-                return out;
-              }
-              const FrequentPattern& p = ordered[c].pattern;
-              const std::vector<std::uint32_t>& feasible =
-                  ordered[c].parent_tids;
-              try {
-                (void)TNMINE_FAILPOINT("fsg/count");
-                // One search plan per candidate, reused across every
-                // feasible transaction view (the former code rebuilt the
-                // matcher per containment check).
-                iso::SubgraphMatcher matcher(p.graph);
-                iso::MatchOptions match_options;
-                match_options.max_search_steps = options.max_match_steps;
-                for (std::size_t i = 0; i < feasible.size(); ++i) {
-                  // Early abort when the remaining transactions cannot
-                  // reach min_support.
-                  if (out.tids.size() + (feasible.size() - i) <
-                      options.min_support) {
-                    break;
-                  }
-                  const std::uint32_t tid = feasible[i];
-                  ++out.checks;
-                  if (matcher.Contains(views[tid], match_options)) {
-                    out.tids.push_back(tid);
-                  }
+    TNMINE_TRACE_SPAN("fsg/count_phase");
+    std::vector<CountResult> counted = common::ParallelMap<CountResult>(
+        options.parallelism, ordered.size(), [&](std::size_t c) {
+          CountResult out;
+          // Shared stop conditions (cancel/deadline/memory trip) are
+          // honored per candidate; tick truncation is settled
+          // deterministically after the map, below.
+          out.aborted = options.budget.StopReason();
+          if (out.aborted != common::MiningOutcome::kComplete) {
+            return out;
+          }
+          const FrequentPattern& p = ordered[c].pattern;
+          const TidSet& feasible = *ordered[c].feasible;
+          try {
+            (void)TNMINE_FAILPOINT("fsg/count");
+            // The feasible set's cardinality is already an upper bound
+            // on support: skip the matcher entirely when it cannot
+            // reach min_support.
+            const std::size_t card = feasible.Cardinality();
+            if (ordered[c].feasible_exact) {
+              // Level-2 candidates carry their exact support set from
+              // the wedge index; materialize it without any VF2 work.
+              if (card >= options.min_support) out.tids = feasible.ToVector();
+            } else if (card >= options.min_support) {
+              // One search plan per candidate, reused across every
+              // feasible transaction view (the former code rebuilt the
+              // matcher per containment check).
+              iso::SubgraphMatcher matcher(p.graph);
+              iso::MatchOptions match_options;
+              match_options.max_search_steps = options.max_match_steps;
+              std::size_t i = 0;
+              for (const std::uint32_t tid : feasible) {
+                // Early abort when the remaining transactions cannot
+                // reach min_support.
+                if (out.tids.size() + (card - i) < options.min_support) {
+                  break;
                 }
-              } catch (const std::bad_alloc&) {
-                out.aborted = common::MiningOutcome::kMemoryBudgetExceeded;
-                out.tids.clear();
+                ++i;
+                ++out.checks;
+                if (matcher.Contains(views[tid], match_options)) {
+                  out.tids.push_back(tid);
+                }
               }
-              // One flush per candidate: the per-candidate check count is
-              // scheduling-independent, so the total is too.
-              TNMINE_COUNTER_ADD("fsg/support_checks", out.checks);
-              return out;
-            });
+            }
+          } catch (const std::bad_alloc&) {
+            out.aborted = common::MiningOutcome::kMemoryBudgetExceeded;
+            out.tids.clear();
+          }
+          // One flush per candidate: the per-candidate check count is
+          // scheduling-independent, so the total is too.
+          TNMINE_COUNTER_ADD("fsg/support_checks", out.checks);
+          return out;
+        });
     // Settle the parallel phase against the tick ledger in sorted
     // candidate order. Each candidate's check count is a deterministic
     // function of the candidate alone, so the prefix that fits the
@@ -382,17 +798,16 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
       }
       if (counted[c].tids.size() < options.min_support) continue;
       FrequentPattern& p = ordered[c].pattern;
-      p.tids = counted[c].tids;
-      p.support = p.tids.size();
+      p.tids = TidSet::FromSorted(std::move(counted[c].tids), universe);
+      p.support = p.tids.Cardinality();
       next_frontier.push_back(std::move(p));
     }
     result.frequent_per_level.push_back(next_frontier.size());
     TNMINE_COUNTER_ADD("fsg/candidates_counted", ordered.size());
     TNMINE_COUNTER_ADD("fsg/patterns_frequent", next_frontier.size());
 
-    previous_level_codes.clear();
+    rebuild_previous(next_frontier);
     for (const FrequentPattern& p : next_frontier) {
-      previous_level_codes.insert(p.code);
       result.patterns.push_back(p);
     }
     if (level_outcome != common::MiningOutcome::kComplete) {
@@ -404,10 +819,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
     }
     result.levels_completed = level;
     frontier = std::move(next_frontier);
-    frontier_bytes = 0;
-    for (const FrequentPattern& p : frontier) {
-      frontier_bytes += EstimateBytes(p);
-    }
+    frontier_bytes = retained_bytes();
   }
   result.work_ticks = meter.ticks_spent();
   common::RecordOutcome("fsg", result.outcome);

@@ -106,15 +106,18 @@ struct Miner {
     fp.graph = pg;
     fp.code = code;
     {
+      std::vector<std::uint32_t> tids;
       std::uint32_t prev = ~std::uint32_t{0};
       for (const Emb& e : embs) {
         if (e.tid != prev) {
-          fp.tids.push_back(e.tid);
+          tids.push_back(e.tid);
           prev = e.tid;
         }
       }
+      fp.tids = pattern::TidSet::FromSorted(
+          std::move(tids), static_cast<std::uint32_t>(views.size()));
     }
-    fp.support = fp.tids.size();
+    fp.support = fp.tids.Cardinality();
     result.patterns.push_back(fp);
     result.max_level = std::max(result.max_level, pg.num_edges());
     if (options.max_edges != 0 && pg.num_edges() >= options.max_edges) {

@@ -1,10 +1,12 @@
 #include "iso/vf2.h"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <span>
 #include <tuple>
 
+#include "common/bitwords.h"
 #include "common/scratch.h"
 
 namespace tnmine::iso {
@@ -22,10 +24,13 @@ using graph::VertexId;
 /// a match run performs no heap allocation.
 struct SubgraphMatcher::MatchScratch {
   std::vector<VertexId> vertex_image;  // pattern v -> target v
-  std::vector<char> target_used;
-  // One candidate buffer per depth (recursion at depth d iterates its own
-  // buffer while deeper levels fill theirs).
-  std::vector<std::vector<VertexId>> depth_candidates;
+  // Placed target vertices, one bit each — used-vertex exclusion during
+  // candidate enumeration is a word AND against the domain bitmaps.
+  common::ScratchBitset used;
+  // One candidate-domain bitmap per depth (recursion at depth d iterates
+  // its own domain while deeper levels fill theirs). Touched-range
+  // clearing keeps a rebuild O(domain), not O(target vertices).
+  std::vector<common::ScratchBitset> depth_domains;
   LabelTally have;              // induced-check tally buffer
   std::vector<EdgeId> avail;    // emit-time parallel-edge pool
   Embedding emb;                // reused embedding handed to callbacks
@@ -281,7 +286,7 @@ bool SubgraphMatcher::EmitCurrentEmbedding() {
 bool SubgraphMatcher::TryCandidate(std::size_t depth, VertexId t) {
   // Returns false to abort the whole enumeration.
   std::vector<VertexId>& vi = scratch_->vertex_image;
-  if (scratch_->target_used[t] || !VertexAllowed(*options_, t)) return true;
+  if (scratch_->used.Test(t) || !VertexAllowed(*options_, t)) return true;
   if (target_->vertex_label(t) != want_label_[depth]) return true;
   if (target_->OutDegree(t) < p_out_degree_[depth] ||
       target_->InDegree(t) < p_in_degree_[depth]) {
@@ -317,9 +322,9 @@ bool SubgraphMatcher::TryCandidate(std::size_t depth, VertexId t) {
   }
   const VertexId p = order_[depth];
   vi[p] = t;
-  scratch_->target_used[t] = 1;
+  scratch_->used.Set(t);
   const bool keep_going = Extend(depth + 1);
-  scratch_->target_used[t] = 0;
+  scratch_->used.Clear(t);
   vi[p] = kInvalidVertex;
   return keep_going;
 }
@@ -334,25 +339,39 @@ bool SubgraphMatcher::Extend(std::size_t depth) {
   if (depth == order_.size()) return EmitCurrentEmbedding();
 
   if (has_anchor_[depth]) {
-    // Enumerate candidates from the label subrange of the anchor image's
-    // adjacency: `other` is ascending there, so duplicates from parallel
-    // target edges are adjacent and the former sort+unique reduces to a
-    // back()-check.
+    // Build the candidate domain as a bitmap from the label subrange of
+    // the anchor image's adjacency (duplicate `other`s from parallel
+    // target edges collapse into one bit), then walk it with used-vertex
+    // exclusion folded in as a word AND. Bits come out ascending — the
+    // exact order the former sorted candidate vector produced.
     const Anchor& anchor = anchors_[depth];
     const VertexId image = scratch_->vertex_image[anchor.other];
-    std::vector<VertexId>& candidates = scratch_->depth_candidates[depth];
-    candidates.clear();
+    common::ScratchBitset& domain = scratch_->depth_domains[depth];
+    domain.EnsureBits(target_->num_vertices());
+    domain.ClearTouched();
     const std::span<const GraphView::Arc> arcs =
         anchor.outgoing ? target_->InArcs(image, anchor.label)
                         : target_->OutArcs(image, anchor.label);
     for (const GraphView::Arc& arc : arcs) {
       if (!EdgeAllowed(*options_, arc.edge)) continue;
-      if (candidates.empty() || candidates.back() != arc.other) {
-        candidates.push_back(arc.other);
-      }
+      domain.Set(arc.other);
     }
-    for (VertexId t : candidates) {
-      if (!TryCandidate(depth, t)) return false;
+    // Deeper recursion only mutates deeper depths' domains and restores
+    // `used` bits other than the one it placed, so reading both word by
+    // word at iteration time admits exactly the candidates the former
+    // per-vertex used check admitted.
+    const common::ScratchBitset& used = scratch_->used;
+    for (std::size_t w = domain.touched_begin(); w < domain.touched_end();
+         ++w) {
+      std::uint64_t word = domain.word(w) & ~used.word(w);
+      while (word != 0) {
+        const VertexId t =
+            static_cast<VertexId>(w * common::kBitsPerWord +
+                                  static_cast<std::size_t>(
+                                      std::countr_zero(word)));
+        word &= word - 1;
+        if (!TryCandidate(depth, t)) return false;
+      }
     }
     return true;
   }
@@ -375,9 +394,12 @@ std::uint64_t SubgraphMatcher::ForEachEmbedding(
   options_ = &options;
   callback_ = &fn;
   scratch_->vertex_image.assign(pattern_.num_vertices(), kInvalidVertex);
-  scratch_->target_used.assign(target.num_vertices(), 0);
-  if (scratch_->depth_candidates.size() < order_.size()) {
-    scratch_->depth_candidates.resize(order_.size());
+  scratch_->used.EnsureBits(target.num_vertices());
+  // Full clear (not touched-range): a callback abort can unwind past the
+  // per-candidate Clear() calls, leaving stale bits behind.
+  scratch_->used.ClearAll();
+  if (scratch_->depth_domains.size() < order_.size()) {
+    scratch_->depth_domains.resize(order_.size());
   }
   emitted_ = 0;
   steps_ = 0;

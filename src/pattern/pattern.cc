@@ -17,13 +17,9 @@ bool PatternRegistry::InsertOrMerge(FrequentPattern p, bool merge_tids) {
   }
   FrequentPattern& existing = it->second;
   if (merge_tids) {
-    std::vector<std::uint32_t> merged;
-    merged.reserve(existing.tids.size() + p.tids.size());
-    std::merge(existing.tids.begin(), existing.tids.end(), p.tids.begin(),
-               p.tids.end(), std::back_inserter(merged));
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-    existing.tids = std::move(merged);
-    existing.support = std::max(existing.support, existing.tids.size());
+    existing.tids.UnionWith(p.tids);
+    existing.support =
+        std::max(existing.support, existing.tids.Cardinality());
   }
   existing.support = std::max(existing.support, p.support);
   return false;

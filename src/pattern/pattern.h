@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/labeled_graph.h"
+#include "pattern/tid_set.h"
 
 namespace tnmine::pattern {
 
@@ -19,8 +20,9 @@ struct FrequentPattern {
   graph::LabeledGraph graph;
   /// Number of transactions containing the pattern.
   std::size_t support = 0;
-  /// Indices of the supporting transactions, ascending.
-  std::vector<std::uint32_t> tids;
+  /// The supporting transactions, as a compressed TID set (bitmap or
+  /// sorted-sparse per density; iteration is always ascending).
+  TidSet tids;
   /// Canonical isomorphism-class code (iso::CanonicalCode of `graph`).
   std::string code;
 };

@@ -19,6 +19,7 @@
 #include "iso/canonical.h"
 #include "partition/split_graph.h"
 #include "pattern/pattern.h"
+#include "pattern/tid_set.h"
 
 namespace tnmine::common {
 namespace {
@@ -231,6 +232,24 @@ TEST(BudgetTest, FsgHalfTickBudgetTruncatesDeterministically) {
   EXPECT_EQ(t1.fingerprint, t4.fingerprint);
   EXPECT_EQ(t1.result.work_ticks, t2.result.work_ticks);
   EXPECT_EQ(t1.result.work_ticks, t4.result.work_ticks);
+
+  // The TID-set encoding must not shift the truncation point either: the
+  // same tick budget mines the same pattern prefix whether every set is
+  // forced sparse or forced bitmap (DESIGN.md §12).
+  {
+    const pattern::TidSet::ScopedEncodingPolicy force_sparse(
+        pattern::TidSet::EncodingPolicy::kForceSparse);
+    const FsgRun sparse = RunFsg(txns, half, 2);
+    EXPECT_EQ(sparse.fingerprint, t1.fingerprint);
+    EXPECT_EQ(sparse.result.work_ticks, t1.result.work_ticks);
+  }
+  {
+    const pattern::TidSet::ScopedEncodingPolicy force_bitmap(
+        pattern::TidSet::EncodingPolicy::kForceBitmap);
+    const FsgRun bitmap = RunFsg(txns, half, 4);
+    EXPECT_EQ(bitmap.fingerprint, t1.fingerprint);
+    EXPECT_EQ(bitmap.result.work_ticks, t1.result.work_ticks);
+  }
 }
 
 // --- Algorithm-1 driver under a tick budget ------------------------------

@@ -94,7 +94,7 @@ TEST(TemporalMiningTest, MinesRepeatedRoutesFromSyntheticData) {
   // Patterns carry tid lists that respect the support.
   for (const auto* p : result.registry.SortedBySupport()) {
     EXPECT_GE(p->support, result.absolute_min_support);
-    EXPECT_EQ(p->support, p->tids.size());
+    EXPECT_EQ(p->support, p->tids.Cardinality());
   }
   // With location-unique vertex labels, patterns have distinct vertex
   // labels.

@@ -52,7 +52,7 @@ TEST(FsgTest, SingleEdgeSupportCounting) {
   const FsgResult r = MineFsg(txns, options);
   ASSERT_EQ(r.patterns.size(), 1u);
   EXPECT_EQ(r.patterns[0].support, 2u);
-  EXPECT_EQ(r.patterns[0].tids, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(r.patterns[0].tids.ToVector(), (std::vector<std::uint32_t>{0, 1}));
 }
 
 TEST(FsgTest, FindsPlantedTriangle) {
@@ -129,7 +129,7 @@ TEST(FsgTest, SupportsAreExact) {
         expect_tids.push_back(tid);
       }
     }
-    EXPECT_EQ(p.tids, expect_tids) << p.graph.DebugString();
+    EXPECT_EQ(p.tids.ToVector(), expect_tids) << p.graph.DebugString();
     EXPECT_EQ(p.support, expect_tids.size());
     EXPECT_GE(p.support, options.min_support);
   }
@@ -169,7 +169,7 @@ TEST(FsgTest, ParallelEdgePatternsNeedMultiplicity) {
       if (parallel_same) {
         found_parallel = true;
         EXPECT_EQ(p.support, 1u);
-        EXPECT_EQ(p.tids, (std::vector<std::uint32_t>{0}));
+        EXPECT_EQ(p.tids.ToVector(), (std::vector<std::uint32_t>{0}));
       }
     }
   }

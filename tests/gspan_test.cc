@@ -75,7 +75,7 @@ TEST(GspanTest, SingleEdgeSupport) {
   const GspanResult r = MineGspan(txns, options);
   ASSERT_EQ(r.patterns.size(), 1u);
   EXPECT_EQ(r.patterns[0].support, 2u);
-  EXPECT_EQ(r.patterns[0].tids, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(r.patterns[0].tids.ToVector(), (std::vector<std::uint32_t>{0, 1}));
 }
 
 TEST(GspanTest, FindsChainsOfAllLengths) {

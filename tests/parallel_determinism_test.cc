@@ -18,6 +18,7 @@
 #include "gspan/gspan.h"
 #include "iso/canonical.h"
 #include "iso/vf2.h"
+#include "pattern/tid_set.h"
 #include "synth/kk_generator.h"
 #include "synth/planted.h"
 
@@ -97,6 +98,42 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ParallelGspanTest,
                          ::testing::Values(301, 302, 303));
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelFsgTest,
                          ::testing::Values(301, 302, 303));
+
+// The TID-set encoding is an implementation detail: forcing every set
+// sparse or every set bitmap must mine byte-identical patterns — same
+// order, codes, supports, tid lists — at 1, 2 and 4 threads, with the
+// same tick ledger (DESIGN.md §12).
+class FsgEncodingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FsgEncodingTest, BitmapAndSparseMineIdenticalPatternsAtAnyThreads) {
+  const auto txns = TestTransactions(GetParam());
+  fsg::FsgOptions options;
+  options.min_support = 4;
+  options.max_edges = 3;
+
+  std::vector<fsg::FsgResult> results;
+  for (const pattern::TidSet::EncodingPolicy policy :
+       {pattern::TidSet::EncodingPolicy::kForceSparse,
+        pattern::TidSet::EncodingPolicy::kForceBitmap}) {
+    const pattern::TidSet::ScopedEncodingPolicy scoped(policy);
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      options.parallelism = threads == 1 ? common::Parallelism::Serial()
+                                         : common::Parallelism{threads};
+      results.push_back(fsg::MineFsg(txns, options));
+    }
+  }
+  ASSERT_FALSE(results.front().patterns.empty());
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ExpectIdenticalPatternLists(results.front().patterns,
+                                results[i].patterns);
+    EXPECT_EQ(results.front().work_ticks, results[i].work_ticks);
+    EXPECT_EQ(results.front().frequent_per_level,
+              results[i].frequent_per_level);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsgEncodingTest,
+                         ::testing::Values(311, 312));
 
 TEST(ParallelStructuralMiningTest, ParallelRepetitionsEqualSequential) {
   synth::PlantedOptions planted;

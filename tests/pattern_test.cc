@@ -25,7 +25,8 @@ FrequentPattern MakePattern(LabeledGraph g, std::size_t support,
   FrequentPattern p;
   p.graph = std::move(g);
   p.support = support;
-  p.tids = std::move(tids);
+  p.tids = TidSet::FromSorted(std::move(tids),
+                              /*universe=*/0);
   return p;
 }
 
@@ -60,7 +61,7 @@ TEST(PatternRegistryTest, MergeTidsUnions) {
   reg.InsertOrMerge(MakePattern(Edge1(0, 1, 2), 2, {3, 5}), true);
   const FrequentPattern* p = reg.Find(iso::CanonicalCode(Edge1(0, 1, 2)));
   ASSERT_NE(p, nullptr);
-  EXPECT_EQ(p->tids, (std::vector<std::uint32_t>{1, 3, 5}));
+  EXPECT_EQ(p->tids.ToVector(), (std::vector<std::uint32_t>{1, 3, 5}));
   EXPECT_EQ(p->support, 3u);
 }
 

@@ -17,6 +17,11 @@ skipped (they legitimately differ across machines and thread counts):
 "threadpool/*", plus the scratch-pool hit/miss split
 ("scratch/reuse_hits", "scratch/fresh_allocs" — which thread's pool was
 warm is scheduling; "scratch/acquires" IS deterministic and is checked).
+The TID-set kernel counters ("tidset/intersect_words",
+"tidset/gallop_steps") and the FSG join-prune counter
+("fsg/feasible_pruned_by_join") are deterministic functions of the
+workload and encoding policy — identical across thread counts — so they
+get no skip entry and ARE compared.
 
 Override knob: pass --tolerance or set TNMINE_BENCH_TOLERANCE (a float;
 e.g. 0.5 for 50%). CI runs this as a non-blocking job: regressions print
