@@ -60,7 +60,8 @@ StructuralMiningResult MineStructuralPatterns(
     const graph::LabeledGraph& g, const StructuralMiningOptions& options) {
   TNMINE_TRACE_SPAN("core/structural_mine");
   TNMINE_CHECK(options.repetitions >= 1);
-  TNMINE_CHECK(options.min_support >= 1);
+  // min_support = 0 is forwarded as-is: both miners clamp it to 1 (see
+  // GspanOptions / FsgOptions for the shared degenerate-value contract).
   StructuralMiningResult result;
   // Each repetition is an independent (SplitGraph, mine) run seeded by
   // seed + rep; run them on parallel lanes and merge in rep order so the

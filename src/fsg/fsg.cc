@@ -176,10 +176,13 @@ bool SmallGraphsIsomorphic(const LabeledGraph& a, const LabeledGraph& b) {
 }  // namespace
 
 FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
-                  const FsgOptions& options) {
+                  const FsgOptions& raw_options) {
   TNMINE_TRACE_SPAN("fsg/mine");
-  TNMINE_CHECK(options.min_support >= 1);
   TNMINE_COUNTER_ADD("fsg/runs_started", 1);
+  // min_support = 0 means the same as 1 (see FsgOptions): clamp once so
+  // every comparison below shares the contract with gSpan.
+  FsgOptions options = raw_options;
+  options.min_support = std::max<std::size_t>(1, options.min_support);
   FsgResult result;
   for (const LabeledGraph& t : transactions) {
     TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");

@@ -299,10 +299,13 @@ struct Miner {
 }  // namespace
 
 GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
-                      const GspanOptions& options) {
+                      const GspanOptions& raw_options) {
   TNMINE_TRACE_SPAN("gspan/mine");
-  TNMINE_CHECK(options.min_support >= 1);
   TNMINE_COUNTER_ADD("gspan/runs_started", 1);
+  // min_support = 0 means the same as 1 (see GspanOptions): clamp once so
+  // every comparison below shares the contract with FSG.
+  GspanOptions options = raw_options;
+  options.min_support = std::max<std::size_t>(1, options.min_support);
   for (const LabeledGraph& t : transactions) {
     TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
   }

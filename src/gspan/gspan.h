@@ -14,6 +14,14 @@ namespace tnmine::gspan {
 /// Options for the pattern-growth miner.
 struct GspanOptions {
   /// Minimum number of supporting transactions (absolute count).
+  ///
+  /// Degenerate-value contract (shared verbatim with FsgOptions, and
+  /// cross-checked by tools/scenario_fuzz): 0 is accepted and means the
+  /// same as 1 — mine every pattern that occurs at all. Support counting
+  /// only ever visits patterns with at least one occurrence, so "at least
+  /// zero supporting transactions" and "at least one" denote the same
+  /// pattern set; clamping 0 to 1 inside the miner makes the two miners
+  /// agree at both degenerate values by construction.
   std::size_t min_support = 2;
   /// Stop growing patterns past this many edges (0 = unlimited).
   std::size_t max_edges = 0;

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/check.h"
 #include "common/random.h"
 
 namespace tnmine::synth {
 
+using graph::EdgeId;
 using graph::Label;
 using graph::LabeledGraph;
 using graph::VertexId;
@@ -52,26 +52,51 @@ std::size_t DrawSize(Rng& rng, double mean) {
 }  // namespace
 
 KkResult GenerateKkTransactions(const KkOptions& options) {
-  TNMINE_CHECK(options.num_transactions >= 1);
-  TNMINE_CHECK(options.num_seed_patterns >= 1);
-  TNMINE_CHECK(options.num_vertex_labels >= 1);
-  TNMINE_CHECK(options.num_edge_labels >= 1);
+  // Degenerate parameters degrade to honest small results instead of
+  // aborting (see the header contract): the scenario fuzzer feeds this
+  // generator arbitrary draws.
+  const int vlabels = std::max(1, options.num_vertex_labels);
+  const int elabels = std::max(1, options.num_edge_labels);
   Rng rng(options.seed);
   KkResult result;
 
   for (std::size_t i = 0; i < options.num_seed_patterns; ++i) {
     result.seed_patterns.push_back(RandomConnectedPattern(
-        rng, DrawSize(rng, options.avg_pattern_edges),
-        options.num_vertex_labels, options.num_edge_labels));
+        rng, DrawSize(rng, options.avg_pattern_edges), vlabels, elabels));
   }
+
+  // Picks a vertex of `txn` for a random top-up edge endpoint: uniform by
+  // default, Zipf-skewed towards low ids when hub skew is on (low ids are
+  // the oldest vertices — the "hubs" every overlay can reuse).
+  auto pick_vertex = [&](const LabeledGraph& txn) -> VertexId {
+    if (options.hub_skew > 0.0) {
+      return static_cast<VertexId>(
+          rng.NextZipf(txn.num_vertices(), options.hub_skew));
+    }
+    return static_cast<VertexId>(rng.NextBounded(txn.num_vertices()));
+  };
 
   for (std::size_t t = 0; t < options.num_transactions; ++t) {
     const std::size_t target = DrawSize(rng, options.avg_transaction_edges);
     LabeledGraph txn;
-    while (txn.num_edges() < target) {
-      const LabeledGraph& seed =
-          result.seed_patterns[rng.NextBounded(
-              result.seed_patterns.size())];
+    // The in-season slice of the seed pool for this transaction (the
+    // whole pool unless seasonality is on).
+    std::size_t pool_begin = 0;
+    std::size_t pool_size = result.seed_patterns.size();
+    if (options.seasonality_period > 0 && pool_size > 1) {
+      const std::size_t half = pool_size / 2;
+      const bool second_half = (t / options.seasonality_period) % 2 == 1;
+      pool_begin = second_half ? half : 0;
+      pool_size = second_half ? pool_size - half : half;
+    }
+    while (pool_size > 0 && txn.num_edges() < target) {
+      std::size_t pick;
+      if (options.motif_concentration > 0.0) {
+        pick = rng.NextZipf(pool_size, options.motif_concentration);
+      } else {
+        pick = rng.NextBounded(pool_size);
+      }
+      const LabeledGraph& seed = result.seed_patterns[pool_begin + pick];
       // Embed the seed: map each seed vertex either to a fresh vertex or
       // (with some probability, when the transaction already has
       // vertices) to a random existing vertex with a matching label — the
@@ -95,23 +120,34 @@ KkResult GenerateKkTransactions(const KkOptions& options) {
         }
         map[sv] = target_v;
       }
-      seed.ForEachEdge([&](graph::EdgeId e) {
+      seed.ForEachEdge([&](EdgeId e) {
         const auto& edge = seed.edge(e);
         txn.AddEdge(map[edge.src], map[edge.dst], edge.label);
       });
     }
-    // Top up with random edges if the overlay undershot (rare) and trim is
-    // impossible; a little size noise is fine.
+    // Top up with random edges if the overlay undershot (always the case
+    // with an empty seed pool) and trim is impossible; a little size
+    // noise is fine.
     while (txn.num_edges() < target) {
       if (txn.num_vertices() < 2) {
-        txn.AddVertex(
-            static_cast<Label>(rng.NextBounded(options.num_vertex_labels)));
+        txn.AddVertex(static_cast<Label>(rng.NextBounded(vlabels)));
         continue;
       }
-      txn.AddEdge(
-          static_cast<VertexId>(rng.NextBounded(txn.num_vertices())),
-          static_cast<VertexId>(rng.NextBounded(txn.num_vertices())),
-          static_cast<Label>(rng.NextBounded(options.num_edge_labels)));
+      txn.AddEdge(pick_vertex(txn), pick_vertex(txn),
+                  static_cast<Label>(rng.NextBounded(elabels)));
+    }
+    if (options.disruption_rate > 0.0 &&
+        rng.NextBool(options.disruption_rate) && txn.num_edges() > 1) {
+      // Disruption: cancel up to half of the legs, then re-compact so the
+      // emitted transaction is dense again.
+      const std::size_t cancels =
+          1 + rng.NextBounded(std::max<std::size_t>(1, txn.num_edges() / 2));
+      std::vector<EdgeId> live = txn.LiveEdges();
+      rng.Shuffle(live);
+      for (std::size_t i = 0; i < cancels && i < live.size(); ++i) {
+        txn.RemoveEdge(live[i]);
+      }
+      txn = txn.Compact(/*drop_isolated_vertices=*/true);
     }
     result.transactions.push_back(std::move(txn));
   }

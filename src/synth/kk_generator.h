@@ -13,6 +13,17 @@ namespace tnmine::synth {
 /// defaults mirror the chemical-compound dataset the paper contrasts its
 /// own data against: "4 edge labels, 66 vertex labels and 340 transactions
 /// with average size 27.4 edges and 27 vertices".
+///
+/// Degenerate-parameter contract (relied on by tools/scenario_fuzz, which
+/// draws arbitrary parameter combinations):
+///   - num_transactions == 0  -> `transactions` is empty (seed patterns
+///     are still drawn — they are the ground truth, not the data).
+///   - num_seed_patterns == 0 -> `seed_patterns` is empty and every
+///     transaction is assembled from random edges alone (the top-up path).
+///   - num_vertex_labels / num_edge_labels below 1 are clamped to 1, so a
+///     label cardinality of 1 (every vertex/edge identically labeled) is
+///     the smallest reachable configuration.
+/// No parameter combination aborts or reads out of bounds.
 struct KkOptions {
   std::size_t num_transactions = 340;   ///< |D|
   double avg_transaction_edges = 27.4;  ///< |T|
@@ -21,6 +32,35 @@ struct KkOptions {
   int num_vertex_labels = 66;
   int num_edge_labels = 4;
   std::uint64_t seed = 1;
+
+  // --- Scenario texture (all default-off; a default-constructed
+  // KkOptions produces the byte-identical stream it always has). These
+  // knobs let tools/scenario_fuzz compose transportation-flavoured
+  // workloads: hub-and-spoke skew, seasonal route mixes, and service
+  // disruptions (ROADMAP "Differential scenario fuzzing").
+
+  /// > 0: the random top-up edges attach Zipf(hub_skew)-preferentially to
+  /// low-id vertices, concentrating degree on a few hubs the way the OD
+  /// network concentrates freight on distribution centres. 0 = uniform.
+  double hub_skew = 0.0;
+
+  /// > 0: the seed-pattern mix rotates with the transaction index: in
+  /// phase p = (t / seasonality_period) % 2, the usable pattern pool is
+  /// the first (p == 0) or second (p == 1) half of `seed_patterns` —
+  /// patterns "in season" recur, the rest go quiet, so support varies by
+  /// period the way weekly routes do. 0 = every pattern always in season.
+  std::size_t seasonality_period = 0;
+
+  /// Probability that a finished transaction is "disrupted": a random
+  /// subset (up to half) of its edges is removed — cancelled legs of a
+  /// route — and the transaction re-compacted (output stays dense).
+  /// 0 = never.
+  double disruption_rate = 0.0;
+
+  /// > 0: seed-pattern choice inside the in-season pool is
+  /// Zipf(motif_concentration)-skewed towards low-index patterns instead
+  /// of uniform, so a few motifs dominate the mix. 0 = uniform.
+  double motif_concentration = 0.0;
 };
 
 /// Generated transaction set plus the seed patterns that were embedded
@@ -37,6 +77,7 @@ struct KkResult {
 /// around |T| is reached, topping up with random edges. Increasing
 /// `num_vertex_labels` reproduces the label-cardinality candidate
 /// explosion the paper observed in FSG (Section 8 / footnote 3).
+/// Every returned graph is dense (no tombstones), ready for the miners.
 KkResult GenerateKkTransactions(const KkOptions& options);
 
 }  // namespace tnmine::synth

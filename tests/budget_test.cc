@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -249,6 +251,61 @@ TEST(BudgetTest, FsgHalfTickBudgetTruncatesDeterministically) {
     const FsgRun bitmap = RunFsg(txns, half, 4);
     EXPECT_EQ(bitmap.fingerprint, t1.fingerprint);
     EXPECT_EQ(bitmap.result.work_ticks, t1.result.work_ticks);
+  }
+}
+
+TEST(BudgetTest, TruncatedFsgOutputIsAPrefixOfTheUnbudgetedRun) {
+  // The truncation-shape oracle (DESIGN.md §13, cross-checked at scale by
+  // tools/scenario_fuzz --oracle budget_prefix): FSG appends patterns
+  // level by level, each level in sorted canonical-code order, and the
+  // tick ledger settles candidates in that same order — so whatever the
+  // cut point, the truncated pattern list is an exact prefix (codes,
+  // supports, and tid sets) of the unbudgeted list.
+  const auto txns = RandomTransactions(17, 24, 8, 14, 2, 2);
+  const FsgRun full = RunFsg(txns, 0, 1);
+  ASSERT_EQ(full.result.outcome, MiningOutcome::kComplete);
+  ASSERT_GT(full.result.work_ticks, 100u);
+  for (const std::uint64_t denominator : {8u, 4u, 2u, 1u}) {
+    const std::uint64_t allotment = full.result.work_ticks / denominator;
+    const FsgRun cut = RunFsg(txns, allotment, 1);
+    EXPECT_LE(cut.fingerprint.size(), full.fingerprint.size());
+    EXPECT_EQ(full.fingerprint.compare(0, cut.fingerprint.size(),
+                                       cut.fingerprint),
+              0)
+        << "allotment " << allotment << " of " << full.result.work_ticks;
+    if (cut.result.outcome == MiningOutcome::kComplete) {
+      EXPECT_EQ(cut.fingerprint, full.fingerprint);
+    }
+  }
+}
+
+TEST(BudgetTest, TruncatedGspanOutputIsASubsetWithIdenticalMetadata) {
+  // gSpan's counterpart is deliberately weaker: the allotment is Slice()d
+  // across seed subtrees and cross-subtree dedup claims can land on a
+  // different seed once a subtree is cut short, so the truncated output is
+  // NOT a prefix of the full emission order. What must hold — and what
+  // makes a truncated run still trustworthy — is that every pattern it
+  // emits appears in the unbudgeted run with the identical support and
+  // tid set (a known-benign divergence from FSG; DESIGN.md §13).
+  const auto txns = RandomTransactions(11, 24, 8, 14, 2, 2);
+  const GspanRun full = RunGspan(txns, 0, 1);
+  ASSERT_EQ(full.result.outcome, MiningOutcome::kComplete);
+  ASSERT_GT(full.result.work_ticks, 100u);
+  std::map<std::string, std::pair<std::size_t, std::vector<std::uint32_t>>>
+      reference;
+  for (const pattern::FrequentPattern& p : full.result.patterns) {
+    reference[p.code] = {p.support, p.tids.ToVector()};
+  }
+  for (const std::uint64_t denominator : {8u, 4u, 2u}) {
+    const GspanRun cut =
+        RunGspan(txns, full.result.work_ticks / denominator, 1);
+    EXPECT_LE(cut.result.patterns.size(), full.result.patterns.size());
+    for (const pattern::FrequentPattern& p : cut.result.patterns) {
+      auto it = reference.find(p.code);
+      ASSERT_NE(it, reference.end()) << p.code;
+      EXPECT_EQ(it->second.first, p.support) << p.code;
+      EXPECT_EQ(it->second.second, p.tids.ToVector()) << p.code;
+    }
   }
 }
 

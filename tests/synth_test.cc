@@ -1,10 +1,14 @@
 #include "synth/kk_generator.h"
 #include "synth/planted.h"
+#include "synth/scenario.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
+#include "common/random.h"
 #include "graph/algorithms.h"
 #include "iso/canonical.h"
 #include "iso/vf2.h"
@@ -100,6 +104,131 @@ TEST(KkGeneratorTest, MoreLabelsMeanMoreDistinctEdgeTypes) {
             2 * count_types(GenerateKkTransactions(few)));
 }
 
+// --- Degenerate-parameter contract (see KkOptions): the scenario fuzzer
+// feeds this generator arbitrary draws, so no combination may abort.
+
+TEST(KkGeneratorTest, ZeroTransactionsStillDrawsSeedPatterns) {
+  KkOptions options;
+  options.num_transactions = 0;
+  options.num_seed_patterns = 7;
+  options.seed = 10;
+  const KkResult r = GenerateKkTransactions(options);
+  EXPECT_TRUE(r.transactions.empty());
+  EXPECT_EQ(r.seed_patterns.size(), 7u);
+}
+
+TEST(KkGeneratorTest, EmptySeedPoolFallsBackToRandomEdges) {
+  KkOptions options;
+  options.num_transactions = 20;
+  options.num_seed_patterns = 0;
+  options.avg_transaction_edges = 8;
+  options.seed = 11;
+  const KkResult r = GenerateKkTransactions(options);
+  EXPECT_TRUE(r.seed_patterns.empty());
+  ASSERT_EQ(r.transactions.size(), 20u);
+  for (const auto& t : r.transactions) {
+    EXPECT_GE(t.num_edges(), 1u);
+    EXPECT_TRUE(t.IsDense());
+  }
+}
+
+TEST(KkGeneratorTest, LabelCardinalityOneAndBelowIsClamped) {
+  for (const int labels : {1, 0, -3}) {
+    KkOptions options;
+    options.num_transactions = 10;
+    options.num_vertex_labels = labels;
+    options.num_edge_labels = labels;
+    options.seed = 12;
+    const KkResult r = GenerateKkTransactions(options);
+    ASSERT_EQ(r.transactions.size(), 10u);
+    for (const auto& t : r.transactions) {
+      for (graph::VertexId v = 0; v < t.num_vertices(); ++v) {
+        EXPECT_EQ(t.vertex_label(v), 0);
+      }
+      t.ForEachEdge([&](graph::EdgeId e) { EXPECT_EQ(t.edge(e).label, 0); });
+    }
+  }
+}
+
+TEST(KkGeneratorTest, AllDegenerateParametersAtOnce) {
+  KkOptions options;
+  options.num_transactions = 0;
+  options.num_seed_patterns = 0;
+  options.num_vertex_labels = 0;
+  options.num_edge_labels = 0;
+  options.avg_transaction_edges = 0;
+  options.avg_pattern_edges = 0;
+  options.seed = 13;
+  const KkResult r = GenerateKkTransactions(options);
+  EXPECT_TRUE(r.transactions.empty());
+  EXPECT_TRUE(r.seed_patterns.empty());
+}
+
+TEST(KkGeneratorTest, TextureKnobsOffPreserveTheDefaultStream) {
+  // The scenario knobs must be RNG-inert at their defaults: a
+  // default-constructed KkOptions produces the byte-identical stream it
+  // always has (the statistical tests above depend on it).
+  KkOptions plain;
+  plain.num_transactions = 30;
+  plain.seed = 14;
+  KkOptions with_defaults = plain;
+  with_defaults.hub_skew = 0.0;
+  with_defaults.seasonality_period = 0;
+  with_defaults.disruption_rate = 0.0;
+  with_defaults.motif_concentration = 0.0;
+  const KkResult a = GenerateKkTransactions(plain);
+  const KkResult b = GenerateKkTransactions(with_defaults);
+  ASSERT_EQ(a.transactions.size(), b.transactions.size());
+  for (std::size_t i = 0; i < a.transactions.size(); ++i) {
+    EXPECT_EQ(iso::CanonicalCode(a.transactions[i]),
+              iso::CanonicalCode(b.transactions[i]));
+  }
+}
+
+TEST(KkGeneratorTest, TextureKnobsProduceDenseTransactions) {
+  KkOptions options;
+  options.num_transactions = 40;
+  options.avg_transaction_edges = 10;
+  options.hub_skew = 1.2;
+  options.seasonality_period = 2;
+  options.disruption_rate = 0.5;
+  options.motif_concentration = 1.0;
+  options.seed = 15;
+  const KkResult r = GenerateKkTransactions(options);
+  ASSERT_EQ(r.transactions.size(), 40u);
+  for (const auto& t : r.transactions) {
+    EXPECT_TRUE(t.IsDense());
+    EXPECT_GE(t.num_edges(), 1u);
+  }
+}
+
+TEST(KkGeneratorTest, HubSkewConcentratesDegree) {
+  KkOptions uniform;
+  uniform.num_transactions = 60;
+  uniform.num_seed_patterns = 0;  // pure random-edge transactions
+  uniform.avg_transaction_edges = 30;
+  uniform.seed = 16;
+  KkOptions skewed = uniform;
+  skewed.hub_skew = 1.5;
+  auto max_degree_share = [](const KkResult& r) {
+    double total = 0;
+    for (const auto& t : r.transactions) {
+      std::vector<std::size_t> degree(t.num_vertices(), 0);
+      t.ForEachEdge([&](graph::EdgeId e) {
+        degree[t.edge(e).src]++;
+        degree[t.edge(e).dst]++;
+      });
+      std::size_t max_degree = 0;
+      for (const std::size_t d : degree) max_degree = std::max(max_degree, d);
+      total += static_cast<double>(max_degree) /
+               static_cast<double>(2 * t.num_edges());
+    }
+    return total / static_cast<double>(r.transactions.size());
+  };
+  EXPECT_GT(max_degree_share(GenerateKkTransactions(skewed)),
+            max_degree_share(GenerateKkTransactions(uniform)));
+}
+
 TEST(PlantedTest, GroundTruthEmbedded) {
   PlantedOptions options;
   options.num_patterns = 4;
@@ -158,6 +287,49 @@ TEST(PlantedTest, RecallMeasure) {
   }
   EXPECT_DOUBLE_EQ(PatternRecall(r.patterns, mined), 0.5);
   EXPECT_DOUBLE_EQ(PatternRecall({}, mined), 0.0);
+}
+
+// --- Scenario configs (the fuzz-replay artifact format) -------------------
+
+TEST(ScenarioTest, SerializeParseRoundTripsExactly) {
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const ScenarioConfig config = DrawScenario(rng);
+    const std::string text = SerializeScenario(config);
+    ScenarioConfig parsed;
+    std::string error;
+    ASSERT_TRUE(ParseScenario(text, &parsed, &error)) << error;
+    // Byte-identical re-serialization == every field (doubles included)
+    // survived the round trip exactly.
+    EXPECT_EQ(SerializeScenario(parsed), text);
+  }
+}
+
+TEST(ScenarioTest, DrawIsDeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(SerializeScenario(DrawScenario(a)),
+            SerializeScenario(DrawScenario(b)));
+  EXPECT_NE(SerializeScenario(DrawScenario(a)),
+            SerializeScenario(DrawScenario(c)));
+}
+
+TEST(ScenarioTest, ParseIgnoresSidecarMetadataLines) {
+  Rng rng(100);
+  const ScenarioConfig config = DrawScenario(rng);
+  const std::string text = "oracle: miner_equiv\ndetail: some prose\n" +
+                           SerializeScenario(config) + "not a key line\n";
+  ScenarioConfig parsed;
+  ASSERT_TRUE(ParseScenario(text, &parsed, nullptr));
+  EXPECT_EQ(SerializeScenario(parsed), SerializeScenario(config));
+}
+
+TEST(ScenarioTest, ParseRejectsMalformedValues) {
+  std::string error;
+  EXPECT_FALSE(ParseScenario("min_support: -1\n", nullptr, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseScenario("budget_fraction: nan\n", nullptr, nullptr));
+  EXPECT_FALSE(ParseScenario("partitioner: metis\n", nullptr, nullptr));
+  EXPECT_FALSE(ParseScenario("num_threads: 0\n", nullptr, nullptr));
 }
 
 }  // namespace
