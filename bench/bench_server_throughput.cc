@@ -1,0 +1,243 @@
+// bench_server_throughput — mixed multi-client workload against an
+// in-process tnmined Server (DESIGN.md §14).
+//
+// Phase 1 (warmup) issues every distinct mining request once, serially:
+// all cache misses, so the mining counters in the RunReport are the
+// deterministic single-threaded mining cost of the request set. Phase 2
+// (mixed) hammers the server from NUM_CLIENTS concurrent connections
+// with a fixed per-client schedule of cached mining requests, pings, and
+// stats calls, and reports requests/sec and latency percentiles.
+//
+// The request schedule is fixed, so the server/cache_* counters are
+// exact: every phase-2 mining request must hit. The binary exits
+// non-zero if the hit ratio is not 100% — a silent cache regression
+// would otherwise masquerade as a latency win (the miss costs more but
+// mining time hides inside the same row).
+//
+// Output: paper-style rows on stdout, BENCH_server_throughput.json
+// (JsonRowWriter rows; only "seconds" is volatile) in the working
+// directory, and the RunReport via RunReportScope
+// (TNMINE_RUNREPORT_OUT). Volatile throughput numbers (rps, p50/p99) go
+// to stdout and the RunReport's extra fields, NOT into row fields — the
+// regression checker matches rows on every non-"seconds" field.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generator.h"
+#include "server/json.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace {
+
+using namespace tnmine;
+
+constexpr std::size_t kNumClients = 8;
+constexpr std::size_t kRequestsPerClient = 32;
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+server::JsonValue MiningRequest(const std::string& op,
+                                server::JsonValue::Object params) {
+  // threads is pinned so the warmup mining counters are machine-stable.
+  params.emplace("threads", server::JsonValue(2));
+  server::JsonValue request = server::JsonValue::MakeObject();
+  request.Set("op", op);
+  request.Set("params", server::JsonValue(std::move(params)));
+  return request;
+}
+
+/// The distinct mining requests this bench exercises. Phase 1 mines each
+/// once; phase 2 replays them from the cache.
+std::vector<server::JsonValue> MiningRequests() {
+  std::vector<server::JsonValue> requests;
+  for (int support : {8, 9, 10, 11}) {
+    requests.push_back(MiningRequest(
+        "structural", {{"support", server::JsonValue(support)},
+                       {"top", server::JsonValue(3)}}));
+  }
+  requests.push_back(MiningRequest(
+      "temporal", {{"support_fraction", server::JsonValue(0.05)}}));
+  requests.push_back(MiningRequest(
+      "temporal", {{"support_fraction", server::JsonValue(0.08)}}));
+  return requests;
+}
+
+server::JsonValue Op(const char* op) {
+  server::JsonValue request = server::JsonValue::MakeObject();
+  request.Set("op", op);
+  return request;
+}
+
+}  // namespace
+
+int main() {
+  bench::RunReportScope report("server_throughput");
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string base = tmpdir != nullptr && tmpdir[0] != '\0'
+                               ? std::string(tmpdir)
+                               : std::string("/tmp");
+  const std::string pid = std::to_string(static_cast<long>(::getpid()));
+  const std::string data_path = base + "/bench_server_" + pid + ".csv";
+  const std::string socket_path = base + "/bench_server_" + pid + ".sock";
+
+  data::GeneratorConfig config = data::GeneratorConfig::SmallScale();
+  config.seed = 7;
+  std::string error;
+  if (!data::GenerateTransportData(config).SaveCsv(data_path, &error)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", data_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  server::ServerOptions options;
+  options.listen = "unix:" + socket_path;
+  options.snapshot_path = data_path;
+  options.max_inflight = kNumClients;
+  server::Server srv(options);
+  if (!srv.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  bench::JsonRowWriter json("BENCH_server_throughput.json");
+  const std::vector<server::JsonValue> mining = MiningRequests();
+
+  bench::Section("Phase 1: serial warmup (every request is a miss)");
+  const auto warm_start = std::chrono::steady_clock::now();
+  {
+    server::BlockingClient client;
+    if (!client.Connect(srv.address(), &error)) {
+      std::fprintf(stderr, "connect: %s\n", error.c_str());
+      return 1;
+    }
+    for (const server::JsonValue& request : mining) {
+      server::JsonValue response;
+      if (!client.Call(request, &response, &error) ||
+          !response.Get("ok").AsBool()) {
+        std::fprintf(stderr, "warmup request failed: %s\n", error.c_str());
+        return 1;
+      }
+    }
+  }
+  const double warm_seconds =
+      Seconds(warm_start, std::chrono::steady_clock::now());
+  bench::Row("warmup requests", mining.size());
+  bench::Row("warmup seconds", warm_seconds);
+  json.BeginRow();
+  json.Field("bench", "server_warmup");
+  json.Field("requests", mining.size());
+  json.Field("seconds", warm_seconds);
+  json.EndRow();
+
+  bench::Section("Phase 2: mixed concurrent workload (all hits)");
+  // Fixed per-client schedule: 2 cached mining requests, a ping, and a
+  // stats call, repeated. Every client holds one connection for its
+  // whole schedule (the CLI usage pattern).
+  std::vector<std::vector<double>> latencies(kNumClients);
+  std::vector<std::thread> clients;
+  std::size_t expected_hits = 0;
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+      if (i % 4 < 2) ++expected_hits;
+    }
+  }
+  const auto mixed_start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&, c] {
+      server::BlockingClient client;
+      std::string client_error;
+      if (!client.Connect(srv.address(), &client_error)) return;
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        const server::JsonValue& request =
+            i % 4 == 0   ? mining[(c + i) % mining.size()]
+            : i % 4 == 1 ? mining[(c + i + 1) % mining.size()]
+            : i % 4 == 2 ? Op("ping")
+                         : Op("stats");
+        server::JsonValue response;
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!client.Call(request, &response, &client_error)) return;
+        latencies[c].push_back(
+            Seconds(t0, std::chrono::steady_clock::now()));
+        if (!response.Get("ok").AsBool()) return;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double mixed_seconds =
+      Seconds(mixed_start, std::chrono::steady_clock::now());
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  const std::size_t total = kNumClients * kRequestsPerClient;
+  if (all.size() != total) {
+    std::fprintf(stderr, "only %zu/%zu requests completed\n", all.size(),
+                 total);
+    return 1;
+  }
+  std::sort(all.begin(), all.end());
+  const double p50 = all[all.size() / 2];
+  const double p99 = all[all.size() * 99 / 100];
+  const double rps = static_cast<double>(total) / mixed_seconds;
+
+  bench::Row("clients", kNumClients);
+  bench::Row("requests", total);
+  bench::Row("seconds", mixed_seconds);
+  bench::Row("requests/sec", rps);
+  bench::Row("p50 latency (ms)", p50 * 1e3);
+  bench::Row("p99 latency (ms)", p99 * 1e3);
+  json.BeginRow();
+  json.Field("bench", "server_mixed");
+  json.Field("clients", kNumClients);
+  json.Field("requests", total);
+  json.Field("seconds", mixed_seconds);
+  json.EndRow();
+
+  bench::Section("Cache accounting (must be exact)");
+  const auto& cache = srv.cache();
+  bench::Row("cache hits", static_cast<std::size_t>(cache.hits()));
+  bench::Row("cache misses", static_cast<std::size_t>(cache.misses()));
+  bench::Row("cache entries", cache.entries());
+  const double hit_ratio =
+      static_cast<double>(cache.hits()) /
+      static_cast<double>(cache.hits() + cache.misses());
+  bench::Row("hit ratio", hit_ratio);
+
+  report.AddField("rps", std::to_string(rps));
+  report.AddField("p50_ms", std::to_string(p50 * 1e3));
+  report.AddField("p99_ms", std::to_string(p99 * 1e3));
+  report.AddField("hit_ratio", std::to_string(hit_ratio));
+
+  srv.Stop();
+  std::remove(data_path.c_str());
+
+  // The schedule is fixed: phase 1 misses once per distinct request,
+  // phase 2 must hit on every mining request.
+  if (cache.misses() != mining.size() ||
+      cache.hits() != expected_hits) {
+    std::fprintf(stderr,
+                 "cache accounting drifted: %llu misses (want %zu), "
+                 "%llu hits (want %zu)\n",
+                 static_cast<unsigned long long>(cache.misses()),
+                 mining.size(),
+                 static_cast<unsigned long long>(cache.hits()),
+                 expected_hits);
+    return 1;
+  }
+  return 0;
+}

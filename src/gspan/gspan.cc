@@ -159,7 +159,20 @@ struct Miner {
     std::unordered_map<Extension, std::vector<Emb>, ExtensionHash>
         extensions;
     extensions.reserve(embs.size() * 4);
+    std::size_t scanned = 0;
     for (const Emb& emb : embs) {
+      // Low-support patterns can have embedding lists large enough that
+      // one scan runs for seconds; poll the shared stop conditions at a
+      // stride so cancellation (client disconnect, SIGINT, deadline) is
+      // observed mid-scan instead of only between Grow calls. Poll spends
+      // no ticks, so tick-budget determinism is unaffected.
+      if ((scanned++ & 255) == 255) {
+        const common::MiningOutcome stop = meter.Poll();
+        if (stop != common::MiningOutcome::kComplete) {
+          result.outcome = common::CombineOutcomes(result.outcome, stop);
+          return;
+        }
+      }
       const graph::GraphView& t = views[emb.tid];
       // Occupancy for O(log n) membership tests.
       auto edge_used = [&](EdgeId e) {
@@ -240,6 +253,13 @@ struct Miner {
     for (auto& [ext, raw_embs] : ordered) {
       // A child subtree that ran out of budget stops its siblings too.
       if (result.outcome != common::MiningOutcome::kComplete) break;
+      // Same prompt-cancellation poll as the extension scan above: the
+      // dedup sort below is heavy for fat extension lists.
+      const common::MiningOutcome stop = meter.Poll();
+      if (stop != common::MiningOutcome::kComplete) {
+        result.outcome = common::CombineOutcomes(result.outcome, stop);
+        break;
+      }
       // Deduplicate identical embeddings (the same occurrence can be
       // reached from several parent embeddings related by automorphism —
       // keep distinct (tid, vertex map, edge set) triples only) and apply

@@ -1,0 +1,399 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tnmine::server {
+
+namespace {
+
+const JsonValue& NullValue() {
+  static const JsonValue kNull;
+  return kNull;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Strict parser over a bounded string_view. Positions are advanced only
+/// on successful matches; the first error wins.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out, 0)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!Literal("null")) return Fail("bad literal");
+        *out = JsonValue();
+        return true;
+      case 't':
+        if (!Literal("true")) return Fail("bad literal");
+        *out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!Literal("false")) return Fail("bad literal");
+        *out = JsonValue(false);
+        return true;
+      case '"':
+        return ParseString(out);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(JsonValue* out) {
+    std::string s;
+    if (!ParseRawString(&s)) return false;
+    *out = JsonValue(std::move(s));
+    return true;
+  }
+
+  bool ParseRawString(std::string* s) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return Fail("truncated escape");
+        const char e = text_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"':
+            s->push_back('"');
+            break;
+          case '\\':
+            s->push_back('\\');
+            break;
+          case '/':
+            s->push_back('/');
+            break;
+          case 'b':
+            s->push_back('\b');
+            break;
+          case 'f':
+            s->push_back('\f');
+            break;
+          case 'n':
+            s->push_back('\n');
+            break;
+          case 'r':
+            s->push_back('\r');
+            break;
+          case 't':
+            s->push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u digit");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the code point (surrogate pairs are passed
+            // through as two 3-byte sequences; the protocol only needs
+            // ASCII + escaped control bytes to round-trip).
+            if (code < 0x80) {
+              s->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              s->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              s->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              s->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              s->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              s->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      s->push_back(c);
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                 c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    if (integral) {
+      errno = 0;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size() && errno == 0) {
+        *out = JsonValue(static_cast<std::int64_t>(v));
+        return true;
+      }
+    }
+    errno = 0;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("bad number");
+    *out = JsonValue(d);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    JsonValue::Array items;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = JsonValue(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      SkipSpace();
+      if (!ParseValue(&item, depth + 1)) return false;
+      items.push_back(std::move(item));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = JsonValue(std::move(items));
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = JsonValue(std::move(members));
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected member name");
+      }
+      std::string key;
+      if (!ParseRawString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      members[std::move(key)] = std::move(value);
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = JsonValue(std::move(members));
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::Get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return NullValue();
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? NullValue() : it->second;
+}
+
+bool JsonValue::Has(std::string_view key) const {
+  return kind_ == Kind::kObject && object_.contains(std::string(key));
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  if (kind_ != Kind::kObject) {
+    *this = MakeObject();
+  }
+  object_[std::move(key)] = std::move(v);
+}
+
+void JsonValue::SerializeTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        *out += "null";
+        return;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      *out += buf;
+      return;
+    }
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.SerializeTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscaped(out, key);
+        out->push_back(':');
+        value.SerializeTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  out.reserve(64);
+  SerializeTo(&out);
+  return out;
+}
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out,
+                      std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser parser(text, error);
+  return parser.ParseDocument(out);
+}
+
+}  // namespace tnmine::server

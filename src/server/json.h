@@ -1,0 +1,110 @@
+#ifndef TNMINE_SERVER_JSON_H_
+#define TNMINE_SERVER_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tnmine::server {
+
+/// Minimal JSON document model for the tnmined wire protocol — no
+/// external dependency, and deliberately *canonical* on output: object
+/// members are held in a std::map, so serializing any Value yields the
+/// unique byte sequence with sorted keys and no insignificant
+/// whitespace. The result cache stores serialized payloads keyed by
+/// serialized params, and this canonical form is what makes "identical
+/// params" and "byte-identical response" well-defined (DESIGN.md §14).
+///
+/// Numbers are kept as int64 when the literal is integral (no '.', 'e',
+/// or overflow), double otherwise; integral values round-trip exactly.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::uint64_t u)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(u)) {}
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+  JsonValue(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  JsonValue(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  static JsonValue MakeObject() { return JsonValue(Object{}); }
+  static JsonValue MakeArray() { return JsonValue(Array{}); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool AsBool(bool fallback = false) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  std::int64_t AsInt(std::int64_t fallback = 0) const {
+    if (kind_ == Kind::kInt) return int_;
+    if (kind_ == Kind::kDouble) return static_cast<std::int64_t>(double_);
+    return fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    if (kind_ == Kind::kDouble) return double_;
+    if (kind_ == Kind::kInt) return static_cast<double>(int_);
+    return fallback;
+  }
+  const std::string& AsString() const { return string_; }
+  std::string AsString(const std::string& fallback) const {
+    return kind_ == Kind::kString ? string_ : fallback;
+  }
+
+  const Array& array() const { return array_; }
+  Array& array() { return array_; }
+  const Object& object() const { return object_; }
+  Object& object() { return object_; }
+
+  /// Object member access; `Get` returns null for absent keys or when
+  /// this value is not an object.
+  const JsonValue& Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+  /// Sets a member (this value must be an object).
+  void Set(std::string key, JsonValue v);
+
+  /// Canonical compact serialization: sorted object keys, no whitespace,
+  /// "\uXXXX" escapes for control characters. Doubles use %.17g (exact
+  /// round-trip); NaN/Inf serialize as null (JSON has no spelling for
+  /// them).
+  std::string Serialize() const;
+  void SerializeTo(std::string* out) const;
+
+  /// Strict recursive-descent parse of one JSON document (trailing
+  /// whitespace allowed, trailing garbage is an error; nesting capped at
+  /// 64). Returns false and sets `error` on malformed input.
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace tnmine::server
+
+#endif  // TNMINE_SERVER_JSON_H_

@@ -1,0 +1,93 @@
+#include "server/result_cache.h"
+
+#include "common/telemetry.h"
+
+namespace tnmine::server {
+
+bool ResultCache::Lookup(const std::string& key, std::string* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end() || capacity_bytes_ == 0) {
+    ++misses_;
+    TNMINE_COUNTER_ADD("server/cache_misses", 1);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *payload = it->second->payload;
+  ++hits_;
+  TNMINE_COUNTER_ADD("server/cache_hits", 1);
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_bytes_ == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= EntryBytes(*it->second);
+    it->second->payload = payload;
+    bytes_ += EntryBytes(*it->second);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, payload});
+    if (EntryBytes(lru_.front()) > capacity_bytes_) {
+      // Larger than the whole cache: not admissible.
+      lru_.pop_front();
+      return;
+    }
+    bytes_ += EntryBytes(lru_.front());
+    index_[key] = lru_.begin();
+  }
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= EntryBytes(victim);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    TNMINE_COUNTER_ADD("server/cache_evictions", 1);
+  }
+  TNMINE_GAUGE_SET("server/cache_bytes", bytes_);
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  ++invalidations_;
+  TNMINE_COUNTER_ADD("server/cache_invalidations", 1);
+  TNMINE_GAUGE_SET("server/cache_bytes", 0);
+}
+
+std::uint64_t ResultCache::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::uint64_t ResultCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
+}
+
+}  // namespace tnmine::server

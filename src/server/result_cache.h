@@ -1,0 +1,85 @@
+#ifndef TNMINE_SERVER_RESULT_CACHE_H_
+#define TNMINE_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace tnmine::server {
+
+/// Keyed mining-result cache (DESIGN.md §14), in the spirit of
+/// ClickHouse's saved-subquery-result buffer: the key is
+///
+///   snapshot fingerprint × snapshot version × miner op ×
+///   canonicalized params
+///
+/// rendered as one string (the canonical JSON serialization of the
+/// params object makes "identical params" exact), and the value is the
+/// serialized response payload — stored verbatim, so a cache hit is
+/// byte-identical to the freshly mined response by construction.
+///
+/// Bounded LRU: entries are evicted least-recently-used first once
+/// MemoryBytes() exceeds the capacity. Loading a new snapshot calls
+/// Clear() (the snapshot version in the key already prevents stale hits;
+/// clearing also returns the memory). Thread-safe; every method takes
+/// the one internal mutex — the cache holds small serialized strings and
+/// is never on a mining hot path.
+class ResultCache {
+ public:
+  /// `capacity_bytes` bounds MemoryBytes(); 0 disables caching entirely
+  /// (Lookup always misses, Insert is a no-op).
+  explicit ResultCache(std::uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Returns true and copies the cached payload on a hit; the entry
+  /// becomes most-recently-used. Counts a miss otherwise.
+  bool Lookup(const std::string& key, std::string* payload);
+
+  /// Inserts (or refreshes) `key`, then evicts LRU entries until the
+  /// cache fits the capacity again. An entry larger than the whole
+  /// capacity is not admitted.
+  void Insert(const std::string& key, const std::string& payload);
+
+  /// Drops every entry (snapshot reload). Counts one invalidation.
+  void Clear();
+
+  /// Estimated resident bytes: keys + payloads + fixed per-entry
+  /// overhead.
+  std::uint64_t MemoryBytes() const;
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t entries() const;
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::uint64_t invalidations() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string payload;
+  };
+
+  static std::uint64_t EntryBytes(const Entry& e) {
+    return e.key.size() + e.payload.size() + kEntryOverheadBytes;
+  }
+
+  /// Approximate bookkeeping cost per entry (list node + map slot).
+  static constexpr std::uint64_t kEntryOverheadBytes = 128;
+
+  mutable std::mutex mu_;
+  std::uint64_t capacity_bytes_;
+  std::uint64_t bytes_ = 0;                 // guarded by mu_
+  std::list<Entry> lru_;                    // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace tnmine::server
+
+#endif  // TNMINE_SERVER_RESULT_CACHE_H_

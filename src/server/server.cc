@@ -1,0 +1,744 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <span>
+#include <utility>
+
+#include "common/telemetry.h"
+#include "core/interestingness.h"
+#include "core/miner.h"
+#include "pattern/render.h"
+
+namespace tnmine::server {
+
+namespace {
+
+/// FNV-1a 64 over a file's bytes, rendered as 16 hex digits. Returns
+/// false when the file cannot be read.
+bool FingerprintFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::uint64_t h = 1469598103934665603ull;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(buf[i]);
+      h *= 1099511628211ull;
+    }
+    if (in.eof()) break;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  *out = hex;
+  return true;
+}
+
+/// Declares one knob of a mining-params schema: every request param is
+/// resolved against these (defaults filled in), so two requests that
+/// spell the same effective configuration differently still map to the
+/// same canonical params object — and therefore the same cache key.
+struct ParamSpec {
+  const char* name;
+  std::int64_t default_int;
+  const char* default_string;  // nullptr = integer knob
+  double default_double;
+  bool is_double;
+};
+
+constexpr ParamSpec kStructuralParams[] = {
+    {"attribute", 0, "weight", 0, false},
+    {"strategy", 0, "bf", 0, false},
+    {"miner", 0, "fsg", 0, false},
+    {"k", 40, nullptr, 0, false},
+    {"support", 10, nullptr, 0, false},
+    {"max_edges", 3, nullptr, 0, false},
+    {"reps", 1, nullptr, 0, false},
+    {"seed", 1, nullptr, 0, false},
+    {"threads", 0, nullptr, 0, false},
+    {"top", 5, nullptr, 0, false},
+    {"deadline_ms", 0, nullptr, 0, false},
+    {"max_work_ticks", 0, nullptr, 0, false},
+    {"max_memory_mb", 0, nullptr, 0, false},
+};
+
+constexpr ParamSpec kTemporalParams[] = {
+    {"support_fraction", 0, nullptr, 0.05, true},
+    {"max_edges", 3, nullptr, 0, false},
+    {"max_labels", 0, nullptr, 0, false},
+    {"threads", 0, nullptr, 0, false},
+    {"top", 5, nullptr, 0, false},
+    {"deadline_ms", 0, nullptr, 0, false},
+    {"max_work_ticks", 0, nullptr, 0, false},
+    {"max_memory_mb", 0, nullptr, 0, false},
+};
+
+/// Resolves request params against a schema into the canonical params
+/// object. Unknown keys and wrong types are errors (a typoed knob must
+/// not silently become a distinct cache key for the default config).
+bool CanonicalizeParams(const JsonValue& given,
+                        std::span<const ParamSpec> schema,
+                        JsonValue* canonical, std::string* error) {
+  *canonical = JsonValue::MakeObject();
+  if (!given.is_null() && !given.is_object()) {
+    *error = "params must be an object";
+    return false;
+  }
+  for (const ParamSpec& spec : schema) {
+    const JsonValue& v = given.Get(spec.name);
+    if (spec.default_string != nullptr) {
+      if (!v.is_null() && !v.is_string()) {
+        *error = std::string("param '") + spec.name + "' must be a string";
+        return false;
+      }
+      canonical->Set(spec.name, v.AsString(spec.default_string));
+    } else if (spec.is_double) {
+      if (!v.is_null() && !v.is_number()) {
+        *error = std::string("param '") + spec.name + "' must be a number";
+        return false;
+      }
+      canonical->Set(spec.name,
+                     v.is_null() ? spec.default_double : v.AsDouble());
+    } else {
+      if (!v.is_null() && v.kind() != JsonValue::Kind::kInt) {
+        *error =
+            std::string("param '") + spec.name + "' must be an integer";
+        return false;
+      }
+      canonical->Set(spec.name,
+                     v.is_null() ? spec.default_int : v.AsInt());
+    }
+  }
+  if (given.is_object()) {
+    for (const auto& [key, unused] : given.object()) {
+      bool known = false;
+      for (const ParamSpec& spec : schema) {
+        if (key == spec.name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        *error = "unknown param '" + key + "'";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Budget for one request: request knobs first, the server's default
+/// ceilings on any dimension the request leaves unlimited.
+common::ResourceBudget BudgetFor(
+    const JsonValue& params, const common::BudgetLimits& defaults,
+    const std::shared_ptr<common::CancelToken>& token) {
+  common::BudgetLimits limits;
+  limits.deadline_ms =
+      static_cast<std::uint64_t>(params.Get("deadline_ms").AsInt());
+  limits.max_work_ticks =
+      static_cast<std::uint64_t>(params.Get("max_work_ticks").AsInt());
+  limits.max_memory_bytes =
+      static_cast<std::uint64_t>(params.Get("max_memory_mb").AsInt())
+      << 20;
+  if (limits.deadline_ms == 0) limits.deadline_ms = defaults.deadline_ms;
+  if (limits.max_work_ticks == 0) {
+    limits.max_work_ticks = defaults.max_work_ticks;
+  }
+  if (limits.max_memory_bytes == 0) {
+    limits.max_memory_bytes = defaults.max_memory_bytes;
+  }
+  return common::ResourceBudget(limits, token);
+}
+
+JsonValue RenderPatterns(
+    const std::vector<const pattern::FrequentPattern*>& ranked,
+    std::size_t top, const Discretizer* bins) {
+  JsonValue patterns = JsonValue::MakeArray();
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    JsonValue p = JsonValue::MakeObject();
+    p.Set("support", ranked[i]->support);
+    p.Set("vertices", ranked[i]->graph.num_vertices());
+    p.Set("edges", ranked[i]->graph.num_edges());
+    p.Set("render", pattern::RenderPattern(*ranked[i], bins));
+    patterns.array().push_back(std::move(p));
+  }
+  return patterns;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_bytes) {}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start(std::string* error) {
+  if (!ListenAddress::Parse(options_.listen, &bound_address_, error)) {
+    return false;
+  }
+  if (!options_.snapshot_path.empty() &&
+      !LoadSnapshot(options_.snapshot_path, error)) {
+    return false;
+  }
+  if (bound_address_.is_unix) {
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    if (bound_address_.unix_path.size() >= sizeof(sun.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return false;
+    }
+    std::memcpy(sun.sun_path, bound_address_.unix_path.c_str(),
+                bound_address_.unix_path.size() + 1);
+    ::unlink(bound_address_.unix_path.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0 ||
+        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sun),
+               sizeof(sun)) != 0) {
+      if (error != nullptr) {
+        *error = "bind " + bound_address_.unix_path + ": " +
+                 std::strerror(errno);
+      }
+      return false;
+    }
+  } else {
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(bound_address_.port);
+    if (::inet_pton(AF_INET, bound_address_.host.c_str(),
+                    &sin.sin_addr) != 1) {
+      if (error != nullptr) *error = "bad host " + bound_address_.host;
+      return false;
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = "socket: ";
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sin),
+               sizeof(sin)) != 0) {
+      if (error != nullptr) {
+        *error = "bind " + bound_address_.ToString() + ": " +
+                 std::strerror(errno);
+      }
+      return false;
+    }
+    socklen_t len = sizeof(sin);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&sin),
+                      &len) == 0) {
+      bound_address_.port = ntohs(sin.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr) {
+      *error = std::string("listen: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  start_time_ = std::chrono::steady_clock::now();
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  watch_thread_ = std::thread([this] { WatchLoop(); });
+  return true;
+}
+
+void Server::Stop() {
+  if (!started_ || stop_.exchange(true)) {
+    stop_.store(true);
+    return;
+  }
+  // Unblock accept() and every connection's blocking read.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    for (const WatchedRequest& w : watched_) w.token->RequestCancel();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (watch_thread_.joinable()) watch_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (bound_address_.is_unix) {
+    ::unlink(bound_address_.unix_path.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  while (!shutdown_requested_ &&
+         !signal_shutdown_.load(std::memory_order_relaxed)) {
+    shutdown_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+std::string Server::address() const { return bound_address_.ToString(); }
+
+bool Server::LoadSnapshot(const std::string& path, std::string* error) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->path = path;
+  if (!FingerprintFile(path, &snap->fingerprint)) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  if (!data::TransactionDataset::LoadCsv(path, &snap->dataset, error)) {
+    return false;
+  }
+  snap->od_weight = data::BuildOdGw(snap->dataset);
+  snap->od_hours = data::BuildOdTh(snap->dataset);
+  snap->od_distance = data::BuildOdTd(snap->dataset);
+  snap->view =
+      std::make_shared<const graph::GraphView>(snap->od_weight.graph);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snap->version = next_snapshot_version_++;
+    snapshot_ = std::move(snap);
+  }
+  cache_.Clear();
+  snapshots_loaded_.fetch_add(1, std::memory_order_relaxed);
+  TNMINE_COUNTER_ADD("server/snapshots_loaded", 1);
+  return true;
+}
+
+std::shared_ptr<const Snapshot> Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void Server::AcceptLoop() {
+  // Wait with a timeout instead of blocking in accept(): shutdown() on a
+  // *listening* socket does not reliably unblock accept() (AF_UNIX on
+  // Linux in particular), so Stop() only has to flip stop_ and join.
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      if (stop_.load()) return;
+      // Listen socket gone bad; nothing useful left to do.
+      return;
+    }
+    if (stop_.load()) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::WatchLoop() {
+  // Poll every watched in-flight request's socket; a peer that vanished
+  // (orderly close or reset) fires that request's CancelToken, and the
+  // miner unwinds cooperatively at its next budget poll.
+  while (!stop_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      for (const WatchedRequest& w : watched_) {
+        char b;
+        const ssize_t r =
+            ::recv(w.fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (r == 0 ||
+            (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+             errno != EINTR)) {
+          w.token->RequestCancel();
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::string payload;
+  while (!stop_.load() && ReadFrame(fd, &payload)) {
+    JsonValue request;
+    std::string parse_error;
+    JsonValue response;
+    if (!JsonValue::Parse(payload, &request, &parse_error) ||
+        !request.is_object()) {
+      response = ErrorResponse("", "bad_request",
+                               "request is not a JSON object: " +
+                                   parse_error);
+      WriteFrame(fd, response.Serialize());
+      break;  // framing may be out of sync — drop the connection
+    }
+    response = HandleRequest(request, fd);
+    if (!WriteFrame(fd, response.Serialize())) break;
+    if (request.Get("op").AsString() == "shutdown") break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+    if (*it == fd) {
+      conn_fds_.erase(it);
+      break;
+    }
+  }
+}
+
+JsonValue Server::ErrorResponse(const std::string& op,
+                                const std::string& code,
+                                const std::string& message) {
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", false);
+  if (!op.empty()) response.Set("op", op);
+  response.Set("code", code);
+  response.Set("error", message);
+  return response;
+}
+
+JsonValue Server::HandleRequest(const JsonValue& request, int fd) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  TNMINE_COUNTER_ADD("server/requests_total", 1);
+  const auto started = std::chrono::steady_clock::now();
+  const std::string op = request.Get("op").AsString();
+  JsonValue response;
+  if (op == "ping") {
+    response = JsonValue::MakeObject();
+    response.Set("ok", true);
+    response.Set("op", op);
+    JsonValue result = JsonValue::MakeObject();
+    result.Set("pong", true);
+    response.Set("result", std::move(result));
+  } else if (op == "stats") {
+    response = HandleStats();
+  } else if (op == "load_snapshot") {
+    response = HandleLoadSnapshot(request);
+  } else if (op == "structural" || op == "temporal") {
+    response = HandleMining(op, request, fd);
+  } else if (op == "shutdown") {
+    response = JsonValue::MakeObject();
+    response.Set("ok", true);
+    response.Set("op", op);
+    {
+      std::lock_guard<std::mutex> lock(shutdown_mu_);
+      shutdown_requested_ = true;
+    }
+    shutdown_cv_.notify_all();
+  } else {
+    response = ErrorResponse(op, "bad_request",
+                             op.empty() ? "missing op"
+                                        : "unknown op '" + op + "'");
+  }
+  if (request.Has("id")) {
+    response.Set("id", request.Get("id"));
+  }
+  if (response.Get("ok").AsBool()) {
+    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    requests_error_.fetch_add(1, std::memory_order_relaxed);
+    TNMINE_COUNTER_ADD("server/requests_error", 1);
+  }
+  TNMINE_HISTOGRAM_NANOS(
+      "server/request_nanos",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  return response;
+}
+
+JsonValue Server::HandleStats() {
+  JsonValue result = JsonValue::MakeObject();
+
+  JsonValue server = JsonValue::MakeObject();
+  server.Set("requests_total",
+             requests_total_.load(std::memory_order_relaxed));
+  server.Set("requests_ok", requests_ok_.load(std::memory_order_relaxed));
+  server.Set("requests_error",
+             requests_error_.load(std::memory_order_relaxed));
+  server.Set("requests_cancelled",
+             requests_cancelled_.load(std::memory_order_relaxed));
+  server.Set("admission_rejected",
+             admission_rejected_.load(std::memory_order_relaxed));
+  server.Set("snapshots_loaded",
+             snapshots_loaded_.load(std::memory_order_relaxed));
+  server.Set("inflight", inflight_.load(std::memory_order_relaxed));
+  server.Set("max_inflight", options_.max_inflight);
+  server.Set(
+      "uptime_seconds",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count());
+  result.Set("server", std::move(server));
+
+  JsonValue cache = JsonValue::MakeObject();
+  cache.Set("entries", cache_.entries());
+  cache.Set("bytes", cache_.MemoryBytes());
+  cache.Set("capacity_bytes", cache_.capacity_bytes());
+  cache.Set("hits", cache_.hits());
+  cache.Set("misses", cache_.misses());
+  cache.Set("evictions", cache_.evictions());
+  cache.Set("invalidations", cache_.invalidations());
+  result.Set("cache", std::move(cache));
+
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  if (snap != nullptr) {
+    JsonValue s = JsonValue::MakeObject();
+    s.Set("version", snap->version);
+    s.Set("fingerprint", snap->fingerprint);
+    s.Set("path", snap->path);
+    s.Set("transactions", snap->dataset.size());
+    s.Set("graph_vertices", snap->view->num_vertices());
+    s.Set("graph_edges", snap->view->num_edges());
+    result.Set("snapshot", std::move(s));
+  } else {
+    result.Set("snapshot", JsonValue());
+  }
+
+  // The telemetry RunReport, embedded verbatim: the same document the
+  // CLI's --metrics-out writes, served over the wire.
+  telemetry::RunReportOptions report_options;
+  report_options.binary = "tnmined";
+  report_options.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  JsonValue report;
+  if (JsonValue::Parse(telemetry::RenderRunReport(report_options),
+                       &report, nullptr)) {
+    result.Set("report", std::move(report));
+  }
+
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", true);
+  response.Set("op", "stats");
+  response.Set("result", std::move(result));
+  return response;
+}
+
+JsonValue Server::HandleLoadSnapshot(const JsonValue& request) {
+  const std::string path =
+      request.Get("params").Get("path").AsString(std::string());
+  if (path.empty()) {
+    return ErrorResponse("load_snapshot", "bad_request",
+                         "params.path is required");
+  }
+  std::string error;
+  if (!LoadSnapshot(path, &error)) {
+    return ErrorResponse("load_snapshot", "load_failed", error);
+  }
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("version", snap->version);
+  result.Set("fingerprint", snap->fingerprint);
+  result.Set("transactions", snap->dataset.size());
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", true);
+  response.Set("op", "load_snapshot");
+  response.Set("result", std::move(result));
+  return response;
+}
+
+bool Server::TryAdmit() {
+  std::size_t cur = inflight_.load(std::memory_order_relaxed);
+  do {
+    if (cur >= options_.max_inflight) return false;
+  } while (!inflight_.compare_exchange_weak(cur, cur + 1,
+                                            std::memory_order_relaxed));
+  return true;
+}
+
+void Server::Release() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::RegisterWatch(
+    int fd, const std::shared_ptr<common::CancelToken>& token) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  watched_.push_back(WatchedRequest{fd, token});
+}
+
+void Server::UnregisterWatch(int fd) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  for (auto it = watched_.begin(); it != watched_.end(); ++it) {
+    if (it->fd == fd) {
+      watched_.erase(it);
+      return;
+    }
+  }
+}
+
+JsonValue Server::HandleMining(const std::string& op,
+                               const JsonValue& request, int fd) {
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  if (snap == nullptr) {
+    return ErrorResponse(op, "no_snapshot",
+                         "no snapshot loaded (use load_snapshot)");
+  }
+  JsonValue params;
+  std::string error;
+  const std::span<const ParamSpec> schema =
+      op == "structural" ? std::span<const ParamSpec>(kStructuralParams)
+                         : std::span<const ParamSpec>(kTemporalParams);
+  if (!CanonicalizeParams(request.Get("params"), schema, &params,
+                          &error)) {
+    return ErrorResponse(op, "bad_request", error);
+  }
+
+  const std::string key = op + "|" + snap->fingerprint + "|v" +
+                          std::to_string(snap->version) + "|" +
+                          params.Serialize();
+  std::string payload;
+  bool cached = cache_.Lookup(key, &payload);
+  std::string outcome_label = "complete";
+  if (!cached) {
+    if (!TryAdmit()) {
+      admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+      TNMINE_COUNTER_ADD("server/admission_rejected", 1);
+      return ErrorResponse(op, "overloaded",
+                           "too many mining requests in flight");
+    }
+    auto token = std::make_shared<common::CancelToken>();
+    RegisterWatch(fd, token);
+    const common::ResourceBudget budget =
+        BudgetFor(params, options_.default_limits, token);
+    try {
+      payload = MineResult(op, params, *snap, budget, &outcome_label);
+    } catch (const std::exception& e) {
+      UnregisterWatch(fd);
+      Release();
+      return ErrorResponse(op, "internal", e.what());
+    }
+    UnregisterWatch(fd);
+    Release();
+    if (outcome_label == "cancelled") {
+      requests_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      TNMINE_COUNTER_ADD("server/requests_cancelled", 1);
+    }
+    // Only complete results are cached: deadline/memory truncation
+    // depends on wall clock and allocator state, so a truncated payload
+    // is not a deterministic function of the key.
+    if (outcome_label == "complete") {
+      cache_.Insert(key, payload);
+    }
+  }
+
+  JsonValue result;
+  if (!JsonValue::Parse(payload, &result, &error)) {
+    return ErrorResponse(op, "internal",
+                         "result payload corrupt: " + error);
+  }
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", true);
+  response.Set("op", op);
+  response.Set("cached", cached);
+  response.Set("snapshot_version", snap->version);
+  response.Set("result", std::move(result));
+  return response;
+}
+
+std::string Server::MineResult(const std::string& op,
+                               const JsonValue& params,
+                               const Snapshot& snap,
+                               const common::ResourceBudget& budget,
+                               std::string* outcome_label) {
+  JsonValue result = JsonValue::MakeObject();
+  const std::size_t top =
+      static_cast<std::size_t>(params.Get("top").AsInt());
+  const common::Parallelism parallelism =
+      params.Get("threads").AsInt() > 0
+          ? common::Parallelism{static_cast<std::size_t>(
+                params.Get("threads").AsInt())}
+          : options_.parallelism;
+  if (op == "structural") {
+    const std::string attribute = params.Get("attribute").AsString();
+    const data::OdGraph& od = attribute == "hours" ? snap.od_hours
+                              : attribute == "distance"
+                                  ? snap.od_distance
+                                  : snap.od_weight;
+    core::StructuralMiningOptions options;
+    options.strategy = params.Get("strategy").AsString() == "df"
+                           ? partition::SplitStrategy::kDepthFirst
+                           : partition::SplitStrategy::kBreadthFirst;
+    options.num_partitions =
+        static_cast<std::size_t>(params.Get("k").AsInt());
+    options.min_support =
+        static_cast<std::size_t>(params.Get("support").AsInt());
+    options.max_pattern_edges =
+        static_cast<std::size_t>(params.Get("max_edges").AsInt());
+    options.repetitions =
+        static_cast<std::size_t>(params.Get("reps").AsInt());
+    options.miner = params.Get("miner").AsString() == "gspan"
+                        ? core::MinerKind::kGspan
+                        : core::MinerKind::kFsg;
+    options.seed = static_cast<std::uint64_t>(params.Get("seed").AsInt());
+    options.parallelism = parallelism;
+    options.budget = budget;
+    const core::StructuralMiningResult mined =
+        core::MineStructuralPatterns(od.graph, options);
+    *outcome_label = common::ToString(mined.outcome);
+    common::RecordOutcome("server", mined.outcome);
+    result.Set("outcome", *outcome_label);
+    result.Set("num_patterns", mined.registry.size());
+    result.Set("work_ticks", mined.work_ticks);
+    JsonValue reps = JsonValue::MakeArray();
+    for (std::size_t n : mined.patterns_per_repetition) {
+      reps.array().push_back(JsonValue(n));
+    }
+    result.Set("patterns_per_repetition", std::move(reps));
+    result.Set("patterns",
+               RenderPatterns(core::RankPatterns(mined.registry), top,
+                              &od.discretizer));
+  } else {
+    core::TemporalMiningOptions options;
+    options.min_support_fraction =
+        params.Get("support_fraction").AsDouble();
+    options.max_pattern_edges =
+        static_cast<std::size_t>(params.Get("max_edges").AsInt());
+    options.partition.max_distinct_vertex_labels =
+        static_cast<std::size_t>(params.Get("max_labels").AsInt());
+    options.parallelism = parallelism;
+    options.budget = budget;
+    const core::TemporalMiningResult mined =
+        core::MineTemporalPatterns(snap.dataset, options);
+    *outcome_label = common::ToString(mined.outcome);
+    common::RecordOutcome("server", mined.outcome);
+    result.Set("outcome", *outcome_label);
+    result.Set("num_patterns", mined.registry.size());
+    result.Set("work_ticks", mined.work_ticks);
+    result.Set("day_transactions", mined.partition.transactions.size());
+    result.Set("absolute_min_support", mined.absolute_min_support);
+    result.Set("patterns",
+               RenderPatterns(mined.registry.SortedBySupport(), top,
+                              &mined.partition.discretizer));
+  }
+  return result.Serialize();
+}
+
+}  // namespace tnmine::server

@@ -1,0 +1,181 @@
+#ifndef TNMINE_SERVER_SERVER_H_
+#define TNMINE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "data/od_graph.h"
+#include "graph/graph_view.h"
+#include "server/json.h"
+#include "server/result_cache.h"
+#include "server/wire.h"
+
+namespace tnmine::server {
+
+/// One immutable graph snapshot: the dataset plus the three paper OD
+/// labelings and a flat GraphView, built once at load time and shared by
+/// reference. In-flight requests hold their shared_ptr across a reload
+/// (MVCC-lite): the old snapshot stays alive until its last request
+/// finishes, new requests see the new version.
+struct Snapshot {
+  std::uint64_t version = 0;
+  /// FNV-1a 64 over the source file bytes, hex — the content half of
+  /// every cache key.
+  std::string fingerprint;
+  std::string path;
+  data::TransactionDataset dataset;
+  data::OdGraph od_weight;
+  data::OdGraph od_hours;
+  data::OdGraph od_distance;
+  std::shared_ptr<const graph::GraphView> view;  ///< of od_weight.graph
+};
+
+struct ServerOptions {
+  /// ListenAddress spec ("unix:/path" or "tcp:host:port"; port 0 binds
+  /// an ephemeral port — read the resolved one from address()).
+  std::string listen = "tcp:127.0.0.1:0";
+  /// Optional CSV to load as snapshot v1 during Start().
+  std::string snapshot_path;
+  /// Result-cache capacity; 0 disables caching.
+  std::uint64_t cache_bytes = 64ull << 20;
+  /// Admission control: mining requests in flight beyond this are
+  /// rejected with code "overloaded" instead of queueing unboundedly.
+  std::size_t max_inflight = 4;
+  /// Ceilings applied to every mining request on dimensions the request
+  /// itself leaves unlimited (0 = no server-side ceiling either).
+  common::BudgetLimits default_limits;
+  /// Default mining parallelism when a request omits "threads".
+  common::Parallelism parallelism;
+};
+
+/// The tnmined server: accepts connections on one socket, speaks
+/// length-prefixed JSON (see wire.h), serves mining requests from the
+/// current Snapshot on the shared ThreadPool, caches complete results,
+/// and cancels a request's mining when its client disconnects
+/// mid-flight. DESIGN.md §14 documents the protocol.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, loads the initial snapshot (when configured), and
+  /// starts the accept/watchdog threads. Returns false + `error` on any
+  /// failure; the server is then inert.
+  bool Start(std::string* error);
+
+  /// Graceful stop: closes the listen socket, cancels in-flight mining,
+  /// unblocks and joins every connection. Idempotent.
+  void Stop();
+
+  /// Blocks until a `shutdown` request (or Stop()) arrives. tnmined's
+  /// main sits here.
+  void WaitForShutdown();
+
+  /// Async-signal-safe shutdown request (one relaxed atomic store);
+  /// WaitForShutdown observes it on its next poll. For SIGINT/SIGTERM
+  /// handlers — everything else should use Stop().
+  void RequestShutdownFromSignal() {
+    signal_shutdown_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Resolved listen address (ephemeral TCP port filled in).
+  std::string address() const;
+
+  /// Loads `path` as the new snapshot and invalidates the result cache.
+  /// Safe while serving; in-flight requests keep the old snapshot.
+  bool LoadSnapshot(const std::string& path, std::string* error);
+
+  std::shared_ptr<const Snapshot> snapshot() const;
+  const ResultCache& cache() const { return cache_; }
+
+  std::uint64_t requests_total() const { return requests_total_; }
+  std::uint64_t requests_cancelled() const { return requests_cancelled_; }
+  std::uint64_t admission_rejected() const { return admission_rejected_; }
+
+ private:
+  struct WatchedRequest {
+    int fd;
+    std::shared_ptr<common::CancelToken> token;
+  };
+
+  void AcceptLoop();
+  void WatchLoop();
+  void HandleConnection(int fd);
+
+  /// Dispatches one parsed request; returns the response document.
+  JsonValue HandleRequest(const JsonValue& request, int fd);
+
+  JsonValue HandleStats();
+  JsonValue HandleLoadSnapshot(const JsonValue& request);
+  JsonValue HandleMining(const std::string& op, const JsonValue& request,
+                         int fd);
+
+  /// Runs the miner for `op` on `snap` and returns the serialized result
+  /// payload (canonical JSON) plus the outcome label via out-params.
+  std::string MineResult(const std::string& op, const JsonValue& params,
+                         const Snapshot& snap,
+                         const common::ResourceBudget& budget,
+                         std::string* outcome_label);
+
+  void RegisterWatch(int fd,
+                     const std::shared_ptr<common::CancelToken>& token);
+  void UnregisterWatch(int fd);
+
+  bool TryAdmit();
+  void Release();
+
+  static JsonValue ErrorResponse(const std::string& op,
+                                 const std::string& code,
+                                 const std::string& message);
+
+  ServerOptions options_;
+  ListenAddress bound_address_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  std::thread accept_thread_;
+  std::thread watch_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;   // guarded by conn_mu_
+  std::vector<int> conn_fds_;               // guarded by conn_mu_
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;  // guarded by snapshot_mu_
+  std::uint64_t next_snapshot_version_ = 1;   // guarded by snapshot_mu_
+
+  std::mutex watch_mu_;
+  std::vector<WatchedRequest> watched_;  // guarded by watch_mu_
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;  // guarded by shutdown_mu_
+  std::atomic<bool> signal_shutdown_{false};
+
+  ResultCache cache_;
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> requests_ok_{0};
+  std::atomic<std::uint64_t> requests_error_{0};
+  std::atomic<std::uint64_t> requests_cancelled_{0};
+  std::atomic<std::uint64_t> admission_rejected_{0};
+  std::atomic<std::uint64_t> snapshots_loaded_{0};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace tnmine::server
+
+#endif  // TNMINE_SERVER_SERVER_H_

@@ -1,0 +1,187 @@
+#include "server/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/parse.h"
+
+namespace tnmine::server {
+
+namespace {
+
+bool ReadExact(int fd, char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd, buf + done, n - done, 0);
+    if (got == 0) return false;  // orderly EOF
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool WriteExact(int fd, const char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+int ConnectTo(const ListenAddress& addr, std::string* error) {
+  if (addr.is_unix) {
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    if (addr.unix_path.size() >= sizeof(sun.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return -1;
+    }
+    std::memcpy(sun.sun_path, addr.unix_path.c_str(),
+                addr.unix_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+      if (error != nullptr) {
+        *error = "connect " + addr.unix_path + ": " + std::strerror(errno);
+      }
+      if (fd >= 0) ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sin.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host " + addr.host;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+    if (error != nullptr) {
+      *error = "connect " + addr.ToString() + ": " + std::strerror(errno);
+    }
+    if (fd >= 0) ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+bool ListenAddress::Parse(const std::string& spec, ListenAddress* out,
+                          std::string* error) {
+  *out = ListenAddress{};
+  if (spec.rfind("unix:", 0) == 0) {
+    out->is_unix = true;
+    out->unix_path = spec.substr(5);
+    if (out->unix_path.empty()) {
+      if (error != nullptr) *error = "empty unix socket path";
+      return false;
+    }
+    return true;
+  }
+  std::string rest = spec;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  std::string port_text = rest;
+  const std::size_t colon = rest.rfind(':');
+  if (colon != std::string::npos) {
+    out->host = rest.substr(0, colon);
+    port_text = rest.substr(colon + 1);
+  }
+  std::uint64_t port = 0;
+  if (!tnmine::ParseUint64(port_text, &port) || port > 65535) {
+    if (error != nullptr) *error = "bad port in '" + spec + "'";
+    return false;
+  }
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+std::string ListenAddress::ToString() const {
+  if (is_unix) return "unix:" + unix_path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+bool ReadFrame(int fd, std::string* payload) {
+  char header[4];
+  if (!ReadExact(fd, header, sizeof(header))) return false;
+  const std::uint32_t len =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (len > kMaxFrameBytes) return false;
+  payload->resize(len);
+  return len == 0 || ReadExact(fd, payload->data(), len);
+}
+
+bool WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const char header[4] = {
+      static_cast<char>((len >> 24) & 0xFF),
+      static_cast<char>((len >> 16) & 0xFF),
+      static_cast<char>((len >> 8) & 0xFF),
+      static_cast<char>(len & 0xFF),
+  };
+  return WriteExact(fd, header, sizeof(header)) &&
+         WriteExact(fd, payload.data(), payload.size());
+}
+
+bool BlockingClient::Connect(const std::string& spec, std::string* error) {
+  Close();
+  ListenAddress addr;
+  if (!ListenAddress::Parse(spec, &addr, error)) return false;
+  fd_ = ConnectTo(addr, error);
+  return fd_ >= 0;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool BlockingClient::Send(const JsonValue& request) {
+  return fd_ >= 0 && WriteFrame(fd_, request.Serialize());
+}
+
+bool BlockingClient::Receive(JsonValue* response, std::string* error) {
+  std::string payload;
+  if (fd_ < 0 || !ReadFrame(fd_, &payload)) {
+    if (error != nullptr) *error = "connection closed";
+    return false;
+  }
+  return JsonValue::Parse(payload, response, error);
+}
+
+bool BlockingClient::Call(const JsonValue& request, JsonValue* response,
+                          std::string* error) {
+  if (!Send(request)) {
+    if (error != nullptr) *error = "send failed";
+    return false;
+  }
+  return Receive(response, error);
+}
+
+}  // namespace tnmine::server

@@ -1,0 +1,80 @@
+#ifndef TNMINE_SERVER_WIRE_H_
+#define TNMINE_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/json.h"
+
+namespace tnmine::server {
+
+/// Wire framing for tnmined (DESIGN.md §14): every message — request or
+/// response — is one frame:
+///
+///   [4-byte big-endian payload length][payload bytes]
+///
+/// where the payload is a single UTF-8 JSON document. Frames larger than
+/// kMaxFrameBytes are rejected (a malformed or hostile peer must not make
+/// the server allocate unbounded memory).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Listen-address spec, parsed from strings like
+///   "unix:/tmp/tnmined.sock"   unix domain socket at that path
+///   "tcp:127.0.0.1:7077"       TCP on that host:port
+///   "tcp:0"                    TCP on 127.0.0.1, ephemeral port
+struct ListenAddress {
+  bool is_unix = false;
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  static bool Parse(const std::string& spec, ListenAddress* out,
+                    std::string* error);
+  std::string ToString() const;
+};
+
+/// Reads exactly one frame from `fd` into `payload`. Returns false on
+/// EOF, I/O error, or an oversized/short frame (peer gone or misbehaving
+/// — the connection should be dropped either way).
+bool ReadFrame(int fd, std::string* payload);
+
+/// Writes one frame. Uses MSG_NOSIGNAL so a disconnected peer yields an
+/// error return instead of SIGPIPE. Returns false on any short write.
+bool WriteFrame(int fd, std::string_view payload);
+
+/// Minimal blocking client over the framing above, used by the
+/// `tnmine_cli client` subcommand, the end-to-end tests, and
+/// bench_server_throughput.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { Close(); }
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects to `spec` (same syntax as ListenAddress). Returns false
+  /// and sets `error` on failure.
+  bool Connect(const std::string& spec, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One request/response round trip. Returns false on transport failure
+  /// or a response that does not parse as JSON.
+  bool Call(const JsonValue& request, JsonValue* response,
+            std::string* error);
+
+  /// Sends a request frame without waiting for the response — the
+  /// disconnect-mid-flight path: send, then Close() while the server is
+  /// still mining.
+  bool Send(const JsonValue& request);
+  /// Receives one response frame (after Send).
+  bool Receive(JsonValue* response, std::string* error);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace tnmine::server
+
+#endif  // TNMINE_SERVER_WIRE_H_

@@ -1,0 +1,101 @@
+// Result-cache semantics (DESIGN.md §14): hit on an identical key, miss
+// on any delta, LRU eviction bounded by MemoryBytes(), invalidation via
+// Clear(), and a zero capacity disabling the cache entirely. The
+// end-to-end keying (snapshot fingerprint × op × canonical params) is
+// covered by server_test; this file pins the container itself.
+
+#include "server/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tnmine::server {
+namespace {
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(1 << 20);
+  std::string payload;
+  EXPECT_FALSE(cache.Lookup("k1", &payload));
+  cache.Insert("k1", "value-1");
+  ASSERT_TRUE(cache.Lookup("k1", &payload));
+  EXPECT_EQ(payload, "value-1");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCacheTest, DistinctKeysAreDistinctEntries) {
+  ResultCache cache(1 << 20);
+  cache.Insert("op|fp|v1|{\"support\":10}", "a");
+  cache.Insert("op|fp|v1|{\"support\":11}", "b");
+  std::string payload;
+  ASSERT_TRUE(cache.Lookup("op|fp|v1|{\"support\":10}", &payload));
+  EXPECT_EQ(payload, "a");
+  ASSERT_TRUE(cache.Lookup("op|fp|v1|{\"support\":11}", &payload));
+  EXPECT_EQ(payload, "b");
+  EXPECT_FALSE(cache.Lookup("op|fp|v2|{\"support\":10}", &payload));
+}
+
+TEST(ResultCacheTest, InsertSameKeyRefreshes) {
+  ResultCache cache(1 << 20);
+  cache.Insert("k", "old");
+  cache.Insert("k", "new");
+  EXPECT_EQ(cache.entries(), 1u);
+  std::string payload;
+  ASSERT_TRUE(cache.Lookup("k", &payload));
+  EXPECT_EQ(payload, "new");
+}
+
+TEST(ResultCacheTest, LruEvictionUnderSmallCap) {
+  // Each entry costs key + payload + fixed overhead; size the cap so
+  // exactly two of these entries fit.
+  const std::string big(300, 'x');
+  ResultCache cache(2 * (1 + big.size() + 128));
+  cache.Insert("a", big);
+  cache.Insert("b", big);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // Touch "a" so "b" is the least recently used entry.
+  std::string payload;
+  ASSERT_TRUE(cache.Lookup("a", &payload));
+  cache.Insert("c", big);
+
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup("a", &payload));
+  EXPECT_FALSE(cache.Lookup("b", &payload));
+  EXPECT_TRUE(cache.Lookup("c", &payload));
+  EXPECT_LE(cache.MemoryBytes(), cache.capacity_bytes());
+}
+
+TEST(ResultCacheTest, OversizedEntryIsNotAdmitted) {
+  ResultCache cache(64);
+  cache.Insert("k", std::string(1024, 'x'));
+  EXPECT_EQ(cache.entries(), 0u);
+  std::string payload;
+  EXPECT_FALSE(cache.Lookup("k", &payload));
+}
+
+TEST(ResultCacheTest, ClearInvalidatesEverything) {
+  ResultCache cache(1 << 20);
+  cache.Insert("a", "1");
+  cache.Insert("b", "2");
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  std::string payload;
+  EXPECT_FALSE(cache.Lookup("a", &payload));
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Insert("k", "v");
+  EXPECT_EQ(cache.entries(), 0u);
+  std::string payload;
+  EXPECT_FALSE(cache.Lookup("k", &payload));
+}
+
+}  // namespace
+}  // namespace tnmine::server

@@ -1,0 +1,312 @@
+// End-to-end tnmined server tests (DESIGN.md §14): an in-process Server
+// on a real socket, driven through BlockingClient over the
+// length-prefixed JSON wire protocol. Pins the contracts the CI
+// server-smoke job asserts from the outside: cache hits are
+// byte-identical to fresh responses, any param delta or snapshot reload
+// misses, a client disconnect mid-flight cancels the mining run without
+// taking the server down, admission control rejects with "overloaded",
+// and truncated (non-complete) results are never cached.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "data/generator.h"
+#include "server/json.h"
+#include "server/wire.h"
+
+namespace tnmine::server {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_path_ = new std::string(::testing::TempDir() +
+                                 "/server_test_data.csv");
+    data::GeneratorConfig config = data::GeneratorConfig::SmallScale();
+    config.seed = 7;
+    std::string error;
+    ASSERT_TRUE(data::GenerateTransportData(config).SaveCsv(*data_path_,
+                                                            &error))
+        << error;
+  }
+
+  ServerOptions BaseOptions() const {
+    ServerOptions options;
+    options.listen = "tcp:127.0.0.1:0";
+    options.snapshot_path = *data_path_;
+    return options;
+  }
+
+  /// Starts a server or fails the test.
+  std::unique_ptr<Server> StartServer(ServerOptions options) {
+    auto server = std::make_unique<Server>(std::move(options));
+    std::string error;
+    EXPECT_TRUE(server->Start(&error)) << error;
+    return server;
+  }
+
+  static JsonValue Request(const std::string& op,
+                           JsonValue::Object params = {}) {
+    JsonValue request = JsonValue::MakeObject();
+    request.Set("op", op);
+    if (!params.empty()) request.Set("params", JsonValue(std::move(params)));
+    return request;
+  }
+
+  /// One connect + call round trip; fails the test on transport errors.
+  static JsonValue Call(const Server& server, const JsonValue& request) {
+    BlockingClient client;
+    std::string error;
+    EXPECT_TRUE(client.Connect(server.address(), &error)) << error;
+    JsonValue response;
+    EXPECT_TRUE(client.Call(request, &response, &error)) << error;
+    return response;
+  }
+
+  static const std::string* data_path_;
+};
+
+const std::string* ServerTest::data_path_ = nullptr;
+
+TEST_F(ServerTest, PingStatsAndUnknownOp) {
+  const auto server = StartServer(BaseOptions());
+  BlockingClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(server->address(), &error)) << error;
+
+  JsonValue response;
+  ASSERT_TRUE(client.Call(Request("ping"), &response, &error));
+  EXPECT_TRUE(response.Get("ok").AsBool());
+  EXPECT_TRUE(response.Get("result").Get("pong").AsBool());
+
+  // Several requests pipeline over the one connection.
+  ASSERT_TRUE(client.Call(Request("stats"), &response, &error));
+  EXPECT_TRUE(response.Get("ok").AsBool());
+  const JsonValue& result = response.Get("result");
+  EXPECT_GE(result.Get("server").Get("requests_total").AsInt(), 2);
+  EXPECT_EQ(result.Get("snapshot").Get("version").AsInt(), 1);
+  EXPECT_EQ(result.Get("report").Get("binary").AsString(), "tnmined");
+
+  ASSERT_TRUE(client.Call(Request("no_such_op"), &response, &error));
+  EXPECT_FALSE(response.Get("ok").AsBool());
+  EXPECT_EQ(response.Get("code").AsString(), "bad_request");
+}
+
+TEST_F(ServerTest, CachedResponseIsByteIdenticalToFresh) {
+  const auto server = StartServer(BaseOptions());
+  const JsonValue request = Request(
+      "structural", {{"support", JsonValue(10)}, {"top", JsonValue(3)}});
+
+  JsonValue fresh = Call(*server, request);
+  ASSERT_TRUE(fresh.Get("ok").AsBool());
+  EXPECT_FALSE(fresh.Get("cached").AsBool(true));
+  EXPECT_EQ(fresh.Get("result").Get("outcome").AsString(), "complete");
+
+  JsonValue hit = Call(*server, request);
+  ASSERT_TRUE(hit.Get("ok").AsBool());
+  EXPECT_TRUE(hit.Get("cached").AsBool());
+
+  // The mined payload must be byte-identical — and so must the whole
+  // response besides the cached flag itself.
+  EXPECT_EQ(fresh.Get("result").Serialize(), hit.Get("result").Serialize());
+  fresh.object().erase("cached");
+  hit.object().erase("cached");
+  EXPECT_EQ(fresh.Serialize(), hit.Serialize());
+
+  EXPECT_EQ(server->cache().hits(), 1u);
+  EXPECT_EQ(server->cache().misses(), 1u);
+}
+
+TEST_F(ServerTest, ExplicitDefaultsShareTheCacheKey) {
+  const auto server = StartServer(BaseOptions());
+  // "support": 10 is the schema default: spelling it explicitly must
+  // canonicalize onto the same key as omitting it.
+  const JsonValue first = Call(
+      *server, Request("structural", {{"support", JsonValue(10)}}));
+  ASSERT_TRUE(first.Get("ok").AsBool());
+  const JsonValue second = Call(*server, Request("structural"));
+  ASSERT_TRUE(second.Get("ok").AsBool());
+  EXPECT_TRUE(second.Get("cached").AsBool());
+}
+
+TEST_F(ServerTest, AnyParamDeltaMisses) {
+  const auto server = StartServer(BaseOptions());
+  ASSERT_TRUE(
+      Call(*server, Request("structural")).Get("ok").AsBool());
+  const JsonValue delta = Call(
+      *server, Request("structural", {{"support", JsonValue(11)}}));
+  ASSERT_TRUE(delta.Get("ok").AsBool());
+  EXPECT_FALSE(delta.Get("cached").AsBool(true));
+  EXPECT_EQ(server->cache().misses(), 2u);
+}
+
+TEST_F(ServerTest, SnapshotReloadInvalidatesCache) {
+  const auto server = StartServer(BaseOptions());
+  ASSERT_TRUE(
+      Call(*server, Request("structural")).Get("ok").AsBool());
+  EXPECT_EQ(server->cache().entries(), 1u);
+
+  // Reload over the wire (same file, so only the version changes).
+  const JsonValue reload = Call(
+      *server,
+      Request("load_snapshot", {{"path", JsonValue(*data_path_)}}));
+  ASSERT_TRUE(reload.Get("ok").AsBool());
+  EXPECT_EQ(reload.Get("result").Get("version").AsInt(), 2);
+  EXPECT_EQ(server->cache().entries(), 0u);
+
+  const JsonValue after = Call(*server, Request("structural"));
+  ASSERT_TRUE(after.Get("ok").AsBool());
+  EXPECT_FALSE(after.Get("cached").AsBool(true));
+  EXPECT_EQ(after.Get("snapshot_version").AsInt(), 2);
+}
+
+TEST_F(ServerTest, DisconnectMidFlightCancelsMining) {
+  const auto server = StartServer(BaseOptions());
+
+  // A mining request heavy enough to still be running when the client
+  // vanishes (low support + deep patterns on the gspan miner).
+  JsonValue heavy = Request("structural", {{"miner", JsonValue("gspan")},
+                                           {"support", JsonValue(2)},
+                                           {"max_edges", JsonValue(6)},
+                                           {"reps", JsonValue(8)}});
+  {
+    BlockingClient client;
+    std::string error;
+    ASSERT_TRUE(client.Connect(server->address(), &error)) << error;
+    ASSERT_TRUE(client.Send(heavy));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }  // ~BlockingClient closes the socket mid-mining.
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server->requests_cancelled() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(server->requests_cancelled(), 1u);
+
+  // The server must keep serving after the cancelled request.
+  EXPECT_TRUE(Call(*server, Request("ping")).Get("ok").AsBool());
+}
+
+TEST_F(ServerTest, OverloadedRejectionWhenNoCapacity) {
+  ServerOptions options = BaseOptions();
+  options.max_inflight = 0;  // every mining request must be rejected
+  const auto server = StartServer(std::move(options));
+  const JsonValue response = Call(*server, Request("structural"));
+  EXPECT_FALSE(response.Get("ok").AsBool());
+  EXPECT_EQ(response.Get("code").AsString(), "overloaded");
+  EXPECT_EQ(server->admission_rejected(), 1u);
+  // Non-mining ops bypass admission control.
+  EXPECT_TRUE(Call(*server, Request("stats")).Get("ok").AsBool());
+}
+
+TEST_F(ServerTest, TruncatedResultsAreNotCached) {
+  const auto server = StartServer(BaseOptions());
+  const JsonValue request = Request(
+      "structural",
+      {{"support", JsonValue(2)}, {"max_work_ticks", JsonValue(50)}});
+  const JsonValue first = Call(*server, request);
+  ASSERT_TRUE(first.Get("ok").AsBool());
+  EXPECT_EQ(first.Get("result").Get("outcome").AsString(),
+            "deadline_exceeded");
+  EXPECT_EQ(server->cache().entries(), 0u);
+  const JsonValue second = Call(*server, request);
+  ASSERT_TRUE(second.Get("ok").AsBool());
+  EXPECT_FALSE(second.Get("cached").AsBool(true));
+}
+
+TEST_F(ServerTest, LruEvictionUnderSmallServerCache) {
+  // Probe the entry footprint once, then rebuild the server with a cache
+  // that holds one entry but not two.
+  std::uint64_t one_entry_bytes = 0;
+  {
+    const auto probe = StartServer(BaseOptions());
+    ASSERT_TRUE(Call(*probe, Request("structural", {{"top", JsonValue(1)}}))
+                    .Get("ok")
+                    .AsBool());
+    one_entry_bytes = probe->cache().MemoryBytes();
+    ASSERT_GT(one_entry_bytes, 0u);
+  }
+
+  ServerOptions options = BaseOptions();
+  options.cache_bytes = one_entry_bytes + 256;
+  const auto server = StartServer(std::move(options));
+  ASSERT_TRUE(Call(*server, Request("structural", {{"top", JsonValue(1)}}))
+                  .Get("ok")
+                  .AsBool());
+  ASSERT_TRUE(Call(*server, Request("structural", {{"top", JsonValue(2)}}))
+                  .Get("ok")
+                  .AsBool());
+  EXPECT_GE(server->cache().evictions(), 1u);
+  EXPECT_LE(server->cache().MemoryBytes(), server->cache().capacity_bytes());
+
+  // The evicted (older) entry misses again.
+  const JsonValue again =
+      Call(*server, Request("structural", {{"top", JsonValue(1)}}));
+  ASSERT_TRUE(again.Get("ok").AsBool());
+  EXPECT_FALSE(again.Get("cached").AsBool(true));
+}
+
+TEST_F(ServerTest, TemporalMiningOverTheWire) {
+  const auto server = StartServer(BaseOptions());
+  const JsonValue request = Request(
+      "temporal", {{"support_fraction", JsonValue(0.05)},
+                   {"top", JsonValue(2)}});
+  const JsonValue response = Call(*server, request);
+  ASSERT_TRUE(response.Get("ok").AsBool());
+  EXPECT_EQ(response.Get("result").Get("outcome").AsString(), "complete");
+  EXPECT_GT(response.Get("result").Get("num_patterns").AsInt(), 0);
+  EXPECT_TRUE(Call(*server, request).Get("cached").AsBool());
+}
+
+TEST_F(ServerTest, BadParamsAreRejectedNotMined) {
+  const auto server = StartServer(BaseOptions());
+  const JsonValue typo = Call(
+      *server, Request("structural", {{"supprt", JsonValue(10)}}));
+  EXPECT_FALSE(typo.Get("ok").AsBool());
+  EXPECT_EQ(typo.Get("code").AsString(), "bad_request");
+
+  const JsonValue wrong_type = Call(
+      *server, Request("structural", {{"support", JsonValue("ten")}}));
+  EXPECT_FALSE(wrong_type.Get("ok").AsBool());
+  EXPECT_EQ(wrong_type.Get("code").AsString(), "bad_request");
+}
+
+TEST_F(ServerTest, NoSnapshotIsAnHonestError) {
+  ServerOptions options;
+  options.listen = "tcp:127.0.0.1:0";
+  const auto server = StartServer(std::move(options));
+  const JsonValue response = Call(*server, Request("structural"));
+  EXPECT_FALSE(response.Get("ok").AsBool());
+  EXPECT_EQ(response.Get("code").AsString(), "no_snapshot");
+}
+
+TEST_F(ServerTest, UnixSocketEndToEnd) {
+  ServerOptions options = BaseOptions();
+  const std::string spec =
+      "unix:" + ::testing::TempDir() + "/server_test.sock";
+  options.listen = spec;
+  const auto server = StartServer(std::move(options));
+  EXPECT_EQ(server->address(), spec);
+  EXPECT_TRUE(Call(*server, Request("ping")).Get("ok").AsBool());
+}
+
+TEST_F(ServerTest, RequestIdIsEchoed) {
+  const auto server = StartServer(BaseOptions());
+  JsonValue request = Request("ping");
+  request.Set("id", "req-42");
+  const JsonValue response = Call(*server, request);
+  EXPECT_TRUE(response.Get("ok").AsBool());
+  EXPECT_EQ(response.Get("id").AsString(), "req-42");
+}
+
+}  // namespace
+}  // namespace tnmine::server

@@ -12,6 +12,12 @@ Two input shapes are understood, matched automatically:
 
 A metric REGRESSES when the current value exceeds the baseline by more
 than the tolerance (default 20%, i.e. 0.2). Improvements never fail.
+Baseline entries that CANNOT be compared are never silently skipped:
+a baseline counter or row absent from the fresh run is a regression
+(the workload shrank or the row key drifted), while malformed baseline
+entries (a row without "seconds") and non-positive baseline values are
+reported as ::notice:: annotations — visible in the job log but never
+affecting the exit code, since there is nothing meaningful to compare.
 Counters that describe the schedule rather than the computation are
 skipped (they legitimately differ across machines and thread counts):
 "threadpool/*", plus the scratch-pool hit/miss split
@@ -76,6 +82,7 @@ SCHEDULE_COUNTER_PREFIXES = (
 
 def compare_runreports(baseline, current, tolerance):
     regressions = []
+    notices = []
     base_counters = baseline.get("counters", {})
     cur_counters = current.get("counters", {})
     for name, base_value in sorted(base_counters.items()):
@@ -86,17 +93,24 @@ def compare_runreports(baseline, current, tolerance):
             regressions.append(f"counter {name} vanished "
                                f"(baseline {base_value})")
             continue
+        if base_value <= 0:
+            notices.append(f"counter {name} has non-positive baseline "
+                           f"{base_value}; not compared")
+            continue
         if exceeds(cur_value, base_value, tolerance):
             regressions.append(
                 f"counter {name}: {base_value} -> {cur_value} "
                 f"(+{100.0 * (cur_value / base_value - 1):.1f}%)")
     base_wall = baseline.get("wall_seconds", 0.0)
     cur_wall = current.get("wall_seconds", 0.0)
-    if exceeds(cur_wall, base_wall, tolerance):
+    if base_wall <= 0:
+        notices.append(f"wall_seconds has non-positive baseline "
+                       f"{base_wall}; not compared")
+    elif exceeds(cur_wall, base_wall, tolerance):
         regressions.append(
             f"wall_seconds: {base_wall:.3f} -> {cur_wall:.3f} "
             f"(+{100.0 * (cur_wall / base_wall - 1):.1f}%)")
-    return regressions
+    return regressions, notices
 
 
 def row_key(row):
@@ -105,20 +119,32 @@ def row_key(row):
 
 def compare_row_lists(baseline, current, tolerance):
     regressions = []
+    notices = []
     current_by_key = {row_key(row): row for row in current}
     for row in baseline:
         if "seconds" not in row:
+            notices.append(f"baseline row {dict(row_key(row))} has no "
+                           "\"seconds\" field; not compared")
             continue
         match = current_by_key.get(row_key(row))
-        if match is None or "seconds" not in match:
+        if match is None:
             regressions.append(f"row {dict(row_key(row))} vanished")
+            continue
+        if "seconds" not in match:
+            regressions.append(f"row {dict(row_key(row))} present in the "
+                               "fresh run but lost its \"seconds\" field")
+            continue
+        if row["seconds"] <= 0:
+            notices.append(f"row {dict(row_key(row))} has non-positive "
+                           f"baseline seconds {row['seconds']}; "
+                           "not compared")
             continue
         if exceeds(match["seconds"], row["seconds"], tolerance):
             regressions.append(
                 f"row {dict(row_key(row))}: {row['seconds']:.3f}s -> "
                 f"{match['seconds']:.3f}s "
                 f"(+{100.0 * (match['seconds'] / row['seconds'] - 1):.1f}%)")
-    return regressions
+    return regressions, notices
 
 
 def main():
@@ -143,10 +169,16 @@ def main():
                         "different shapes")
         return 2
     if isinstance(baseline, dict):
-        regressions = compare_runreports(baseline, current, args.tolerance)
+        regressions, notices = compare_runreports(baseline, current,
+                                                  args.tolerance)
     else:
-        regressions = compare_row_lists(baseline, current, args.tolerance)
+        regressions, notices = compare_row_lists(baseline, current,
+                                                 args.tolerance)
 
+    for n in notices:
+        github_annotate(
+            "notice",
+            f"bench baseline {os.path.basename(args.baseline)}: {n}")
     if regressions:
         for r in regressions:
             github_annotate(

@@ -1,0 +1,62 @@
+#ifndef TNMINE_TOOLS_FLAG_PARSER_H_
+#define TNMINE_TOOLS_FLAG_PARSER_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace tnmine::tools {
+
+/// Tiny --key value flag parser shared by the tool binaries
+/// (tnmine_cli, tnmined). Every flag takes a value; unknown positional
+/// arguments are an error.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.contains(key); }
+
+  const std::map<std::string, std::string>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+}  // namespace tnmine::tools
+
+#endif  // TNMINE_TOOLS_FLAG_PARSER_H_

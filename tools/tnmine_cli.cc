@@ -44,6 +44,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/budget.h"
@@ -61,54 +62,15 @@
 #include "partition/split_graph.h"
 #include "pattern/dot.h"
 #include "pattern/render.h"
+#include "server/json.h"
+#include "server/wire.h"
 #include "subdue/subdue.h"
+#include "tools/flag_parser.h"
 
 namespace {
 
 using namespace tnmine;
-
-/// Tiny --key value flag parser.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
-        ok_ = false;
-        return;
-      }
-      key = key.substr(2);
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
-        ok_ = false;
-        return;
-      }
-      values_[key] = argv[++i];
-    }
-  }
-
-  bool ok() const { return ok_; }
-
-  std::string Get(const std::string& key,
-                  const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  long GetInt(const std::string& key, long fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atol(it->second.c_str());
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
-  }
-  bool Has(const std::string& key) const { return values_.contains(key); }
-
- private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
-};
+using tnmine::tools::Flags;
 
 /// Cancel token shared by every budget this process builds. The signal
 /// handler sees it through a raw pointer: RequestCancel is a single
@@ -150,7 +112,7 @@ void PrintOutcome(common::MiningOutcome outcome) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tnmine_cli <generate|stats|structural|temporal|"
-               "subdue|episodes|deadhead|export> [--flag value ...]\n"
+               "subdue|episodes|deadhead|export|client> [--flag value ...]\n"
                "common flags: --metrics-out <file> --trace-out <file>\n"
                "see the header of tools/tnmine_cli.cc for examples\n");
   return 2;
@@ -423,6 +385,102 @@ int CmdExport(const Flags& flags) {
   return 0;
 }
 
+/// `client` — one request to a running tnmined (DESIGN.md §14).
+///
+///   tnmine_cli client --connect unix:/tmp/tnmined.sock --op stats
+///   tnmine_cli client --connect tcp:127.0.0.1:7077 --op structural \
+///       --miner gspan --support 10 --top 3
+///
+/// Mining flags mirror the local subcommands (dashes become underscores
+/// in the request params); only flags the caller passes are sent, so the
+/// server's defaults — and thus its cache key — stay canonical. The raw
+/// response JSON goes to stdout. Exit code: 0 on ok:true, 3 on a server
+/// error response, 1 on transport failure.
+///
+/// --repeat N re-sends the same request on one connection (the second
+/// response of a mining op should come back "cached":true) and
+/// --disconnect-after-ms N sends the request, sleeps, and closes without
+/// reading the response — the mid-flight disconnect path the server must
+/// answer by cancelling the mining run.
+int CmdClient(const Flags& flags) {
+  const std::string connect = flags.Get("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr,
+                 "--connect <unix:/path|tcp:host:port> is required\n");
+    return 2;
+  }
+  const std::string op = flags.Get("op", "ping");
+
+  server::JsonValue request = server::JsonValue::MakeObject();
+  request.Set("op", server::JsonValue(op));
+  if (flags.Has("id"))
+    request.Set("id", server::JsonValue(flags.Get("id", "")));
+
+  server::JsonValue params = server::JsonValue::MakeObject();
+  if (op == "load_snapshot") {
+    params.Set("path", server::JsonValue(flags.Get("path", "")));
+  } else if (op == "structural" || op == "temporal") {
+    static constexpr const char* kStringFlags[] = {"attribute", "strategy",
+                                                   "miner"};
+    static constexpr const char* kIntFlags[] = {
+        "k",           "support",        "max-edges", "max-labels",
+        "reps",        "seed",           "threads",   "top",
+        "deadline-ms", "max-work-ticks", "max-memory-mb"};
+    static constexpr const char* kDoubleFlags[] = {"support-fraction"};
+    const auto param_name = [](std::string name) {
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    };
+    for (const char* flag : kStringFlags)
+      if (flags.Has(flag))
+        params.Set(param_name(flag),
+                   server::JsonValue(flags.Get(flag, "")));
+    for (const char* flag : kIntFlags)
+      if (flags.Has(flag))
+        params.Set(param_name(flag),
+                   server::JsonValue(
+                       static_cast<std::int64_t>(flags.GetInt(flag, 0))));
+    for (const char* flag : kDoubleFlags)
+      if (flags.Has(flag))
+        params.Set(param_name(flag),
+                   server::JsonValue(flags.GetDouble(flag, 0.0)));
+  }
+  if (!params.object().empty()) request.Set("params", params);
+
+  server::BlockingClient client;
+  std::string error;
+  if (!client.Connect(connect, &error)) {
+    std::fprintf(stderr, "client: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (flags.Has("disconnect-after-ms")) {
+    const long wait_ms = flags.GetInt("disconnect-after-ms", 0);
+    if (!client.Send(request)) {
+      std::fprintf(stderr, "client: send failed\n");
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    client.Close();
+    std::printf("disconnected after %ld ms\n", wait_ms);
+    return 0;
+  }
+
+  const long repeat = std::max(1L, flags.GetInt("repeat", 1));
+  int rc = 0;
+  for (long i = 0; i < repeat; ++i) {
+    server::JsonValue response;
+    if (!client.Call(request, &response, &error)) {
+      std::fprintf(stderr, "client: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", response.Serialize().c_str());
+    if (!response.Get("ok").AsBool(false)) rc = 3;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int Dispatch(const std::string& command, const Flags& flags, bool* known) {
@@ -435,6 +493,7 @@ int Dispatch(const std::string& command, const Flags& flags, bool* known) {
   if (command == "episodes") return CmdEpisodes(flags);
   if (command == "deadhead") return CmdDeadhead(flags);
   if (command == "export") return CmdExport(flags);
+  if (command == "client") return CmdClient(flags);
   *known = false;
   return Usage();
 }

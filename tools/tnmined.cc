@@ -1,0 +1,130 @@
+// tnmined — the resident tnmine mining server (DESIGN.md §14).
+//
+// Loads a transaction-dataset snapshot once, then serves concurrent
+// mining/query requests over a local socket speaking length-prefixed
+// JSON. Mining runs on the shared ThreadPool under a per-request
+// ResourceBudget whose CancelToken fires when the client disconnects
+// mid-flight; complete results are cached keyed by
+// (snapshot fingerprint × op × canonical params) and invalidated on
+// snapshot reload.
+//
+// Flags:
+//   --listen SPEC         unix:/path or tcp:host:port (port 0 =
+//                         ephemeral). Default tcp:127.0.0.1:0.
+//   --data FILE           CSV snapshot to load before serving.
+//   --cache-mb N          result-cache capacity (default 64; 0 disables).
+//   --max-inflight N      concurrent mining admission cap (default 4).
+//   --threads N           default mining parallelism for requests that
+//                         do not pin their own (0 = hardware).
+//   --deadline-ms N       server-side ceilings applied to every request
+//   --max-work-ticks N    on dimensions the request leaves unlimited
+//   --max-memory-mb N     (0 = no server-side ceiling).
+//   --ready-file FILE     after listening, atomically write the resolved
+//                         address there — scripts poll for this file.
+//   --metrics-out FILE    write the final RunReport JSON on shutdown.
+//
+// Shutdown: SIGINT/SIGTERM, or a client `shutdown` request. Either way
+// in-flight mining is cancelled cooperatively, every connection is
+// drained, and --metrics-out still flushes.
+//
+// Example:
+//   tnmined --listen unix:/tmp/tnmined.sock --data /tmp/data.csv \
+//       --cache-mb 64 --max-inflight 8 --ready-file /tmp/tnmined.ready
+//   tnmine_cli client --connect unix:/tmp/tnmined.sock --op stats
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "common/budget.h"
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
+#include "server/server.h"
+#include "tools/flag_parser.h"
+
+namespace {
+
+tnmine::server::Server* g_server = nullptr;
+
+extern "C" void HandleShutdownSignal(int) {
+  // Stop() joins threads and must not run in signal context; just
+  // request shutdown — WaitForShutdown() in main returns and tears
+  // down.
+  if (g_server != nullptr) g_server->RequestShutdownFromSignal();
+}
+
+bool WriteReadyFile(const std::string& path, const std::string& address) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fputs(address.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+  if (std::fclose(f) != 0 || !ok) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tnmine::tools::Flags flags(argc, argv, 1);
+  if (!flags.ok()) return 2;
+
+  tnmine::server::ServerOptions options;
+  options.listen = flags.Get("listen", "tcp:127.0.0.1:0");
+  options.snapshot_path = flags.Get("data", "");
+  options.cache_bytes =
+      static_cast<std::uint64_t>(flags.GetInt("cache-mb", 64)) << 20;
+  options.max_inflight =
+      static_cast<std::size_t>(flags.GetInt("max-inflight", 4));
+  options.parallelism = tnmine::common::Parallelism{
+      static_cast<std::size_t>(flags.GetInt("threads", 0))};
+  options.default_limits.deadline_ms =
+      static_cast<std::uint64_t>(flags.GetInt("deadline-ms", 0));
+  options.default_limits.max_work_ticks =
+      static_cast<std::uint64_t>(flags.GetInt("max-work-ticks", 0));
+  options.default_limits.max_memory_bytes =
+      static_cast<std::uint64_t>(flags.GetInt("max-memory-mb", 0)) << 20;
+
+  tnmine::server::Server server(options);
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "tnmined: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+
+  std::printf("tnmined: listening on %s\n", server.address().c_str());
+  std::fflush(stdout);
+  const std::string ready_file = flags.Get("ready-file", "");
+  if (!ready_file.empty() &&
+      !WriteReadyFile(ready_file, server.address())) {
+    std::fprintf(stderr, "tnmined: cannot write ready file %s\n",
+                 ready_file.c_str());
+    server.Stop();
+    return 1;
+  }
+
+  server.WaitForShutdown();
+  std::printf("tnmined: shutting down\n");
+  server.Stop();
+  g_server = nullptr;
+
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    tnmine::telemetry::RunReportOptions report;
+    report.binary = "tnmined";
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    report.extra["listen"] = server.address();
+    if (!tnmine::telemetry::WriteRunReport(metrics_out, report)) {
+      std::fprintf(stderr, "tnmined: could not write RunReport to %s\n",
+                   metrics_out.c_str());
+    }
+  }
+  return 0;
+}
