@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -15,6 +16,7 @@
 #include <span>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/telemetry.h"
 #include "core/interestingness.h"
 #include "core/miner.h"
@@ -242,7 +244,7 @@ bool Server::Start(std::string* error) {
       bound_address_.port = ntohs(sin.sin_port);
     }
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, options_.accept_backlog) != 0) {
     if (error != nullptr) {
       *error = std::string("listen: ") + std::strerror(errno);
     }
@@ -268,14 +270,18 @@ void Server::Stop() {
   }
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [id, conn] : conns_) ::shutdown(conn.fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (watch_thread_.joinable()) watch_thread_.join();
   std::vector<std::thread> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conns.swap(conn_threads_);
+    for (auto& [id, conn] : conns_) {
+      conns.push_back(std::move(conn.thread));
+    }
+    conns_.clear();
+    done_conns_.clear();
   }
   for (std::thread& t : conns) {
     if (t.joinable()) t.join();
@@ -333,11 +339,33 @@ std::shared_ptr<const Snapshot> Server::snapshot() const {
   return snapshot_;
 }
 
+void Server::ReapFinishedConnections() {
+  // Extract the finished threads under the lock, join outside it: a
+  // finishing connection thread pushes its id and returns without
+  // reacquiring conn_mu_, so the join here can never deadlock with it.
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (std::uint64_t id : done_conns_) {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        finished.push_back(std::move(it->second.thread));
+        conns_.erase(it);
+      }
+    }
+    done_conns_.clear();
+  }
+  for (std::thread& t : finished) {
+    if (t.joinable()) t.join();
+  }
+}
+
 void Server::AcceptLoop() {
   // Wait with a timeout instead of blocking in accept(): shutdown() on a
   // *listening* socket does not reliably unblock accept() (AF_UNIX on
   // Linux in particular), so Stop() only has to flip stop_ and join.
   while (!stop_.load()) {
+    ReapFinishedConnections();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 100);
     if (ready < 0 && errno != EINTR) return;
@@ -346,19 +374,40 @@ void Server::AcceptLoop() {
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
           errno == EWOULDBLOCK) {
+        accept_failures_.fetch_add(1, std::memory_order_relaxed);
+        TNMINE_COUNTER_ADD("server/accept_failures", 1);
         continue;
       }
       if (stop_.load()) return;
       // Listen socket gone bad; nothing useful left to do.
       return;
     }
+    if (TNMINE_FAILPOINT("server/accept_fail")) {
+      // Injected accept failure: drop the connection on the floor and
+      // keep serving — the chaos harness asserts the *next* connect
+      // succeeds.
+      ::close(fd);
+      accept_failures_.fetch_add(1, std::memory_order_relaxed);
+      TNMINE_COUNTER_ADD("server/accept_failures", 1);
+      continue;
+    }
     if (stop_.load()) {
       ::close(fd);
       return;
     }
+    // Non-blocking so the deadline-governed frame I/O (poll + EAGAIN
+    // loop) can never park a connection thread in a bare send/recv.
+    const int fd_flags = ::fcntl(fd, F_GETFL, 0);
+    if (fd_flags >= 0) ::fcntl(fd, F_SETFL, fd_flags | O_NONBLOCK);
+    conn_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conn_open_.fetch_add(1, std::memory_order_relaxed);
+    TNMINE_COUNTER_ADD("server/conn_accepted", 1);
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+    const std::uint64_t id = next_conn_id_++;
+    Connection& conn = conns_[id];
+    conn.fd = fd;
+    conn.thread =
+        std::thread([this, id, fd] { HandleConnection(id, fd); });
   }
 }
 
@@ -384,32 +433,77 @@ void Server::WatchLoop() {
   }
 }
 
-void Server::HandleConnection(int fd) {
+void Server::HandleConnection(std::uint64_t conn_id, int fd) {
   std::string payload;
-  while (!stop_.load() && ReadFrame(fd, &payload)) {
+  while (!stop_.load()) {
+    const FrameReadStatus status = ReadFrameDeadline(
+        fd, &payload, options_.idle_timeout_ms, options_.io_timeout_ms);
+    if (status == FrameReadStatus::kIdleTimeout) {
+      // The per-connection idle deadline IS the reaper: a parked
+      // connection reaps itself instead of holding a slot forever.
+      conn_idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+      TNMINE_COUNTER_ADD("server/conn_idle_reaped", 1);
+      break;
+    }
+    if (status == FrameReadStatus::kIoTimeout) {
+      conn_io_timeout_.fetch_add(1, std::memory_order_relaxed);
+      TNMINE_COUNTER_ADD("server/conn_io_timeout", 1);
+      break;
+    }
+    if (status == FrameReadStatus::kOversized) {
+      // The length prefix is garbage or hostile; there is no way to
+      // resync the framing, so the only safe answer is a drop.
+      conn_bad_frame_.fetch_add(1, std::memory_order_relaxed);
+      TNMINE_COUNTER_ADD("server/conn_bad_frame", 1);
+      break;
+    }
+    if (status == FrameReadStatus::kTornFrame) {
+      conn_torn_.fetch_add(1, std::memory_order_relaxed);
+      TNMINE_COUNTER_ADD("server/conn_torn", 1);
+      break;
+    }
+    if (status != FrameReadStatus::kFrame) break;  // kEof
     JsonValue request;
     std::string parse_error;
     JsonValue response;
     if (!JsonValue::Parse(payload, &request, &parse_error) ||
         !request.is_object()) {
+      conn_bad_frame_.fetch_add(1, std::memory_order_relaxed);
+      TNMINE_COUNTER_ADD("server/conn_bad_frame", 1);
       response = ErrorResponse("", "bad_request",
                                "request is not a JSON object: " +
                                    parse_error);
-      WriteFrame(fd, response.Serialize());
+      WriteFrameDeadline(fd, response.Serialize(),
+                         options_.io_timeout_ms);
       break;  // framing may be out of sync — drop the connection
     }
     response = HandleRequest(request, fd);
-    if (!WriteFrame(fd, response.Serialize())) break;
-    if (request.Get("op").AsString() == "shutdown") break;
-  }
-  ::close(fd);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
-    if (*it == fd) {
-      conn_fds_.erase(it);
+    bool write_timed_out = false;
+    if (!WriteFrameDeadline(fd, response.Serialize(),
+                            options_.io_timeout_ms, &write_timed_out)) {
+      if (write_timed_out) {
+        conn_io_timeout_.fetch_add(1, std::memory_order_relaxed);
+        TNMINE_COUNTER_ADD("server/conn_io_timeout", 1);
+      }
+      break;
+    }
+    if (request.Get("op").AsString() == "shutdown") {
+      // Only now — with the ok response on the wire — wake
+      // WaitForShutdown; Stop() may shut this fd down immediately.
+      {
+        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
       break;
     }
   }
+  ::close(fd);
+  conn_closed_.fetch_add(1, std::memory_order_relaxed);
+  conn_open_.fetch_sub(1, std::memory_order_relaxed);
+  TNMINE_COUNTER_ADD("server/conn_closed", 1);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  done_conns_.push_back(conn_id);
 }
 
 JsonValue Server::ErrorResponse(const std::string& op,
@@ -443,14 +537,12 @@ JsonValue Server::HandleRequest(const JsonValue& request, int fd) {
   } else if (op == "structural" || op == "temporal") {
     response = HandleMining(op, request, fd);
   } else if (op == "shutdown") {
+    // The acknowledgement must reach the client before Stop() starts
+    // tearing connections down, so the shutdown notification itself is
+    // deferred to HandleConnection after the response write.
     response = JsonValue::MakeObject();
     response.Set("ok", true);
     response.Set("op", op);
-    {
-      std::lock_guard<std::mutex> lock(shutdown_mu_);
-      shutdown_requested_ = true;
-    }
-    shutdown_cv_.notify_all();
   } else {
     response = ErrorResponse(op, "bad_request",
                              op.empty() ? "missing op"
@@ -490,6 +582,23 @@ JsonValue Server::HandleStats() {
              snapshots_loaded_.load(std::memory_order_relaxed));
   server.Set("inflight", inflight_.load(std::memory_order_relaxed));
   server.Set("max_inflight", options_.max_inflight);
+  server.Set("conn_open", conn_open_.load(std::memory_order_relaxed));
+  server.Set("conn_accepted",
+             conn_accepted_.load(std::memory_order_relaxed));
+  server.Set("conn_closed",
+             conn_closed_.load(std::memory_order_relaxed));
+  server.Set("conn_idle_reaped",
+             conn_idle_reaped_.load(std::memory_order_relaxed));
+  server.Set("conn_io_timeout",
+             conn_io_timeout_.load(std::memory_order_relaxed));
+  server.Set("conn_bad_frame",
+             conn_bad_frame_.load(std::memory_order_relaxed));
+  server.Set("conn_torn", conn_torn_.load(std::memory_order_relaxed));
+  server.Set("accept_failures",
+             accept_failures_.load(std::memory_order_relaxed));
+  server.Set("accept_backlog", options_.accept_backlog);
+  server.Set("io_timeout_ms", options_.io_timeout_ms);
+  server.Set("idle_timeout_ms", options_.idle_timeout_ms);
   server.Set(
       "uptime_seconds",
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

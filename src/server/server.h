@@ -52,6 +52,19 @@ struct ServerOptions {
   /// Admission control: mining requests in flight beyond this are
   /// rejected with code "overloaded" instead of queueing unboundedly.
   std::size_t max_inflight = 4;
+  /// Per-connection frame I/O budget (DESIGN.md §15): once a frame has
+  /// started, the whole remainder (and every response write) must
+  /// complete within this monotonic budget or the connection is
+  /// dropped. A slow-loris peer trickling bytes is bounded by this, not
+  /// by per-byte progress. 0 = no deadline (test/debug only).
+  std::uint64_t io_timeout_ms = 10000;
+  /// Idle-connection reaper: a connection that has not *started* a
+  /// frame for this long is closed and counted in conn_idle_reaped.
+  /// 0 = idle connections live forever.
+  std::uint64_t idle_timeout_ms = 0;
+  /// listen(2) backlog — pending-connect queue bound, surfaced in
+  /// stats so capacity tests can see the configured edge.
+  int accept_backlog = 64;
   /// Ceilings applied to every mining request on dimensions the request
   /// itself leaves unlimited (0 = no server-side ceiling either).
   common::BudgetLimits default_limits;
@@ -102,8 +115,20 @@ class Server {
   const ResultCache& cache() const { return cache_; }
 
   std::uint64_t requests_total() const { return requests_total_; }
+  std::uint64_t inflight() const { return inflight_; }
   std::uint64_t requests_cancelled() const { return requests_cancelled_; }
   std::uint64_t admission_rejected() const { return admission_rejected_; }
+
+  /// Connection-lifecycle counters (DESIGN.md §15 failure taxonomy).
+  /// conn_open is a gauge: accepted minus closed, and a chaos run must
+  /// always drain it back to zero — a stuck slot is a leak.
+  std::uint64_t conn_open() const { return conn_open_; }
+  std::uint64_t conn_accepted() const { return conn_accepted_; }
+  std::uint64_t conn_idle_reaped() const { return conn_idle_reaped_; }
+  std::uint64_t conn_io_timeout() const { return conn_io_timeout_; }
+  std::uint64_t conn_bad_frame() const { return conn_bad_frame_; }
+  std::uint64_t conn_torn() const { return conn_torn_; }
+  std::uint64_t accept_failures() const { return accept_failures_; }
 
  private:
   struct WatchedRequest {
@@ -111,9 +136,22 @@ class Server {
     std::shared_ptr<common::CancelToken> token;
   };
 
+  /// One accepted connection: its socket plus the thread serving it,
+  /// keyed by a monotonically increasing id (NOT the fd — fds are
+  /// reused by the kernel the moment they close).
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
   void AcceptLoop();
   void WatchLoop();
-  void HandleConnection(int fd);
+  void HandleConnection(std::uint64_t conn_id, int fd);
+
+  /// Joins and forgets connections whose threads have finished — called
+  /// from the accept loop so a connect flood cannot accumulate
+  /// thread handles without bound.
+  void ReapFinishedConnections();
 
   /// Dispatches one parsed request; returns the response document.
   JsonValue HandleRequest(const JsonValue& request, int fd);
@@ -150,8 +188,9 @@ class Server {
   std::thread accept_thread_;
   std::thread watch_thread_;
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;   // guarded by conn_mu_
-  std::vector<int> conn_fds_;               // guarded by conn_mu_
+  std::map<std::uint64_t, Connection> conns_;  // guarded by conn_mu_
+  std::vector<std::uint64_t> done_conns_;      // guarded by conn_mu_
+  std::uint64_t next_conn_id_ = 1;             // guarded by conn_mu_
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_;  // guarded by snapshot_mu_
@@ -173,6 +212,14 @@ class Server {
   std::atomic<std::uint64_t> requests_cancelled_{0};
   std::atomic<std::uint64_t> admission_rejected_{0};
   std::atomic<std::uint64_t> snapshots_loaded_{0};
+  std::atomic<std::uint64_t> conn_open_{0};
+  std::atomic<std::uint64_t> conn_accepted_{0};
+  std::atomic<std::uint64_t> conn_closed_{0};
+  std::atomic<std::uint64_t> conn_idle_reaped_{0};
+  std::atomic<std::uint64_t> conn_io_timeout_{0};
+  std::atomic<std::uint64_t> conn_bad_frame_{0};
+  std::atomic<std::uint64_t> conn_torn_{0};
+  std::atomic<std::uint64_t> accept_failures_{0};
   std::chrono::steady_clock::time_point start_time_;
 };
 

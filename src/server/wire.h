@@ -9,8 +9,8 @@
 
 namespace tnmine::server {
 
-/// Wire framing for tnmined (DESIGN.md §14): every message — request or
-/// response — is one frame:
+/// Wire framing for tnmined (DESIGN.md §14–15): every message — request
+/// or response — is one frame:
 ///
 ///   [4-byte big-endian payload length][payload bytes]
 ///
@@ -34,18 +34,71 @@ struct ListenAddress {
   std::string ToString() const;
 };
 
-/// Reads exactly one frame from `fd` into `payload`. Returns false on
-/// EOF, I/O error, or an oversized/short frame (peer gone or misbehaving
-/// — the connection should be dropped either way).
-bool ReadFrame(int fd, std::string* payload);
+/// How one deadline-governed frame read ended. Every terminal state is
+/// distinct so the server can keep honest per-failure counters
+/// (DESIGN.md §15 failure taxonomy) instead of folding every problem
+/// into "peer gone".
+enum class FrameReadStatus : std::uint8_t {
+  kFrame = 0,     ///< one complete frame is in `payload`
+  kEof,           ///< orderly close before any byte of a frame
+  kIdleTimeout,   ///< no frame started within the idle allotment
+  kIoTimeout,     ///< frame started but stalled past the I/O budget
+  kTornFrame,     ///< EOF or I/O error mid-frame (peer died or lied)
+  kOversized,     ///< length prefix exceeds kMaxFrameBytes (or garbage)
+};
 
-/// Writes one frame. Uses MSG_NOSIGNAL so a disconnected peer yields an
-/// error return instead of SIGPIPE. Returns false on any short write.
+/// Reads exactly one frame from `fd` into `payload` under two monotonic
+/// deadlines: the *first* byte of the header may take up to
+/// `idle_timeout_ms` to arrive (0 = wait forever), and once a frame has
+/// started, the *whole remainder* must arrive within `io_timeout_ms`
+/// (0 = no budget). The I/O budget is a total for the frame, not
+/// per-byte — a slow-loris peer trickling one byte per poll interval is
+/// dropped when the budget runs out, not never. Works on blocking and
+/// O_NONBLOCK sockets alike (poll-then-read).
+FrameReadStatus ReadFrameDeadline(int fd, std::string* payload,
+                                  std::uint64_t idle_timeout_ms,
+                                  std::uint64_t io_timeout_ms);
+
+/// Writes one frame under a monotonic `io_timeout_ms` budget (0 = no
+/// budget). Uses MSG_NOSIGNAL so a disconnected peer yields an error
+/// return instead of SIGPIPE. Returns false on any short write; when
+/// `timed_out` is non-null it reports whether the failure was the
+/// deadline (as opposed to the peer vanishing).
+bool WriteFrameDeadline(int fd, std::string_view payload,
+                        std::uint64_t io_timeout_ms,
+                        bool* timed_out = nullptr);
+
+/// Deadline-free compatibility wrappers (tests, benches, the client's
+/// default mode). ReadFrame returns false on EOF, I/O error, or an
+/// oversized/short frame.
+bool ReadFrame(int fd, std::string* payload);
 bool WriteFrame(int fd, std::string_view payload);
 
+/// Retry policy for BlockingClient (DESIGN.md §15): exponential backoff
+/// with deterministic jitter, capped attempts, and an optional
+/// per-request wall deadline spanning every attempt. Retries are only
+/// safe for idempotent requests; all current tnmined ops are reads, and
+/// the caller states idempotency explicitly per call.
+struct RetryPolicy {
+  /// Total attempts (1 = no retry).
+  int max_attempts = 1;
+  /// First backoff; doubles each retry up to max_backoff_ms.
+  std::uint64_t initial_backoff_ms = 50;
+  std::uint64_t max_backoff_ms = 2000;
+  /// Seeds the jitter stream (SplitMix64 over seed ^ attempt), so a
+  /// given (seed, attempt) pair always sleeps the same amount — retry
+  /// schedules are replayable in tests.
+  std::uint64_t jitter_seed = 1;
+  /// Wall ceiling across all attempts and backoffs; 0 = unlimited.
+  std::uint64_t request_deadline_ms = 0;
+};
+
 /// Minimal blocking client over the framing above, used by the
-/// `tnmine_cli client` subcommand, the end-to-end tests, and
-/// bench_server_throughput.
+/// `tnmine_cli client` subcommand, the end-to-end tests,
+/// bench_server_throughput, and the wire_chaos harness. Error strings
+/// always carry the target address spec and strerror(errno) — a failed
+/// smoke test must name the socket and the syscall error, not say
+/// "send failed".
 class BlockingClient {
  public:
   BlockingClient() = default;
@@ -56,23 +109,50 @@ class BlockingClient {
   /// Connects to `spec` (same syntax as ListenAddress). Returns false
   /// and sets `error` on failure.
   bool Connect(const std::string& spec, std::string* error);
+
+  /// Connect with retry: on failure sleeps policy-backoff and tries
+  /// again, up to policy.max_attempts total attempts or the request
+  /// deadline. Connecting is always idempotent. Each retry increments
+  /// the `client/retry_connect` counter; giving up increments
+  /// `client/retry_giveup`.
+  bool Connect(const std::string& spec, const RetryPolicy& policy,
+               std::string* error);
+
   bool connected() const { return fd_ >= 0; }
   void Close();
+
+  /// Per-frame I/O deadline for Send/Receive/Call (0 = blocking
+  /// forever, the historical behavior).
+  void set_io_timeout_ms(std::uint64_t ms) { io_timeout_ms_ = ms; }
 
   /// One request/response round trip. Returns false on transport failure
   /// or a response that does not parse as JSON.
   bool Call(const JsonValue& request, JsonValue* response,
             std::string* error);
 
+  /// Call with retry: on transport failure, reconnects to the spec of
+  /// the last Connect and re-sends, with policy backoff, but ONLY when
+  /// the caller declares the request idempotent — a non-idempotent
+  /// request (none exist today; guard for future mutating ops) fails on
+  /// the first transport error exactly like Call. Counters:
+  /// `client/retry_request` per retry, `client/retry_giveup` on
+  /// exhaustion, `client/request_deadline_expired` when the wall
+  /// deadline cuts the attempt loop short.
+  bool CallWithRetry(const JsonValue& request, const RetryPolicy& policy,
+                     bool idempotent, JsonValue* response,
+                     std::string* error);
+
   /// Sends a request frame without waiting for the response — the
   /// disconnect-mid-flight path: send, then Close() while the server is
-  /// still mining.
-  bool Send(const JsonValue& request);
+  /// still mining. Sets `error` (when non-null) on failure.
+  bool Send(const JsonValue& request, std::string* error = nullptr);
   /// Receives one response frame (after Send).
   bool Receive(JsonValue* response, std::string* error);
 
  private:
   int fd_ = -1;
+  std::uint64_t io_timeout_ms_ = 0;
+  std::string spec_;  ///< last Connect target, for error messages
 };
 
 }  // namespace tnmine::server

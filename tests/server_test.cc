@@ -9,7 +9,11 @@
 
 #include "server/server.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <memory>
@@ -17,6 +21,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "data/generator.h"
 #include "server/json.h"
 #include "server/wire.h"
@@ -307,6 +312,271 @@ TEST_F(ServerTest, RequestIdIsEchoed) {
   EXPECT_TRUE(response.Get("ok").AsBool());
   EXPECT_EQ(response.Get("id").AsString(), "req-42");
 }
+
+// --------------------------------------------------------------------
+// Wire-level robustness (DESIGN.md §15): raw sockets below
+// BlockingClient so the tests control every byte on the wire.
+
+/// Raw blocking TCP connect to the server's resolved address.
+int RawConnect(const Server& server) {
+  ListenAddress addr;
+  std::string error;
+  if (!ListenAddress::Parse(server.address(), &addr, &error)) return -1;
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sin.sin_addr) != 1) {
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+bool SendRawFrame(int fd, std::string_view payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const char header[4] = {static_cast<char>((len >> 24) & 0xFF),
+                          static_cast<char>((len >> 16) & 0xFF),
+                          static_cast<char>((len >> 8) & 0xFF),
+                          static_cast<char>(len & 0xFF)};
+  return SendAll(fd, header, sizeof(header)) &&
+         SendAll(fd, payload.data(), payload.size());
+}
+
+/// Milliseconds until the server closed `fd`, or -1 when it did not
+/// within `limit_ms`.
+long MsUntilPeerClose(int fd, long limit_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  char b;
+  for (;;) {
+    const long elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed >= limit_ms) return -1;
+    const ssize_t got = ::recv(fd, &b, 1, 0);
+    if (got == 0) return elapsed;  // orderly close
+    if (got < 0 && errno != EINTR) return elapsed;  // RST et al.
+    // Response bytes — drain and keep waiting for the close.
+  }
+}
+
+/// Sends one raw frame and expects a bad_request response on the same
+/// socket — the contract for well-framed-but-invalid payloads.
+void ExpectBadRequestForPayload(const Server& server,
+                                std::string_view payload) {
+  const int fd = RawConnect(server);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendRawFrame(fd, payload));
+  std::string raw;
+  ASSERT_EQ(ReadFrameDeadline(fd, &raw, 30000, 30000),
+            FrameReadStatus::kFrame)
+      << "no response frame for payload: " << payload;
+  ::close(fd);
+  JsonValue response;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(raw, &response, &error)) << error;
+  EXPECT_FALSE(response.Get("ok").AsBool(true));
+  EXPECT_EQ(response.Get("code").AsString(), "bad_request");
+}
+
+TEST_F(ServerTest, MalformedPayloadsAnswerBadRequest) {
+  const auto server = StartServer(BaseOptions());
+  const char* kPayloads[] = {
+      "",             // zero-length frame
+      "\x01garbage",  // not JSON
+      "[1,2,3]",      // JSON non-object
+      "\"ping\"",     // JSON string
+  };
+  for (const char* payload : kPayloads) {
+    ExpectBadRequestForPayload(*server, payload);
+    // Whatever the hostile frame was, the next honest request is served.
+    EXPECT_TRUE(Call(*server, Request("ping")).Get("ok").AsBool());
+  }
+  EXPECT_GE(server->conn_bad_frame(), 4u);
+}
+
+TEST_F(ServerTest, OversizedLengthPrefixIsDroppedCleanly) {
+  ServerOptions options = BaseOptions();
+  options.io_timeout_ms = 500;
+  const auto server = StartServer(std::move(options));
+  const int fd = RawConnect(*server);
+  ASSERT_GE(fd, 0);
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  const char header[4] = {static_cast<char>((len >> 24) & 0xFF),
+                          static_cast<char>((len >> 16) & 0xFF),
+                          static_cast<char>((len >> 8) & 0xFF),
+                          static_cast<char>(len & 0xFF)};
+  ASSERT_TRUE(SendAll(fd, header, sizeof(header)));
+  // No resync is possible after a lying length prefix: the only safe
+  // move is to drop, not to answer.
+  EXPECT_GE(MsUntilPeerClose(fd, 10000), 0);
+  ::close(fd);
+  EXPECT_GE(server->conn_bad_frame(), 1u);
+  EXPECT_TRUE(Call(*server, Request("ping")).Get("ok").AsBool());
+}
+
+TEST_F(ServerTest, TruncatedHeaderThenCloseIsHarmless) {
+  const auto server = StartServer(BaseOptions());
+  const int fd = RawConnect(*server);
+  ASSERT_GE(fd, 0);
+  const char half[2] = {0, 0};
+  ASSERT_TRUE(SendAll(fd, half, sizeof(half)));
+  ::close(fd);  // die mid-header
+  EXPECT_TRUE(Call(*server, Request("ping")).Get("ok").AsBool());
+}
+
+TEST_F(ServerTest, MidFrameStallerDroppedWithinIoTimeout) {
+  ServerOptions options = BaseOptions();
+  options.io_timeout_ms = 250;
+  const auto server = StartServer(std::move(options));
+  const int fd = RawConnect(*server);
+  ASSERT_GE(fd, 0);
+  // Start a frame (two header bytes) and then stall forever: the
+  // monotonic I/O budget — not per-byte progress — must cut us off.
+  const char torn[2] = {0, 0};
+  ASSERT_TRUE(SendAll(fd, torn, sizeof(torn)));
+  const long dropped_ms = MsUntilPeerClose(fd, 30000);
+  ::close(fd);
+  ASSERT_GE(dropped_ms, 0) << "mid-frame staller was never dropped";
+  // Bounded by the configured budget plus scheduling slack — and far
+  // under the 5s a broken (infinite) deadline would blow through.
+  EXPECT_LT(dropped_ms, 5000);
+  EXPECT_GE(server->conn_io_timeout(), 1u);
+  EXPECT_TRUE(Call(*server, Request("ping")).Get("ok").AsBool());
+}
+
+TEST_F(ServerTest, IdleConnectionsAreReaped) {
+  ServerOptions options = BaseOptions();
+  options.idle_timeout_ms = 200;
+  const auto server = StartServer(std::move(options));
+  const int fd = RawConnect(*server);
+  ASSERT_GE(fd, 0);
+  // Never send a byte: the idle deadline is the reaper.
+  EXPECT_GE(MsUntilPeerClose(fd, 30000), 0);
+  ::close(fd);
+  EXPECT_GE(server->conn_idle_reaped(), 1u);
+  EXPECT_TRUE(Call(*server, Request("ping")).Get("ok").AsBool());
+}
+
+TEST_F(ServerTest, StatsExposeConnectionCounters) {
+  ServerOptions options = BaseOptions();
+  options.accept_backlog = 17;
+  const auto server = StartServer(std::move(options));
+  const JsonValue response = Call(*server, Request("stats"));
+  ASSERT_TRUE(response.Get("ok").AsBool());
+  const JsonValue& stats = response.Get("result").Get("server");
+  EXPECT_GE(stats.Get("conn_accepted").AsInt(), 1);
+  EXPECT_GE(stats.Get("conn_open").AsInt(), 1);  // our own connection
+  EXPECT_EQ(stats.Get("accept_backlog").AsInt(), 17);
+  EXPECT_EQ(stats.Get("conn_idle_reaped").AsInt(), 0);
+  EXPECT_EQ(stats.Get("conn_io_timeout").AsInt(), 0);
+  EXPECT_EQ(stats.Get("conn_bad_frame").AsInt(), 0);
+  EXPECT_EQ(stats.Get("conn_torn").AsInt(), 0);
+  EXPECT_EQ(stats.Get("accept_failures").AsInt(), 0);
+}
+
+TEST_F(ServerTest, ClientErrorsNameAddressAndErrno) {
+  BlockingClient client;
+  std::string error;
+  // Port 1 on localhost: reliably refused, never listening.
+  EXPECT_FALSE(client.Connect("tcp:127.0.0.1:1", &error));
+  EXPECT_NE(error.find("tcp:127.0.0.1:1"), std::string::npos) << error;
+  // strerror text, not a bare "connect failed".
+  EXPECT_NE(error.find("refused"), std::string::npos) << error;
+}
+
+#if TNMINE_FAILPOINTS_ENABLED
+TEST_F(ServerTest, ConnectRetriesThroughTransientFailure) {
+  const auto server = StartServer(BaseOptions());
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm("wire/connect_fail", failpoint::Kind::kIoError));
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 10;
+  policy.jitter_seed = 42;
+
+  BlockingClient client;
+  std::string error;
+  // First attempt hits the armed failpoint; the retry succeeds.
+  EXPECT_TRUE(client.Connect(server->address(), policy, &error)) << error;
+  JsonValue response;
+  EXPECT_TRUE(client.Call(Request("ping"), &response, &error)) << error;
+  EXPECT_TRUE(response.Get("ok").AsBool());
+  failpoint::DisarmAll();
+}
+
+TEST_F(ServerTest, ConnectWithoutRetryGivesUpOnTransientFailure) {
+  const auto server = StartServer(BaseOptions());
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm("wire/connect_fail", failpoint::Kind::kIoError));
+  BlockingClient client;
+  std::string error;
+  EXPECT_FALSE(client.Connect(server->address(), &error));
+  EXPECT_NE(error.find(server->address()), std::string::npos) << error;
+  failpoint::DisarmAll();
+}
+
+TEST_F(ServerTest, CallWithRetryRidesThroughInjectedWriteFault) {
+  const auto server = StartServer(BaseOptions());
+  BlockingClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(server->address(), &error)) << error;
+
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm("wire/write_short", failpoint::Kind::kIoError));
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 10;
+  JsonValue response;
+  // The injected short write kills the first attempt; CallWithRetry
+  // reconnects (framing state is unknown after a failed send) and the
+  // second attempt completes.
+  EXPECT_TRUE(client.CallWithRetry(Request("ping"), policy,
+                                   /*idempotent=*/true, &response, &error))
+      << error;
+  EXPECT_TRUE(response.Get("ok").AsBool());
+  failpoint::DisarmAll();
+}
+
+TEST_F(ServerTest, NonIdempotentRequestsAreNotRetried) {
+  const auto server = StartServer(BaseOptions());
+  BlockingClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(server->address(), &error)) << error;
+
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::Arm("wire/write_short", failpoint::Kind::kIoError));
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  JsonValue response;
+  // Declared non-idempotent: the transport failure surfaces immediately
+  // instead of re-sending a request that might have taken effect.
+  EXPECT_FALSE(client.CallWithRetry(Request("ping"), policy,
+                                    /*idempotent=*/false, &response,
+                                    &error));
+  failpoint::DisarmAll();
+}
+#endif  // TNMINE_FAILPOINTS_ENABLED
 
 }  // namespace
 }  // namespace tnmine::server

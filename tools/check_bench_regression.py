@@ -34,9 +34,15 @@ e.g. 0.5 for 50%). CI runs this as a non-blocking job: regressions print
 GitHub ::warning:: annotations and exit 1, but the job is marked
 continue-on-error so it annotates the PR without gating it.
 
+--require-counter NAME (repeatable, RunReport shape only) asserts the
+counter exists in the *fresh* run regardless of the baseline — the guard
+for telemetry the code is contractually supposed to emit (e.g. the
+server/conn_* connection-lifecycle counters): a build that silently
+stops emitting one is a regression even if the baseline predates it.
+
 Usage:
   tools/check_bench_regression.py --baseline bench/baselines/X.json \
-      --current /tmp/X.json [--tolerance 0.2]
+      --current /tmp/X.json [--tolerance 0.2] [--require-counter NAME]
 
 Exit codes: 0 clean, 1 regression found, 2 usage/input error.
 """
@@ -155,6 +161,12 @@ def main():
     parser.add_argument("--current", required=True,
                         help="freshly produced JSON of the same shape")
     parser.add_argument(
+        "--require-counter", action="append", default=[],
+        metavar="NAME",
+        help="counter that must exist in the fresh RunReport (repeatable); "
+             "a missing one is a regression even when absent from the "
+             "baseline")
+    parser.add_argument(
         "--tolerance", type=float,
         default=float(os.environ.get("TNMINE_BENCH_TOLERANCE", "0.2")),
         help="allowed relative growth before failing (default 0.2 = 20%%; "
@@ -171,7 +183,15 @@ def main():
     if isinstance(baseline, dict):
         regressions, notices = compare_runreports(baseline, current,
                                                   args.tolerance)
+        for name in args.require_counter:
+            if name not in current.get("counters", {}):
+                regressions.append(
+                    f"required counter {name} missing from the fresh run")
     else:
+        if args.require_counter:
+            github_annotate("error", "--require-counter only applies to "
+                            "RunReport-shaped inputs")
+            return 2
         regressions, notices = compare_row_lists(baseline, current,
                                                  args.tolerance)
 

@@ -5,12 +5,15 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace tnmine::tools {
 
 /// Tiny --key value flag parser shared by the tool binaries
-/// (tnmine_cli, tnmined). Every flag takes a value; unknown positional
-/// arguments are an error.
+/// (tnmine_cli, tnmined, wire_chaos). Every flag takes a value; unknown
+/// positional arguments are an error. A flag may be repeated
+/// (--failpoint a:io --failpoint b:io): Get/GetInt/GetDouble return the
+/// LAST occurrence, GetAll returns every occurrence in order.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
@@ -27,7 +30,7 @@ class Flags {
         ok_ = false;
         return;
       }
-      values_[key] = argv[++i];
+      values_[key].push_back(argv[++i]);
     }
   }
 
@@ -36,24 +39,33 @@ class Flags {
   std::string Get(const std::string& key,
                   const std::string& fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
+    return it == values_.end() ? fallback : it->second.back();
   }
   long GetInt(const std::string& key, long fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+    return it == values_.end() ? fallback
+                               : std::atol(it->second.back().c_str());
   }
   double GetDouble(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    return it == values_.end() ? fallback
+                               : std::atof(it->second.back().c_str());
   }
   bool Has(const std::string& key) const { return values_.contains(key); }
 
-  const std::map<std::string, std::string>& values() const {
+  /// Every value the flag was given, in command-line order (empty when
+  /// the flag is absent) — for repeatable flags like --failpoint.
+  std::vector<std::string> GetAll(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  const std::map<std::string, std::vector<std::string>>& values() const {
     return values_;
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
   bool ok_ = true;
 };
 

@@ -23,6 +23,8 @@
 // injection is a real bug and exits 1 as usual. An armed failpoint that
 // never fires also exits 1, so CI notices when a swept site goes stale.
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -146,9 +148,12 @@ int main(int argc, char** argv) {
   }
 
   if (tmp_path.empty()) {
+    // Pid-qualified: concurrent fuzz_io processes (ctest -j runs one per
+    // format, all at the same seed) must not clobber each other's scratch.
     const char* tmpdir = std::getenv("TMPDIR");
     tmp_path = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
-               "/tnmine_fuzz_io_" + std::to_string(seed) + ".csv";
+               "/tnmine_fuzz_io_" + std::to_string(seed) + "_" +
+               std::to_string(static_cast<long>(getpid())) + ".csv";
   }
 
   if (!failpoint_spec.empty() &&

@@ -14,6 +14,10 @@
 #   * a mid-flight client disconnect that cancels its mining without
 #     taking the server down;
 #   * a snapshot reload that bumps the version and empties the cache;
+#   * client retry (--retry) riding through an injected transient
+#     connect failure that a retry-less client correctly fails on;
+#   * connection-lifecycle accounting (DESIGN.md §15): conn counters in
+#     stats, every slot drained before shutdown;
 #   * shutdown over the wire, flushing the RunReport to OUT_DIR (the CI
 #     job uploads it as an artifact).
 #
@@ -58,6 +62,7 @@ echo "== generate snapshots"
 echo "== start tnmined"
 "$TNMINED" --listen "unix:$WORK/tnmined.sock" --data "$WORK/data1.csv" \
   --max-inflight 8 --cache-mb 64 --ready-file "$WORK/ready" \
+  --io-timeout-ms 10000 --idle-timeout-ms 30000 \
   --metrics-out "$OUT_DIR/RUNREPORT_server_smoke.json" \
   > "$OUT_DIR/tnmined.log" 2>&1 &
 SERVER_PID=$!
@@ -117,6 +122,16 @@ assert_json "$WORK/stats1.json" \
    and r["result"]["server"]["requests_cancelled"] == 0
    and r["result"]["report"]["counters"]["server/cache_hits"] == 16'
 
+echo "== connection-lifecycle counters are surfaced in stats"
+assert_json "$WORK/stats1.json" \
+  'r["result"]["server"]["conn_accepted"] >= 38
+   and r["result"]["server"]["conn_open"] >= 1
+   and r["result"]["server"]["conn_idle_reaped"] == 0
+   and r["result"]["server"]["conn_io_timeout"] == 0
+   and r["result"]["server"]["conn_bad_frame"] == 0
+   and r["result"]["server"]["io_timeout_ms"] == 10000
+   and r["result"]["server"]["idle_timeout_ms"] == 30000'
+
 echo "== tick-truncated mining is labeled honestly and not cached"
 client --op structural --support 8 --top 3 --threads 2 \
   --max-work-ticks 50 > "$WORK/truncated.json"
@@ -159,6 +174,30 @@ client --op structural --support 8 --top 3 --threads 2 \
   > "$WORK/fresh2.json"
 assert_json "$WORK/fresh2.json" 'r["ok"] and r["cached"] is True'
 
+echo "== client --retry rides through an injected transient connect failure"
+# The failpoint arms inside the *client* process: its first connect
+# attempt fails as if the network blinked, the retry succeeds.
+client --op ping --retry 3 --retry-backoff-ms 20 --retry-seed 7 \
+  --failpoint wire/connect_fail:io:1 > "$WORK/retry.json"
+assert_json "$WORK/retry.json" 'r["ok"]'
+# Control: without --retry the same injected failure is fatal, and the
+# error names the target address (not a bare "connect failed").
+if client --op ping --failpoint wire/connect_fail:io:1 \
+    > /dev/null 2> "$WORK/noretry.err"; then
+  echo "expected connect failure without --retry" >&2
+  exit 1
+fi
+grep -q "injected failure" "$WORK/noretry.err"
+grep -q "$WORK/tnmined.sock" "$WORK/noretry.err"
+
+echo "== every connection slot drains before shutdown"
+client --op stats > "$WORK/stats5.json"
+# Our own stats connection is the only one open at this point.
+assert_json "$WORK/stats5.json" \
+  'r["result"]["server"]["conn_open"] == 1
+   and r["result"]["server"]["inflight"] == 0
+   and r["result"]["server"]["accept_failures"] == 0'
+
 echo "== shutdown over the wire flushes the RunReport"
 client --op shutdown > /dev/null
 for _ in $(seq 1 100); do
@@ -174,6 +213,10 @@ SERVER_PID=""
 assert_json "$OUT_DIR/RUNREPORT_server_smoke.json" \
   '"server/requests_total" in r["counters"]
    and r["counters"]["server/cache_hits"] >= 17
-   and r["counters"]["server/snapshots_loaded"] == 2'
+   and r["counters"]["server/snapshots_loaded"] == 2
+   and "server/conn_accepted" in r["counters"]
+   and "server/conn_closed" in r["counters"]
+   and r["counters"]["server/conn_accepted"]
+       == r["counters"]["server/conn_closed"]'
 
 echo "server smoke: OK"

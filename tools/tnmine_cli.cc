@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/failpoint.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -402,6 +403,17 @@ int CmdExport(const Flags& flags) {
 /// --disconnect-after-ms N sends the request, sleeps, and closes without
 /// reading the response — the mid-flight disconnect path the server must
 /// answer by cancelling the mining run.
+///
+/// Resilience (DESIGN.md §15): --retry N makes up to N total attempts
+/// with exponential backoff + deterministic jitter
+/// (--retry-backoff-ms, --retry-seed); --request-deadline-ms caps the
+/// whole attempt loop; --io-timeout-ms bounds each frame read/write.
+/// Request retry is gated on idempotency: every current op is a read
+/// except load_snapshot and shutdown, whose requests are never
+/// re-sent (their connects still retry — connecting is always safe).
+/// --failpoint site:kind[:hit] arms deterministic fault injection in
+/// this client process (e.g. wire/connect_fail:io:1 to prove --retry
+/// rides through a transient connect failure).
 int CmdClient(const Flags& flags) {
   const std::string connect = flags.Get("connect", "");
   if (connect.empty()) {
@@ -410,6 +422,28 @@ int CmdClient(const Flags& flags) {
     return 2;
   }
   const std::string op = flags.Get("op", "ping");
+
+  for (const std::string& spec : flags.GetAll("failpoint")) {
+    if (!tnmine::failpoint::ArmFromSpec(spec)) {
+      std::fprintf(stderr, "client: bad --failpoint spec '%s'\n",
+                   spec.c_str());
+      return 2;
+    }
+  }
+
+  server::RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<int>(std::max(1L, flags.GetInt("retry", 1)));
+  policy.initial_backoff_ms =
+      static_cast<std::uint64_t>(flags.GetInt("retry-backoff-ms", 50));
+  policy.jitter_seed =
+      static_cast<std::uint64_t>(flags.GetInt("retry-seed", 1));
+  policy.request_deadline_ms = static_cast<std::uint64_t>(
+      flags.GetInt("request-deadline-ms", 0));
+  // All current ops are reads; the mutating ones must not be re-sent
+  // after an ambiguous transport failure (the first send may have been
+  // applied).
+  const bool idempotent = op != "load_snapshot" && op != "shutdown";
 
   server::JsonValue request = server::JsonValue::MakeObject();
   request.Set("op", server::JsonValue(op));
@@ -449,16 +483,18 @@ int CmdClient(const Flags& flags) {
   if (!params.object().empty()) request.Set("params", params);
 
   server::BlockingClient client;
+  client.set_io_timeout_ms(
+      static_cast<std::uint64_t>(flags.GetInt("io-timeout-ms", 0)));
   std::string error;
-  if (!client.Connect(connect, &error)) {
+  if (!client.Connect(connect, policy, &error)) {
     std::fprintf(stderr, "client: %s\n", error.c_str());
     return 1;
   }
 
   if (flags.Has("disconnect-after-ms")) {
     const long wait_ms = flags.GetInt("disconnect-after-ms", 0);
-    if (!client.Send(request)) {
-      std::fprintf(stderr, "client: send failed\n");
+    if (!client.Send(request, &error)) {
+      std::fprintf(stderr, "client: %s\n", error.c_str());
       return 1;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
@@ -471,7 +507,8 @@ int CmdClient(const Flags& flags) {
   int rc = 0;
   for (long i = 0; i < repeat; ++i) {
     server::JsonValue response;
-    if (!client.Call(request, &response, &error)) {
+    if (!client.CallWithRetry(request, policy, idempotent, &response,
+                              &error)) {
       std::fprintf(stderr, "client: %s\n", error.c_str());
       return 1;
     }

@@ -14,6 +14,15 @@
 //   --data FILE           CSV snapshot to load before serving.
 //   --cache-mb N          result-cache capacity (default 64; 0 disables).
 //   --max-inflight N      concurrent mining admission cap (default 4).
+//   --io-timeout-ms N     per-connection frame I/O budget: a peer that
+//                         stalls mid-frame (slow loris) is dropped when
+//                         the budget runs out (default 10000; 0 = never).
+//   --idle-timeout-ms N   reap connections idle between requests for
+//                         longer than this (default 0 = never).
+//   --accept-backlog N    listen(2) backlog (default 64).
+//   --failpoint SPECS     comma-separated site:kind[:hit] specs armed at
+//                         startup (e.g. server/accept_fail:io:1) — the
+//                         wire-chaos and retry tests' injection hook.
 //   --threads N           default mining parallelism for requests that
 //                         do not pin their own (0 = hardware).
 //   --deadline-ms N       server-side ceilings applied to every request
@@ -28,15 +37,18 @@
 // drained, and --metrics-out still flushes.
 //
 // Example:
-//   tnmined --listen unix:/tmp/tnmined.sock --data /tmp/data.csv \
+//   tnmined --listen unix:/tmp/tnmined.sock --data /tmp/data.csv
 //       --cache-mb 64 --max-inflight 8 --ready-file /tmp/tnmined.ready
 //   tnmine_cli client --connect unix:/tmp/tnmined.sock --op stats
+
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
 #include <string>
 
 #include "common/budget.h"
+#include "common/failpoint.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "server/server.h"
@@ -53,14 +65,38 @@ extern "C" void HandleShutdownSignal(int) {
   if (g_server != nullptr) g_server->RequestShutdownFromSignal();
 }
 
+// Atomic ready-file publication: write the resolved address to a temp
+// file, fsync it, then rename into place — a poller can see the file
+// absent or complete, never a partially written port number.
 bool WriteReadyFile(const std::string& path, const std::string& address) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) return false;
-  const bool ok =
+  bool ok =
       std::fputs(address.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+  ok = std::fflush(f) == 0 && ok;
+  if (ok) ::fsync(::fileno(f));
   if (std::fclose(f) != 0 || !ok) return false;
   return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+// Arms every comma-separated "site:kind[:hit]" failpoint spec; returns
+// false (and names the spec) on the first malformed one.
+bool ArmFailpoints(const std::string& specs, std::string* bad) {
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    const std::size_t comma = specs.find(',', start);
+    const std::string spec =
+        specs.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    if (!spec.empty() && !tnmine::failpoint::ArmFromSpec(spec)) {
+      *bad = spec;
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
 }
 
 }  // namespace
@@ -76,6 +112,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.GetInt("cache-mb", 64)) << 20;
   options.max_inflight =
       static_cast<std::size_t>(flags.GetInt("max-inflight", 4));
+  options.io_timeout_ms =
+      static_cast<std::uint64_t>(flags.GetInt("io-timeout-ms", 10000));
+  options.idle_timeout_ms =
+      static_cast<std::uint64_t>(flags.GetInt("idle-timeout-ms", 0));
+  options.accept_backlog =
+      static_cast<int>(flags.GetInt("accept-backlog", 64));
   options.parallelism = tnmine::common::Parallelism{
       static_cast<std::size_t>(flags.GetInt("threads", 0))};
   options.default_limits.deadline_ms =
@@ -84,6 +126,15 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.GetInt("max-work-ticks", 0));
   options.default_limits.max_memory_bytes =
       static_cast<std::uint64_t>(flags.GetInt("max-memory-mb", 0)) << 20;
+
+  for (const std::string& specs : flags.GetAll("failpoint")) {
+    std::string bad;
+    if (!ArmFailpoints(specs, &bad)) {
+      std::fprintf(stderr, "tnmined: bad --failpoint spec '%s'\n",
+                   bad.c_str());
+      return 2;
+    }
+  }
 
   tnmine::server::Server server(options);
   std::string error;

@@ -1,0 +1,733 @@
+// wire_chaos — hostile-client chaos harness for the tnmined wire layer
+// (DESIGN.md §15).
+//
+// Starts an in-process Server on a real TCP socket (the identical code
+// path tnmined runs) and drives it through seeded hostile-client
+// scenarios at the raw-socket level, below BlockingClient:
+//
+//   torn_header      a few header bytes, then silence (slow loris)
+//   torn_payload     full header, partial payload, then silence
+//   slow_loris       one byte per tick, forever — the deadline must
+//                    bound total frame time, not per-byte progress
+//   garbage_length   random length prefix far beyond kMaxFrameBytes
+//   oversized        length prefix of exactly kMaxFrameBytes + 1
+//   zero_frame       zero-length frame (must answer bad_request)
+//   non_json         well-framed binary garbage payload
+//   json_non_object  well-framed valid JSON that is not an object
+//   byte_mutate      a valid mining request with one byte flipped
+//   rst_mid_request  heavy mining request, then RST (SO_LINGER 0)
+//   connect_flood    a burst of connections past --max-inflight, most
+//                    sending nothing, some pinging
+//   idle_park        a connection that never sends anything (the idle
+//                    reaper must collect it)
+//   inject_*         failpoint-armed faults inside the server's own
+//                    wire path (read_torn / write_short / frame_garbage
+//                    / accept_fail) — compiled out with
+//                    -DTNMINE_FAILPOINTS=OFF
+//
+// After every scenario the harness asserts the server (1) did not
+// crash, (2) answers the next well-formed request, and (3) drains every
+// connection slot (conn_open back to zero — a stuck slot is a leak).
+// Frame-stall scenarios also measure the drop latency against
+// --io-timeout-ms plus scheduling slack.
+//
+// Usage:
+//   wire_chaos [--scenario NAME|all] [--seed N] [--iters M]
+//              [--io-timeout-ms N] [--idle-timeout-ms N]
+//              [--artifact-dir DIR] [--verbose 1]
+//
+// --scenario all (the "corpus" mode CI runs first) executes every named
+// scenario once, deterministically, at the base seed. The sweep mode
+// (--iters M) draws a scenario and its bytes from seed+i per iteration.
+// Exit 0 when everything passes; on failure prints a single-line
+// replay —
+//   REPLAY: wire_chaos --scenario NAME --seed S --iters 1
+// — and, with --artifact-dir, writes a .wirechaos description there
+// (uploaded by the CI chaos-smoke job).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "data/generator.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "tools/flag_parser.h"
+
+namespace {
+
+using namespace tnmine;
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t ElapsedMs(SteadyClock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          SteadyClock::now() - since)
+          .count());
+}
+
+/// Everything a scenario needs: the live server, its address, the
+/// configured timeouts, a seeded RNG, and a place to explain failures.
+struct ChaosContext {
+  server::Server* srv = nullptr;
+  std::string address;
+  std::uint64_t io_timeout_ms = 0;
+  std::uint64_t idle_timeout_ms = 0;
+  Rng* rng = nullptr;
+  bool verbose = false;
+  std::string detail;  ///< filled in by a failing scenario
+
+  bool Fail(const std::string& why) {
+    detail = why;
+    return false;
+  }
+};
+
+/// Raw blocking TCP connect to the server — deliberately below
+/// BlockingClient so scenarios control every byte on the wire.
+int RawConnect(const ChaosContext& ctx) {
+  server::ListenAddress addr;
+  std::string error;
+  if (!server::ListenAddress::Parse(ctx.address, &addr, &error)) return -1;
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sin.sin_addr) != 1) {
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+void PutHeader(char out[4], std::uint32_t len) {
+  out[0] = static_cast<char>((len >> 24) & 0xFF);
+  out[1] = static_cast<char>((len >> 16) & 0xFF);
+  out[2] = static_cast<char>((len >> 8) & 0xFF);
+  out[3] = static_cast<char>(len & 0xFF);
+}
+
+bool SendRawFrame(int fd, std::string_view payload) {
+  char header[4];
+  PutHeader(header, static_cast<std::uint32_t>(payload.size()));
+  return SendAll(fd, header, sizeof(header)) &&
+         SendAll(fd, payload.data(), payload.size());
+}
+
+/// Waits (bounded) until the server closes `fd`; returns elapsed ms, or
+/// UINT64_MAX when it never did within `limit_ms` — the hang detector.
+std::uint64_t WaitForPeerClose(int fd, std::uint64_t limit_ms) {
+  const auto start = SteadyClock::now();
+  char b;
+  while (ElapsedMs(start) < limit_ms) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) return ElapsedMs(start);
+    if (ready <= 0) continue;
+    const ssize_t got = ::recv(fd, &b, 1, 0);
+    if (got == 0) return ElapsedMs(start);               // orderly close
+    if (got < 0 && errno != EINTR && errno != EAGAIN) {
+      return ElapsedMs(start);                           // RST et al.
+    }
+    // Data (a response frame) — drain it and keep waiting for close.
+  }
+  return UINT64_MAX;
+}
+
+/// Reads one response frame (bounded); true when a complete frame came
+/// back. Scenarios that expect a bad_request response use this.
+bool ReadRawFrame(int fd, std::string* payload, std::uint64_t limit_ms) {
+  return server::ReadFrameDeadline(fd, payload, limit_ms, limit_ms) ==
+         server::FrameReadStatus::kFrame;
+}
+
+std::string PingBytes() {
+  server::JsonValue ping = server::JsonValue::MakeObject();
+  ping.Set("op", "ping");
+  return ping.Serialize();
+}
+
+std::string HeavyMiningBytes() {
+  server::JsonValue req = server::JsonValue::MakeObject();
+  req.Set("op", "structural");
+  server::JsonValue params = server::JsonValue::MakeObject();
+  params.Set("miner", "gspan");
+  params.Set("support", static_cast<std::int64_t>(2));
+  params.Set("max_edges", static_cast<std::int64_t>(6));
+  params.Set("reps", static_cast<std::int64_t>(8));
+  params.Set("threads", static_cast<std::int64_t>(2));
+  req.Set("params", std::move(params));
+  return req.Serialize();
+}
+
+/// The post-scenario liveness probe: a fresh well-formed request must
+/// round-trip. THE core chaos invariant — whatever the hostile client
+/// did, the next honest client is served.
+bool NextRequestServed(ChaosContext& ctx) {
+  server::BlockingClient client;
+  client.set_io_timeout_ms(30000);
+  std::string error;
+  server::JsonValue response;
+  server::JsonValue ping = server::JsonValue::MakeObject();
+  ping.Set("op", "ping");
+  if (!client.Connect(ctx.address, &error)) {
+    return ctx.Fail("liveness connect failed: " + error);
+  }
+  if (!client.Call(ping, &response, &error)) {
+    return ctx.Fail("liveness ping failed: " + error);
+  }
+  if (!response.Get("ok").AsBool(false)) {
+    return ctx.Fail("liveness ping answered !ok: " + response.Serialize());
+  }
+  return true;
+}
+
+/// Drains the server after a scenario: every connection slot the
+/// scenario consumed must be released (conn_open -> 0, inflight -> 0).
+/// A slot that never frees is exactly the leak this harness hunts.
+bool DrainedClean(ChaosContext& ctx) {
+  const auto start = SteadyClock::now();
+  while (ElapsedMs(start) < 30000) {
+    if (ctx.srv->conn_open() == 0 && ctx.srv->inflight() == 0) return true;
+    ::usleep(20 * 1000);
+  }
+  return ctx.Fail(
+      "connection slots stuck: conn_open=" +
+      std::to_string(ctx.srv->conn_open()) +
+      " inflight=" + std::to_string(ctx.srv->inflight()) + " after 30s");
+}
+
+// Generous scheduling slack on top of the configured deadline before a
+// drop counts as "too slow" (CI boxes stall; the contract is bounded,
+// not tight).
+constexpr std::uint64_t kSlackMs = 8000;
+
+// ---------------------------------------------------------------------
+// Scenarios. Each returns true on pass; on failure ctx.detail says why.
+
+bool ScenarioTornHeader(ChaosContext& ctx) {
+  const int fd = RawConnect(ctx);
+  if (fd < 0) return ctx.Fail("connect failed");
+  char header[4];
+  PutHeader(header, 16);
+  const std::size_t torn = 1 + ctx.rng->NextBounded(3);  // 1..3 of 4
+  if (!SendAll(fd, header, torn)) {
+    ::close(fd);
+    return ctx.Fail("send failed");
+  }
+  const std::uint64_t dropped_ms =
+      WaitForPeerClose(fd, ctx.io_timeout_ms + kSlackMs);
+  ::close(fd);
+  if (dropped_ms == UINT64_MAX) {
+    return ctx.Fail("torn header never dropped (slow-loris hole)");
+  }
+  if (ctx.verbose) {
+    std::printf("  torn_header dropped after %llu ms\n",
+                static_cast<unsigned long long>(dropped_ms));
+  }
+  return true;
+}
+
+bool ScenarioTornPayload(ChaosContext& ctx) {
+  const int fd = RawConnect(ctx);
+  if (fd < 0) return ctx.Fail("connect failed");
+  char header[4];
+  const std::uint32_t len = 64 + static_cast<std::uint32_t>(
+                                     ctx.rng->NextBounded(256));
+  PutHeader(header, len);
+  std::string partial(ctx.rng->NextBounded(len), 'x');
+  if (!SendAll(fd, header, sizeof(header)) ||
+      !SendAll(fd, partial.data(), partial.size())) {
+    ::close(fd);
+    return ctx.Fail("send failed");
+  }
+  const std::uint64_t dropped_ms =
+      WaitForPeerClose(fd, ctx.io_timeout_ms + kSlackMs);
+  ::close(fd);
+  if (dropped_ms == UINT64_MAX) {
+    return ctx.Fail("torn payload never dropped");
+  }
+  return true;
+}
+
+bool ScenarioSlowLoris(ChaosContext& ctx) {
+  // Trickle a valid frame one byte at a time: per-byte progress keeps
+  // happening, so only a whole-frame budget can stop it.
+  const int fd = RawConnect(ctx);
+  if (fd < 0) return ctx.Fail("connect failed");
+  const std::string payload = PingBytes();
+  std::string frame(4, '\0');
+  PutHeader(frame.data(), static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  const auto start = SteadyClock::now();
+  bool closed = false;
+  for (std::size_t i = 0;
+       i < frame.size() && ElapsedMs(start) < ctx.io_timeout_ms + kSlackMs;
+       ++i) {
+    if (!SendAll(fd, frame.data() + i, 1)) {
+      closed = true;  // server already dropped us mid-trickle
+      break;
+    }
+    ::usleep(30 * 1000);
+  }
+  if (!closed) {
+    closed = WaitForPeerClose(fd, ctx.io_timeout_ms + kSlackMs) !=
+             UINT64_MAX;
+  }
+  ::close(fd);
+  if (!closed) return ctx.Fail("slow-loris trickle was never dropped");
+  return true;
+}
+
+bool ScenarioGarbageLength(ChaosContext& ctx) {
+  const int fd = RawConnect(ctx);
+  if (fd < 0) return ctx.Fail("connect failed");
+  // Any length above kMaxFrameBytes, drawn from the full garbage range.
+  const std::uint32_t len =
+      server::kMaxFrameBytes + 1 +
+      static_cast<std::uint32_t>(ctx.rng->NextBounded(
+          0xFFFFFFFFu - server::kMaxFrameBytes - 1));
+  char header[4];
+  PutHeader(header, len);
+  if (!SendAll(fd, header, sizeof(header))) {
+    ::close(fd);
+    return ctx.Fail("send failed");
+  }
+  const std::uint64_t dropped_ms =
+      WaitForPeerClose(fd, ctx.io_timeout_ms + kSlackMs);
+  ::close(fd);
+  if (dropped_ms == UINT64_MAX) {
+    return ctx.Fail("garbage length prefix not dropped");
+  }
+  return true;
+}
+
+bool ScenarioOversized(ChaosContext& ctx) {
+  const int fd = RawConnect(ctx);
+  if (fd < 0) return ctx.Fail("connect failed");
+  char header[4];
+  PutHeader(header, server::kMaxFrameBytes + 1);
+  if (!SendAll(fd, header, sizeof(header))) {
+    ::close(fd);
+    return ctx.Fail("send failed");
+  }
+  const std::uint64_t dropped_ms =
+      WaitForPeerClose(fd, ctx.io_timeout_ms + kSlackMs);
+  ::close(fd);
+  if (dropped_ms == UINT64_MAX) {
+    return ctx.Fail("oversized frame not dropped");
+  }
+  return true;
+}
+
+/// Shared shape for the three "well-framed, bad payload" scenarios:
+/// the server must answer bad_request (then drop), never crash.
+bool ExpectBadRequest(ChaosContext& ctx, std::string_view payload,
+                      const char* what) {
+  const int fd = RawConnect(ctx);
+  if (fd < 0) return ctx.Fail("connect failed");
+  if (!SendRawFrame(fd, payload)) {
+    ::close(fd);
+    return ctx.Fail("send failed");
+  }
+  std::string response;
+  const bool got = ReadRawFrame(fd, &response, 30000);
+  ::close(fd);
+  if (!got) {
+    return ctx.Fail(std::string(what) + ": no bad_request response");
+  }
+  server::JsonValue doc;
+  std::string error;
+  if (!server::JsonValue::Parse(response, &doc, &error)) {
+    return ctx.Fail(std::string(what) +
+                    ": response is not JSON: " + error);
+  }
+  if (doc.Get("code").AsString() != "bad_request") {
+    return ctx.Fail(std::string(what) +
+                    ": expected bad_request, got: " + response);
+  }
+  return true;
+}
+
+bool ScenarioZeroFrame(ChaosContext& ctx) {
+  return ExpectBadRequest(ctx, "", "zero-length frame");
+}
+
+bool ScenarioNonJson(ChaosContext& ctx) {
+  std::string garbage(1 + ctx.rng->NextBounded(128), '\0');
+  for (char& c : garbage) {
+    c = static_cast<char>(ctx.rng->NextBounded(256));
+  }
+  // A mutated payload can accidentally be valid JSON; force a byte that
+  // cannot start a document so bad_request is the only legal answer.
+  garbage[0] = '\x01';
+  return ExpectBadRequest(ctx, garbage, "non-JSON payload");
+}
+
+bool ScenarioJsonNonObject(ChaosContext& ctx) {
+  static const char* kDocs[] = {"[1,2,3]", "\"op\"", "42", "true", "null"};
+  return ExpectBadRequest(ctx, kDocs[ctx.rng->NextBounded(5)],
+                          "JSON non-object");
+}
+
+bool ScenarioByteMutate(ChaosContext& ctx) {
+  // A valid request with one byte flipped: the server may answer
+  // (bad_request, unknown op, even success when the flip is benign) or
+  // drop — but it must survive and the framing must not wedge.
+  std::string payload = HeavyMiningBytes();
+  const std::size_t pos = ctx.rng->NextBounded(payload.size());
+  payload[pos] = static_cast<char>(payload[pos] ^
+                                   (1 + ctx.rng->NextBounded(255)));
+  const int fd = RawConnect(ctx);
+  if (fd < 0) return ctx.Fail("connect failed");
+  if (!SendRawFrame(fd, payload)) {
+    ::close(fd);
+    return ctx.Fail("send failed");
+  }
+  std::string response;
+  ReadRawFrame(fd, &response, 60000);  // response optional; drop is fine
+  ::close(fd);
+  return true;
+}
+
+bool ScenarioRstMidRequest(ChaosContext& ctx) {
+  const int fd = RawConnect(ctx);
+  if (fd < 0) return ctx.Fail("connect failed");
+  if (!SendRawFrame(fd, HeavyMiningBytes())) {
+    ::close(fd);
+    return ctx.Fail("send failed");
+  }
+  ::usleep((50 + ctx.rng->NextBounded(300)) * 1000);
+  // SO_LINGER 0 turns close() into an RST — the rudest disconnect.
+  linger lin{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+  ::close(fd);
+  return true;  // epilogue asserts liveness + drained slots
+}
+
+bool ScenarioConnectFlood(ChaosContext& ctx) {
+  std::vector<int> herd;
+  for (int i = 0; i < 32; ++i) {
+    const int fd = RawConnect(ctx);
+    if (fd >= 0) herd.push_back(fd);
+  }
+  if (herd.size() < 16) {
+    for (int fd : herd) ::close(fd);
+    return ctx.Fail("flood: most connects refused (" +
+                    std::to_string(herd.size()) + "/32)");
+  }
+  // A few of the flooded connections behave; they must still be served.
+  const std::string ping = PingBytes();
+  for (std::size_t i = 0; i < herd.size(); i += 8) {
+    if (!SendRawFrame(herd[i], ping)) {
+      // An idle-reaped or backlogged socket may already be gone —
+      // that is load-shedding, not a failure.
+      continue;
+    }
+    std::string response;
+    if (!ReadRawFrame(herd[i], &response, 30000)) {
+      for (int fd : herd) ::close(fd);
+      return ctx.Fail("flood: polite ping in the herd got no response");
+    }
+  }
+  for (int fd : herd) ::close(fd);
+  return true;
+}
+
+bool ScenarioIdlePark(ChaosContext& ctx) {
+  if (ctx.idle_timeout_ms == 0) return true;  // reaper disabled
+  const int fd = RawConnect(ctx);
+  if (fd < 0) return ctx.Fail("connect failed");
+  const std::uint64_t before = ctx.srv->conn_idle_reaped();
+  const std::uint64_t dropped_ms =
+      WaitForPeerClose(fd, ctx.idle_timeout_ms + kSlackMs);
+  ::close(fd);
+  if (dropped_ms == UINT64_MAX) {
+    return ctx.Fail("idle connection never reaped");
+  }
+  if (ctx.srv->conn_idle_reaped() <= before) {
+    return ctx.Fail("idle drop not counted in conn_idle_reaped");
+  }
+  return true;
+}
+
+#if TNMINE_FAILPOINTS_ENABLED
+/// Arms `spec` one-shot inside the server's own wire path, fires it
+/// with a valid request, and asserts the server absorbs the injected
+/// fault (drop or error response) and serves the next request.
+bool InjectScenario(ChaosContext& ctx, const char* site,
+                    failpoint::Kind kind) {
+  failpoint::DisarmAll();
+  if (!failpoint::Arm(site, kind)) {
+    return ctx.Fail(std::string("cannot arm ") + site);
+  }
+  const int fd = RawConnect(ctx);
+  if (fd < 0) {
+    failpoint::DisarmAll();
+    return ctx.Fail("connect failed");
+  }
+  std::string response;
+  if (SendRawFrame(fd, PingBytes())) {
+    ReadRawFrame(fd, &response, 10000);  // drop or error both legal
+  }
+  ::close(fd);
+  failpoint::DisarmAll();
+  return true;  // epilogue asserts liveness
+}
+
+bool ScenarioInjectReadTorn(ChaosContext& ctx) {
+  return InjectScenario(ctx, "wire/read_torn", failpoint::Kind::kIoError);
+}
+bool ScenarioInjectWriteShort(ChaosContext& ctx) {
+  return InjectScenario(ctx, "wire/write_short",
+                        failpoint::Kind::kIoError);
+}
+bool ScenarioInjectFrameGarbage(ChaosContext& ctx) {
+  return InjectScenario(ctx, "wire/frame_garbage",
+                        failpoint::Kind::kIoError);
+}
+
+bool ScenarioInjectAcceptFail(ChaosContext& ctx) {
+  failpoint::DisarmAll();
+  if (!failpoint::Arm("server/accept_fail", failpoint::Kind::kIoError)) {
+    return ctx.Fail("cannot arm server/accept_fail");
+  }
+  const std::uint64_t before = ctx.srv->accept_failures();
+  // This connect lands on the armed site: the server drops it at
+  // accept. TCP has already completed the handshake, so the client
+  // only notices at I/O time.
+  const int fd = RawConnect(ctx);
+  if (fd >= 0) {
+    WaitForPeerClose(fd, 10000);
+    ::close(fd);
+  }
+  failpoint::DisarmAll();
+  const auto start = SteadyClock::now();
+  while (ctx.srv->accept_failures() <= before && ElapsedMs(start) < 10000) {
+    ::usleep(10 * 1000);
+  }
+  if (ctx.srv->accept_failures() <= before) {
+    return ctx.Fail("injected accept failure not observed");
+  }
+  return true;  // epilogue proves the next connect is served
+}
+#endif  // TNMINE_FAILPOINTS_ENABLED
+
+struct Scenario {
+  const char* name;
+  bool (*run)(ChaosContext&);
+};
+
+constexpr Scenario kScenarios[] = {
+    {"torn_header", ScenarioTornHeader},
+    {"torn_payload", ScenarioTornPayload},
+    {"slow_loris", ScenarioSlowLoris},
+    {"garbage_length", ScenarioGarbageLength},
+    {"oversized", ScenarioOversized},
+    {"zero_frame", ScenarioZeroFrame},
+    {"non_json", ScenarioNonJson},
+    {"json_non_object", ScenarioJsonNonObject},
+    {"byte_mutate", ScenarioByteMutate},
+    {"rst_mid_request", ScenarioRstMidRequest},
+    {"connect_flood", ScenarioConnectFlood},
+    {"idle_park", ScenarioIdlePark},
+#if TNMINE_FAILPOINTS_ENABLED
+    {"inject_read_torn", ScenarioInjectReadTorn},
+    {"inject_write_short", ScenarioInjectWriteShort},
+    {"inject_frame_garbage", ScenarioInjectFrameGarbage},
+    {"inject_accept_fail", ScenarioInjectAcceptFail},
+#endif
+};
+
+constexpr std::size_t kNumScenarios =
+    sizeof(kScenarios) / sizeof(kScenarios[0]);
+
+void WriteArtifact(const std::string& dir, const Scenario& scenario,
+                   std::uint64_t seed, const ChaosContext& ctx) {
+  const std::string path = dir + "/" + scenario.name + "_" +
+                           std::to_string(seed) + ".wirechaos";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "wire_chaos: cannot write artifact %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "scenario: %s\nseed: %llu\nio_timeout_ms: %llu\n"
+               "idle_timeout_ms: %llu\ndetail: %s\n"
+               "replay: wire_chaos --scenario %s --seed %llu --iters 1\n",
+               scenario.name, static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(ctx.io_timeout_ms),
+               static_cast<unsigned long long>(ctx.idle_timeout_ms),
+               ctx.detail.c_str(), scenario.name,
+               static_cast<unsigned long long>(seed));
+  std::fclose(f);
+}
+
+/// One scenario plus the universal epilogue (alive + drained). Returns
+/// true on pass; ctx.detail explains a failure.
+bool RunOne(const Scenario& scenario, std::uint64_t seed,
+            ChaosContext& ctx) {
+  Rng rng(seed);
+  ctx.rng = &rng;
+  ctx.detail.clear();
+  if (!scenario.run(ctx)) return false;
+  if (!NextRequestServed(ctx)) return false;
+  if (!DrainedClean(ctx)) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Flags flags(argc, argv, 1);
+  if (!flags.ok()) return 2;
+
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const long iters = flags.GetInt("iters", 1);
+  const std::string only = flags.Get("scenario", "");
+  const std::string artifact_dir = flags.Get("artifact-dir", "");
+  const bool verbose = flags.GetInt("verbose", 0) != 0;
+
+  // A short frame deadline keeps the stall scenarios fast; the idle
+  // reaper is on so parked flood connections cannot pile up forever.
+  server::ServerOptions options;
+  options.listen = "tcp:127.0.0.1:0";
+  options.io_timeout_ms =
+      static_cast<std::uint64_t>(flags.GetInt("io-timeout-ms", 500));
+  options.idle_timeout_ms =
+      static_cast<std::uint64_t>(flags.GetInt("idle-timeout-ms", 2500));
+  options.max_inflight = 2;
+  options.cache_bytes = 8ull << 20;
+
+  const std::string data_path =
+      "/tmp/wire_chaos_data_" + std::to_string(::getpid()) + ".csv";
+  {
+    data::GeneratorConfig config = data::GeneratorConfig::SmallScale();
+    config.seed = 7;
+    std::string error;
+    if (!data::GenerateTransportData(config).SaveCsv(data_path, &error)) {
+      std::fprintf(stderr, "wire_chaos: cannot write dataset: %s\n",
+                   error.c_str());
+      return 2;
+    }
+  }
+  options.snapshot_path = data_path;
+
+  server::Server srv(options);
+  std::string error;
+  if (!srv.Start(&error)) {
+    std::fprintf(stderr, "wire_chaos: server start failed: %s\n",
+                 error.c_str());
+    ::unlink(data_path.c_str());
+    return 2;
+  }
+
+  ChaosContext ctx;
+  ctx.srv = &srv;
+  ctx.address = srv.address();
+  ctx.io_timeout_ms = options.io_timeout_ms;
+  ctx.idle_timeout_ms = options.idle_timeout_ms;
+  ctx.verbose = verbose;
+
+  int failures = 0;
+  long executed = 0;
+  if (only == "all" || (only.empty() && iters <= 1)) {
+    // Corpus mode: every named scenario once, deterministically.
+    for (const Scenario& scenario : kScenarios) {
+      ++executed;
+      if (verbose) std::printf("corpus: %s\n", scenario.name);
+      if (!RunOne(scenario, seed, ctx)) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s: %s\nREPLAY: wire_chaos --scenario "
+                             "%s --seed %llu --iters 1\n",
+                     scenario.name, ctx.detail.c_str(), scenario.name,
+                     static_cast<unsigned long long>(seed));
+        if (!artifact_dir.empty()) {
+          WriteArtifact(artifact_dir, scenario, seed, ctx);
+        }
+        break;
+      }
+    }
+  } else {
+    // Named-scenario or seeded-sweep mode.
+    const Scenario* pinned = nullptr;
+    if (!only.empty()) {
+      for (const Scenario& scenario : kScenarios) {
+        if (only == scenario.name) pinned = &scenario;
+      }
+      if (pinned == nullptr) {
+        std::fprintf(stderr, "wire_chaos: unknown scenario '%s'\n",
+                     only.c_str());
+        srv.Stop();
+        ::unlink(data_path.c_str());
+        return 2;
+      }
+    }
+    for (long i = 0; i < iters; ++i) {
+      const std::uint64_t iter_seed = seed + static_cast<std::uint64_t>(i);
+      Rng pick(iter_seed * 0x9E3779B97F4A7C15ull + 1);
+      const Scenario& scenario =
+          pinned != nullptr ? *pinned
+                            : kScenarios[pick.NextBounded(kNumScenarios)];
+      ++executed;
+      if (verbose) {
+        std::printf("iter %ld: %s (seed %llu)\n", i, scenario.name,
+                    static_cast<unsigned long long>(iter_seed));
+      }
+      if (!RunOne(scenario, iter_seed, ctx)) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s (iter %ld): %s\nREPLAY: wire_chaos "
+                             "--scenario %s --seed %llu --iters 1\n",
+                     scenario.name, i, ctx.detail.c_str(), scenario.name,
+                     static_cast<unsigned long long>(iter_seed));
+        if (!artifact_dir.empty()) {
+          WriteArtifact(artifact_dir, scenario, iter_seed, ctx);
+        }
+        break;
+      }
+    }
+  }
+
+#if TNMINE_FAILPOINTS_ENABLED
+  failpoint::DisarmAll();
+#endif
+  srv.Stop();
+  ::unlink(data_path.c_str());
+  if (failures == 0) {
+    std::printf("wire_chaos: %ld scenario run(s) OK\n", executed);
+    return 0;
+  }
+  return 1;
+}
