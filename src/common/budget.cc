@@ -78,6 +78,18 @@ bool ResourceBudget::TryChargeMemory(std::uint64_t bytes) const {
   return true;
 }
 
+bool ResourceBudget::TryChargeMemoryNoTrip(std::uint64_t bytes) const {
+  if (root_ == nullptr) return true;
+  const std::uint64_t charged =
+      root_->memory_charged.fetch_add(bytes, std::memory_order_relaxed) +
+      bytes;
+  if (root_->max_memory_bytes != 0 && charged > root_->max_memory_bytes) {
+    root_->memory_charged.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
 void ResourceBudget::ReleaseMemory(std::uint64_t bytes) const {
   if (root_ != nullptr) {
     root_->memory_charged.fetch_sub(bytes, std::memory_order_relaxed);

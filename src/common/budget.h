@@ -113,6 +113,12 @@ class ResourceBudget {
   /// Const because it mutates only shared root state, so budgets held in
   /// const options structs can still meter.
   bool TryChargeMemory(std::uint64_t bytes) const;
+  /// Like TryChargeMemory, but a failed charge does NOT trip the sticky
+  /// memory outcome. For callers with a recovery move left (the shard LRU
+  /// evicts resident shards and retries); only the final, unrecoverable
+  /// attempt should go through TryChargeMemory so a run that recovered
+  /// still reports kComplete.
+  bool TryChargeMemoryNoTrip(std::uint64_t bytes) const;
   void ReleaseMemory(std::uint64_t bytes) const;
   std::uint64_t memory_charged() const;
 

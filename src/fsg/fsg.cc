@@ -18,6 +18,7 @@
 #include "common/trace.h"
 #include "graph/algorithms.h"
 #include "graph/graph_view.h"
+#include "graph/transaction_source.h"
 #include "iso/canonical.h"
 #include "iso/vf2.h"
 #include "pattern/tid_set.h"
@@ -85,8 +86,11 @@ void AppendU32(std::string* out, std::uint32_t x) {
 
 /// Serializes the adjacent edge pair (first, second) of `g` in that edge
 /// order: both edge types, then the shared-vertex descriptors (label,
-/// role in first, role in second), sorted.
-void AppendWedgeOrdering(const LabeledGraph& g, EdgeId first, EdgeId second,
+/// role in first, role in second), sorted. Works on any graph type with
+/// edge(e) and vertex_label(v) — LabeledGraph for candidate patterns,
+/// GraphView for transactions read through a TransactionSource.
+template <typename G>
+void AppendWedgeOrdering(const G& g, EdgeId first, EdgeId second,
                          std::string* out) {
   out->clear();
   const Edge& a = g.edge(first);
@@ -121,9 +125,9 @@ void AppendWedgeOrdering(const LabeledGraph& g, EdgeId first, EdgeId second,
 /// returned (covers the swap ambiguity when both edges have the same
 /// type). This is what makes exact level-2 support counting from the
 /// per-transaction wedge index possible — see DESIGN.md §12.
-const std::string& WedgeSignature(const LabeledGraph& g, EdgeId e1,
-                                  EdgeId e2, std::string* buf_a,
-                                  std::string* buf_b) {
+template <typename G>
+const std::string& WedgeSignature(const G& g, EdgeId e1, EdgeId e2,
+                                  std::string* buf_a, std::string* buf_b) {
   AppendWedgeOrdering(g, e1, e2, buf_a);
   AppendWedgeOrdering(g, e2, e1, buf_b);
   return *buf_a < *buf_b ? *buf_a : *buf_b;
@@ -176,6 +180,22 @@ bool SmallGraphsIsomorphic(const LabeledGraph& a, const LabeledGraph& b) {
 }  // namespace
 
 FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
+                  const FsgOptions& options) {
+  for (const LabeledGraph& t : transactions) {
+    TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
+  }
+  // One flat snapshot per transaction, presented as a single in-memory
+  // shard; the source-based core below does all the mining. Keeping the
+  // two overloads on one code path is what makes the byte-identity
+  // contract between the in-RAM and out-of-core runs checkable.
+  std::vector<graph::GraphView> views;
+  views.reserve(transactions.size());
+  for (const LabeledGraph& t : transactions) views.emplace_back(t);
+  graph::InMemoryTransactionSource source(std::move(views));
+  return MineFsg(source, options);
+}
+
+FsgResult MineFsg(graph::TransactionSource& source,
                   const FsgOptions& raw_options) {
   TNMINE_TRACE_SPAN("fsg/mine");
   TNMINE_COUNTER_ADD("fsg/runs_started", 1);
@@ -184,16 +204,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
   FsgOptions options = raw_options;
   options.min_support = std::max<std::size_t>(1, options.min_support);
   FsgResult result;
-  for (const LabeledGraph& t : transactions) {
-    TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
-  }
-  const auto universe = static_cast<std::uint32_t>(transactions.size());
-
-  // One flat snapshot per transaction, shared read-only by all counting
-  // lanes below.
-  std::vector<graph::GraphView> views;
-  views.reserve(transactions.size());
-  for (const LabeledGraph& t : transactions) views.emplace_back(t);
+  const auto universe = static_cast<std::uint32_t>(source.num_transactions());
 
   // Sequential tick ledger: level 1 and candidate generation run on the
   // calling thread, so charging them directly is deterministic. The
@@ -201,105 +212,150 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
   common::BudgetMeter meter(options.budget);
 
   // ---------------------------------------------------------------------
-  // Level 1: frequent single-edge patterns by direct counting. A budget
-  // stop here returns an empty (but honest) result: partially counted
-  // level-1 supports would under-report and cannot be emitted as frequent.
-  std::map<std::pair<EdgeType, bool>, std::vector<std::uint32_t>> edge_tids;
+  // Level 1: frequent single-edge patterns by direct counting, gathered
+  // one shard at a time: each shard accumulates shard-local TID lists
+  // (ids relative to the shard base) which are then spliced into the
+  // global sets with TidSet::SpliceUnion at the shard's base. Shards are
+  // visited in ascending base order, so every splice takes the pure
+  // append path and the global sets come out identical to a flat
+  // single-pass build — at any shard cut. A budget stop here returns an
+  // empty (but honest) result: partially counted level-1 supports would
+  // under-report and cannot be emitted as frequent.
+  std::map<std::pair<EdgeType, bool>, TidSet> edge_sets;
   // Transactions with at least k (2 <= k <= kMaxTypeMult) edges of a
   // type: a candidate using a type m > 1 times can only live where the
   // type occurs >= m times, and these sets are far smaller than the
   // plain presence sets. Capped at kMaxTypeMult (higher multiplicities
   // fall back to the >= kMaxTypeMult set — weaker but still exact).
   constexpr std::uint32_t kMaxTypeMult = 4;
-  std::map<std::tuple<EdgeType, bool, std::uint32_t>,
-           std::vector<std::uint32_t>>
-      mult_lists;
-  std::map<std::pair<EdgeType, bool>, std::uint32_t> type_counts;
+  std::map<std::tuple<EdgeType, bool, std::uint32_t>, TidSet> mult_sets;
   // Wedge index: for every adjacent edge pair of every transaction, the
   // pair's canonical signature is recorded once per transaction. Because
   // the signature identifies a connected 2-edge pattern up to
   // isomorphism, a signature's TID list is the exact support set of that
   // pattern — level 2 is counted from this index with no VF2 at all.
-  std::map<std::string, std::vector<std::uint32_t>> wedge_lists;
+  std::map<std::string, TidSet> wedge_sets;
+  // Shard-local scratch, cleared per shard.
+  std::map<std::pair<EdgeType, bool>, std::vector<std::uint32_t>> local_edge;
+  std::map<std::tuple<EdgeType, bool, std::uint32_t>,
+           std::vector<std::uint32_t>>
+      local_mult;
+  std::map<std::string, std::vector<std::uint32_t>> local_wedge;
   std::vector<std::vector<EdgeId>> incident;
   std::unordered_set<std::string> txn_sigs;
   std::string sig_a;
   std::string sig_b;
-  for (std::uint32_t tid = 0; tid < transactions.size(); ++tid) {
-    const graph::GraphView& t = views[tid];
-    const common::MiningOutcome stop = meter.Charge(1 + t.num_edges());
-    if (stop != common::MiningOutcome::kComplete) {
-      result.outcome = stop;
-      result.work_ticks = meter.ticks_spent();
-      common::RecordOutcome("fsg", result.outcome);
-      return result;
-    }
-    // The view's edge-type index is exactly the distinct live edge types
-    // of the transaction, in the order the former per-transaction
-    // std::set produced them.
-    for (std::size_t type = 0; type < t.NumEdgeTypes(); ++type) {
-      const graph::GraphView::EdgeTypeKey& key = t.EdgeTypeAt(type);
-      edge_tids[{EdgeType{key.src_label, key.dst_label, key.edge_label},
-                 key.self_loop}]
-          .push_back(tid);
-    }
-    type_counts.clear();
-    const LabeledGraph& tg = transactions[tid];
-    if (incident.size() < tg.num_vertices()) incident.resize(tg.num_vertices());
-    for (VertexId v = 0; v < tg.num_vertices(); ++v) incident[v].clear();
-    tg.ForEachEdge([&](EdgeId e) {
-      const Edge& edge = tg.edge(e);
-      ++type_counts[{EdgeType{tg.vertex_label(edge.src),
-                              tg.vertex_label(edge.dst), edge.label},
-                     edge.src == edge.dst}];
-      incident[edge.src].push_back(e);
-      if (edge.dst != edge.src) incident[edge.dst].push_back(e);
-    });
-    for (const auto& [key, count] : type_counts) {
-      for (std::uint32_t k = 2; k <= std::min(count, kMaxTypeMult); ++k) {
-        mult_lists[{key.first, key.second, k}].push_back(tid);
-      }
-    }
-    // Every adjacent pair is visited at each shared vertex; pairs sharing
-    // two vertices come up twice and the per-transaction signature set
-    // collapses the duplicates (presence is all the index stores).
-    txn_sigs.clear();
-    for (VertexId v = 0; v < tg.num_vertices(); ++v) {
-      const std::vector<EdgeId>& at_v = incident[v];
-      for (std::size_t i = 0; i + 1 < at_v.size(); ++i) {
-        for (std::size_t j = i + 1; j < at_v.size(); ++j) {
-          const std::string& sig =
-              WedgeSignature(tg, at_v[i], at_v[j], &sig_a, &sig_b);
-          if (txn_sigs.insert(sig).second) {
-            wedge_lists[sig].push_back(tid);
+  common::MiningOutcome level1_stop = common::MiningOutcome::kComplete;
+  try {
+    for (std::size_t s = 0; s < source.num_shards(); ++s) {
+      const graph::ShardRef shard = source.Pin(s);
+      const auto shard_size = static_cast<std::uint32_t>(shard.views.size());
+      local_edge.clear();
+      local_mult.clear();
+      local_wedge.clear();
+      for (std::uint32_t i = 0; i < shard_size; ++i) {
+        const graph::GraphView& t = shard.views[i];
+        level1_stop = meter.Charge(1 + t.num_edges());
+        if (level1_stop != common::MiningOutcome::kComplete) break;
+        // The view's edge-type index is exactly the distinct live edge
+        // types of the transaction in sorted-key order, and each type's
+        // edge list length is its multiplicity — the per-transaction
+        // std::map the in-RAM build used produced the same sequence.
+        for (std::size_t type = 0; type < t.NumEdgeTypes(); ++type) {
+          const graph::GraphView::EdgeTypeKey& key = t.EdgeTypeAt(type);
+          const EdgeType et{key.src_label, key.dst_label, key.edge_label};
+          local_edge[{et, key.self_loop}].push_back(i);
+          const auto count =
+              static_cast<std::uint32_t>(t.EdgesOfType(type).size());
+          for (std::uint32_t k = 2; k <= std::min(count, kMaxTypeMult); ++k) {
+            local_mult[{et, key.self_loop, k}].push_back(i);
+          }
+        }
+        if (incident.size() < t.num_vertices()) {
+          incident.resize(t.num_vertices());
+        }
+        for (VertexId v = 0; v < t.num_vertices(); ++v) incident[v].clear();
+        for (EdgeId e = 0; e < t.edge_capacity(); ++e) {
+          if (!t.edge_alive(e)) continue;
+          const Edge& edge = t.edge(e);
+          incident[edge.src].push_back(e);
+          if (edge.dst != edge.src) incident[edge.dst].push_back(e);
+        }
+        // Every adjacent pair is visited at each shared vertex; pairs
+        // sharing two vertices come up twice and the per-transaction
+        // signature set collapses the duplicates (presence is all the
+        // index stores).
+        txn_sigs.clear();
+        for (VertexId v = 0; v < t.num_vertices(); ++v) {
+          const std::vector<EdgeId>& at_v = incident[v];
+          for (std::size_t a = 0; a + 1 < at_v.size(); ++a) {
+            for (std::size_t b = a + 1; b < at_v.size(); ++b) {
+              const std::string& sig =
+                  WedgeSignature(t, at_v[a], at_v[b], &sig_a, &sig_b);
+              if (txn_sigs.insert(sig).second) {
+                local_wedge[sig].push_back(i);
+              }
+            }
           }
         }
       }
+      if (level1_stop != common::MiningOutcome::kComplete) break;
+      // Merge this shard's lists into the global sets at the shard base.
+      for (auto& [key, tids] : local_edge) {
+        edge_sets[key].SpliceUnion(
+            TidSet::FromSorted(std::move(tids), shard_size), shard.base);
+      }
+      for (auto& [key, tids] : local_mult) {
+        mult_sets[key].SpliceUnion(
+            TidSet::FromSorted(std::move(tids), shard_size), shard.base);
+      }
+      for (auto& [sig, tids] : local_wedge) {
+        wedge_sets[sig].SpliceUnion(
+            TidSet::FromSorted(std::move(tids), shard_size), shard.base);
+      }
     }
+  } catch (const std::bad_alloc&) {
+    // A shard pin that could not fit the memory ceiling even after
+    // evicting everything else. Level 1 is incomplete, so nothing can be
+    // emitted honestly.
+    level1_stop = common::MiningOutcome::kMemoryBudgetExceeded;
+    result.aborted_out_of_memory = true;
+  }
+  if (level1_stop != common::MiningOutcome::kComplete) {
+    result.outcome = level1_stop;
+    result.work_ticks = meter.ticks_spent();
+    common::RecordOutcome("fsg", result.outcome);
+    return result;
   }
   // The level-1 index lives for the whole mine: every observed edge
   // type's TID set (frequent or not) is retained so candidate generation
   // can intersect a join parent's set with the added edge type's set — a
   // necessary containment condition that shrinks the feasible set before
-  // any VF2 call (DESIGN.md §12).
+  // any VF2 call (DESIGN.md §12). Rebuilding each accumulated set through
+  // FromSorted pins its universe to the full transaction count and its
+  // heap footprint to a deterministic function of its contents, shard cut
+  // notwithstanding.
   std::map<std::pair<EdgeType, bool>, std::shared_ptr<const TidSet>>
       type_tids;
-  for (auto& [key, tids] : edge_tids) {
+  for (auto& [key, set] : edge_sets) {
     type_tids.emplace(key, std::make_shared<const TidSet>(TidSet::FromSorted(
-                               std::move(tids), universe)));
+                               set.ToVector(), universe)));
   }
+  edge_sets.clear();
   std::map<std::tuple<EdgeType, bool, std::uint32_t>,
            std::shared_ptr<const TidSet>>
       mult_tids;
-  for (auto& [key, tids] : mult_lists) {
+  for (auto& [key, set] : mult_sets) {
     mult_tids.emplace(key, std::make_shared<const TidSet>(TidSet::FromSorted(
-                               std::move(tids), universe)));
+                               set.ToVector(), universe)));
   }
+  mult_sets.clear();
   std::map<std::string, std::shared_ptr<const TidSet>> wedge_tids;
-  for (auto& [sig, tids] : wedge_lists) {
+  for (auto& [sig, set] : wedge_sets) {
     wedge_tids.emplace(sig, std::make_shared<const TidSet>(TidSet::FromSorted(
-                                std::move(tids), universe)));
+                                set.ToVector(), universe)));
   }
+  wedge_sets.clear();
   const auto empty_tids = std::make_shared<const TidSet>();
   result.candidates_per_level.push_back(type_tids.size());
 
@@ -758,6 +814,9 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
               iso::SubgraphMatcher matcher(p.graph);
               iso::MatchOptions match_options;
               match_options.max_search_steps = options.max_match_steps;
+              // Per-candidate reader: the feasible set is ascending, so
+              // the streaming scan pins each shard it touches once.
+              graph::TransactionSource::Reader reader(source);
               std::size_t i = 0;
               for (const std::uint32_t tid : feasible) {
                 // Early abort when the remaining transactions cannot
@@ -767,7 +826,7 @@ FsgResult MineFsg(const std::vector<LabeledGraph>& transactions,
                 }
                 ++i;
                 ++out.checks;
-                if (matcher.Contains(views[tid], match_options)) {
+                if (matcher.Contains(reader.View(tid), match_options)) {
                   out.tids.push_back(tid);
                 }
               }

@@ -267,19 +267,25 @@ std::string WriteFsgFormat(const std::vector<LabeledGraph>& transactions) {
   return out.str();
 }
 
-bool ReadFsgFormat(const std::string& text,
-                   std::vector<LabeledGraph>* transactions,
-                   ParseError* error) {
-  transactions->clear();
-  TNMINE_COUNTER_ADD("graph_io/bytes_parsed", text.size());
-  std::size_t records = 0;
-  ParseError err;
-  const bool scanned = ForEachLine(text, [&](std::size_t line_number,
-                                             std::string_view line) {
+namespace {
+
+/// Stateful per-line parser for the FSG transaction grammar, shared by
+/// the slurping and streaming readers. Lines go in through
+/// ConsumeLine(); each completed transaction goes out through the sink
+/// (a transaction completes when the next `t` header arrives, or at
+/// Finish()). ConsumeLine returns false to stop the scan — either a
+/// parse error (failed() is set) or the sink declining more input.
+class FsgLineParser {
+ public:
+  explicit FsgLineParser(const std::function<bool(LabeledGraph&&)>& sink)
+      : sink_(sink) {}
+
+  bool ConsumeLine(std::size_t line_number, std::string_view line) {
     const std::vector<LineToken> tokens = TokenizeLine(line);
     if (tokens.empty()) return true;
     auto fail = [&](std::size_t column, std::string message) {
-      err = ParseError::At(line_number, column, std::move(message));
+      error_ = ParseError::At(line_number, column, std::move(message));
+      failed_ = true;
       return false;
     };
     const std::string_view directive = tokens[0].text;
@@ -290,9 +296,10 @@ bool ReadFsgFormat(const std::string& text,
           !ParseUint64(tokens[2].text, &index)) {
         return fail(tokens[0].column, "malformed transaction header");
       }
-      transactions->emplace_back();
+      if (!Flush()) return false;
+      have_transaction_ = true;
     } else if (directive == "v") {
-      if (transactions->empty()) {
+      if (!have_transaction_) {
         return fail(tokens[0].column, "vertex before transaction");
       }
       if (tokens.size() != 3) {
@@ -308,13 +315,13 @@ bool ReadFsgFormat(const std::string& text,
         return fail(tokens[2].column,
                     "bad vertex label '" + std::string(tokens[2].text) + "'");
       }
-      if (id != transactions->back().num_vertices()) {
+      if (id != current_.num_vertices()) {
         return fail(tokens[1].column, "vertex ids must be dense per "
                                       "transaction");
       }
-      transactions->back().AddVertex(label);
+      current_.AddVertex(label);
     } else if (directive == "d" || directive == "u" || directive == "e") {
-      if (transactions->empty()) {
+      if (!have_transaction_) {
         return fail(tokens[0].column, "edge before transaction");
       }
       if (tokens.size() != 4) {
@@ -330,25 +337,68 @@ bool ReadFsgFormat(const std::string& text,
         return fail(tokens[3].column,
                     "bad edge label '" + std::string(tokens[3].text) + "'");
       }
-      LabeledGraph& g = transactions->back();
-      if (src >= g.num_vertices() || dst >= g.num_vertices()) {
+      if (src >= current_.num_vertices() || dst >= current_.num_vertices()) {
         return fail(tokens[1].column, "edge endpoint out of range");
       }
-      g.AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst),
-                label);
+      current_.AddEdge(static_cast<VertexId>(src),
+                       static_cast<VertexId>(dst), label);
     } else {
       return fail(tokens[0].column,
                   "unknown directive: " + std::string(directive));
     }
-    ++records;
+    ++records_;
     return true;
-  });
+  }
+
+  /// Emits the trailing transaction. False only when the sink stops.
+  bool Finish() { return Flush(); }
+
+  bool failed() const { return failed_; }
+  const ParseError& error() const { return error_; }
+  std::size_t records() const { return records_; }
+
+ private:
+  bool Flush() {
+    if (!have_transaction_) return true;
+    have_transaction_ = false;
+    LabeledGraph done = std::move(current_);
+    current_ = LabeledGraph();
+    return sink_(std::move(done));
+  }
+
+  const std::function<bool(LabeledGraph&&)>& sink_;
+  LabeledGraph current_;
+  bool have_transaction_ = false;
+  bool failed_ = false;
+  ParseError error_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace
+
+bool ReadFsgFormat(const std::string& text,
+                   std::vector<LabeledGraph>* transactions,
+                   ParseError* error) {
+  transactions->clear();
+  TNMINE_COUNTER_ADD("graph_io/bytes_parsed", text.size());
+  const std::function<bool(LabeledGraph&&)> sink = [&](LabeledGraph&& g) {
+    transactions->push_back(std::move(g));
+    return true;
+  };
+  FsgLineParser parser(sink);
+  const bool scanned =
+      ForEachLine(text, [&](std::size_t line_number, std::string_view line) {
+        return parser.ConsumeLine(line_number, line);
+      });
+  // The collecting sink never stops, so a false scan is always a parse
+  // error.
   if (!scanned) {
     TNMINE_COUNTER_ADD("graph_io/parse_errors", 1);
-    ReportParseError(err, error, nullptr);
+    ReportParseError(parser.error(), error, nullptr);
     return false;
   }
-  TNMINE_COUNTER_ADD("graph_io/records_parsed", records);
+  parser.Finish();
+  TNMINE_COUNTER_ADD("graph_io/records_parsed", parser.records());
   return true;
 }
 
@@ -359,6 +409,75 @@ bool ReadFsgFormat(const std::string& text,
   if (ReadFsgFormat(text, transactions, &err)) return true;
   if (error != nullptr) *error = err.ToString();
   return false;
+}
+
+bool StreamFsgTransactions(
+    const std::string& path,
+    const std::function<bool(LabeledGraph&&)>& callback,
+    std::string* error) {
+  if (TNMINE_FAILPOINT("graph_io/read")) {
+    if (error != nullptr) *error = "injected read failure";
+    return false;
+  }
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  FsgLineParser parser(callback);
+  // Fixed-size chunks with a carry buffer for the line straddling a
+  // chunk boundary — the resident footprint is independent of the file
+  // size, unlike the slurping ReadTextFile path.
+  std::string carry;
+  char buf[1 << 16];
+  std::size_t line_number = 0;
+  std::uint64_t bytes = 0;
+  bool stopped = false;
+  std::size_t n = 0;
+  while (!stopped && (n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes += n;
+    const std::string_view chunk(buf, n);
+    std::size_t begin = 0;
+    while (!stopped) {
+      const std::size_t nl = chunk.find('\n', begin);
+      if (nl == std::string_view::npos) break;
+      std::string_view line;
+      if (carry.empty()) {
+        line = chunk.substr(begin, nl - begin);
+      } else {
+        carry.append(chunk.substr(begin, nl - begin));
+        line = carry;
+      }
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      ++line_number;
+      if (!parser.ConsumeLine(line_number, line)) stopped = true;
+      carry.clear();
+      begin = nl + 1;
+    }
+    if (!stopped) carry.append(chunk.substr(begin));
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (error != nullptr) *error = "read error on " + path;
+    return false;
+  }
+  if (!stopped && !carry.empty()) {
+    // Final line without a trailing newline.
+    std::string_view line = carry;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_number;
+    if (!parser.ConsumeLine(line_number, line)) stopped = true;
+  }
+  if (!stopped) parser.Finish();
+  if (parser.failed()) {
+    TNMINE_COUNTER_ADD("graph_io/parse_errors", 1);
+    if (error != nullptr) *error = parser.error().ToString();
+    return false;
+  }
+  TNMINE_COUNTER_ADD("graph_io/bytes_read", bytes);
+  TNMINE_COUNTER_ADD("graph_io/records_parsed", parser.records());
+  return true;
 }
 
 bool WriteTextFile(const std::string& path, const std::string& text) {

@@ -1,6 +1,7 @@
 #ifndef TNMINE_GRAPH_GRAPH_IO_H_
 #define TNMINE_GRAPH_GRAPH_IO_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,19 @@ bool ReadFsgFormat(const std::string& text,
 bool ReadFsgFormat(const std::string& text,
                    std::vector<LabeledGraph>* transactions,
                    std::string* error);
+
+/// Streams an FSG-format transaction file through `callback`, one
+/// completed transaction at a time, reading the file in fixed-size
+/// chunks: peak memory is one transaction plus the chunk buffer,
+/// however large the file — the entry point the shard builder uses to
+/// convert datasets bigger than RAM (DESIGN.md §16). Same grammar and
+/// strict-number contract as ReadFsgFormat. The callback may return
+/// false to stop early; that is a successful return, not an error.
+/// Returns false (with `error` filled) on I/O failure or malformed
+/// input.
+bool StreamFsgTransactions(
+    const std::string& path,
+    const std::function<bool(LabeledGraph&&)>& callback, std::string* error);
 
 /// Writes `text` to `path`. Returns false on I/O failure.
 bool WriteTextFile(const std::string& path, const std::string& text);

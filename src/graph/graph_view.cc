@@ -16,83 +16,109 @@ bool ArcLess(const GraphView::Arc& a, const GraphView::Arc& b) {
 
 }  // namespace
 
+/// Backing arrays for a view copied out of a LabeledGraph. A view built
+/// by FromSections has no Storage — its keep-alive is whatever owns the
+/// mapped bytes.
+struct GraphView::Storage {
+  std::vector<Label> vertex_labels;
+  std::vector<Edge> edges;
+  std::vector<char> alive;
+  std::vector<std::uint32_t> out_offsets;
+  std::vector<std::uint32_t> in_offsets;
+  std::vector<Arc> out_arcs;
+  std::vector<Arc> in_arcs;
+  std::vector<EdgeId> out_ids;
+  std::vector<EdgeId> in_ids;
+  std::vector<Label> vertex_label_keys;
+  std::vector<std::uint32_t> vertex_label_offsets;
+  std::vector<VertexId> vertex_label_ids;
+  std::vector<EdgeTypeKey> edge_type_keys;
+  std::vector<std::uint32_t> edge_type_offsets;
+  std::vector<EdgeId> edge_type_ids;
+};
+
 GraphView::GraphView(const LabeledGraph& g) {
+  auto storage = std::make_shared<Storage>();
+  Storage& s = *storage;
   const std::size_t n = g.num_vertices();
   const std::size_t cap = g.edge_capacity();
-  vertex_labels_.resize(n);
-  for (VertexId v = 0; v < n; ++v) vertex_labels_[v] = g.vertex_label(v);
-  edges_.resize(cap);
-  alive_.resize(cap);
+  s.vertex_labels.resize(n);
+  for (VertexId v = 0; v < n; ++v) s.vertex_labels[v] = g.vertex_label(v);
+  s.edges.resize(cap);
+  s.alive.resize(cap);
   for (EdgeId e = 0; e < cap; ++e) {
-    edges_[e] = g.edge(e);
-    alive_[e] = g.edge_alive(e) ? 1 : 0;
-    if (alive_[e]) ++num_live_edges_;
+    s.edges[e] = g.edge(e);
+    s.alive[e] = g.edge_alive(e) ? 1 : 0;
+    if (s.alive[e]) ++num_live_edges_;
   }
 
   // CSR offsets from live degrees (self-loops count on both sides, as in
   // LabeledGraph).
-  out_offsets_.assign(n + 1, 0);
-  in_offsets_.assign(n + 1, 0);
+  s.out_offsets.assign(n + 1, 0);
+  s.in_offsets.assign(n + 1, 0);
   for (EdgeId e = 0; e < cap; ++e) {
-    if (!alive_[e]) continue;
-    ++out_offsets_[edges_[e].src + 1];
-    ++in_offsets_[edges_[e].dst + 1];
+    if (!s.alive[e]) continue;
+    ++s.out_offsets[s.edges[e].src + 1];
+    ++s.in_offsets[s.edges[e].dst + 1];
   }
   for (std::size_t v = 0; v < n; ++v) {
-    out_offsets_[v + 1] += out_offsets_[v];
-    in_offsets_[v + 1] += in_offsets_[v];
+    s.out_offsets[v + 1] += s.out_offsets[v];
+    s.in_offsets[v + 1] += s.in_offsets[v];
   }
 
   // Fill the EdgeId-ascending encoding by one ascending edge scan, so each
   // vertex's slice lands in the exact order LabeledGraph iteration visits
   // (insertion order == ascending EdgeId).
-  out_ids_.resize(num_live_edges_);
-  in_ids_.resize(num_live_edges_);
+  s.out_ids.resize(num_live_edges_);
+  s.in_ids.resize(num_live_edges_);
   {
-    std::vector<std::uint32_t> out_cursor(out_offsets_.begin(),
-                                          out_offsets_.end() - 1);
-    std::vector<std::uint32_t> in_cursor(in_offsets_.begin(),
-                                         in_offsets_.end() - 1);
+    std::vector<std::uint32_t> out_cursor(s.out_offsets.begin(),
+                                          s.out_offsets.end() - 1);
+    std::vector<std::uint32_t> in_cursor(s.in_offsets.begin(),
+                                         s.in_offsets.end() - 1);
     for (EdgeId e = 0; e < cap; ++e) {
-      if (!alive_[e]) continue;
-      out_ids_[out_cursor[edges_[e].src]++] = e;
-      in_ids_[in_cursor[edges_[e].dst]++] = e;
+      if (!s.alive[e]) continue;
+      s.out_ids[out_cursor[s.edges[e].src]++] = e;
+      s.in_ids[in_cursor[s.edges[e].dst]++] = e;
     }
   }
 
   // Label-sorted arcs share the offsets: seed from the id encoding, then
   // sort each vertex slice by (label, other, edge).
-  out_arcs_.resize(num_live_edges_);
-  in_arcs_.resize(num_live_edges_);
+  s.out_arcs.resize(num_live_edges_);
+  s.in_arcs.resize(num_live_edges_);
   for (std::size_t i = 0; i < num_live_edges_; ++i) {
-    const Edge& oe = edges_[out_ids_[i]];
-    out_arcs_[i] = {oe.dst, oe.label, out_ids_[i]};
-    const Edge& ie = edges_[in_ids_[i]];
-    in_arcs_[i] = {ie.src, ie.label, in_ids_[i]};
+    const Edge& oe = s.edges[s.out_ids[i]];
+    s.out_arcs[i] = {oe.dst, oe.label, s.out_ids[i]};
+    const Edge& ie = s.edges[s.in_ids[i]];
+    s.in_arcs[i] = {ie.src, ie.label, s.in_ids[i]};
   }
   for (std::size_t v = 0; v < n; ++v) {
-    std::sort(out_arcs_.begin() + out_offsets_[v],
-              out_arcs_.begin() + out_offsets_[v + 1], ArcLess);
-    std::sort(in_arcs_.begin() + in_offsets_[v],
-              in_arcs_.begin() + in_offsets_[v + 1], ArcLess);
+    std::sort(s.out_arcs.begin() + s.out_offsets[v],
+              s.out_arcs.begin() + s.out_offsets[v + 1], ArcLess);
+    std::sort(s.in_arcs.begin() + s.in_offsets[v],
+              s.in_arcs.begin() + s.in_offsets[v + 1], ArcLess);
   }
 
   // Per-label vertex index: counting sort over (label, vertex).
   {
     std::vector<std::pair<Label, VertexId>> pairs;
     pairs.reserve(n);
-    for (VertexId v = 0; v < n; ++v) pairs.emplace_back(vertex_labels_[v], v);
+    for (VertexId v = 0; v < n; ++v) {
+      pairs.emplace_back(s.vertex_labels[v], v);
+    }
     std::sort(pairs.begin(), pairs.end());
-    vertex_label_offsets_.push_back(0);
+    s.vertex_label_offsets.push_back(0);
     for (const auto& [label, v] : pairs) {
-      if (vertex_label_keys_.empty() || vertex_label_keys_.back() != label) {
-        vertex_label_keys_.push_back(label);
-        vertex_label_offsets_.push_back(
-            static_cast<std::uint32_t>(vertex_label_ids_.size()));
+      if (s.vertex_label_keys.empty() ||
+          s.vertex_label_keys.back() != label) {
+        s.vertex_label_keys.push_back(label);
+        s.vertex_label_offsets.push_back(
+            static_cast<std::uint32_t>(s.vertex_label_ids.size()));
       }
-      vertex_label_ids_.push_back(v);
-      vertex_label_offsets_.back() =
-          static_cast<std::uint32_t>(vertex_label_ids_.size());
+      s.vertex_label_ids.push_back(v);
+      s.vertex_label_offsets.back() =
+          static_cast<std::uint32_t>(s.vertex_label_ids.size());
     }
   }
 
@@ -103,32 +129,98 @@ GraphView::GraphView(const LabeledGraph& g) {
         typed;
     typed.reserve(num_live_edges_);
     for (EdgeId e = 0; e < cap; ++e) {
-      if (!alive_[e]) continue;
-      const Edge& edge = edges_[e];
+      if (!s.alive[e]) continue;
+      const Edge& edge = s.edges[e];
       typed.emplace_back(
-          std::make_tuple(vertex_labels_[edge.src], vertex_labels_[edge.dst],
-                          edge.label, edge.src == edge.dst),
+          std::make_tuple(s.vertex_labels[edge.src],
+                          s.vertex_labels[edge.dst], edge.label,
+                          edge.src == edge.dst),
           e);
     }
     std::sort(typed.begin(), typed.end());
-    edge_type_offsets_.push_back(0);
+    s.edge_type_offsets.push_back(0);
     for (const auto& [key, e] : typed) {
       const auto& [sl, dl, el, loop] = key;
-      if (edge_type_keys_.empty() ||
-          EdgeTypeKey{sl, dl, el, loop} != edge_type_keys_.back()) {
-        edge_type_keys_.push_back({sl, dl, el, loop});
-        edge_type_offsets_.push_back(
-            static_cast<std::uint32_t>(edge_type_ids_.size()));
+      if (s.edge_type_keys.empty() ||
+          EdgeTypeKey{sl, dl, el, loop} != s.edge_type_keys.back()) {
+        s.edge_type_keys.push_back({sl, dl, el, loop});
+        s.edge_type_offsets.push_back(
+            static_cast<std::uint32_t>(s.edge_type_ids.size()));
       }
-      edge_type_ids_.push_back(e);
-      edge_type_offsets_.back() =
-          static_cast<std::uint32_t>(edge_type_ids_.size());
+      s.edge_type_ids.push_back(e);
+      s.edge_type_offsets.back() =
+          static_cast<std::uint32_t>(s.edge_type_ids.size());
     }
   }
+
+  vertex_labels_ = s.vertex_labels;
+  edges_ = s.edges;
+  alive_ = s.alive;
+  out_offsets_ = s.out_offsets;
+  in_offsets_ = s.in_offsets;
+  out_arcs_ = s.out_arcs;
+  in_arcs_ = s.in_arcs;
+  out_ids_ = s.out_ids;
+  in_ids_ = s.in_ids;
+  vertex_label_keys_ = s.vertex_label_keys;
+  vertex_label_offsets_ = s.vertex_label_offsets;
+  vertex_label_ids_ = s.vertex_label_ids;
+  edge_type_keys_ = s.edge_type_keys;
+  edge_type_offsets_ = s.edge_type_offsets;
+  edge_type_ids_ = s.edge_type_ids;
+  keepalive_ = std::move(storage);
 
   TNMINE_COUNTER_ADD("graphview/views_built", 1);
   TNMINE_COUNTER_ADD("graphview/vertices_snapshot", n);
   TNMINE_COUNTER_ADD("graphview/edges_snapshot", num_live_edges_);
+}
+
+GraphView GraphView::FromSections(const Sections& sections,
+                                  std::shared_ptr<const void> keepalive) {
+  GraphView view;
+  view.vertex_labels_ = sections.vertex_labels;
+  view.edges_ = sections.edges;
+  view.alive_ = sections.alive;
+  view.num_live_edges_ = sections.num_live_edges;
+  view.out_offsets_ = sections.out_offsets;
+  view.in_offsets_ = sections.in_offsets;
+  view.out_arcs_ = sections.out_arcs;
+  view.in_arcs_ = sections.in_arcs;
+  view.out_ids_ = sections.out_ids;
+  view.in_ids_ = sections.in_ids;
+  view.vertex_label_keys_ = sections.vertex_label_keys;
+  view.vertex_label_offsets_ = sections.vertex_label_offsets;
+  view.vertex_label_ids_ = sections.vertex_label_ids;
+  view.edge_type_keys_ = sections.edge_type_keys;
+  view.edge_type_offsets_ = sections.edge_type_offsets;
+  view.edge_type_ids_ = sections.edge_type_ids;
+  view.keepalive_ = std::move(keepalive);
+  TNMINE_COUNTER_ADD("graphview/views_built", 1);
+  TNMINE_COUNTER_ADD("graphview/vertices_snapshot",
+                     view.vertex_labels_.size());
+  TNMINE_COUNTER_ADD("graphview/edges_snapshot", view.num_live_edges_);
+  return view;
+}
+
+GraphView::Sections GraphView::sections() const {
+  Sections s;
+  s.vertex_labels = vertex_labels_;
+  s.edges = edges_;
+  s.alive = alive_;
+  s.num_live_edges = num_live_edges_;
+  s.out_offsets = out_offsets_;
+  s.in_offsets = in_offsets_;
+  s.out_arcs = out_arcs_;
+  s.in_arcs = in_arcs_;
+  s.out_ids = out_ids_;
+  s.in_ids = in_ids_;
+  s.vertex_label_keys = vertex_label_keys_;
+  s.vertex_label_offsets = vertex_label_offsets_;
+  s.vertex_label_ids = vertex_label_ids_;
+  s.edge_type_keys = edge_type_keys_;
+  s.edge_type_offsets = edge_type_offsets_;
+  s.edge_type_ids = edge_type_ids_;
+  return s;
 }
 
 std::span<const GraphView::Arc> GraphView::LabelRange(
@@ -276,7 +368,7 @@ bool GraphView::CheckConsistent() const {
       if (j > 0 && es[j - 1] >= e) return false;
     }
   }
-  std::vector<EdgeId> typed(edge_type_ids_);
+  std::vector<EdgeId> typed(edge_type_ids_.begin(), edge_type_ids_.end());
   std::sort(typed.begin(), typed.end());
   if (typed != seen_out) return false;
   return true;

@@ -2,6 +2,7 @@
 #define TNMINE_GRAPH_GRAPH_VIEW_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -35,8 +36,13 @@ namespace tnmine::graph {
 ///    the same enumeration order as gSpan's seed map and FSG's level-1
 ///    edge_tids map, so seed enumeration is an index lookup.
 ///
-/// The snapshot is decoupled from the source graph (all data is copied);
-/// mutating the source afterwards does not affect the view.
+/// Ownership: every section is a std::span backed by a type-erased
+/// refcounted keep-alive. A view built from a LabeledGraph owns freshly
+/// copied arrays (mutating the source afterwards does not affect it);
+/// a view built by FromSections (the shard loader, DESIGN.md §16) aliases
+/// caller-provided memory — typically an mmapped shard — and the
+/// keep-alive pins the mapping for as long as any copy of the view lives.
+/// Copies are cheap (spans + one shared_ptr bump).
 class GraphView {
  public:
   /// One adjacency record. For out-arcs `other` is the edge's dst; for
@@ -60,7 +66,42 @@ class GraphView {
     auto operator<=>(const EdgeTypeKey&) const = default;
   };
 
+  /// All sections of a view as raw spans — the wire/disk shape of a
+  /// snapshot. Produced by sections() (shard writer) and consumed by
+  /// FromSections (shard loader). Invariants the loader's consistency
+  /// check enforces: offsets spans are num_vertices+1 long, arc/id spans
+  /// are num_live_edges long, alive has edge_capacity entries.
+  struct Sections {
+    std::span<const Label> vertex_labels;
+    std::span<const Edge> edges;
+    std::span<const char> alive;
+    std::size_t num_live_edges = 0;
+    std::span<const std::uint32_t> out_offsets;
+    std::span<const std::uint32_t> in_offsets;
+    std::span<const Arc> out_arcs;
+    std::span<const Arc> in_arcs;
+    std::span<const EdgeId> out_ids;
+    std::span<const EdgeId> in_ids;
+    std::span<const Label> vertex_label_keys;
+    std::span<const std::uint32_t> vertex_label_offsets;
+    std::span<const VertexId> vertex_label_ids;
+    std::span<const EdgeTypeKey> edge_type_keys;
+    std::span<const std::uint32_t> edge_type_offsets;
+    std::span<const EdgeId> edge_type_ids;
+  };
+
   explicit GraphView(const LabeledGraph& g);
+
+  /// Wraps caller-owned section memory without copying. `keepalive` must
+  /// own (directly or transitively) every byte the spans point at; the
+  /// view holds it alive. The shard loader calls this with spans into an
+  /// mmapped file. No validation here — callers that ingest untrusted
+  /// bytes must run CheckConsistent() afterwards.
+  static GraphView FromSections(const Sections& sections,
+                                std::shared_ptr<const void> keepalive);
+
+  /// The view's sections as spans (for serialization).
+  Sections sections() const;
 
   std::size_t num_vertices() const { return vertex_labels_.size(); }
   /// Live edges (tombstones excluded).
@@ -154,37 +195,46 @@ class GraphView {
   /// Full structural self-check: offsets monotone, arcs sorted and
   /// consistent with the edge table, both encodings agree, every live
   /// edge appears exactly once per direction, indexes cover everything.
-  /// Used by the fuzz/property harnesses — a malformed input file must
-  /// never yield an inconsistent snapshot. Returns false (never crashes)
-  /// on violation.
+  /// Used by the fuzz/property harnesses and the shard loader — a
+  /// malformed input file must never yield an inconsistent snapshot.
+  /// Returns false (never crashes) on violation.
   bool CheckConsistent() const;
 
  private:
+  /// Heap block owning the arrays of a view built from a LabeledGraph.
+  struct Storage;
+
+  GraphView() = default;
+
   static std::span<const Arc> LabelRange(std::span<const Arc> arcs,
                                          Label label);
 
-  std::vector<Label> vertex_labels_;
-  std::vector<Edge> edges_;  // full original edge table, dead slots too
-  std::vector<char> alive_;
+  std::span<const Label> vertex_labels_;
+  std::span<const Edge> edges_;  // full original edge table, dead slots too
+  std::span<const char> alive_;
   std::size_t num_live_edges_ = 0;
 
   // CSR adjacency; out_arcs_/out_ids_ share out_offsets_ (same for in).
-  std::vector<std::uint32_t> out_offsets_;
-  std::vector<std::uint32_t> in_offsets_;
-  std::vector<Arc> out_arcs_;
-  std::vector<Arc> in_arcs_;
-  std::vector<EdgeId> out_ids_;
-  std::vector<EdgeId> in_ids_;
+  std::span<const std::uint32_t> out_offsets_;
+  std::span<const std::uint32_t> in_offsets_;
+  std::span<const Arc> out_arcs_;
+  std::span<const Arc> in_arcs_;
+  std::span<const EdgeId> out_ids_;
+  std::span<const EdgeId> in_ids_;
 
   // Per-label vertex index (CSR over vertex_label_keys_).
-  std::vector<Label> vertex_label_keys_;
-  std::vector<std::uint32_t> vertex_label_offsets_;
-  std::vector<VertexId> vertex_label_ids_;
+  std::span<const Label> vertex_label_keys_;
+  std::span<const std::uint32_t> vertex_label_offsets_;
+  std::span<const VertexId> vertex_label_ids_;
 
   // Edge-type index (CSR over edge_type_keys_).
-  std::vector<EdgeTypeKey> edge_type_keys_;
-  std::vector<std::uint32_t> edge_type_offsets_;
-  std::vector<EdgeId> edge_type_ids_;
+  std::span<const EdgeTypeKey> edge_type_keys_;
+  std::span<const std::uint32_t> edge_type_offsets_;
+  std::span<const EdgeId> edge_type_ids_;
+
+  /// Pins whatever the spans point into: a Storage for built views, an
+  /// mmapped shard for loaded ones.
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace tnmine::graph

@@ -1,0 +1,326 @@
+#include "graph/shard_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/telemetry.h"
+
+namespace tnmine::graph {
+
+namespace {
+
+// The format writes these structs verbatim; any layout drift is a silent
+// file-format break, so pin it at compile time.
+static_assert(sizeof(Edge) == 12 && alignof(Edge) <= 8);
+static_assert(sizeof(GraphView::Arc) == 12 && alignof(GraphView::Arc) <= 8);
+static_assert(sizeof(GraphView::EdgeTypeKey) == 16 &&
+              alignof(GraphView::EdgeTypeKey) <= 8);
+static_assert(offsetof(GraphView::EdgeTypeKey, src_label) == 0);
+static_assert(offsetof(GraphView::EdgeTypeKey, dst_label) == 4);
+static_assert(offsetof(GraphView::EdgeTypeKey, edge_label) == 8);
+static_assert(offsetof(GraphView::EdgeTypeKey, self_loop) == 12);
+
+/// Per-transaction block header: the five cardinalities every section
+/// length is derived from.
+struct TxnHeader {
+  std::uint32_t num_vertices;
+  std::uint32_t edge_capacity;
+  std::uint32_t num_live_edges;
+  std::uint32_t num_vertex_label_keys;
+  std::uint32_t num_edge_type_keys;
+  std::uint32_t reserved[3];
+};
+static_assert(sizeof(TxnHeader) == 32);
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t Fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void AlignTo8(std::vector<char>* out) {
+  while (out->size() % 8 != 0) out->push_back(0);
+}
+
+void AppendRaw(std::vector<char>* out, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  out->insert(out->end(), p, p + n);
+}
+
+template <typename T>
+void AppendSection(std::vector<char>* out, std::span<const T> data) {
+  AlignTo8(out);
+  AppendRaw(out, data.data(), data.size() * sizeof(T));
+}
+
+/// EdgeTypeKey has three trailing padding bytes the compiler never
+/// promises to zero; serialize field-wise with explicit zeros so the file
+/// bytes are deterministic.
+void AppendEdgeTypeKeys(std::vector<char>* out,
+                        std::span<const GraphView::EdgeTypeKey> keys) {
+  AlignTo8(out);
+  for (const GraphView::EdgeTypeKey& key : keys) {
+    AppendRaw(out, &key.src_label, sizeof(key.src_label));
+    AppendRaw(out, &key.dst_label, sizeof(key.dst_label));
+    AppendRaw(out, &key.edge_label, sizeof(key.edge_label));
+    const char loop = key.self_loop ? 1 : 0;
+    out->push_back(loop);
+    out->push_back(0);
+    out->push_back(0);
+    out->push_back(0);
+  }
+}
+
+/// Bounds-checked cursor over one mapped transaction block.
+struct BlockReader {
+  const char* base;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  template <typename T>
+  std::span<const T> Take(std::size_t count) {
+    pos = (pos + 7) & ~std::size_t{7};
+    const std::size_t bytes = count * sizeof(T);
+    if (pos > size || bytes > size - pos) {
+      throw std::runtime_error("shard block truncated");
+    }
+    const T* p = reinterpret_cast<const T*>(base + pos);
+    pos += bytes;
+    return {p, count};
+  }
+};
+
+}  // namespace
+
+void ShardWriter::Add(const GraphView& view) {
+  AlignTo8(&payload_);
+  offsets_.push_back(payload_.size());
+  const GraphView::Sections s = view.sections();
+  TxnHeader header{};
+  header.num_vertices = static_cast<std::uint32_t>(s.vertex_labels.size());
+  header.edge_capacity = static_cast<std::uint32_t>(s.edges.size());
+  header.num_live_edges = static_cast<std::uint32_t>(s.num_live_edges);
+  header.num_vertex_label_keys =
+      static_cast<std::uint32_t>(s.vertex_label_keys.size());
+  header.num_edge_type_keys =
+      static_cast<std::uint32_t>(s.edge_type_keys.size());
+  AppendRaw(&payload_, &header, sizeof(header));
+  AppendSection(&payload_, s.vertex_labels);
+  AppendSection(&payload_, s.edges);
+  AppendSection(&payload_, s.alive);
+  AppendSection(&payload_, s.out_offsets);
+  AppendSection(&payload_, s.in_offsets);
+  AppendSection(&payload_, s.out_arcs);
+  AppendSection(&payload_, s.in_arcs);
+  AppendSection(&payload_, s.out_ids);
+  AppendSection(&payload_, s.in_ids);
+  AppendSection(&payload_, s.vertex_label_keys);
+  AppendSection(&payload_, s.vertex_label_offsets);
+  AppendSection(&payload_, s.vertex_label_ids);
+  AppendEdgeTypeKeys(&payload_, s.edge_type_keys);
+  AppendSection(&payload_, s.edge_type_offsets);
+  AppendSection(&payload_, s.edge_type_ids);
+}
+
+bool ShardWriter::Finish(std::string* error) {
+  AlignTo8(&payload_);
+  std::vector<std::uint64_t> table = offsets_;
+  table.push_back(payload_.size());
+
+  ShardHeader header{};
+  std::memcpy(header.magic, ShardHeader::kMagic, sizeof(header.magic));
+  header.format_version = ShardHeader::kFormatVersion;
+  header.num_transactions = offsets_.size();
+  header.payload_bytes = payload_.size();
+  std::uint64_t h = kFnvOffset;
+  h = Fnv1a(h, table.data(), table.size() * sizeof(std::uint64_t));
+  h = Fnv1a(h, payload_.data(), payload_.size());
+  header.fingerprint = h;
+
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path_ + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  bool ok =
+      std::fwrite(&header, sizeof(header), 1, f) == 1 &&
+      (table.empty() ||
+       std::fwrite(table.data(), sizeof(std::uint64_t), table.size(), f) ==
+           table.size()) &&
+      (payload_.empty() ||
+       std::fwrite(payload_.data(), 1, payload_.size(), f) ==
+           payload_.size());
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    if (error != nullptr) {
+      *error = "short write to " + path_ + ": " + std::strerror(errno);
+    }
+    std::remove(path_.c_str());
+    return false;
+  }
+  TNMINE_COUNTER_ADD("shard/files_written", 1);
+  TNMINE_COUNTER_ADD("shard/bytes_written",
+                     sizeof(header) + table.size() * 8 + payload_.size());
+  return true;
+}
+
+std::shared_ptr<ShardFile> ShardFile::Open(const std::string& path,
+                                           std::string* error,
+                                           bool verify_fingerprint) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = path + ": " + why;
+    return nullptr;
+  };
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return fail(std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail(std::strerror(errno));
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < sizeof(ShardHeader)) {
+    ::close(fd);
+    return fail("too small for a shard header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file open
+  if (map == MAP_FAILED) return fail(std::strerror(errno));
+  // The mining pass walks each shard front to back; tell the kernel so
+  // readahead works for us and evicted pages are cheap to reclaim.
+  ::madvise(map, size, MADV_SEQUENTIAL);
+
+  auto file = std::shared_ptr<ShardFile>(new ShardFile());
+  file->path_ = path;
+  file->data_ = static_cast<const char*>(map);
+  file->mapped_size_ = size;
+  file->header_ = reinterpret_cast<const ShardHeader*>(file->data_);
+  const ShardHeader& h = *file->header_;
+  if (std::memcmp(h.magic, ShardHeader::kMagic, sizeof(h.magic)) != 0) {
+    return fail("bad magic (not a tnshard file)");
+  }
+  if (h.format_version != ShardHeader::kFormatVersion) {
+    return fail("unsupported shard format version " +
+                std::to_string(h.format_version));
+  }
+  const std::uint64_t n = h.num_transactions;
+  const std::uint64_t table_bytes = (n + 1) * sizeof(std::uint64_t);
+  if (size < sizeof(ShardHeader) + table_bytes ||
+      size - sizeof(ShardHeader) - table_bytes != h.payload_bytes) {
+    return fail("header sizes disagree with the file length");
+  }
+  file->offsets_ = reinterpret_cast<const std::uint64_t*>(
+      file->data_ + sizeof(ShardHeader));
+  file->payload_ = file->data_ + sizeof(ShardHeader) + table_bytes;
+  if (file->offsets_[0] != 0 || file->offsets_[n] != h.payload_bytes) {
+    return fail("offset table out of bounds");
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (file->offsets_[i] > file->offsets_[i + 1] ||
+        file->offsets_[i] % 8 != 0) {
+      return fail("offset table not monotone/aligned");
+    }
+  }
+  if (verify_fingerprint) {
+    std::uint64_t got = kFnvOffset;
+    got = Fnv1a(got, file->offsets_, table_bytes);
+    got = Fnv1a(got, file->payload_, h.payload_bytes);
+    if (got != h.fingerprint) return fail("fingerprint mismatch");
+  }
+  TNMINE_COUNTER_ADD("shard/files_opened", 1);
+  TNMINE_COUNTER_ADD("shard/bytes_mapped", size);
+  return file;
+}
+
+ShardFile::~ShardFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), mapped_size_);
+  }
+}
+
+GraphView ShardFile::View(std::size_t i) const {
+  if (i >= header_->num_transactions) {
+    throw std::runtime_error("shard transaction index out of range");
+  }
+  BlockReader block{payload_ + offsets_[i],
+                    static_cast<std::size_t>(offsets_[i + 1] - offsets_[i])};
+  const TxnHeader& t = block.Take<TxnHeader>(1)[0];
+  const std::size_t n = t.num_vertices;
+  const std::size_t cap = t.edge_capacity;
+  const std::size_t live = t.num_live_edges;
+  const std::size_t nvk = t.num_vertex_label_keys;
+  const std::size_t nek = t.num_edge_type_keys;
+  GraphView::Sections s;
+  s.num_live_edges = live;
+  s.vertex_labels = block.Take<Label>(n);
+  s.edges = block.Take<Edge>(cap);
+  s.alive = block.Take<char>(cap);
+  s.out_offsets = block.Take<std::uint32_t>(n + 1);
+  s.in_offsets = block.Take<std::uint32_t>(n + 1);
+  s.out_arcs = block.Take<GraphView::Arc>(live);
+  s.in_arcs = block.Take<GraphView::Arc>(live);
+  s.out_ids = block.Take<EdgeId>(live);
+  s.in_ids = block.Take<EdgeId>(live);
+  s.vertex_label_keys = block.Take<Label>(nvk);
+  s.vertex_label_offsets = block.Take<std::uint32_t>(nvk + 1);
+  s.vertex_label_ids = block.Take<VertexId>(n);
+  s.edge_type_keys = block.Take<GraphView::EdgeTypeKey>(nek);
+  s.edge_type_offsets = block.Take<std::uint32_t>(nek + 1);
+  s.edge_type_ids = block.Take<EdgeId>(live);
+  TNMINE_COUNTER_ADD("shard/views_materialized", 1);
+  return GraphView::FromSections(s, shared_from_this());
+}
+
+bool ListShardFiles(const std::string& dir, std::vector<std::string>* paths,
+                    std::string* error) {
+  paths->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + dir + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  constexpr const char kSuffix[] = ".tnshard";
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() > sizeof(kSuffix) - 1 &&
+        name.compare(name.size() - (sizeof(kSuffix) - 1),
+                     sizeof(kSuffix) - 1, kSuffix) == 0) {
+      paths->push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(paths->begin(), paths->end());
+  if (paths->empty()) {
+    if (error != nullptr) *error = "no *.tnshard files in " + dir;
+    return false;
+  }
+  return true;
+}
+
+std::string ShardFileName(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%05zu.tnshard", index);
+  return buf;
+}
+
+}  // namespace tnmine::graph

@@ -1,0 +1,140 @@
+#ifndef TNMINE_GRAPH_SHARD_STORE_H_
+#define TNMINE_GRAPH_SHARD_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "graph/labeled_graph.h"
+
+namespace tnmine::graph {
+
+/// On-disk shard format for transaction GraphViews (DESIGN.md §16).
+///
+/// A shard file is a block of serialized CSR snapshots that can be
+/// mmapped and read in place: every GraphView section (vertex labels,
+/// edge table, CSR offsets, arcs, ids, label/edge-type indexes) is
+/// written verbatim at 8-byte alignment, so loading a transaction is a
+/// relocation pass — sixteen span assignments into the mapping, zero
+/// parsing, zero copying. Layout:
+///
+///   FileHeader              64 bytes: magic "TNSHRD01", version,
+///                           num_transactions, payload_bytes, FNV-1a
+///                           fingerprint over offset table + payload
+///   offset table            (num_transactions + 1) × u64, relative to
+///                           the payload start — O(1) seek to any
+///                           transaction, and offsets[i+1]-offsets[i]
+///                           bounds every section read
+///   payload                 per-transaction blocks, each 8-byte
+///                           aligned: a TxnHeader with the five section
+///                           cardinalities, then the sections in fixed
+///                           order
+///
+/// The format is little-endian (the only byte order the toolchain
+/// targets); `format_version` gates layout evolution — readers reject
+/// versions they do not know. All integers are fixed-width; struct
+/// padding bytes (EdgeTypeKey's three trailing bytes) are written as
+/// zeros so shard files are byte-deterministic functions of their
+/// transactions.
+struct ShardHeader {
+  static constexpr char kMagic[8] = {'T', 'N', 'S', 'H', 'R', 'D', '0',
+                                     '1'};
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  char magic[8];
+  std::uint32_t format_version;
+  std::uint32_t reserved0;
+  std::uint64_t num_transactions;
+  std::uint64_t payload_bytes;
+  /// FNV-1a 64 over the offset table and payload bytes.
+  std::uint64_t fingerprint;
+  std::uint64_t reserved1[3];
+};
+static_assert(sizeof(ShardHeader) == 64, "shard header layout drifted");
+
+/// Serializes GraphViews into one shard file. The payload is buffered in
+/// memory until Finish() — callers bound resident memory by bounding the
+/// transactions per shard (the shard-building loop in tnshard/bench
+/// rotates files every --shard-size transactions), not by streaming
+/// within one shard.
+class ShardWriter {
+ public:
+  explicit ShardWriter(std::string path) : path_(std::move(path)) {}
+
+  void Add(const GraphView& view);
+  void Add(const LabeledGraph& g) { Add(GraphView(g)); }
+
+  std::size_t num_transactions() const { return offsets_.size(); }
+  /// Payload bytes buffered so far (the eventual file is this plus the
+  /// 64-byte header and the offset table).
+  std::size_t payload_bytes() const { return payload_.size(); }
+
+  /// Writes header + offset table + payload and fsync-free closes.
+  /// Returns false with `error` set on any I/O failure; the writer is
+  /// then spent either way.
+  bool Finish(std::string* error);
+
+ private:
+  std::string path_;
+  std::vector<std::uint64_t> offsets_;  // block starts, payload-relative
+  std::vector<char> payload_;
+};
+
+/// An opened, mmapped shard file. Views returned by View(i) alias the
+/// mapping and keep the whole ShardFile alive through their keep-alive,
+/// so a view outliving an LRU eviction stays valid — the mapping is only
+/// unmapped when the last view and the last ShardFile reference drop.
+class ShardFile : public std::enable_shared_from_this<ShardFile> {
+ public:
+  /// Opens + mmaps + validates structure (magic, version, sizes, offset
+  /// monotonicity). `verify_fingerprint` additionally rehashes the whole
+  /// payload — a full sequential read; tnshard --verify wants it, the
+  /// mining path (which trusts its own builder) does not.
+  static std::shared_ptr<ShardFile> Open(const std::string& path,
+                                         std::string* error,
+                                         bool verify_fingerprint = false);
+
+  ~ShardFile();
+  ShardFile(const ShardFile&) = delete;
+  ShardFile& operator=(const ShardFile&) = delete;
+
+  std::size_t num_transactions() const { return header_->num_transactions; }
+  std::uint64_t fingerprint() const { return header_->fingerprint; }
+  /// Total bytes mmapped (what a resident shard charges to the budget).
+  std::size_t mapped_bytes() const { return mapped_size_; }
+  const std::string& path() const { return path_; }
+
+  /// The i-th transaction as a zero-copy view into the mapping. Bounds
+  /// of every section are checked against the block extent; throws
+  /// std::runtime_error on a corrupt block (structure validation at
+  /// Open() makes this unreachable for files our writer produced).
+  GraphView View(std::size_t i) const;
+
+ private:
+  ShardFile() = default;
+
+  std::string path_;
+  const char* data_ = nullptr;  // whole mapping
+  std::size_t mapped_size_ = 0;
+  const ShardHeader* header_ = nullptr;
+  const std::uint64_t* offsets_ = nullptr;
+  const char* payload_ = nullptr;
+};
+
+/// Shard files in `dir` matching "*.tnshard", lexicographically sorted
+/// (the writer's shard-00000 naming makes that creation order). Returns
+/// false with `error` when the directory cannot be read; an empty
+/// directory is an error too — a mining run over zero shards is always
+/// a misconfiguration.
+bool ListShardFiles(const std::string& dir, std::vector<std::string>* paths,
+                    std::string* error);
+
+/// Canonical name of the i-th shard in a shard directory
+/// ("shard-00042.tnshard").
+std::string ShardFileName(std::size_t index);
+
+}  // namespace tnmine::graph
+
+#endif  // TNMINE_GRAPH_SHARD_STORE_H_

@@ -1,0 +1,174 @@
+#include "graph/transaction_source.h"
+
+#include <algorithm>
+#include <new>
+#include <stdexcept>
+
+#include "common/telemetry.h"
+
+namespace tnmine::graph {
+
+void TransactionSource::SetBases(std::vector<std::uint32_t> bases) {
+  bases_ = std::move(bases);
+  num_transactions_ = bases_.empty() ? 0 : bases_.back();
+}
+
+void TransactionSource::Reader::Repin(std::uint32_t tid) {
+  if (tid >= source_->num_transactions()) {
+    throw std::out_of_range("transaction id out of range");
+  }
+  // bases_ is ascending; the shard owning `tid` is the last base <= tid.
+  const auto& bases = source_->bases_;
+  const auto it = std::upper_bound(bases.begin(), bases.end(), tid);
+  const std::size_t shard =
+      static_cast<std::size_t>(it - bases.begin()) - 1;
+  pinned_ = source_->Pin(shard);
+}
+
+InMemoryTransactionSource::InMemoryTransactionSource(
+    std::vector<GraphView> views, std::size_t shard_size)
+    : views_(std::move(views)) {
+  const std::size_t n = views_.size();
+  const std::size_t step = shard_size == 0 ? (n == 0 ? 1 : n) : shard_size;
+  std::vector<std::uint32_t> bases;
+  for (std::size_t base = 0; base < n; base += step) {
+    bases.push_back(static_cast<std::uint32_t>(base));
+  }
+  bases.push_back(static_cast<std::uint32_t>(n));
+  SetBases(std::move(bases));
+}
+
+ShardRef InMemoryTransactionSource::Pin(std::size_t s) {
+  ShardRef ref;
+  ref.base = ShardBase(s);
+  ref.views = std::span<const GraphView>(views_.data() + ref.base,
+                                         ShardSize(s));
+  // No keepalive: the source owns the views and outlives its readers.
+  return ref;
+}
+
+std::unique_ptr<ShardedTransactionSource> ShardedTransactionSource::Open(
+    const std::string& dir, const Options& options, std::string* error) {
+  std::vector<std::string> paths;
+  if (!ListShardFiles(dir, &paths, error)) return nullptr;
+  return OpenFiles(paths, options, error);
+}
+
+std::unique_ptr<ShardedTransactionSource>
+ShardedTransactionSource::OpenFiles(const std::vector<std::string>& paths,
+                                    const Options& options,
+                                    std::string* error) {
+  if (paths.empty()) {
+    if (error != nullptr) *error = "no shard files given";
+    return nullptr;
+  }
+  auto source = std::unique_ptr<ShardedTransactionSource>(
+      new ShardedTransactionSource());
+  source->options_ = options;
+  source->options_.max_resident_shards =
+      std::max<std::size_t>(1, options.max_resident_shards);
+  source->paths_ = paths;
+  std::vector<std::uint32_t> bases;
+  std::uint32_t next = 0;
+  std::uint64_t combined = 1469598103934665603ull;
+  for (const std::string& path : paths) {
+    // Open (maps + validates structure, optionally re-hashes) and
+    // immediately drop: at this stage we only need counts and
+    // fingerprints, not resident pages.
+    const std::shared_ptr<ShardFile> file =
+        ShardFile::Open(path, error, options.verify_fingerprints);
+    if (file == nullptr) return nullptr;
+    bases.push_back(next);
+    next += static_cast<std::uint32_t>(file->num_transactions());
+    const std::uint64_t fp = file->fingerprint();
+    const auto* p = reinterpret_cast<const unsigned char*>(&fp);
+    for (std::size_t i = 0; i < sizeof(fp); ++i) {
+      combined ^= p[i];
+      combined *= 1099511628211ull;
+    }
+  }
+  bases.push_back(next);
+  source->SetBases(std::move(bases));
+  source->fingerprint_ = combined;
+  if (source->num_transactions() == 0) {
+    if (error != nullptr) *error = "shard set holds zero transactions";
+    return nullptr;
+  }
+  return source;
+}
+
+std::shared_ptr<ShardedTransactionSource::ResidentShard>
+ShardedTransactionSource::Load(std::size_t s) {
+  std::string error;
+  const std::shared_ptr<ShardFile> file =
+      ShardFile::Open(paths_[s], &error);
+  if (file == nullptr) {
+    // The file validated at Open() time; it vanishing or corrupting
+    // mid-run is unrecoverable.
+    throw std::runtime_error("shard reload failed: " + error);
+  }
+  auto resident = std::make_shared<ResidentShard>();
+  resident->budget = options_.budget;
+  resident->file = file;
+  const std::size_t n = file->num_transactions();
+  resident->views.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    resident->views.push_back(file->View(i));
+  }
+  // What this shard costs while resident: the mapping itself plus the
+  // span-table bookkeeping of its views. Charged up front; released by
+  // ~ResidentShard when the last reference drops.
+  resident->charged = file->mapped_bytes() + n * sizeof(GraphView);
+  TNMINE_COUNTER_ADD("shard/shards_loaded", 1);
+  return resident;
+}
+
+ShardRef ShardedTransactionSource::Pin(std::size_t s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->shard == s) {
+      lru_.splice(lru_.begin(), lru_, it);  // move to front
+      ShardRef ref;
+      ref.keepalive = lru_.front().resident;
+      ref.views = lru_.front().resident->views;
+      ref.base = ShardBase(s);
+      return ref;
+    }
+  }
+  // Miss: make an LRU slot available first, then load and charge.
+  while (lru_.size() >= options_.max_resident_shards) {
+    TNMINE_COUNTER_ADD("shard/evictions", 1);
+    lru_.pop_back();
+  }
+  std::shared_ptr<ResidentShard> resident = Load(s);
+  if (!options_.budget.TryChargeMemoryNoTrip(resident->charged)) {
+    // Evict every cached shard (outstanding reader pins keep theirs
+    // alive — and charged — until they move on) and retry; a second
+    // failure is genuine exhaustion and may trip the sticky outcome.
+    while (!lru_.empty()) {
+      TNMINE_COUNTER_ADD("shard/evictions", 1);
+      lru_.pop_back();
+    }
+    if (!options_.budget.TryChargeMemory(resident->charged)) {
+      resident->charged = 0;  // nothing was charged; nothing to release
+      throw std::bad_alloc();
+    }
+  }
+  lru_.push_front(CacheEntry{s, resident});
+  ShardRef ref;
+  ref.keepalive = std::move(resident);
+  ref.views = lru_.front().resident->views;
+  ref.base = ShardBase(s);
+  return ref;
+}
+
+std::uint64_t ShardedTransactionSource::resident_bytes() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CacheEntry& entry : lru_) {
+    total += entry.resident->charged;
+  }
+  return total;
+}
+
+}  // namespace tnmine::graph

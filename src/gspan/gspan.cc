@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "graph/graph_view.h"
+#include "graph/transaction_source.h"
 #include "iso/canonical.h"
 
 namespace tnmine::gspan {
@@ -83,14 +84,19 @@ std::size_t SupportOf(const std::vector<Emb>& embs) {
 /// set, so instances for different seeds share nothing and can run on
 /// separate pool lanes; MineGspan merges their results.
 struct Miner {
-  const std::vector<graph::GraphView>& views;
+  /// Transactions read through a per-miner Reader: embeddings are
+  /// tid-grouped ascending, so a Grow scan pins each shard it touches
+  /// once. One Reader per miner — seed subtrees on separate lanes never
+  /// share one.
+  graph::TransactionSource::Reader reader;
+  std::uint32_t num_transactions;
   const GspanOptions& options;
-  GspanResult result;
-  std::unordered_set<std::string> visited_codes;
+  GspanResult result{};
+  std::unordered_set<std::string> visited_codes{};
   /// This seed subtree's deterministic tick ledger (its Slice of the
   /// run's allotment). The subtree is mined sequentially, so tick
   /// exhaustion cuts the DFS at the same pattern on every run.
-  common::BudgetMeter meter;
+  common::BudgetMeter meter{};
   // Subtree-local telemetry, flushed to the registry once per seed (keeps
   // the hot recursion free of atomics and the totals independent of lane
   // scheduling).
@@ -98,7 +104,7 @@ struct Miner {
   std::uint64_t embeddings_materialized = 0;
   std::uint64_t codes_generated = 0;
   // Reused across Grow calls (a call finishes with it before recursing).
-  std::vector<std::pair<VertexId, VertexId>> reverse;  // (tv, pv) sorted
+  std::vector<std::pair<VertexId, VertexId>> reverse{};  // (tv, pv) sorted
 
   void Grow(const LabeledGraph& pg, const std::string& code,
             std::vector<Emb> embs) {
@@ -114,8 +120,8 @@ struct Miner {
           prev = e.tid;
         }
       }
-      fp.tids = pattern::TidSet::FromSorted(
-          std::move(tids), static_cast<std::uint32_t>(views.size()));
+      fp.tids = pattern::TidSet::FromSorted(std::move(tids),
+                                            num_transactions);
     }
     fp.support = fp.tids.Cardinality();
     result.patterns.push_back(fp);
@@ -173,7 +179,7 @@ struct Miner {
           return;
         }
       }
-      const graph::GraphView& t = views[emb.tid];
+      const graph::GraphView& t = reader.View(emb.tid);
       // Occupancy for O(log n) membership tests.
       auto edge_used = [&](EdgeId e) {
         return std::binary_search(emb.edges.begin(), emb.edges.end(), e);
@@ -319,6 +325,22 @@ struct Miner {
 }  // namespace
 
 GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
+                      const GspanOptions& options) {
+  for (const LabeledGraph& t : transactions) {
+    TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
+  }
+  // One flat snapshot per transaction, presented as a single in-memory
+  // shard; the source-based core below does all the mining. Keeping the
+  // two overloads on one code path is what makes the byte-identity
+  // contract between the in-RAM and out-of-core runs checkable.
+  std::vector<graph::GraphView> views;
+  views.reserve(transactions.size());
+  for (const LabeledGraph& t : transactions) views.emplace_back(t);
+  graph::InMemoryTransactionSource source(std::move(views));
+  return MineGspan(source, options);
+}
+
+GspanResult MineGspan(graph::TransactionSource& source,
                       const GspanOptions& raw_options) {
   TNMINE_TRACE_SPAN("gspan/mine");
   TNMINE_COUNTER_ADD("gspan/runs_started", 1);
@@ -326,15 +348,8 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
   // every comparison below shares the contract with FSG.
   GspanOptions options = raw_options;
   options.min_support = std::max<std::size_t>(1, options.min_support);
-  for (const LabeledGraph& t : transactions) {
-    TNMINE_CHECK_MSG(t.IsDense(), "transactions must be dense");
-  }
-
-  // One flat snapshot per transaction, shared read-only by every seed
-  // subtree (and thread) below.
-  std::vector<graph::GraphView> views;
-  views.reserve(transactions.size());
-  for (const LabeledGraph& t : transactions) views.emplace_back(t);
+  const auto num_transactions =
+      static_cast<std::uint32_t>(source.num_transactions());
 
   // Seed: single-edge patterns with their embeddings, in deterministic
   // (label-tuple) order. Distinct tuples yield non-isomorphic 1-edge
@@ -347,33 +362,49 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
   // EdgeTypeKey's ordering matches the label tuple this map used to be
   // keyed on, and each view lists a type's edges in ascending EdgeId
   // order, so seed order and per-seed embedding order are unchanged.
+  // The scan walks the source one shard at a time (ascending bases ==
+  // ascending global tids), holding a single pin at a time.
   std::map<graph::GraphView::EdgeTypeKey, Seed> seeds;
-  for (std::uint32_t tid = 0; tid < views.size(); ++tid) {
-    const graph::GraphView& t = views[tid];
-    for (std::size_t type = 0; type < t.NumEdgeTypes(); ++type) {
-      const graph::GraphView::EdgeTypeKey& key = t.EdgeTypeAt(type);
-      auto it = seeds.find(key);
-      if (it == seeds.end()) {
-        Seed seed;
-        const VertexId a = seed.pg.AddVertex(key.src_label);
-        if (key.self_loop) {
-          seed.pg.AddEdge(a, a, key.edge_label);
-        } else {
-          const VertexId b = seed.pg.AddVertex(key.dst_label);
-          seed.pg.AddEdge(a, b, key.edge_label);
+  try {
+    for (std::size_t s = 0; s < source.num_shards(); ++s) {
+      const graph::ShardRef shard = source.Pin(s);
+      for (std::uint32_t i = 0; i < shard.views.size(); ++i) {
+        const std::uint32_t tid = shard.base + i;
+        const graph::GraphView& t = shard.views[i];
+        for (std::size_t type = 0; type < t.NumEdgeTypes(); ++type) {
+          const graph::GraphView::EdgeTypeKey& key = t.EdgeTypeAt(type);
+          auto it = seeds.find(key);
+          if (it == seeds.end()) {
+            Seed seed;
+            const VertexId a = seed.pg.AddVertex(key.src_label);
+            if (key.self_loop) {
+              seed.pg.AddEdge(a, a, key.edge_label);
+            } else {
+              const VertexId b = seed.pg.AddVertex(key.dst_label);
+              seed.pg.AddEdge(a, b, key.edge_label);
+            }
+            it = seeds.emplace(key, std::move(seed)).first;
+          }
+          for (EdgeId e : t.EdgesOfType(type)) {
+            const Edge& edge = t.edge(e);
+            Emb emb;
+            emb.tid = tid;
+            emb.vertices.push_back(edge.src);
+            if (!key.self_loop) emb.vertices.push_back(edge.dst);
+            emb.edges.push_back(e);
+            it->second.embs.push_back(std::move(emb));
+          }
         }
-        it = seeds.emplace(key, std::move(seed)).first;
-      }
-      for (EdgeId e : t.EdgesOfType(type)) {
-        const Edge& edge = t.edge(e);
-        Emb emb;
-        emb.tid = tid;
-        emb.vertices.push_back(edge.src);
-        if (!key.self_loop) emb.vertices.push_back(edge.dst);
-        emb.edges.push_back(e);
-        it->second.embs.push_back(std::move(emb));
       }
     }
+  } catch (const std::bad_alloc&) {
+    // A shard pin that could not fit the memory ceiling even after
+    // evicting everything else. The seed scan is incomplete, so nothing
+    // can be emitted honestly.
+    GspanResult aborted;
+    aborted.outcome = common::MiningOutcome::kMemoryBudgetExceeded;
+    common::RecordOutcome("gspan", aborted.outcome);
+    return aborted;
   }
   std::vector<Seed> frequent;
   for (auto& [key, seed] : seeds) {
@@ -393,7 +424,8 @@ GspanResult MineGspan(const std::vector<LabeledGraph>& transactions,
       options.parallelism, frequent.size(), [&](std::size_t i) {
         TNMINE_TRACE_SPAN("gspan/seed_subtree");
         Seed& seed = frequent[i];
-        Miner miner{views, options, {}, {}};
+        Miner miner{graph::TransactionSource::Reader(source),
+                    num_transactions, options};
         miner.meter =
             common::BudgetMeter(options.budget.Slice(i, frequent.size()));
         miner.visited_codes.insert(seed.code);

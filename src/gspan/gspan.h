@@ -7,6 +7,7 @@
 #include "common/budget.h"
 #include "common/thread_pool.h"
 #include "graph/labeled_graph.h"
+#include "graph/transaction_source.h"
 #include "pattern/pattern.h"
 
 namespace tnmine::gspan {
@@ -91,6 +92,16 @@ struct GspanResult {
 /// runs where the old global-visited-set miner did not explore the
 /// truncating region; the pattern set itself is unaffected.
 GspanResult MineGspan(const std::vector<graph::LabeledGraph>& transactions,
+                      const GspanOptions& options);
+
+/// Same miner over a TransactionSource — the out-of-core entry point
+/// (DESIGN.md §16). The seed scan walks the source one shard at a time
+/// and every seed subtree reads its projected database's transactions
+/// through its own Reader, so at most a bounded set of shards is
+/// resident per lane. Output is byte-identical to the in-memory overload
+/// for the same transaction sequence, at any shard cut and any thread
+/// count.
+GspanResult MineGspan(graph::TransactionSource& source,
                       const GspanOptions& options);
 
 }  // namespace tnmine::gspan

@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +21,9 @@
 #include "common/telemetry.h"
 #include "core/interestingness.h"
 #include "core/miner.h"
+#include "fsg/fsg.h"
+#include "graph/transaction_source.h"
+#include "gspan/gspan.h"
 #include "pattern/render.h"
 
 namespace tnmine::server {
@@ -48,6 +52,15 @@ bool FingerprintFile(const std::string& path, std::string* out) {
   return true;
 }
 
+/// A 64-bit fingerprint as the 16-hex-digit string used in cache keys
+/// and wire responses.
+std::string HexFingerprint(std::uint64_t fingerprint) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return hex;
+}
+
 /// Declares one knob of a mining-params schema: every request param is
 /// resolved against these (defaults filled in), so two requests that
 /// spell the same effective configuration differently still map to the
@@ -71,6 +84,18 @@ constexpr ParamSpec kStructuralParams[] = {
     {"seed", 1, nullptr, 0, false},
     {"threads", 0, nullptr, 0, false},
     {"top", 5, nullptr, 0, false},
+    {"deadline_ms", 0, nullptr, 0, false},
+    {"max_work_ticks", 0, nullptr, 0, false},
+    {"max_memory_mb", 0, nullptr, 0, false},
+};
+
+constexpr ParamSpec kShardMiningParams[] = {
+    {"miner", 0, "fsg", 0, false},
+    {"support", 2, nullptr, 0, false},
+    {"max_edges", 3, nullptr, 0, false},
+    {"threads", 0, nullptr, 0, false},
+    {"top", 5, nullptr, 0, false},
+    {"max_resident_shards", 2, nullptr, 0, false},
     {"deadline_ms", 0, nullptr, 0, false},
     {"max_work_ticks", 0, nullptr, 0, false},
     {"max_memory_mb", 0, nullptr, 0, false},
@@ -339,6 +364,41 @@ std::shared_ptr<const Snapshot> Server::snapshot() const {
   return snapshot_;
 }
 
+bool Server::LoadShards(const std::string& dir, std::string* error) {
+  // Open validates every shard header and builds the combined
+  // fingerprint; the source itself is discarded — mine_shards reopens
+  // per request so each request's mappings charge that request's
+  // memory budget. No cache clear: mine_shards keys carry the shard
+  // fingerprint and version, so entries for an older set can never be
+  // returned for the new one (they age out of the LRU instead).
+  graph::ShardedTransactionSource::Options options;
+  std::string open_error;
+  const auto source =
+      graph::ShardedTransactionSource::Open(dir, options, &open_error);
+  if (source == nullptr) {
+    if (error != nullptr) *error = open_error;
+    return false;
+  }
+  auto set = std::make_shared<ShardSet>();
+  set->dir = dir;
+  set->fingerprint = HexFingerprint(source->fingerprint());
+  set->num_transactions = source->num_transactions();
+  set->num_shards = source->num_shards();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    set->version = next_shard_version_++;
+    shard_set_ = std::move(set);
+  }
+  shard_sets_loaded_.fetch_add(1, std::memory_order_relaxed);
+  TNMINE_COUNTER_ADD("server/shard_sets_loaded", 1);
+  return true;
+}
+
+std::shared_ptr<const ShardSet> Server::shard_set() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return shard_set_;
+}
+
 void Server::ReapFinishedConnections() {
   // Extract the finished threads under the lock, join outside it: a
   // finishing connection thread pushes its id and returns without
@@ -534,7 +594,10 @@ JsonValue Server::HandleRequest(const JsonValue& request, int fd) {
     response = HandleStats();
   } else if (op == "load_snapshot") {
     response = HandleLoadSnapshot(request);
-  } else if (op == "structural" || op == "temporal") {
+  } else if (op == "load_shards") {
+    response = HandleLoadShards(request);
+  } else if (op == "structural" || op == "temporal" ||
+             op == "mine_shards") {
     response = HandleMining(op, request, fd);
   } else if (op == "shutdown") {
     // The acknowledgement must reach the client before Stop() starts
@@ -580,6 +643,8 @@ JsonValue Server::HandleStats() {
              admission_rejected_.load(std::memory_order_relaxed));
   server.Set("snapshots_loaded",
              snapshots_loaded_.load(std::memory_order_relaxed));
+  server.Set("shard_sets_loaded",
+             shard_sets_loaded_.load(std::memory_order_relaxed));
   server.Set("inflight", inflight_.load(std::memory_order_relaxed));
   server.Set("max_inflight", options_.max_inflight);
   server.Set("conn_open", conn_open_.load(std::memory_order_relaxed));
@@ -630,6 +695,19 @@ JsonValue Server::HandleStats() {
     result.Set("snapshot", JsonValue());
   }
 
+  const std::shared_ptr<const ShardSet> set = shard_set();
+  if (set != nullptr) {
+    JsonValue s = JsonValue::MakeObject();
+    s.Set("version", set->version);
+    s.Set("fingerprint", set->fingerprint);
+    s.Set("dir", set->dir);
+    s.Set("transactions", set->num_transactions);
+    s.Set("shards", set->num_shards);
+    result.Set("shard_set", std::move(s));
+  } else {
+    result.Set("shard_set", JsonValue());
+  }
+
   // The telemetry RunReport, embedded verbatim: the same document the
   // CLI's --metrics-out writes, served over the wire.
   telemetry::RunReportOptions report_options;
@@ -674,6 +752,30 @@ JsonValue Server::HandleLoadSnapshot(const JsonValue& request) {
   return response;
 }
 
+JsonValue Server::HandleLoadShards(const JsonValue& request) {
+  const std::string dir =
+      request.Get("params").Get("dir").AsString(std::string());
+  if (dir.empty()) {
+    return ErrorResponse("load_shards", "bad_request",
+                         "params.dir is required");
+  }
+  std::string error;
+  if (!LoadShards(dir, &error)) {
+    return ErrorResponse("load_shards", "load_failed", error);
+  }
+  const std::shared_ptr<const ShardSet> set = shard_set();
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("version", set->version);
+  result.Set("fingerprint", set->fingerprint);
+  result.Set("transactions", set->num_transactions);
+  result.Set("shards", set->num_shards);
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", true);
+  response.Set("op", "load_shards");
+  response.Set("result", std::move(result));
+  return response;
+}
+
 bool Server::TryAdmit() {
   std::size_t cur = inflight_.load(std::memory_order_relaxed);
   do {
@@ -705,23 +807,44 @@ void Server::UnregisterWatch(int fd) {
 
 JsonValue Server::HandleMining(const std::string& op,
                                const JsonValue& request, int fd) {
-  const std::shared_ptr<const Snapshot> snap = snapshot();
-  if (snap == nullptr) {
-    return ErrorResponse(op, "no_snapshot",
-                         "no snapshot loaded (use load_snapshot)");
+  // mine_shards mines the registered ShardSet instead of the Snapshot;
+  // everything downstream (cache key, admission, cancel watch) is
+  // shared, parameterized by the data's fingerprint and version.
+  const bool over_shards = op == "mine_shards";
+  std::shared_ptr<const Snapshot> snap;
+  std::shared_ptr<const ShardSet> shards;
+  std::string fingerprint;
+  std::uint64_t version = 0;
+  if (over_shards) {
+    shards = shard_set();
+    if (shards == nullptr) {
+      return ErrorResponse(op, "no_shards",
+                           "no shard set loaded (use load_shards)");
+    }
+    fingerprint = shards->fingerprint;
+    version = shards->version;
+  } else {
+    snap = snapshot();
+    if (snap == nullptr) {
+      return ErrorResponse(op, "no_snapshot",
+                           "no snapshot loaded (use load_snapshot)");
+    }
+    fingerprint = snap->fingerprint;
+    version = snap->version;
   }
   JsonValue params;
   std::string error;
   const std::span<const ParamSpec> schema =
       op == "structural" ? std::span<const ParamSpec>(kStructuralParams)
+      : over_shards      ? std::span<const ParamSpec>(kShardMiningParams)
                          : std::span<const ParamSpec>(kTemporalParams);
   if (!CanonicalizeParams(request.Get("params"), schema, &params,
                           &error)) {
     return ErrorResponse(op, "bad_request", error);
   }
 
-  const std::string key = op + "|" + snap->fingerprint + "|v" +
-                          std::to_string(snap->version) + "|" +
+  const std::string key = op + "|" + fingerprint + "|v" +
+                          std::to_string(version) + "|" +
                           params.Serialize();
   std::string payload;
   bool cached = cache_.Lookup(key, &payload);
@@ -738,7 +861,11 @@ JsonValue Server::HandleMining(const std::string& op,
     const common::ResourceBudget budget =
         BudgetFor(params, options_.default_limits, token);
     try {
-      payload = MineResult(op, params, *snap, budget, &outcome_label);
+      payload = over_shards
+                    ? MineShardsResult(params, *shards, budget,
+                                       &outcome_label)
+                    : MineResult(op, params, *snap, budget,
+                                 &outcome_label);
     } catch (const std::exception& e) {
       UnregisterWatch(fd);
       Release();
@@ -767,7 +894,7 @@ JsonValue Server::HandleMining(const std::string& op,
   response.Set("ok", true);
   response.Set("op", op);
   response.Set("cached", cached);
-  response.Set("snapshot_version", snap->version);
+  response.Set("snapshot_version", version);
   response.Set("result", std::move(result));
   return response;
 }
@@ -847,6 +974,87 @@ std::string Server::MineResult(const std::string& op,
                RenderPatterns(mined.registry.SortedBySupport(), top,
                               &mined.partition.discretizer));
   }
+  return result.Serialize();
+}
+
+std::string Server::MineShardsResult(const JsonValue& params,
+                                     const ShardSet& shards,
+                                     const common::ResourceBudget& budget,
+                                     std::string* outcome_label) {
+  graph::ShardedTransactionSource::Options source_options;
+  std::int64_t resident = params.Get("max_resident_shards").AsInt();
+  if (resident < 1) resident = 1;
+  source_options.max_resident_shards =
+      static_cast<std::size_t>(resident);
+  source_options.budget = budget;
+  std::string error;
+  const auto source = graph::ShardedTransactionSource::Open(
+      shards.dir, source_options, &error);
+  if (source == nullptr) {
+    throw std::runtime_error("cannot open shard dir " + shards.dir +
+                             ": " + error);
+  }
+  if (HexFingerprint(source->fingerprint()) != shards.fingerprint) {
+    throw std::runtime_error(
+        "shard dir " + shards.dir +
+        " changed since load_shards; re-issue load_shards");
+  }
+
+  const common::Parallelism parallelism =
+      params.Get("threads").AsInt() > 0
+          ? common::Parallelism{static_cast<std::size_t>(
+                params.Get("threads").AsInt())}
+          : options_.parallelism;
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("transactions", source->num_transactions());
+  result.Set("shards", source->num_shards());
+  std::vector<pattern::FrequentPattern> patterns;
+  if (params.Get("miner").AsString() == "gspan") {
+    gspan::GspanOptions options;
+    options.min_support =
+        static_cast<std::size_t>(params.Get("support").AsInt());
+    options.max_edges =
+        static_cast<std::size_t>(params.Get("max_edges").AsInt());
+    options.parallelism = parallelism;
+    options.budget = budget;
+    gspan::GspanResult mined = gspan::MineGspan(*source, options);
+    *outcome_label = common::ToString(mined.outcome);
+    common::RecordOutcome("server", mined.outcome);
+    result.Set("work_ticks", mined.work_ticks);
+    patterns = std::move(mined.patterns);
+  } else {
+    fsg::FsgOptions options;
+    options.min_support =
+        static_cast<std::size_t>(params.Get("support").AsInt());
+    options.max_edges =
+        static_cast<std::size_t>(params.Get("max_edges").AsInt());
+    options.parallelism = parallelism;
+    options.budget = budget;
+    fsg::FsgResult mined = fsg::MineFsg(*source, options);
+    *outcome_label = common::ToString(mined.outcome);
+    common::RecordOutcome("server", mined.outcome);
+    result.Set("work_ticks", mined.work_ticks);
+    patterns = std::move(mined.patterns);
+  }
+  result.Set("outcome", *outcome_label);
+  result.Set("num_patterns", patterns.size());
+  // Rank by support descending; ties keep the miner's deterministic
+  // enumeration order so responses (and cache payloads) are stable.
+  std::vector<const pattern::FrequentPattern*> ranked;
+  ranked.reserve(patterns.size());
+  for (const pattern::FrequentPattern& p : patterns) {
+    ranked.push_back(&p);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const pattern::FrequentPattern* a,
+                      const pattern::FrequentPattern* b) {
+                     return a->support > b->support;
+                   });
+  result.Set("patterns",
+             RenderPatterns(
+                 ranked,
+                 static_cast<std::size_t>(params.Get("top").AsInt()),
+                 nullptr));
   return result.Serialize();
 }
 

@@ -41,6 +41,23 @@ struct Snapshot {
   std::shared_ptr<const graph::GraphView> view;  ///< of od_weight.graph
 };
 
+/// One registered out-of-core shard directory (DESIGN.md §16): validated
+/// at load_shards time, identified by the combined shard fingerprint.
+/// Only the metadata is kept resident — every mine_shards request opens
+/// its own ShardedTransactionSource against its own memory budget, and
+/// the fingerprint is re-checked then so a directory silently rewritten
+/// after load_shards is rejected rather than mined. Same MVCC-lite
+/// versioning as Snapshot.
+struct ShardSet {
+  std::uint64_t version = 0;
+  /// Combined FNV-1a over the per-shard fingerprints, hex — the content
+  /// half of every mine_shards cache key.
+  std::string fingerprint;
+  std::string dir;
+  std::size_t num_transactions = 0;
+  std::size_t num_shards = 0;
+};
+
 struct ServerOptions {
   /// ListenAddress spec ("unix:/path" or "tcp:host:port"; port 0 binds
   /// an ephemeral port — read the resolved one from address()).
@@ -111,7 +128,13 @@ class Server {
   /// Safe while serving; in-flight requests keep the old snapshot.
   bool LoadSnapshot(const std::string& path, std::string* error);
 
+  /// Validates `dir` as a shard directory (headers + structure) and
+  /// registers it as the current ShardSet for mine_shards. Safe while
+  /// serving; in-flight shard requests keep the old set's metadata.
+  bool LoadShards(const std::string& dir, std::string* error);
+
   std::shared_ptr<const Snapshot> snapshot() const;
+  std::shared_ptr<const ShardSet> shard_set() const;
   const ResultCache& cache() const { return cache_; }
 
   std::uint64_t requests_total() const { return requests_total_; }
@@ -158,6 +181,7 @@ class Server {
 
   JsonValue HandleStats();
   JsonValue HandleLoadSnapshot(const JsonValue& request);
+  JsonValue HandleLoadShards(const JsonValue& request);
   JsonValue HandleMining(const std::string& op, const JsonValue& request,
                          int fd);
 
@@ -167,6 +191,15 @@ class Server {
                          const Snapshot& snap,
                          const common::ResourceBudget& budget,
                          std::string* outcome_label);
+
+  /// Runs FSG/gSpan over the ShardSet's directory through a fresh
+  /// ShardedTransactionSource bounded by `budget`; throws
+  /// std::runtime_error when the directory no longer matches the
+  /// fingerprint captured at load_shards.
+  std::string MineShardsResult(const JsonValue& params,
+                               const ShardSet& shards,
+                               const common::ResourceBudget& budget,
+                               std::string* outcome_label);
 
   void RegisterWatch(int fd,
                      const std::shared_ptr<common::CancelToken>& token);
@@ -195,6 +228,8 @@ class Server {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_;  // guarded by snapshot_mu_
   std::uint64_t next_snapshot_version_ = 1;   // guarded by snapshot_mu_
+  std::shared_ptr<const ShardSet> shard_set_;  // guarded by snapshot_mu_
+  std::uint64_t next_shard_version_ = 1;       // guarded by snapshot_mu_
 
   std::mutex watch_mu_;
   std::vector<WatchedRequest> watched_;  // guarded by watch_mu_
@@ -212,6 +247,7 @@ class Server {
   std::atomic<std::uint64_t> requests_cancelled_{0};
   std::atomic<std::uint64_t> admission_rejected_{0};
   std::atomic<std::uint64_t> snapshots_loaded_{0};
+  std::atomic<std::uint64_t> shard_sets_loaded_{0};
   std::atomic<std::uint64_t> conn_open_{0};
   std::atomic<std::uint64_t> conn_accepted_{0};
   std::atomic<std::uint64_t> conn_closed_{0};

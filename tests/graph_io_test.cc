@@ -202,5 +202,67 @@ TEST(GraphIoTest, ReadMissingFileFails) {
   EXPECT_FALSE(ReadTextFile("/does/not/exist.graph", &text));
 }
 
+// --- StreamFsgTransactions: the bounded-memory reader behind
+// `tnshard build --input` (DESIGN.md §16). It must agree transaction for
+// transaction with the load-everything ReadFsgFormat.
+
+TEST(GraphIoTest, StreamFsgMatchesReadFsgFormat) {
+  std::vector<LabeledGraph> txns = {SampleGraph(), LabeledGraph(),
+                                    SampleGraph()};
+  const VertexId x = txns[1].AddVertex(7);
+  txns[1].AddEdge(x, x, 2);
+  const std::string path = ::testing::TempDir() + "/tnmine_stream_fsg.txt";
+  ASSERT_TRUE(WriteTextFile(path, WriteFsgFormat(txns)));
+
+  std::vector<LabeledGraph> streamed;
+  std::string error;
+  ASSERT_TRUE(StreamFsgTransactions(
+      path,
+      [&](LabeledGraph&& g) {
+        streamed.push_back(std::move(g));
+        return true;
+      },
+      &error))
+      << error;
+  ASSERT_EQ(streamed.size(), txns.size());
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    EXPECT_TRUE(streamed[i].StructurallyEqual(txns[i])) << "transaction " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, StreamFsgEarlyStopIsSuccess) {
+  const std::vector<LabeledGraph> txns(4, SampleGraph());
+  const std::string path = ::testing::TempDir() + "/tnmine_stream_stop.txt";
+  ASSERT_TRUE(WriteTextFile(path, WriteFsgFormat(txns)));
+  std::size_t seen = 0;
+  std::string error;
+  ASSERT_TRUE(StreamFsgTransactions(
+      path, [&](LabeledGraph&&) { return ++seen < 2; }, &error))
+      << error;
+  EXPECT_EQ(seen, 2u);  // the callback's false stopped the scan there
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, StreamFsgRejectsMalformedAndMissingFiles) {
+  const std::string path = ::testing::TempDir() + "/tnmine_stream_bad.txt";
+  ASSERT_TRUE(WriteTextFile(path, "t # 0\nv 0 1\nv 1 2\ne 0 9 5\n"));
+  std::size_t seen = 0;
+  std::string error;
+  EXPECT_FALSE(StreamFsgTransactions(
+      path,
+      [&](LabeledGraph&&) {
+        ++seen;
+        return true;
+      },
+      &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(seen, 0u);  // the bad transaction never reached the callback
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(StreamFsgTransactions(
+      "/does/not/exist.fsg", [](LabeledGraph&&) { return true; }, &error));
+}
+
 }  // namespace
 }  // namespace tnmine::graph

@@ -1,0 +1,388 @@
+#include "graph/shard_store.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/budget.h"
+#include "graph/graph_view.h"
+#include "graph/labeled_graph.h"
+#include "graph/transaction_source.h"
+
+namespace tnmine::graph {
+namespace {
+
+/// splitmix64, same as tid_set_test.cc: failures reproduce everywhere.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic transaction with a seed-dependent shape: 3-9 vertices,
+/// about twice as many edges (parallel edges and self-loops included, so
+/// the multigraph paths of the format get exercised too).
+LabeledGraph MakeTransaction(std::uint64_t seed) {
+  LabeledGraph g;
+  const std::size_t n = 3 + Mix64(seed) % 7;
+  for (std::size_t v = 0; v < n; ++v) {
+    g.AddVertex(static_cast<Label>(Mix64(seed ^ (v + 1)) % 5));
+  }
+  const std::size_t m = 2 * n;
+  for (std::size_t e = 0; e < m; ++e) {
+    const std::uint64_t h = Mix64(seed * 31 + e);
+    g.AddEdge(static_cast<VertexId>(h % n),
+              static_cast<VertexId>((h >> 16) % n),
+              static_cast<Label>((h >> 32) % 3));
+  }
+  return g;
+}
+
+std::vector<LabeledGraph> MakeTransactions(std::size_t count,
+                                           std::uint64_t seed) {
+  std::vector<LabeledGraph> txns;
+  txns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    txns.push_back(MakeTransaction(seed + i));
+  }
+  return txns;
+}
+
+/// Structural equality of two views: every accessor the miners read.
+void ExpectSameGraph(const GraphView& a, const GraphView& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.edge_capacity(), b.edge_capacity());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.vertex_label(v), b.vertex_label(v));
+    const auto ao = a.OutArcs(v);
+    const auto bo = b.OutArcs(v);
+    ASSERT_EQ(ao.size(), bo.size());
+    for (std::size_t i = 0; i < ao.size(); ++i) {
+      EXPECT_EQ(ao[i].other, bo[i].other);
+      EXPECT_EQ(ao[i].label, bo[i].label);
+      EXPECT_EQ(ao[i].edge, bo[i].edge);
+    }
+    ASSERT_EQ(a.InDegree(v), b.InDegree(v));
+  }
+  ASSERT_EQ(a.NumEdgeTypes(), b.NumEdgeTypes());
+  for (std::size_t t = 0; t < a.NumEdgeTypes(); ++t) {
+    EXPECT_EQ(a.EdgeTypeAt(t), b.EdgeTypeAt(t));
+    const auto ae = a.EdgesOfType(t);
+    const auto be = b.EdgesOfType(t);
+    EXPECT_EQ(std::vector<EdgeId>(ae.begin(), ae.end()),
+              std::vector<EdgeId>(be.begin(), be.end()));
+  }
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool WriteShard(const std::string& path,
+                const std::vector<LabeledGraph>& txns, std::string* error) {
+  ShardWriter writer(path);
+  for (const LabeledGraph& g : txns) writer.Add(g);
+  return writer.Finish(error);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(ShardStoreTest, RoundTripPreservesEveryAccessor) {
+  const auto txns = MakeTransactions(12, 100);
+  const std::string path = TempPath("roundtrip.tnshard");
+  std::string error;
+  ASSERT_TRUE(WriteShard(path, txns, &error)) << error;
+
+  auto shard = ShardFile::Open(path, &error, /*verify_fingerprint=*/true);
+  ASSERT_NE(shard, nullptr) << error;
+  ASSERT_EQ(shard->num_transactions(), txns.size());
+  EXPECT_GT(shard->mapped_bytes(), sizeof(ShardHeader));
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    const GraphView loaded = shard->View(i);
+    ASSERT_TRUE(loaded.CheckConsistent()) << "transaction " << i;
+    ExpectSameGraph(GraphView(txns[i]), loaded);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardStoreTest, FileIsByteDeterministic) {
+  const auto txns = MakeTransactions(8, 200);
+  const std::string pa = TempPath("det-a.tnshard");
+  const std::string pb = TempPath("det-b.tnshard");
+  std::string error;
+  ASSERT_TRUE(WriteShard(pa, txns, &error)) << error;
+  ASSERT_TRUE(WriteShard(pb, txns, &error)) << error;
+  const std::string bytes_a = ReadFileBytes(pa);
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, ReadFileBytes(pb));
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(ShardStoreTest, ViewKeepsEvictedMappingAlive) {
+  const auto txns = MakeTransactions(4, 300);
+  const std::string path = TempPath("keepalive.tnshard");
+  std::string error;
+  ASSERT_TRUE(WriteShard(path, txns, &error)) << error;
+
+  GraphView survivor = [&] {
+    auto shard = ShardFile::Open(path, &error);
+    EXPECT_NE(shard, nullptr) << error;
+    return shard->View(2);
+  }();  // the ShardFile reference is gone; the view's keep-alive remains
+  ASSERT_TRUE(survivor.CheckConsistent());
+  ExpectSameGraph(GraphView(txns[2]), survivor);
+  std::remove(path.c_str());
+}
+
+TEST(ShardStoreTest, FingerprintVerificationCatchesPayloadCorruption) {
+  const auto txns = MakeTransactions(6, 400);
+  const std::string path = TempPath("corrupt.tnshard");
+  std::string error;
+  ASSERT_TRUE(WriteShard(path, txns, &error)) << error;
+
+  // Flip one payload byte (past header + offset table) in a way that
+  // keeps the structure parseable: only the fingerprint can notice.
+  std::string bytes = ReadFileBytes(path);
+  const std::size_t payload_start =
+      sizeof(ShardHeader) + (txns.size() + 1) * sizeof(std::uint64_t);
+  ASSERT_LT(payload_start + 1, bytes.size());
+  bytes[payload_start] ^= 0x01;  // first vertex label of transaction 0
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  EXPECT_EQ(ShardFile::Open(path, &error, /*verify_fingerprint=*/true),
+            nullptr);
+  EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+  // The trusting open (the mining path) does not rehash the payload.
+  EXPECT_NE(ShardFile::Open(path, &error), nullptr) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ShardStoreTest, RejectsBadMagicVersionAndTruncation) {
+  const auto txns = MakeTransactions(3, 500);
+  const std::string path = TempPath("malformed.tnshard");
+  std::string error;
+  ASSERT_TRUE(WriteShard(path, txns, &error)) << error;
+  const std::string good = ReadFileBytes(path);
+
+  const auto rewrite = [&](const std::string& bytes) {
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+  };
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  rewrite(bad_magic);
+  EXPECT_EQ(ShardFile::Open(path, &error), nullptr);
+
+  std::string bad_version = good;
+  bad_version[8] = 99;  // format_version little-endian low byte
+  rewrite(bad_version);
+  EXPECT_EQ(ShardFile::Open(path, &error), nullptr);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  rewrite(good.substr(0, good.size() / 2));
+  EXPECT_EQ(ShardFile::Open(path, &error), nullptr);
+
+  rewrite("");
+  EXPECT_EQ(ShardFile::Open(path, &error), nullptr);
+
+  std::remove(path.c_str());
+  EXPECT_EQ(ShardFile::Open(path, &error), nullptr);  // missing file
+}
+
+TEST(ShardStoreTest, ListShardFilesSortsAndRejectsEmpty) {
+  const std::string dir = TempPath("listdir");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  std::string error;
+  std::vector<std::string> paths;
+  EXPECT_FALSE(ListShardFiles(dir, &paths, &error));  // empty dir is an error
+
+  // Create out of creation order; listing must come back sorted by name.
+  for (const std::size_t i : {2, 0, 1}) {
+    std::ofstream(dir + "/" + ShardFileName(i)) << "x";
+  }
+  std::ofstream(dir + "/notes.txt") << "ignored";  // non-matching suffix
+  ASSERT_TRUE(ListShardFiles(dir, &paths, &error)) << error;
+  ASSERT_EQ(paths.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NE(paths[i].find(ShardFileName(i)), std::string::npos);
+  }
+  for (const std::size_t i : {0, 1, 2}) {
+    std::remove((dir + "/" + ShardFileName(i)).c_str());
+  }
+  std::remove((dir + "/notes.txt").c_str());
+  ::rmdir(dir.c_str());
+}
+
+/// Writes `txns` into `dir` as shards of `shard_size`, returns the dir.
+std::string BuildShardDir(const std::string& name,
+                          const std::vector<LabeledGraph>& txns,
+                          std::size_t shard_size) {
+  const std::string dir = TempPath(name);
+  ::mkdir(dir.c_str(), 0755);
+  std::string error;
+  std::size_t shard = 0;
+  for (std::size_t i = 0; i < txns.size(); i += shard_size) {
+    ShardWriter writer(dir + "/" + ShardFileName(shard++));
+    for (std::size_t j = i; j < std::min(i + shard_size, txns.size()); ++j) {
+      writer.Add(txns[j]);
+    }
+    EXPECT_TRUE(writer.Finish(&error)) << error;
+  }
+  return dir;
+}
+
+void RemoveShardDir(const std::string& dir, std::size_t num_shards) {
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    std::remove((dir + "/" + ShardFileName(i)).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+TEST(ShardStoreTest, ShardedSourceReadsGlobalTidsAcrossShards) {
+  const auto txns = MakeTransactions(11, 600);
+  const std::string dir = BuildShardDir("sharded-read", txns, 4);  // 4+4+3
+
+  std::string error;
+  ShardedTransactionSource::Options options;
+  options.max_resident_shards = 1;  // force eviction between shards
+  auto source = ShardedTransactionSource::Open(dir, options, &error);
+  ASSERT_NE(source, nullptr) << error;
+  EXPECT_EQ(source->num_transactions(), txns.size());
+  EXPECT_EQ(source->num_shards(), 3u);
+  EXPECT_EQ(source->ShardBase(2), 8u);
+  EXPECT_EQ(source->ShardSize(2), 3u);
+
+  TransactionSource::Reader reader(*source);
+  for (std::uint32_t tid = 0; tid < txns.size(); ++tid) {
+    ExpectSameGraph(GraphView(txns[tid]), reader.View(tid));
+  }
+  // A second pass in descending order re-pins each shard once more.
+  for (std::uint32_t tid = txns.size(); tid-- > 0;) {
+    EXPECT_EQ(reader.View(tid).num_vertices(), txns[tid].num_vertices());
+  }
+  RemoveShardDir(dir, 3);
+}
+
+TEST(ShardStoreTest, ShardedSourceFingerprintIsStableAcrossOpens) {
+  const auto txns = MakeTransactions(9, 700);
+  const std::string dir = BuildShardDir("sharded-fp", txns, 3);
+  std::string error;
+  const ShardedTransactionSource::Options options;
+  auto a = ShardedTransactionSource::Open(dir, options, &error);
+  ASSERT_NE(a, nullptr) << error;
+  auto b = ShardedTransactionSource::Open(dir, options, &error);
+  ASSERT_NE(b, nullptr) << error;
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());
+  EXPECT_NE(a->fingerprint(), 0u);
+  RemoveShardDir(dir, 3);
+}
+
+TEST(ShardStoreTest, LruKeepsResidencyBounded) {
+  const auto txns = MakeTransactions(12, 800);
+  const std::string dir = BuildShardDir("sharded-lru", txns, 3);  // 4 shards
+
+  std::string error;
+  ShardedTransactionSource::Options options;
+  options.max_resident_shards = 2;
+  auto source = ShardedTransactionSource::Open(dir, options, &error);
+  ASSERT_NE(source, nullptr) << error;
+  EXPECT_EQ(source->resident_bytes(), 0u);  // nothing mapped before a pin
+
+  std::uint64_t one_shard = 0;
+  {
+    const ShardRef ref = source->Pin(0);
+    EXPECT_EQ(ref.base, 0u);
+    EXPECT_EQ(ref.views.size(), 3u);
+    one_shard = source->resident_bytes();
+    EXPECT_GT(one_shard, 0u);
+  }
+  // Touch every shard; with capacity 2 the cache never holds more than
+  // two mappings once the pins are dropped.
+  for (std::size_t s = 0; s < source->num_shards(); ++s) source->Pin(s);
+  EXPECT_LE(source->resident_bytes(), 2 * (one_shard + one_shard / 2));
+  // Re-pinning a cached shard is a hit: residency does not grow.
+  const std::uint64_t before = source->resident_bytes();
+  source->Pin(source->num_shards() - 1);
+  EXPECT_EQ(source->resident_bytes(), before);
+  RemoveShardDir(dir, 4);
+}
+
+TEST(ShardStoreTest, BudgetCeilingMakesPinThrow) {
+  const auto txns = MakeTransactions(6, 900);
+  const std::string dir = BuildShardDir("sharded-budget", txns, 3);
+
+  std::string error;
+  common::BudgetLimits limits;
+  limits.max_memory_bytes = 64;  // smaller than any mapping
+  ShardedTransactionSource::Options options;
+  options.budget = common::ResourceBudget(limits);
+  auto source = ShardedTransactionSource::Open(dir, options, &error);
+  ASSERT_NE(source, nullptr) << error;
+  EXPECT_THROW(source->Pin(0), std::bad_alloc);
+  // The final failed charge trips the sticky memory outcome the miners
+  // turn into a kMemoryBudgetExceeded partial result.
+  EXPECT_EQ(options.budget.StopReason(),
+            common::MiningOutcome::kMemoryBudgetExceeded);
+  RemoveShardDir(dir, 2);
+}
+
+TEST(ShardStoreTest, EvictionReleasesBudgetCharges) {
+  const auto txns = MakeTransactions(12, 1000);
+  const std::string dir = BuildShardDir("sharded-release", txns, 3);
+
+  std::string error;
+  common::BudgetLimits limits;
+  limits.max_memory_bytes = 64 << 20;  // roomy: charges must still balance
+  ShardedTransactionSource::Options options;
+  options.max_resident_shards = 1;
+  options.budget = common::ResourceBudget(limits);
+  auto source = ShardedTransactionSource::Open(dir, options, &error);
+  ASSERT_NE(source, nullptr) << error;
+
+  for (std::size_t s = 0; s < source->num_shards(); ++s) source->Pin(s);
+  // Only the one cached shard's charge may remain outstanding.
+  EXPECT_EQ(options.budget.memory_charged(), source->resident_bytes());
+  EXPECT_EQ(options.budget.StopReason(), common::MiningOutcome::kComplete);
+
+  source.reset();  // dropping the source returns every charge
+  EXPECT_EQ(options.budget.memory_charged(), 0u);
+  RemoveShardDir(dir, 4);
+}
+
+TEST(InMemoryTransactionSourceTest, ShardSizeCutsMatchSingleShard) {
+  const auto txns = MakeTransactions(7, 1100);
+  std::vector<GraphView> views;
+  for (const LabeledGraph& g : txns) views.emplace_back(g);
+
+  InMemoryTransactionSource whole(views);
+  EXPECT_EQ(whole.num_shards(), 1u);
+  EXPECT_EQ(whole.num_transactions(), txns.size());
+
+  InMemoryTransactionSource cut(views, /*shard_size=*/3);  // 3+3+1
+  EXPECT_EQ(cut.num_shards(), 3u);
+  EXPECT_EQ(cut.ShardBase(1), 3u);
+  EXPECT_EQ(cut.ShardSize(2), 1u);
+
+  TransactionSource::Reader a(whole);
+  TransactionSource::Reader b(cut);
+  for (std::uint32_t tid = 0; tid < txns.size(); ++tid) {
+    ExpectSameGraph(a.View(tid), b.View(tid));
+  }
+}
+
+}  // namespace
+}  // namespace tnmine::graph

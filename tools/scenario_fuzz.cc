@@ -26,11 +26,16 @@
 //   partition        Algorithm 1 with m repetitions covers every pattern
 //                    an m'<m run finds (at >= the support), and the
 //                    structural driver agrees across the two miners.
+//   shard_equiv      Mining through a sharded TransactionSource — two
+//                    in-memory shard cuts plus a real mmapped shard
+//                    directory (DESIGN.md §16) — is byte-identical to
+//                    the classic in-RAM run, for both miners, at
+//                    multiple thread counts.
 //
 // Usage:
 //   scenario_fuzz [--seed N] [--iters M]
 //                 [--oracle miner_equiv|parallel|encoding|budget_prefix|
-//                           support_monotone|partition|all]
+//                           support_monotone|partition|shard_equiv|all]
 //                 [--artifact-dir DIR] [--replay FILE] [--corpus DIR]
 //
 // Exit status 0 when every iteration passes; 1 on the first failure after
@@ -56,6 +61,8 @@
 #include <vector>
 
 #include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/budget.h"
 #include "common/check.h"
@@ -64,7 +71,10 @@
 #include "common/thread_pool.h"
 #include "core/miner.h"
 #include "fsg/fsg.h"
+#include "graph/graph_view.h"
 #include "graph/labeled_graph.h"
+#include "graph/shard_store.h"
+#include "graph/transaction_source.h"
 #include "gspan/gspan.h"
 #include "partition/multilevel.h"
 #include "pattern/pattern.h"
@@ -173,6 +183,28 @@ tnmine::fsg::FsgResult RunFsg(const std::vector<LabeledGraph>& txns,
   options.parallelism = Parallelism{threads};
   options.budget = budget;
   return tnmine::fsg::MineFsg(txns, options);
+}
+
+/// Source-based legs for the shard_equiv oracle (same knobs as
+/// RunGspan/RunFsg, mined through a TransactionSource).
+tnmine::gspan::GspanResult RunGspanSource(
+    tnmine::graph::TransactionSource& source, const ScenarioConfig& config,
+    std::size_t threads) {
+  tnmine::gspan::GspanOptions options;
+  options.min_support = config.min_support;
+  options.max_edges = config.max_edges;
+  options.parallelism = Parallelism{threads};
+  return tnmine::gspan::MineGspan(source, options);
+}
+
+tnmine::fsg::FsgResult RunFsgSource(
+    tnmine::graph::TransactionSource& source, const ScenarioConfig& config,
+    std::size_t threads) {
+  tnmine::fsg::FsgOptions options;
+  options.min_support = config.min_support;
+  options.max_edges = config.max_edges;
+  options.parallelism = Parallelism{threads};
+  return tnmine::fsg::MineFsg(source, options);
 }
 
 std::string DescribeMapDiff(const PatternMap& a, const char* a_name,
@@ -424,6 +456,93 @@ std::optional<std::string> OraclePartition(
   return std::nullopt;
 }
 
+std::optional<std::string> OracleShardEquiv(
+    const std::vector<LabeledGraph>& txns, const ScenarioConfig& config) {
+  const std::string fsg_ref = Fingerprint(RunFsg(txns, config, 1).patterns);
+  const std::string gspan_ref =
+      Fingerprint(RunGspan(txns, config, 1).patterns);
+  const std::size_t threads =
+      static_cast<std::size_t>(std::max(2, config.num_threads));
+
+  std::vector<tnmine::graph::GraphView> views;
+  views.reserve(txns.size());
+  for (const LabeledGraph& t : txns) views.emplace_back(t);
+
+  const std::size_t n = txns.size();
+  const auto check = [&](tnmine::graph::TransactionSource& source,
+                         const std::string& leg)
+      -> std::optional<std::string> {
+    for (const std::size_t t : {std::size_t{1}, threads}) {
+      if (Fingerprint(RunFsgSource(source, config, t).patterns) !=
+          fsg_ref) {
+        return "shard_equiv: fsg over " + leg + " with " +
+               std::to_string(t) +
+               " threads is not byte-identical to the in-memory run";
+      }
+      if (Fingerprint(RunGspanSource(source, config, t).patterns) !=
+          gspan_ref) {
+        return "shard_equiv: gspan over " + leg + " with " +
+               std::to_string(t) +
+               " threads is not byte-identical to the in-memory run";
+      }
+    }
+    return std::nullopt;
+  };
+
+  // In-memory shard cuts: the file-free multi-shard aggregation path.
+  for (const std::size_t cut : {std::max<std::size_t>(1, n / 3),
+                                std::max<std::size_t>(1, (n + 1) / 2)}) {
+    tnmine::graph::InMemoryTransactionSource source(views, cut);
+    if (auto diff = check(source, "in-memory shards of " +
+                                      std::to_string(cut))) {
+      return diff;
+    }
+  }
+
+  // Real shard files: serialize, mmap, and mine through the LRU cache.
+  if (n > 0) {
+    char tmpl[] = "/tmp/shard-equiv-XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      return std::string("shard_equiv: mkdtemp failed");
+    }
+    const std::string dir = tmpl;
+    const std::size_t cut = std::max<std::size_t>(1, (n + 2) / 3);
+    std::size_t shards = 0;
+    std::string error;
+    bool write_ok = true;
+    for (std::size_t start = 0; start < n && write_ok; start += cut) {
+      tnmine::graph::ShardWriter writer(
+          dir + "/" + tnmine::graph::ShardFileName(shards));
+      for (std::size_t i = start; i < std::min(start + cut, n); ++i) {
+        writer.Add(views[i]);
+      }
+      write_ok = writer.Finish(&error);
+      ++shards;
+    }
+    std::optional<std::string> diff;
+    if (!write_ok) {
+      diff = "shard_equiv: shard write failed: " + error;
+    } else {
+      tnmine::graph::ShardedTransactionSource::Options options;
+      options.max_resident_shards = 2;
+      options.verify_fingerprints = true;
+      const auto source = tnmine::graph::ShardedTransactionSource::Open(
+          dir, options, &error);
+      diff = source == nullptr
+                 ? std::optional<std::string>(
+                       "shard_equiv: cannot open shard dir: " + error)
+                 : check(*source, "mmapped shard files of " +
+                                      std::to_string(cut));
+    }
+    for (std::size_t i = 0; i < shards; ++i) {
+      unlink((dir + "/" + tnmine::graph::ShardFileName(i)).c_str());
+    }
+    rmdir(dir.c_str());
+    if (diff.has_value()) return diff;
+  }
+  return std::nullopt;
+}
+
 // ---------------------------------------------------------------------------
 
 struct Oracle {
@@ -441,6 +560,7 @@ const std::vector<Oracle>& Oracles() {
       {"budget_prefix", OracleBudgetPrefix},
       {"support_monotone", OracleSupportMonotone},
       {"partition", OraclePartition},
+      {"shard_equiv", OracleShardEquiv},
   };
   return oracles;
 }
@@ -527,7 +647,7 @@ int Usage(const char* argv0) {
       "usage: %s [--seed N] [--iters M] [--oracle NAME|all]\n"
       "          [--artifact-dir DIR] [--replay FILE] [--corpus DIR]\n"
       "oracles: miner_equiv parallel encoding budget_prefix "
-      "support_monotone partition\n",
+      "support_monotone partition shard_equiv\n",
       argv0);
   return 2;
 }

@@ -8,6 +8,8 @@
 //   subdue     discover SUBDUE substructures on the OD graph (Section 5.1)
 //   episodes   mine periodic / chained route episodes (Section 9 extension)
 //   export     write ARFF / SUBDUE / FSG files for external tools
+//   mine       run FSG/gSpan over an out-of-core shard directory
+//              (tnshard build) or an FSG-format file (DESIGN.md §16)
 //
 // Observability (DESIGN.md §9): every subcommand accepts
 //   --metrics-out <file>   write a RunReport JSON (counters + spans + wall
@@ -36,6 +38,7 @@
 //   tnmine_cli structural --data /tmp/data.csv --miner gspan \
 //       --metrics-out report.json --trace-out trace.json
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -58,7 +61,10 @@
 #include "core/miner.h"
 #include "data/generator.h"
 #include "data/od_graph.h"
+#include "fsg/fsg.h"
 #include "graph/graph_io.h"
+#include "graph/transaction_source.h"
+#include "gspan/gspan.h"
 #include "ml/arff.h"
 #include "partition/split_graph.h"
 #include "pattern/dot.h"
@@ -113,7 +119,8 @@ void PrintOutcome(common::MiningOutcome outcome) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tnmine_cli <generate|stats|structural|temporal|"
-               "subdue|episodes|deadhead|export|client> [--flag value ...]\n"
+               "subdue|episodes|deadhead|export|mine|client> "
+               "[--flag value ...]\n"
                "common flags: --metrics-out <file> --trace-out <file>\n"
                "see the header of tools/tnmine_cli.cc for examples\n");
   return 2;
@@ -414,6 +421,115 @@ int CmdExport(const Flags& flags) {
 /// --failpoint site:kind[:hit] arms deterministic fault injection in
 /// this client process (e.g. wire/connect_fail:io:1 to prove --retry
 /// rides through a transient connect failure).
+/// Opens the transaction set for `mine`: an out-of-core shard directory
+/// (--shard-dir, written by tnshard build) or an FSG-format text file
+/// (--fsg, loaded whole into RAM). Prints and returns null on error.
+std::unique_ptr<graph::TransactionSource> OpenMiningSource(
+    const Flags& flags, const common::ResourceBudget& budget) {
+  const std::string shard_dir = flags.Get("shard-dir", "");
+  const std::string fsg_path = flags.Get("fsg", "");
+  if (shard_dir.empty() == fsg_path.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --shard-dir <dir> or --fsg <file> is "
+                 "required\n");
+    return nullptr;
+  }
+  std::string error;
+  if (!shard_dir.empty()) {
+    graph::ShardedTransactionSource::Options options;
+    options.max_resident_shards = static_cast<std::size_t>(
+        std::max(1L, flags.GetInt("max-resident-shards", 2)));
+    options.budget = budget;
+    options.verify_fingerprints = flags.GetInt("verify", 0) != 0;
+    auto source =
+        graph::ShardedTransactionSource::Open(shard_dir, options, &error);
+    if (!source)
+      std::fprintf(stderr, "cannot open shard dir %s: %s\n",
+                   shard_dir.c_str(), error.c_str());
+    return source;
+  }
+  std::string text;
+  if (!graph::ReadTextFile(fsg_path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", fsg_path.c_str());
+    return nullptr;
+  }
+  std::vector<graph::LabeledGraph> transactions;
+  if (!graph::ReadFsgFormat(text, &transactions, &error)) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", fsg_path.c_str(),
+                 error.c_str());
+    return nullptr;
+  }
+  std::vector<graph::GraphView> views;
+  views.reserve(transactions.size());
+  for (const graph::LabeledGraph& t : transactions) views.emplace_back(t);
+  return std::make_unique<graph::InMemoryTransactionSource>(
+      std::move(views));
+}
+
+/// `mine` — FSG/gSpan straight over a TransactionSource, the CLI face of
+/// the out-of-core path (DESIGN.md §16). With --shard-dir the resident
+/// working set is bounded by --max-resident-shards mapped shards, each
+/// charged against --max-memory-mb; output is byte-identical to mining
+/// the same transactions in RAM.
+int CmdMine(const Flags& flags) {
+  const common::ResourceBudget budget = BudgetFromFlags(flags);
+  const std::unique_ptr<graph::TransactionSource> source =
+      OpenMiningSource(flags, budget);
+  if (!source) return 2;
+
+  const auto min_support =
+      static_cast<std::size_t>(flags.GetInt("support", 2));
+  const auto max_edges =
+      static_cast<std::size_t>(flags.GetInt("max-edges", 3));
+  const common::Parallelism parallelism{
+      static_cast<std::size_t>(flags.GetInt("threads", 0))};
+
+  std::vector<pattern::FrequentPattern> patterns;
+  common::MiningOutcome outcome;
+  if (flags.Get("miner", "fsg") == "gspan") {
+    gspan::GspanOptions options;
+    options.min_support = min_support;
+    options.max_edges = max_edges;
+    options.parallelism = parallelism;
+    options.budget = budget;
+    gspan::GspanResult result = gspan::MineGspan(*source, options);
+    outcome = result.outcome;
+    patterns = std::move(result.patterns);
+  } else {
+    fsg::FsgOptions options;
+    options.min_support = min_support;
+    options.max_edges = max_edges;
+    options.parallelism = parallelism;
+    options.budget = budget;
+    fsg::FsgResult result = fsg::MineFsg(*source, options);
+    outcome = result.outcome;
+    patterns = std::move(result.patterns);
+  }
+
+  PrintOutcome(outcome);
+  std::printf("%zu transactions in %zu shards\n",
+              source->num_transactions(), source->num_shards());
+  std::printf("%zu frequent patterns\n", patterns.size());
+  const auto top = static_cast<std::size_t>(flags.GetInt("top", 3));
+  // Rank by support descending; ties keep the miner's deterministic
+  // enumeration order, so this listing is stable across runs too.
+  std::vector<const pattern::FrequentPattern*> ranked;
+  ranked.reserve(patterns.size());
+  for (const pattern::FrequentPattern& p : patterns) ranked.push_back(&p);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const pattern::FrequentPattern* a,
+                      const pattern::FrequentPattern* b) {
+                     return a->support > b->support;
+                   });
+  for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+    const pattern::FrequentPattern& p = *ranked[i];
+    std::printf("#%zu support=%zu vertices=%zu edges=%zu\n", i + 1,
+                p.support, static_cast<std::size_t>(p.graph.num_vertices()),
+                static_cast<std::size_t>(p.graph.num_edges()));
+  }
+  return 0;
+}
+
 int CmdClient(const Flags& flags) {
   const std::string connect = flags.Get("connect", "");
   if (connect.empty()) {
@@ -443,7 +559,8 @@ int CmdClient(const Flags& flags) {
   // All current ops are reads; the mutating ones must not be re-sent
   // after an ambiguous transport failure (the first send may have been
   // applied).
-  const bool idempotent = op != "load_snapshot" && op != "shutdown";
+  const bool idempotent =
+      op != "load_snapshot" && op != "load_shards" && op != "shutdown";
 
   server::JsonValue request = server::JsonValue::MakeObject();
   request.Set("op", server::JsonValue(op));
@@ -453,12 +570,16 @@ int CmdClient(const Flags& flags) {
   server::JsonValue params = server::JsonValue::MakeObject();
   if (op == "load_snapshot") {
     params.Set("path", server::JsonValue(flags.Get("path", "")));
-  } else if (op == "structural" || op == "temporal") {
+  } else if (op == "load_shards") {
+    params.Set("dir", server::JsonValue(flags.Get("dir", "")));
+  } else if (op == "structural" || op == "temporal" ||
+             op == "mine_shards") {
     static constexpr const char* kStringFlags[] = {"attribute", "strategy",
                                                    "miner"};
     static constexpr const char* kIntFlags[] = {
-        "k",           "support",        "max-edges", "max-labels",
-        "reps",        "seed",           "threads",   "top",
+        "k",           "support",        "max-edges",
+        "max-labels",  "reps",           "seed",
+        "threads",     "top",            "max-resident-shards",
         "deadline-ms", "max-work-ticks", "max-memory-mb"};
     static constexpr const char* kDoubleFlags[] = {"support-fraction"};
     const auto param_name = [](std::string name) {
@@ -530,6 +651,7 @@ int Dispatch(const std::string& command, const Flags& flags, bool* known) {
   if (command == "episodes") return CmdEpisodes(flags);
   if (command == "deadhead") return CmdDeadhead(flags);
   if (command == "export") return CmdExport(flags);
+  if (command == "mine") return CmdMine(flags);
   if (command == "client") return CmdClient(flags);
   *known = false;
   return Usage();
